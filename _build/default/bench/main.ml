@@ -1,0 +1,457 @@
+(* The full evaluation harness: regenerates every table and figure of
+   the paper's evaluation (§6) plus the ablations DESIGN.md calls out.
+
+     dune exec bench/main.exe            -- run everything
+     dune exec bench/main.exe -- table1  -- one section (prefix match)
+
+   Sections:
+     6.1         concurrency bug suite scores (BARRACUDA vs Racecheck)
+     figure4     memory-fence litmus tests on both GPU models
+     table1      the 26 workloads: static insns, threads, memory, races
+     figure9     % static instructions instrumented (unopt vs opt)
+     figure10    runtime overhead of the full pipeline vs native
+     ptvc        ablation: PTVC format census and compression ratio
+     queues      ablation: multi-queue logging throughput
+     granularity ablation: byte- vs word-granular shadow memory
+     bechamel    Bechamel micro-benchmarks (one per table/figure)      *)
+
+module W = Workloads.Workload
+
+let time_it ?(min_time = 0.05) f =
+  let samples = ref [] in
+  let budget = ref 0.0 in
+  let reps = ref 0 in
+  while !budget < min_time || !reps < 3 do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let d = Unix.gettimeofday () -. t0 in
+    samples := d :: !samples;
+    budget := !budget +. d;
+    incr reps
+  done;
+  let sorted = List.sort compare !samples in
+  List.nth sorted (List.length sorted / 2)
+
+let header title =
+  Printf.printf "\n=== %s %s\n%!" title
+    (String.make (max 1 (66 - String.length title)) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Section 6.1: concurrency bug suite                                  *)
+
+let section_61 () =
+  header "Section 6.1: concurrency bug suite (66 programs)";
+  let cases = Bugsuite.Cases.all in
+  let b = Bugsuite.Harness.run_barracuda cases in
+  let r = Bugsuite.Harness.run_racecheck cases in
+  Printf.printf "  tool            correct   paper\n";
+  Printf.printf "  BARRACUDA        %2d/66    66/66\n" b.Bugsuite.Harness.correct;
+  Printf.printf "  CUDA-Racecheck   %2d/66    19/66\n" r.Bugsuite.Harness.correct;
+  let hangs =
+    List.length
+      (List.filter
+         (fun (c : Bugsuite.Case.t) ->
+           Barracuda.Racecheck.would_hang c.Bugsuite.Case.kernel)
+         cases)
+  in
+  Printf.printf
+    "  (racecheck model: misses global memory, blind to fences/atomics,\n\
+    \   false-positives on warp lockstep, hangs on %d spinlock tests)\n"
+    hangs
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: memory fence litmus tests                                 *)
+
+let section_figure4 () =
+  header "Figure 4: memory-fence litmus tests (message passing)";
+  let runs = 200_000 in
+  Printf.printf "  %-11s %-11s %10s %14s   (paper: 7253 / 0 per 1M, cta/cta)\n"
+    "fence1" "fence2" "K520" "GTX Titan X";
+  List.iter
+    (fun (r : Memmodel.Litmus.figure4_row) ->
+      let scope s = Format.asprintf "membar.%a" Ptx.Ast.pp_fence_scope s in
+      Printf.printf "  %-11s %-11s %10d %14d   per %d runs\n"
+        (scope r.Memmodel.Litmus.fence1)
+        (scope r.Memmodel.Litmus.fence2)
+        r.Memmodel.Litmus.k520_observations r.Memmodel.Litmus.titan_observations
+        r.Memmodel.Litmus.runs)
+    (Memmodel.Litmus.figure4 ~runs ())
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: the 26 workloads                                           *)
+
+let section_table1 () =
+  header "Table 1: benchmarks (scaled grids; paper values in parens)";
+  Printf.printf "  %-18s %-9s %7s %9s %11s  %s\n" "benchmark" "suite" "insns"
+    "threads" "global KiB" "races found";
+  List.iter
+    (fun (w : W.t) ->
+      let det, _ = W.run_detector w in
+      let report = Barracuda.Detector.report det in
+      let shared, global = W.racy_word_counts report in
+      let races =
+        match (shared, global) with
+        | 0, 0 -> "-"
+        | s, 0 -> Printf.sprintf "%d shared" s
+        | 0, g -> Printf.sprintf "%d global" g
+        | s, g -> Printf.sprintf "%d shared, %d global" s g
+      in
+      let m = W.machine w in
+      let _ = w.W.setup m in
+      let footprint = Simt.Memory.footprint (Simt.Machine.global_memory m) in
+      Printf.printf "  %-18s %-9s %7d %9d %11d  %-18s (paper: %s)\n" w.W.name
+        w.W.suite
+        (Array.length w.W.kernel.Ptx.Ast.body)
+        (W.total_threads w)
+        (max 1 (footprint / 1024))
+        races
+        (if w.W.paper.W.p_races = "" then "-" else w.W.paper.W.p_races))
+    Workloads.Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: instrumented static instructions                          *)
+
+let section_figure9 () =
+  header "Figure 9: % of static PTX instructions instrumented";
+  Printf.printf "  %-18s %-9s %12s %12s %8s\n" "benchmark" "suite" "unoptimized"
+    "optimized" "pruned";
+  List.iter
+    (fun (w : W.t) ->
+      let unopt = Instrument.Pass.instrument ~prune:false w.W.kernel in
+      let opt = Instrument.Pass.instrument w.W.kernel in
+      Printf.printf "  %-18s %-9s %11.1f%% %11.1f%% %8d\n" w.W.name w.W.suite
+        (100.0 *. Instrument.Stats.fraction unopt.Instrument.Pass.stats)
+        (100.0 *. Instrument.Stats.fraction opt.Instrument.Pass.stats)
+        opt.Instrument.Pass.stats.Instrument.Stats.pruned)
+    Workloads.Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10: runtime overhead vs native                               *)
+
+let section_figure10 () =
+  header "Figure 10: BARRACUDA runtime overhead (normalized to native)";
+  Printf.printf "  %-18s %-9s %11s %11s %9s %11s\n" "benchmark" "suite"
+    "native(ms)" "brrcda(ms)" "overhead" "insn ratio";
+  List.iter
+    (fun (w : W.t) ->
+      let native = time_it (fun () -> ignore (W.run_native w)) in
+      let native_insns = (W.run_native w).Simt.Machine.dyn_instructions in
+      let piped = time_it (fun () -> ignore (W.run_pipeline w)) in
+      let pr = W.run_pipeline w in
+      let piped_insns =
+        pr.Gpu_runtime.Pipeline.machine_result.Simt.Machine.dyn_instructions
+      in
+      Printf.printf "  %-18s %-9s %11.2f %11.2f %8.1fx %10.1fx\n" w.W.name
+        w.W.suite (1000.0 *. native) (1000.0 *. piped) (piped /. native)
+        (float_of_int piped_insns /. float_of_int (max 1 native_insns)))
+    Workloads.Registry.all;
+  Printf.printf
+    "  (overheads compress vs the paper's 10-3700x because the native\n\
+    \   baseline here is itself a simulator; the per-benchmark ordering\n\
+    \   and the insn-ratio shape are the comparable signals)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: PTVC compression                                          *)
+
+let section_ptvc () =
+  header "Ablation: per-thread VC compression (paper 4.3.1)";
+  Printf.printf "  %-18s %10s %9s %8s %9s %12s %14s\n" "benchmark" "converged"
+    "diverged" "nested" "sparse" "ptvc bytes" "full-vc bytes";
+  let tc = ref 0 and td = ref 0 and tn = ref 0 and ts = ref 0 in
+  List.iter
+    (fun (w : W.t) ->
+      let det, _ = W.run_detector w in
+      let s = Barracuda.Detector.stats det in
+      tc := !tc + s.Barracuda.Detector.ptvc_converged;
+      td := !td + s.Barracuda.Detector.ptvc_diverged;
+      tn := !tn + s.Barracuda.Detector.ptvc_nested;
+      ts := !ts + s.Barracuda.Detector.ptvc_sparse;
+      Printf.printf "  %-18s %10d %9d %8d %9d %12d %14d\n" w.W.name
+        s.Barracuda.Detector.ptvc_converged s.Barracuda.Detector.ptvc_diverged
+        s.Barracuda.Detector.ptvc_nested s.Barracuda.Detector.ptvc_sparse
+        s.Barracuda.Detector.ptvc_bytes s.Barracuda.Detector.full_vc_bytes)
+    Workloads.Registry.all;
+  let total = !tc + !td + !tn + !ts in
+  if total > 0 then
+    Printf.printf
+      "  format census across all records: %.1f%% converged, %.1f%% diverged,\n\
+      \  %.1f%% nested, %.1f%% sparse (paper: ~90%% warp-uniform)\n"
+      (100.0 *. float_of_int !tc /. float_of_int total)
+      (100.0 *. float_of_int !td /. float_of_int total)
+      (100.0 *. float_of_int !tn /. float_of_int total)
+      (100.0 *. float_of_int !ts /. float_of_int total)
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: queue count throughput                                    *)
+
+let section_queues () =
+  header "Ablation: GPU->host queue throughput vs queue count (paper 4.2)";
+  (* The paper found ~1.1-1.5 queues per SM optimal because parallel
+     producers contend on a single queue's indices.  This host exposes a
+     single core, so we measure the single-threaded sharding cost: the
+     producer round-robins blocks across [nq] queues and the consumer
+     drains them all, which is exactly the pipeline's structure. *)
+  let payload = Bytes.make Gpu_runtime.Record.wire_size 'x' in
+  let total = 200_000 in
+  Printf.printf "  %7s %12s %14s %16s\n" "queues" "records/s" "records"
+    "high watermark";
+  List.iter
+    (fun nq ->
+      let queues =
+        Array.init nq (fun _ -> Gpu_runtime.Queue.create ~capacity:1024)
+      in
+      let t0 = Unix.gettimeofday () in
+      let consumed = ref 0 in
+      for i = 0 to total - 1 do
+        let q = queues.(i mod nq) in
+        while not (Gpu_runtime.Queue.try_push q payload) do
+          (* backpressure: drain the full queue *)
+          match Gpu_runtime.Queue.pop q with
+          | Some _ -> incr consumed
+          | None -> ()
+        done
+      done;
+      Array.iter
+        (fun q ->
+          let rec drain () =
+            match Gpu_runtime.Queue.pop q with
+            | Some _ ->
+                incr consumed;
+                drain ()
+            | None -> ()
+          in
+          drain ())
+        queues;
+      let dt = Unix.gettimeofday () -. t0 in
+      let high =
+        Array.fold_left
+          (fun acc q -> max acc (Gpu_runtime.Queue.high_watermark q))
+          0 queues
+      in
+      assert (!consumed = total);
+      Printf.printf "  %7d %12.0f %14d %16d\n" nq
+        (float_of_int total /. dt)
+        total high)
+    [ 1; 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: shadow granularity                                        *)
+
+let section_granularity () =
+  header "Ablation: shadow-memory granularity (byte vs word, paper 4.3.3)";
+  Printf.printf "  %-18s %12s %12s %10s %10s\n" "benchmark" "byte cells"
+    "word cells" "byte(ms)" "word(ms)";
+  let subset = [ "backprop"; "dxtc"; "block_reduce"; "needle" ] in
+  List.iter
+    (fun name ->
+      let w = Workloads.Registry.find name in
+      let run g () =
+        let m = W.machine w in
+        let args = w.W.setup m in
+        let config =
+          { Barracuda.Detector.default_config with shadow_granularity = g }
+        in
+        let det, _ = Barracuda.Detector.run ~config ~machine:m w.W.kernel args in
+        Barracuda.Detector.stats det
+      in
+      let t1 = time_it (fun () -> ignore (run 1 ())) in
+      let t4 = time_it (fun () -> ignore (run 4 ())) in
+      let s1 = run 1 () and s4 = run 4 () in
+      Printf.printf "  %-18s %12d %12d %10.2f %10.2f\n" name
+        s1.Barracuda.Detector.shadow_cells s4.Barracuda.Detector.shadow_cells
+        (1000.0 *. t1) (1000.0 *. t4))
+    subset
+
+(* ------------------------------------------------------------------ *)
+(* Scaling: PTVC compression and detection cost vs grid size           *)
+
+let section_scaling () =
+  header "Scaling: detection cost and PTVC compression vs thread count";
+  (* a representative kernel: tiled stencil with a barrier and a
+     divergent fixup, scaled by block count *)
+  let build_kernel () =
+    let b =
+      Ptx.Builder.create ~params:[ "t_in"; "t_out" ]
+        ~shared:[ ("tile", 128 * 4) ]
+        "scaling_stencil"
+    in
+    let open Ptx.Builder in
+    let tid = Ptx.Ast.Sreg Ptx.Ast.Tid in
+    let g = global_tid b in
+    let v = Workloads.Common.load_global b ~base:"t_in" (reg g) in
+    let sa = Workloads.Common.shared_addr b ~base:"tile" tid in
+    st ~space:Ptx.Ast.Shared b (reg sa) (reg v);
+    bar b;
+    let acc = fresh_reg b in
+    mov b acc (reg v);
+    if_ b Ptx.Ast.C_gt tid (imm 0) (fun b ->
+        let la = fresh_reg ~cls:"rd" b in
+        mad b la tid (imm 4) (sym "tile");
+        binop b Ptx.Ast.B_sub la (reg la) (imm 4);
+        let l = fresh_reg b in
+        ld ~space:Ptx.Ast.Shared b l (reg la);
+        binop b Ptx.Ast.B_add acc (reg acc) (reg l));
+    Workloads.Common.store_global_result b ~base:"t_out" ~index:(reg g)
+      (reg acc);
+    finish b
+  in
+  let kernel = build_kernel () in
+  Printf.printf "  %8s %10s %12s %12s %16s %9s\n" "threads" "time(ms)"
+    "records" "ptvc bytes" "full-vc bytes" "ratio";
+  List.iter
+    (fun blocks ->
+      let layout =
+        Vclock.Layout.make ~warp_size:32 ~threads_per_block:128 ~blocks
+      in
+      let n = Vclock.Layout.total_threads layout in
+      let run () =
+        let m = Simt.Machine.create ~layout () in
+        let t_in = Simt.Machine.alloc_global m (4 * n) in
+        let t_out = Simt.Machine.alloc_global m (4 * n) in
+        Barracuda.Detector.run ~machine:m kernel
+          [| Int64.of_int t_in; Int64.of_int t_out |]
+      in
+      let dt = time_it (fun () -> ignore (run ())) in
+      let det, _ = run () in
+      let s = Barracuda.Detector.stats det in
+      Printf.printf "  %8d %10.1f %12d %12d %16d %8.0fx\n" n (1000.0 *. dt)
+        s.Barracuda.Detector.records_processed s.Barracuda.Detector.ptvc_bytes
+        s.Barracuda.Detector.full_vc_bytes
+        (float_of_int s.Barracuda.Detector.full_vc_bytes
+        /. float_of_int (max 1 s.Barracuda.Detector.ptvc_bytes)))
+    [ 2; 8; 32; 128 ];
+  Printf.printf
+    "  (full per-thread VCs grow as threads^2; the compressed PTVCs grow\n\
+    \   linearly in warps — the gap is what makes million-thread grids\n\
+    \   tractable, 4 MB vs 4 TB at 10^6 threads)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Parallel host: one consumer domain per queue                        *)
+
+let section_parallel () =
+  header "Parallel host: concurrent queue draining (paper 4.3)";
+  Printf.printf "  %-18s %13s %12s %12s %8s\n" "benchmark" "sequential(ms)"
+    "parallel(ms)" "races(eq?)" "queues";
+  let subset = [ "backprop"; "pathfinder"; "dxtc"; "d_scan"; "d_reduce" ] in
+  List.iter
+    (fun name ->
+      let w = Workloads.Registry.find name in
+      let config = { Gpu_runtime.Pipeline.default_config with queues = 2 } in
+      let run_seq () =
+        let m = W.machine w in
+        let args = w.W.setup m in
+        Gpu_runtime.Pipeline.run ~config ~machine:m w.W.kernel args
+      in
+      let run_par () =
+        let m = W.machine w in
+        let args = w.W.setup m in
+        Gpu_runtime.Pipeline.run_parallel ~config ~machine:m w.W.kernel args
+      in
+      let t_seq = time_it (fun () -> ignore (run_seq ())) in
+      let t_par = time_it (fun () -> ignore (run_par ())) in
+      let verdict r =
+        Barracuda.Report.has_race (Gpu_runtime.Pipeline.report r)
+      in
+      let same = verdict (run_seq ()) = verdict (run_par ()) in
+      Printf.printf "  %-18s %13.2f %12.2f %12b %8d\n" name (1000.0 *. t_seq)
+        (1000.0 *. t_par) same config.Gpu_runtime.Pipeline.queues)
+    subset;
+  Printf.printf
+    "  (this host has a single core, so the concurrent drain pays context\n\
+    \   switches without gaining parallel speedup; the point here is the\n\
+    \   protocol — verdicts match the sequential pipeline)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+
+let section_bechamel () =
+  header "Bechamel micro-benchmarks (one per table/figure)";
+  let open Bechamel in
+  let subset = [ "backprop"; "hashtable"; "pathfinder"; "d_scan"; "dxtc" ] in
+  let tests =
+    List.concat_map
+      (fun name ->
+        let w = Workloads.Registry.find name in
+        [
+          Test.make
+            ~name:(Printf.sprintf "table1.native.%s" name)
+            (Staged.stage (fun () -> ignore (W.run_native w)));
+          Test.make
+            ~name:(Printf.sprintf "figure10.pipeline.%s" name)
+            (Staged.stage (fun () -> ignore (W.run_pipeline w)));
+        ])
+      subset
+    @ [
+        Test.make ~name:"figure9.instrument.dxtc"
+          (Staged.stage (fun () ->
+               ignore
+                 (Instrument.Pass.instrument
+                    (Workloads.Registry.find "dxtc").W.kernel)));
+        Test.make ~name:"figure4.litmus.mp-cta-cta"
+          (Staged.stage (fun () ->
+               ignore
+                 (Memmodel.Litmus.weak_count Memmodel.Arch.k520
+                    (Memmodel.Litmus.mp ~fence1:Ptx.Ast.Cta ~fence2:Ptx.Ast.Cta)
+                    ~runs:1000 ~seed:1)));
+        Test.make ~name:"s6_1.bugsuite.barracuda"
+          (Staged.stage (fun () ->
+               ignore (Bugsuite.Harness.run_barracuda Bugsuite.Cases.all)));
+      ]
+  in
+  let clock = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~quota:(Time.second 0.25) ~kde:None () in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  Printf.printf "  %-34s %16s\n" "benchmark" "ns/run";
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg [ Toolkit.Instance.one; clock ] elt in
+          let result = Analyze.one ols clock raw in
+          match Analyze.OLS.estimates result with
+          | Some (est :: _) ->
+              Printf.printf "  %-34s %16.0f\n" (Test.Elt.name elt) est
+          | Some [] | None ->
+              Printf.printf "  %-34s %16s\n" (Test.Elt.name elt) "n/a")
+        (Test.elements test))
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [
+    ("6.1", section_61);
+    ("figure4", section_figure4);
+    ("table1", section_table1);
+    ("figure9", section_figure9);
+    ("figure10", section_figure10);
+    ("ptvc", section_ptvc);
+    ("queues", section_queues);
+    ("granularity", section_granularity);
+    ("scaling", section_scaling);
+    ("parallel", section_parallel);
+    ("bechamel", section_bechamel);
+  ]
+
+let () =
+  let requested =
+    Sys.argv |> Array.to_list |> List.tl |> List.filter (fun a -> a <> "--")
+  in
+  let selected =
+    if requested = [] then sections
+    else
+      List.filter
+        (fun (name, _) ->
+          List.exists
+            (fun r ->
+              String.length r <= String.length name
+              && String.sub name 0 (String.length r) = r)
+            requested)
+        sections
+  in
+  Printf.printf "BARRACUDA evaluation harness (%d section%s)\n"
+    (List.length selected)
+    (if List.length selected = 1 then "" else "s");
+  List.iter (fun (_, f) -> f ()) selected

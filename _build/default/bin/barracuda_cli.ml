@@ -1,0 +1,263 @@
+(* The barracuda command-line tool.
+
+     barracuda check FILE.ptx [--blocks N] [--tpb N] ...   race-check a kernel
+     barracuda instrument FILE.ptx [--no-prune]            show rewritten PTX
+     barracuda suite                                        run the 66-program suite
+     barracuda litmus [--runs N]                            fence litmus tests
+     barracuda table1                                       workload summary    *)
+
+open Cmdliner
+
+let layout_term =
+  let blocks =
+    Arg.(value & opt int 2 & info [ "blocks" ] ~docv:"N" ~doc:"Thread blocks in the grid.")
+  in
+  let tpb =
+    Arg.(value & opt int 64 & info [ "tpb" ] ~docv:"N" ~doc:"Threads per block.")
+  in
+  let warp =
+    Arg.(value & opt int 32 & info [ "warp" ] ~docv:"N" ~doc:"Warp size.")
+  in
+  let make blocks tpb warp =
+    Vclock.Layout.make ~warp_size:warp ~threads_per_block:tpb ~blocks
+  in
+  Term.(const make $ blocks $ tpb $ warp)
+
+let file_term =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ptx")
+
+(* Kernel arguments: "alloc:BYTES" allocates global memory and passes
+   the base address; "int:V" (or a bare integer) passes the value. *)
+let args_term =
+  Arg.(
+    value & opt_all string []
+    & info [ "a"; "arg" ] ~docv:"SPEC"
+        ~doc:
+          "Kernel argument, in declaration order: $(b,alloc:BYTES) to \
+           allocate device memory, $(b,int:V) (or a bare integer) for a \
+           scalar. Missing arguments default to $(b,alloc:4096).")
+
+let resolve_args machine kernel specs =
+  let nparams = List.length kernel.Ptx.Ast.params in
+  let parse spec =
+    match String.split_on_char ':' spec with
+    | [ "alloc"; n ] ->
+        Int64.of_int (Simt.Machine.alloc_global machine (int_of_string n))
+    | [ "int"; v ] -> Int64.of_string v
+    | [ v ] -> Int64.of_string v
+    | _ -> failwith (Printf.sprintf "bad argument spec %S" spec)
+  in
+  let given = List.map parse specs in
+  let missing = nparams - List.length given in
+  if missing < 0 then
+    failwith
+      (Printf.sprintf "kernel %s takes %d arguments, got %d"
+         kernel.Ptx.Ast.kname nparams (List.length given));
+  let fill =
+    List.init missing (fun _ ->
+        Int64.of_int (Simt.Machine.alloc_global machine 4096))
+  in
+  Array.of_list (given @ fill)
+
+let load_kernel file =
+  let ic = open_in file in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  Ptx.Parser.kernel_of_string src
+
+let check_cmd =
+  let run layout file specs max_reports dump_trace =
+    let kernel = load_kernel file in
+    let machine = Simt.Machine.create ~layout () in
+    let args = resolve_args machine kernel specs in
+    let config = { Barracuda.Detector.default_config with max_reports } in
+    let infer = Gtrace.Infer.create ~layout kernel in
+    let trace = ref [] in
+    let detector = Barracuda.Detector.create ~config ~layout kernel in
+    let on_event ev =
+      (match dump_trace with
+      | Some _ -> trace := List.rev_append (Gtrace.Infer.feed infer ev) !trace
+      | None -> ());
+      Barracuda.Detector.feed detector ev
+    in
+    let result = Simt.Machine.launch machine kernel args ~on_event in
+    (match dump_trace with
+    | Some path ->
+        let oc = open_out path in
+        Gtrace.Serialize.to_channel ~layout oc (List.rev !trace);
+        close_out oc;
+        Format.printf "trace written to %s@." path
+    | None -> ());
+    Format.printf "kernel %s: %d warp instructions executed (%s)@."
+      kernel.Ptx.Ast.kname result.Simt.Machine.dyn_instructions
+      (match result.Simt.Machine.status with
+      | Simt.Machine.Completed -> "completed"
+      | Simt.Machine.Max_steps n -> Printf.sprintf "stopped at %d steps" n);
+    let report = Barracuda.Detector.report detector in
+    let errors = Barracuda.Report.errors report in
+    if errors = [] then begin
+      Format.printf "no races detected.@.";
+      0
+    end
+    else begin
+      Format.printf "%d distinct races detected:@."
+        (Barracuda.Report.race_count report);
+      List.iter (fun e -> Format.printf "  %a@." Barracuda.Report.pp_error e) errors;
+      1
+    end
+  in
+  let max_reports =
+    Arg.(value & opt int 50 & info [ "max-reports" ] ~docv:"N"
+           ~doc:"Maximum reports to print.")
+  in
+  let dump_trace =
+    Arg.(value & opt (some string) None
+           & info [ "dump-trace" ] ~docv:"FILE"
+               ~doc:"Write the abstract trace (paper 3.1) to FILE for \
+                     offline replay.")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Race-check a PTX kernel on the simulator.")
+    Term.(
+      const run $ layout_term $ file_term $ args_term $ max_reports
+      $ dump_trace)
+
+let replay_cmd =
+  let run file =
+    let ic = open_in file in
+    let layout, ops = Gtrace.Serialize.of_channel ic in
+    close_in ic;
+    (match Gtrace.Feasible.check ~layout ops with
+    | Ok () -> ()
+    | Error v ->
+        Format.printf "warning: trace is not feasible: %a@."
+          Gtrace.Feasible.pp_violation v);
+    let d = Barracuda.Reference.create ~layout () in
+    Barracuda.Reference.run d ops;
+    let report = Barracuda.Reference.report d in
+    let errors = Barracuda.Report.errors report in
+    Format.printf "%d operations replayed on %a@." (List.length ops)
+      Vclock.Layout.pp layout;
+    if errors = [] then begin
+      Format.printf "no races detected.@.";
+      0
+    end
+    else begin
+      Format.printf "%d distinct races:@." (Barracuda.Report.race_count report);
+      List.iter (fun e -> Format.printf "  %a@." Barracuda.Report.pp_error e) errors;
+      1
+    end
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Race-check a trace file produced by check --dump-trace.")
+    Term.(const run $ file_term)
+
+let instrument_cmd =
+  let run file prune stats_only =
+    let kernel = load_kernel file in
+    let r = Instrument.Pass.instrument ~prune kernel in
+    if not stats_only then
+      print_string (Ptx.Printer.kernel_to_string r.Instrument.Pass.kernel);
+    Format.printf "// %a@." Instrument.Stats.pp r.Instrument.Pass.stats;
+    0
+  in
+  let prune =
+    Arg.(value & flag & info [ "no-prune" ]
+           ~doc:"Disable intra-basic-block logging pruning.")
+    |> Term.map not
+  in
+  let stats_only =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print statistics only.")
+  in
+  Cmd.v
+    (Cmd.info "instrument"
+       ~doc:"Rewrite a PTX kernel with BARRACUDA logging calls.")
+    Term.(const run $ file_term $ prune $ stats_only)
+
+let suite_cmd =
+  let run verbose =
+    let cases = Bugsuite.Cases.all in
+    let b = Bugsuite.Harness.run_barracuda cases in
+    let r = Bugsuite.Harness.run_racecheck cases in
+    if verbose then
+      List.iter
+        (fun (o : Bugsuite.Harness.outcome) ->
+          Format.printf "%3d %-36s truth=%-9s reported=%-5b %s@."
+            o.Bugsuite.Harness.case.Bugsuite.Case.id
+            o.Bugsuite.Harness.case.Bugsuite.Case.name
+            (Format.asprintf "%a" Bugsuite.Case.pp_verdict
+               o.Bugsuite.Harness.case.Bugsuite.Case.verdict)
+            o.Bugsuite.Harness.reported_race
+            (if o.Bugsuite.Harness.correct then "ok" else "WRONG"))
+        b.Bugsuite.Harness.outcomes;
+    Format.printf "BARRACUDA:      %d/%d@." b.Bugsuite.Harness.correct
+      b.Bugsuite.Harness.total;
+    Format.printf "CUDA-Racecheck: %d/%d@." r.Bugsuite.Harness.correct
+      r.Bugsuite.Harness.total;
+    if b.Bugsuite.Harness.correct = b.Bugsuite.Harness.total then 0 else 1
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ]) in
+  Cmd.v
+    (Cmd.info "suite" ~doc:"Run the 66-program concurrency bug suite.")
+    Term.(const run $ verbose)
+
+let litmus_cmd =
+  let run runs =
+    List.iter
+      (fun r -> Format.printf "%a@." Memmodel.Litmus.pp_row r)
+      (Memmodel.Litmus.figure4 ~runs ());
+    0
+  in
+  let runs =
+    Arg.(value & opt int 200_000 & info [ "runs" ] ~docv:"N"
+           ~doc:"Runs per fence combination.")
+  in
+  Cmd.v
+    (Cmd.info "litmus" ~doc:"Memory-fence litmus tests (Figure 4).")
+    Term.(const run $ runs)
+
+let sweep_cmd =
+  let run layout file specs =
+    let kernel = load_kernel file in
+    let setup machine = resolve_args machine kernel specs in
+    let result = Barracuda.Warp_sweep.sweep ~layout ~setup kernel in
+    Format.printf "%a" Barracuda.Warp_sweep.pp result;
+    if result.Barracuda.Warp_sweep.latent then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Hunt for latent warp-size assumptions by race-checking the \
+          kernel under several simulated warp widths.")
+    Term.(const run $ layout_term $ file_term $ args_term)
+
+let table1_cmd =
+  let run () =
+    List.iter
+      (fun (w : Workloads.Workload.t) ->
+        let det, _ = Workloads.Workload.run_detector w in
+        let report = Barracuda.Detector.report det in
+        let s, g = Workloads.Workload.racy_word_counts report in
+        Format.printf "%-18s %-9s threads=%-6d shared-races=%-4d global-races=%d@."
+          w.Workloads.Workload.name w.Workloads.Workload.suite
+          (Workloads.Workload.total_threads w)
+          s g)
+      Workloads.Registry.all;
+    0
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Race-check the 26 evaluation workloads.")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "binary-level data race detection for (simulated) CUDA kernels" in
+  let info = Cmd.info "barracuda" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            check_cmd; instrument_cmd; suite_cmd; litmus_cmd; table1_cmd;
+            sweep_cmd; replay_cmd;
+          ]))

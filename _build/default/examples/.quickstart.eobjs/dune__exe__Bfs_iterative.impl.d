@@ -1,0 +1,1 @@
+examples/bfs_iterative.ml: Barracuda Format Gpu_runtime Int64 List Ptx Simt Vclock

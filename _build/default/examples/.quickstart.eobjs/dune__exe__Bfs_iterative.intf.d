@@ -1,0 +1,1 @@
+examples/bfs_iterative.mli:

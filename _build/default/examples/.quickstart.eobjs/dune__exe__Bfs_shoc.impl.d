@@ -1,0 +1,1 @@
+examples/bfs_shoc.ml: Barracuda Format Int64 List Ptx Simt Vclock Workloads

@@ -1,0 +1,1 @@
+examples/hashtable_bug.ml: Barracuda Format Int64 List Ptx Simt Vclock

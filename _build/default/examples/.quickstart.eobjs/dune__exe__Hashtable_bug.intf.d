@@ -1,0 +1,1 @@
+examples/hashtable_bug.mli:

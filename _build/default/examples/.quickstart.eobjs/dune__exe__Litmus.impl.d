@@ -1,0 +1,1 @@
+examples/litmus.ml: Format List Memmodel

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Barracuda Format Int64 List Ptx Simt Vclock

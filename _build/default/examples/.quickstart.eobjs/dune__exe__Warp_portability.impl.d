@@ -1,0 +1,1 @@
+examples/warp_portability.ml: Array Barracuda Format Int64 List Ptx Simt Sys Vclock

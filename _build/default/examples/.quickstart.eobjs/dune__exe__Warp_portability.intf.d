@@ -1,0 +1,1 @@
+examples/warp_portability.mli:

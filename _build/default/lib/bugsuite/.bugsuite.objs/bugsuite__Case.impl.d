@@ -1,0 +1,1 @@
+lib/bugsuite/case.ml: Format Ptx Simt Vclock

@@ -1,0 +1,1 @@
+lib/bugsuite/case.mli: Format Ptx Simt Vclock

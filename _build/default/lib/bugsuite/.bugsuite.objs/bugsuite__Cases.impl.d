@@ -1,0 +1,1 @@
+lib/bugsuite/cases.ml: Array Case Common_sh Int64 List Printf Ptx Simt Vclock

@@ -1,0 +1,1 @@
+lib/bugsuite/cases.mli: Case

@@ -1,0 +1,1 @@
+lib/bugsuite/common_sh.ml: Ptx

@@ -1,0 +1,1 @@
+lib/bugsuite/harness.ml: Barracuda Bool Case Format Gtrace List Printf Simt

@@ -1,0 +1,1 @@
+lib/bugsuite/harness.mli: Case Format

@@ -1,0 +1,16 @@
+type verdict = Racy | Race_free
+
+type t = {
+  id : int;
+  name : string;
+  descr : string;
+  layout : Vclock.Layout.t;
+  kernel : Ptx.Ast.kernel;
+  setup : Simt.Machine.t -> int64 array;
+  verdict : verdict;
+  expect_bardiv : bool;
+}
+
+let pp_verdict ppf = function
+  | Racy -> Format.pp_print_string ppf "racy"
+  | Race_free -> Format.pp_print_string ppf "race-free"

@@ -1,0 +1,24 @@
+(** One program of the concurrency bug suite (§6.1).
+
+    Each case is a small kernel with a known ground-truth verdict:
+    whether an execution contains a data race (by the paper's
+    definition of synchronization order), and whether it executes a
+    barrier with inactive threads.  The suite exercises global and
+    shared memory, intra-warp / inter-warp / inter-block conflicts,
+    branch-ordering races, atomics, scoped fences, locks, flag
+    synchronization and whole-grid barriers. *)
+
+type verdict = Racy | Race_free
+
+type t = {
+  id : int;
+  name : string;
+  descr : string;
+  layout : Vclock.Layout.t;
+  kernel : Ptx.Ast.kernel;
+  setup : Simt.Machine.t -> int64 array;
+  verdict : verdict;
+  expect_bardiv : bool;  (** a barrier-divergence error is expected *)
+}
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,793 @@
+(* The 66-program concurrency bug suite (paper §6.1).
+
+   Conventions: the default grid is 2 blocks x 64 threads (2 warps per
+   block, warp size 32).  Kernels take parameters that are each backed
+   by a freshly-allocated, zero-initialized 64-word global array.
+   Ground-truth verdicts follow the paper's definition of
+   synchronization order: lockstep warp execution orders accesses in
+   different instructions of the same warp path; divergent branch paths
+   are concurrent; barriers synchronize a block; release/acquire pairs
+   (fence-qualified loads/stores/atomics) synchronize at block or
+   global scope; bare atomics are atomic but do not synchronize. *)
+
+open Ptx.Builder
+module Ast = Ptx.Ast
+
+let tid = Ast.Sreg Ast.Tid
+let std_layout = Vclock.Layout.make ~warp_size:32 ~threads_per_block:64 ~blocks:2
+
+let std_setup nparams m =
+  Array.init nparams (fun _ ->
+      Int64.of_int (Simt.Machine.alloc_global m (64 * 4)))
+
+let cases = ref []
+let next_id = ref 0
+
+let case ?(layout = std_layout) ?(nparams = 1) ?setup ?(bardiv = false) ~verdict
+    name descr build =
+  incr next_id;
+  let params = List.init nparams (fun i -> Printf.sprintf "p%d" i) in
+  let shared = [ ("smem", 64 * 4); ("smem2", 64 * 4) ] in
+  let b = create ~params ~shared name in
+  build b;
+  let kernel = finish b in
+  let setup = match setup with Some s -> s | None -> std_setup nparams in
+  cases :=
+    {
+      Case.id = !next_id;
+      name;
+      descr;
+      layout;
+      kernel;
+      setup;
+      verdict;
+      expect_bardiv = bardiv;
+    }
+    :: !cases
+
+(* helpers ---------------------------------------------------------- *)
+
+let only_tid b n body = if_ b Ast.C_eq tid (imm n) body
+let only_warp0_lane b n body = only_tid b n body
+let only_warp1_lane b n body = only_tid b (32 + n) body
+
+(* a thread-private global slot: p0[gtid] *)
+let own_slot b base =
+  let g = global_tid b in
+  let a = fresh_reg ~cls:"rd" b in
+  mad b a (reg g) (imm 4) (sym base);
+  a
+
+(* ------------------------------------------------------------------ *)
+(* Family A: write-write conflicts on plain accesses                   *)
+
+let () =
+  case ~verdict:Case.Racy "ww_global_inter_block"
+    "two blocks write the same global word with different values" (fun b ->
+      only_tid b 0 (fun b ->
+          let v = fresh_reg b in
+          binop b Ast.B_add v (Ast.Sreg Ast.Ctaid) (imm 1);
+          st b (sym "p0") (reg v)));
+  case ~verdict:Case.Racy "ww_global_inter_warp"
+    "two warps of one block write the same global word" (fun b ->
+      only_warp0_lane b 0 (fun b -> st b (sym "p0") (imm 1));
+      only_warp1_lane b 0 (fun b -> st b (sym "p0") (imm 2)));
+  case ~verdict:Case.Race_free "ww_global_intra_warp_same_value"
+    "all lanes of one warp store the same value to one word (defined)"
+    (fun b ->
+      if_ b Ast.C_eq (Ast.Sreg Ast.Ctaid) (imm 0) (fun b ->
+          if_ b Ast.C_lt tid (imm 32) (fun b -> st b (sym "p0") (imm 7))));
+  case ~verdict:Case.Racy "ww_global_intra_warp_diff_value"
+    "lanes of one warp store lane-dependent values to one word" (fun b ->
+      if_ b Ast.C_eq (Ast.Sreg Ast.Ctaid) (imm 0) (fun b ->
+          if_ b Ast.C_lt tid (imm 32) (fun b -> st b (sym "p0") tid)));
+  case ~verdict:Case.Racy "ww_shared_inter_warp"
+    "two warps write the same shared word" (fun b ->
+      only_warp0_lane b 0 (fun b -> st ~space:Ast.Shared b (sym "smem") (imm 1));
+      only_warp1_lane b 0 (fun b -> st ~space:Ast.Shared b (sym "smem") (imm 2)));
+  case ~verdict:Case.Racy "ww_shared_intra_warp_diff_value"
+    "lanes of one warp store distinct values to one shared word" (fun b ->
+      if_ b Ast.C_lt tid (imm 32) (fun b -> st ~space:Ast.Shared b (sym "smem") tid));
+  case ~verdict:Case.Race_free "ww_shared_intra_warp_same_value"
+    "lanes of one warp store the same value to one shared word" (fun b ->
+      if_ b Ast.C_lt tid (imm 32) (fun b ->
+          st ~space:Ast.Shared b (sym "smem") (imm 3)));
+  case ~verdict:Case.Race_free "ww_global_disjoint"
+    "every thread writes its own global slot" (fun b ->
+      let a = own_slot b "p0" in
+      st b (reg a) tid);
+  case ~verdict:Case.Race_free "ww_shared_disjoint"
+    "every thread writes its own shared slot" (fun b ->
+      let a = Common_sh.shared_slot b "smem" in
+      st ~space:Ast.Shared b (reg a) tid)
+
+(* ------------------------------------------------------------------ *)
+(* Family B: read-write conflicts                                      *)
+
+let () =
+  case ~verdict:Case.Racy "rw_global_inter_block"
+    "block 0 writes a global word block 1 reads" (fun b ->
+      if_else b Ast.C_eq (Ast.Sreg Ast.Ctaid) (imm 0)
+        (fun b -> only_tid b 0 (fun b -> st b (sym "p0") (imm 1)))
+        (fun b ->
+          only_tid b 0 (fun b ->
+              let v = fresh_reg b in
+              ld b v (sym "p0"))));
+  case ~verdict:Case.Racy "rw_global_inter_warp"
+    "warp 0 writes a global word warp 1 reads" (fun b ->
+      only_warp0_lane b 0 (fun b -> st b (sym "p0") (imm 1));
+      only_warp1_lane b 0 (fun b ->
+          let v = fresh_reg b in
+          ld b v (sym "p0")));
+  case ~verdict:Case.Racy "rw_shared_inter_warp"
+    "warp 0 writes a shared word warp 1 reads" (fun b ->
+      only_warp0_lane b 0 (fun b -> st ~space:Ast.Shared b (sym "smem") (imm 1));
+      only_warp1_lane b 0 (fun b ->
+          let v = fresh_reg b in
+          ld ~space:Ast.Shared b v (sym "smem")));
+  case ~verdict:Case.Race_free "rr_global"
+    "everyone reads the same global word" (fun b ->
+      let v = fresh_reg b in
+      ld b v (sym "p0"));
+  case ~verdict:Case.Race_free "rw_same_thread"
+    "one thread reads then writes then reads its slot" (fun b ->
+      if_ b Ast.C_eq (Ast.Sreg Ast.Ctaid) (imm 0) (fun b ->
+      only_tid b 5 (fun b ->
+          let v = fresh_reg b in
+          ld b v (sym "p0");
+          binop b Ast.B_add v (reg v) (imm 1);
+          st b (sym "p0") (reg v);
+          ld b v (sym "p0"))))
+
+(* ------------------------------------------------------------------ *)
+(* Family C: block barriers                                            *)
+
+let () =
+  case ~verdict:Case.Race_free "bar_shared_handoff"
+    "thread 0 writes shared, barrier, everyone reads" (fun b ->
+      only_tid b 0 (fun b -> st ~space:Ast.Shared b (sym "smem") (imm 42));
+      bar b;
+      let v = fresh_reg b in
+      ld ~space:Ast.Shared b v (sym "smem"));
+  case ~verdict:Case.Racy "nobar_shared_handoff"
+    "thread 0 writes shared, everyone reads with no barrier" (fun b ->
+      only_tid b 0 (fun b -> st ~space:Ast.Shared b (sym "smem") (imm 42));
+      let v = fresh_reg b in
+      ld ~space:Ast.Shared b v (sym "smem"));
+  case ~verdict:Case.Race_free "bar_global_same_block"
+    "per-block global word: write, barrier, read within the block"
+    (fun b ->
+      let a = fresh_reg ~cls:"rd" b in
+      mad b a (Ast.Sreg Ast.Ctaid) (imm 4) (sym "p0");
+      only_tid b 0 (fun b -> st b (reg a) (imm 9));
+      bar b;
+      let v = fresh_reg b in
+      ld b v (reg a));
+  case ~verdict:Case.Racy "bar_global_cross_block"
+    "barriers do not synchronize blocks: write in block 0, read in block 1 around barriers"
+    (fun b ->
+      if_ b Ast.C_eq (Ast.Sreg Ast.Ctaid) (imm 0) (fun b ->
+          only_tid b 0 (fun b -> st b (sym "p0") (imm 1)));
+      bar b;
+      if_ b Ast.C_eq (Ast.Sreg Ast.Ctaid) (imm 1) (fun b ->
+          only_tid b 0 (fun b ->
+              let v = fresh_reg b in
+              ld b v (sym "p0"))));
+  case ~verdict:Case.Race_free "double_barrier_phases"
+    "write phase, barrier, swap roles, barrier, read phase" (fun b ->
+      let a = Common_sh.shared_slot b "smem" in
+      st ~space:Ast.Shared b (reg a) tid;
+      bar b;
+      (* read the neighbour's slot *)
+      let n = fresh_reg b in
+      binop b Ast.B_add n tid (imm 1);
+      binop b Ast.B_and n (reg n) (imm 63);
+      let na = Common_sh.shared_slot_of b "smem" (reg n) in
+      let v = fresh_reg b in
+      ld ~space:Ast.Shared b v (reg na);
+      bar b;
+      st ~space:Ast.Shared b (reg a) (reg v));
+  case ~verdict:Case.Race_free ~bardiv:true "barrier_divergence"
+    "a guarded barrier executes with half the block inactive" (fun b ->
+      if_ b Ast.C_lt tid (imm 32) (fun b -> bar b);
+      let a = Common_sh.shared_slot b "smem" in
+      st ~space:Ast.Shared b (reg a) tid);
+  case ~verdict:Case.Race_free "write_before_and_after_bar"
+    "same thread set writes before and after a barrier" (fun b ->
+      let a = Common_sh.shared_slot b "smem" in
+      st ~space:Ast.Shared b (reg a) (imm 1);
+      bar b;
+      (* everyone rewrites the neighbour's slot: ordered by the barrier *)
+      let n = fresh_reg b in
+      binop b Ast.B_add n tid (imm 3);
+      binop b Ast.B_and n (reg n) (imm 63);
+      let na = Common_sh.shared_slot_of b "smem" (reg n) in
+      st ~space:Ast.Shared b (reg na) (imm 2))
+
+(* ------------------------------------------------------------------ *)
+(* Family D: warp lockstep and branch-ordering                         *)
+
+let () =
+  case ~verdict:Case.Race_free "lockstep_orders_instructions"
+    "lane 0 writes a shared word, lane 1 reads it in a later instruction"
+    (fun b ->
+      if_ b Ast.C_lt tid (imm 32) (fun b ->
+          only_tid b 0 (fun b -> st ~space:Ast.Shared b (sym "smem") (imm 5)));
+      (* all warp-0 lanes read after reconvergence: ordered by endi *)
+      if_ b Ast.C_lt tid (imm 32) (fun b ->
+          let v = fresh_reg b in
+          ld ~space:Ast.Shared b v (sym "smem")));
+  case ~verdict:Case.Racy "branch_ordering_ww"
+    "then-path and else-path of one warp write the same shared word"
+    (fun b ->
+      let half = fresh_reg b in
+      binop b Ast.B_and half tid (imm 1);
+      if_else b Ast.C_eq (reg half) (imm 0)
+        (fun b -> st ~space:Ast.Shared b (sym "smem") (imm 1))
+        (fun b -> st ~space:Ast.Shared b (sym "smem") (imm 2)));
+  case ~verdict:Case.Racy "branch_ordering_rw"
+    "then-path writes what the else-path reads" (fun b ->
+      let half = fresh_reg b in
+      binop b Ast.B_and half tid (imm 1);
+      if_else b Ast.C_eq (reg half) (imm 0)
+        (fun b ->
+          only_tid b 0 (fun b -> st ~space:Ast.Shared b (sym "smem") (imm 1)))
+        (fun b ->
+          only_tid b 1 (fun b ->
+              let v = fresh_reg b in
+              ld ~space:Ast.Shared b v (sym "smem"))));
+  case ~verdict:Case.Race_free "branch_paths_disjoint"
+    "then and else paths write disjoint shared slots" (fun b ->
+      let half = fresh_reg b in
+      binop b Ast.B_and half tid (imm 1);
+      if_else b Ast.C_eq (reg half) (imm 0)
+        (fun b ->
+          let a = Common_sh.shared_slot b "smem" in
+          st ~space:Ast.Shared b (reg a) (imm 1))
+        (fun b ->
+          let a = Common_sh.shared_slot b "smem2" in
+          st ~space:Ast.Shared b (reg a) (imm 2)));
+  case ~verdict:Case.Racy "nested_branch_conflict"
+    "paths of a nested divergence write the same shared word" (fun b ->
+      if_ b Ast.C_lt tid (imm 32) (fun b ->
+          let q = fresh_reg b in
+          binop b Ast.B_and q tid (imm 3);
+          if_ b Ast.C_lt (reg q) (imm 2) (fun b ->
+              if_else b Ast.C_eq (reg q) (imm 0)
+                (fun b -> st ~space:Ast.Shared b (sym "smem") (imm 1))
+                (fun b -> st ~space:Ast.Shared b (sym "smem") (imm 2)))));
+  case ~verdict:Case.Race_free "nested_branch_disjoint"
+    "nested divergence paths touch disjoint data" (fun b ->
+      if_ b Ast.C_lt tid (imm 32) (fun b ->
+          let q = fresh_reg b in
+          binop b Ast.B_and q tid (imm 1);
+          if_else b Ast.C_eq (reg q) (imm 0)
+            (fun b ->
+              let a = Common_sh.shared_slot b "smem" in
+              st ~space:Ast.Shared b (reg a) (imm 1))
+            (fun b ->
+              let a = Common_sh.shared_slot b "smem2" in
+              st ~space:Ast.Shared b (reg a) (imm 2))));
+  case ~verdict:Case.Race_free "reconvergence_orders"
+    "a write inside a branch is ordered before a read after reconvergence"
+    (fun b ->
+      if_ b Ast.C_lt tid (imm 32) (fun b ->
+          only_tid b 3 (fun b -> st ~space:Ast.Shared b (sym "smem") (imm 8));
+          (* after fi: all warp-0 lanes read *)
+          let v = fresh_reg b in
+          ld ~space:Ast.Shared b v (sym "smem")));
+  case ~verdict:Case.Race_free "pre_branch_write_in_branch_read"
+    "a pre-branch write is ordered before reads inside branch paths"
+    (fun b ->
+      if_ b Ast.C_lt tid (imm 32) (fun b ->
+          only_tid b 0 (fun b -> st ~space:Ast.Shared b (sym "smem") (imm 4));
+          let half = fresh_reg b in
+          binop b Ast.B_and half tid (imm 1);
+          if_else b Ast.C_eq (reg half) (imm 0)
+            (fun b ->
+              let v = fresh_reg b in
+              ld ~space:Ast.Shared b v (sym "smem"))
+            (fun b ->
+              let v = fresh_reg b in
+              ld ~space:Ast.Shared b v (sym "smem"))));
+  case ~verdict:Case.Racy "loop_divergence_conflict"
+    "threads leave a loop at different trip counts; a late iteration writes what an exited thread wrote"
+    (fun b ->
+      if_ b Ast.C_lt tid (imm 32) (fun b ->
+          (* trips = 1 for even lanes, 2 for odd lanes *)
+          let trips = fresh_reg b in
+          binop b Ast.B_and trips tid (imm 1);
+          binop b Ast.B_add trips (reg trips) (imm 1);
+          let i = fresh_reg b in
+          mov b i (imm 0);
+          while_ b Ast.C_lt (fun _ -> (reg i, reg trips)) (fun b ->
+              (* lane-dependent store to one word each iteration *)
+              st ~space:Ast.Shared b (sym "smem") tid;
+              binop b Ast.B_add i (reg i) (imm 1))))
+
+(* ------------------------------------------------------------------ *)
+(* Family E: atomics                                                   *)
+
+let () =
+  case ~verdict:Case.Race_free "atomics_dont_race"
+    "every thread atomically increments one global word" (fun b ->
+      let old = fresh_reg b in
+      atom b Ast.A_add old (sym "p0") (imm 1));
+  case ~verdict:Case.Racy "atomic_vs_plain_write"
+    "an atomic increment races with a plain store to the same word"
+    (fun b ->
+      only_warp0_lane b 0 (fun b -> st b (sym "p0") (imm 5));
+      only_warp1_lane b 0 (fun b ->
+          let old = fresh_reg b in
+          atom b Ast.A_add old (sym "p0") (imm 1)));
+  case ~verdict:Case.Racy "atomic_vs_plain_read"
+    "an atomic update races with a plain load of the same word" (fun b ->
+      only_warp0_lane b 0 (fun b ->
+          let v = fresh_reg b in
+          ld b v (sym "p0"));
+      only_warp1_lane b 0 (fun b ->
+          let old = fresh_reg b in
+          atom b Ast.A_exch old (sym "p0") (imm 1)));
+  case ~verdict:Case.Racy "atomics_dont_synchronize"
+    "a bare atomic handshake does not order the data it guards" (fun b ->
+      (* block 0: write data then set flag atomically; block 1: spin on
+         the flag atomically then read data.  No fences: the atomics are
+         atomic but induce no synchronization order. *)
+      if_else b Ast.C_eq (Ast.Sreg Ast.Ctaid) (imm 0)
+        (fun b ->
+          only_tid b 0 (fun b ->
+              st b (sym "p0") (imm 99);
+              let old = fresh_reg b in
+              atom b Ast.A_exch old (sym "p1") (imm 1)))
+        (fun b ->
+          only_tid b 0 (fun b ->
+              let seen = fresh_reg b in
+              mov b seen (imm 0);
+              while_ b Ast.C_eq (fun _ -> (reg seen, imm 0)) (fun b ->
+                  atom_cas b seen (sym "p1") (imm (-1)) (imm (-1)));
+              let v = fresh_reg b in
+              ld b v (sym "p0"))))
+    ~nparams:2;
+  case ~verdict:Case.Race_free "atomic_histogram_then_bar"
+    "shared histogram by atomics, barrier, disjoint readback" (fun b ->
+      let bin = fresh_reg b in
+      binop b Ast.B_and bin tid (imm 15);
+      let a = Common_sh.shared_slot_of b "smem" (reg bin) in
+      let old = fresh_reg b in
+      atom ~space:Ast.Shared b Ast.A_add old (reg a) (imm 1);
+      bar b;
+      if_ b Ast.C_lt tid (imm 16) (fun b ->
+          let a = Common_sh.shared_slot b "smem" in
+          let v = fresh_reg b in
+          ld ~space:Ast.Shared b v (reg a)))
+
+(* ------------------------------------------------------------------ *)
+(* Family F: locks                                                     *)
+
+let lock_critical b data =
+  let v = fresh_reg b in
+  ld b v (sym data);
+  binop b Ast.B_add v (reg v) (imm 1);
+  st b (sym data) (reg v)
+
+let () =
+  case ~verdict:Case.Race_free ~nparams:2 "lock_global_fenced"
+    "a globally-fenced CAS lock protects a counter across blocks" (fun b ->
+      only_tid b 0 (fun b ->
+          spin_lock b (sym "p0");
+          lock_critical b "p1";
+          spin_unlock b (sym "p0")));
+  case ~verdict:Case.Racy ~nparams:2 "lock_missing_acquire_fence"
+    "no fence after the CAS: the critical section is unordered" (fun b ->
+      only_tid b 0 (fun b ->
+          spin_lock ~fenced:false b (sym "p0");
+          lock_critical b "p1";
+          spin_unlock b (sym "p0")));
+  case ~verdict:Case.Racy ~nparams:2 "lock_unlock_plain_store"
+    "unlock by unfenced plain store (the hashtable bug)" (fun b ->
+      only_tid b 0 (fun b ->
+          spin_lock b (sym "p0");
+          lock_critical b "p1";
+          spin_unlock ~fenced:false ~atomic:false b (sym "p0")));
+  case ~verdict:Case.Racy ~nparams:2 "lock_cta_fence_cross_block"
+    "membar.cta is too weak to lock across blocks" (fun b ->
+      only_tid b 0 (fun b ->
+          (* cta-scoped lock: cas; fence.cta ... fence.cta; exch *)
+          let old = fresh_reg b in
+          let l = fresh_label b in
+          place_label b l;
+          atom_cas b old (sym "p0") (imm 0) (imm 1);
+          let p = fresh_reg ~cls:"p" b in
+          setp b Ast.C_ne p (reg old) (imm 0);
+          bra ~guard:(true, p) b l;
+          membar b Ast.Cta;
+          lock_critical b "p1";
+          membar b Ast.Cta;
+          let o2 = fresh_reg b in
+          atom b Ast.A_exch o2 (sym "p0") (imm 0)));
+  case ~verdict:Case.Race_free "lock_cta_fence_same_block"
+    "a cta-fenced shared-memory lock is enough within one block" (fun b ->
+      (* one thread per warp contends on a shared lock protecting a
+         shared counter *)
+      if_ b Ast.C_eq (Ast.Sreg Ast.Laneid) (imm 0) (fun b ->
+          let got = fresh_reg b in
+          mov b got (imm 0);
+          while_ b Ast.C_eq (fun _ -> (reg got, imm 0)) (fun b ->
+              let old = fresh_reg b in
+              atom_cas ~space:Ast.Shared b old (sym "smem") (imm 0) (imm 1);
+              if_ b Ast.C_eq (reg old) (imm 0) (fun b ->
+                  membar b Ast.Cta;
+                  let v = fresh_reg b in
+                  ld ~space:Ast.Shared b ~offset:4 v (sym "smem");
+                  binop b Ast.B_add v (reg v) (imm 1);
+                  st ~space:Ast.Shared b ~offset:4 (sym "smem") (reg v);
+                  membar b Ast.Cta;
+                  let o2 = fresh_reg b in
+                  atom ~space:Ast.Shared b Ast.A_exch o2 (sym "smem") (imm 0);
+                  mov b got (imm 1)))));
+  case ~verdict:Case.Racy ~nparams:3 "lock_protects_only_some_accesses"
+    "one access to the shared counter bypasses the lock" (fun b ->
+      only_tid b 0 (fun b ->
+          spin_lock b (sym "p0");
+          lock_critical b "p1";
+          spin_unlock b (sym "p0"));
+      (* the stray writer sits in another warp, so warp lockstep cannot
+         order it after the critical sections *)
+      if_ b Ast.C_eq tid (imm 33) (fun b ->
+          if_ b Ast.C_eq (Ast.Sreg Ast.Ctaid) (imm 1) (fun b ->
+              st b (sym "p1") (imm 77))));
+  case ~verdict:Case.Race_free ~nparams:4 "two_locks_disjoint_data"
+    "two locks protecting two counters" (fun b ->
+      only_tid b 0 (fun b ->
+          spin_lock b (sym "p0");
+          lock_critical b "p1";
+          spin_unlock b (sym "p0"));
+      if_ b Ast.C_eq tid (imm 32) (fun b ->
+          spin_lock b (sym "p2");
+          lock_critical b "p3";
+          spin_unlock b (sym "p2")))
+
+(* ------------------------------------------------------------------ *)
+(* Family G: flag synchronization (release/acquire)                    *)
+
+(* writer (block 0, thread 0): store data; fence; set flag.
+   reader (block 1, thread 0): CAS-spin on flag; fence; load data. *)
+let flag_handoff b ~writer_fence ~reader_fence ~wf_scope ~rf_scope =
+  if_else b Ast.C_eq (Ast.Sreg Ast.Ctaid) (imm 0)
+    (fun b ->
+      only_tid b 0 (fun b ->
+          st b (sym "p0") (imm 123);
+          if writer_fence then membar b wf_scope;
+          st b (sym "p1") (imm 1)))
+    (fun b ->
+      only_tid b 0 (fun b ->
+          let seen = fresh_reg b in
+          mov b seen (imm 0);
+          let l = fresh_label b in
+          place_label b l;
+          atom_cas b seen (sym "p1") (imm (-1)) (imm (-1));
+          let p = fresh_reg ~cls:"p" b in
+          setp b Ast.C_eq p (reg seen) (imm 0);
+          bra ~guard:(true, p) b l;
+          if reader_fence then membar b rf_scope;
+          let v = fresh_reg b in
+          ld b v (sym "p0")))
+
+let () =
+  case ~verdict:Case.Race_free ~nparams:2 "flag_handoff_gl_gl"
+    "message passing with global fences on both sides" (fun b ->
+      flag_handoff b ~writer_fence:true ~reader_fence:true ~wf_scope:Ast.Gl
+        ~rf_scope:Ast.Gl);
+  case ~verdict:Case.Racy ~nparams:2 "flag_handoff_no_writer_fence"
+    "message passing without the writer's fence" (fun b ->
+      flag_handoff b ~writer_fence:false ~reader_fence:true ~wf_scope:Ast.Gl
+        ~rf_scope:Ast.Gl);
+  case ~verdict:Case.Racy ~nparams:2 "flag_handoff_no_reader_fence"
+    "message passing without the reader's fence" (fun b ->
+      flag_handoff b ~writer_fence:true ~reader_fence:false ~wf_scope:Ast.Gl
+        ~rf_scope:Ast.Gl);
+  case ~verdict:Case.Racy ~nparams:2 "flag_handoff_cta_cta_cross_block"
+    "message passing with cta fences across blocks (the Figure 4 weakness)"
+    (fun b ->
+      flag_handoff b ~writer_fence:true ~reader_fence:true ~wf_scope:Ast.Cta
+        ~rf_scope:Ast.Cta);
+  case ~verdict:Case.Race_free ~nparams:2 "flag_handoff_gl_cta_cross_block"
+    "one global fence restores order even if the other side is cta-scoped"
+    (fun b ->
+      (* global release by the writer synchronizes with a block-scoped
+         acquire in another block (RELGLOBAL sets every block's clock) *)
+      flag_handoff b ~writer_fence:true ~reader_fence:true ~wf_scope:Ast.Gl
+        ~rf_scope:Ast.Cta);
+  case ~verdict:Case.Race_free "flag_handoff_cta_within_block"
+    "cta-fenced message passing between warps of one block" (fun b ->
+      only_warp0_lane b 0 (fun b ->
+          st ~space:Ast.Shared b ~offset:8 (sym "smem") (imm 55);
+          membar b Ast.Cta;
+          st ~space:Ast.Shared b (sym "smem") (imm 1));
+      only_warp1_lane b 0 (fun b ->
+          let seen = fresh_reg b in
+          mov b seen (imm 0);
+          let l = fresh_label b in
+          place_label b l;
+          atom_cas ~space:Ast.Shared b seen (sym "smem") (imm (-1)) (imm (-1));
+          let p = fresh_reg ~cls:"p" b in
+          setp b Ast.C_eq p (reg seen) (imm 0);
+          bra ~guard:(true, p) b l;
+          membar b Ast.Cta;
+          let v = fresh_reg b in
+          ld ~space:Ast.Shared b ~offset:8 v (sym "smem")));
+  case ~verdict:Case.Race_free ~nparams:3 "acqrel_atomic_chain"
+    "fence-sandwiched atomics form a release/acquire chain across blocks"
+    (fun b ->
+      only_tid b 0 (fun b ->
+          (* every block: write its slot, then acq-rel increment the
+             shared ticket; the block seeing the final ticket value reads
+             both slots *)
+          let a = fresh_reg ~cls:"rd" b in
+          mad b a (Ast.Sreg Ast.Ctaid) (imm 4) (sym "p0");
+          st b (reg a) (imm 11);
+          membar b Ast.Gl;
+          let ticket = fresh_reg b in
+          atom b Ast.A_add ticket (sym "p1") (imm 1);
+          membar b Ast.Gl;
+          if_ b Ast.C_eq (reg ticket) (imm 1) (fun b ->
+              let v0 = fresh_reg b in
+              ld b v0 (sym "p0");
+              let v1 = fresh_reg b in
+              ld b ~offset:4 v1 (sym "p0"))))
+
+(* ------------------------------------------------------------------ *)
+(* Family H: whole-grid barrier                                        *)
+
+let grid_barrier b ~fenced =
+  (* classic two-phase sense barrier on p1 (arrive counter), done by
+     thread 0 of each block; other threads wait at a block barrier *)
+  only_tid b 0 (fun b ->
+      if fenced then membar b Ast.Gl;
+      let old = fresh_reg b in
+      atom b Ast.A_add old (sym "p1") (imm 1);
+      if fenced then membar b Ast.Gl;
+      let seen = fresh_reg b in
+      mov b seen (imm 0);
+      let l = fresh_label b in
+      place_label b l;
+      atom_cas b seen (sym "p1") (imm (-1)) (imm (-1));
+      let p = fresh_reg ~cls:"p" b in
+      setp b Ast.C_lt p (reg seen) (imm 2);
+      bra ~guard:(true, p) b l;
+      if fenced then membar b Ast.Gl);
+  bar b
+
+let () =
+  case ~verdict:Case.Race_free ~nparams:2 "grid_barrier_fenced"
+    "a fenced atomic grid barrier orders cross-block accesses" (fun b ->
+      only_tid b 0 (fun b ->
+          let a = fresh_reg ~cls:"rd" b in
+          mad b a (Ast.Sreg Ast.Ctaid) (imm 4) (sym "p0");
+          st b (reg a) (imm 5));
+      grid_barrier b ~fenced:true;
+      only_tid b 0 (fun b ->
+          (* read the other block's slot *)
+          let other = fresh_reg b in
+          binop b Ast.B_xor other (Ast.Sreg Ast.Ctaid) (imm 1);
+          let a = fresh_reg ~cls:"rd" b in
+          mad b a (reg other) (imm 4) (sym "p0");
+          let v = fresh_reg b in
+          ld b v (reg a)));
+  case ~verdict:Case.Racy ~nparams:2 "grid_barrier_unfenced"
+    "the same grid barrier without fences does not synchronize" (fun b ->
+      only_tid b 0 (fun b ->
+          let a = fresh_reg ~cls:"rd" b in
+          mad b a (Ast.Sreg Ast.Ctaid) (imm 4) (sym "p0");
+          st b (reg a) (imm 5));
+      grid_barrier b ~fenced:false;
+      only_tid b 0 (fun b ->
+          let other = fresh_reg b in
+          binop b Ast.B_xor other (Ast.Sreg Ast.Ctaid) (imm 1);
+          let a = fresh_reg ~cls:"rd" b in
+          mad b a (reg other) (imm 4) (sym "p0");
+          let v = fresh_reg b in
+          ld b v (reg a)))
+
+(* ------------------------------------------------------------------ *)
+(* Family I: synchronization locations reused as data                  *)
+
+let () =
+  case ~verdict:Case.Racy ~nparams:2 "sync_loc_reused_as_data_racy"
+    "the lock word doubles as data: a plain read and a plain write of it race"
+    (fun b ->
+      only_tid b 0 (fun b ->
+          spin_lock b (sym "p0");
+          lock_critical b "p1";
+          spin_unlock b (sym "p0"));
+      (* stray plain accesses to the lock word from unsynchronized warps
+         in different blocks (value 0 so the lock cannot wedge) *)
+      if_ b Ast.C_eq tid (imm 33) (fun b ->
+          if_else b Ast.C_eq (Ast.Sreg Ast.Ctaid) (imm 0)
+            (fun b -> st b (sym "p0") (imm 0))
+            (fun b ->
+              let v = fresh_reg b in
+              ld b v (sym "p0"))));
+  case ~verdict:Case.Race_free "sync_loc_reused_after_barrier"
+    "a shared flag word is reused as data after a barrier" (fun b ->
+      only_tid b 0 (fun b -> st ~space:Ast.Shared b (sym "smem") (imm 1));
+      bar b;
+      let v = fresh_reg b in
+      ld ~space:Ast.Shared b v (sym "smem");
+      bar b;
+      only_tid b 7 (fun b -> st ~space:Ast.Shared b (sym "smem") (imm 2)))
+
+(* ------------------------------------------------------------------ *)
+(* Family J: access granularity                                        *)
+
+let () =
+  case ~verdict:Case.Racy "overlap_word_vs_byte"
+    "a 4-byte store overlaps a 1-byte store by another warp" (fun b ->
+      only_warp0_lane b 0 (fun b -> st ~width:4 b (sym "p0") (imm 257));
+      only_warp1_lane b 0 (fun b ->
+          st ~width:1 b ~offset:2 (sym "p0") (imm 9)));
+  case ~verdict:Case.Race_free "adjacent_bytes_disjoint"
+    "1-byte stores to adjacent addresses do not conflict" (fun b ->
+      if_ b Ast.C_eq (Ast.Sreg Ast.Ctaid) (imm 0) (fun b ->
+          only_warp0_lane b 0 (fun b -> st ~width:1 b (sym "p0") (imm 1));
+          only_warp1_lane b 0 (fun b ->
+              st ~width:1 b ~offset:1 (sym "p0") (imm 2))));
+  case ~verdict:Case.Racy "misaligned_read_overlap"
+    "a wide load overlaps a narrow store by another block" (fun b ->
+      if_else b Ast.C_eq (Ast.Sreg Ast.Ctaid) (imm 0)
+        (fun b ->
+          only_tid b 0 (fun b ->
+              let v = fresh_reg b in
+              ld ~width:8 b v (sym "p0")))
+        (fun b ->
+          only_tid b 0 (fun b -> st ~width:2 b ~offset:6 (sym "p0") (imm 3))));
+  case ~verdict:Case.Race_free "wide_disjoint"
+    "8-byte stores to disjoint ranges" (fun b ->
+      if_ b Ast.C_eq (Ast.Sreg Ast.Ctaid) (imm 0) (fun b ->
+          only_warp0_lane b 0 (fun b -> st ~width:8 b (sym "p0") (imm 1));
+          only_warp1_lane b 0 (fun b ->
+              st ~width:8 b ~offset:8 (sym "p0") (imm 2))))
+
+(* ------------------------------------------------------------------ *)
+(* Family K: predication and partial warps                             *)
+
+let () =
+  case ~verdict:Case.Racy "predicated_store_conflict"
+    "predicated stores from two warps hit the same word" (fun b ->
+      let p = fresh_reg ~cls:"p" b in
+      setp b Ast.C_eq p (Ast.Sreg Ast.Laneid) (imm 0);
+      st b ~guard:(true, p) (sym "p0") tid);
+  case
+    ~layout:(Vclock.Layout.make ~warp_size:32 ~threads_per_block:48 ~blocks:2)
+    ~verdict:Case.Race_free "partial_warp_disjoint"
+    "a partial trailing warp writes disjoint slots" (fun b ->
+      let a = own_slot b "p0" in
+      st b (reg a) tid);
+  case
+    ~layout:(Vclock.Layout.make ~warp_size:32 ~threads_per_block:48 ~blocks:2)
+    ~verdict:Case.Racy "partial_warp_conflict"
+    "the partial warp conflicts with the full warp" (fun b ->
+      only_tid b 0 (fun b -> st b (sym "p0") (imm 1));
+      only_tid b 40 (fun b -> st b (sym "p0") (imm 2)))
+
+(* ------------------------------------------------------------------ *)
+(* Family L: compositions                                              *)
+
+let () =
+  case ~verdict:Case.Racy "bar_then_cross_block_conflict"
+    "a block barrier precedes an inter-block conflict" (fun b ->
+      bar b;
+      only_tid b 0 (fun b -> st b (sym "p0") (Ast.Sreg Ast.Ctaid)));
+  case ~verdict:Case.Racy ~nparams:2 "exch_handoff_unfenced"
+    "handing data through atomicExch without fences" (fun b ->
+      if_else b Ast.C_eq (Ast.Sreg Ast.Ctaid) (imm 0)
+        (fun b ->
+          only_tid b 0 (fun b ->
+              st b (sym "p0") (imm 31);
+              let o = fresh_reg b in
+              atom b Ast.A_exch o (sym "p1") (imm 1)))
+        (fun b ->
+          only_tid b 0 (fun b ->
+              let seen = fresh_reg b in
+              mov b seen (imm 0);
+              while_ b Ast.C_eq (fun _ -> (reg seen, imm 0)) (fun b ->
+                  atom_cas b seen (sym "p1") (imm (-1)) (imm (-1)));
+              let v = fresh_reg b in
+              ld b v (sym "p0"))));
+  case ~verdict:Case.Race_free ~nparams:3 "transitive_release_chain"
+    "A releases to B, B acq-rel to C: A's write is ordered before C's read"
+    (fun b ->
+      (* thread 0 (block 0): write data, release flag1.
+         thread 32 (block 0): acquire flag1, acq-rel flag2.
+         thread 0 (block 1): acquire flag2, read data. *)
+      if_ b Ast.C_eq (Ast.Sreg Ast.Ctaid) (imm 0) (fun b ->
+      only_tid b 0 (fun b ->
+          st b (sym "p0") (imm 1);
+          membar b Ast.Gl;
+          st b (sym "p1") (imm 1)));
+      if_ b Ast.C_eq (Ast.Sreg Ast.Ctaid) (imm 0) (fun b ->
+      only_tid b 32 (fun b ->
+          let seen = fresh_reg b in
+          mov b seen (imm 0);
+          let l = fresh_label b in
+          place_label b l;
+          atom_cas b seen (sym "p1") (imm (-1)) (imm (-1));
+          let p = fresh_reg ~cls:"p" b in
+          setp b Ast.C_eq p (reg seen) (imm 0);
+          bra ~guard:(true, p) b l;
+          membar b Ast.Gl;
+          let o = fresh_reg b in
+          atom b Ast.A_exch o (sym "p2") (imm 1);
+          membar b Ast.Gl));
+      if_ b Ast.C_eq (Ast.Sreg Ast.Ctaid) (imm 1) (fun b ->
+          only_tid b 0 (fun b ->
+              let seen = fresh_reg b in
+              mov b seen (imm 0);
+              let l = fresh_label b in
+              place_label b l;
+              atom_cas b seen (sym "p2") (imm (-1)) (imm (-1));
+              let p = fresh_reg ~cls:"p" b in
+              setp b Ast.C_eq p (reg seen) (imm 0);
+              bra ~guard:(true, p) b l;
+              membar b Ast.Gl;
+              let v = fresh_reg b in
+              ld b v (sym "p0"))));
+  case ~verdict:Case.Racy ~nparams:3 "transitive_chain_broken"
+    "the middle link forgets its release fence: the chain breaks" (fun b ->
+      if_ b Ast.C_eq (Ast.Sreg Ast.Ctaid) (imm 0) (fun b ->
+      only_tid b 0 (fun b ->
+          st b (sym "p0") (imm 1);
+          membar b Ast.Gl;
+          st b (sym "p1") (imm 1)));
+      if_ b Ast.C_eq (Ast.Sreg Ast.Ctaid) (imm 0) (fun b ->
+      only_tid b 32 (fun b ->
+          let seen = fresh_reg b in
+          mov b seen (imm 0);
+          let l = fresh_label b in
+          place_label b l;
+          atom_cas b seen (sym "p1") (imm (-1)) (imm (-1));
+          let p = fresh_reg ~cls:"p" b in
+          setp b Ast.C_eq p (reg seen) (imm 0);
+          bra ~guard:(true, p) b l;
+          membar b Ast.Gl;
+          (* an intervening instruction separates the acquire fence from
+             the flag store: no release is formed *)
+          let one = fresh_reg b in
+          mov b one (imm 1);
+          st b (sym "p2") (reg one)));
+      if_ b Ast.C_eq (Ast.Sreg Ast.Ctaid) (imm 1) (fun b ->
+          only_tid b 0 (fun b ->
+              let seen = fresh_reg b in
+              mov b seen (imm 0);
+              let l = fresh_label b in
+              place_label b l;
+              atom_cas b seen (sym "p2") (imm (-1)) (imm (-1));
+              let p = fresh_reg ~cls:"p" b in
+              setp b Ast.C_eq p (reg seen) (imm 0);
+              bra ~guard:(true, p) b l;
+              membar b Ast.Gl;
+              let v = fresh_reg b in
+              ld b v (sym "p0"))));
+  case ~verdict:Case.Race_free "read_only_kernel"
+    "a kernel that only reads shared state" (fun b ->
+      let v = fresh_reg b in
+      ld b v (sym "p0");
+      let w = fresh_reg b in
+      ld ~space:Ast.Shared b w (sym "smem");
+      let x = fresh_reg b in
+      binop b Ast.B_add x (reg v) (reg w);
+      ignore x);
+  case ~verdict:Case.Race_free ~nparams:2 "atomic_reduce_then_fenced_read"
+    "atomic partial sums, fenced ticket, winner reads the total" (fun b ->
+      only_tid b 0 (fun b ->
+          let o = fresh_reg b in
+          atom b Ast.A_add o (sym "p0") (imm 7);
+          membar b Ast.Gl;
+          let ticket = fresh_reg b in
+          atom b Ast.A_add ticket (sym "p1") (imm 1);
+          membar b Ast.Gl;
+          if_ b Ast.C_eq (reg ticket) (imm 1) (fun b ->
+              let v = fresh_reg b in
+              atom b Ast.A_add v (sym "p0") (imm 0))))
+
+let all = List.rev !cases

@@ -1,0 +1,3 @@
+(** The 66 bug-suite programs, in a stable order (ids 1..66). *)
+
+val all : Case.t list

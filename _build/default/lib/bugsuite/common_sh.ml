@@ -1,0 +1,8 @@
+open Ptx.Builder
+
+let shared_slot_of b base index =
+  let a = fresh_reg ~cls:"rd" b in
+  mad b a index (imm 4) (sym base);
+  a
+
+let shared_slot b base = shared_slot_of b base (Ptx.Ast.Sreg Ptx.Ast.Tid)

@@ -1,0 +1,8 @@
+(** Tiny addressing helpers shared by the bug-suite kernels. *)
+
+val shared_slot : Ptx.Builder.t -> string -> string
+(** Register holding the address of the calling thread's 4-byte slot in
+    a shared array: [base + 4*tid]. *)
+
+val shared_slot_of : Ptx.Builder.t -> string -> Ptx.Ast.operand -> string
+(** Address of slot [index] in a shared array. *)

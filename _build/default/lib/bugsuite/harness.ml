@@ -1,0 +1,119 @@
+type outcome = {
+  case : Case.t;
+  reported_race : bool;
+  reported_bardiv : bool;
+  correct : bool;
+}
+
+type score = { outcomes : outcome list; correct : int; total : int }
+
+let judge (case : Case.t) ~reported_race ~reported_bardiv ~check_bardiv =
+  let race_ok =
+    match case.Case.verdict with
+    | Case.Racy -> reported_race
+    | Case.Race_free -> not reported_race
+  in
+  let bardiv_ok =
+    (not check_bardiv) || Bool.equal reported_bardiv case.Case.expect_bardiv
+  in
+  {
+    case;
+    reported_race;
+    reported_bardiv;
+    correct = race_ok && bardiv_ok;
+  }
+
+let score_of outcomes =
+  {
+    outcomes;
+    correct = List.length (List.filter (fun (o : outcome) -> o.correct) outcomes);
+    total = List.length outcomes;
+  }
+
+let machine_of (case : Case.t) =
+  Simt.Machine.create ~layout:case.Case.layout ()
+
+let bardiv_reported report =
+  List.exists
+    (function
+      | Barracuda.Report.Barrier_divergence _ -> true
+      | Barracuda.Report.Race _ -> false)
+    (Barracuda.Report.errors report)
+
+let run_barracuda ?max_steps cases =
+  score_of
+    (List.map
+       (fun (case : Case.t) ->
+         let m = machine_of case in
+         let args = case.Case.setup m in
+         let det, _ =
+           Barracuda.Detector.run ?max_steps ~machine:m case.Case.kernel args
+         in
+         let report = Barracuda.Detector.report det in
+         judge case
+           ~reported_race:(Barracuda.Report.has_race report)
+           ~reported_bardiv:(bardiv_reported report)
+           ~check_bardiv:true)
+       cases)
+
+let run_racecheck ?max_steps cases =
+  score_of
+    (List.map
+       (fun (case : Case.t) ->
+         if Barracuda.Racecheck.would_hang case.Case.kernel then
+           (* the real tool hangs on spinlock tests: an incorrect
+              outcome with no verdict at all *)
+           {
+             case;
+             reported_race = false;
+             reported_bardiv = false;
+             correct = false;
+           }
+         else
+           let m = machine_of case in
+           let args = case.Case.setup m in
+           let rc, _ =
+             Barracuda.Racecheck.run ?max_steps ~machine:m case.Case.kernel
+               args
+           in
+           let report = Barracuda.Racecheck.report rc in
+           (* Racecheck does not detect barrier divergence, so it is
+              judged on the race verdict alone — and still judged wrong
+              when the ground truth expects a divergence report. *)
+           judge case
+             ~reported_race:(Barracuda.Report.has_race report)
+             ~reported_bardiv:false
+             ~check_bardiv:case.Case.expect_bardiv)
+       cases)
+
+let run_reference ?max_steps cases =
+  score_of
+    (List.map
+       (fun (case : Case.t) ->
+         let m = machine_of case in
+         let args = case.Case.setup m in
+         let ops, result =
+           Gtrace.Infer.run ?max_steps ~layout:case.Case.layout m
+             case.Case.kernel args
+         in
+         let d = Barracuda.Reference.create ~layout:case.Case.layout () in
+         Barracuda.Reference.run d ops;
+         let report = Barracuda.Reference.report d in
+         judge case
+           ~reported_race:(Barracuda.Report.has_race report)
+           ~reported_bardiv:result.Simt.Machine.barrier_divergence
+           ~check_bardiv:true)
+       cases)
+
+let pp_score ppf s =
+  Format.fprintf ppf "%d/%d correct" s.correct s.total;
+  List.iter
+    (fun (o : outcome) ->
+      if not o.correct then
+        Format.fprintf ppf "@\n  WRONG %-3d %-34s truth=%a reported_race=%b%s"
+          o.case.Case.id o.case.Case.name Case.pp_verdict o.case.Case.verdict
+          o.reported_race
+          (if o.case.Case.expect_bardiv then
+             Printf.sprintf " bardiv=%b" o.reported_bardiv
+           else ""))
+    s.outcomes

@@ -1,0 +1,28 @@
+(** Scoring harness for the bug suite (§6.1).
+
+    Runs each case under a detector and checks the verdict: a case is
+    {e correct} when the detector reports a race iff the ground truth is
+    racy, and (for BARRACUDA) flags barrier divergence exactly when the
+    case expects it.  The paper's result is BARRACUDA 66/66 and
+    CUDA-Racecheck 19/66. *)
+
+type outcome = {
+  case : Case.t;
+  reported_race : bool;
+  reported_bardiv : bool;
+  correct : bool;
+}
+
+type score = {
+  outcomes : outcome list;
+  correct : int;
+  total : int;
+}
+
+val run_barracuda : ?max_steps:int -> Case.t list -> score
+val run_racecheck : ?max_steps:int -> Case.t list -> score
+
+val run_reference : ?max_steps:int -> Case.t list -> score
+(** The literal-semantics detector, fed through the trace layer. *)
+
+val pp_score : Format.formatter -> score -> unit

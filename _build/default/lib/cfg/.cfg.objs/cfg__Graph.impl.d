@@ -1,0 +1,1 @@
+lib/cfg/graph.ml: Array Format Hashtbl List Printf Ptx

@@ -1,0 +1,28 @@
+(** Dominance and post-dominance on a control-flow graph.
+
+    Computed with the iterative Cooper–Harvey–Kennedy algorithm over a
+    reverse-post-order numbering.  Post-dominance drives SIMT
+    reconvergence: the hardware (and our simulator) reconverges a
+    divergent warp at the {e immediate post-dominator} of the branch. *)
+
+type t
+
+val dominators : Graph.t -> t
+(** Dominator tree rooted at the entry block. *)
+
+val post_dominators : Graph.t -> t
+(** Post-dominator tree rooted at the synthetic exit node. *)
+
+val idom : t -> int -> int option
+(** Immediate (post-)dominator of a block; [None] for the root and for
+    unreachable blocks. *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b]: [a] (post-)dominates [b] (reflexive). *)
+
+val reconvergence_block : Graph.t -> t -> int -> int
+(** [reconvergence_block g pdoms branch_insn]: block id of the immediate
+    post-dominator of a conditional branch instruction's block — where a
+    divergent warp reconverges. May be the exit node.
+    @raise Invalid_argument if the instruction is not a conditional
+    branch. *)

@@ -1,0 +1,1 @@
+lib/core/detector.ml: Array Atomic Fun Gtrace List Mutex Ptx Report Shadow Simt Sync_loc Vclock Warp_clocks

@@ -1,0 +1,1 @@
+lib/core/detector.mli: Ptx Report Simt Vclock

@@ -1,0 +1,1 @@
+lib/core/racecheck.ml: Array Fun Gtrace Hashtbl List Ptx Report Simt Vclock

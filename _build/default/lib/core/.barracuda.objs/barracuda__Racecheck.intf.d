@@ -1,0 +1,1 @@
+lib/core/racecheck.mli: Ptx Report Simt Vclock

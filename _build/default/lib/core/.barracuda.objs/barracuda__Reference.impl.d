@@ -1,0 +1,1 @@
+lib/core/reference.ml: Array Gtrace Hashtbl List Report Simt Vclock

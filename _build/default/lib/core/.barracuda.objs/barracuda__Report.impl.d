@@ -1,0 +1,1 @@
+lib/core/report.ml: Format Fun Gtrace List Mutex Set Stdlib Vclock

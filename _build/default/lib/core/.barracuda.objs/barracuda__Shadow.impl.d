@@ -1,0 +1,1 @@
+lib/core/shadow.ml: Array Fun Gtrace Hashtbl List Mutex Ptx Vclock

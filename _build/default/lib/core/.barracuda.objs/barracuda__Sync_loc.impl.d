@@ -1,0 +1,1 @@
+lib/core/sync_loc.ml: Fun Gtrace Hashtbl Mutex Vclock

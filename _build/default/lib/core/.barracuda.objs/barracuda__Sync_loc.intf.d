@@ -1,0 +1,1 @@
+lib/core/sync_loc.mli: Gtrace Vclock

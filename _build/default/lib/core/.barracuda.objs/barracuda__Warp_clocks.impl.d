@@ -1,0 +1,1 @@
+lib/core/warp_clocks.ml: Array Format Int List Simt Vclock

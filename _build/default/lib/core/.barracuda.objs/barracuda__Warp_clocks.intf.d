@@ -1,0 +1,1 @@
+lib/core/warp_clocks.mli: Format Vclock

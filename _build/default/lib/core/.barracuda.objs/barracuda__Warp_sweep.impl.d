@@ -1,0 +1,1 @@
+lib/core/warp_sweep.ml: Detector Format Int List Printf Report Simt Vclock

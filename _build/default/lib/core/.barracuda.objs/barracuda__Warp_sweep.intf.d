@@ -1,0 +1,1 @@
+lib/core/warp_sweep.mli: Detector Format Ptx Simt Vclock

@@ -1,0 +1,319 @@
+module Layout = Vclock.Layout
+module Epoch = Vclock.Epoch
+module Vc = Vclock.Vector_clock
+module Loc = Gtrace.Loc
+module Op = Gtrace.Op
+
+type config = {
+  max_reports : int;
+  filter_same_value : bool;
+  shadow_granularity : int;
+}
+
+let default_config =
+  { max_reports = 1000; filter_same_value = true; shadow_granularity = 1 }
+
+type stats = {
+  accesses_checked : int;
+  records_processed : int;
+  ptvc_converged : int;
+  ptvc_diverged : int;
+  ptvc_nested : int;
+  ptvc_sparse : int;
+  shadow_pages : int;
+  shadow_cells : int;
+  shadow_bytes : int;
+  sync_locations : int;
+  ptvc_bytes : int;
+  full_vc_bytes : int;
+}
+
+(* Counters are atomics and the warp-level record id is threaded
+   through each feed call explicitly: [feed] may be invoked from one
+   host domain per queue (§4.3).  Per-warp clock state needs no lock
+   because each thread block logs to exactly one queue, so one domain
+   owns each warp; shadow cells carry the paper's per-location lock. *)
+type t = {
+  layout : Layout.t;
+  config : config;
+  roles : Gtrace.Roles.t array;
+  warps : Warp_clocks.t array;
+  shadow : Shadow.t;
+  sync : Sync_loc.t;
+  report : Report.t;
+  record_id : int Atomic.t; (* unique id per warp-level event *)
+  accesses : int Atomic.t;
+  records : int Atomic.t;
+  census : int Atomic.t array; (* converged/diverged/nested/sparse *)
+}
+
+let create ?(config = default_config) ~layout kernel =
+  {
+    layout;
+    config;
+    roles = Gtrace.Roles.classify kernel;
+    warps =
+      Array.init (Layout.total_warps layout) (fun warp ->
+          Warp_clocks.create layout ~warp);
+    shadow = Shadow.create ~granularity:config.shadow_granularity ();
+    sync = Sync_loc.create layout;
+    report = Report.create ~max_reports:config.max_reports ~layout ();
+    record_id = Atomic.make 0;
+    accesses = Atomic.make 0;
+    records = Atomic.make 0;
+    census = Array.init 4 (fun _ -> Atomic.make 0);
+  }
+
+let report t = t.report
+
+(* [c@u <= C_lane?] via the compressed clock layers. *)
+let epoch_ordered ~wc ~lane (e : Epoch.t) =
+  e.Epoch.clock <= Warp_clocks.entry wc ~lane ~tid:e.Epoch.tid
+
+let check_write t ~rid ~wc ~lane ~loc ~cur_kind ~value (cell : Shadow.cell) =
+  if not (epoch_ordered ~wc ~lane cell.Shadow.write_epoch) then begin
+    let same_instruction = cell.Shadow.write_record = rid in
+    let filtered =
+      t.config.filter_same_value && same_instruction
+      && cur_kind = Report.Write
+      && (not cell.Shadow.write_atomic)
+      && cell.Shadow.write_value = value
+    in
+    if not filtered then
+      Report.add_race t.report ~loc
+        ~prev_tid:cell.Shadow.write_epoch.Epoch.tid
+        ~prev_kind:
+          (if cell.Shadow.write_atomic then Report.Atomic_rmw else Report.Write)
+        ~cur_tid:(Layout.tid_of_warp_lane t.layout ~warp:(Warp_clocks.warp wc) ~lane)
+        ~cur_kind ~same_instruction
+  end
+
+let check_reads t ~wc ~lane ~loc ~cur_kind (cell : Shadow.cell) =
+  let cur_tid =
+    Layout.tid_of_warp_lane t.layout ~warp:(Warp_clocks.warp wc) ~lane
+  in
+  if cell.Shadow.read_shared then
+    Vc.fold
+      (fun u cu () ->
+        if cu > Warp_clocks.entry wc ~lane ~tid:u then
+          Report.add_race t.report ~loc ~prev_tid:u ~prev_kind:Report.Read
+            ~cur_tid ~cur_kind ~same_instruction:false)
+      cell.Shadow.read_vc ()
+  else if not (epoch_ordered ~wc ~lane cell.Shadow.read_epoch) then
+    Report.add_race t.report ~loc
+      ~prev_tid:cell.Shadow.read_epoch.Epoch.tid ~prev_kind:Report.Read
+      ~cur_tid ~cur_kind ~same_instruction:false
+
+let clear_reads (cell : Shadow.cell) =
+  cell.Shadow.read_epoch <- Epoch.bottom;
+  cell.Shadow.read_vc <- Vc.bottom;
+  cell.Shadow.read_shared <- false
+
+let do_read t ~rid ~wc ~lane ~loc cell =
+  Atomic.incr t.accesses;
+  ignore rid;
+  check_write t ~rid ~wc ~lane ~loc ~cur_kind:Report.Read ~value:0L cell;
+  let tid =
+    Layout.tid_of_warp_lane t.layout ~warp:(Warp_clocks.warp wc) ~lane
+  in
+  let own = Warp_clocks.own_clock wc ~lane in
+  if cell.Shadow.read_shared then
+    (* ReadShared *)
+    cell.Shadow.read_vc <- Vc.set cell.Shadow.read_vc tid own
+  else if epoch_ordered ~wc ~lane cell.Shadow.read_epoch then
+    (* ReadExcl *)
+    cell.Shadow.read_epoch <- Epoch.make ~clock:own ~tid
+  else begin
+    (* ReadInflate: first concurrent read *)
+    let e = cell.Shadow.read_epoch in
+    cell.Shadow.read_vc <-
+      Vc.set (Vc.set Vc.bottom e.Epoch.tid e.Epoch.clock) tid own;
+    cell.Shadow.read_shared <- true
+  end
+
+let set_write ~rid ~wc ~lane ~atomic ~value (cell : Shadow.cell) =
+  clear_reads cell;
+  cell.Shadow.write_epoch <- Warp_clocks.epoch wc ~lane;
+  cell.Shadow.write_atomic <- atomic;
+  cell.Shadow.write_value <- value;
+  cell.Shadow.write_record <- rid
+
+let do_write t ~rid ~wc ~lane ~loc ~value cell =
+  Atomic.incr t.accesses;
+  check_write t ~rid ~wc ~lane ~loc ~cur_kind:Report.Write ~value cell;
+  check_reads t ~wc ~lane ~loc ~cur_kind:Report.Write cell;
+  set_write ~rid ~wc ~lane ~atomic:false ~value cell
+
+let do_atomic t ~rid ~wc ~lane ~loc ~value cell =
+  Atomic.incr t.accesses;
+  if not cell.Shadow.write_atomic then
+    check_write t ~rid ~wc ~lane ~loc ~cur_kind:Report.Atomic_rmw ~value cell;
+  check_reads t ~wc ~lane ~loc ~cur_kind:Report.Atomic_rmw cell;
+  set_write ~rid ~wc ~lane ~atomic:true ~value cell
+
+let do_acquire t ~wc ~lane ~loc scope =
+  (Shadow.find t.shadow loc).Shadow.sync_loc <- true;
+  let block = Layout.block_of_warp t.layout (Warp_clocks.warp wc) in
+  let gain =
+    match scope with
+    | Op.Block -> Sync_loc.effective t.sync loc ~block
+    | Op.Global_scope -> Sync_loc.join_all_blocks t.sync loc
+  in
+  match gain with
+  | None -> ()
+  | Some v -> Warp_clocks.acquire wc ~lane v
+
+let do_release t ~wc ~lane ~loc scope =
+  (Shadow.find t.shadow loc).Shadow.sync_loc <- true;
+  let c = Warp_clocks.materialize wc ~lane in
+  (match scope with
+  | Op.Block ->
+      let block = Layout.block_of_warp t.layout (Warp_clocks.warp wc) in
+      Sync_loc.release_block t.sync loc ~block c
+  | Op.Global_scope -> Sync_loc.release_global t.sync loc c);
+  Warp_clocks.release_increment wc ~lane
+
+let census_bump t wc =
+  let idx =
+    match Warp_clocks.format_of wc with
+    | Warp_clocks.Converged -> 0
+    | Warp_clocks.Diverged -> 1
+    | Warp_clocks.Nested_diverged -> 2
+    | Warp_clocks.Sparse_vc -> 3
+  in
+  Atomic.incr t.census.(idx)
+
+let with_cell_locked (loc, (cell : Shadow.cell)) f =
+  Mutex.lock cell.Shadow.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cell.Shadow.lock) (fun () ->
+      f loc cell)
+
+let process_access t ~rid (a : Simt.Event.mem_access) =
+  match a.Simt.Event.space with
+  | Ptx.Ast.Local | Ptx.Ast.Param -> () (* thread-private: cannot race *)
+  | Ptx.Ast.Global | Ptx.Ast.Shared ->
+      let wc = t.warps.(a.Simt.Event.warp) in
+      census_bump t wc;
+      let loc0 =
+        match a.Simt.Event.space with
+        | Ptx.Ast.Global -> Loc.global 0
+        | Ptx.Ast.Shared ->
+            Loc.shared ~block:(Layout.block_of_warp t.layout a.Simt.Event.warp) 0
+        | _ -> assert false
+      in
+      let role = t.roles.(a.Simt.Event.insn) in
+      let lanes = Simt.Event.mask_lanes a.Simt.Event.mask in
+      List.iter
+        (fun lane ->
+          let base = a.Simt.Event.addrs.(lane) in
+          let value = a.Simt.Event.values.(lane) in
+          let data_cells () =
+            Shadow.cells_of_access t.shadow (Loc.with_addr loc0 base)
+              ~width:a.Simt.Event.width
+          in
+          let sync_loc = Loc.with_addr loc0 base in
+          let read_cells () =
+            List.iter
+              (fun lc ->
+                with_cell_locked lc (fun loc c -> do_read t ~rid ~wc ~lane ~loc c))
+              (data_cells ())
+          in
+          let write_cells () =
+            List.iter
+              (fun lc ->
+                with_cell_locked lc (fun loc c ->
+                    do_write t ~rid ~wc ~lane ~loc ~value c))
+              (data_cells ())
+          in
+          let atomic_cells () =
+            List.iter
+              (fun lc ->
+                with_cell_locked lc (fun loc c ->
+                    do_atomic t ~rid ~wc ~lane ~loc ~value c))
+              (data_cells ())
+          in
+          match (a.Simt.Event.kind, role) with
+          | Simt.Event.Load, Gtrace.Roles.Plain -> read_cells ()
+          | Simt.Event.Store, Gtrace.Roles.Plain -> write_cells ()
+          | Simt.Event.Atomic _, Gtrace.Roles.Plain -> atomic_cells ()
+          | (Simt.Event.Load | Simt.Event.Atomic _), Gtrace.Roles.Acquire s ->
+              do_acquire t ~wc ~lane ~loc:sync_loc s
+          | (Simt.Event.Store | Simt.Event.Atomic _), Gtrace.Roles.Release s ->
+              do_release t ~wc ~lane ~loc:sync_loc s
+          | Simt.Event.Atomic _, Gtrace.Roles.Acquire_release s ->
+              do_acquire t ~wc ~lane ~loc:sync_loc s;
+              do_release t ~wc ~lane ~loc:sync_loc s
+          | Simt.Event.Load, (Gtrace.Roles.Release _ | Gtrace.Roles.Acquire_release _)
+            ->
+              read_cells ()
+          | Simt.Event.Store, (Gtrace.Roles.Acquire _ | Gtrace.Roles.Acquire_release _)
+            ->
+              write_cells ())
+        lanes;
+      (* endi: join-and-fork the active lanes *)
+      Warp_clocks.join_fork wc ~mask:a.Simt.Event.mask
+
+let do_barrier t block =
+  let wpb = Layout.warps_per_block t.layout in
+  let first = block * wpb in
+  let clock = ref 0 in
+  let overlay = ref None in
+  for i = first to first + wpb - 1 do
+    clock := max !clock (Warp_clocks.max_own t.warps.(i));
+    overlay :=
+      (match (!overlay, Warp_clocks.overlay_union t.warps.(i)) with
+      | None, o -> o
+      | o, None -> o
+      | Some a, Some b -> Some (Vclock.Cvc.join a b))
+  done;
+  for i = first to first + wpb - 1 do
+    Warp_clocks.apply_barrier t.warps.(i) ~clock:!clock ~overlay:!overlay
+  done
+
+let feed t event =
+  let rid = Atomic.fetch_and_add t.record_id 1 + 1 in
+  Atomic.incr t.records;
+  match event with
+  | Simt.Event.Access a -> process_access t ~rid a
+  | Simt.Event.Fence _ -> ()
+  | Simt.Event.Branch_if { warp; then_mask; else_mask; _ } ->
+      Warp_clocks.push_if t.warps.(warp) ~then_mask ~else_mask
+  | Simt.Event.Branch_else { warp; mask } | Simt.Event.Branch_fi { warp; mask }
+    ->
+      Warp_clocks.pop_path t.warps.(warp) ~mask
+  | Simt.Event.Barrier { block } -> do_barrier t block
+  | Simt.Event.Barrier_divergence { warp; insn; _ } ->
+      Report.add_barrier_divergence t.report ~warp ~insn
+  | Simt.Event.Kernel_done -> ()
+
+let stats t =
+  let c = Atomic.get t.census.(0)
+  and d = Atomic.get t.census.(1)
+  and n = Atomic.get t.census.(2)
+  and s = Atomic.get t.census.(3) in
+  let ptvc_bytes =
+    Array.fold_left (fun acc wc -> acc + Warp_clocks.footprint_bytes wc) 0 t.warps
+  in
+  let total = Layout.total_threads t.layout in
+  {
+    accesses_checked = Atomic.get t.accesses;
+    records_processed = Atomic.get t.records;
+    ptvc_converged = c;
+    ptvc_diverged = d;
+    ptvc_nested = n;
+    ptvc_sparse = s;
+    shadow_pages = Shadow.pages t.shadow;
+    shadow_cells = Shadow.cells t.shadow;
+    shadow_bytes = Shadow.bytes t.shadow;
+    sync_locations = Sync_loc.count t.sync;
+    ptvc_bytes;
+    full_vc_bytes = total * total * 4;
+  }
+
+let run ?config ?max_steps ~machine kernel args =
+  let layout = Simt.Machine.layout machine in
+  let t = create ?config ~layout kernel in
+  let result =
+    Simt.Machine.launch ?max_steps machine kernel args ~on_event:(feed t)
+  in
+  (t, result)

@@ -1,0 +1,61 @@
+(** The BARRACUDA race detector (optimized, event-driven).
+
+    Consumes the simulator's warp-level events directly — mirroring the
+    real system, where the host detector processes fixed-size warp
+    records drained from GPU queues — and implements the operational
+    semantics of Figures 2–3 with all of the paper's optimizations:
+
+    - per-thread vector clocks compressed at warp granularity
+      ({!Warp_clocks}: CONVERGED / DIVERGED / NESTEDDIVERGED / SPARSEVC);
+    - epochs + on-demand read-clock inflation in shadow memory
+      ({!Shadow}), allocated page-wise on first touch;
+    - synchronization locations in their own map ({!Sync_loc});
+    - block barriers via a broadcast of the block's maximum clock;
+    - same-value intra-warp write filtering (§3.3.1);
+    - barrier-divergence detection.
+
+    Acquire/release roles come from the static {!Gtrace.Roles}
+    classification of the kernel.  On any trace the reports must match
+    {!Reference}; the test suite enforces this. *)
+
+type config = {
+  max_reports : int;
+  filter_same_value : bool;
+  shadow_granularity : int;  (** bytes per shadow cell; 1 = the paper *)
+}
+
+val default_config : config
+
+type stats = {
+  accesses_checked : int;  (** thread-level access operations processed *)
+  records_processed : int;  (** warp-level events processed *)
+  ptvc_converged : int;  (** census: warp format observed per record *)
+  ptvc_diverged : int;
+  ptvc_nested : int;
+  ptvc_sparse : int;
+  shadow_pages : int;
+  shadow_cells : int;
+  shadow_bytes : int;
+  sync_locations : int;
+  ptvc_bytes : int;  (** compressed PTVC footprint at the end of the run *)
+  full_vc_bytes : int;  (** what uncompressed per-thread VCs would need *)
+}
+
+type t
+
+val create :
+  ?config:config -> layout:Vclock.Layout.t -> Ptx.Ast.kernel -> t
+
+val feed : t -> Simt.Event.t -> unit
+val report : t -> Report.t
+val stats : t -> stats
+
+val run :
+  ?config:config ->
+  ?max_steps:int ->
+  machine:Simt.Machine.t ->
+  Ptx.Ast.kernel ->
+  int64 array ->
+  t * Simt.Machine.result
+(** Convenience: launch the kernel on [machine] with the detector
+    attached to the event stream. *)

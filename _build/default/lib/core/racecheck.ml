@@ -1,0 +1,135 @@
+module Layout = Vclock.Layout
+
+type access = {
+  tid : int;
+  kind : Report.access_kind;
+  epoch : int; (* barrier interval in which the access happened *)
+  record : int; (* warp-level record id, for same-instruction marking *)
+}
+
+type cell = { mutable last_write : access option; mutable readers : access list }
+
+(* An atomic inside a loop: there is a backward branch from [j] to a
+   target at-or-before an atomic at [i <= j]. *)
+let would_hang (k : Ptx.Ast.kernel) =
+  let labels = Ptx.Ast.label_index k in
+  let body = k.Ptx.Ast.body in
+  let atomics =
+    Array.to_list body
+    |> List.mapi (fun i insn ->
+           match insn.Ptx.Ast.kind with Ptx.Ast.Atom _ -> Some i | _ -> None)
+    |> List.filter_map Fun.id
+  in
+  let backward_branches =
+    Array.to_list body
+    |> List.mapi (fun j insn ->
+           match insn.Ptx.Ast.kind with
+           | Ptx.Ast.Bra { target; _ } ->
+               let t = Hashtbl.find labels target in
+               if t <= j then Some (t, j) else None
+           | _ -> None)
+    |> List.filter_map Fun.id
+  in
+  List.exists
+    (fun i -> List.exists (fun (t, j) -> t <= i && i <= j) backward_branches)
+    atomics
+
+type t = {
+  layout : Layout.t;
+  report : Report.t;
+  barrier_epoch : int array; (* per block *)
+  cells : (int * int, cell) Hashtbl.t; (* (block, shared addr) -> accesses *)
+  mutable record_id : int;
+}
+
+let create ?max_reports ~layout () =
+  {
+    layout;
+    report = Report.create ?max_reports ~layout ();
+    barrier_epoch = Array.make layout.Layout.blocks 0;
+    cells = Hashtbl.create 256;
+    record_id = 0;
+  }
+
+let report t = t.report
+
+let cell_of t key =
+  match Hashtbl.find_opt t.cells key with
+  | Some c -> c
+  | None ->
+      let c = { last_write = None; readers = [] } in
+      Hashtbl.add t.cells key c;
+      c
+
+let conflict t ~loc ~(prev : access) ~(cur : access) =
+  if prev.tid <> cur.tid then
+    Report.add_race t.report ~loc ~prev_tid:prev.tid ~prev_kind:prev.kind
+      ~cur_tid:cur.tid ~cur_kind:cur.kind
+      ~same_instruction:(prev.record = cur.record)
+
+let process_access t (a : Simt.Event.mem_access) =
+  match a.Simt.Event.space with
+  | Ptx.Ast.Global | Ptx.Ast.Local | Ptx.Ast.Param -> ()
+  | Ptx.Ast.Shared ->
+      let block = Layout.block_of_warp t.layout a.Simt.Event.warp in
+      let epoch = t.barrier_epoch.(block) in
+      let kind =
+        match a.Simt.Event.kind with
+        | Simt.Event.Load -> Report.Read
+        | Simt.Event.Store -> Report.Write
+        | Simt.Event.Atomic _ -> Report.Atomic_rmw
+      in
+      List.iter
+        (fun lane ->
+          let tid =
+            Layout.tid_of_warp_lane t.layout ~warp:a.Simt.Event.warp ~lane
+          in
+          let cur = { tid; kind; epoch; record = t.record_id } in
+          let base = a.Simt.Event.addrs.(lane) in
+          for i = 0 to a.Simt.Event.width - 1 do
+            let key = (block, base + i) in
+            let loc = Gtrace.Loc.shared ~block (base + i) in
+            let cell = cell_of t key in
+            (* prune stale (pre-barrier) metadata *)
+            (match cell.last_write with
+            | Some w when w.epoch < epoch -> cell.last_write <- None
+            | _ -> ());
+            cell.readers <- List.filter (fun r -> r.epoch >= epoch) cell.readers;
+            (match kind with
+            | Report.Read -> (
+                match cell.last_write with
+                | Some w -> conflict t ~loc ~prev:w ~cur
+                | None -> ())
+            | Report.Write | Report.Atomic_rmw ->
+                (match cell.last_write with
+                | Some w
+                  when not (w.kind = Report.Atomic_rmw && kind = Report.Atomic_rmw)
+                  ->
+                    conflict t ~loc ~prev:w ~cur
+                | Some _ | None -> ());
+                List.iter (fun r -> conflict t ~loc ~prev:r ~cur) cell.readers);
+            (* record the access *)
+            match kind with
+            | Report.Read -> cell.readers <- cur :: cell.readers
+            | Report.Write | Report.Atomic_rmw -> cell.last_write <- Some cur
+          done)
+        (Simt.Event.mask_lanes a.Simt.Event.mask)
+
+let feed t event =
+  t.record_id <- t.record_id + 1;
+  match event with
+  | Simt.Event.Access a -> process_access t a
+  | Simt.Event.Barrier { block } ->
+      t.barrier_epoch.(block) <- t.barrier_epoch.(block) + 1
+  | Simt.Event.Fence _ | Simt.Event.Branch_if _ | Simt.Event.Branch_else _
+  | Simt.Event.Branch_fi _ | Simt.Event.Barrier_divergence _
+  | Simt.Event.Kernel_done ->
+      ()
+
+let run ?max_steps ~machine kernel args =
+  let layout = Simt.Machine.layout machine in
+  let t = create ~layout () in
+  let result =
+    Simt.Machine.launch ?max_steps machine kernel args ~on_event:(feed t)
+  in
+  (t, result)

@@ -1,0 +1,39 @@
+(** A model of Nvidia's CUDA-Racecheck, the baseline tool the paper
+    compares against (§6.1).
+
+    Racecheck is a shared-memory hazard detector: it understands
+    [__syncthreads] barriers and nothing else.  This model reproduces its
+    documented and observed limitations:
+
+    - accesses to {e global} memory are not tracked at all (all 9 global
+      races in Table 1 are invisible to it);
+    - atomics and memory fences do not synchronize: code correctly
+      synchronized through locks or flag-passing is reported racy;
+    - warp-lockstep ordering is ignored: two conflicting shared-memory
+      accesses by the same warp in different instructions without an
+      intervening barrier are reported even though lockstep execution
+      orders them (false positives on intra-warp synchronization);
+    - barrier divergence is not detected (the real tool tends to hang).
+
+    Conflicts between two atomic operations are not reported (the real
+    tool understands atomicity, just not ordering). *)
+
+type t
+
+val would_hang : Ptx.Ast.kernel -> bool
+(** The real tool hung on tests involving spinlocks; this predicate
+    marks kernels containing an atomic operation inside a loop (an
+    atomic spanned by a backward branch), which is how those tests
+    look.  Harnesses use it to model the hang as an incorrect
+    outcome. *)
+
+val create : ?max_reports:int -> layout:Vclock.Layout.t -> unit -> t
+val feed : t -> Simt.Event.t -> unit
+val report : t -> Report.t
+
+val run :
+  ?max_steps:int ->
+  machine:Simt.Machine.t ->
+  Ptx.Ast.kernel ->
+  int64 array ->
+  t * Simt.Machine.result

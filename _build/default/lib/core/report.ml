@@ -1,0 +1,116 @@
+type access_kind = Read | Write | Atomic_rmw
+type race_class = Intra_warp | Intra_block | Inter_block
+
+type race = {
+  loc : Gtrace.Loc.t;
+  prev_tid : int;
+  prev_kind : access_kind;
+  cur_tid : int;
+  cur_kind : access_kind;
+  same_instruction : bool;
+  cls : race_class;
+}
+
+type error =
+  | Race of race
+  | Barrier_divergence of { warp : int; insn : int }
+
+module Dedup_key = struct
+  type t = Gtrace.Loc.t * int * access_kind * int * access_kind
+
+  let compare = Stdlib.compare
+end
+
+module Dedup_set = Set.Make (Dedup_key)
+module Loc_set = Set.Make (struct
+  type t = Gtrace.Loc.t
+
+  let compare = Gtrace.Loc.compare
+end)
+
+type t = {
+  layout : Vclock.Layout.t;
+  max_reports : int;
+  lock : Mutex.t; (* reports arrive from concurrent host threads *)
+  mutable seen : Dedup_set.t;
+  mutable locs : Loc_set.t;
+  mutable errors : error list; (* reversed *)
+  mutable kept : int;
+  mutable race_count : int;
+  mutable bardiv_seen : (int * int) list;
+}
+
+let create ?(max_reports = 1000) ~layout () =
+  {
+    layout;
+    max_reports;
+    lock = Mutex.create ();
+    seen = Dedup_set.empty;
+    locs = Loc_set.empty;
+    errors = [];
+    kept = 0;
+    race_count = 0;
+    bardiv_seen = [];
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let classify layout t1 t2 =
+  if Vclock.Layout.warp_of_tid layout t1 = Vclock.Layout.warp_of_tid layout t2
+  then Intra_warp
+  else if
+    Vclock.Layout.block_of_tid layout t1 = Vclock.Layout.block_of_tid layout t2
+  then Intra_block
+  else Inter_block
+
+let add_race t ~loc ~prev_tid ~prev_kind ~cur_tid ~cur_kind ~same_instruction =
+  locked t @@ fun () ->
+  let key = (loc, prev_tid, prev_kind, cur_tid, cur_kind) in
+  if not (Dedup_set.mem key t.seen) then begin
+    t.seen <- Dedup_set.add key t.seen;
+    t.locs <- Loc_set.add loc t.locs;
+    t.race_count <- t.race_count + 1;
+    if t.kept < t.max_reports then begin
+      let cls = classify t.layout prev_tid cur_tid in
+      t.errors <-
+        Race { loc; prev_tid; prev_kind; cur_tid; cur_kind; same_instruction; cls }
+        :: t.errors;
+      t.kept <- t.kept + 1
+    end
+  end
+
+let add_barrier_divergence t ~warp ~insn =
+  locked t @@ fun () ->
+  if not (List.mem (warp, insn) t.bardiv_seen) then begin
+    t.bardiv_seen <- (warp, insn) :: t.bardiv_seen;
+    if t.kept < t.max_reports then begin
+      t.errors <- Barrier_divergence { warp; insn } :: t.errors;
+      t.kept <- t.kept + 1
+    end
+  end
+
+let errors t = locked t @@ fun () -> List.rev t.errors
+let race_count t = locked t @@ fun () -> t.race_count
+let racy_locations t = locked t @@ fun () -> Loc_set.cardinal t.locs
+let has_race t = race_count t > 0
+
+let pp_kind ppf = function
+  | Read -> Format.pp_print_string ppf "read"
+  | Write -> Format.pp_print_string ppf "write"
+  | Atomic_rmw -> Format.pp_print_string ppf "atomic"
+
+let pp_class ppf = function
+  | Intra_warp -> Format.pp_print_string ppf "intra-warp"
+  | Intra_block -> Format.pp_print_string ppf "intra-block"
+  | Inter_block -> Format.pp_print_string ppf "inter-block"
+
+let pp_error ppf = function
+  | Race r ->
+      Format.fprintf ppf "%a race on %a: %a by t%d vs %a by t%d%s" pp_class
+        r.cls Gtrace.Loc.pp r.loc pp_kind r.prev_kind r.prev_tid pp_kind
+        r.cur_kind r.cur_tid
+        (if r.same_instruction then " (same instruction)" else "")
+  | Barrier_divergence { warp; insn } ->
+      Format.fprintf ppf "barrier divergence: warp %d at insn %d" warp insn

@@ -1,0 +1,63 @@
+(** Race reports and error collection.
+
+    When two accesses race, the detector knows the current access
+    precisely and the previous one through its recorded epoch, which is
+    enough to name both threads and classify the race by where the
+    threads sit in the hierarchy (§4.3.3): same warp (which includes the
+    paper's new {e branch-ordering races}), same block, or across
+    blocks. *)
+
+type access_kind = Read | Write | Atomic_rmw
+
+type race_class =
+  | Intra_warp  (** includes divergence / branch-ordering races *)
+  | Intra_block
+  | Inter_block
+
+type race = {
+  loc : Gtrace.Loc.t;
+  prev_tid : int;
+  prev_kind : access_kind;
+  cur_tid : int;
+  cur_kind : access_kind;
+  same_instruction : bool;
+      (** both accesses belong to the same warp-level instruction *)
+  cls : race_class;
+}
+
+type error =
+  | Race of race
+  | Barrier_divergence of { warp : int; insn : int }
+
+type t
+(** A mutable collector with duplicate suppression: one report per
+    (location, thread pair, kind pair). *)
+
+val create : ?max_reports:int -> layout:Vclock.Layout.t -> unit -> t
+
+val classify : Vclock.Layout.t -> int -> int -> race_class
+
+val add_race :
+  t ->
+  loc:Gtrace.Loc.t ->
+  prev_tid:int ->
+  prev_kind:access_kind ->
+  cur_tid:int ->
+  cur_kind:access_kind ->
+  same_instruction:bool ->
+  unit
+
+val add_barrier_divergence : t -> warp:int -> insn:int -> unit
+val errors : t -> error list
+(** In detection order, capped at [max_reports]. *)
+
+val race_count : t -> int
+(** Distinct races detected (dedup key above), even beyond the cap. *)
+
+val racy_locations : t -> int
+(** Number of distinct locations involved in at least one race. *)
+
+val has_race : t -> bool
+val pp_error : Format.formatter -> error -> unit
+val pp_kind : Format.formatter -> access_kind -> unit
+val pp_class : Format.formatter -> race_class -> unit

@@ -1,0 +1,87 @@
+module Epoch = Vclock.Epoch
+module Vc = Vclock.Vector_clock
+
+type cell = {
+  lock : Mutex.t; (* the paper's per-location spinlock (Fig. 8) *)
+  mutable read_epoch : Epoch.t;
+  mutable read_vc : Vc.t;
+  mutable read_shared : bool;
+  mutable write_epoch : Epoch.t;
+  mutable write_atomic : bool;
+  mutable write_value : int64;
+  mutable write_record : int;
+  mutable sync_loc : bool;
+}
+
+let page_size = 1024 (* cells per page *)
+
+type page = cell option array
+
+type t = {
+  granularity : int;
+  table_lock : Mutex.t; (* guards page/cell allocation (the "root" lock) *)
+  pages : (Ptx.Ast.space * int * int, page) Hashtbl.t;
+      (* (space, region, page index) -> page *)
+  mutable cell_count : int;
+}
+
+let create ?(granularity = 1) () =
+  if granularity <> 1 && granularity <> 2 && granularity <> 4 && granularity <> 8
+  then invalid_arg "Shadow.create: granularity must be 1, 2, 4 or 8";
+  {
+    granularity;
+    table_lock = Mutex.create ();
+    pages = Hashtbl.create 64;
+    cell_count = 0;
+  }
+
+let granularity t = t.granularity
+
+let fresh_cell () =
+  {
+    lock = Mutex.create ();
+    read_epoch = Epoch.bottom;
+    read_vc = Vc.bottom;
+    read_shared = false;
+    write_epoch = Epoch.bottom;
+    write_atomic = false;
+    write_value = 0L;
+    write_record = -1;
+    sync_loc = false;
+  }
+
+let cell_at t (loc : Gtrace.Loc.t) index =
+  Mutex.lock t.table_lock;
+  let finally () = Mutex.unlock t.table_lock in
+  Fun.protect ~finally @@ fun () ->
+  let key = (loc.Gtrace.Loc.space, loc.Gtrace.Loc.region, index / page_size) in
+  let page =
+    match Hashtbl.find_opt t.pages key with
+    | Some p -> p
+    | None ->
+        let p = Array.make page_size None in
+        Hashtbl.add t.pages key p;
+        p
+  in
+  let slot = index mod page_size in
+  match page.(slot) with
+  | Some c -> c
+  | None ->
+      let c = fresh_cell () in
+      page.(slot) <- Some c;
+      t.cell_count <- t.cell_count + 1;
+      c
+
+let find t loc = cell_at t loc (loc.Gtrace.Loc.addr / t.granularity)
+
+let cells_of_access t (loc : Gtrace.Loc.t) ~width =
+  let first = loc.Gtrace.Loc.addr / t.granularity in
+  let last = (loc.Gtrace.Loc.addr + width - 1) / t.granularity in
+  List.init (last - first + 1) (fun i ->
+      let index = first + i in
+      ( Gtrace.Loc.with_addr loc (index * t.granularity),
+        cell_at t loc index ))
+
+let pages t = Hashtbl.length t.pages
+let cells t = t.cell_count
+let bytes t = 32 * t.cell_count

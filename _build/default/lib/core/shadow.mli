@@ -1,0 +1,44 @@
+(** Shadow memory: per-location race-detection metadata (§4.3.3, Fig. 8).
+
+    Organized as a two-level page table, as in the paper: pages are
+    allocated on demand in response to actual accesses (global memory
+    consumption is unknown at launch), and each shadow cell carries the
+    last-write epoch (+ atomic bit), last-read epoch or a sparse
+    read vector clock once a location has concurrent readers, and
+    bookkeeping flags.  Cells are byte-granular by default; a coarser
+    [granularity] (e.g. 4) trades fidelity for speed and is exposed as a
+    benchmark ablation. *)
+
+type cell = {
+  lock : Mutex.t;
+      (** per-location lock, held by the host thread while checking and
+          updating the cell (the paper's spinlock field) *)
+  mutable read_epoch : Vclock.Epoch.t;
+  mutable read_vc : Vclock.Vector_clock.t;  (** used once [read_shared] *)
+  mutable read_shared : bool;
+  mutable write_epoch : Vclock.Epoch.t;
+  mutable write_atomic : bool;
+  mutable write_value : int64;
+  mutable write_record : int;  (** id of the warp instruction that wrote *)
+  mutable sync_loc : bool;
+}
+
+type t
+
+val create : ?granularity:int -> unit -> t
+(** [granularity] is the number of bytes per shadow cell (default 1). *)
+
+val granularity : t -> int
+
+val find : t -> Gtrace.Loc.t -> cell
+(** Cell covering a location's address, allocating page and cell on
+    demand. *)
+
+val cells_of_access : t -> Gtrace.Loc.t -> width:int -> (Gtrace.Loc.t * cell) list
+(** All cells covered by an access of [width] bytes at the location,
+    each paired with the location of the cell's first byte. *)
+
+val pages : t -> int
+val cells : t -> int
+val bytes : t -> int
+(** Shadow bytes allocated, at the paper's 32 bytes per cell. *)

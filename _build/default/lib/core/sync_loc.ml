@@ -1,0 +1,62 @@
+module Cvc = Vclock.Cvc
+module Loc = Gtrace.Loc
+
+type entry = {
+  mutable global_vc : Cvc.t option;
+  per_block : (int, Cvc.t) Hashtbl.t;
+}
+
+type t = {
+  layout : Vclock.Layout.t;
+  lock : Mutex.t; (* synchronization locations are rare and shared
+                     across host threads: one lock suffices *)
+  locs : entry Loc.Tbl.t;
+}
+
+let create layout = { layout; lock = Mutex.create (); locs = Loc.Tbl.create 16 }
+let _ = fun t -> t.layout
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let entry_of t loc =
+  match Loc.Tbl.find_opt t.locs loc with
+  | Some e -> e
+  | None ->
+      let e = { global_vc = None; per_block = Hashtbl.create 4 } in
+      Loc.Tbl.add t.locs loc e;
+      e
+
+let effective t loc ~block =
+  locked t @@ fun () ->
+  match Loc.Tbl.find_opt t.locs loc with
+  | None -> None
+  | Some e -> (
+      match Hashtbl.find_opt e.per_block block with
+      | Some v -> Some v
+      | None -> e.global_vc)
+
+let join_all_blocks t loc =
+  locked t @@ fun () ->
+  match Loc.Tbl.find_opt t.locs loc with
+  | None -> None
+  | Some e ->
+      Hashtbl.fold
+        (fun _b v acc ->
+          match acc with None -> Some v | Some a -> Some (Cvc.join a v))
+        e.per_block e.global_vc
+
+let release_block t loc ~block v =
+  locked t @@ fun () ->
+  let e = entry_of t loc in
+  Hashtbl.replace e.per_block block v
+
+let release_global t loc v =
+  locked t @@ fun () ->
+  let e = entry_of t loc in
+  Hashtbl.reset e.per_block;
+  e.global_vc <- Some v
+
+let count t = locked t @@ fun () -> Loc.Tbl.length t.locs
+let mem t loc = locked t @@ fun () -> Loc.Tbl.mem t.locs loc

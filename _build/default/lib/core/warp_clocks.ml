@@ -1,0 +1,210 @@
+module Layout = Vclock.Layout
+module Cvc = Vclock.Cvc
+module Epoch = Vclock.Epoch
+module Vc = Vclock.Vector_clock
+
+type frame = {
+  mutable mask : int; (* lanes active on this path *)
+  mutable local : int; (* mutual clock of the active lanes *)
+  sib : int array; (* per-lane view: [local] for active, frozen otherwise *)
+}
+
+type t = {
+  layout : Layout.t;
+  warp : int;
+  ws : int;
+  first_tid : int;
+  own : int array; (* own clock per lane *)
+  overlay : Cvc.t option array; (* per-lane acquire-derived entries *)
+  mutable block_clock : int;
+  mutable stack : frame list; (* top first; never empty *)
+}
+
+type format = Converged | Diverged | Nested_diverged | Sparse_vc
+
+(* Initial state: each thread at clock 0 with own entry 1 (C_t = inc_t ⊥). *)
+let create layout ~warp =
+  let ws = layout.Layout.warp_size in
+  let mask = Layout.full_mask layout ~warp in
+  {
+    layout;
+    warp;
+    ws;
+    first_tid = Layout.tid_of_warp_lane layout ~warp ~lane:0;
+    own = Array.make ws 1;
+    overlay = Array.make ws None;
+    block_clock = 0;
+    stack = [ { mask; local = 0; sib = Array.make ws 0 } ];
+  }
+
+let warp t = t.warp
+
+let top t =
+  match t.stack with f :: _ -> f | [] -> assert false
+
+let active_mask t = (top t).mask
+let depth t = List.length t.stack
+let own_clock t ~lane = t.own.(lane)
+
+let epoch t ~lane =
+  Epoch.make ~clock:t.own.(lane) ~tid:(t.first_tid + lane)
+
+let base_entry t ~lane ~tid =
+  if tid >= t.first_tid && tid < t.first_tid + t.ws then
+    let u = tid - t.first_tid in
+    if u = lane then t.own.(lane) else max (top t).sib.(u) t.block_clock
+  else if Layout.block_of_tid t.layout tid = Layout.block_of_warp t.layout t.warp
+  then t.block_clock
+  else 0
+
+let entry t ~lane ~tid =
+  let base = base_entry t ~lane ~tid in
+  match t.overlay.(lane) with
+  | None -> base
+  | Some o -> max base (Cvc.get o tid)
+
+let overlay_union_of t mask =
+  List.fold_left
+    (fun acc lane ->
+      match (acc, t.overlay.(lane)) with
+      | None, o -> o
+      | acc, None -> acc
+      | Some a, Some b -> Some (Cvc.join a b))
+    None
+    (Simt.Event.mask_lanes mask)
+
+let overlay_union t = overlay_union_of t (active_mask t)
+
+(* Renormalizing join-and-fork over [mask]'s lanes within the top frame:
+   new shared clock = max own; every lane's own moves one past it. *)
+let join_fork t ~mask =
+  if mask <> 0 then begin
+    let f = top t in
+    let lanes = Simt.Event.mask_lanes mask in
+    let m = List.fold_left (fun acc l -> max acc t.own.(l)) 0 lanes in
+    f.local <- m;
+    let shared = overlay_union_of t mask in
+    List.iter
+      (fun l ->
+        f.sib.(l) <- m;
+        t.own.(l) <- m + 1;
+        t.overlay.(l) <- shared)
+      lanes
+  end
+
+let push_if t ~then_mask ~else_mask =
+  let f = top t in
+  (* The else path snapshots the pre-branch view; it activates later. *)
+  let else_frame = { mask = else_mask; local = f.local; sib = Array.copy f.sib } in
+  let then_frame = { mask = then_mask; local = f.local; sib = Array.copy f.sib } in
+  t.stack <- then_frame :: else_frame :: t.stack;
+  join_fork t ~mask:then_mask
+
+let pop_path t ~mask =
+  (match t.stack with
+  | _ :: (_ :: _ as rest) -> t.stack <- rest
+  | [ _ ] | [] -> invalid_arg "Warp_clocks.pop_path: nothing to pop");
+  let f = top t in
+  f.mask <- mask;
+  join_fork t ~mask
+
+let acquire t ~lane cvc =
+  t.overlay.(lane) <-
+    (match t.overlay.(lane) with
+    | None -> Some cvc
+    | Some o -> Some (Cvc.join o cvc))
+
+let release_increment t ~lane = t.own.(lane) <- t.own.(lane) + 1
+
+let materialize t ~lane =
+  let base = Cvc.bottom t.layout in
+  let block = Layout.block_of_warp t.layout t.warp in
+  let v = Cvc.raise_block base block t.block_clock in
+  let f = top t in
+  let v = ref v in
+  for u = 0 to t.ws - 1 do
+    let tid = t.first_tid + u in
+    let c = if u = lane then t.own.(lane) else f.sib.(u) in
+    v := Cvc.set_point !v tid c
+  done;
+  match t.overlay.(lane) with None -> !v | Some o -> Cvc.join !v o
+
+let to_vector_clock t ~lane =
+  let acc = ref Vc.bottom in
+  for tid = 0 to Layout.total_threads t.layout - 1 do
+    let c = entry t ~lane ~tid in
+    if c > 0 then acc := Vc.set !acc tid c
+  done;
+  !acc
+
+let max_own t = Array.fold_left max 0 t.own
+
+let block_clock t = t.block_clock
+
+let apply_barrier t ~clock ~overlay =
+  let f = top t in
+  let live = f.mask in
+  for u = 0 to t.ws - 1 do
+    if live land (1 lsl u) <> 0 then begin
+      f.sib.(u) <- clock;
+      t.own.(u) <- clock + 1;
+      t.overlay.(u) <- overlay
+    end
+    else
+      (* lanes that retired (or never existed): freeze at their final
+         own clock so their past accesses stay ordered by the barrier *)
+      f.sib.(u) <- max f.sib.(u) t.own.(u)
+  done;
+  f.local <- clock;
+  t.block_clock <- clock
+
+let format_of t =
+  let f = top t in
+  let has_overlay =
+    List.exists
+      (fun l -> t.overlay.(l) <> None)
+      (Simt.Event.mask_lanes f.mask)
+  in
+  if has_overlay then Sparse_vc
+  else if List.length t.stack = 1 then Converged
+  else begin
+    (* diverged: check whether the frozen entries are one scalar *)
+    let frozen = ref [] in
+    for u = 0 to t.ws - 1 do
+      if f.mask land (1 lsl u) = 0 then frozen := f.sib.(u) :: !frozen
+    done;
+    match !frozen with
+    | [] -> Diverged
+    | c :: rest ->
+        if List.for_all (Int.equal c) rest then Diverged else Nested_diverged
+  end
+
+let footprint_bytes t =
+  (* Mirror the paper's 16-byte stack entries: CONVERGED/DIVERGED frames
+     are scalar-only; NESTEDDIVERGED carries a warp-sized clock vector;
+     overlays pay for what they store. *)
+  let frame_bytes f =
+    let frozen_uniform =
+      let frozen = ref [] in
+      for u = 0 to t.ws - 1 do
+        if f.mask land (1 lsl u) = 0 then frozen := f.sib.(u) :: !frozen
+      done;
+      match !frozen with
+      | [] -> true
+      | c :: rest -> List.for_all (Int.equal c) rest
+    in
+    if frozen_uniform then 16 else 16 + (4 * t.ws)
+  in
+  let overlays =
+    Array.fold_left
+      (fun acc o -> match o with None -> acc | Some o -> acc + (12 * Cvc.footprint o))
+      0 t.overlay
+  in
+  List.fold_left (fun acc f -> acc + frame_bytes f) 0 t.stack
+  + (4 * t.ws) (* own clocks *) + overlays
+
+let pp_format ppf = function
+  | Converged -> Format.pp_print_string ppf "CONVERGED"
+  | Diverged -> Format.pp_print_string ppf "DIVERGED"
+  | Nested_diverged -> Format.pp_print_string ppf "NESTEDDIVERGED"
+  | Sparse_vc -> Format.pp_print_string ppf "SPARSEVC"

@@ -1,0 +1,1 @@
+lib/gtrace/feasible.ml: Format Hashtbl Op Printf Vclock

@@ -1,0 +1,1 @@
+lib/gtrace/feasible.mli: Format Op Vclock

@@ -1,0 +1,1 @@
+lib/gtrace/infer.ml: Array List Loc Op Ptx Roles Simt Vclock

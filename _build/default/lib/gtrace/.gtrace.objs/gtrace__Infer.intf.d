@@ -1,0 +1,1 @@
+lib/gtrace/infer.mli: Op Ptx Roles Simt Vclock

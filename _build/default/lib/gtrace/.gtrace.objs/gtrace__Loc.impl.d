@@ -1,0 +1,1 @@
+lib/gtrace/loc.ml: Format Hashtbl Int Map Ptx Stdlib

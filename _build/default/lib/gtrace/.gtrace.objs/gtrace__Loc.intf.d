@@ -1,0 +1,1 @@
+lib/gtrace/loc.mli: Format Hashtbl Map Ptx

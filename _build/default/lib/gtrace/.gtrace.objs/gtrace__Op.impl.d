@@ -1,0 +1,1 @@
+lib/gtrace/op.ml: Format List Loc Simt Vclock

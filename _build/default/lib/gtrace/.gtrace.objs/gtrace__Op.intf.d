@@ -1,0 +1,1 @@
+lib/gtrace/op.mli: Format Loc Vclock

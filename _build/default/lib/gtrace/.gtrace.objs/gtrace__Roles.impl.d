@@ -1,0 +1,1 @@
+lib/gtrace/roles.ml: Array Format Op Ptx

@@ -1,0 +1,1 @@
+lib/gtrace/roles.mli: Format Op Ptx

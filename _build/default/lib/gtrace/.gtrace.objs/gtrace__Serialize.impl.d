@@ -1,0 +1,1 @@
+lib/gtrace/serialize.ml: Buffer Int64 List Loc Op Printf Ptx Scanf String Vclock

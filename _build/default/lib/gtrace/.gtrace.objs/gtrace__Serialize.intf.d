@@ -1,0 +1,1 @@
+lib/gtrace/serialize.mli: Op Vclock

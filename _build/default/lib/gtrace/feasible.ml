@@ -1,0 +1,89 @@
+type violation = { index : int; message : string }
+
+let pp_violation ppf { index; message } =
+  Format.fprintf ppf "op %d: %s" index message
+
+(* Per-warp replay state: the active-mask stack (as maintained by the
+   if/else/fi discipline) and the set of lanes that have performed a
+   memory operation since the last endi. *)
+type warp_check = {
+  mutable masks : int list; (* divergence stack; top = current amask *)
+  mutable pending : int; (* lanes with mem ops awaiting endi *)
+}
+
+exception Bad of string
+
+let check ~layout ops =
+  let warps = Hashtbl.create 16 in
+  let warp_state w =
+    match Hashtbl.find_opt warps w with
+    | Some s -> s
+    | None ->
+        let s = { masks = [ Vclock.Layout.full_mask layout ~warp:w ]; pending = 0 } in
+        Hashtbl.add warps w s;
+        s
+  in
+  let top s =
+    match s.masks with m :: _ -> m | [] -> raise (Bad "empty mask stack")
+  in
+  let lane_bit tid =
+    let lane = Vclock.Layout.lane_of_tid layout tid in
+    1 lsl lane
+  in
+  let mem_op w tid =
+    let s = warp_state w in
+    let bit = lane_bit tid in
+    if bit land top s = 0 then
+      raise (Bad (Printf.sprintf "memory op by inactive thread t%d" tid));
+    s.pending <- s.pending lor bit
+  in
+  let check_op = function
+    | Op.Rd { tid; _ } | Op.Wr { tid; _ } | Op.Atm { tid; _ }
+    | Op.Acq { tid; _ } | Op.Rel { tid; _ } | Op.AcqRel { tid; _ } ->
+        mem_op (Vclock.Layout.warp_of_tid layout tid) tid
+    | Op.Endi { warp; mask } ->
+        let s = warp_state warp in
+        if mask land lnot (top s) <> 0 then
+          raise (Bad "endi mask includes inactive lanes");
+        if s.pending land lnot mask <> 0 then
+          raise (Bad "endi mask misses lanes with pending memory ops");
+        s.pending <- 0
+    | Op.If { warp; then_mask; else_mask } ->
+        let s = warp_state warp in
+        if s.pending <> 0 then raise (Bad "if with pending memory ops");
+        let cur = top s in
+        if then_mask land else_mask <> 0 then
+          raise (Bad "if masks overlap");
+        (* Retired lanes (ret inside a path) are invisible in the trace,
+           so the two paths cover a subset of the recorded active mask. *)
+        if (then_mask lor else_mask) land lnot cur <> 0 then
+          raise (Bad "if masks exceed the active mask");
+        if then_mask = 0 || else_mask = 0 then
+          raise (Bad "if with an empty path");
+        (* else first, then on top: then executes first *)
+        s.masks <- then_mask :: else_mask :: s.masks
+    | Op.Else { warp; mask } ->
+        let s = warp_state warp in
+        if s.pending <> 0 then raise (Bad "else with pending memory ops");
+        (match s.masks with
+        | _ :: rest -> s.masks <- rest
+        | [] -> raise (Bad "else on empty stack"));
+        (* Lanes may have retired; the announced mask must be a subset. *)
+        if mask land lnot (top s) <> 0 then raise (Bad "else mask mismatch")
+    | Op.Fi { warp; mask } ->
+        let s = warp_state warp in
+        if s.pending <> 0 then raise (Bad "fi with pending memory ops");
+        (match s.masks with
+        | _ :: (_ :: _ as rest) -> s.masks <- rest
+        | _ -> raise (Bad "fi popping the base mask"));
+        if mask land lnot (top s) <> 0 then raise (Bad "fi mask mismatch")
+    | Op.Bar _ -> ()
+  in
+  let rec go i = function
+    | [] -> Ok ()
+    | op :: rest -> (
+        match check_op op with
+        | () -> go (i + 1) rest
+        | exception Bad message -> Error { index = i; message })
+  in
+  go 0 ops

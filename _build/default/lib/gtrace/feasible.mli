@@ -1,0 +1,14 @@
+(** Feasibility checks for traces (paper §3.1).
+
+    The race-detection theory only applies to {e feasible} traces:
+    warp-level memory instructions appear as a consecutive run of
+    thread-level operations by the active lanes followed by an [endi],
+    and branch operations nest properly per warp.  The checker replays a
+    trace against a per-warp discipline and reports the first violation,
+    which the test suite uses to validate that the simulator + inference
+    pipeline only ever produces feasible traces. *)
+
+type violation = { index : int; message : string }
+
+val check : layout:Vclock.Layout.t -> Op.t list -> (unit, violation) result
+val pp_violation : Format.formatter -> violation -> unit

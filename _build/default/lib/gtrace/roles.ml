@@ -1,0 +1,100 @@
+type t =
+  | Plain
+  | Acquire of Op.scope
+  | Release of Op.scope
+  | Acquire_release of Op.scope
+
+let scope_of_fence = function
+  | Ptx.Ast.Cta -> Op.Block
+  | Ptx.Ast.Gl | Ptx.Ast.Sys -> Op.Global_scope
+
+let join_scope a b =
+  match (a, b) with
+  | Op.Global_scope, _ | _, Op.Global_scope -> Op.Global_scope
+  | Op.Block, Op.Block -> Op.Block
+
+(* Instructions transparent to the atomic/fence pairing scan: pure ALU
+   work and the conditional branch of a spin loop.  Memory accesses,
+   barriers and fences themselves stop the scan. *)
+let is_transparent = function
+  | Ptx.Ast.Setp _ | Ptx.Ast.Mov _ | Ptx.Ast.Binop _ | Ptx.Ast.Mad _
+  | Ptx.Ast.Selp _ | Ptx.Ast.Not _ | Ptx.Ast.Cvt _ | Ptx.Ast.Bra _
+  | Ptx.Ast.Nop ->
+      true
+  | Ptx.Ast.Ld _ | Ptx.Ast.St _ | Ptx.Ast.Atom _ | Ptx.Ast.Membar _
+  | Ptx.Ast.Bar_sync _ | Ptx.Ast.Ret | Ptx.Ast.Exit ->
+      false
+
+let scan_window = 8
+
+let classify (k : Ptx.Ast.kernel) =
+  let body = k.Ptx.Ast.body in
+  let n = Array.length body in
+  let unguarded_fence i =
+    match body.(i).Ptx.Ast.kind with
+    | Ptx.Ast.Membar s when body.(i).Ptx.Ast.guard = None ->
+        Some (scope_of_fence s)
+    | _ -> None
+  in
+  (* Strict adjacency (no intervening label) for plain loads/stores. *)
+  let fence_before i =
+    if i = 0 || body.(i).Ptx.Ast.label <> None then None
+    else unguarded_fence (i - 1)
+  in
+  let fence_after i =
+    if i + 1 >= n || body.(i + 1).Ptx.Ast.label <> None then None
+    else unguarded_fence (i + 1)
+  in
+  (* Windowed scan for atomics: a compiled lock loop interposes the
+     loop test ([setp]; [@%p bra]) between the CAS and the fence, so
+     pairing an atomic with its fence must look through transparent
+     instructions (bounded window, stopping at labels — a label is a
+     join point where the pairing would be unsound). *)
+  let fence_after_atomic i =
+    let rec go j remaining =
+      if j >= n || remaining = 0 || body.(j).Ptx.Ast.label <> None then None
+      else
+        match unguarded_fence j with
+        | Some s -> Some s
+        | None ->
+            if is_transparent body.(j).Ptx.Ast.kind then go (j + 1) (remaining - 1)
+            else None
+    in
+    go (i + 1) scan_window
+  in
+  let fence_before_atomic i =
+    let rec go j remaining =
+      if j < 0 || remaining = 0 then None
+      else
+        match unguarded_fence j with
+        | Some s -> if body.(j + 1).Ptx.Ast.label <> None then None else Some s
+        | None ->
+            if
+              body.(j).Ptx.Ast.label = None
+              && is_transparent body.(j).Ptx.Ast.kind
+            then go (j - 1) (remaining - 1)
+            else None
+    in
+    if body.(i).Ptx.Ast.label <> None then None else go (i - 1) scan_window
+  in
+  Array.init n (fun i ->
+      match body.(i).Ptx.Ast.kind with
+      | Ptx.Ast.Ld { space = Ptx.Ast.Global | Ptx.Ast.Shared; _ } -> (
+          match fence_after i with Some s -> Acquire s | None -> Plain)
+      | Ptx.Ast.St { space = Ptx.Ast.Global | Ptx.Ast.Shared; _ } -> (
+          match fence_before i with Some s -> Release s | None -> Plain)
+      | Ptx.Ast.Atom { op; space = Ptx.Ast.Global | Ptx.Ast.Shared; _ } -> (
+          match (fence_before_atomic i, fence_after_atomic i, op) with
+          | Some s1, Some s2, _ -> Acquire_release (join_scope s1 s2)
+          | _, Some s, Ptx.Ast.A_cas -> Acquire s
+          | Some s, _, Ptx.Ast.A_exch -> Release s
+          | _, _, _ -> Plain)
+      | _ -> Plain)
+
+let pp ppf = function
+  | Plain -> Format.pp_print_string ppf "plain"
+  | Acquire s -> Format.fprintf ppf "acquire(%a)" Op.pp_scope s
+  | Release s -> Format.fprintf ppf "release(%a)" Op.pp_scope s
+  | Acquire_release s -> Format.fprintf ppf "acq-rel(%a)" Op.pp_scope s
+
+let equal (a : t) (b : t) = a = b

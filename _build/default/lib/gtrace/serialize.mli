@@ -1,0 +1,26 @@
+(** Textual serialization of abstract traces.
+
+    One operation per line, in a stable human-greppable format, with a
+    header recording the grid layout so a trace file is self-contained:
+
+    {v
+    # barracuda-trace v1 warp_size=4 threads_per_block=8 blocks=2
+    wr t0 g:0x100 =1
+    endi w0 f
+    bar b0
+    acqglb t8 g:0x300
+    v}
+
+    Traces captured from a run ([barracuda check --dump-trace]) can be
+    re-checked offline ([barracuda replay]), diffed between runs, or
+    minimized by hand while debugging a report. *)
+
+val to_channel : layout:Vclock.Layout.t -> out_channel -> Op.t list -> unit
+val to_string : layout:Vclock.Layout.t -> Op.t list -> string
+
+exception Parse_error of { line : int; message : string }
+
+val of_channel : in_channel -> Vclock.Layout.t * Op.t list
+(** @raise Parse_error on malformed input. *)
+
+val of_string : string -> Vclock.Layout.t * Op.t list

@@ -1,0 +1,1 @@
+lib/instrument/pass.ml: Array Cfg Hashtbl Int64 List Printf Prune Ptx Stats

@@ -1,0 +1,1 @@
+lib/instrument/pass.mli: Ptx Stats

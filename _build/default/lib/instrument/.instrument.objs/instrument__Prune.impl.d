@@ -1,0 +1,1 @@
+lib/instrument/prune.ml: Array Cfg Ptx Set Stdlib String

@@ -1,0 +1,1 @@
+lib/instrument/stats.ml: Format

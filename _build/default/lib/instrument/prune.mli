@@ -1,0 +1,16 @@
+(** Intra-basic-block logging redundancy elimination (§4.1).
+
+    Following RedCard-style reasoning, BARRACUDA skips the logging call
+    for a memory access whose address register has not changed since an
+    earlier logged access to the same address within the same basic
+    block: the earlier log entry already captures the race-relevant
+    event, and same-thread accesses in one block are program-ordered.
+
+    [redundant k] marks, per instruction, the accesses whose logging the
+    optimized instrumentation drops.  An address is keyed by (state
+    space, base operand, offset, width); a key dies when its base
+    register is overwritten, and all keys die at basic-block
+    boundaries, barriers and fences (fences change the synchronization
+    role of neighbouring accesses). *)
+
+val redundant : Ptx.Ast.kernel -> bool array

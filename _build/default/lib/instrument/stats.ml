@@ -1,0 +1,20 @@
+type t = {
+  total_static : int;
+  mem_logged : int;
+  sync_logged : int;
+  convergence_logged : int;
+  pruned : int;
+  predicated_rewritten : int;
+}
+
+let instrumented t = t.mem_logged + t.sync_logged + t.convergence_logged
+
+let fraction t =
+  if t.total_static = 0 then 0.0
+  else float_of_int (instrumented t) /. float_of_int t.total_static
+
+let pp ppf t =
+  Format.fprintf ppf
+    "static=%d logged(mem=%d sync=%d conv=%d) pruned=%d predicated=%d (%.1f%%)"
+    t.total_static t.mem_logged t.sync_logged t.convergence_logged t.pruned
+    t.predicated_rewritten (100.0 *. fraction t)

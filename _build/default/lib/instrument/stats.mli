@@ -1,0 +1,23 @@
+(** Instrumentation statistics: the data behind Figure 9 and Table 1
+    column 2.
+
+    [fraction] is the share of static PTX instructions (of the original
+    kernel) that receive logging calls — the paper's headline metric,
+    which stays below half because arithmetic dominates GPU kernels. *)
+
+type t = {
+  total_static : int;  (** original static instruction count *)
+  mem_logged : int;  (** memory accesses logged *)
+  sync_logged : int;  (** fences + barriers logged *)
+  convergence_logged : int;  (** branch convergence points logged *)
+  pruned : int;  (** logging calls removed by the optimization *)
+  predicated_rewritten : int;  (** predicated accesses turned into branches *)
+}
+
+val instrumented : t -> int
+(** Total instructions carrying logging calls. *)
+
+val fraction : t -> float
+(** [instrumented / total_static]. *)
+
+val pp : Format.formatter -> t -> unit

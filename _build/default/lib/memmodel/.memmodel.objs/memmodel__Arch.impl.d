@@ -1,0 +1,1 @@
+lib/memmodel/arch.ml: Format

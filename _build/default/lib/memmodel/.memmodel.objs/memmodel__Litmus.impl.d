@@ -1,0 +1,1 @@
+lib/memmodel/litmus.ml: Arch Format Hashtbl Int64 List Ptx

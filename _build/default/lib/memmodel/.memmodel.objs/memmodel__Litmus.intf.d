@@ -1,0 +1,1 @@
+lib/memmodel/litmus.mli: Arch Format Ptx

@@ -1,0 +1,12 @@
+type t = {
+  name : string;
+  cta_fence_effective : bool;
+  stale_probability : float;
+}
+
+let k520 = { name = "K520"; cta_fence_effective = false; stale_probability = 0.06 }
+
+let gtx_titan_x =
+  { name = "GTX Titan X"; cta_fence_effective = true; stale_probability = 0.06 }
+
+let pp ppf t = Format.pp_print_string ppf t.name

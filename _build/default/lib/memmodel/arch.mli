@@ -1,0 +1,28 @@
+(** Architecture models for the weak-memory litmus machine.
+
+    The paper's fence litmus tests (§3.3.3, Figure 4) ran on two GPUs
+    with different observable behaviour: on the GRID K520 a
+    [membar.cta] in both threads admits non-SC message-passing
+    outcomes, while on the GTX Titan X it does not; a [membar.gl] in
+    either thread restores SC on both.  We model the distinction with a
+    single knob: whether a block-scoped fence is {e globally effective}
+    (propagates/invalidates across blocks) on that architecture. *)
+
+type t = {
+  name : string;
+  cta_fence_effective : bool;
+      (** does [membar.cta] act across thread blocks? *)
+  stale_probability : float;
+      (** probability that a reader block holds a stale local copy of a
+          location at kernel start; calibrated so the K520 weak-outcome
+          rate lands near the paper's ~0.7%% of runs *)
+}
+
+val k520 : t
+(** Kepler GRID K520: [membar.cta] is not globally effective. *)
+
+val gtx_titan_x : t
+(** Maxwell GTX Titan X: block fences behaved globally in all observed
+    runs. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,174 @@
+type instr =
+  | St of string * int64
+  | Ld of string * string
+  | Fence of Ptx.Ast.fence_scope
+
+type thread = instr list
+
+type test = {
+  tname : string;
+  init : (string * int64) list;
+  writer : thread;
+  reader : thread;
+  weak : (string * int64) list;
+}
+
+let mp ~fence1 ~fence2 =
+  {
+    tname = "mp";
+    init = [ ("x", 0L); ("y", 0L) ];
+    writer = [ St ("x", 1L); Fence fence1; St ("y", 1L) ];
+    reader = [ Ld ("r1", "y"); Fence fence2; Ld ("r2", "x") ];
+    weak = [ ("r1", 1L); ("r2", 0L) ];
+  }
+
+(* Seeded xorshift64* PRNG, so runs are reproducible. *)
+module Rng = struct
+  type t = { mutable s : int64 }
+
+  let create seed = { s = Int64.of_int (if seed = 0 then 0x9E3779B9 else seed) }
+
+  let next t =
+    let open Int64 in
+    let x = t.s in
+    let x = logxor x (shift_left x 13) in
+    let x = logxor x (shift_right_logical x 7) in
+    let x = logxor x (shift_left x 17) in
+    t.s <- x;
+    x
+
+  let float t =
+    let v = Int64.to_float (Int64.logand (next t) 0xFFFFFFFFL) in
+    v /. 4294967296.0
+
+  let bool t p = float t < p
+  let int t n = Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int) (Int64.of_int n))
+end
+
+let effective (arch : Arch.t) = function
+  | Ptx.Ast.Gl | Ptx.Ast.Sys -> true
+  | Ptx.Ast.Cta -> arch.Arch.cta_fence_effective
+
+type run_state = {
+  memory : (string, int64) Hashtbl.t;
+  (* The reader block's stale local copies: variable -> stale value.
+     Populated from the initial state with [stale_probability]. *)
+  reader_stale : (string, int64) Hashtbl.t;
+  regs : (string, int64) Hashtbl.t;
+}
+
+let exec_writer arch st = function
+  | St (v, value) -> Hashtbl.replace st.memory v value
+  | Fence scope ->
+      (* A globally effective writer fence propagates prior stores
+         everywhere: remote stale copies die. *)
+      if effective arch scope then Hashtbl.reset st.reader_stale
+  | Ld (r, v) ->
+      let value =
+        match Hashtbl.find_opt st.memory v with Some x -> x | None -> 0L
+      in
+      Hashtbl.replace st.regs r value
+
+let exec_reader arch st = function
+  | St (v, value) -> Hashtbl.replace st.memory v value
+  | Fence scope -> if effective arch scope then Hashtbl.reset st.reader_stale
+  | Ld (r, v) ->
+      let value =
+        match Hashtbl.find_opt st.reader_stale v with
+        | Some stale -> stale
+        | None -> (
+            match Hashtbl.find_opt st.memory v with Some x -> x | None -> 0L)
+      in
+      Hashtbl.replace st.regs r value
+
+let run_once arch test ~seed =
+  let rng = Rng.create seed in
+  let st =
+    {
+      memory = Hashtbl.create 8;
+      reader_stale = Hashtbl.create 8;
+      regs = Hashtbl.create 8;
+    }
+  in
+  List.iter (fun (v, value) -> Hashtbl.replace st.memory v value) test.init;
+  (* Memory-stress strategy: with some probability the reader block
+     holds a pre-run stale copy of each variable. *)
+  List.iter
+    (fun (v, value) ->
+      if Rng.bool rng arch.Arch.stale_probability then
+        Hashtbl.replace st.reader_stale v value)
+    test.init;
+  (* Randomized interleaving preserving each thread's program order. *)
+  let writer = ref test.writer and reader = ref test.reader in
+  let rec go () =
+    match (!writer, !reader) with
+    | [], [] -> ()
+    | w :: ws, [] ->
+        exec_writer arch st w;
+        writer := ws;
+        go ()
+    | [], r :: rs ->
+        exec_reader arch st r;
+        reader := rs;
+        go ()
+    | w :: ws, r :: rs ->
+        if Rng.int rng 2 = 0 then begin
+          exec_writer arch st w;
+          writer := ws
+        end
+        else begin
+          exec_reader arch st r;
+          reader := rs
+        end;
+        go ()
+  in
+  go ();
+  Hashtbl.fold (fun r v acc -> (r, v) :: acc) st.regs []
+
+let is_weak test regs =
+  List.for_all
+    (fun (r, want) ->
+      match List.assoc_opt r regs with Some v -> v = want | None -> false)
+    test.weak
+
+let weak_count arch test ~runs ~seed =
+  let count = ref 0 in
+  for i = 1 to runs do
+    let regs = run_once arch test ~seed:(seed + (i * 2654435761)) in
+    if is_weak test regs then incr count
+  done;
+  !count
+
+type figure4_row = {
+  fence1 : Ptx.Ast.fence_scope;
+  fence2 : Ptx.Ast.fence_scope;
+  k520_observations : int;
+  titan_observations : int;
+  runs : int;
+}
+
+let figure4 ?(runs = 200_000) ?(seed = 42) () =
+  let combos =
+    [
+      (Ptx.Ast.Cta, Ptx.Ast.Cta);
+      (Ptx.Ast.Cta, Ptx.Ast.Gl);
+      (Ptx.Ast.Gl, Ptx.Ast.Cta);
+      (Ptx.Ast.Gl, Ptx.Ast.Gl);
+    ]
+  in
+  List.map
+    (fun (fence1, fence2) ->
+      let test = mp ~fence1 ~fence2 in
+      {
+        fence1;
+        fence2;
+        k520_observations = weak_count Arch.k520 test ~runs ~seed;
+        titan_observations = weak_count Arch.gtx_titan_x test ~runs ~seed;
+        runs;
+      })
+    combos
+
+let pp_row ppf r =
+  let scope s = Format.asprintf "membar.%a" Ptx.Ast.pp_fence_scope s in
+  Format.fprintf ppf "%-11s %-11s %8d %8d (of %d runs)" (scope r.fence1)
+    (scope r.fence2) r.k520_observations r.titan_observations r.runs

@@ -1,0 +1,61 @@
+(** Weak-memory litmus machine (paper §3.3.3, Figure 4).
+
+    Executes two-thread litmus programs — each thread in a distinct
+    thread block — under a mechanistic weak model:
+
+    - stores drain to global memory in program order (the default [.cg]
+      cache operator skips the incoherent L1, and store-store
+      reordering was never needed to explain the paper's observations);
+    - a reader block may hold a {e stale local copy} of a location from
+      before the writer's stores;
+    - a {e globally effective} fence by the writer pushes its prior
+      stores through, invalidating remote stale copies; a globally
+      effective fence by the reader drops the reader's own stale
+      copies; [membar.gl]/[membar.sys] are always globally effective,
+      [membar.cta] only on architectures where {!Arch.t}
+      [cta_fence_effective] holds.
+
+    A message-passing weak outcome ([r1=1 ∧ r2=0]) therefore requires a
+    stale copy that {e neither} fence cleared — reproducing Figure 4's
+    shape: non-SC observations only with cta fences in both threads,
+    and only on the K520 model.  Thread schedules and staleness are
+    drawn from a seeded PRNG, with the memory-stress-style interleaving
+    the paper borrows from prior litmus work. *)
+
+type instr =
+  | St of string * int64  (** store to a global variable *)
+  | Ld of string * string  (** [Ld (reg, var)] *)
+  | Fence of Ptx.Ast.fence_scope
+
+type thread = instr list
+
+type test = {
+  tname : string;
+  init : (string * int64) list;  (** initial variable values; default 0 *)
+  writer : thread;  (** runs in block 0 *)
+  reader : thread;  (** runs in block 1 *)
+  weak : (string * int64) list;  (** register assignment marking a weak
+                                     (non-SC) outcome *)
+}
+
+val mp : fence1:Ptx.Ast.fence_scope -> fence2:Ptx.Ast.fence_scope -> test
+(** The message-passing test of Figure 4 with the given fences. *)
+
+val run_once : Arch.t -> test -> seed:int -> (string * int64) list
+(** Final register values of one randomized run. *)
+
+val weak_count : Arch.t -> test -> runs:int -> seed:int -> int
+(** Number of runs exhibiting the weak outcome. *)
+
+type figure4_row = {
+  fence1 : Ptx.Ast.fence_scope;
+  fence2 : Ptx.Ast.fence_scope;
+  k520_observations : int;
+  titan_observations : int;
+  runs : int;
+}
+
+val figure4 : ?runs:int -> ?seed:int -> unit -> figure4_row list
+(** The four fence combinations of Figure 4, on both GPU models. *)
+
+val pp_row : Format.formatter -> figure4_row -> unit

@@ -1,0 +1,1 @@
+lib/ptx/ast.ml: Array Format Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/ptx/ast.mli: Format Hashtbl

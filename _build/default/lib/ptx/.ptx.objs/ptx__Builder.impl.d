@@ -1,0 +1,1 @@
+lib/ptx/builder.ml: Array Ast Int64 List Printf

@@ -1,0 +1,1 @@
+lib/ptx/lexer.ml: Char Format Int64 String

@@ -1,0 +1,1 @@
+lib/ptx/lexer.mli: Format

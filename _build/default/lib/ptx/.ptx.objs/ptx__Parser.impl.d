@@ -1,0 +1,1 @@
+lib/ptx/parser.ml: Array Ast Format Int64 Lexer List Printf String

@@ -1,0 +1,1 @@
+lib/ptx/parser.mli: Ast

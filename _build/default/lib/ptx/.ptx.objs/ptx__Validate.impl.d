@@ -1,0 +1,1 @@
+lib/ptx/validate.ml: Array Ast Format Hashtbl List Set String

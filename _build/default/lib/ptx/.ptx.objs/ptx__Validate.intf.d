@@ -1,0 +1,1 @@
+lib/ptx/validate.mli: Ast Format

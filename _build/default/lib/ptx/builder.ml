@@ -1,0 +1,152 @@
+type t = {
+  kname : string;
+  params : string list;
+  mutable shared : (string * int) list;
+  mutable insns : Ast.insn list; (* reversed *)
+  mutable next_reg : int;
+  mutable next_label : int;
+  mutable pending_label : string option;
+}
+
+let create ?(params = []) ?(shared = []) kname =
+  {
+    kname;
+    params;
+    shared;
+    insns = [];
+    next_reg = 0;
+    next_label = 0;
+    pending_label = None;
+  }
+
+let fresh_reg ?(cls = "r") b =
+  b.next_reg <- b.next_reg + 1;
+  Printf.sprintf "%%%s%d" cls b.next_reg
+
+let fresh_label b =
+  b.next_label <- b.next_label + 1;
+  Printf.sprintf "L_%s_%d" b.kname b.next_label
+
+let place_label b l =
+  (match b.pending_label with
+  | Some prev ->
+      (* two labels on the same spot: pin the first to a nop *)
+      b.insns <- Ast.mk ~label:prev Ast.Nop :: b.insns
+  | None -> ());
+  b.pending_label <- Some l
+
+let emit ?label ?guard b kind =
+  (match label with Some l -> place_label b l | None -> ());
+  let label = b.pending_label in
+  b.pending_label <- None;
+  b.insns <- { Ast.label; guard; kind } :: b.insns
+
+let finish b =
+  (match b.insns with
+  | { Ast.kind = Ast.Ret; _ } :: _ | { Ast.kind = Ast.Exit; _ } :: _
+    when b.pending_label = None ->
+      ()
+  | _ -> emit b Ast.Ret);
+  {
+    Ast.kname = b.kname;
+    params = b.params;
+    shared_decls = List.rev b.shared;
+    body = Array.of_list (List.rev b.insns);
+  }
+
+let reg r = Ast.Reg r
+let imm n = Ast.Imm (Int64.of_int n)
+let sym s = Ast.Sym s
+
+let ld ?(space = Ast.Global) ?(cache = Ast.Ca) ?(width = 4) ?(offset = 0) b dst
+    base =
+  emit b (Ast.Ld { space; cache; width; dst; addr = { base; offset } })
+
+let st ?(space = Ast.Global) ?(cache = Ast.Ca) ?(width = 4) ?(offset = 0)
+    ?guard b base src =
+  emit ?guard b (Ast.St { space; cache; width; src; addr = { base; offset } })
+
+let atom ?(space = Ast.Global) ?(width = 4) ?(offset = 0) b op dst base src =
+  if op = Ast.A_cas then invalid_arg "Builder.atom: use atom_cas for cas";
+  emit b
+    (Ast.Atom { space; op; width; dst; addr = { base; offset }; src; src2 = None })
+
+let atom_cas ?(space = Ast.Global) ?(width = 4) ?(offset = 0) b dst base
+    compare value =
+  emit b
+    (Ast.Atom
+       {
+         space;
+         op = Ast.A_cas;
+         width;
+         dst;
+         addr = { base; offset };
+         src = compare;
+         src2 = Some value;
+       })
+
+let membar b scope = emit b (Ast.Membar scope)
+let bar b = emit b (Ast.Bar_sync 0)
+let mov b dst src = emit b (Ast.Mov { dst; src })
+let binop b op dst a bb = emit b (Ast.Binop { op; dst; a; b = bb })
+let mad b dst a bb c = emit b (Ast.Mad { dst; a; b = bb; c })
+let setp b cmp dst a bb = emit b (Ast.Setp { cmp; dst; a; b = bb })
+let bra ?(uni = false) ?guard b target = emit ?guard b (Ast.Bra { uni; target })
+let ret b = emit b Ast.Ret
+
+let global_tid b =
+  let dst = fresh_reg b in
+  mad b dst (Ast.Sreg Ast.Ctaid) (Ast.Sreg Ast.Ntid) (Ast.Sreg Ast.Tid);
+  dst
+
+(* Structured control flow compiles to the inverted-condition branch
+   pattern nvcc produces: test, branch over the then-block when false. *)
+let if_ b cmp x y body =
+  let p = fresh_reg ~cls:"p" b in
+  let l_end = fresh_label b in
+  setp b cmp p x y;
+  bra ~guard:(false, p) b l_end;
+  body b;
+  place_label b l_end
+
+let if_else b cmp x y then_ else_ =
+  let p = fresh_reg ~cls:"p" b in
+  let l_else = fresh_label b in
+  let l_end = fresh_label b in
+  setp b cmp p x y;
+  bra ~guard:(false, p) b l_else;
+  then_ b;
+  bra ~uni:true b l_end;
+  place_label b l_else;
+  else_ b;
+  place_label b l_end
+
+let while_ b cmp cond body =
+  let p = fresh_reg ~cls:"p" b in
+  let l_top = fresh_label b in
+  let l_end = fresh_label b in
+  place_label b l_top;
+  let x, y = cond b in
+  setp b cmp p x y;
+  bra ~guard:(false, p) b l_end;
+  body b;
+  bra ~uni:true b l_top;
+  place_label b l_end
+
+let spin_lock ?(space = Ast.Global) ?(fenced = true) b lock =
+  let old = fresh_reg b in
+  let p = fresh_reg ~cls:"p" b in
+  let l_top = fresh_label b in
+  place_label b l_top;
+  atom_cas ~space b old lock (imm 0) (imm 1);
+  setp b Ast.C_ne p (reg old) (imm 0);
+  bra ~guard:(true, p) b l_top;
+  if fenced then membar b Ast.Gl
+
+let spin_unlock ?(space = Ast.Global) ?(fenced = true) ?(atomic = true) b lock =
+  if fenced then membar b Ast.Gl;
+  if atomic then begin
+    let old = fresh_reg b in
+    atom ~space b Ast.A_exch old lock (imm 0)
+  end
+  else st ~space b lock (imm 0)

@@ -1,0 +1,87 @@
+(** Embedded DSL for constructing PTX kernels programmatically.
+
+    The workload suite and the 66-program concurrency bug suite build
+    their kernels with this module rather than as string blobs: the
+    combinators are type-checked, labels are fresh by construction, and
+    structured control flow ([if_], [if_else], [while_]) compiles down to
+    the same [setp]/[bra] idioms nvcc emits, so the trace-inference and
+    instrumentation passes see realistic code. *)
+
+type t
+
+val create : ?params:string list -> ?shared:(string * int) list -> string -> t
+(** [create name] starts a kernel named [name]. *)
+
+val fresh_reg : ?cls:string -> t -> string
+(** A fresh virtual register; [cls] picks the register class prefix
+    ([r] data (default), [p] predicate, [rd] address). *)
+
+val fresh_label : t -> string
+val emit : ?label:string -> ?guard:bool * string -> t -> Ast.insn_kind -> unit
+val place_label : t -> string -> unit
+(** Attach [label] to the next emitted instruction. *)
+
+val finish : t -> Ast.kernel
+(** Terminate with [ret] (if the last instruction isn't already a
+    return) and produce the kernel. *)
+
+(** {1 Instruction shorthands} *)
+
+val ld : ?space:Ast.space -> ?cache:Ast.cache_op -> ?width:int -> ?offset:int
+  -> t -> string -> Ast.operand -> unit
+(** [ld b dst base] emits a load from [[base+offset]]. *)
+
+val st : ?space:Ast.space -> ?cache:Ast.cache_op -> ?width:int -> ?offset:int
+  -> ?guard:bool * string -> t -> Ast.operand -> Ast.operand -> unit
+(** [st b base src] emits a store of [src] to [[base+offset]]. *)
+
+val atom : ?space:Ast.space -> ?width:int -> ?offset:int -> t -> Ast.atom_op
+  -> string -> Ast.operand -> Ast.operand -> unit
+(** [atom b op dst base src] — for [cas] use {!atom_cas}. *)
+
+val atom_cas : ?space:Ast.space -> ?width:int -> ?offset:int -> t -> string
+  -> Ast.operand -> Ast.operand -> Ast.operand -> unit
+(** [atom_cas b dst base compare value]. *)
+
+val membar : t -> Ast.fence_scope -> unit
+val bar : t -> unit
+val mov : t -> string -> Ast.operand -> unit
+val binop : t -> Ast.binop -> string -> Ast.operand -> Ast.operand -> unit
+val mad : t -> string -> Ast.operand -> Ast.operand -> Ast.operand -> unit
+val setp : t -> Ast.cmp -> string -> Ast.operand -> Ast.operand -> unit
+val bra : ?uni:bool -> ?guard:bool * string -> t -> string -> unit
+val ret : t -> unit
+
+(** {1 Derived values} *)
+
+val global_tid : t -> string
+(** Emit code computing the flat global thread id
+    [ctaid * ntid + tid]; returns the register holding it. *)
+
+val reg : string -> Ast.operand
+val imm : int -> Ast.operand
+val sym : string -> Ast.operand
+
+(** {1 Structured control flow} *)
+
+val if_ : t -> Ast.cmp -> Ast.operand -> Ast.operand -> (t -> unit) -> unit
+(** [if_ b cmp x y body]: execute [body] for threads where [x cmp y]. *)
+
+val if_else :
+  t -> Ast.cmp -> Ast.operand -> Ast.operand -> (t -> unit) -> (t -> unit) -> unit
+
+val while_ : t -> Ast.cmp -> (t -> Ast.operand * Ast.operand) -> (t -> unit) -> unit
+(** [while_ b cmp cond body]: [cond] re-evaluates the two compared
+    operands at the top of each iteration. *)
+
+(** {1 Synchronization idioms} *)
+
+val spin_lock : ?space:Ast.space -> ?fenced:bool -> t -> Ast.operand -> unit
+(** Spin on [atomicCAS(lock, 0, 1)]; when [fenced] (default) a
+    block-or-global fence follows the CAS as a correct lock requires.
+    [fenced:false] reproduces the hashtable bug from the paper (§6.3). *)
+
+val spin_unlock : ?space:Ast.space -> ?fenced:bool -> ?atomic:bool -> t
+  -> Ast.operand -> unit
+(** Release via [atomicExch(lock, 0)] preceded by a fence; [atomic:false]
+    releases with a plain store (the second hashtable bug). *)

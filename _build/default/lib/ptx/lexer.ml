@@ -1,0 +1,196 @@
+type token =
+  | Word of string
+  | Directive of string
+  | Regname of string
+  | Int of int64
+  | Lbracket
+  | Rbracket
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Comma
+  | Semi
+  | Colon
+  | Plus
+  | Minus
+  | At
+  | Bang
+  | Eof
+
+exception Error of { line : int; message : string }
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line_no : int;
+  mutable lookahead : token option;
+}
+
+let of_string src = { src; pos = 0; line_no = 1; lookahead = None }
+let line t = t.line_no
+
+let error t fmt =
+  Format.kasprintf (fun message -> raise (Error { line = t.line_no; message })) fmt
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '$'
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* A "dotted word" is word chars possibly joined by single dots, as in
+   [ld.global.cg.u32] or [%tid.x].  A dot only continues the word if a
+   word char follows it. *)
+let scan_dotted t =
+  let start = t.pos in
+  let n = String.length t.src in
+  let rec go i =
+    if i < n && is_word_char t.src.[i] then go (i + 1)
+    else if i + 1 < n && t.src.[i] = '.' && is_word_char t.src.[i + 1] then
+      go (i + 1)
+    else i
+  in
+  let stop = go t.pos in
+  t.pos <- stop;
+  String.sub t.src start (stop - start)
+
+let rec skip_space_and_comments t =
+  let n = String.length t.src in
+  if t.pos >= n then ()
+  else
+    match t.src.[t.pos] with
+    | ' ' | '\t' | '\r' ->
+        t.pos <- t.pos + 1;
+        skip_space_and_comments t
+    | '\n' ->
+        t.pos <- t.pos + 1;
+        t.line_no <- t.line_no + 1;
+        skip_space_and_comments t
+    | '/' when t.pos + 1 < n && t.src.[t.pos + 1] = '/' ->
+        while t.pos < n && t.src.[t.pos] <> '\n' do
+          t.pos <- t.pos + 1
+        done;
+        skip_space_and_comments t
+    | '/' when t.pos + 1 < n && t.src.[t.pos + 1] = '*' ->
+        let rec go i =
+          if i + 1 >= n then error t "unterminated comment"
+          else if t.src.[i] = '*' && t.src.[i + 1] = '/' then t.pos <- i + 2
+          else begin
+            if t.src.[i] = '\n' then t.line_no <- t.line_no + 1;
+            go (i + 1)
+          end
+        in
+        go (t.pos + 2);
+        skip_space_and_comments t
+    | _ -> ()
+
+let scan_int t =
+  let n = String.length t.src in
+  let start = t.pos in
+  let hex =
+    t.pos + 1 < n && t.src.[t.pos] = '0'
+    && (t.src.[t.pos + 1] = 'x' || t.src.[t.pos + 1] = 'X')
+  in
+  if hex then begin
+    t.pos <- t.pos + 2;
+    while
+      t.pos < n
+      && (is_digit t.src.[t.pos]
+         || (Char.lowercase_ascii t.src.[t.pos] >= 'a'
+            && Char.lowercase_ascii t.src.[t.pos] <= 'f'))
+    do
+      t.pos <- t.pos + 1
+    done
+  end
+  else
+    while t.pos < n && is_digit t.src.[t.pos] do
+      t.pos <- t.pos + 1
+    done;
+  (* Permit a PTX unsigned suffix like [U]. *)
+  if t.pos < n && (t.src.[t.pos] = 'U' || t.src.[t.pos] = 'u') then
+    t.pos <- t.pos + 1;
+  let text = String.sub t.src start (t.pos - start) in
+  let text =
+    if String.length text > 0 && (text.[String.length text - 1] = 'U' || text.[String.length text - 1] = 'u')
+    then String.sub text 0 (String.length text - 1)
+    else text
+  in
+  match Int64.of_string_opt text with
+  | Some v -> Int v
+  | None -> error t "bad integer literal %S" text
+
+let scan t =
+  skip_space_and_comments t;
+  if t.pos >= String.length t.src then Eof
+  else
+    let c = t.src.[t.pos] in
+    match c with
+    | '[' -> t.pos <- t.pos + 1; Lbracket
+    | ']' -> t.pos <- t.pos + 1; Rbracket
+    | '{' -> t.pos <- t.pos + 1; Lbrace
+    | '}' -> t.pos <- t.pos + 1; Rbrace
+    | '(' -> t.pos <- t.pos + 1; Lparen
+    | ')' -> t.pos <- t.pos + 1; Rparen
+    | ',' -> t.pos <- t.pos + 1; Comma
+    | ';' -> t.pos <- t.pos + 1; Semi
+    | ':' -> t.pos <- t.pos + 1; Colon
+    | '+' -> t.pos <- t.pos + 1; Plus
+    | '@' -> t.pos <- t.pos + 1; At
+    | '!' -> t.pos <- t.pos + 1; Bang
+    | '-' ->
+        t.pos <- t.pos + 1;
+        skip_space_and_comments t;
+        if t.pos < String.length t.src && is_digit t.src.[t.pos] then
+          match scan_int t with
+          | Int v -> Int (Int64.neg v)
+          | _ -> assert false
+        else Minus
+    | '%' ->
+        t.pos <- t.pos + 1;
+        let w = scan_dotted t in
+        if w = "" then error t "dangling %%" else Regname ("%" ^ w)
+    | '.' ->
+        t.pos <- t.pos + 1;
+        let w = scan_dotted t in
+        if w = "" then error t "dangling '.'" else Directive ("." ^ w)
+    | c when is_digit c -> scan_int t
+    | c when is_word_char c -> Word (scan_dotted t)
+    | c -> error t "unexpected character %C" c
+
+let next t =
+  match t.lookahead with
+  | Some tok ->
+      t.lookahead <- None;
+      tok
+  | None -> scan t
+
+let peek t =
+  match t.lookahead with
+  | Some tok -> tok
+  | None ->
+      let tok = scan t in
+      t.lookahead <- Some tok;
+      tok
+
+let pp_token ppf = function
+  | Word w -> Format.fprintf ppf "word %S" w
+  | Directive d -> Format.fprintf ppf "directive %S" d
+  | Regname r -> Format.fprintf ppf "register %S" r
+  | Int v -> Format.fprintf ppf "int %Ld" v
+  | Lbracket -> Format.pp_print_string ppf "'['"
+  | Rbracket -> Format.pp_print_string ppf "']'"
+  | Lbrace -> Format.pp_print_string ppf "'{'"
+  | Rbrace -> Format.pp_print_string ppf "'}'"
+  | Lparen -> Format.pp_print_string ppf "'('"
+  | Rparen -> Format.pp_print_string ppf "')'"
+  | Comma -> Format.pp_print_string ppf "','"
+  | Semi -> Format.pp_print_string ppf "';'"
+  | Colon -> Format.pp_print_string ppf "':'"
+  | Plus -> Format.pp_print_string ppf "'+'"
+  | Minus -> Format.pp_print_string ppf "'-'"
+  | At -> Format.pp_print_string ppf "'@'"
+  | Bang -> Format.pp_print_string ppf "'!'"
+  | Eof -> Format.pp_print_string ppf "<eof>"

@@ -1,0 +1,40 @@
+(** Tokenizer for the textual PTX subset.
+
+    PTX mnemonics are dotted words ([ld.global.cg.u32]); the lexer keeps
+    each mnemonic as a single {!Word} token and lets the parser split it
+    on dots.  Registers keep their [%] sigil and any dotted suffix
+    ([%tid.x]). Comments ([// ...] and [/* ... */]) are skipped. *)
+
+type token =
+  | Word of string  (** mnemonic / identifier, possibly dotted *)
+  | Directive of string  (** leading-dot word, e.g. [.visible], [.param] *)
+  | Regname of string  (** [%r1], [%tid.x], ... (sigil included) *)
+  | Int of int64
+  | Lbracket
+  | Rbracket
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Comma
+  | Semi
+  | Colon
+  | Plus
+  | Minus
+  | At
+  | Bang
+  | Eof
+
+exception Error of { line : int; message : string }
+
+type t
+
+val of_string : string -> t
+val peek : t -> token
+val next : t -> token
+(** Consume and return the next token. Returns {!Eof} forever at the end. *)
+
+val line : t -> int
+(** Current line number, for error reporting. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,458 @@
+exception Error of { line : int; message : string }
+
+type state = { lx : Lexer.t; mutable pending_label : string option }
+
+let fail st fmt =
+  Format.kasprintf
+    (fun message -> raise (Error { line = Lexer.line st.lx; message }))
+    fmt
+
+let expect st tok =
+  let got = Lexer.next st.lx in
+  if got <> tok then
+    fail st "expected %a, got %a" Lexer.pp_token tok Lexer.pp_token got
+
+let split_dots s = String.split_on_char '.' s
+
+(* Width in bytes from a PTX type suffix; defaults to 4 when absent. *)
+let width_of_suffix = function
+  | "u8" | "s8" | "b8" -> Some 1
+  | "u16" | "s16" | "b16" -> Some 2
+  | "u32" | "s32" | "b32" | "f32" -> Some 4
+  | "u64" | "s64" | "b64" | "f64" -> Some 8
+  | "pred" -> Some 1
+  | _ -> None
+
+let space_of_suffix = function
+  | "global" -> Some Ast.Global
+  | "shared" -> Some Ast.Shared
+  | "local" -> Some Ast.Local
+  | "param" -> Some Ast.Param
+  | _ -> None
+
+let cache_of_suffix = function
+  | "ca" -> Some Ast.Ca
+  | "cg" -> Some Ast.Cg
+  | "cs" -> Some Ast.Cs
+  | "cv" -> Some Ast.Cv
+  | "wb" -> Some Ast.Wb
+  | "wt" -> Some Ast.Wt
+  | _ -> None
+
+let atom_of_suffix = function
+  | "add" -> Some Ast.A_add
+  | "exch" -> Some Ast.A_exch
+  | "cas" -> Some Ast.A_cas
+  | "min" -> Some Ast.A_min
+  | "max" -> Some Ast.A_max
+  | "and" -> Some Ast.A_and
+  | "or" -> Some Ast.A_or
+  | "xor" -> Some Ast.A_xor
+  | "inc" -> Some Ast.A_inc
+  | "dec" -> Some Ast.A_dec
+  | _ -> None
+
+let cmp_of_suffix = function
+  | "eq" -> Some Ast.C_eq
+  | "ne" -> Some Ast.C_ne
+  | "lt" -> Some Ast.C_lt
+  | "le" -> Some Ast.C_le
+  | "gt" -> Some Ast.C_gt
+  | "ge" -> Some Ast.C_ge
+  | _ -> None
+
+let sreg_of_name = function
+  | "%tid.x" | "%tid" -> Some Ast.Tid
+  | "%ntid.x" | "%ntid" -> Some Ast.Ntid
+  | "%ctaid.x" | "%ctaid" -> Some Ast.Ctaid
+  | "%nctaid.x" | "%nctaid" -> Some Ast.Nctaid
+  | "%laneid" -> Some Ast.Laneid
+  | "%warpid" -> Some Ast.Warpid
+  | "%tid.y" -> Some Ast.Tid_y
+  | "%tid.z" -> Some Ast.Tid_z
+  | "%ntid.y" -> Some Ast.Ntid_y
+  | "%ntid.z" -> Some Ast.Ntid_z
+  | "%ctaid.y" -> Some Ast.Ctaid_y
+  | "%ctaid.z" -> Some Ast.Ctaid_z
+  | "%nctaid.y" -> Some Ast.Nctaid_y
+  | "%nctaid.z" -> Some Ast.Nctaid_z
+  | _ -> None
+
+let operand_of_token st = function
+  | Lexer.Regname r -> (
+      match sreg_of_name r with Some s -> Ast.Sreg s | None -> Ast.Reg r)
+  | Lexer.Int v -> Ast.Imm v
+  | Lexer.Word w -> Ast.Sym w
+  | tok -> fail st "expected operand, got %a" Lexer.pp_token tok
+
+let parse_operand st = operand_of_token st (Lexer.next st.lx)
+
+let parse_address st =
+  expect st Lexer.Lbracket;
+  let base = parse_operand st in
+  let offset =
+    match Lexer.peek st.lx with
+    | Lexer.Plus ->
+        ignore (Lexer.next st.lx);
+        (match Lexer.next st.lx with
+        | Lexer.Int v -> Int64.to_int v
+        | tok -> fail st "expected offset, got %a" Lexer.pp_token tok)
+    | _ -> 0
+  in
+  expect st Lexer.Rbracket;
+  { Ast.base; offset }
+
+let parse_reg st =
+  match Lexer.next st.lx with
+  | Lexer.Regname r -> r
+  | tok -> fail st "expected register, got %a" Lexer.pp_token tok
+
+(* [parts] is the dotted mnemonic split on '.', head already matched. *)
+let find_space st parts =
+  match List.filter_map space_of_suffix parts with
+  | [ s ] -> s
+  | [] -> Ast.Global (* generic addressing defaults to global *)
+  | _ -> fail st "multiple state spaces in mnemonic"
+
+let find_cache parts =
+  match List.filter_map cache_of_suffix parts with c :: _ -> c | [] -> Ast.Ca
+
+let find_width parts =
+  match List.filter_map width_of_suffix parts with w :: _ -> w | [] -> 4
+
+let parse_ld st parts =
+  let space = find_space st parts in
+  let cache = find_cache parts in
+  let width = find_width parts in
+  let dst = parse_reg st in
+  expect st Lexer.Comma;
+  let addr = parse_address st in
+  Ast.Ld { space; cache; width; dst; addr }
+
+let parse_st st parts =
+  let space = find_space st parts in
+  let cache = find_cache parts in
+  let width = find_width parts in
+  let addr = parse_address st in
+  expect st Lexer.Comma;
+  let src = parse_operand st in
+  Ast.St { space; cache; width; src; addr }
+
+let parse_atom st parts =
+  let space = find_space st parts in
+  let width = find_width parts in
+  let op =
+    match List.filter_map atom_of_suffix parts with
+    | [ op ] -> op
+    | [] -> fail st "atom without operation suffix"
+    | _ -> fail st "atom with several operation suffixes"
+  in
+  let dst = parse_reg st in
+  expect st Lexer.Comma;
+  let addr = parse_address st in
+  expect st Lexer.Comma;
+  let src = parse_operand st in
+  let src2 =
+    match Lexer.peek st.lx with
+    | Lexer.Comma ->
+        ignore (Lexer.next st.lx);
+        Some (parse_operand st)
+    | _ -> None
+  in
+  if op = Ast.A_cas && src2 = None then fail st "atom.cas needs two sources";
+  Ast.Atom { space; op; width; dst; addr; src; src2 }
+
+let parse_setp st parts =
+  let cmp =
+    match List.filter_map cmp_of_suffix parts with
+    | [ c ] -> c
+    | _ -> fail st "setp needs exactly one comparison suffix"
+  in
+  let dst = parse_reg st in
+  expect st Lexer.Comma;
+  let a = parse_operand st in
+  expect st Lexer.Comma;
+  let b = parse_operand st in
+  Ast.Setp { cmp; dst; a; b }
+
+let parse_binop st op =
+  let dst = parse_reg st in
+  expect st Lexer.Comma;
+  let a = parse_operand st in
+  expect st Lexer.Comma;
+  let b = parse_operand st in
+  Ast.Binop { op; dst; a; b }
+
+let parse_mad st =
+  let dst = parse_reg st in
+  expect st Lexer.Comma;
+  let a = parse_operand st in
+  expect st Lexer.Comma;
+  let b = parse_operand st in
+  expect st Lexer.Comma;
+  let c = parse_operand st in
+  Ast.Mad { dst; a; b; c }
+
+let parse_selp st =
+  let dst = parse_reg st in
+  expect st Lexer.Comma;
+  let a = parse_operand st in
+  expect st Lexer.Comma;
+  let b = parse_operand st in
+  expect st Lexer.Comma;
+  let pred = parse_reg st in
+  Ast.Selp { dst; a; b; pred }
+
+let parse_mov st =
+  let dst = parse_reg st in
+  expect st Lexer.Comma;
+  let src = parse_operand st in
+  Ast.Mov { dst; src }
+
+let parse_unary st ctor =
+  let dst = parse_reg st in
+  expect st Lexer.Comma;
+  let src = parse_operand st in
+  ctor ~dst ~src
+
+let parse_bra st parts =
+  let uni = List.mem "uni" parts in
+  match Lexer.next st.lx with
+  | Lexer.Word target -> Ast.Bra { uni; target }
+  | tok -> fail st "expected branch target, got %a" Lexer.pp_token tok
+
+let parse_membar st parts =
+  match parts with
+  | [ _; "cta" ] -> Ast.Membar Ast.Cta
+  | [ _; "gl" ] -> Ast.Membar Ast.Gl
+  | [ _; "sys" ] -> Ast.Membar Ast.Sys
+  | _ -> fail st "membar needs a scope (.cta/.gl/.sys)"
+
+let parse_bar st parts =
+  match parts with
+  | [ _; "sync" ] | [ _ ] ->
+      let id =
+        match Lexer.peek st.lx with
+        | Lexer.Int v ->
+            ignore (Lexer.next st.lx);
+            Int64.to_int v
+        | _ -> 0
+      in
+      Ast.Bar_sync id
+  | _ -> fail st "unsupported bar variant"
+
+let parse_kind st mnemonic =
+  let parts = split_dots mnemonic in
+  match parts with
+  | "ld" :: _ -> parse_ld st parts
+  | "st" :: _ -> parse_st st parts
+  | "atom" :: _ | "red" :: _ -> parse_atom st parts
+  | "membar" :: _ -> parse_membar st parts
+  | "fence" :: rest ->
+      (* [fence.sc.cta] / [fence.acq_rel.gpu]: map scope to membar scope *)
+      if List.mem "cta" rest then Ast.Membar Ast.Cta
+      else if List.mem "gpu" rest || List.mem "gl" rest then Ast.Membar Ast.Gl
+      else Ast.Membar Ast.Sys
+  | "bar" :: _ | "barrier" :: _ -> parse_bar st parts
+  | "bra" :: _ -> parse_bra st parts
+  | "setp" :: _ -> parse_setp st parts
+  | "mov" :: _ -> parse_mov st
+  | "cvt" :: _ -> parse_unary st (fun ~dst ~src -> Ast.Cvt { dst; src })
+  | "not" :: _ -> parse_unary st (fun ~dst ~src -> Ast.Not { dst; src })
+  | "add" :: _ -> parse_binop st Ast.B_add
+  | "sub" :: _ -> parse_binop st Ast.B_sub
+  | "mul" :: _ -> parse_binop st Ast.B_mul
+  | "div" :: _ -> parse_binop st Ast.B_div
+  | "rem" :: _ -> parse_binop st Ast.B_rem
+  | "min" :: _ -> parse_binop st Ast.B_min
+  | "max" :: _ -> parse_binop st Ast.B_max
+  | "and" :: _ -> parse_binop st Ast.B_and
+  | "or" :: _ -> parse_binop st Ast.B_or
+  | "xor" :: _ -> parse_binop st Ast.B_xor
+  | "shl" :: _ -> parse_binop st Ast.B_shl
+  | "shr" :: _ -> parse_binop st Ast.B_shr
+  | "mad" :: _ -> parse_mad st
+  | "selp" :: _ -> parse_selp st
+  | "ret" :: _ -> Ast.Ret
+  | "exit" :: _ -> Ast.Exit
+  | "nop" :: _ -> Ast.Nop
+  | _ -> fail st "unknown mnemonic %S" mnemonic
+
+(* Shared declaration: [.shared .align 4 .b8 name[bytes];] *)
+let parse_shared_decl st =
+  let rec skip_type_directives () =
+    match Lexer.peek st.lx with
+    | Lexer.Directive ".align" ->
+        ignore (Lexer.next st.lx);
+        (match Lexer.next st.lx with
+        | Lexer.Int _ -> ()
+        | tok -> fail st "expected alignment, got %a" Lexer.pp_token tok);
+        skip_type_directives ()
+    | Lexer.Directive _ ->
+        ignore (Lexer.next st.lx);
+        skip_type_directives ()
+    | _ -> ()
+  in
+  skip_type_directives ();
+  let name =
+    match Lexer.next st.lx with
+    | Lexer.Word w -> w
+    | tok -> fail st "expected shared array name, got %a" Lexer.pp_token tok
+  in
+  let size =
+    match Lexer.peek st.lx with
+    | Lexer.Lbracket ->
+        ignore (Lexer.next st.lx);
+        let v =
+          match Lexer.next st.lx with
+          | Lexer.Int v -> Int64.to_int v
+          | tok -> fail st "expected array size, got %a" Lexer.pp_token tok
+        in
+        expect st Lexer.Rbracket;
+        v
+    | _ -> 8
+  in
+  expect st Lexer.Semi;
+  (name, size)
+
+let rec skip_to_semi st =
+  match Lexer.next st.lx with
+  | Lexer.Semi | Lexer.Eof -> ()
+  | _ -> skip_to_semi st
+
+let parse_body st =
+  let insns = ref [] in
+  let shared = ref [] in
+  let emit kind guard =
+    let label = st.pending_label in
+    st.pending_label <- None;
+    insns := Ast.mk ?label ?guard kind :: !insns
+  in
+  let rec loop () =
+    match Lexer.next st.lx with
+    | Lexer.Rbrace -> ()
+    | Lexer.Eof -> fail st "unterminated kernel body"
+    | Lexer.Directive ".shared" ->
+        shared := parse_shared_decl st :: !shared;
+        loop ()
+    | Lexer.Directive (".reg" | ".local" | ".maxntid" | ".minnctapersm") ->
+        skip_to_semi st;
+        loop ()
+    | Lexer.Directive d -> fail st "unsupported directive %s in body" d
+    | Lexer.At ->
+        let negated =
+          match Lexer.peek st.lx with
+          | Lexer.Bang ->
+              ignore (Lexer.next st.lx);
+              true
+          | _ -> false
+        in
+        let p = parse_reg st in
+        let mnemonic =
+          match Lexer.next st.lx with
+          | Lexer.Word w -> w
+          | tok -> fail st "expected mnemonic after guard, got %a" Lexer.pp_token tok
+        in
+        let kind = parse_kind st mnemonic in
+        expect st Lexer.Semi;
+        emit kind (Some (not negated, p));
+        loop ()
+    | Lexer.Word w -> (
+        match Lexer.peek st.lx with
+        | Lexer.Colon ->
+            ignore (Lexer.next st.lx);
+            if st.pending_label <> None then
+              (* chain of labels on the same instruction: emit a nop *)
+              emit Ast.Nop None;
+            st.pending_label <- Some w;
+            loop ()
+        | _ ->
+            let kind = parse_kind st w in
+            expect st Lexer.Semi;
+            emit kind None;
+            loop ())
+    | Lexer.Semi -> loop ()
+    | tok -> fail st "unexpected %a in kernel body" Lexer.pp_token tok
+  in
+  loop ();
+  if st.pending_label <> None then emit Ast.Nop None;
+  (List.rev !insns, List.rev !shared)
+
+let parse_params st =
+  expect st Lexer.Lparen;
+  let rec loop acc =
+    match Lexer.next st.lx with
+    | Lexer.Rparen -> List.rev acc
+    | Lexer.Comma -> loop acc
+    | Lexer.Directive _ -> loop acc
+    | Lexer.Word name -> loop (name :: acc)
+    | tok -> fail st "unexpected %a in parameter list" Lexer.pp_token tok
+  in
+  loop []
+
+let parse_kernel st =
+  let kname =
+    match Lexer.next st.lx with
+    | Lexer.Word w -> w
+    | tok -> fail st "expected kernel name, got %a" Lexer.pp_token tok
+  in
+  let params =
+    match Lexer.peek st.lx with Lexer.Lparen -> parse_params st | _ -> []
+  in
+  expect st Lexer.Lbrace;
+  st.pending_label <- None;
+  let body, shared_decls = parse_body st in
+  { Ast.kname; params; shared_decls; body = Array.of_list body }
+
+let parse_program st =
+  let kernels = ref [] in
+  let rec loop () =
+    match Lexer.next st.lx with
+    | Lexer.Eof -> ()
+    | Lexer.Directive (".version" | ".target" | ".address_size") ->
+        (* header directives take one trailing word/number; a version
+           like "4.3" lexes as an int plus a ".3" directive *)
+        (match Lexer.peek st.lx with
+        | Lexer.Word _ | Lexer.Int _ ->
+            ignore (Lexer.next st.lx);
+            (match Lexer.peek st.lx with
+            | Lexer.Directive d
+              when String.length d > 1
+                   && String.for_all
+                        (fun c -> c = '.' || (c >= '0' && c <= '9'))
+                        d ->
+                ignore (Lexer.next st.lx)
+            | _ -> ())
+        | _ -> ());
+        loop ()
+    | Lexer.Directive (".visible" | ".weak" | ".extern") -> loop ()
+    | Lexer.Directive ".entry" ->
+        kernels := parse_kernel st :: !kernels;
+        loop ()
+    | Lexer.Directive ".func" ->
+        kernels := parse_kernel st :: !kernels;
+        loop ()
+    | tok -> fail st "unexpected %a at top level" Lexer.pp_token tok
+  in
+  loop ();
+  List.rev !kernels
+
+let wrap f s =
+  let st = { lx = Lexer.of_string s; pending_label = None } in
+  try f st
+  with Lexer.Error { line; message } -> raise (Error { line; message })
+
+let program_of_string s = wrap parse_program s
+
+let kernel_of_string s =
+  match wrap parse_program s with
+  | [ k ] -> k
+  | ks ->
+      raise
+        (Error
+           {
+             line = 0;
+             message =
+               Printf.sprintf "expected exactly one kernel, found %d"
+                 (List.length ks);
+           })

@@ -1,0 +1,29 @@
+(** Recursive-descent parser for the textual PTX subset.
+
+    Accepts a module header (version/target directives are skipped),
+    kernel entries of the form
+
+    {v
+    .visible .entry name ( .param .u64 p0, .param .u64 p1 )
+    {
+      .shared .align 4 .b8 buf[256];
+      LBB0:
+        ld.param.u64 %rd1, [p0];
+        @%p1 bra LBB1;
+        ...
+        ret;
+    }
+    v}
+
+    and produces {!Ast.kernel} values.  Unknown performance-only
+    directives inside a body ([.reg], [.maxntid], ...) are skipped so
+    that compiler-produced PTX with extra annotations still parses. *)
+
+exception Error of { line : int; message : string }
+
+val program_of_string : string -> Ast.program
+(** Parse a whole module. @raise Error on malformed input. *)
+
+val kernel_of_string : string -> Ast.kernel
+(** Parse a module expected to contain exactly one kernel.
+    @raise Error if it contains zero or several. *)

@@ -1,0 +1,20 @@
+(** Static well-formedness checks on kernels.
+
+    Run before a kernel is simulated or instrumented; catches the
+    mistakes that would otherwise surface as confusing runtime failures:
+    dangling branch targets, unknown parameter/shared symbols, duplicate
+    labels or shared declarations, [cas] without two sources, guards on
+    predicate-producing instructions the simulator can't honor. *)
+
+type issue = {
+  index : int;  (** instruction index, or -1 for kernel-level issues *)
+  message : string;
+}
+
+val check : Ast.kernel -> issue list
+(** All issues found; empty means well-formed. *)
+
+val check_exn : Ast.kernel -> unit
+(** @raise Invalid_argument listing every issue if any is found. *)
+
+val pp_issue : Format.formatter -> issue -> unit

@@ -1,0 +1,1 @@
+lib/runtime/pipeline.ml: Array Atomic Barracuda Domain Gtrace Instrument Mutex Queue Record Simt Stdlib Unix Vclock

@@ -1,0 +1,1 @@
+lib/runtime/pipeline.mli: Barracuda Instrument Ptx Simt

@@ -1,0 +1,1 @@
+lib/runtime/queue.ml: Array Atomic Bytes Domain Record

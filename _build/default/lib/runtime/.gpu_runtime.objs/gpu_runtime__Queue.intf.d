@@ -1,0 +1,1 @@
+lib/runtime/queue.mli: Bytes

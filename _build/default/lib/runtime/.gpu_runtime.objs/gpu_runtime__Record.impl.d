@@ -1,0 +1,1 @@
+lib/runtime/record.ml: Array Bytes Format Int32 Int64 Printf Ptx Simt

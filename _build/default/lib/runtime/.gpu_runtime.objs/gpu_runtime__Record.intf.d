@@ -1,0 +1,1 @@
+lib/runtime/record.mli: Bytes Format Ptx Simt

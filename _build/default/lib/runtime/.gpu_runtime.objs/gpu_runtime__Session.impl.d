@@ -1,0 +1,1 @@
+lib/runtime/session.ml: Barracuda List Pipeline Ptx Simt Vclock

@@ -1,0 +1,1 @@
+lib/runtime/session.mli: Barracuda Pipeline Ptx Simt Vclock

@@ -1,0 +1,304 @@
+type config = {
+  queues : int;
+  queue_capacity : int;
+  prune : bool;
+  detector : Barracuda.Detector.config;
+}
+
+let default_config =
+  {
+    queues = 4;
+    queue_capacity = 4096;
+    prune = true;
+    detector = Barracuda.Detector.default_config;
+  }
+
+type queue_stats = {
+  records : int;
+  bytes : int;
+  stalls : int;
+  high_watermark : int;
+}
+
+type result = {
+  detector : Barracuda.Detector.t;
+  machine_result : Simt.Machine.result;
+  instr_stats : Instrument.Stats.t;
+  queue_stats : queue_stats;
+}
+
+let report r = Barracuda.Detector.report r.detector
+
+(* Remap an event of the instrumented kernel back to original static
+   indices; [None] drops the event (logging traffic, pruned accesses). *)
+let remap (inst : Instrument.Pass.result) event =
+  let orig i = if i >= 0 && i < Array.length inst.Instrument.Pass.origin then inst.Instrument.Pass.origin.(i) else -1 in
+  match event with
+  | Simt.Event.Access a ->
+      let o = orig a.Simt.Event.insn in
+      if o < 0 then None (* logging code *)
+      else if not inst.Instrument.Pass.logged.(o) then None (* pruned *)
+      else Some (Simt.Event.Access { a with Simt.Event.insn = o })
+  | Simt.Event.Fence { warp; insn; scope; mask } ->
+      let o = orig insn in
+      if o < 0 then None
+      else Some (Simt.Event.Fence { warp; insn = o; scope; mask })
+  | Simt.Event.Branch_if { warp; insn; then_mask; else_mask } ->
+      (* branches belong to the application whenever their original
+         instruction maps back; instrumentation-introduced branches
+         (predication rewrites) map to -1 and are forwarded too since
+         they reshape the SIMT stack *)
+      let o = orig insn in
+      Some (Simt.Event.Branch_if { warp; insn = o; then_mask; else_mask })
+  | Simt.Event.Branch_else _ | Simt.Event.Branch_fi _ | Simt.Event.Barrier _
+  | Simt.Event.Barrier_divergence _ | Simt.Event.Kernel_done ->
+      Some event
+
+(* The paper's deployment: host threads drain the queues concurrently
+   with kernel execution.  The producer (the simulated device) runs on
+   the calling domain; one consumer domain per queue feeds the shared
+   detector.  The record/value side channel is mutex-protected and
+   pushed before the record commits, so each consumer sees values in
+   commit order.
+
+   Cross-queue ordering of synchronization records is a hazard the
+   paper does not address: block B's acquire can be drained before
+   block A's release even though the device executed them in the
+   opposite order, which would manufacture races on correctly
+   synchronized code.  We close it with device timestamps: every record
+   carries a global sequence number, and a consumer holds an {e
+   acquire} record until every other queue is past that stamp (a queue
+   that is empty can only ever produce larger stamps).  Stamps are
+   totally ordered, so the wait graph is acyclic and the protocol
+   cannot deadlock; releases and plain accesses never wait. *)
+let run_parallel ?(config = default_config) ?max_steps ~machine kernel args =
+  let layout = Simt.Machine.layout machine in
+  let ws = layout.Vclock.Layout.warp_size in
+  let inst = Instrument.Pass.instrument ~prune:config.prune kernel in
+  let roles = Gtrace.Roles.classify kernel in
+  let detector =
+    Barracuda.Detector.create ~config:config.detector ~layout kernel
+  in
+  let queues =
+    Array.init config.queues (fun _ ->
+        Queue.create ~capacity:config.queue_capacity)
+  in
+  (* per-queue side channel: (device stamp, store values) in commit order *)
+  let side = Array.init config.queues (fun _ -> Stdlib.Queue.create ()) in
+  let side_lock = Array.init config.queues (fun _ -> Mutex.create ()) in
+  let stalls = ref 0 in
+  let records = ref 0 in
+  let stamp_counter = ref 0 in
+  let producing = Atomic.make true in
+  (* A queue's authoritative frontier is the smaller of (a) the stamp of
+     the record its consumer is currently feeding ([in_flight], set
+     while the side-channel lock is held during the pop, so there is no
+     window in which a record is in neither place) and (b) the stamp at
+     the head of its side channel.  Anything below the frontier has been
+     fully race-checked; an empty queue can only ever receive larger
+     stamps, because the producer draws them in order and side-pushes
+     before committing. *)
+  let in_flight = Array.init config.queues (fun _ -> Atomic.make max_int) in
+  let frontier_of qi =
+    Mutex.lock side_lock.(qi);
+    let head =
+      if Stdlib.Queue.is_empty side.(qi) then max_int
+      else fst (Stdlib.Queue.peek side.(qi))
+    in
+    let inflight = Atomic.get in_flight.(qi) in
+    Mutex.unlock side_lock.(qi);
+    min head inflight
+  in
+  let is_acquire (r : Record.t) =
+    match r.Record.op with
+    | Record.Access _ when r.Record.insn >= 0 -> (
+        match roles.(r.Record.insn) with
+        | Gtrace.Roles.Acquire _ | Gtrace.Roles.Acquire_release _ -> true
+        | Gtrace.Roles.Plain | Gtrace.Roles.Release _ -> false)
+    | _ -> false
+  in
+  let others_past qi stamp =
+    let ok = ref true in
+    Array.iteri
+      (fun qj _ -> if qj <> qi && frontier_of qj < stamp then ok := false)
+      queues;
+    !ok
+  in
+  let consumers =
+    Array.mapi
+      (fun qi q ->
+        Domain.spawn (fun () ->
+            let rec loop () =
+              match Queue.pop q with
+              | Some bytes ->
+                  let stamp, values =
+                    Mutex.lock side_lock.(qi);
+                    let s, v = Stdlib.Queue.pop side.(qi) in
+                    Atomic.set in_flight.(qi) s;
+                    Mutex.unlock side_lock.(qi);
+                    (s, v)
+                  in
+                  let r = Record.of_bytes ~values ~warp_size:ws bytes in
+                  if is_acquire r then
+                    while not (others_past qi stamp) do
+                      Unix.sleepf 0.0002
+                    done;
+                  Barracuda.Detector.feed detector (Record.to_event r);
+                  Atomic.set in_flight.(qi) max_int;
+                  loop ()
+              | None ->
+                  if Atomic.get producing || Queue.length q > 0 then begin
+                    Unix.sleepf 0.0002;
+                    loop ()
+                  end
+            in
+            loop ()))
+      queues
+  in
+  let queue_of_event ev =
+    match ev with
+    | Simt.Event.Access { warp; _ }
+    | Simt.Event.Fence { warp; _ }
+    | Simt.Event.Branch_if { warp; _ }
+    | Simt.Event.Branch_else { warp; _ }
+    | Simt.Event.Branch_fi { warp; _ }
+    | Simt.Event.Barrier_divergence { warp; _ } ->
+        Vclock.Layout.block_of_warp layout warp mod config.queues
+    | Simt.Event.Barrier { block } -> block mod config.queues
+    | Simt.Event.Kernel_done -> 0
+  in
+  let on_event ev =
+    match remap inst ev with
+    | None -> ()
+    | Some ev -> (
+        match Record.of_event ~warp_size:ws ev with
+        | None -> ()
+        | Some r ->
+            let qi = queue_of_event ev in
+            incr stamp_counter;
+            (* side stamp+values first, so they are visible by commit time *)
+            Mutex.lock side_lock.(qi);
+            Stdlib.Queue.push (!stamp_counter, r.Record.values) side.(qi);
+            Mutex.unlock side_lock.(qi);
+            let bytes = Record.to_bytes r in
+            while not (Queue.try_push queues.(qi) bytes) do
+              incr stalls;
+              Unix.sleepf 0.0002
+            done;
+            incr records)
+  in
+  let machine_result =
+    Simt.Machine.launch ?max_steps machine inst.Instrument.Pass.kernel args
+      ~on_event
+  in
+  Atomic.set producing false;
+  Array.iter Domain.join consumers;
+  let high =
+    Array.fold_left (fun acc q -> max acc (Queue.high_watermark q)) 0 queues
+  in
+  {
+    detector;
+    machine_result;
+    instr_stats = inst.Instrument.Pass.stats;
+    queue_stats =
+      {
+        records = !records;
+        bytes = !records * Record.wire_size;
+        stalls = !stalls;
+        high_watermark = high;
+      };
+  }
+
+let run ?(config = default_config) ?max_steps ?(tee = fun _ -> ()) ~machine
+    kernel args =
+  let layout = Simt.Machine.layout machine in
+  let ws = layout.Vclock.Layout.warp_size in
+  let inst = Instrument.Pass.instrument ~prune:config.prune kernel in
+  let detector =
+    Barracuda.Detector.create ~config:config.detector ~layout kernel
+  in
+  let queues =
+    Array.init config.queues (fun _ ->
+        Queue.create ~capacity:config.queue_capacity)
+  in
+  let stalls = ref 0 in
+  let records = ref 0 in
+  (* Per-queue pending value side-channels, keyed by arrival order: the
+     wire format does not carry store values; the host re-attaches them
+     (modeling the deployed system's reread of device memory). *)
+  let side = Array.init config.queues (fun _ -> Stdlib.Queue.create ()) in
+  let queue_of_event ev =
+    match ev with
+    | Simt.Event.Access { warp; _ }
+    | Simt.Event.Fence { warp; _ }
+    | Simt.Event.Branch_if { warp; _ }
+    | Simt.Event.Branch_else { warp; _ }
+    | Simt.Event.Branch_fi { warp; _ }
+    | Simt.Event.Barrier_divergence { warp; _ } ->
+        Vclock.Layout.block_of_warp layout warp mod config.queues
+    | Simt.Event.Barrier { block } -> block mod config.queues
+    | Simt.Event.Kernel_done -> 0
+  in
+  let drain_one qi =
+    match Queue.pop queues.(qi) with
+    | None -> false
+    | Some bytes ->
+        let values = Stdlib.Queue.pop side.(qi) in
+        let r = Record.of_bytes ~values ~warp_size:ws bytes in
+        Barracuda.Detector.feed detector (Record.to_event r);
+        true
+    | exception Stdlib.Queue.Empty -> false
+  in
+  let drain_all () =
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      for qi = 0 to config.queues - 1 do
+        if drain_one qi then progress := true
+      done
+    done
+  in
+  let on_event ev =
+    match remap inst ev with
+    | None -> ()
+    | Some ev -> (
+        tee ev;
+        match Record.of_event ~warp_size:ws ev with
+        | None -> ()
+        | Some r ->
+            let qi = queue_of_event ev in
+            let bytes = Record.to_bytes r in
+            (* Backpressure: if the queue is full the producer waits for
+               the host to drain (we drain synchronously and count the
+               stall). *)
+            while not (Queue.try_push queues.(qi) bytes) do
+              incr stalls;
+              ignore (drain_one qi)
+            done;
+            Stdlib.Queue.push r.Record.values side.(qi);
+            incr records;
+            (* Opportunistic host progress, as the host threads run
+               concurrently with the kernel in the real system. *)
+            if Queue.length queues.(qi) > config.queue_capacity / 2 then
+              ignore (drain_one qi))
+  in
+  let machine_result =
+    Simt.Machine.launch ?max_steps machine inst.Instrument.Pass.kernel args
+      ~on_event
+  in
+  drain_all ();
+  let high =
+    Array.fold_left (fun acc q -> max acc (Queue.high_watermark q)) 0 queues
+  in
+  {
+    detector;
+    machine_result;
+    instr_stats = inst.Instrument.Pass.stats;
+    queue_stats =
+      {
+        records = !records;
+        bytes = !records * Record.wire_size;
+        stalls = !stalls;
+        high_watermark = high;
+      };
+  }

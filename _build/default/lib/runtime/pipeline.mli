@@ -1,0 +1,73 @@
+(** End-to-end BARRACUDA pipeline (Figure 5): instrument the kernel, run
+    it on the simulator, ship logged events through GPU→host queues as
+    fixed-size records, and race-check on the host side.
+
+    Mirrors the deployed system's structure:
+
+    - the kernel actually executed is the {e instrumented} one, so the
+      measured run pays the logging-instruction cost;
+    - only instructions that kept their logging call after pruning
+      produce records — what the optimization elides, the detector never
+      sees (that is the optimization's precision trade-off, reproduced
+      faithfully);
+    - each thread block logs to one queue ([block mod queues], §4.2);
+      when a queue fills, the producer stalls and the host drains
+      ({!stats} counts those backpressure events);
+    - records cross the queue in the paper's 272-byte wire format and
+      are decoded back into events for the detector. *)
+
+type config = {
+  queues : int;
+  queue_capacity : int;
+  prune : bool;  (** apply the logging-pruning optimization *)
+  detector : Barracuda.Detector.config;
+}
+
+val default_config : config
+
+type queue_stats = {
+  records : int;  (** records shipped across all queues *)
+  bytes : int;
+  stalls : int;  (** producer stalls on full queues *)
+  high_watermark : int;  (** deepest backlog across queues *)
+}
+
+type result = {
+  detector : Barracuda.Detector.t;
+  machine_result : Simt.Machine.result;
+  instr_stats : Instrument.Stats.t;
+  queue_stats : queue_stats;
+}
+
+val run :
+  ?config:config ->
+  ?max_steps:int ->
+  ?tee:(Simt.Event.t -> unit) ->
+  machine:Simt.Machine.t ->
+  Ptx.Ast.kernel ->
+  int64 array ->
+  result
+(** Instrument [kernel], execute the instrumented version on [machine],
+    and race-check the shipped records.  Native-baseline measurements
+    (Figure 10) launch the original kernel on a fresh machine
+    themselves.  [tee] observes every remapped event as it is forwarded
+    into the queues (used by tests to compare the queue transport
+    against a detector fed the identical stream). *)
+
+val run_parallel :
+  ?config:config ->
+  ?max_steps:int ->
+  machine:Simt.Machine.t ->
+  Ptx.Ast.kernel ->
+  int64 array ->
+  result
+(** Like {!run}, but with the paper's host-side concurrency (§4.3):
+    one consumer domain per queue drains and race-checks records
+    {e while the kernel executes} on the calling domain.  Each thread
+    block logs to exactly one queue, so each domain owns its blocks'
+    warp clocks without locking; global-memory shadow cells are
+    protected by their per-location locks.  Cross-queue interleaving is
+    nondeterministic (as in the real system), so reports between runs
+    may name different witnesses for the same racy location. *)
+
+val report : result -> Barracuda.Report.t

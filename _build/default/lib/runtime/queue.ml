@@ -1,0 +1,60 @@
+type t = {
+  capacity : int;
+  slots : Bytes.t array;
+  write_head : int Atomic.t; (* next reservable virtual index *)
+  commit_index : int Atomic.t; (* records visible to the consumer *)
+  read_head : int Atomic.t; (* next record to consume *)
+  high : int Atomic.t;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Queue.create: capacity <= 0";
+  {
+    capacity;
+    slots = Array.init capacity (fun _ -> Bytes.create Record.wire_size);
+    write_head = Atomic.make 0;
+    commit_index = Atomic.make 0;
+    read_head = Atomic.make 0;
+    high = Atomic.make 0;
+  }
+
+let capacity t = t.capacity
+
+let rec bump_high t backlog =
+  let cur = Atomic.get t.high in
+  if backlog > cur && not (Atomic.compare_and_set t.high cur backlog) then
+    bump_high t backlog
+
+let try_push t payload =
+  if Bytes.length payload <> Record.wire_size then
+    invalid_arg "Queue.try_push: wrong record size";
+  (* Reserve: advance the write head unless the ring is full. *)
+  let rec reserve () =
+    let w = Atomic.get t.write_head in
+    if w - Atomic.get t.read_head >= t.capacity then None
+    else if Atomic.compare_and_set t.write_head w (w + 1) then Some w
+    else reserve ()
+  in
+  match reserve () with
+  | None -> false
+  | Some slot ->
+      Bytes.blit payload 0 t.slots.(slot mod t.capacity) 0 Record.wire_size;
+      (* Publish in reservation order: wait for earlier producers. *)
+      while not (Atomic.compare_and_set t.commit_index slot (slot + 1)) do
+        Domain.cpu_relax ()
+      done;
+      bump_high t (slot + 1 - Atomic.get t.read_head);
+      true
+
+let pop t =
+  let r = Atomic.get t.read_head in
+  if r >= Atomic.get t.commit_index then None
+  else begin
+    let payload = Bytes.copy t.slots.(r mod t.capacity) in
+    Atomic.set t.read_head (r + 1);
+    Some payload
+  end
+
+let length t = Atomic.get t.commit_index - Atomic.get t.read_head
+let pushed t = Atomic.get t.commit_index
+let high_watermark t = Atomic.get t.high

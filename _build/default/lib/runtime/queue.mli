@@ -1,0 +1,36 @@
+(** Lock-free GPU→host log queue (§4.2, Figure 6).
+
+    A fixed-capacity ring of serialized records tracked by three
+    monotonically increasing virtual indices — write head (next slot a
+    producer may reserve), commit index (records made visible to the
+    host) and read head (records consumed) — mapped to physical slots by
+    modulus with the capacity.  The queue is full when the write head is
+    [capacity] entries ahead of the read head.
+
+    Producers reserve a slot, fill it, then publish it by advancing the
+    commit index in reservation order; the consumer reads between the
+    read head and the commit index.  Indices are {!Atomic} so the
+    multi-queue throughput ablation can drive queues from multiple
+    domains; within the simulator pipeline the producer side is the
+    single-threaded machine. *)
+
+type t
+
+val create : capacity:int -> t
+val capacity : t -> int
+
+val try_push : t -> Bytes.t -> bool
+(** Reserve, fill and commit one record; [false] if the queue is full.
+    @raise Invalid_argument if the payload is not {!Record.wire_size}. *)
+
+val pop : t -> Bytes.t option
+(** Consume the next committed record, if any. *)
+
+val length : t -> int
+(** Committed records not yet consumed. *)
+
+val pushed : t -> int
+(** Total records ever committed (throughput accounting). *)
+
+val high_watermark : t -> int
+(** Maximum backlog observed. *)

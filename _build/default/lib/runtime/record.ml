@@ -1,0 +1,252 @@
+type op =
+  | Access of {
+      kind : Simt.Event.access_kind;
+      space : Ptx.Ast.space;
+      width : int;
+    }
+  | Branch_if of { then_mask : int; else_mask : int }
+  | Branch_else
+  | Branch_fi
+  | Barrier of { block : int }
+  | Barrier_divergence of { expected : int }
+
+type t = {
+  warp : int;
+  insn : int;
+  op : op;
+  mask : int;
+  addrs : int array;
+  values : int64 array;
+}
+
+let wire_size = 272 (* 16-byte header + 32 * 8-byte addresses *)
+let max_lanes = 32
+
+let of_event ~warp_size = function
+  | Simt.Event.Access a ->
+      Some
+        {
+          warp = a.Simt.Event.warp;
+          insn = a.Simt.Event.insn;
+          op =
+            Access
+              {
+                kind = a.Simt.Event.kind;
+                space = a.Simt.Event.space;
+                width = a.Simt.Event.width;
+              };
+          mask = a.Simt.Event.mask;
+          addrs = a.Simt.Event.addrs;
+          values = a.Simt.Event.values;
+        }
+  | Simt.Event.Branch_if { warp; insn; then_mask; else_mask } ->
+      Some
+        {
+          warp;
+          insn;
+          op = Branch_if { then_mask; else_mask };
+          mask = then_mask lor else_mask;
+          addrs = Array.make warp_size 0;
+          values = [||];
+        }
+  | Simt.Event.Branch_else { warp; mask } ->
+      Some
+        {
+          warp;
+          insn = -1;
+          op = Branch_else;
+          mask;
+          addrs = Array.make warp_size 0;
+          values = [||];
+        }
+  | Simt.Event.Branch_fi { warp; mask } ->
+      Some
+        {
+          warp;
+          insn = -1;
+          op = Branch_fi;
+          mask;
+          addrs = Array.make warp_size 0;
+          values = [||];
+        }
+  | Simt.Event.Barrier { block } ->
+      Some
+        {
+          warp = -1;
+          insn = -1;
+          op = Barrier { block };
+          mask = 0;
+          addrs = Array.make warp_size 0;
+          values = [||];
+        }
+  | Simt.Event.Barrier_divergence { warp; insn; mask; expected } ->
+      Some
+        {
+          warp;
+          insn;
+          op = Barrier_divergence { expected };
+          mask;
+          addrs = Array.make warp_size 0;
+          values = [||];
+        }
+  | Simt.Event.Fence _ | Simt.Event.Kernel_done -> None
+
+let to_event t =
+  match t.op with
+  | Access { kind; space; width } ->
+      Simt.Event.Access
+        {
+          warp = t.warp;
+          insn = t.insn;
+          kind;
+          space;
+          mask = t.mask;
+          addrs = t.addrs;
+          values =
+            (if Array.length t.values > 0 then t.values
+             else Array.make (Array.length t.addrs) 0L);
+          width;
+        }
+  | Branch_if { then_mask; else_mask } ->
+      Simt.Event.Branch_if { warp = t.warp; insn = t.insn; then_mask; else_mask }
+  | Branch_else -> Simt.Event.Branch_else { warp = t.warp; mask = t.mask }
+  | Branch_fi -> Simt.Event.Branch_fi { warp = t.warp; mask = t.mask }
+  | Barrier { block } -> Simt.Event.Barrier { block }
+  | Barrier_divergence { expected } ->
+      Simt.Event.Barrier_divergence
+        { warp = t.warp; insn = t.insn; mask = t.mask; expected }
+
+(* Wire layout:
+   byte 0      : opcode
+   byte 1      : access width / spare
+   bytes 2-3   : space / aux (little-endian u16)
+   bytes 4-7   : active mask (u32)
+   bytes 8-11  : warp id (u32)
+   bytes 12-15 : static instruction index (u32, 0xFFFFFFFF = none)
+   bytes 16-271: 32 x u64 lane addresses (doubles as aux payload) *)
+
+let opcode t =
+  match t.op with
+  | Access { kind = Simt.Event.Load; _ } -> 1
+  | Access { kind = Simt.Event.Store; _ } -> 2
+  | Access { kind = Simt.Event.Atomic op; _ } -> (
+      3
+      +
+      match op with
+      | Ptx.Ast.A_add -> 0
+      | Ptx.Ast.A_exch -> 1
+      | Ptx.Ast.A_cas -> 2
+      | Ptx.Ast.A_min -> 3
+      | Ptx.Ast.A_max -> 4
+      | Ptx.Ast.A_and -> 5
+      | Ptx.Ast.A_or -> 6
+      | Ptx.Ast.A_xor -> 7
+      | Ptx.Ast.A_inc -> 8
+      | Ptx.Ast.A_dec -> 9)
+  | Branch_if _ -> 20
+  | Branch_else -> 21
+  | Branch_fi -> 22
+  | Barrier _ -> 23
+  | Barrier_divergence _ -> 24
+
+let space_code = function
+  | Ptx.Ast.Global -> 0
+  | Ptx.Ast.Shared -> 1
+  | Ptx.Ast.Local -> 2
+  | Ptx.Ast.Param -> 3
+
+let space_of_code = function
+  | 0 -> Ptx.Ast.Global
+  | 1 -> Ptx.Ast.Shared
+  | 2 -> Ptx.Ast.Local
+  | _ -> Ptx.Ast.Param
+
+let to_bytes t =
+  let b = Bytes.make wire_size '\000' in
+  Bytes.set_uint8 b 0 (opcode t);
+  (match t.op with
+  | Access { width; space; _ } ->
+      Bytes.set_uint8 b 1 width;
+      Bytes.set_uint16_le b 2 (space_code space)
+  | Barrier { block } -> Bytes.set_uint16_le b 2 (block land 0xFFFF)
+  | Barrier_divergence { expected } -> Bytes.set_uint16_le b 2 expected
+  | Branch_if _ | Branch_else | Branch_fi -> ());
+  Bytes.set_int32_le b 4 (Int32.of_int t.mask);
+  Bytes.set_int32_le b 8 (Int32.of_int (t.warp land 0xFFFFFFFF));
+  Bytes.set_int32_le b 12 (Int32.of_int (t.insn land 0xFFFFFFFF));
+  (match t.op with
+  | Access _ ->
+      Array.iteri
+        (fun i a ->
+          if i < max_lanes then
+            Bytes.set_int64_le b (16 + (8 * i)) (Int64.of_int a))
+        t.addrs
+  | Branch_if { then_mask; else_mask } ->
+      Bytes.set_int64_le b 16 (Int64.of_int then_mask);
+      Bytes.set_int64_le b 24 (Int64.of_int else_mask)
+  | Branch_else | Branch_fi | Barrier _ | Barrier_divergence _ -> ());
+  b
+
+let of_bytes ?(values = [||]) ~warp_size b =
+  if Bytes.length b <> wire_size then
+    invalid_arg "Record.of_bytes: wrong wire size";
+  let opc = Bytes.get_uint8 b 0 in
+  let mask = Int32.to_int (Bytes.get_int32_le b 4) land 0xFFFFFFFF in
+  let warp = Int32.to_int (Bytes.get_int32_le b 8) in
+  let insn = Int32.to_int (Bytes.get_int32_le b 12) in
+  let lane_addrs () =
+    Array.init warp_size (fun i ->
+        if i < max_lanes then Int64.to_int (Bytes.get_int64_le b (16 + (8 * i)))
+        else 0)
+  in
+  let atomic_of = function
+    | 0 -> Ptx.Ast.A_add
+    | 1 -> Ptx.Ast.A_exch
+    | 2 -> Ptx.Ast.A_cas
+    | 3 -> Ptx.Ast.A_min
+    | 4 -> Ptx.Ast.A_max
+    | 5 -> Ptx.Ast.A_and
+    | 6 -> Ptx.Ast.A_or
+    | 7 -> Ptx.Ast.A_xor
+    | 8 -> Ptx.Ast.A_inc
+    | _ -> Ptx.Ast.A_dec
+  in
+  let access kind =
+    Access
+      {
+        kind;
+        space = space_of_code (Bytes.get_uint16_le b 2);
+        width = Bytes.get_uint8 b 1;
+      }
+  in
+  let op =
+    match opc with
+    | 1 -> access Simt.Event.Load
+    | 2 -> access Simt.Event.Store
+    | n when n >= 3 && n <= 12 -> access (Simt.Event.Atomic (atomic_of (n - 3)))
+    | 20 ->
+        Branch_if
+          {
+            then_mask = Int64.to_int (Bytes.get_int64_le b 16);
+            else_mask = Int64.to_int (Bytes.get_int64_le b 24);
+          }
+    | 21 -> Branch_else
+    | 22 -> Branch_fi
+    | 23 -> Barrier { block = Bytes.get_uint16_le b 2 }
+    | 24 -> Barrier_divergence { expected = Bytes.get_uint16_le b 2 }
+    | n -> invalid_arg (Printf.sprintf "Record.of_bytes: bad opcode %d" n)
+  in
+  let addrs =
+    match op with Access _ -> lane_addrs () | _ -> Array.make warp_size 0
+  in
+  { warp; insn; op; mask; addrs; values }
+
+let pp ppf t =
+  Format.fprintf ppf "record{warp=%d insn=%d mask=%#x %s}" t.warp t.insn t.mask
+    (match t.op with
+    | Access _ -> "access"
+    | Branch_if _ -> "if"
+    | Branch_else -> "else"
+    | Branch_fi -> "fi"
+    | Barrier _ -> "bar"
+    | Barrier_divergence _ -> "bardiv")

@@ -1,0 +1,43 @@
+type t = {
+  config : Pipeline.config;
+  layout : Vclock.Layout.t;
+  mutable machine : Simt.Machine.t;
+  mutable launches : int;
+  mutable resets : int;
+  mutable reports : (string * Barracuda.Report.t) list; (* newest first *)
+}
+
+let create ?(config = Pipeline.default_config) ~layout () =
+  {
+    config;
+    layout;
+    machine = Simt.Machine.create ~layout ();
+    launches = 0;
+    resets = 0;
+    reports = [];
+  }
+
+let machine t = t.machine
+
+let launch ?max_steps t kernel args =
+  let result = Pipeline.run ~config:t.config ?max_steps ~machine:t.machine kernel args in
+  t.launches <- t.launches + 1;
+  t.reports <-
+    (kernel.Ptx.Ast.kname, Pipeline.report result) :: t.reports;
+  result
+
+let device_reset t =
+  (* queues are drained at the end of every launch (the "delay the
+     reset until the queues are fully drained" behaviour); the reset
+     frees the device state, and the next launch reinitializes *)
+  t.machine <- Simt.Machine.create ~layout:t.layout ();
+  t.resets <- t.resets + 1
+
+let launches t = t.launches
+let resets t = t.resets
+let reports t = List.rev t.reports
+
+let total_races t =
+  List.fold_left
+    (fun acc (_, r) -> acc + Barracuda.Report.race_count r)
+    0 t.reports

@@ -1,0 +1,40 @@
+(** Multi-launch sessions: the host-side lifecycle around kernels
+    (§4.1).
+
+    The deployed BARRACUDA lives in the target process across kernel
+    launches: device memory persists, each launch is instrumented and
+    checked, and a [cudaDeviceReset] must wait until the log queues are
+    fully drained before the backing memory is released, after which
+    the runtime reinitializes on the next call.
+
+    Launches are serialized (one stream): everything a launch did is
+    ordered before the next launch begins, so each launch is checked
+    with fresh clocks while device memory carries over — two launches
+    never race with one another, only within themselves. *)
+
+type t
+
+val create :
+  ?config:Pipeline.config -> layout:Vclock.Layout.t -> unit -> t
+
+val machine : t -> Simt.Machine.t
+(** The device: persistent across launches until a reset. *)
+
+val launch : ?max_steps:int -> t -> Ptx.Ast.kernel -> int64 array -> Pipeline.result
+(** Instrument, execute and race-check one kernel. *)
+
+val device_reset : t -> unit
+(** Drain-and-reset: all queue records of prior launches are consumed
+    (they already are — [launch] drains before returning, mirroring the
+    delayed reset), device global memory is cleared, and the next
+    launch runs against a reinitialized device. *)
+
+val launches : t -> int
+(** Launches since creation (not cleared by resets). *)
+
+val resets : t -> int
+
+val reports : t -> (string * Barracuda.Report.t) list
+(** Per-launch reports, oldest first: (kernel name, report). *)
+
+val total_races : t -> int

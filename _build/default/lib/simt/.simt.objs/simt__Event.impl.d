@@ -1,0 +1,1 @@
+lib/simt/event.ml: Format List Ptx

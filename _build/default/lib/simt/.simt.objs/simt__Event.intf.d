@@ -1,0 +1,1 @@
+lib/simt/event.mli: Format Ptx

@@ -1,0 +1,1 @@
+lib/simt/machine.ml: Array Cfg Event Hashtbl Int64 List Memory Option Printf Ptx Simt_stack Stdlib Vclock

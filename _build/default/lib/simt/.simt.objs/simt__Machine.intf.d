@@ -1,0 +1,1 @@
+lib/simt/machine.mli: Event Memory Ptx Vclock

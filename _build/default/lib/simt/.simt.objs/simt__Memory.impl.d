@@ -1,0 +1,1 @@
+lib/simt/memory.ml: Hashtbl Int64

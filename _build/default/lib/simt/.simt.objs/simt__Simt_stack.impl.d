@@ -1,0 +1,1 @@
+lib/simt/simt_stack.ml: Format List

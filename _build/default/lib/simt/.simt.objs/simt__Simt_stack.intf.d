@@ -1,0 +1,1 @@
+lib/simt/simt_stack.mli: Format

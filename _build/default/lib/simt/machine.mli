@@ -1,0 +1,62 @@
+(** The SIMT execution engine.
+
+    Executes a kernel over a 1-D grid exactly as the CUDA model
+    prescribes at warp granularity: every instruction is executed in
+    lockstep by the active lanes of one warp, divergent branches are
+    serialized through the {!Simt_stack} with reconvergence at the
+    immediate post-dominator, [bar.sync] blocks a warp until its whole
+    thread block arrives, and atomics serialize in lane order.
+
+    Execution is sequentially consistent (the weak-memory behaviours the
+    paper studies live in the separate [Memmodel] litmus machine); races
+    are found {e logically} by the detector consuming the event stream,
+    not by observing weak outcomes.
+
+    The scheduler interleaves warps at instruction granularity —
+    round-robin by default or pseudo-randomly from a seed — so distinct
+    schedules can be explored deterministically. *)
+
+type policy =
+  | Round_robin
+  | Random of int  (** seeded pseudo-random warp choice *)
+
+type status =
+  | Completed
+  | Max_steps of int  (** stopped after the step budget; possible livelock *)
+
+type result = {
+  status : status;
+  dyn_instructions : int;  (** dynamic warp-level instructions executed *)
+  barrier_divergence : bool;  (** some [bar.sync] ran with inactive lanes *)
+}
+
+type t
+
+val create : ?policy:policy -> layout:Vclock.Layout.t -> unit -> t
+
+val layout : t -> Vclock.Layout.t
+
+val alloc_global : t -> int -> int
+(** [alloc_global m bytes] reserves a fresh global-memory range and
+    returns its base address.  Allocations are 8-byte aligned. *)
+
+val global_memory : t -> Memory.t
+val shared_memory : t -> block:int -> Memory.t
+
+val peek : t -> addr:int -> width:int -> int64
+(** Read global memory (host-side view). *)
+
+val poke : t -> addr:int -> width:int -> int64 -> unit
+(** Write global memory (host-side initialization). *)
+
+val launch :
+  ?max_steps:int ->
+  ?on_event:(Event.t -> unit) ->
+  t ->
+  Ptx.Ast.kernel ->
+  int64 array ->
+  result
+(** [launch m kernel args] runs [kernel] with parameters bound to [args]
+    positionally, emitting events to [on_event] as execution proceeds.
+    The kernel is validated first.
+    @raise Invalid_argument on an ill-formed kernel or wrong arity. *)

@@ -1,0 +1,22 @@
+type t = (int, int) Hashtbl.t (* byte address -> byte value *)
+
+let create () = Hashtbl.create 64
+
+let read t ~addr ~width =
+  let v = ref 0L in
+  for i = width - 1 downto 0 do
+    let byte =
+      match Hashtbl.find_opt t (addr + i) with Some b -> b | None -> 0
+    in
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int byte)
+  done;
+  !v
+
+let write t ~addr ~width v =
+  for i = 0 to width - 1 do
+    let byte = Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL) in
+    Hashtbl.replace t (addr + i) byte
+  done
+
+let footprint = Hashtbl.length
+let clear = Hashtbl.reset

@@ -1,0 +1,17 @@
+(** Byte-addressed memory for one state space.
+
+    Backed by a sparse byte store, so a simulated device can expose a
+    large address space while only touching the bytes kernels actually
+    access.  Multi-byte accesses are little-endian; unwritten bytes read
+    as zero (CUDA gives no such guarantee, but deterministic zero-fill
+    keeps simulated workloads reproducible). *)
+
+type t
+
+val create : unit -> t
+val read : t -> addr:int -> width:int -> int64
+val write : t -> addr:int -> width:int -> int64 -> unit
+val footprint : t -> int
+(** Number of distinct bytes ever written. *)
+
+val clear : t -> unit

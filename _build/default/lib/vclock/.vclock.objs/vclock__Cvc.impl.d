@@ -1,0 +1,1 @@
+lib/vclock/cvc.ml: Epoch Format Int Layout Map Vector_clock

@@ -1,0 +1,1 @@
+lib/vclock/cvc.mli: Epoch Format Layout Vector_clock

@@ -1,0 +1,1 @@
+lib/vclock/epoch.ml: Format Vector_clock

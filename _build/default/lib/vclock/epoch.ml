@@ -1,0 +1,14 @@
+type t = { clock : int; tid : int }
+
+let make ~clock ~tid =
+  if clock < 0 then invalid_arg "Epoch.make: negative clock";
+  if tid < 0 then invalid_arg "Epoch.make: negative tid";
+  { clock; tid }
+
+let bottom = { clock = 0; tid = 0 }
+let is_bottom e = e.clock = 0
+let leq_vc e v = e.clock <= Vector_clock.get v e.tid
+let leq a b = a.clock = 0 || (a.tid = b.tid && a.clock <= b.clock)
+let to_vc e = Vector_clock.set Vector_clock.bottom e.tid e.clock
+let equal a b = (is_bottom a && is_bottom b) || (a.clock = b.clock && a.tid = b.tid)
+let pp ppf e = Format.fprintf ppf "%d@@t%d" e.clock e.tid

@@ -1,0 +1,27 @@
+(** Epochs: single-entry vector clocks, written [c@t].
+
+    An epoch stands for the vector clock that is [c] at thread [t] and 0
+    everywhere else, so it can be compared against a full clock in O(1).
+    BARRACUDA (following FastTrack) uses epochs for the common case of
+    totally-ordered reads and for all write metadata. *)
+
+type t = private { clock : int; tid : int }
+
+val make : clock:int -> tid:int -> t
+(** @raise Invalid_argument if [clock < 0] or [tid < 0]. *)
+
+val bottom : t
+(** The minimal epoch [0@0], comparable below everything. *)
+
+val is_bottom : t -> bool
+
+val leq_vc : t -> Vector_clock.t -> bool
+(** [leq_vc (c@t) v] iff [c <= v(t)]: the O(1) ordering test. *)
+
+val leq : t -> t -> bool
+(** [leq (c@t) (c'@t')] iff the epoch's implied clock is pointwise below
+    the other's: true when [c = 0], or [t = t'] and [c <= c']. *)
+
+val to_vc : t -> Vector_clock.t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

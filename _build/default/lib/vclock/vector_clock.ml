@@ -1,0 +1,31 @@
+module Imap = Map.Make (Int)
+
+type t = int Imap.t
+(* Invariant: no entry is <= 0, so [bottom] is the unique empty map and
+   structural equality coincides with clock equality. *)
+
+let bottom = Imap.empty
+let is_bottom = Imap.is_empty
+let get v t = match Imap.find_opt t v with Some c -> c | None -> 0
+let set v t c = if c <= 0 then Imap.remove t v else Imap.add t c v
+let incr v t = Imap.add t (get v t + 1) v
+
+let join a b =
+  Imap.union (fun _t ca cb -> Some (max ca cb)) a b
+
+let leq a b = Imap.for_all (fun t ca -> ca <= get b t) a
+let equal a b = Imap.equal Int.equal a b
+let compare a b = Imap.compare Int.compare a b
+let of_list l = List.fold_left (fun v (t, c) -> set v t c) bottom l
+let to_alist v = Imap.bindings v
+let support v = List.map fst (Imap.bindings v)
+let fold f v init = Imap.fold f v init
+let cardinal = Imap.cardinal
+
+let pp ppf v =
+  let pp_entry ppf (t, c) = Format.fprintf ppf "%d@@t%d" c t in
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       pp_entry)
+    (to_alist v)

@@ -1,0 +1,50 @@
+(** Sparse vector clocks.
+
+    A vector clock maps every thread id to a timestamp; entries not
+    present in the map are implicitly 0, which lets a clock over a
+    million-thread grid stay proportional to the number of threads it has
+    actually synchronized with.  Operations match the standard lattice:
+    pointwise [leq], pointwise-max [join], and per-component [incr]. *)
+
+type t
+
+val bottom : t
+(** The minimal clock: 0 for every thread. *)
+
+val is_bottom : t -> bool
+
+val get : t -> int -> int
+(** [get v t] is [v]'s timestamp for thread [t] (0 if absent). *)
+
+val set : t -> int -> int -> t
+(** [set v t c] is [v] with thread [t]'s entry replaced by [c].
+    Setting an entry to 0 removes it from the support. *)
+
+val incr : t -> int -> t
+(** [incr v t] bumps thread [t]'s entry by one. *)
+
+val join : t -> t -> t
+(** Pointwise maximum. *)
+
+val leq : t -> t -> bool
+(** [leq a b] iff [get a t <= get b t] for every thread [t]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val of_list : (int * int) list -> t
+(** Build from (thread, clock) pairs; later pairs win. *)
+
+val to_alist : t -> (int * int) list
+(** Non-zero entries in increasing thread order. *)
+
+val support : t -> int list
+(** Threads with non-zero entries, increasing. *)
+
+val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over non-zero entries. *)
+
+val cardinal : t -> int
+(** Number of non-zero entries. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/cub.ml: Common Int64 List Ptx Simt Vclock Workload

@@ -1,0 +1,1 @@
+lib/workloads/gpu_tm.ml: Int64 Ptx Simt Vclock Workload

@@ -1,0 +1,1 @@
+lib/workloads/gpu_tm.mli: Workload

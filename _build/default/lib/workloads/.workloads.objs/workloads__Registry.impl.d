@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Cub Gpu_tm List Rodinia Sdk Shoc Workload

@@ -1,0 +1,1 @@
+lib/workloads/rodinia.ml: Common Int64 List Ptx Simt Vclock Workload

@@ -1,0 +1,1 @@
+lib/workloads/shoc.ml: Common Int64 Ptx Simt Vclock Workload

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Barracuda Format Gpu_runtime Gtrace List Ptx Set Simt Vclock

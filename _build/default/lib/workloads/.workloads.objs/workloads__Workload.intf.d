@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Barracuda Format Gpu_runtime Ptx Simt Vclock

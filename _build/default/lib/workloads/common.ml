@@ -1,0 +1,93 @@
+open Ptx.Builder
+
+let addr_of_tid b ?(scale = 4) ~base gtid =
+  let addr = fresh_reg ~cls:"rd" b in
+  mad b addr (reg gtid) (imm scale) (sym base);
+  addr
+
+let shared_addr b ?(scale = 4) ~base index =
+  let addr = fresh_reg ~cls:"rd" b in
+  mad b addr index (imm scale) (sym base);
+  addr
+
+let load_global b ~base index =
+  let addr = fresh_reg ~cls:"rd" b in
+  mad b addr index (imm 4) (sym base);
+  let v = fresh_reg b in
+  ld b v (reg addr);
+  v
+
+let store_global_result b ~base ~index value =
+  let addr = fresh_reg ~cls:"rd" b in
+  mad b addr index (imm 4) (sym base);
+  st b (reg addr) value
+
+(* smem[tid] += smem[tid + stride] for stride = tpb/2, ..., 1.  The
+   read of [tid + stride] and the write of that same cell by its owner
+   are ordered by the barrier; without barriers the cross-warp pairs
+   race, which is exactly the bug pattern some benchmarks seed. *)
+let block_reduce_shared b ~tpb ~smem ?(barriers = true) () =
+  let tid = Ptx.Ast.Sreg Ptx.Ast.Tid in
+  let stride = ref (tpb / 2) in
+  while !stride >= 1 do
+    if barriers then bar b;
+    if_ b Ptx.Ast.C_lt tid (imm !stride) (fun b ->
+        let mine = shared_addr b ~base:smem tid in
+        let theirs = fresh_reg ~cls:"rd" b in
+        mad b theirs tid (imm 4) (sym smem);
+        binop b Ptx.Ast.B_add theirs (reg theirs) (imm (4 * !stride));
+        let a = fresh_reg b in
+        ld ~space:Ptx.Ast.Shared b a (reg mine);
+        let c = fresh_reg b in
+        ld ~space:Ptx.Ast.Shared b c (reg theirs);
+        let s = fresh_reg b in
+        binop b Ptx.Ast.B_add s (reg a) (reg c);
+        st ~space:Ptx.Ast.Shared b (reg mine) (reg s));
+    stride := !stride / 2
+  done;
+  if barriers then bar b
+
+(* Hillis-Steele inclusive scan: for each power-of-two offset,
+   dst[tid] = src[tid] + (tid >= offset ? src[tid-offset] : 0),
+   ping-ponging between [smem] and [tmp] with a barrier per level.
+   Ends with the result in [smem] (an extra copy pass if the level
+   count is odd). *)
+let block_scan_shared b ~tpb ~smem ~tmp =
+  let tid = Ptx.Ast.Sreg Ptx.Ast.Tid in
+  let levels = ref 0 in
+  let off = ref 1 in
+  while !off < tpb do
+    incr levels;
+    off := !off * 2
+  done;
+  let src = ref smem and dst = ref tmp in
+  let offset = ref 1 in
+  for _level = 1 to !levels do
+    bar b;
+    let mine_src = shared_addr b ~base:!src tid in
+    let v = fresh_reg b in
+    ld ~space:Ptx.Ast.Shared b v (reg mine_src);
+    if_ b Ptx.Ast.C_ge tid (imm !offset) (fun b ->
+        let prev = fresh_reg ~cls:"rd" b in
+        mad b prev tid (imm 4) (sym !src);
+        binop b Ptx.Ast.B_sub prev (reg prev) (imm (4 * !offset));
+        let pv = fresh_reg b in
+        ld ~space:Ptx.Ast.Shared b pv (reg prev);
+        binop b Ptx.Ast.B_add v (reg v) (reg pv));
+    let mine_dst = shared_addr b ~base:!dst tid in
+    st ~space:Ptx.Ast.Shared b (reg mine_dst) (reg v);
+    let s = !src in
+    src := !dst;
+    dst := s;
+    offset := !offset * 2
+  done;
+  bar b;
+  if !src <> smem then begin
+    (* copy the final values back into [smem] *)
+    let from_addr = shared_addr b ~base:!src tid in
+    let v = fresh_reg b in
+    ld ~space:Ptx.Ast.Shared b v (reg from_addr);
+    let to_addr = shared_addr b ~base:smem tid in
+    st ~space:Ptx.Ast.Shared b (reg to_addr) (reg v);
+    bar b
+  end

@@ -1,0 +1,36 @@
+(** Shared kernel-construction idioms for the workload suite.
+
+    These are the synchronization and data-movement patterns the real
+    benchmarks are built from: tree reductions and scans in shared
+    memory with (or deliberately without) barriers, tiled loads, and
+    per-thread global addressing.  All emit code through
+    {!Ptx.Builder}. *)
+
+val addr_of_tid :
+  Ptx.Builder.t -> ?scale:int -> base:string -> string -> string
+(** [addr_of_tid b ~base gtid_reg] emits [addr = gtid * scale + base]
+    (default [scale] 4) and returns the address register. *)
+
+val shared_addr :
+  Ptx.Builder.t -> ?scale:int -> base:string -> Ptx.Ast.operand -> string
+(** Address into a shared array from an index operand. *)
+
+val block_reduce_shared :
+  Ptx.Builder.t -> tpb:int -> smem:string -> ?barriers:bool -> unit -> unit
+(** Tree reduction over a [tpb]-element shared array of 32-bit values:
+    [smem[0]] ends with the block sum.  With [barriers:false] the levels
+    are unsynchronized (the racy pattern some benchmarks seed). *)
+
+val block_scan_shared :
+  Ptx.Builder.t -> tpb:int -> smem:string -> tmp:string -> unit
+(** Hillis–Steele inclusive scan over a [tpb]-element shared array,
+    ping-ponging through a second [tmp] array, barrier per level. *)
+
+val store_global_result :
+  Ptx.Builder.t -> base:string -> index:Ptx.Ast.operand -> Ptx.Ast.operand -> unit
+(** [out[index] = value] with 4-byte elements. *)
+
+val load_global :
+  Ptx.Builder.t -> base:string -> Ptx.Ast.operand -> string
+(** [load_global b ~base index]: [reg = base[index]] with 4-byte
+    elements; returns the register. *)

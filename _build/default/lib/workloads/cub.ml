@@ -1,0 +1,486 @@
+open Ptx.Builder
+module Ast = Ptx.Ast
+
+let tid = Ast.Sreg Ast.Tid
+
+let alloc_words m n = Int64.of_int (Simt.Machine.alloc_global m (4 * n))
+
+let poke_words m base values =
+  List.iteri
+    (fun i v ->
+      Simt.Machine.poke m ~addr:(Int64.to_int base + (4 * i)) ~width:4
+        (Int64.of_int v))
+    values
+
+let paper ~insns ~threads ~mem =
+  {
+    Workload.p_static_insns = insns;
+    p_total_threads = threads;
+    p_global_mem_mb = mem;
+    p_races = "";
+  }
+
+(* One radix split pass on bit [bit] of the shared array [keys]:
+   stable-partitions keys by the bit using an inclusive scan of the
+   zero flags.  Needs scratch arrays [flags]/[ftmp]/[dest]. *)
+let radix_split_pass b ~tpb ~keys ~flags ~ftmp ~dest ~bit =
+  let ka = Common.shared_addr b ~base:keys tid in
+  let key = fresh_reg b in
+  ld ~space:Ast.Shared b key (reg ka);
+  let bitv = fresh_reg b in
+  binop b Ast.B_shr bitv (reg key) (imm bit);
+  binop b Ast.B_and bitv (reg bitv) (imm 1);
+  let zero_flag = fresh_reg b in
+  binop b Ast.B_xor zero_flag (reg bitv) (imm 1);
+  let fa = Common.shared_addr b ~base:flags tid in
+  st ~space:Ast.Shared b (reg fa) (reg zero_flag);
+  Common.block_scan_shared b ~tpb ~smem:flags ~tmp:ftmp;
+  (* total zeros = inclusive scan at the last slot *)
+  let total = fresh_reg b in
+  ld ~space:Ast.Shared b ~offset:(4 * (tpb - 1)) total (sym flags);
+  let incl = fresh_reg b in
+  ld ~space:Ast.Shared b incl (reg fa);
+  (* pos = zero ? incl - 1 : total + tid - incl *)
+  let pos0 = fresh_reg b in
+  binop b Ast.B_sub pos0 (reg incl) (imm 1);
+  let pos1 = fresh_reg b in
+  binop b Ast.B_sub pos1 tid (reg incl);
+  binop b Ast.B_add pos1 (reg pos1) (reg total);
+  let is_zero = fresh_reg ~cls:"p" b in
+  setp b Ast.C_ne is_zero (reg zero_flag) (imm 0);
+  let pos = fresh_reg b in
+  emit b (Ast.Selp { dst = pos; a = reg pos0; b = reg pos1; pred = is_zero });
+  let da = Common.shared_addr b ~base:dest (reg pos) in
+  st ~space:Ast.Shared b (reg da) (reg key);
+  bar b;
+  (* copy back *)
+  let db = Common.shared_addr b ~base:dest tid in
+  let v = fresh_reg b in
+  ld ~space:Ast.Shared b v (reg db);
+  st ~space:Ast.Shared b (reg ka) (reg v);
+  bar b
+
+let load_input_to_shared b ~smem g =
+  let v = Common.load_global b ~base:"input" (reg g) in
+  let sa = Common.shared_addr b ~base:smem tid in
+  st ~space:Ast.Shared b (reg sa) (reg v);
+  bar b
+
+let block_radix_sort =
+  let tpb = 128 in
+  let lay = Vclock.Layout.make ~warp_size:32 ~threads_per_block:tpb ~blocks:1 in
+  let b =
+    create ~params:[ "input"; "output" ]
+      ~shared:
+        [
+          ("keys", tpb * 4); ("flags", tpb * 4); ("ftmp", tpb * 4); ("dest", tpb * 4);
+        ]
+      "block_radix_sort_kernel"
+  in
+  let g = global_tid b in
+  load_input_to_shared b ~smem:"keys" g;
+  for bit = 0 to 2 do
+    radix_split_pass b ~tpb ~keys:"keys" ~flags:"flags" ~ftmp:"ftmp" ~dest:"dest" ~bit
+  done;
+  let ka = Common.shared_addr b ~base:"keys" tid in
+  let v = fresh_reg b in
+  ld ~space:Ast.Shared b v (reg ka);
+  Common.store_global_result b ~base:"output" ~index:(reg g) (reg v);
+  let kernel = finish b in
+  {
+    Workload.name = "block_radix_sort";
+    suite = "CUB";
+    layout = lay;
+    kernel;
+    setup =
+      (fun m ->
+        let input = alloc_words m tpb in
+        let output = alloc_words m tpb in
+        poke_words m input (List.init tpb (fun i -> (i * 5) mod 8));
+        [| input; output |]);
+    expected = Workload.Race_free;
+    paper = paper ~insns:2_174 ~threads:128 ~mem:66;
+  }
+
+let block_reduce =
+  let tpb = 128 in
+  let lay = Vclock.Layout.make ~warp_size:32 ~threads_per_block:tpb ~blocks:8 in
+  let n = Vclock.Layout.total_threads lay in
+  let b =
+    create ~params:[ "input"; "output" ]
+      ~shared:[ ("sums", tpb * 4) ]
+      "block_reduce_kernel"
+  in
+  let g = global_tid b in
+  load_input_to_shared b ~smem:"sums" g;
+  Common.block_reduce_shared b ~tpb ~smem:"sums" ();
+  if_ b Ast.C_eq tid (imm 0) (fun b ->
+      let v = fresh_reg b in
+      ld ~space:Ast.Shared b v (sym "sums");
+      Common.store_global_result b ~base:"output" ~index:(Ast.Sreg Ast.Ctaid)
+        (reg v));
+  let kernel = finish b in
+  {
+    Workload.name = "block_reduce";
+    suite = "CUB";
+    layout = lay;
+    kernel;
+    setup =
+      (fun m ->
+        let input = alloc_words m n in
+        let output = alloc_words m 8 in
+        poke_words m input (List.init n (fun i -> i mod 17));
+        [| input; output |]);
+    expected = Workload.Race_free;
+    paper = paper ~insns:2_456 ~threads:1_024 ~mem:70;
+  }
+
+let block_scan =
+  let tpb = 128 in
+  let lay = Vclock.Layout.make ~warp_size:32 ~threads_per_block:tpb ~blocks:1 in
+  let b =
+    create ~params:[ "input"; "output" ]
+      ~shared:[ ("data", tpb * 4); ("tmp", tpb * 4) ]
+      "block_scan_kernel"
+  in
+  let g = global_tid b in
+  load_input_to_shared b ~smem:"data" g;
+  Common.block_scan_shared b ~tpb ~smem:"data" ~tmp:"tmp";
+  let sa = Common.shared_addr b ~base:"data" tid in
+  let v = fresh_reg b in
+  ld ~space:Ast.Shared b v (reg sa);
+  Common.store_global_result b ~base:"output" ~index:(reg g) (reg v);
+  let kernel = finish b in
+  {
+    Workload.name = "block_scan";
+    suite = "CUB";
+    layout = lay;
+    kernel;
+    setup =
+      (fun m ->
+        let input = alloc_words m tpb in
+        let output = alloc_words m tpb in
+        poke_words m input (List.init tpb (fun i -> i mod 5));
+        [| input; output |]);
+    expected = Workload.Race_free;
+    paper = paper ~insns:4_451 ~threads:128 ~mem:118;
+  }
+
+(* Shared skeleton for the device-wide select/partition family: scan a
+   0/1 flag per element within the block, claim a global output range
+   with an atomic, and scatter the selected elements. [flag_of] emits
+   code computing the flag register from the loaded value. *)
+let select_kernel ~name ~partition ~flag_of =
+  let tpb = 64 in
+  let lay = Vclock.Layout.make ~warp_size:32 ~threads_per_block:tpb ~blocks:2 in
+  let n = Vclock.Layout.total_threads lay in
+  let b =
+    create
+      ~params:[ "input"; "output"; "rejects"; "count" ]
+      ~shared:[ ("flags", tpb * 4); ("ftmp", tpb * 4); ("base", 8) ]
+      (name ^ "_kernel")
+  in
+  let g = global_tid b in
+  let v = Common.load_global b ~base:"input" (reg g) in
+  let flag = flag_of b ~value:v ~gtid:g in
+  let fa = Common.shared_addr b ~base:"flags" tid in
+  st ~space:Ast.Shared b (reg fa) (reg flag);
+  Common.block_scan_shared b ~tpb ~smem:"flags" ~tmp:"ftmp";
+  let total = fresh_reg b in
+  ld ~space:Ast.Shared b ~offset:(4 * (tpb - 1)) total (sym "flags");
+  (* one thread claims the block's output range *)
+  if_ b Ast.C_eq tid (imm 0) (fun b ->
+      let old = fresh_reg b in
+      atom b Ast.A_add old (sym "count") (reg total);
+      st ~space:Ast.Shared b (sym "base") (reg old));
+  bar b;
+  let base = fresh_reg b in
+  ld ~space:Ast.Shared b base (sym "base");
+  let incl = fresh_reg b in
+  ld ~space:Ast.Shared b incl (reg fa);
+  if_ b Ast.C_ne (reg flag) (imm 0) (fun b ->
+      let pos = fresh_reg b in
+      binop b Ast.B_add pos (reg base) (reg incl);
+      binop b Ast.B_sub pos (reg pos) (imm 1);
+      Common.store_global_result b ~base:"output" ~index:(reg pos) (reg v));
+  if partition then
+    if_ b Ast.C_eq (reg flag) (imm 0) (fun b ->
+        (* rejected elements keep their input slot in the rejects array *)
+        Common.store_global_result b ~base:"rejects" ~index:(reg g) (reg v));
+  let kernel = finish b in
+  ( lay,
+    kernel,
+    fun m ->
+      let input = alloc_words m n in
+      let output = alloc_words m n in
+      let rejects = alloc_words m n in
+      let count = alloc_words m 1 in
+      poke_words m input (List.init n (fun i -> (i * 11) mod 29));
+      [| input; output; rejects; count |] )
+
+let flag_threshold b ~value ~gtid:_ =
+  let f = fresh_reg b in
+  let p = fresh_reg ~cls:"p" b in
+  setp b Ast.C_gt p (reg value) (imm 14);
+  emit b (Ast.Selp { dst = f; a = imm 1; b = imm 0; pred = p });
+  f
+
+let flag_from_array b ~value:_ ~gtid =
+  Common.load_global b ~base:"input" (reg gtid)
+  |> fun v ->
+  let f = fresh_reg b in
+  binop b Ast.B_and f (reg v) (imm 1);
+  f
+
+let flag_unique b ~value ~gtid =
+  (* head flag: first element, or different from the predecessor *)
+  let f = fresh_reg b in
+  mov b f (imm 1);
+  if_ b Ast.C_gt (reg gtid) (imm 0) (fun b ->
+      let prev_idx = fresh_reg b in
+      binop b Ast.B_sub prev_idx (reg gtid) (imm 1);
+      let pv = Common.load_global b ~base:"input" (reg prev_idx) in
+      let p = fresh_reg ~cls:"p" b in
+      setp b Ast.C_ne p (reg value) (reg pv);
+      emit b (Ast.Selp { dst = f; a = imm 1; b = imm 0; pred = p }));
+  f
+
+let mk_select ~name ~partition ~flag_of ~insns ~mem =
+  let lay, kernel, setup = select_kernel ~name ~partition ~flag_of in
+  {
+    Workload.name;
+    suite = "CUB";
+    layout = lay;
+    kernel;
+    setup;
+    expected = Workload.Race_free;
+    paper = paper ~insns ~threads:128 ~mem;
+  }
+
+let device_partition_flagged =
+  mk_select ~name:"d_partition_flagged" ~partition:true ~flag_of:flag_from_array
+    ~insns:2_834 ~mem:66
+
+let device_select_flagged =
+  mk_select ~name:"d_select_flagged" ~partition:false ~flag_of:flag_from_array
+    ~insns:2_615 ~mem:66
+
+let device_select_if =
+  mk_select ~name:"d_select_if" ~partition:false ~flag_of:flag_threshold
+    ~insns:2_508 ~mem:66
+
+let device_select_unique =
+  mk_select ~name:"d_select_unique" ~partition:false ~flag_of:flag_unique
+    ~insns:2_484 ~mem:66
+
+let device_reduce =
+  let tpb = 64 in
+  let nblocks = 2 in
+  let lay = Vclock.Layout.make ~warp_size:32 ~threads_per_block:tpb ~blocks:nblocks in
+  let n = Vclock.Layout.total_threads lay in
+  let b =
+    create
+      ~params:[ "input"; "partials"; "counter"; "output" ]
+      ~shared:[ ("sums", tpb * 4); ("amlast", 8) ]
+      "device_reduce_kernel"
+  in
+  let g = global_tid b in
+  load_input_to_shared b ~smem:"sums" g;
+  Common.block_reduce_shared b ~tpb ~smem:"sums" ();
+  if_ b Ast.C_eq tid (imm 0) (fun b ->
+      let sum = fresh_reg b in
+      ld ~space:Ast.Shared b sum (sym "sums");
+      Common.store_global_result b ~base:"partials" ~index:(Ast.Sreg Ast.Ctaid)
+        (reg sum);
+      membar b Ast.Gl;
+      let ticket = fresh_reg b in
+      atom b Ast.A_inc ticket (sym "counter") (imm (nblocks - 1));
+      membar b Ast.Gl;
+      let lastp = fresh_reg ~cls:"p" b in
+      setp b Ast.C_eq lastp (reg ticket) (imm (nblocks - 1));
+      let flag = fresh_reg b in
+      emit b (Ast.Selp { dst = flag; a = imm 1; b = imm 0; pred = lastp });
+      st ~space:Ast.Shared b (sym "amlast") (reg flag));
+  bar b;
+  let am = fresh_reg b in
+  ld ~space:Ast.Shared b am (sym "amlast");
+  if_ b Ast.C_ne (reg am) (imm 0) (fun b ->
+      if_ b Ast.C_eq tid (imm 0) (fun b ->
+          let total = fresh_reg b in
+          mov b total (imm 0);
+          for blk = 0 to nblocks - 1 do
+            let p = Common.load_global b ~base:"partials" (imm blk) in
+            binop b Ast.B_add total (reg total) (reg p)
+          done;
+          Common.store_global_result b ~base:"output" ~index:(imm 0) (reg total)));
+  let kernel = finish b in
+  {
+    Workload.name = "d_reduce";
+    suite = "CUB";
+    layout = lay;
+    kernel;
+    setup =
+      (fun m ->
+        let input = alloc_words m n in
+        let partials = alloc_words m nblocks in
+        let counter = alloc_words m 1 in
+        let output = alloc_words m 1 in
+        poke_words m input (List.init n (fun i -> (i mod 13) + 1));
+        [| input; partials; counter; output |]);
+    expected = Workload.Race_free;
+    paper = paper ~insns:2_397 ~threads:128 ~mem:66;
+  }
+
+(* Chained device-wide scan: block b waits for block b-1's running
+   prefix through a CAS+fence acquire spin, then publishes its own with
+   a fence+store release. *)
+let device_scan =
+  let tpb = 64 in
+  let nblocks = 2 in
+  let lay = Vclock.Layout.make ~warp_size:32 ~threads_per_block:tpb ~blocks:nblocks in
+  let n = Vclock.Layout.total_threads lay in
+  let b =
+    create
+      ~params:[ "input"; "output"; "prefix"; "ready" ]
+      ~shared:[ ("data", tpb * 4); ("tmp", tpb * 4); ("carry", 8) ]
+      "device_scan_kernel"
+  in
+  let g = global_tid b in
+  load_input_to_shared b ~smem:"data" g;
+  Common.block_scan_shared b ~tpb ~smem:"data" ~tmp:"tmp";
+  (* thread 0: wait for the previous block's prefix, publish ours *)
+  if_ b Ast.C_eq tid (imm 0) (fun b ->
+      let carry = fresh_reg b in
+      mov b carry (imm 0);
+      if_ b Ast.C_gt (Ast.Sreg Ast.Ctaid) (imm 0) (fun b ->
+          (* acquire spin: CAS-read the ready flag of block-1 until set,
+             fence after the loop *)
+          let prev = fresh_reg b in
+          binop b Ast.B_sub prev (Ast.Sreg Ast.Ctaid) (imm 1);
+          let raddr = fresh_reg ~cls:"rd" b in
+          mad b raddr (reg prev) (imm 4) (sym "ready");
+          let seen = fresh_reg b in
+          mov b seen (imm 0);
+          let l_top = fresh_label b in
+          place_label b l_top;
+          atom_cas b seen (reg raddr) (imm (-1)) (imm (-1));
+          let p = fresh_reg ~cls:"p" b in
+          setp b Ast.C_eq p (reg seen) (imm 0);
+          bra ~guard:(true, p) b l_top;
+          membar b Ast.Gl;
+          let paddr = fresh_reg ~cls:"rd" b in
+          mad b paddr (reg prev) (imm 4) (sym "prefix");
+          ld b carry (reg paddr));
+      st ~space:Ast.Shared b (sym "carry") (reg carry);
+      (* publish my running prefix: prefix[b] = carry + block total *)
+      let total = fresh_reg b in
+      ld ~space:Ast.Shared b ~offset:(4 * (tpb - 1)) total (sym "data");
+      binop b Ast.B_add total (reg total) (reg carry);
+      let paddr = fresh_reg ~cls:"rd" b in
+      mad b paddr (Ast.Sreg Ast.Ctaid) (imm 4) (sym "prefix");
+      st b (reg paddr) (reg total);
+      (* release the ready flag *)
+      let raddr = fresh_reg ~cls:"rd" b in
+      mad b raddr (Ast.Sreg Ast.Ctaid) (imm 4) (sym "ready");
+      membar b Ast.Gl;
+      st b (reg raddr) (imm 1));
+  bar b;
+  let carry = fresh_reg b in
+  ld ~space:Ast.Shared b carry (sym "carry");
+  let sa = Common.shared_addr b ~base:"data" tid in
+  let v = fresh_reg b in
+  ld ~space:Ast.Shared b v (reg sa);
+  binop b Ast.B_add v (reg v) (reg carry);
+  Common.store_global_result b ~base:"output" ~index:(reg g) (reg v);
+  let kernel = finish b in
+  {
+    Workload.name = "d_scan";
+    suite = "CUB";
+    layout = lay;
+    kernel;
+    setup =
+      (fun m ->
+        let input = alloc_words m n in
+        let output = alloc_words m n in
+        let prefix = alloc_words m nblocks in
+        let ready = alloc_words m nblocks in
+        poke_words m input (List.init n (fun i -> i mod 3));
+        [| input; output; prefix; ready |]);
+    expected = Workload.Race_free;
+    paper = paper ~insns:1_661 ~threads:128 ~mem:65;
+  }
+
+let device_sort_find_runs =
+  let tpb = 64 in
+  let lay = Vclock.Layout.make ~warp_size:32 ~threads_per_block:tpb ~blocks:2 in
+  let n = Vclock.Layout.total_threads lay in
+  let b =
+    create
+      ~params:[ "input"; "runs"; "count" ]
+      ~shared:
+        [
+          ("keys", tpb * 4); ("flags", tpb * 4); ("ftmp", tpb * 4); ("dest", tpb * 4);
+        ]
+      "device_sort_find_runs_kernel"
+  in
+  let g = global_tid b in
+  load_input_to_shared b ~smem:"keys" g;
+  for bit = 0 to 1 do
+    radix_split_pass b ~tpb ~keys:"keys" ~flags:"flags" ~ftmp:"ftmp" ~dest:"dest" ~bit
+  done;
+  (* head flags over the sorted keys: a run starts where the key
+     differs from its predecessor *)
+  let ka = Common.shared_addr b ~base:"keys" tid in
+  let key = fresh_reg b in
+  ld ~space:Ast.Shared b key (reg ka);
+  let head = fresh_reg b in
+  mov b head (imm 1);
+  if_ b Ast.C_gt tid (imm 0) (fun b ->
+      let pa = fresh_reg ~cls:"rd" b in
+      mad b pa tid (imm 4) (sym "keys");
+      binop b Ast.B_sub pa (reg pa) (imm 4);
+      let pv = fresh_reg b in
+      ld ~space:Ast.Shared b pv (reg pa);
+      let p = fresh_reg ~cls:"p" b in
+      setp b Ast.C_ne p (reg key) (reg pv);
+      emit b (Ast.Selp { dst = head; a = imm 1; b = imm 0; pred = p }));
+  let fa = Common.shared_addr b ~base:"flags" tid in
+  st ~space:Ast.Shared b (reg fa) (reg head);
+  Common.block_reduce_shared b ~tpb ~smem:"flags" ();
+  if_ b Ast.C_eq tid (imm 0) (fun b ->
+      let nruns = fresh_reg b in
+      ld ~space:Ast.Shared b nruns (sym "flags");
+      Common.store_global_result b ~base:"runs" ~index:(Ast.Sreg Ast.Ctaid)
+        (reg nruns);
+      let old = fresh_reg b in
+      atom b Ast.A_add old (sym "count") (reg nruns));
+  let kernel = finish b in
+  {
+    Workload.name = "d_sort_find_runs";
+    suite = "CUB";
+    layout = lay;
+    kernel;
+    setup =
+      (fun m ->
+        let input = alloc_words m n in
+        let runs = alloc_words m 2 in
+        let count = alloc_words m 1 in
+        poke_words m input (List.init n (fun i -> (i / 5) mod 4));
+        [| input; runs; count |]);
+    expected = Workload.Race_free;
+    paper = paper ~insns:16_479 ~threads:128 ~mem:66;
+  }
+
+let all =
+  [
+    block_radix_sort;
+    block_reduce;
+    block_scan;
+    device_partition_flagged;
+    device_reduce;
+    device_scan;
+    device_select_flagged;
+    device_select_if;
+    device_select_unique;
+    device_sort_find_runs;
+  ]

@@ -1,0 +1,22 @@
+(** Synthetic counterparts of the ten CUB SDK samples in Table 1.
+
+    All are race-free block/device primitives built from barriers, warp
+    lockstep and (for the device-wide ones) fence-based inter-block
+    handoffs: block radix sort, block reduce, block scan, and the
+    device-wide partition / reduce / scan / select / sort-runs kernels.
+    [device_scan] uses a chained (decoupled-lookback-style) prefix
+    handoff: a fence+store release of each block's aggregate and a
+    CAS+fence acquire spin in the next block — exercising BARRACUDA's
+    scoped release/acquire machinery on race-free code. *)
+
+val block_radix_sort : Workload.t
+val block_reduce : Workload.t
+val block_scan : Workload.t
+val device_partition_flagged : Workload.t
+val device_reduce : Workload.t
+val device_scan : Workload.t
+val device_select_flagged : Workload.t
+val device_select_if : Workload.t
+val device_select_unique : Workload.t
+val device_sort_find_runs : Workload.t
+val all : Workload.t list

@@ -1,0 +1,59 @@
+open Ptx.Builder
+module Ast = Ptx.Ast
+
+let hashtable =
+  let lay =
+    Vclock.Layout.make ~warp_size:32 ~threads_per_block:32 ~blocks:2
+  in
+  let n = Vclock.Layout.total_threads lay in
+  (* One bucket: [lock; head; entries[..]].  One thread per block
+     inserts, so contention is strictly inter-block, as in the paper's
+     account of the bug. *)
+  let b = create ~params:[ "lock"; "head"; "entries" ] "hashtable_kernel" in
+  let g = global_tid b in
+  if_ b Ast.C_eq (Ast.Sreg Ast.Tid) (imm 0) (fun b ->
+      (* try-lock loop; note: no fence after the winning CAS *)
+      let got = fresh_reg b in
+      mov b got (imm 0);
+      while_ b Ast.C_eq (fun _ -> (reg got, imm 0)) (fun b ->
+          let old = fresh_reg b in
+          atom_cas b old (sym "lock") (imm 0) (imm 1);
+          if_ b Ast.C_eq (reg old) (imm 0) (fun b ->
+              (* critical section: push an entry *)
+              let h = fresh_reg b in
+              ld b h (sym "head");
+              let slot = fresh_reg ~cls:"rd" b in
+              mad b slot (reg h) (imm 4) (sym "entries");
+              st b (reg slot) (reg g);
+              let h2 = fresh_reg b in
+              binop b Ast.B_add h2 (reg h) (imm 1);
+              st b (sym "head") (reg h2);
+              (* cache the most recent key at the bucket front *)
+              st b (sym "entries") (reg g);
+              (* buggy unlock: plain store, no fence, no atomic *)
+              st b (sym "lock") (imm 0);
+              mov b got (imm 1))));
+  let kernel = finish b in
+  {
+    Workload.name = "hashtable";
+    suite = "GPU-TM";
+    layout = lay;
+    kernel;
+    setup =
+      (fun m ->
+        let words k = Int64.of_int (Simt.Machine.alloc_global m (4 * k)) in
+        let lock = words 1 in
+        let head = words 1 in
+        let entries = words n in
+        [| lock; head; entries |]);
+    expected = Workload.Global_races 3;
+    paper =
+      {
+        Workload.p_static_insns = 193;
+        p_total_threads = 64;
+        p_global_mem_mb = 103;
+        p_races = "3 global";
+      };
+  }
+
+let all = [ hashtable ]

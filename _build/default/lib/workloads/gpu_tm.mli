@@ -1,0 +1,10 @@
+(** The GPU-TM hashtable benchmark (Table 1 row "Hashtable").
+
+    Reproduces both §6.3 bugs verbatim: the bucket lock is taken with an
+    [atomicCAS] {e without} a trailing fence (so the critical section
+    can be reordered with the lock), and released with a plain,
+    unfenced store — 3 racy global locations (the lock word, the bucket
+    head, the entry slot). *)
+
+val hashtable : Workload.t
+val all : Workload.t list

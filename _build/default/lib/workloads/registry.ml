@@ -1,0 +1,11 @@
+let all =
+  Rodinia.all @ Shoc.all @ Gpu_tm.all @ Sdk.all @ Cub.all
+
+let find name =
+  let matches (w : Workload.t) =
+    w.Workload.name = name
+    || w.Workload.suite ^ "/" ^ w.Workload.name = name
+  in
+  match List.find_opt matches all with
+  | Some w -> w
+  | None -> raise Not_found

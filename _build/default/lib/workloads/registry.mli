@@ -1,0 +1,7 @@
+(** The full Table 1 roster: all 26 workloads in the paper's order. *)
+
+val all : Workload.t list
+
+val find : string -> Workload.t
+(** Look up by name (suite-qualified names accepted as "suite/name").
+    @raise Not_found *)

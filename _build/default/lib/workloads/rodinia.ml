@@ -1,0 +1,763 @@
+open Ptx.Builder
+module Ast = Ptx.Ast
+
+let layout ~tpb ~blocks = Vclock.Layout.make ~warp_size:32 ~threads_per_block:tpb ~blocks
+
+let tid = Ast.Sreg Ast.Tid
+
+let alloc_words m n = Int64.of_int (Simt.Machine.alloc_global m (4 * n))
+
+let poke_words m base values =
+  List.iteri
+    (fun i v ->
+      Simt.Machine.poke m ~addr:(Int64.to_int base + (4 * i)) ~width:4
+        (Int64.of_int v))
+    values
+
+(* ------------------------------------------------------------------ *)
+(* BFS (Rodinia): one frontier-expansion step over a binary tree.
+   Children are unique per parent, so updates never collide. *)
+
+let bfs =
+  let lay = layout ~tpb:64 ~blocks:4 in
+  let n = Vclock.Layout.total_threads lay in
+  let b = create ~params:[ "mask"; "cost"; "visited" ] "bfs_kernel" in
+  let g = global_tid b in
+  let mask_addr = Common.addr_of_tid b ~base:"mask" g in
+  let in_frontier = fresh_reg b in
+  ld b in_frontier (reg mask_addr);
+  if_ b Ast.C_ne (reg in_frontier) (imm 0) (fun b ->
+      st b (reg mask_addr) (imm 0);
+      let my_cost = fresh_reg b in
+      let cost_addr = Common.addr_of_tid b ~base:"cost" g in
+      ld b my_cost (reg cost_addr);
+      let new_cost = fresh_reg b in
+      binop b Ast.B_add new_cost (reg my_cost) (imm 1);
+      List.iter
+        (fun off ->
+          let child = fresh_reg b in
+          mad b child (reg g) (imm 2) (imm off);
+          if_ b Ast.C_lt (reg child) (imm n) (fun b ->
+              let vaddr = fresh_reg ~cls:"rd" b in
+              mad b vaddr (reg child) (imm 4) (sym "visited");
+              let visited = fresh_reg b in
+              ld b visited (reg vaddr);
+              if_ b Ast.C_eq (reg visited) (imm 0) (fun b ->
+                  st b (reg vaddr) (imm 1);
+                  let caddr = fresh_reg ~cls:"rd" b in
+                  mad b caddr (reg child) (imm 4) (sym "cost");
+                  st b (reg caddr) (reg new_cost))))
+        [ 1; 2 ]);
+  let kernel = finish b in
+  {
+    Workload.name = "bfs";
+    suite = "Rodinia";
+    layout = lay;
+    kernel;
+    setup =
+      (fun m ->
+        let mask = alloc_words m n in
+        let cost = alloc_words m n in
+        let visited = alloc_words m n in
+        (* frontier = first half of the tree *)
+        for i = 0 to (n / 2) - 1 do
+          Simt.Machine.poke m ~addr:(Int64.to_int mask + (4 * i)) ~width:4 1L;
+          Simt.Machine.poke m ~addr:(Int64.to_int visited + (4 * i)) ~width:4 1L
+        done;
+        [| mask; cost; visited |]);
+    expected = Workload.Race_free;
+    paper =
+      {
+        Workload.p_static_insns = 281;
+        p_total_threads = 1_000_448;
+        p_global_mem_mb = 155;
+        p_races = "";
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Backprop: per-block weighted-sum reduction in shared memory. *)
+
+let backprop =
+  let lay = layout ~tpb:64 ~blocks:4 in
+  let n = Vclock.Layout.total_threads lay in
+  let b =
+    create
+      ~params:[ "input"; "weights"; "partial" ]
+      ~shared:[ ("sums", 64 * 4) ]
+      "backprop_kernel"
+  in
+  let g = global_tid b in
+  let x = Common.load_global b ~base:"input" (reg g) in
+  let w = Common.load_global b ~base:"weights" (reg g) in
+  let prod = fresh_reg b in
+  binop b Ast.B_mul prod (reg x) (reg w) ;
+  let saddr = Common.shared_addr b ~base:"sums" tid in
+  st ~space:Ast.Shared b (reg saddr) (reg prod);
+  Common.block_reduce_shared b ~tpb:64 ~smem:"sums" ();
+  if_ b Ast.C_eq tid (imm 0) (fun b ->
+      let sum = fresh_reg b in
+      ld ~space:Ast.Shared b sum (sym "sums");
+      Common.store_global_result b ~base:"partial"
+        ~index:(Ast.Sreg Ast.Ctaid) (reg sum));
+  let kernel = finish b in
+  {
+    Workload.name = "backprop";
+    suite = "Rodinia";
+    layout = lay;
+    kernel;
+    setup =
+      (fun m ->
+        let input = alloc_words m n in
+        let weights = alloc_words m n in
+        let partial = alloc_words m 4 in
+        poke_words m input (List.init n (fun i -> i mod 7));
+        poke_words m weights (List.init n (fun i -> (i mod 3) + 1));
+        [| input; weights; partial |]);
+    expected = Workload.Race_free;
+    paper =
+      {
+        Workload.p_static_insns = 272;
+        p_total_threads = 1_048_576;
+        p_global_mem_mb = 9;
+        p_races = "";
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* DWT2D: one lifting step; adjacent blocks both update the shared
+   boundary cells without synchronization — the paper's 3 global
+   races. *)
+
+let dwt2d =
+  let lay = layout ~tpb:32 ~blocks:4 in
+  let n = Vclock.Layout.total_threads lay in
+  let b = create ~params:[ "data"; "out"; "boundary" ] "dwt2d_kernel" in
+  let g = global_tid b in
+  (* predict step on pairs: out[g] = data[2g+1] - (data[2g] + data[2g+2])/2 *)
+  let i2 = fresh_reg b in
+  binop b Ast.B_mul i2 (reg g) (imm 2);
+  let a0 = Common.load_global b ~base:"data" (reg i2) in
+  let i21 = fresh_reg b in
+  binop b Ast.B_add i21 (reg i2) (imm 1);
+  let a1 = Common.load_global b ~base:"data" (reg i21) in
+  let i22 = fresh_reg b in
+  binop b Ast.B_add i22 (reg i2) (imm 2);
+  let a2 = Common.load_global b ~base:"data" (reg i22) in
+  let s = fresh_reg b in
+  binop b Ast.B_add s (reg a0) (reg a2);
+  binop b Ast.B_shr s (reg s) (imm 1);
+  let d = fresh_reg b in
+  binop b Ast.B_sub d (reg a1) (reg s);
+  Common.store_global_result b ~base:"out" ~index:(reg g) (reg d);
+  (* racy boundary exchange between adjacent blocks *)
+  if_ b Ast.C_eq tid (imm 0) (fun b ->
+      Common.store_global_result b ~base:"boundary" ~index:(Ast.Sreg Ast.Ctaid)
+        (imm 1));
+  if_ b Ast.C_eq tid (imm 31) (fun b ->
+      let nxt = fresh_reg b in
+      binop b Ast.B_add nxt (Ast.Sreg Ast.Ctaid) (imm 1);
+      Common.store_global_result b ~base:"boundary" ~index:(reg nxt) (imm 2));
+  let kernel = finish b in
+  {
+    Workload.name = "dwt2d";
+    suite = "Rodinia";
+    layout = lay;
+    kernel;
+    setup =
+      (fun m ->
+        let data = alloc_words m ((2 * n) + 2) in
+        let out = alloc_words m n in
+        let boundary = alloc_words m 8 in
+        poke_words m data (List.init ((2 * n) + 2) (fun i -> i mod 251));
+        [| data; out; boundary |]);
+    expected = Workload.Global_races 3;
+    paper =
+      {
+        Workload.p_static_insns = 35_385;
+        p_total_threads = 2_304;
+        p_global_mem_mb = 6_644;
+        p_races = "3 global";
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Gaussian: one elimination step against pivot row 0; each thread owns
+   one matrix element of a non-pivot row. *)
+
+let gaussian =
+  let lay = layout ~tpb:64 ~blocks:4 in
+  let n = Vclock.Layout.total_threads lay in
+  let dim = 16 in
+  let b = create ~params:[ "matrix"; "mult" ] "gaussian_kernel" in
+  let g = global_tid b in
+  let row = fresh_reg b in
+  binop b Ast.B_div row (reg g) (imm dim);
+  let col = fresh_reg b in
+  binop b Ast.B_rem col (reg g) (imm dim);
+  if_ b Ast.C_ge (reg row) (imm 1) (fun b ->
+      if_ b Ast.C_lt (reg row) (imm dim) (fun b ->
+          let pivot = Common.load_global b ~base:"matrix" (reg col) in
+          let mfac = Common.load_global b ~base:"mult" (reg row) in
+          let prod = fresh_reg b in
+          binop b Ast.B_mul prod (reg pivot) (reg mfac);
+          let mine = fresh_reg b in
+          mad b mine (reg row) (imm dim) (reg col);
+          let v = Common.load_global b ~base:"matrix" (reg mine) in
+          let nv = fresh_reg b in
+          binop b Ast.B_sub nv (reg v) (reg prod);
+          Common.store_global_result b ~base:"matrix" ~index:(reg mine) (reg nv)));
+  let kernel = finish b in
+  {
+    Workload.name = "gaussian";
+    suite = "Rodinia";
+    layout = lay;
+    kernel;
+    setup =
+      (fun m ->
+        let matrix = alloc_words m (dim * dim) in
+        let mult = alloc_words m dim in
+        poke_words m matrix (List.init (dim * dim) (fun i -> (i mod 9) + 1));
+        poke_words m mult (List.init dim (fun i -> i mod 5));
+        ignore n;
+        [| matrix; mult |]);
+    expected = Workload.Race_free;
+    paper =
+      {
+        Workload.p_static_insns = 246;
+        p_total_threads = 1_048_576;
+        p_global_mem_mb = 124;
+        p_races = "";
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Hotspot: tiled stencil, shared tile + barrier, double-buffered
+   global output. *)
+
+let hotspot =
+  let lay = layout ~tpb:64 ~blocks:4 in
+  let n = Vclock.Layout.total_threads lay in
+  let b =
+    create
+      ~params:[ "t_in"; "power"; "t_out" ]
+      ~shared:[ ("tile", 64 * 4) ]
+      "hotspot_kernel"
+  in
+  let g = global_tid b in
+  let v = Common.load_global b ~base:"t_in" (reg g) in
+  let saddr = Common.shared_addr b ~base:"tile" tid in
+  st ~space:Ast.Shared b (reg saddr) (reg v);
+  bar b;
+  let left = fresh_reg b in
+  mov b left (reg v);
+  if_ b Ast.C_gt tid (imm 0) (fun b ->
+      let la = fresh_reg ~cls:"rd" b in
+      mad b la tid (imm 4) (sym "tile");
+      binop b Ast.B_sub la (reg la) (imm 4);
+      ld ~space:Ast.Shared b left (reg la));
+  let right = fresh_reg b in
+  mov b right (reg v);
+  if_ b Ast.C_lt tid (imm 63) (fun b ->
+      let ra = fresh_reg ~cls:"rd" b in
+      mad b ra tid (imm 4) (sym "tile");
+      binop b Ast.B_add ra (reg ra) (imm 4);
+      ld ~space:Ast.Shared b right (reg ra));
+  let p = Common.load_global b ~base:"power" (reg g) in
+  let acc = fresh_reg b in
+  binop b Ast.B_add acc (reg left) (reg right);
+  binop b Ast.B_add acc (reg acc) (reg p);
+  binop b Ast.B_shr acc (reg acc) (imm 1);
+  Common.store_global_result b ~base:"t_out" ~index:(reg g) (reg acc);
+  let kernel = finish b in
+  {
+    Workload.name = "hotspot";
+    suite = "Rodinia";
+    layout = lay;
+    kernel;
+    setup =
+      (fun m ->
+        let t_in = alloc_words m n in
+        let power = alloc_words m n in
+        let t_out = alloc_words m n in
+        poke_words m t_in (List.init n (fun i -> 300 + (i mod 40)));
+        poke_words m power (List.init n (fun i -> i mod 11));
+        [| t_in; power; t_out |]);
+    expected = Workload.Race_free;
+    paper =
+      {
+        Workload.p_static_insns = 338;
+        p_total_threads = 473_344;
+        p_global_mem_mb = 119;
+        p_races = "";
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Hybridsort: shared-memory histogram with atomics, except one bin is
+   "fixed up" with a plain store concurrent with the atomics — the
+   paper's single shared-memory race. *)
+
+let hybridsort =
+  let lay = layout ~tpb:64 ~blocks:2 in
+  let n = Vclock.Layout.total_threads lay in
+  let nbins = 16 in
+  let b =
+    create ~params:[ "data"; "hist_out" ]
+      ~shared:[ ("hist", nbins * 4) ]
+      "hybridsort_kernel"
+  in
+  let g = global_tid b in
+  if_ b Ast.C_lt tid (imm nbins) (fun b ->
+      let h = Common.shared_addr b ~base:"hist" tid in
+      st ~space:Ast.Shared b (reg h) (imm 0));
+  bar b;
+  (* the buggy fixup: a plain store to bin 15, unordered with the
+     atomics from the other warp *)
+  if_ b Ast.C_eq tid (imm 0) (fun b ->
+      st ~space:Ast.Shared b ~offset:(15 * 4) (sym "hist") (imm 1));
+  let v = Common.load_global b ~base:"data" (reg g) in
+  let bin = fresh_reg b in
+  binop b Ast.B_and bin (reg v) (imm (nbins - 1));
+  let baddr = Common.shared_addr b ~base:"hist" (reg bin) in
+  let old = fresh_reg b in
+  atom ~space:Ast.Shared b Ast.A_add old (reg baddr) (imm 1);
+  bar b;
+  if_ b Ast.C_lt tid (imm nbins) (fun b ->
+      let h = Common.shared_addr b ~base:"hist" tid in
+      let hv = fresh_reg b in
+      ld ~space:Ast.Shared b hv (reg h);
+      let out_idx = fresh_reg b in
+      mad b out_idx (Ast.Sreg Ast.Ctaid) (imm nbins) tid;
+      Common.store_global_result b ~base:"hist_out" ~index:(reg out_idx)
+        (reg hv));
+  let kernel = finish b in
+  {
+    Workload.name = "hybridsort";
+    suite = "Rodinia";
+    layout = lay;
+    kernel;
+    setup =
+      (fun m ->
+        let data = alloc_words m n in
+        let hist_out = alloc_words m (2 * nbins) in
+        (* ensure warp 1 hits bin 15 *)
+        poke_words m data (List.init n (fun i -> if i mod 64 >= 32 then 15 else i mod 13));
+        [| data; hist_out |]);
+    expected = Workload.Shared_races 1;
+    paper =
+      {
+        Workload.p_static_insns = 906;
+        p_total_threads = 32_768;
+        p_global_mem_mb = 252;
+        p_races = "1 shared";
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Kmeans: nearest-center assignment plus atomic accumulation. *)
+
+let kmeans =
+  let lay = layout ~tpb:64 ~blocks:4 in
+  let n = Vclock.Layout.total_threads lay in
+  let k = 4 in
+  let b = create ~params:[ "points"; "centers"; "membership"; "accum" ] "kmeans_kernel" in
+  let g = global_tid b in
+  let p = Common.load_global b ~base:"points" (reg g) in
+  let best = fresh_reg b in
+  mov b best (imm 0);
+  let bestd = fresh_reg b in
+  mov b bestd (imm 1_000_000);
+  for c = 0 to k - 1 do
+    let cv = Common.load_global b ~base:"centers" (imm c) in
+    let d = fresh_reg b in
+    binop b Ast.B_sub d (reg p) (reg cv);
+    let d2 = fresh_reg b in
+    binop b Ast.B_mul d2 (reg d) (reg d);
+    if_ b Ast.C_lt (reg d2) (reg bestd) (fun b ->
+        mov b bestd (reg d2);
+        mov b best (imm c))
+  done;
+  Common.store_global_result b ~base:"membership" ~index:(reg g) (reg best);
+  let aaddr = fresh_reg ~cls:"rd" b in
+  mad b aaddr (reg best) (imm 4) (sym "accum");
+  let old = fresh_reg b in
+  atom b Ast.A_add old (reg aaddr) (reg p);
+  let kernel = finish b in
+  {
+    Workload.name = "kmeans";
+    suite = "Rodinia";
+    layout = lay;
+    kernel;
+    setup =
+      (fun m ->
+        let points = alloc_words m n in
+        let centers = alloc_words m k in
+        let membership = alloc_words m n in
+        let accum = alloc_words m k in
+        poke_words m points (List.init n (fun i -> i mod 97));
+        poke_words m centers [ 5; 25; 50; 75 ];
+        [| points; centers; membership; accum |]);
+    expected = Workload.Race_free;
+    paper =
+      {
+        Workload.p_static_insns = 384;
+        p_total_threads = 495_616;
+        p_global_mem_mb = 252;
+        p_races = "";
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* LavaMD: box of particles cached in shared memory; each thread
+   accumulates force contributions from a neighbourhood. *)
+
+let lavamd =
+  let lay = layout ~tpb:64 ~blocks:2 in
+  let n = Vclock.Layout.total_threads lay in
+  let b =
+    create ~params:[ "pos"; "force" ]
+      ~shared:[ ("cache", 64 * 4) ]
+      "lavamd_kernel"
+  in
+  let g = global_tid b in
+  let mine = Common.load_global b ~base:"pos" (reg g) in
+  let saddr = Common.shared_addr b ~base:"cache" tid in
+  st ~space:Ast.Shared b (reg saddr) (reg mine);
+  bar b;
+  let f = fresh_reg b in
+  mov b f (imm 0);
+  for kk = 1 to 8 do
+    let j = fresh_reg b in
+    binop b Ast.B_add j tid (imm kk);
+    binop b Ast.B_and j (reg j) (imm 63);
+    let other_addr = Common.shared_addr b ~base:"cache" (reg j) in
+    let other = fresh_reg b in
+    ld ~space:Ast.Shared b other (reg other_addr);
+    let d = fresh_reg b in
+    binop b Ast.B_sub d (reg other) (reg mine);
+    binop b Ast.B_add f (reg f) (reg d)
+  done;
+  Common.store_global_result b ~base:"force" ~index:(reg g) (reg f);
+  let kernel = finish b in
+  {
+    Workload.name = "lavamd";
+    suite = "Rodinia";
+    layout = lay;
+    kernel;
+    setup =
+      (fun m ->
+        let pos = alloc_words m n in
+        let force = alloc_words m n in
+        poke_words m pos (List.init n (fun i -> (i * 17) mod 301));
+        [| pos; force |]);
+    expected = Workload.Race_free;
+    paper =
+      {
+        Workload.p_static_insns = 1_320;
+        p_total_threads = 128_000;
+        p_global_mem_mb = 965;
+        p_races = "";
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Needle (Needleman–Wunsch): anti-diagonal wavefront over a shared
+   score tile, one barrier per diagonal. *)
+
+let needle =
+  let lay = layout ~tpb:32 ~blocks:2 in
+  let t = 16 in
+  (* (t+1) x (t+1) score tile *)
+  let dimw = t + 1 in
+  let b =
+    create ~params:[ "seq"; "out" ]
+      ~shared:[ ("score", dimw * dimw * 4) ]
+      "needle_kernel"
+  in
+  let g = global_tid b in
+  (* init first row and column *)
+  if_ b Ast.C_le tid (imm t) (fun b ->
+      let rowa = Common.shared_addr b ~base:"score" tid in
+      st ~space:Ast.Shared b (reg rowa) tid;
+      let cola = fresh_reg ~cls:"rd" b in
+      mad b cola tid (imm (4 * dimw)) (sym "score");
+      st ~space:Ast.Shared b (reg cola) tid);
+  bar b;
+  for d = 2 to 2 * t do
+    (* cells (i, j) with i + j = d, 1 <= i,j <= t; thread tid handles
+       i = tid + 1 *)
+    let i = fresh_reg b in
+    binop b Ast.B_add i tid (imm 1);
+    let j = fresh_reg b in
+    binop b Ast.B_sub j (imm d) (reg i);
+    let valid_i = fresh_reg ~cls:"p" b in
+    setp b Ast.C_le valid_i (reg i) (imm t);
+    let valid_j_lo = fresh_reg ~cls:"p" b in
+    setp b Ast.C_ge valid_j_lo (reg j) (imm 1);
+    let valid_j_hi = fresh_reg ~cls:"p" b in
+    setp b Ast.C_le valid_j_hi (reg j) (imm t);
+    let ok = fresh_reg ~cls:"p" b in
+    binop b Ast.B_and ok (reg valid_i) (reg valid_j_lo);
+    binop b Ast.B_and ok (reg ok) (reg valid_j_hi);
+    let l_skip = fresh_label b in
+    bra ~guard:(false, ok) b l_skip;
+    (let cell = fresh_reg ~cls:"rd" b in
+     mad b cell (reg i) (imm dimw) (reg j);
+     let nw = fresh_reg ~cls:"rd" b in
+     binop b Ast.B_sub nw (reg cell) (imm (dimw + 1));
+     let up = fresh_reg ~cls:"rd" b in
+     binop b Ast.B_sub up (reg cell) (imm dimw);
+     let lf = fresh_reg ~cls:"rd" b in
+     binop b Ast.B_sub lf (reg cell) (imm 1);
+     let load_cell idx =
+       let a = fresh_reg ~cls:"rd" b in
+       mad b a (reg idx) (imm 4) (sym "score");
+       let v = fresh_reg b in
+       ld ~space:Ast.Shared b v (reg a);
+       v
+     in
+     let vnw = load_cell nw in
+     let vup = load_cell up in
+     let vlf = load_cell lf in
+     let m1 = fresh_reg b in
+     binop b Ast.B_max m1 (reg vup) (reg vlf);
+     let m2 = fresh_reg b in
+     binop b Ast.B_max m2 (reg m1) (reg vnw);
+     binop b Ast.B_add m2 (reg m2) (imm 1);
+     let ca = fresh_reg ~cls:"rd" b in
+     mad b ca (reg cell) (imm 4) (sym "score");
+     st ~space:Ast.Shared b (reg ca) (reg m2));
+    place_label b l_skip;
+    bar b
+  done;
+  (* write back the last diagonal cell per thread *)
+  if_ b Ast.C_eq tid (imm 0) (fun b ->
+      let last = fresh_reg ~cls:"rd" b in
+      mov b last (imm ((dimw * dimw) - 1));
+      let a = fresh_reg ~cls:"rd" b in
+      mad b a (reg last) (imm 4) (sym "score");
+      let v = fresh_reg b in
+      ld ~space:Ast.Shared b v (reg a);
+      Common.store_global_result b ~base:"out" ~index:(Ast.Sreg Ast.Ctaid)
+        (reg v));
+  ignore g;
+  let kernel = finish b in
+  {
+    Workload.name = "needle";
+    suite = "Rodinia";
+    layout = lay;
+    kernel;
+    setup =
+      (fun m ->
+        let seq = alloc_words m 64 in
+        let out = alloc_words m 4 in
+        poke_words m seq (List.init 64 (fun i -> i mod 4));
+        [| seq; out |]);
+    expected = Workload.Race_free;
+    paper =
+      {
+        Workload.p_static_insns = 1_006;
+        p_total_threads = 495_616;
+        p_global_mem_mb = 64;
+        p_races = "";
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* NN: per-record distance to a target; embarrassingly parallel. *)
+
+let nn =
+  let lay = layout ~tpb:64 ~blocks:2 in
+  let n = Vclock.Layout.total_threads lay in
+  let b = create ~params:[ "records"; "target"; "dist" ] "nn_kernel" in
+  let g = global_tid b in
+  let r = Common.load_global b ~base:"records" (reg g) in
+  let t = fresh_reg b in
+  ld ~space:Ast.Param b t (sym "target");
+  let d = fresh_reg b in
+  binop b Ast.B_sub d (reg r) (reg t);
+  let d2 = fresh_reg b in
+  binop b Ast.B_mul d2 (reg d) (reg d);
+  Common.store_global_result b ~base:"dist" ~index:(reg g) (reg d2);
+  let kernel = finish b in
+  {
+    Workload.name = "nn";
+    suite = "Rodinia";
+    layout = lay;
+    kernel;
+    setup =
+      (fun m ->
+        let records = alloc_words m n in
+        let dist = alloc_words m n in
+        poke_words m records (List.init n (fun i -> (i * 31) mod 211));
+        [| records; 100L; dist |]);
+    expected = Workload.Race_free;
+    paper =
+      {
+        Workload.p_static_insns = 234;
+        p_total_threads = 43_008;
+        p_global_mem_mb = 188;
+        p_races = "";
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Pathfinder: row-by-row DP in shared memory with barriers, plus a
+   final unsynchronized cross-warp ghost-cell update seeding the
+   paper's 7 shared races. *)
+
+let pathfinder =
+  let lay = layout ~tpb:64 ~blocks:2 in
+  let n = Vclock.Layout.total_threads lay in
+  let b =
+    create ~params:[ "wall"; "result" ]
+      ~shared:[ ("prev", 64 * 4); ("cur", 64 * 4) ]
+      "pathfinder_kernel"
+  in
+  let g = global_tid b in
+  let w0 = Common.load_global b ~base:"wall" (reg g) in
+  let pa = Common.shared_addr b ~base:"prev" tid in
+  st ~space:Ast.Shared b (reg pa) (reg w0);
+  bar b;
+  for _row = 1 to 4 do
+    let left = fresh_reg b in
+    let mid = fresh_reg b in
+    let right = fresh_reg b in
+    let la = fresh_reg ~cls:"rd" b in
+    mad b la tid (imm 4) (sym "prev");
+    ld ~space:Ast.Shared b mid (reg la);
+    mov b left (reg mid);
+    if_ b Ast.C_gt tid (imm 0) (fun b ->
+        let a = fresh_reg ~cls:"rd" b in
+        mad b a tid (imm 4) (sym "prev");
+        binop b Ast.B_sub a (reg a) (imm 4);
+        ld ~space:Ast.Shared b left (reg a));
+    mov b right (reg mid);
+    if_ b Ast.C_lt tid (imm 63) (fun b ->
+        let a = fresh_reg ~cls:"rd" b in
+        mad b a tid (imm 4) (sym "prev");
+        binop b Ast.B_add a (reg a) (imm 4);
+        ld ~space:Ast.Shared b right (reg a));
+    let m1 = fresh_reg b in
+    binop b Ast.B_min m1 (reg left) (reg right);
+    binop b Ast.B_min m1 (reg m1) (reg mid);
+    let nv = fresh_reg b in
+    binop b Ast.B_add nv (reg mid) (reg m1);
+    let ca = Common.shared_addr b ~base:"cur" tid in
+    st ~space:Ast.Shared b (reg ca) (reg nv);
+    bar b;
+    (* roll cur into prev *)
+    let cv = fresh_reg b in
+    ld ~space:Ast.Shared b cv (reg ca);
+    let pa = Common.shared_addr b ~base:"prev" tid in
+    st ~space:Ast.Shared b (reg pa) (reg cv);
+    bar b
+  done;
+  (* the bug: every thread refreshes its own cell, then threads 0..6
+     clear ghost cells owned by the other warp with no intervening
+     barrier — cross-warp write-write races on prev[32..38] *)
+  let own = Common.shared_addr b ~base:"prev" tid in
+  let ownv = fresh_reg b in
+  ld ~space:Ast.Shared b ownv (reg own);
+  binop b Ast.B_add ownv (reg ownv) (imm 1);
+  st ~space:Ast.Shared b (reg own) (reg ownv);
+  if_ b Ast.C_lt tid (imm 7) (fun b ->
+      let ghost = fresh_reg b in
+      binop b Ast.B_add ghost tid (imm 32);
+      let a = Common.shared_addr b ~base:"prev" (reg ghost) in
+      st ~space:Ast.Shared b (reg a) (imm 0));
+  bar b;
+  let fa = Common.shared_addr b ~base:"prev" tid in
+  let fv = fresh_reg b in
+  ld ~space:Ast.Shared b fv (reg fa);
+  Common.store_global_result b ~base:"result" ~index:(reg g) (reg fv);
+  let kernel = finish b in
+  {
+    Workload.name = "pathfinder";
+    suite = "Rodinia";
+    layout = lay;
+    kernel;
+    setup =
+      (fun m ->
+        let wall = alloc_words m n in
+        let result = alloc_words m n in
+        poke_words m wall (List.init n (fun i -> (i * 13) mod 19));
+        [| wall; result |]);
+    expected = Workload.Shared_races 7;
+    paper =
+      {
+        Workload.p_static_insns = 285;
+        p_total_threads = 118_528;
+        p_global_mem_mb = 155;
+        p_races = "7 shared";
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Streamcluster: distance to a fixed set of medians; pure data
+   parallelism. *)
+
+let streamcluster =
+  let lay = layout ~tpb:64 ~blocks:2 in
+  let n = Vclock.Layout.total_threads lay in
+  let k = 4 in
+  let b = create ~params:[ "points"; "centers"; "assign"; "cost" ] "streamcluster_kernel" in
+  let g = global_tid b in
+  let p = Common.load_global b ~base:"points" (reg g) in
+  let best = fresh_reg b in
+  mov b best (imm 0);
+  let bestd = fresh_reg b in
+  mov b bestd (imm 1_000_000);
+  for c = 0 to k - 1 do
+    let cv = Common.load_global b ~base:"centers" (imm c) in
+    let d = fresh_reg b in
+    binop b Ast.B_sub d (reg p) (reg cv);
+    let d2 = fresh_reg b in
+    binop b Ast.B_mul d2 (reg d) (reg d);
+    if_ b Ast.C_lt (reg d2) (reg bestd) (fun b ->
+        mov b bestd (reg d2);
+        mov b best (imm c))
+  done;
+  Common.store_global_result b ~base:"assign" ~index:(reg g) (reg best);
+  Common.store_global_result b ~base:"cost" ~index:(reg g) (reg bestd);
+  let kernel = finish b in
+  {
+    Workload.name = "streamcluster";
+    suite = "Rodinia";
+    layout = lay;
+    kernel;
+    setup =
+      (fun m ->
+        let points = alloc_words m n in
+        let centers = alloc_words m k in
+        let assign = alloc_words m n in
+        let cost = alloc_words m n in
+        poke_words m points (List.init n (fun i -> (i * 7) mod 128));
+        poke_words m centers [ 10; 40; 80; 120 ];
+        [| points; centers; assign; cost |]);
+    expected = Workload.Race_free;
+    paper =
+      {
+        Workload.p_static_insns = 299;
+        p_total_threads = 65_536;
+        p_global_mem_mb = 188;
+        p_races = "";
+      };
+  }
+
+let all =
+  [
+    bfs;
+    backprop;
+    dwt2d;
+    gaussian;
+    hotspot;
+    hybridsort;
+    kmeans;
+    lavamd;
+    needle;
+    nn;
+    pathfinder;
+    streamcluster;
+  ]

@@ -1,0 +1,21 @@
+(** Synthetic counterparts of the twelve Rodinia 3.1 benchmarks from
+    Table 1.  Each reproduces the original's dominant kernel structure
+    (memory spaces touched, synchronization idioms, divergence shape)
+    at reduced scale, and seeds the races the paper reports where it
+    reports them (DWT2D: 3 global; Hybridsort: 1 shared;
+    Pathfinder: 7 shared). *)
+
+val bfs : Workload.t
+val backprop : Workload.t
+val dwt2d : Workload.t
+val gaussian : Workload.t
+val hotspot : Workload.t
+val hybridsort : Workload.t
+val kmeans : Workload.t
+val lavamd : Workload.t
+val needle : Workload.t
+val nn : Workload.t
+val pathfinder : Workload.t
+val streamcluster : Workload.t
+
+val all : Workload.t list

@@ -1,0 +1,144 @@
+open Ptx.Builder
+module Ast = Ptx.Ast
+
+let tid = Ast.Sreg Ast.Tid
+
+let alloc_words m n = Int64.of_int (Simt.Machine.alloc_global m (4 * n))
+
+let poke_words m base values =
+  List.iteri
+    (fun i v ->
+      Simt.Machine.poke m ~addr:(Int64.to_int base + (4 * i)) ~width:4
+        (Int64.of_int v))
+    values
+
+let dxtc =
+  let lay =
+    Vclock.Layout.make ~warp_size:32 ~threads_per_block:128 ~blocks:2
+  in
+  let n = Vclock.Layout.total_threads lay in
+  let b =
+    create ~params:[ "pixels"; "out" ]
+      ~shared:[ ("scratch", 128 * 4) ]
+      "dxtc_kernel"
+  in
+  let g = global_tid b in
+  let px = Common.load_global b ~base:"pixels" (reg g) in
+  let sa = Common.shared_addr b ~base:"scratch" tid in
+  st ~space:Ast.Shared b (reg sa) (reg px);
+  (* min-reduction with NO barriers between levels: the cross-warp
+     pairs (strides 64 and 32) race *)
+  Common.block_reduce_shared b ~tpb:128 ~smem:"scratch" ~barriers:false ();
+  bar b;
+  if_ b Ast.C_eq tid (imm 0) (fun b ->
+      let v = fresh_reg b in
+      ld ~space:Ast.Shared b v (sym "scratch");
+      Common.store_global_result b ~base:"out" ~index:(Ast.Sreg Ast.Ctaid)
+        (reg v));
+  let kernel = finish b in
+  {
+    Workload.name = "dxtc";
+    suite = "CUDA SDK";
+    layout = lay;
+    kernel;
+    setup =
+      (fun m ->
+        let pixels = alloc_words m n in
+        let out = alloc_words m 2 in
+        poke_words m pixels (List.init n (fun i -> (i * 37) mod 255));
+        [| pixels; out |]);
+    expected = Workload.Shared_races 90;
+    paper =
+      {
+        Workload.p_static_insns = 1_578;
+        p_total_threads = 1_048_576;
+        p_global_mem_mb = 17;
+        p_races = "120 shared";
+      };
+  }
+
+let threadfence_reduction =
+  let nblocks = 4 in
+  let lay =
+    Vclock.Layout.make ~warp_size:32 ~threads_per_block:64 ~blocks:nblocks
+  in
+  let n = Vclock.Layout.total_threads lay in
+  let b =
+    create
+      ~params:[ "input"; "partials"; "counter"; "out" ]
+      ~shared:[ ("sums", 64 * 4); ("amlast", 8) ]
+      "threadfence_reduction_kernel"
+  in
+  let g = global_tid b in
+  let v = Common.load_global b ~base:"input" (reg g) in
+  let sa = Common.shared_addr b ~base:"sums" tid in
+  st ~space:Ast.Shared b (reg sa) (reg v);
+  Common.block_reduce_shared b ~tpb:64 ~smem:"sums" ();
+  (* seeded bug: every thread refreshes its cell, then threads 0..11
+     poke ghost cells owned by the other warp with no barrier — the
+     paper's 12 shared races *)
+  let own = Common.shared_addr b ~base:"sums" tid in
+  let ov = fresh_reg b in
+  ld ~space:Ast.Shared b ov (reg own);
+  st ~space:Ast.Shared b (reg own) (reg ov);
+  if_ b Ast.C_lt tid (imm 12) (fun b ->
+      let ghost = fresh_reg b in
+      binop b Ast.B_add ghost tid (imm 32);
+      let a = Common.shared_addr b ~base:"sums" (reg ghost) in
+      st ~space:Ast.Shared b (reg a) (imm 0));
+  bar b;
+  (* publish the block sum and elect the last block through a
+     fence-sandwiched atomicInc (acquire-release) *)
+  if_ b Ast.C_eq tid (imm 0) (fun b ->
+      let sum = fresh_reg b in
+      ld ~space:Ast.Shared b sum (sym "sums");
+      Common.store_global_result b ~base:"partials" ~index:(Ast.Sreg Ast.Ctaid)
+        (reg sum);
+      membar b Ast.Gl;
+      let ticket = fresh_reg b in
+      atom b Ast.A_inc ticket (sym "counter") (imm (nblocks - 1));
+      membar b Ast.Gl;
+      let last = fresh_reg ~cls:"p" b in
+      setp b Ast.C_eq last (reg ticket) (imm (nblocks - 1));
+      let flag = fresh_reg b in
+      mov b flag (imm 0);
+      emit b (Ast.Selp { dst = flag; a = imm 1; b = imm 0; pred = last });
+      st ~space:Ast.Shared b (sym "amlast") (reg flag));
+  bar b;
+  let am = fresh_reg b in
+  ld ~space:Ast.Shared b am (sym "amlast");
+  if_ b Ast.C_ne (reg am) (imm 0) (fun b ->
+      (* last block: reduce the partials *)
+      if_ b Ast.C_eq tid (imm 0) (fun b ->
+          let total = fresh_reg b in
+          mov b total (imm 0);
+          for blk = 0 to nblocks - 1 do
+            let p = Common.load_global b ~base:"partials" (imm blk) in
+            binop b Ast.B_add total (reg total) (reg p)
+          done;
+          Common.store_global_result b ~base:"out" ~index:(imm 0) (reg total)));
+  let kernel = finish b in
+  {
+    Workload.name = "threadfencered";
+    suite = "CUDA SDK";
+    layout = lay;
+    kernel;
+    setup =
+      (fun m ->
+        let input = alloc_words m n in
+        let partials = alloc_words m nblocks in
+        let counter = alloc_words m 1 in
+        let out = alloc_words m 1 in
+        poke_words m input (List.init n (fun i -> (i mod 9) + 1));
+        [| input; partials; counter; out |]);
+    expected = Workload.Shared_races 12;
+    paper =
+      {
+        Workload.p_static_insns = 5_037;
+        p_total_threads = 16_384;
+        p_global_mem_mb = 787;
+        p_races = "12 shared";
+      };
+  }
+
+let all = [ dxtc; threadfence_reduction ]

@@ -1,0 +1,18 @@
+(** The two CUDA SDK samples from Table 1.
+
+    [dxtc] compresses pixel tiles with a cooperative min-reduction in
+    shared memory whose levels are not barrier-separated — the
+    cross-warp level pairs race, giving on the order of a hundred racy
+    shared words (the paper reports 120).
+
+    [threadfence_reduction] is the SDK's two-phase grid reduction: block
+    sums via barriers, partials published to global memory and handed
+    off through a fence-sandwiched [atomicInc] (an acquire-release in
+    BARRACUDA's inference), and the last block reducing the partials.
+    The global handoff is race-free; the 12 shared races the paper
+    reports are seeded as unsynchronized cross-warp ghost-cell
+    writes. *)
+
+val dxtc : Workload.t
+val threadfence_reduction : Workload.t
+val all : Workload.t list

@@ -1,0 +1,70 @@
+open Ptx.Builder
+module Ast = Ptx.Ast
+
+let bfs =
+  let lay =
+    Vclock.Layout.make ~warp_size:32 ~threads_per_block:32 ~blocks:2
+  in
+  let n = Vclock.Layout.total_threads lay in
+  (* Node u's neighbours: u+1 and a hub node shared with the twin node
+     in the other block, so two blocks relax the same costs. *)
+  let hub1 = n and hub2 = n + 1 in
+  let total_nodes = n + 2 in
+  let b = create ~params:[ "frontier"; "cost"; "flag" ] "shoc_bfs_kernel" in
+  let g = global_tid b in
+  let fr = Common.load_global b ~base:"frontier" (reg g) in
+  if_ b Ast.C_ne (reg fr) (imm 0) (fun b ->
+      let my_cost = Common.load_global b ~base:"cost" (reg g) in
+      let nc = fresh_reg b in
+      binop b Ast.B_add nc (reg my_cost) (imm 1);
+      (* neighbour 1: the successor node within the block (unique per
+         thread, ordered by lockstep execution) *)
+      let succ = fresh_reg b in
+      binop b Ast.B_add succ (reg g) (imm 1);
+      if_ b Ast.C_lt (Ast.Sreg Ast.Tid) (imm 31) (fun b ->
+          Common.store_global_result b ~base:"cost" ~index:(reg succ) (reg nc));
+      (* neighbour 2: a hub shared across blocks — the §6.3 race *)
+      let parity = fresh_reg b in
+      binop b Ast.B_and parity (reg g) (imm 1);
+      let hub = fresh_reg b in
+      if_else b Ast.C_eq (reg parity) (imm 0)
+        (fun b -> mov b hub (imm hub1))
+        (fun b -> mov b hub (imm hub2));
+      Common.store_global_result b ~base:"cost" ~index:(reg hub) (reg nc);
+      (* the concurrently-set done flag, also racy across blocks *)
+      st b (sym "flag") (imm 1));
+  let kernel = finish b in
+  {
+    Workload.name = "bfs";
+    suite = "SHOC";
+    layout = lay;
+    kernel;
+    setup =
+      (fun m ->
+        let words k = Int64.of_int (Simt.Machine.alloc_global m (4 * k)) in
+        let frontier = words n in
+        let cost = words total_nodes in
+        let flag = words 1 in
+        (* every thread is in the frontier with a block-dependent cost,
+           so hub relaxations write different values *)
+        for i = 0 to n - 1 do
+          Simt.Machine.poke m
+            ~addr:(Int64.to_int frontier + (4 * i))
+            ~width:4 1L;
+          Simt.Machine.poke m
+            ~addr:(Int64.to_int cost + (4 * i))
+            ~width:4
+            (Int64.of_int (i / 32))
+        done;
+        [| frontier; cost; flag |]);
+    expected = Workload.Global_races 3;
+    paper =
+      {
+        Workload.p_static_insns = 770;
+        p_total_threads = 1_024;
+        p_global_mem_mb = 68;
+        p_races = "3 global";
+      };
+  }
+
+let all = [ bfs ]

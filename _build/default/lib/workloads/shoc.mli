@@ -1,0 +1,10 @@
+(** The SHOC BFS benchmark (Table 1 row "BFS", suite SHOC).
+
+    Reproduces the global-memory race the paper dissects in §6.3: the
+    graph lives in global memory, frontier threads in different blocks
+    relax shared neighbours' costs with plain stores (no atomics, no
+    fences), and a done-flag is concurrently set to 1 by many threads —
+    3 racy global locations. *)
+
+val bfs : Workload.t
+val all : Workload.t list

@@ -1,0 +1,1 @@
+test/gen.ml: Format Fun Int64 List Ptx QCheck2 Simt Vclock

@@ -1,0 +1,1 @@
+test/test_bugsuite.ml: Alcotest Bugsuite Format List Printf String

@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Cfg Gen Int List Printf Ptx QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_detector.ml: Alcotest Barracuda Format Gen Gtrace List Ptx QCheck2 QCheck_alcotest Simt Stdlib Vclock

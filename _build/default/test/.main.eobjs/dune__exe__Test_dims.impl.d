@@ -1,0 +1,1 @@
+test/test_dims.ml: Alcotest Array Barracuda Int64 Ptx Simt Vclock

@@ -1,0 +1,1 @@
+test/test_gtrace.ml: Alcotest Array Barracuda Gen Gtrace List Ptx QCheck2 QCheck_alcotest Result Simt

@@ -1,0 +1,1 @@
+test/test_instrument.ml: Alcotest Array Barracuda Gen Instrument Int Int64 List Ptx QCheck2 QCheck_alcotest Simt Workloads

@@ -1,0 +1,1 @@
+test/test_memmodel.ml: Alcotest List Memmodel Printf Ptx

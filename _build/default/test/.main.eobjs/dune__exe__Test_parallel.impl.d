@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Barracuda Gpu_runtime List Printf Simt Workloads

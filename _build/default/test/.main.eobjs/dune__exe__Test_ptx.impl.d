@@ -1,0 +1,1 @@
+test/test_ptx.ml: Alcotest Array Format Gen List Ptx QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest Barracuda Gen Gtrace Int64 List Vclock

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Barracuda Bytes Domain Gen Gpu_runtime Int32 Int64 List Printf Ptx QCheck2 QCheck_alcotest Simt Stdlib Vclock

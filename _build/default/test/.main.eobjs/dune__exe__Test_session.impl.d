@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Barracuda Gen Gpu_runtime Gtrace Int64 List Ptx QCheck2 QCheck_alcotest Simt

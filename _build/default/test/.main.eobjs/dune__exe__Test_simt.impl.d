@@ -1,0 +1,1 @@
+test/test_simt.ml: Alcotest Barracuda Format Gen Int64 List Printf Ptx QCheck2 QCheck_alcotest Simt Vclock

@@ -1,0 +1,1 @@
+test/test_vclock.ml: Alcotest Format List Printf QCheck2 QCheck_alcotest Vclock

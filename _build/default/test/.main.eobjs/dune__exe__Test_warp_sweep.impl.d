@@ -1,0 +1,1 @@
+test/test_warp_sweep.ml: Alcotest Barracuda Int64 List Printf Ptx Simt Vclock

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Barracuda Format Gpu_runtime Int64 List Printf Simt Workloads

@@ -1,0 +1,214 @@
+(* Random structured kernels for property-based testing.
+
+   Programs are trees of statements over one global array ("g") and one
+   shared array; barriers only appear at the top level so they are
+   always convergent.  The small grid (warp size 4, 2 warps per block,
+   2 blocks) keeps the reference detector cheap while still exercising
+   intra-warp, inter-warp and inter-block interactions. *)
+
+module Ast = Ptx.Ast
+module B = Ptx.Builder
+
+let layout = Vclock.Layout.make ~warp_size:4 ~threads_per_block:8 ~blocks:2
+
+let words = 8 (* data words in the global and shared arrays *)
+
+let sync_words = 4
+(* Synchronization locations live in g[words .. words+sync_words):
+   release/acquire operations store values outside race checking, so
+   their final contents are schedule-dependent and memory-comparison
+   properties must skip them. *)
+
+type value = Const of int | Lane_dependent
+
+type stmt =
+  | Global_store of int * value
+  | Global_load of int
+  | Shared_store of int * value
+  | Shared_load of int
+  | Atomic_add of int
+  | Store_own_slot  (* g[gtid] = tid: never races *)
+  | Fence of Ast.fence_scope
+  | Barrier
+  | Release_store of Ast.fence_scope * int
+      (* fence; st g[i]: inferred as a release on g[i] *)
+  | Acquire_load of Ast.fence_scope * int
+      (* ld g[i]; fence: inferred as an acquire on g[i] *)
+  | Acqrel_atomic of Ast.fence_scope * int
+      (* fence; atom.add g[i]; fence: an acquire-release *)
+  | If_tid_lt of int * stmt list * stmt list
+  | If_parity of stmt list * stmt list
+  | If_block of stmt list  (* restrict to block 0 *)
+
+type program = stmt list
+
+let rec emit_stmt b = function
+  | Global_store (i, v) ->
+      let src =
+        match v with
+        | Const c -> B.imm c
+        | Lane_dependent -> Ast.Sreg Ast.Tid
+      in
+      B.st ~offset:(4 * i) b (B.sym "g") src
+  | Global_load i ->
+      let r = B.fresh_reg b in
+      B.ld ~offset:(4 * i) b r (B.sym "g")
+  | Shared_store (i, v) ->
+      let src =
+        match v with
+        | Const c -> B.imm c
+        | Lane_dependent -> Ast.Sreg Ast.Tid
+      in
+      B.st ~space:Ast.Shared ~offset:(4 * i) b (B.sym "smem") src
+  | Shared_load i ->
+      let r = B.fresh_reg b in
+      B.ld ~space:Ast.Shared ~offset:(4 * i) b r (B.sym "smem")
+  | Atomic_add i ->
+      let r = B.fresh_reg b in
+      B.atom ~offset:(4 * i) b Ast.A_add r (B.sym "g") (B.imm 1)
+  | Store_own_slot ->
+      let g = B.global_tid b in
+      let a = B.fresh_reg ~cls:"rd" b in
+      B.mad b a (B.reg g) (B.imm 4) (B.sym "g");
+      B.st ~offset:(4 * (words + sync_words)) b (B.reg a) (Ast.Sreg Ast.Tid)
+  | Fence scope ->
+      B.membar b scope;
+      (* separator so a random fence cannot bundle with a following
+         store into an unintended release *)
+      B.mov b (B.fresh_reg b) (B.imm 0)
+  | Barrier -> B.bar b
+  | Release_store (scope, i) ->
+      B.membar b scope;
+      B.st ~offset:(4 * (words + i)) b (B.sym "g") (Ast.Sreg Ast.Tid)
+  | Acquire_load (scope, i) ->
+      let r = B.fresh_reg b in
+      B.ld ~offset:(4 * (words + i)) b r (B.sym "g");
+      B.membar b scope;
+      B.mov b (B.fresh_reg b) (B.imm 0)
+  | Acqrel_atomic (scope, i) ->
+      B.membar b scope;
+      let r = B.fresh_reg b in
+      B.atom ~offset:(4 * (words + i)) b Ast.A_add r (B.sym "g") (B.imm 1);
+      B.membar b scope;
+      B.mov b (B.fresh_reg b) (B.imm 0)
+  | If_tid_lt (n, then_, else_) ->
+      B.if_else b Ast.C_lt (Ast.Sreg Ast.Tid) (B.imm n)
+        (fun b -> emit_body b then_)
+        (fun b -> emit_body b else_)
+  | If_parity (then_, else_) ->
+      let p = B.fresh_reg b in
+      B.binop b Ast.B_and p (Ast.Sreg Ast.Tid) (B.imm 1);
+      B.if_else b Ast.C_eq (B.reg p) (B.imm 0)
+        (fun b -> emit_body b then_)
+        (fun b -> emit_body b else_)
+  | If_block body ->
+      B.if_ b Ast.C_eq (Ast.Sreg Ast.Ctaid) (B.imm 0) (fun b ->
+          emit_body b body)
+
+and emit_body b stmts = List.iter (emit_stmt b) stmts
+
+let kernel_of_program ?(name = "qcheck_kernel") prog =
+  let b =
+    B.create ~params:[ "g" ]
+      ~shared:[ ("smem", words * 4) ]
+      name
+  in
+  emit_body b prog;
+  B.finish b
+
+let setup machine =
+  (* data words, sync words, then one own-slot word per thread *)
+  let total = words + sync_words + Vclock.Layout.total_threads layout in
+  [| Int64.of_int (Simt.Machine.alloc_global machine (4 * total)) |]
+
+(* Word offsets whose final contents are deterministic for race-free
+   programs (everything except the sync words). *)
+let comparable_word_offsets () =
+  let total = words + sync_words + Vclock.Layout.total_threads layout in
+  List.filter (fun w -> w < words || w >= words + sync_words)
+    (List.init total Fun.id)
+
+(* ---- QCheck generators ------------------------------------------- *)
+
+open QCheck2.Gen
+
+let gen_value = oneof [ return Lane_dependent; map (fun c -> Const c) (int_range 0 3) ]
+let gen_index = int_range 0 (words - 1)
+
+let gen_scope = oneof [ return Ast.Cta; return Ast.Gl ]
+
+let gen_leaf =
+  oneof
+    [
+      map2 (fun i v -> Global_store (i, v)) gen_index gen_value;
+      map (fun i -> Global_load i) gen_index;
+      map2 (fun i v -> Shared_store (i, v)) gen_index gen_value;
+      map (fun i -> Shared_load i) gen_index;
+      map (fun i -> Atomic_add i) gen_index;
+      return Store_own_slot;
+      return (Fence Ast.Cta);
+      return (Fence Ast.Gl);
+      map2 (fun s i -> Release_store (s, i)) gen_scope (int_range 0 (sync_words - 1));
+      map2 (fun s i -> Acquire_load (s, i)) gen_scope (int_range 0 (sync_words - 1));
+      map2 (fun s i -> Acqrel_atomic (s, i)) gen_scope (int_range 0 (sync_words - 1));
+    ]
+
+(* nested statements: no barriers below the top level *)
+let gen_nested_stmt =
+  sized_size (int_range 0 2) @@ fun depth ->
+  let rec go depth =
+    if depth = 0 then gen_leaf
+    else
+      frequency
+        [
+          (4, gen_leaf);
+          ( 1,
+            map2
+              (fun t e -> If_parity (t, e))
+              (list_size (int_range 1 3) (go (depth - 1)))
+              (list_size (int_range 0 2) (go (depth - 1))) );
+          ( 1,
+            map2
+              (fun n t -> If_tid_lt (n, t, []))
+              (int_range 1 7)
+              (list_size (int_range 1 3) (go (depth - 1))) );
+        ]
+  in
+  go depth
+
+let gen_top_stmt =
+  frequency
+    [ (6, gen_nested_stmt); (1, return Barrier);
+      (1, map (fun body -> If_block body) (list_size (int_range 1 3) gen_nested_stmt)) ]
+
+let gen_program = list_size (int_range 1 12) gen_top_stmt
+
+let rec pp_stmt ppf = function
+  | Global_store (i, Const c) -> Format.fprintf ppf "g[%d]=%d" i c
+  | Global_store (i, Lane_dependent) -> Format.fprintf ppf "g[%d]=tid" i
+  | Global_load i -> Format.fprintf ppf "r=g[%d]" i
+  | Shared_store (i, Const c) -> Format.fprintf ppf "s[%d]=%d" i c
+  | Shared_store (i, Lane_dependent) -> Format.fprintf ppf "s[%d]=tid" i
+  | Shared_load i -> Format.fprintf ppf "r=s[%d]" i
+  | Atomic_add i -> Format.fprintf ppf "atomic(g[%d])" i
+  | Store_own_slot -> Format.fprintf ppf "own"
+  | Fence s -> Format.fprintf ppf "fence.%a" Ast.pp_fence_scope s
+  | Barrier -> Format.fprintf ppf "bar"
+  | Release_store (s, i) ->
+      Format.fprintf ppf "rel.%a(g[%d])" Ast.pp_fence_scope s i
+  | Acquire_load (s, i) ->
+      Format.fprintf ppf "acq.%a(g[%d])" Ast.pp_fence_scope s i
+  | Acqrel_atomic (s, i) ->
+      Format.fprintf ppf "acqrel.%a(g[%d])" Ast.pp_fence_scope s i
+  | If_tid_lt (n, t, e) ->
+      Format.fprintf ppf "if(tid<%d){%a}else{%a}" n pp_body t pp_body e
+  | If_parity (t, e) ->
+      Format.fprintf ppf "if(even){%a}else{%a}" pp_body t pp_body e
+  | If_block body -> Format.fprintf ppf "if(blk0){%a}" pp_body body
+
+and pp_body ppf stmts =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+    pp_stmt ppf stmts
+
+let print_program prog = Format.asprintf "%a" pp_body prog

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "barracuda"
+    [
+      ("vclock", Test_vclock.suite);
+      ("ptx", Test_ptx.suite);
+      ("cfg", Test_cfg.suite);
+      ("simt", Test_simt.suite);
+      ("gtrace", Test_gtrace.suite);
+      ("detector", Test_detector.suite);
+      ("rules", Test_rules.suite);
+      ("runtime", Test_runtime.suite);
+      ("instrument", Test_instrument.suite);
+      ("memmodel", Test_memmodel.suite);
+      ("workloads", Test_workloads.suite);
+      ("bugsuite", Test_bugsuite.suite);
+      ("warp_sweep", Test_warp_sweep.suite);
+      ("dims", Test_dims.suite);
+      ("session", Test_session.suite);
+      ("parallel", Test_parallel.suite);
+    ]

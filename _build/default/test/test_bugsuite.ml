@@ -1,0 +1,93 @@
+(* The headline §6.1 result: BARRACUDA reports correctly on all 66
+   programs; the Racecheck model scores far lower for the reasons the
+   paper lists; the reference semantics agrees with the optimized
+   detector on every case. *)
+
+module Harness = Bugsuite.Harness
+module Case = Bugsuite.Case
+
+let cases = Bugsuite.Cases.all
+
+let test_suite_size () =
+  Alcotest.(check int) "66 programs" 66 (List.length cases)
+
+let test_unique_names () =
+  let names = List.map (fun (c : Case.t) -> c.Case.name) cases in
+  Alcotest.(check int) "names unique" (List.length names)
+    (List.length (List.sort_uniq String.compare names))
+
+let test_verdict_mix () =
+  let racy =
+    List.length
+      (List.filter (fun (c : Case.t) -> c.Case.verdict = Case.Racy) cases)
+  in
+  (* a balanced suite: both verdicts well represented *)
+  Alcotest.(check bool)
+    (Printf.sprintf "racy cases (%d) between 20 and 46" racy)
+    true
+    (racy >= 20 && racy <= 46)
+
+let test_barracuda_66_of_66 () =
+  let s = Harness.run_barracuda cases in
+  Alcotest.(check int)
+    (Format.asprintf "%a" Harness.pp_score s)
+    66 s.Harness.correct
+
+let test_reference_66_of_66 () =
+  let s = Harness.run_reference cases in
+  Alcotest.(check int)
+    (Format.asprintf "%a" Harness.pp_score s)
+    66 s.Harness.correct
+
+let test_racecheck_much_worse () =
+  let s = Harness.run_racecheck cases in
+  (* the paper reports 19/66; our model of its failure modes lands in
+     the same region — far below BARRACUDA and under half the suite *)
+  Alcotest.(check bool)
+    (Printf.sprintf "racecheck %d/66 in [10, 40]" s.Harness.correct)
+    true
+    (s.Harness.correct >= 10 && s.Harness.correct <= 40)
+
+let test_racecheck_misses_global () =
+  (* every racy case confined to global memory must be missed *)
+  let s = Harness.run_racecheck cases in
+  List.iter
+    (fun (o : Harness.outcome) ->
+      if
+        o.Harness.case.Case.verdict = Case.Racy
+        && String.length o.Harness.case.Case.name >= 9
+        && String.sub o.Harness.case.Case.name 0 9 = "ww_global"
+      then
+        Alcotest.(check bool)
+          (o.Harness.case.Case.name ^ " missed by racecheck")
+          false o.Harness.reported_race)
+    s.Harness.outcomes
+
+let per_case_agreement (c : Case.t) () =
+  let b = Harness.run_barracuda [ c ] in
+  let r = Harness.run_reference [ c ] in
+  Alcotest.(check bool)
+    (c.Case.name ^ ": detector and reference agree")
+    true
+    (List.for_all2
+       (fun (x : Harness.outcome) (y : Harness.outcome) ->
+         x.Harness.reported_race = y.Harness.reported_race)
+       b.Harness.outcomes r.Harness.outcomes)
+
+let suite =
+  [
+    Alcotest.test_case "66 programs" `Quick test_suite_size;
+    Alcotest.test_case "unique names" `Quick test_unique_names;
+    Alcotest.test_case "verdict mix" `Quick test_verdict_mix;
+    Alcotest.test_case "BARRACUDA 66/66" `Quick test_barracuda_66_of_66;
+    Alcotest.test_case "Reference 66/66" `Quick test_reference_66_of_66;
+    Alcotest.test_case "Racecheck far worse" `Quick test_racecheck_much_worse;
+    Alcotest.test_case "Racecheck misses global" `Quick
+      test_racecheck_misses_global;
+  ]
+  @ List.map
+      (fun (c : Case.t) ->
+        Alcotest.test_case
+          (Printf.sprintf "agree: %02d %s" c.Case.id c.Case.name)
+          `Quick (per_case_agreement c))
+      cases

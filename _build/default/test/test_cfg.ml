@@ -1,0 +1,136 @@
+(* CFG construction, dominance/post-dominance, and reconvergence
+   points. *)
+
+module Ast = Ptx.Ast
+module B = Ptx.Builder
+
+let diamond_kernel =
+  (* if/else diamond with a shared join *)
+  let b = B.create "diamond" in
+  B.if_else b Ast.C_eq (Ast.Sreg Ast.Tid) (B.imm 0)
+    (fun b -> B.mov b (B.fresh_reg b) (B.imm 1))
+    (fun b -> B.mov b (B.fresh_reg b) (B.imm 2));
+  B.mov b (B.fresh_reg b) (B.imm 3);
+  B.finish b
+
+let loop_kernel =
+  let b = B.create "loop" in
+  let i = B.fresh_reg b in
+  B.mov b i (B.imm 0);
+  B.while_ b Ast.C_lt
+    (fun _ -> (B.reg i, B.imm 4))
+    (fun b -> B.binop b Ast.B_add i (B.reg i) (B.imm 1));
+  B.finish b
+
+let find_cond_branch g =
+  let k = Cfg.Graph.kernel g in
+  let found = ref (-1) in
+  Array.iteri
+    (fun i _ -> if !found < 0 && Cfg.Graph.is_conditional_branch g i then found := i)
+    k.Ast.body;
+  Alcotest.(check bool) "has a conditional branch" true (!found >= 0);
+  !found
+
+let test_diamond_blocks () =
+  let g = Cfg.Graph.of_kernel diamond_kernel in
+  (* entry, then, else, join = 4 blocks *)
+  Alcotest.(check int) "block count" 4 (Array.length (Cfg.Graph.blocks g));
+  let entry = (Cfg.Graph.blocks g).(0) in
+  Alcotest.(check int) "entry has two successors" 2 (List.length entry.Cfg.Graph.succs)
+
+let test_diamond_reconvergence () =
+  let g = Cfg.Graph.of_kernel diamond_kernel in
+  let pdoms = Cfg.Dominance.post_dominators g in
+  let br = find_cond_branch g in
+  let rb = Cfg.Dominance.reconvergence_block g pdoms br in
+  (* the reconvergence block must contain the post-join mov (value 3) *)
+  let blk = (Cfg.Graph.blocks g).(rb) in
+  let has_join_mov = ref false in
+  for i = blk.Cfg.Graph.first to blk.Cfg.Graph.last do
+    match diamond_kernel.Ast.body.(i).Ast.kind with
+    | Ast.Mov { src = Ast.Imm 3L; _ } -> has_join_mov := true
+    | _ -> ()
+  done;
+  Alcotest.(check bool) "reconverges at the join" true !has_join_mov
+
+let test_diamond_dominance () =
+  let g = Cfg.Graph.of_kernel diamond_kernel in
+  let doms = Cfg.Dominance.dominators g in
+  Alcotest.(check bool) "entry dominates everything" true
+    (Array.for_all
+       (fun (b : Cfg.Graph.block) -> Cfg.Dominance.dominates doms 0 b.Cfg.Graph.id)
+       (Cfg.Graph.blocks g));
+  (* neither arm dominates the join *)
+  let join =
+    Cfg.Dominance.reconvergence_block g
+      (Cfg.Dominance.post_dominators g)
+      (find_cond_branch g)
+  in
+  Alcotest.(check bool) "then arm does not dominate join" false
+    (Cfg.Dominance.dominates doms 1 join && Cfg.Dominance.dominates doms 2 join)
+
+let test_loop_back_edge () =
+  let g = Cfg.Graph.of_kernel loop_kernel in
+  let pdoms = Cfg.Dominance.post_dominators g in
+  let br = find_cond_branch g in
+  let rb = Cfg.Dominance.reconvergence_block g pdoms br in
+  (* the loop-exit branch reconverges after the loop *)
+  let blk = (Cfg.Graph.blocks g).(rb) in
+  Alcotest.(check bool) "reconvergence after branch" true
+    (blk.Cfg.Graph.first > br)
+
+let test_preds_consistent () =
+  let g = Cfg.Graph.of_kernel loop_kernel in
+  Array.iter
+    (fun (b : Cfg.Graph.block) ->
+      List.iter
+        (fun s ->
+          Alcotest.(check bool)
+            (Printf.sprintf "B%d in preds of %d" b.Cfg.Graph.id s)
+            true
+            (List.mem b.Cfg.Graph.id (Cfg.Graph.preds g s)))
+        b.Cfg.Graph.succs)
+    (Cfg.Graph.blocks g)
+
+let prop_reconvergence_defined =
+  QCheck2.Test.make
+    ~name:"every conditional branch of a generated kernel reconverges"
+    ~count:150 ~print:Gen.print_program Gen.gen_program (fun prog ->
+      let k = Gen.kernel_of_program prog in
+      let g = Cfg.Graph.of_kernel k in
+      let pdoms = Cfg.Dominance.post_dominators g in
+      let ok = ref true in
+      Array.iteri
+        (fun i _ ->
+          if Cfg.Graph.is_conditional_branch g i then
+            match Cfg.Dominance.reconvergence_block g pdoms i with
+            | _ -> ()
+            | exception _ -> ok := false)
+        k.Ast.body;
+      !ok)
+
+let prop_block_partition =
+  QCheck2.Test.make ~name:"blocks partition the instruction array" ~count:150
+    ~print:Gen.print_program Gen.gen_program (fun prog ->
+      let k = Gen.kernel_of_program prog in
+      let g = Cfg.Graph.of_kernel k in
+      let n = Array.length k.Ast.body in
+      let covered = Array.make n 0 in
+      Array.iter
+        (fun (b : Cfg.Graph.block) ->
+          for i = b.Cfg.Graph.first to b.Cfg.Graph.last do
+            covered.(i) <- covered.(i) + 1
+          done)
+        (Cfg.Graph.blocks g);
+      Array.for_all (Int.equal 1) covered)
+
+let suite =
+  [
+    Alcotest.test_case "diamond blocks" `Quick test_diamond_blocks;
+    Alcotest.test_case "diamond reconvergence" `Quick test_diamond_reconvergence;
+    Alcotest.test_case "diamond dominance" `Quick test_diamond_dominance;
+    Alcotest.test_case "loop reconvergence" `Quick test_loop_back_edge;
+    Alcotest.test_case "preds consistent with succs" `Quick test_preds_consistent;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_reconvergence_defined; prop_block_partition ]

@@ -1,0 +1,69 @@
+(* Weak-memory litmus machine: Figure 4's shape must reproduce. *)
+
+module Litmus = Memmodel.Litmus
+module Arch = Memmodel.Arch
+
+let test_figure4_shape () =
+  let rows = Litmus.figure4 ~runs:50_000 ~seed:7 () in
+  Alcotest.(check int) "four fence combinations" 4 (List.length rows);
+  List.iter
+    (fun (r : Litmus.figure4_row) ->
+      match (r.Litmus.fence1, r.Litmus.fence2) with
+      | Ptx.Ast.Cta, Ptx.Ast.Cta ->
+          Alcotest.(check bool) "cta/cta weak on K520" true
+            (r.Litmus.k520_observations > 0);
+          Alcotest.(check int) "cta/cta SC on Titan X" 0
+            r.Litmus.titan_observations
+      | _ ->
+          Alcotest.(check int) "gl anywhere restores SC (K520)" 0
+            r.Litmus.k520_observations;
+          Alcotest.(check int) "gl anywhere restores SC (Titan)" 0
+            r.Litmus.titan_observations)
+    rows
+
+let test_weak_rate_magnitude () =
+  (* the paper observed 7253 per 1M runs (~0.7%); require the same
+     order of magnitude *)
+  let t = Litmus.mp ~fence1:Ptx.Ast.Cta ~fence2:Ptx.Ast.Cta in
+  let runs = 100_000 in
+  let weak = Litmus.weak_count Arch.k520 t ~runs ~seed:11 in
+  let rate = float_of_int weak /. float_of_int runs in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate %.4f in [0.1%%, 3%%]" rate)
+    true
+    (rate > 0.001 && rate < 0.03)
+
+let test_determinism () =
+  let t = Litmus.mp ~fence1:Ptx.Ast.Cta ~fence2:Ptx.Ast.Cta in
+  let a = Litmus.weak_count Arch.k520 t ~runs:20_000 ~seed:3 in
+  let b = Litmus.weak_count Arch.k520 t ~runs:20_000 ~seed:3 in
+  Alcotest.(check int) "same seed, same outcome" a b
+
+let test_sys_fence_is_global () =
+  let t = Litmus.mp ~fence1:Ptx.Ast.Sys ~fence2:Ptx.Ast.Cta in
+  Alcotest.(check int) "sys fence restores SC" 0
+    (Litmus.weak_count Arch.k520 t ~runs:50_000 ~seed:5)
+
+let test_sc_outcomes_reachable () =
+  (* both SC outcomes of mp must occur: r1=0 (reader first) and
+     r1=1,r2=1 (writer first) *)
+  let t = Litmus.mp ~fence1:Ptx.Ast.Gl ~fence2:Ptx.Ast.Gl in
+  let saw_early = ref false and saw_late = ref false in
+  for i = 1 to 2_000 do
+    let regs = Litmus.run_once Arch.k520 t ~seed:(i * 977) in
+    match (List.assoc_opt "r1" regs, List.assoc_opt "r2" regs) with
+    | Some 0L, _ -> saw_early := true
+    | Some 1L, Some 1L -> saw_late := true
+    | _ -> ()
+  done;
+  Alcotest.(check bool) "reader-first outcome seen" true !saw_early;
+  Alcotest.(check bool) "writer-first outcome seen" true !saw_late
+
+let suite =
+  [
+    Alcotest.test_case "figure 4 shape" `Quick test_figure4_shape;
+    Alcotest.test_case "weak rate magnitude" `Quick test_weak_rate_magnitude;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "sys fence is global" `Quick test_sys_fence_is_global;
+    Alcotest.test_case "SC outcomes reachable" `Quick test_sc_outcomes_reachable;
+  ]

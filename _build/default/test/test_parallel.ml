@@ -1,0 +1,81 @@
+(* The concurrent host (§4.3): one consumer domain per queue draining
+   while the kernel runs.  Verdicts must match the sequential pipeline
+   on every workload (witness pairs may differ: cross-queue ordering is
+   nondeterministic, as in the deployed system). *)
+
+module W = Workloads.Workload
+module Pipeline = Gpu_runtime.Pipeline
+
+let parallel_config queues =
+  {
+    Pipeline.default_config with
+    queues;
+    detector = { Barracuda.Detector.default_config with max_reports = 100000 };
+  }
+
+let run_parallel ?(queues = 2) (w : W.t) =
+  let m = W.machine w in
+  let args = w.W.setup m in
+  Pipeline.run_parallel ~config:(parallel_config queues) ~machine:m w.W.kernel
+    args
+
+let check_verdict (w : W.t) () =
+  let r = run_parallel w in
+  Alcotest.(check bool) "completes" true
+    (r.Pipeline.machine_result.Simt.Machine.status = Simt.Machine.Completed);
+  let report = Pipeline.report r in
+  let expected_racy = w.W.expected <> W.Race_free in
+  Alcotest.(check bool) "verdict matches expectation" expected_racy
+    (Barracuda.Report.has_race report)
+
+let test_no_records_lost () =
+  let w = Workloads.Registry.find "backprop" in
+  let seq =
+    let m = W.machine w in
+    let args = w.W.setup m in
+    Pipeline.run ~config:(parallel_config 2) ~machine:m w.W.kernel args
+  in
+  let par = run_parallel w in
+  Alcotest.(check int) "same record count as sequential"
+    seq.Pipeline.queue_stats.Pipeline.records
+    par.Pipeline.queue_stats.Pipeline.records
+
+let test_single_queue_parallel () =
+  (* with one queue, the one consumer sees the total order: exact
+     agreement with the sequential pipeline *)
+  let w = Workloads.Registry.find "pathfinder" in
+  let seq =
+    let m = W.machine w in
+    let args = w.W.setup m in
+    Pipeline.run ~config:(parallel_config 1) ~machine:m w.W.kernel args
+  in
+  let par = run_parallel ~queues:1 w in
+  let count r = Barracuda.Report.race_count (Pipeline.report r) in
+  Alcotest.(check int) "identical race counts" (count seq) (count par)
+
+let test_many_queues () =
+  let w = Workloads.Registry.find "dxtc" in
+  let r = run_parallel ~queues:4 w in
+  let s, g = W.racy_word_counts (Pipeline.report r) in
+  Alcotest.(check bool) "dxtc shared races found in parallel" true (s >= 90);
+  Alcotest.(check int) "no global races" 0 g
+
+(* a subset of workloads that exercises every interaction kind *)
+let subset =
+  [ "backprop"; "dwt2d"; "hybridsort"; "pathfinder"; "hashtable";
+    "threadfencered"; "d_scan"; "d_reduce" ]
+
+let suite =
+  [
+    Alcotest.test_case "no records lost" `Quick test_no_records_lost;
+    Alcotest.test_case "single-queue parallel exact" `Quick
+      test_single_queue_parallel;
+    Alcotest.test_case "four queues" `Quick test_many_queues;
+  ]
+  @ List.map
+      (fun name ->
+        let w = Workloads.Registry.find name in
+        Alcotest.test_case
+          (Printf.sprintf "parallel verdict: %s" name)
+          `Quick (check_verdict w))
+      subset

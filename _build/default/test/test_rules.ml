@@ -1,0 +1,269 @@
+(* Rule-by-rule tests of the operational semantics (Figures 2 and 3),
+   driving the reference detector with hand-built trace operations so
+   each premise is exercised in isolation.  The grid is 2 blocks x 8
+   threads with 4-wide warps; thread t's warp mask bit is t mod 4. *)
+
+module Op = Gtrace.Op
+module Ref = Barracuda.Reference
+module Report = Barracuda.Report
+module Vc = Vclock.Vector_clock
+
+let layout = Gen.layout (* warp 4, tpb 8, blocks 2 *)
+let loc = Gtrace.Loc.global 0x100
+let loc2 = Gtrace.Loc.global 0x200
+let lock = Gtrace.Loc.global 0x300
+
+let run ops =
+  let d = Ref.create ~max_reports:1000 ~layout () in
+  Ref.run d ops;
+  d
+
+let races d = Report.race_count (Ref.report d)
+
+(* lockstep helpers: a full-warp instruction = per-lane ops + endi *)
+let endi w = Op.Endi { warp = w; mask = 0xF }
+let wr t v = Op.Wr { tid = t; loc; value = Int64.of_int v }
+let rd t = Op.Rd { tid = t; loc }
+let atm t = Op.Atm { tid = t; loc; value = 1L }
+
+(* ---- Read rules ------------------------------------------------------ *)
+
+let test_read_excl_stays_epoch () =
+  (* same thread reads twice across instructions: totally ordered *)
+  let d = run [ rd 0; endi 0; rd 0; endi 0 ] in
+  Alcotest.(check int) "no races" 0 (races d)
+
+let test_read_shared_readers_tracked () =
+  (* two concurrent readers (different warps), then a write by a third:
+     the inflated read clock must remember both readers *)
+  let d =
+    run
+      [
+        rd 0; endi 0;            (* warp 0 lane 0 *)
+        rd 4; Op.Endi { warp = 1; mask = 0xF };  (* warp 1 lane 0 *)
+        wr 8 1; Op.Endi { warp = 2; mask = 0xF } (* block 1 writes *)
+      ]
+  in
+  (* the write races with BOTH reads *)
+  Alcotest.(check int) "two read-write races" 2 (races d)
+
+let test_read_after_ordered_write () =
+  (* write, then a read by the same thread: WRITEEXCL then READEXCL *)
+  let d = run [ wr 0 1; endi 0; rd 0; endi 0 ] in
+  Alcotest.(check int) "no races" 0 (races d)
+
+(* ---- Write rules ----------------------------------------------------- *)
+
+let test_write_write_unordered () =
+  let d = run [ wr 0 1; endi 0; wr 4 2; Op.Endi { warp = 1; mask = 0xF } ] in
+  Alcotest.(check int) "one ww race" 1 (races d)
+
+let test_write_clears_read_metadata () =
+  (* reads, then an ordered-with-everything write via a barrier, then a
+     read from another block: only the write is remembered, so exactly
+     one race (vs the write), not three (vs the old reads) *)
+  let bar0 = Op.Bar { block = 0 } in
+  let d =
+    run
+      [
+        rd 0; endi 0;
+        rd 4; Op.Endi { warp = 1; mask = 0xF };
+        bar0;
+        wr 0 5; endi 0;
+        (* block 1 reads: races with the write only *)
+        rd 8; Op.Endi { warp = 2; mask = 0xF };
+      ]
+  in
+  Alcotest.(check int) "exactly one race" 1 (races d)
+
+(* ---- Lockstep / endi -------------------------------------------------- *)
+
+let test_endi_orders_instructions () =
+  (* lane 0 writes; after endi, lane 1 writes the same location:
+     lockstep orders them *)
+  let d = run [ wr 0 1; endi 0; wr 1 2; endi 0 ] in
+  Alcotest.(check int) "no intra-warp race across instructions" 0 (races d)
+
+let test_same_instruction_races () =
+  (* both lanes write within one warp instruction, different values *)
+  let d = run [ wr 0 1; wr 1 2; endi 0 ] in
+  Alcotest.(check int) "intra-warp same-instruction race" 1 (races d)
+
+let test_same_value_filtered () =
+  let d = run [ wr 0 7; wr 1 7; endi 0 ] in
+  Alcotest.(check int) "same-value writes filtered" 0 (races d)
+
+let test_same_value_filter_disabled () =
+  let d = Ref.create ~filter_same_value:false ~layout () in
+  Ref.run d [ wr 0 7; wr 1 7; endi 0 ];
+  Alcotest.(check int) "reported when filter off" 1 (races d)
+
+(* ---- Branch rules ------------------------------------------------------ *)
+
+let test_branch_paths_concurrent () =
+  (* then-path lane 0 writes; else-path lane 1 writes: branch-ordering *)
+  let d =
+    run
+      [
+        Op.If { warp = 0; then_mask = 0x3; else_mask = 0xC };
+        wr 0 1; Op.Endi { warp = 0; mask = 0x3 };
+        Op.Else { warp = 0; mask = 0xC };
+        wr 2 2; Op.Endi { warp = 0; mask = 0xC };
+        Op.Fi { warp = 0; mask = 0xF };
+      ]
+  in
+  Alcotest.(check int) "branch-ordering race" 1 (races d)
+
+let test_fi_reconverges () =
+  (* a write inside the then path, a read by everyone after fi *)
+  let d =
+    run
+      [
+        Op.If { warp = 0; then_mask = 0x3; else_mask = 0xC };
+        wr 0 1; Op.Endi { warp = 0; mask = 0x3 };
+        Op.Else { warp = 0; mask = 0xC };
+        Op.Fi { warp = 0; mask = 0xF };
+        rd 0; rd 1; rd 2; rd 3; endi 0;
+      ]
+  in
+  Alcotest.(check int) "ordered after reconvergence" 0 (races d)
+
+(* ---- Barrier ----------------------------------------------------------- *)
+
+let test_bar_orders_block () =
+  let d =
+    run
+      [
+        wr 0 1; endi 0;
+        Op.Bar { block = 0 };
+        rd 4; Op.Endi { warp = 1; mask = 0xF };
+      ]
+  in
+  Alcotest.(check int) "barrier orders" 0 (races d)
+
+let test_bar_does_not_cross_blocks () =
+  let d =
+    run
+      [
+        wr 0 1; endi 0;
+        Op.Bar { block = 0 };
+        Op.Bar { block = 1 };
+        rd 8; Op.Endi { warp = 2; mask = 0xF };
+      ]
+  in
+  Alcotest.(check int) "blocks still race" 1 (races d)
+
+(* ---- Atomic rules ------------------------------------------------------- *)
+
+let test_atomics_never_race_with_atomics () =
+  let d =
+    run
+      [
+        atm 0; endi 0;
+        atm 4; Op.Endi { warp = 1; mask = 0xF };
+        atm 8; Op.Endi { warp = 2; mask = 0xF };
+      ]
+  in
+  Alcotest.(check int) "atomic pile-up is clean" 0 (races d)
+
+let test_init_atom_checks_plain_write () =
+  (* INITATOM*: an atomic must be ordered with the preceding non-atomic
+     write *)
+  let d = run [ wr 0 1; endi 0; atm 4; Op.Endi { warp = 1; mask = 0xF } ] in
+  Alcotest.(check int) "write-atomic race" 1 (races d)
+
+let test_atom_checks_reads () =
+  let d = run [ rd 0; endi 0; atm 4; Op.Endi { warp = 1; mask = 0xF } ] in
+  Alcotest.(check int) "read-atomic race" 1 (races d)
+
+let test_plain_read_races_with_atomic_write () =
+  let d = run [ atm 0; endi 0; rd 4; Op.Endi { warp = 1; mask = 0xF } ] in
+  Alcotest.(check int) "atomic-read race" 1 (races d)
+
+(* ---- Release / acquire --------------------------------------------------- *)
+
+let rel ?(scope = Op.Global_scope) t = Op.Rel { tid = t; loc = lock; scope }
+let acq ?(scope = Op.Global_scope) t = Op.Acq { tid = t; loc = lock; scope }
+
+let test_global_release_acquire () =
+  (* t0 (block 0) writes, releases; t8 (block 1) acquires, reads *)
+  let d = run [ wr 0 1; endi 0; rel 0; acq 8; rd 8 ] in
+  Alcotest.(check int) "synchronized handoff" 0 (races d)
+
+let test_block_scope_does_not_cross_blocks () =
+  let d =
+    run
+      [ wr 0 1; endi 0; rel ~scope:Op.Block 0; acq ~scope:Op.Block 8; rd 8 ]
+  in
+  Alcotest.(check int) "cta-scoped sync is too weak across blocks" 1 (races d)
+
+let test_block_scope_within_block () =
+  (* t0 and t4 are different warps of block 0 *)
+  let d =
+    run
+      [ wr 0 1; endi 0; rel ~scope:Op.Block 0; acq ~scope:Op.Block 4; rd 4 ]
+  in
+  Alcotest.(check int) "cta scope is enough within a block" 0 (races d)
+
+let test_global_release_block_acquire () =
+  (* RELGLOBAL writes every block's entry: a block-scoped acquire in
+     another block still synchronizes (paper 3.3.4) *)
+  let d = run [ wr 0 1; endi 0; rel 0; acq ~scope:Op.Block 8; rd 8 ] in
+  Alcotest.(check int) "global rel / block acq synchronize" 0 (races d)
+
+let test_acquire_without_release_gains_nothing () =
+  let d = run [ wr 0 1; endi 0; acq 8; rd 8 ] in
+  Alcotest.(check int) "nothing released: still a race" 1 (races d)
+
+let test_acqrel_chains () =
+  (* t0 rel x; t4 acqrel x; t8 acq x: t8 is ordered after t0 *)
+  let ar t = Op.AcqRel { tid = t; loc = lock; scope = Op.Global_scope } in
+  let d = run [ wr 0 1; endi 0; rel 0; ar 4; acq 8; rd 8 ] in
+  Alcotest.(check int) "transitive chain through acq-rel" 0 (races d)
+
+let test_release_is_not_a_data_access () =
+  (* two releases to the same location by unordered threads: sync
+     operations do not participate in rd/wr race checking *)
+  let d = run [ rel 0; rel 8 ] in
+  Alcotest.(check int) "releases do not race" 0 (races d)
+
+let test_sync_and_data_separate () =
+  (* using a location as data does not inherit its sync history: a
+     plain write to the lock word by an unordered thread races with
+     nothing (no plain access before), but two plain accesses do *)
+  let wl t v = Op.Wr { tid = t; loc = lock; value = Int64.of_int v } in
+  let d = run [ rel 0; wl 4 1; Op.Endi { warp = 1; mask = 0xF };
+                wl 8 2; Op.Endi { warp = 2; mask = 0xF } ] in
+  Alcotest.(check int) "plain accesses to a sync loc race normally" 1 (races d)
+
+let _ = loc2
+
+let suite =
+  [
+    ("read excl stays epoch", test_read_excl_stays_epoch);
+    ("read shared readers tracked", test_read_shared_readers_tracked);
+    ("read after ordered write", test_read_after_ordered_write);
+    ("write-write unordered", test_write_write_unordered);
+    ("write clears read metadata", test_write_clears_read_metadata);
+    ("endi orders instructions", test_endi_orders_instructions);
+    ("same instruction races", test_same_instruction_races);
+    ("same value filtered", test_same_value_filtered);
+    ("same value filter disabled", test_same_value_filter_disabled);
+    ("branch paths concurrent", test_branch_paths_concurrent);
+    ("fi reconverges", test_fi_reconverges);
+    ("bar orders block", test_bar_orders_block);
+    ("bar does not cross blocks", test_bar_does_not_cross_blocks);
+    ("atomics never race with atomics", test_atomics_never_race_with_atomics);
+    ("init-atom checks plain write", test_init_atom_checks_plain_write);
+    ("atom checks reads", test_atom_checks_reads);
+    ("plain read vs atomic write", test_plain_read_races_with_atomic_write);
+    ("global release/acquire", test_global_release_acquire);
+    ("block scope across blocks", test_block_scope_does_not_cross_blocks);
+    ("block scope within block", test_block_scope_within_block);
+    ("global rel / block acq", test_global_release_block_acquire);
+    ("acquire without release", test_acquire_without_release_gains_nothing);
+    ("acq-rel chains", test_acqrel_chains);
+    ("releases are not data accesses", test_release_is_not_a_data_access);
+    ("sync and data separate", test_sync_and_data_separate);
+  ]
+  |> List.map (fun (n, f) -> Alcotest.test_case n `Quick f)

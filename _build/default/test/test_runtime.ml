@@ -1,0 +1,261 @@
+(* Runtime layer: record wire format, lock-free queues (including under
+   domains), and the end-to-end pipeline vs direct detection. *)
+
+module Record = Gpu_runtime.Record
+module Queue = Gpu_runtime.Queue
+module Pipeline = Gpu_runtime.Pipeline
+module Report = Barracuda.Report
+
+let ws = 32
+
+(* ---- Records -------------------------------------------------------- *)
+
+let sample_records =
+  [
+    Record.of_event ~warp_size:ws
+      (Simt.Event.Access
+         {
+           warp = 3;
+           insn = 17;
+           kind = Simt.Event.Store;
+           space = Ptx.Ast.Shared;
+           mask = 0xDEAD;
+           addrs = Array.init ws (fun i -> i * 8);
+           values = Array.init ws (fun i -> Int64.of_int i);
+           width = 4;
+         });
+    Record.of_event ~warp_size:ws
+      (Simt.Event.Access
+         {
+           warp = 1;
+           insn = 2;
+           kind = Simt.Event.Atomic Ptx.Ast.A_cas;
+           space = Ptx.Ast.Global;
+           mask = 0x1;
+           addrs = Array.make ws 0;
+           values = Array.make ws 0L;
+           width = 8;
+         });
+    Record.of_event ~warp_size:ws
+      (Simt.Event.Branch_if { warp = 0; insn = 5; then_mask = 0xF0; else_mask = 0xF });
+    Record.of_event ~warp_size:ws (Simt.Event.Branch_else { warp = 2; mask = 0x3 });
+    Record.of_event ~warp_size:ws (Simt.Event.Branch_fi { warp = 2; mask = 0xFF });
+    Record.of_event ~warp_size:ws (Simt.Event.Barrier { block = 7 });
+    Record.of_event ~warp_size:ws
+      (Simt.Event.Barrier_divergence { warp = 4; insn = 9; mask = 0x1; expected = 0xF });
+  ]
+
+let test_record_wire_size () =
+  Alcotest.(check int) "paper wire size" 272 Record.wire_size;
+  List.iter
+    (fun r ->
+      match r with
+      | Some r ->
+          Alcotest.(check int) "serialized size" 272
+            (Bytes.length (Record.to_bytes r))
+      | None -> Alcotest.fail "event should produce a record")
+    sample_records
+
+let test_record_roundtrip () =
+  List.iter
+    (fun r ->
+      match r with
+      | Some r ->
+          let r' =
+            Record.of_bytes ~values:r.Record.values ~warp_size:ws
+              (Record.to_bytes r)
+          in
+          Alcotest.(check bool) "roundtrip" true (r = r')
+      | None -> Alcotest.fail "expected a record")
+    sample_records
+
+let test_record_fence_elided () =
+  Alcotest.(check bool) "fences produce no record" true
+    (Record.of_event ~warp_size:ws
+       (Simt.Event.Fence { warp = 0; insn = 1; scope = Ptx.Ast.Gl; mask = 1 })
+    = None)
+
+let test_record_event_roundtrip () =
+  List.iter
+    (fun r ->
+      match r with
+      | Some r ->
+          let ev = Record.to_event r in
+          let r2 = Record.of_event ~warp_size:ws ev in
+          Alcotest.(check bool) "event roundtrip" true (Some r = r2)
+      | None -> ())
+    sample_records
+
+(* ---- Queue ----------------------------------------------------------- *)
+
+let payload i =
+  let b = Bytes.make Record.wire_size '\000' in
+  Bytes.set_uint8 b 0 1;
+  Bytes.set_int32_le b 8 (Int32.of_int i);
+  b
+
+let test_queue_fifo () =
+  let q = Queue.create ~capacity:8 in
+  for i = 0 to 5 do
+    Alcotest.(check bool) "push" true (Queue.try_push q (payload i))
+  done;
+  Alcotest.(check int) "length" 6 (Queue.length q);
+  for i = 0 to 5 do
+    match Queue.pop q with
+    | Some b ->
+        Alcotest.(check int32)
+          (Printf.sprintf "fifo %d" i)
+          (Int32.of_int i) (Bytes.get_int32_le b 8)
+    | None -> Alcotest.fail "pop failed"
+  done;
+  Alcotest.(check bool) "empty" true (Queue.pop q = None)
+
+let test_queue_full () =
+  let q = Queue.create ~capacity:4 in
+  for i = 0 to 3 do
+    Alcotest.(check bool) "fills" true (Queue.try_push q (payload i))
+  done;
+  Alcotest.(check bool) "rejects when full" false (Queue.try_push q (payload 4));
+  ignore (Queue.pop q);
+  Alcotest.(check bool) "space after pop" true (Queue.try_push q (payload 4));
+  Alcotest.(check int) "wraparound accounting" 5 (Queue.pushed q);
+  Alcotest.(check int) "high watermark" 4 (Queue.high_watermark q)
+
+let test_queue_domains () =
+  (* one producer domain, one consumer domain, 10k records *)
+  let q = Queue.create ~capacity:64 in
+  let n = 10_000 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 0 to n - 1 do
+          while not (Queue.try_push q (payload i)) do
+            Domain.cpu_relax ()
+          done
+        done)
+  in
+  let seen = ref 0 in
+  let in_order = ref true in
+  while !seen < n do
+    match Queue.pop q with
+    | Some b ->
+        let v = Int32.to_int (Bytes.get_int32_le b 8) in
+        if v <> !seen then in_order := false;
+        incr seen
+    | None -> Domain.cpu_relax ()
+  done;
+  Domain.join producer;
+  Alcotest.(check bool) "all records in order across domains" true !in_order
+
+(* ---- Pipeline -------------------------------------------------------- *)
+
+let race_fingerprint report =
+  Report.errors report
+  |> List.filter_map (function
+       | Report.Race r ->
+           Some (r.Report.loc, r.Report.prev_tid, r.Report.cur_tid)
+       | Report.Barrier_divergence _ -> None)
+  |> List.sort_uniq Stdlib.compare
+
+let single_queue_config =
+  {
+    Pipeline.default_config with
+    queues = 1;
+    detector = { Barracuda.Detector.default_config with max_reports = 100000 };
+  }
+
+(* The queue transport must be transparent: a detector fed the exact
+   event stream the pipeline forwards must agree with the detector fed
+   through records and a single queue.  (Comparing against a separate
+   native run would be too strong: instrumentation changes warp
+   interleaving, and FastTrack-style detection is schedule-sensitive.) *)
+let prop_pipeline_matches_teed_detector =
+  QCheck2.Test.make
+    ~name:"single-queue pipeline equals a detector fed the same events"
+    ~count:150 ~print:Gen.print_program Gen.gen_program (fun prog ->
+      let k = Gen.kernel_of_program prog in
+      let m = Simt.Machine.create ~layout:Gen.layout () in
+      let args = Gen.setup m in
+      let config =
+        { Barracuda.Detector.default_config with max_reports = 100000 }
+      in
+      let direct = Barracuda.Detector.create ~config ~layout:Gen.layout k in
+      let pr =
+        Pipeline.run
+          ~config:{ single_queue_config with prune = false }
+          ~tee:(Barracuda.Detector.feed direct) ~machine:m k args
+      in
+      race_fingerprint (Barracuda.Detector.report direct)
+      = race_fingerprint (Pipeline.report pr))
+
+(* Weaker cross-run property that survives schedule perturbation: a
+   race-free program stays race-free through the full pipeline. *)
+let prop_pipeline_no_false_positives =
+  QCheck2.Test.make
+    ~name:"pipeline never invents races on programs the detector clears"
+    ~count:100 ~print:Gen.print_program Gen.gen_program (fun prog ->
+      let k = Gen.kernel_of_program prog in
+      let m1 = Simt.Machine.create ~layout:Gen.layout () in
+      let args1 = Gen.setup m1 in
+      let det, _ = Barracuda.Detector.run ~machine:m1 k args1 in
+      if Report.has_race (Barracuda.Detector.report det) then
+        QCheck2.assume_fail ()
+      else begin
+        let m2 = Simt.Machine.create ~layout:Gen.layout () in
+        let args2 = Gen.setup m2 in
+        let pr = Pipeline.run ~config:single_queue_config ~machine:m2 k args2 in
+        not (Report.has_race (Pipeline.report pr))
+      end)
+
+let test_pipeline_backpressure () =
+  (* a tiny queue forces producer stalls but must not lose records *)
+  let prog = [ Gen.Global_store (0, Gen.Lane_dependent); Gen.Global_load 0 ] in
+  let k = Gen.kernel_of_program prog in
+  let m = Simt.Machine.create ~layout:Gen.layout () in
+  let args = Gen.setup m in
+  let r =
+    Pipeline.run
+      ~config:{ single_queue_config with queue_capacity = 2 }
+      ~machine:m k args
+  in
+  Alcotest.(check bool) "records flowed" true
+    (r.Pipeline.queue_stats.Pipeline.records > 0);
+  Alcotest.(check bool) "race still found" true
+    (Report.has_race (Pipeline.report r))
+
+let test_pipeline_instrumented_execution_correct () =
+  (* the instrumented kernel must compute the same results *)
+  let prog = [ Gen.Store_own_slot ] in
+  let k = Gen.kernel_of_program prog in
+  let m1 = Simt.Machine.create ~layout:Gen.layout () in
+  let args1 = Gen.setup m1 in
+  let _ = Simt.Machine.launch m1 k args1 in
+  let m2 = Simt.Machine.create ~layout:Gen.layout () in
+  let args2 = Gen.setup m2 in
+  let _ = Pipeline.run ~machine:m2 k args2 in
+  let base1 = Int64.to_int args1.(0) and base2 = Int64.to_int args2.(0) in
+  let total = Vclock.Layout.total_threads Gen.layout in
+  let own_base = 4 * (Gen.words + Gen.sync_words) in
+  for t = 0 to total - 1 do
+    let addr1 = base1 + own_base + (4 * t) in
+    let addr2 = base2 + own_base + (4 * t) in
+    Alcotest.(check int64)
+      (Printf.sprintf "slot %d" t)
+      (Simt.Machine.peek m1 ~addr:addr1 ~width:4)
+      (Simt.Machine.peek m2 ~addr:addr2 ~width:4)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "record wire size" `Quick test_record_wire_size;
+    Alcotest.test_case "record bytes roundtrip" `Quick test_record_roundtrip;
+    Alcotest.test_case "record fence elided" `Quick test_record_fence_elided;
+    Alcotest.test_case "record event roundtrip" `Quick test_record_event_roundtrip;
+    Alcotest.test_case "queue fifo" `Quick test_queue_fifo;
+    Alcotest.test_case "queue full/wrap" `Quick test_queue_full;
+    Alcotest.test_case "queue across domains" `Quick test_queue_domains;
+    Alcotest.test_case "pipeline backpressure" `Quick test_pipeline_backpressure;
+    Alcotest.test_case "pipeline preserves results" `Quick
+      test_pipeline_instrumented_execution_correct;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_pipeline_matches_teed_detector; prop_pipeline_no_false_positives ]

@@ -1,0 +1,99 @@
+(* Multi-launch sessions (§4.1) and the §3.4 correctness invariant. *)
+
+module Ast = Ptx.Ast
+module B = Ptx.Builder
+module Session = Gpu_runtime.Session
+
+let layout = Gen.layout
+
+let writer_kernel =
+  let b = B.create ~params:[ "buf" ] "writer" in
+  let g = B.global_tid b in
+  let a = B.fresh_reg ~cls:"rd" b in
+  B.mad b a (B.reg g) (B.imm 4) (B.sym "buf");
+  B.st b (B.reg a) (B.reg g);
+  B.finish b
+
+let reader_kernel =
+  let b = B.create ~params:[ "buf"; "out" ] "reader" in
+  let g = B.global_tid b in
+  let a = B.fresh_reg ~cls:"rd" b in
+  B.mad b a (B.reg g) (B.imm 4) (B.sym "buf");
+  let v = B.fresh_reg b in
+  B.ld b v (B.reg a);
+  let o = B.fresh_reg ~cls:"rd" b in
+  B.mad b o (B.reg g) (B.imm 4) (B.sym "out");
+  B.st b (B.reg o) (B.reg v);
+  B.finish b
+
+let racy_kernel =
+  let b = B.create ~params:[ "buf" ] "racy" in
+  B.st b (B.sym "buf") (Ast.Sreg Ast.Tid);
+  B.finish b
+
+let test_memory_persists_across_launches () =
+  let s = Session.create ~layout () in
+  let buf = Simt.Machine.alloc_global (Session.machine s) 256 in
+  let out = Simt.Machine.alloc_global (Session.machine s) 256 in
+  let _ = Session.launch s writer_kernel [| Int64.of_int buf |] in
+  let _ =
+    Session.launch s reader_kernel [| Int64.of_int buf; Int64.of_int out |]
+  in
+  Alcotest.(check int) "two launches" 2 (Session.launches s);
+  (* launch boundaries synchronize: no cross-launch race *)
+  Alcotest.(check int) "no races across launches" 0 (Session.total_races s);
+  (* the second launch really read the first launch's data *)
+  Alcotest.(check int64) "data flowed" 5L
+    (Simt.Machine.peek (Session.machine s) ~addr:(out + (4 * 5)) ~width:4)
+
+let test_per_launch_reports () =
+  let s = Session.create ~layout () in
+  let buf = Simt.Machine.alloc_global (Session.machine s) 256 in
+  let _ = Session.launch s writer_kernel [| Int64.of_int buf |] in
+  let _ = Session.launch s racy_kernel [| Int64.of_int buf |] in
+  match Session.reports s with
+  | [ ("writer", r1); ("racy", r2) ] ->
+      Alcotest.(check bool) "writer clean" false (Barracuda.Report.has_race r1);
+      Alcotest.(check bool) "racy flagged" true (Barracuda.Report.has_race r2)
+  | _ -> Alcotest.fail "unexpected report list"
+
+let test_device_reset () =
+  let s = Session.create ~layout () in
+  let buf = Simt.Machine.alloc_global (Session.machine s) 256 in
+  let _ = Session.launch s writer_kernel [| Int64.of_int buf |] in
+  Alcotest.(check bool) "memory written" true
+    (Simt.Machine.peek (Session.machine s) ~addr:(buf + 8) ~width:4 <> 0L);
+  Session.device_reset s;
+  Alcotest.(check int) "reset counted" 1 (Session.resets s);
+  let buf2 = Simt.Machine.alloc_global (Session.machine s) 256 in
+  Alcotest.(check int64) "memory cleared" 0L
+    (Simt.Machine.peek (Session.machine s) ~addr:(buf2 + 8) ~width:4);
+  (* the session keeps working after the reset *)
+  let _ = Session.launch s writer_kernel [| Int64.of_int buf2 |] in
+  Alcotest.(check int) "launches survive reset" 2 (Session.launches s)
+
+(* ---- §3.4 invariant ------------------------------------------------- *)
+
+let prop_invariant_preserved =
+  QCheck2.Test.make
+    ~name:"the proof invariant holds after every reference-detector step"
+    ~count:100 ~print:Gen.print_program Gen.gen_program (fun prog ->
+      let k = Gen.kernel_of_program prog in
+      let m = Simt.Machine.create ~layout () in
+      let args = Gen.setup m in
+      let ops, _ = Gtrace.Infer.run ~layout m k args in
+      let d = Barracuda.Reference.create ~layout () in
+      List.for_all
+        (fun op ->
+          Barracuda.Reference.step d op;
+          Barracuda.Reference.invariant_holds d)
+        ops)
+
+let suite =
+  [
+    Alcotest.test_case "memory persists across launches" `Quick
+      test_memory_persists_across_launches;
+    Alcotest.test_case "per-launch reports" `Quick test_per_launch_reports;
+    Alcotest.test_case "device reset" `Quick test_device_reset;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_invariant_preserved ]

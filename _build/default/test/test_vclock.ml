@@ -1,0 +1,216 @@
+(* Unit + property tests for the vclock library: grid layout
+   arithmetic, sparse vector clocks, epochs, and compressed clocks. *)
+
+module Layout = Vclock.Layout
+module Vc = Vclock.Vector_clock
+module Epoch = Vclock.Epoch
+module Cvc = Vclock.Cvc
+
+let lay = Layout.make ~warp_size:4 ~threads_per_block:10 ~blocks:3
+
+(* ---- Layout ------------------------------------------------------- *)
+
+let test_layout_totals () =
+  Alcotest.(check int) "total threads" 30 (Layout.total_threads lay);
+  Alcotest.(check int) "warps per block" 3 (Layout.warps_per_block lay);
+  Alcotest.(check int) "total warps" 9 (Layout.total_warps lay)
+
+let test_layout_roundtrip () =
+  for tid = 0 to Layout.total_threads lay - 1 do
+    let warp = Layout.warp_of_tid lay tid in
+    let lane = Layout.lane_of_tid lay tid in
+    Alcotest.(check int)
+      (Printf.sprintf "tid %d roundtrip" tid)
+      tid
+      (Layout.tid_of_warp_lane lay ~warp ~lane);
+    Alcotest.(check int)
+      (Printf.sprintf "tid %d block consistency" tid)
+      (Layout.block_of_tid lay tid)
+      (Layout.block_of_warp lay warp)
+  done
+
+let test_layout_partial_warp () =
+  (* 10 threads/block with warp 4: warps of 4, 4, 2 threads *)
+  Alcotest.(check int) "full warp" 4 (Layout.threads_in_warp lay 0);
+  Alcotest.(check int) "partial warp" 2 (Layout.threads_in_warp lay 2);
+  Alcotest.(check int) "full mask" 0xF (Layout.full_mask lay ~warp:1);
+  Alcotest.(check int) "partial mask" 0x3 (Layout.full_mask lay ~warp:2)
+
+let test_layout_invalid () =
+  Alcotest.check_raises "zero warp size" (Invalid_argument "Layout.make: warp_size <= 0")
+    (fun () -> ignore (Layout.make ~warp_size:0 ~threads_per_block:4 ~blocks:1))
+
+(* ---- Vector clocks ------------------------------------------------ *)
+
+let test_vc_basic () =
+  let v = Vc.of_list [ (1, 5); (3, 2) ] in
+  Alcotest.(check int) "get present" 5 (Vc.get v 1);
+  Alcotest.(check int) "get absent" 0 (Vc.get v 2);
+  Alcotest.(check int) "incr" 6 (Vc.get (Vc.incr v 1) 1);
+  Alcotest.(check int) "incr from zero" 1 (Vc.get (Vc.incr v 7) 7);
+  Alcotest.(check bool) "bottom is bottom" true (Vc.is_bottom Vc.bottom);
+  Alcotest.(check bool) "set to zero removes" true
+    (Vc.is_bottom (Vc.set (Vc.of_list [ (2, 1) ]) 2 0))
+
+let test_vc_order () =
+  let a = Vc.of_list [ (0, 1); (1, 2) ] in
+  let b = Vc.of_list [ (0, 1); (1, 3); (2, 1) ] in
+  Alcotest.(check bool) "a <= b" true (Vc.leq a b);
+  Alcotest.(check bool) "not b <= a" false (Vc.leq b a);
+  Alcotest.(check bool) "bottom below all" true (Vc.leq Vc.bottom a)
+
+let gen_vc =
+  QCheck2.Gen.(
+    map Vc.of_list
+      (list_size (int_range 0 6) (pair (int_range 0 9) (int_range 0 5))))
+
+let print_vc = Format.asprintf "%a" Vc.pp
+
+let prop_join_upper_bound =
+  QCheck2.Test.make ~name:"vc join is an upper bound" ~count:300
+    QCheck2.Gen.(pair gen_vc gen_vc)
+    (fun (a, b) ->
+      let j = Vc.join a b in
+      Vc.leq a j && Vc.leq b j)
+
+let prop_join_least =
+  QCheck2.Test.make ~name:"vc join is the least upper bound" ~count:300
+    QCheck2.Gen.(triple gen_vc gen_vc gen_vc)
+    (fun (a, b, c) ->
+      (not (Vc.leq a c && Vc.leq b c)) || Vc.leq (Vc.join a b) c)
+
+let prop_join_commutative =
+  QCheck2.Test.make ~name:"vc join commutative" ~count:300
+    QCheck2.Gen.(pair gen_vc gen_vc)
+    (fun (a, b) -> Vc.equal (Vc.join a b) (Vc.join b a))
+
+let prop_join_associative =
+  QCheck2.Test.make ~name:"vc join associative" ~count:300
+    QCheck2.Gen.(triple gen_vc gen_vc gen_vc)
+    (fun (a, b, c) ->
+      Vc.equal (Vc.join (Vc.join a b) c) (Vc.join a (Vc.join b c)))
+
+let prop_join_idempotent =
+  QCheck2.Test.make ~name:"vc join idempotent" ~count:300 gen_vc (fun a ->
+      Vc.equal (Vc.join a a) a)
+
+let prop_leq_antisymmetric =
+  QCheck2.Test.make ~name:"vc leq antisymmetric" ~count:300
+    QCheck2.Gen.(pair gen_vc gen_vc)
+    (fun (a, b) -> (not (Vc.leq a b && Vc.leq b a)) || Vc.equal a b)
+
+(* ---- Epochs -------------------------------------------------------- *)
+
+let test_epoch_vs_vc () =
+  let e = Epoch.make ~clock:3 ~tid:1 in
+  Alcotest.(check bool) "below matching vc" true
+    (Epoch.leq_vc e (Vc.of_list [ (1, 3) ]));
+  Alcotest.(check bool) "not below smaller" false
+    (Epoch.leq_vc e (Vc.of_list [ (1, 2) ]));
+  Alcotest.(check bool) "bottom epoch below bottom vc" true
+    (Epoch.leq_vc Epoch.bottom Vc.bottom)
+
+let gen_epoch =
+  QCheck2.Gen.(
+    map
+      (fun (c, t) -> Epoch.make ~clock:c ~tid:t)
+      (pair (int_range 0 5) (int_range 0 9)))
+
+let prop_epoch_leq_matches_vc =
+  QCheck2.Test.make ~name:"epoch comparison agrees with its vc expansion"
+    ~count:500
+    QCheck2.Gen.(pair gen_epoch gen_vc)
+    (fun (e, v) -> Epoch.leq_vc e v = Vc.leq (Epoch.to_vc e) v)
+
+(* ---- Compressed vector clocks -------------------------------------- *)
+
+let gen_cvc_op =
+  QCheck2.Gen.(
+    oneof
+      [
+        map2 (fun t c -> `Point (t, c)) (int_range 0 29) (int_range 1 6);
+        map2 (fun b c -> `Block (b, c)) (int_range 0 2) (int_range 1 6);
+        map2 (fun w c -> `Warp (w, c)) (int_range 0 8) (int_range 1 6);
+      ])
+
+let apply_cvc_op v = function
+  | `Point (t, c) -> Cvc.set_point v t c
+  | `Block (b, c) -> Cvc.raise_block v b c
+  | `Warp (w, c) -> Cvc.raise_warp v w c
+
+let gen_cvc =
+  QCheck2.Gen.(
+    map
+      (fun ops -> List.fold_left apply_cvc_op (Cvc.bottom lay) ops)
+      (list_size (int_range 0 8) gen_cvc_op))
+
+let prop_cvc_matches_expansion =
+  QCheck2.Test.make ~name:"cvc get agrees with full expansion" ~count:300
+    gen_cvc (fun v ->
+      let full = Cvc.to_vector_clock v in
+      let ok = ref true in
+      for tid = 0 to Layout.total_threads lay - 1 do
+        if Cvc.get v tid <> Vc.get full tid then ok := false
+      done;
+      !ok)
+
+let prop_cvc_join_pointwise =
+  QCheck2.Test.make ~name:"cvc join is pointwise max" ~count:300
+    QCheck2.Gen.(pair gen_cvc gen_cvc)
+    (fun (a, b) ->
+      let j = Cvc.join a b in
+      let ok = ref true in
+      for tid = 0 to Layout.total_threads lay - 1 do
+        if Cvc.get j tid <> max (Cvc.get a tid) (Cvc.get b tid) then
+          ok := false
+      done;
+      !ok)
+
+let prop_cvc_leq_matches_expansion =
+  QCheck2.Test.make ~name:"cvc leq agrees with expanded clocks" ~count:300
+    QCheck2.Gen.(pair gen_cvc gen_cvc)
+    (fun (a, b) ->
+      Cvc.leq a b = Vc.leq (Cvc.to_vector_clock a) (Cvc.to_vector_clock b))
+
+let prop_cvc_roundtrip =
+  QCheck2.Test.make ~name:"cvc of_vector_clock/to_vector_clock roundtrip"
+    ~count:300 gen_cvc (fun v ->
+      let full = Cvc.to_vector_clock v in
+      Cvc.equal v (Cvc.of_vector_clock lay full))
+
+let test_cvc_floors_subsume_points () =
+  let v = Cvc.set_point (Cvc.bottom lay) 5 2 in
+  let v = Cvc.raise_block v 0 4 in
+  Alcotest.(check int) "floor wins" 4 (Cvc.get v 5);
+  (* the subsumed point entry should have been dropped *)
+  Alcotest.(check int) "footprint is just the floor" 1 (Cvc.footprint v)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+let _ = print_vc
+
+let suite =
+  [
+    Alcotest.test_case "layout totals" `Quick test_layout_totals;
+    Alcotest.test_case "layout tid roundtrip" `Quick test_layout_roundtrip;
+    Alcotest.test_case "layout partial warps" `Quick test_layout_partial_warp;
+    Alcotest.test_case "layout invalid" `Quick test_layout_invalid;
+    Alcotest.test_case "vc basics" `Quick test_vc_basic;
+    Alcotest.test_case "vc ordering" `Quick test_vc_order;
+    Alcotest.test_case "epoch vs vc" `Quick test_epoch_vs_vc;
+    Alcotest.test_case "cvc floors subsume points" `Quick
+      test_cvc_floors_subsume_points;
+  ]
+  @ qsuite
+      [
+        prop_join_upper_bound;
+        prop_join_least;
+        prop_join_commutative;
+        prop_join_associative;
+        prop_join_idempotent;
+        prop_leq_antisymmetric;
+        prop_epoch_leq_matches_vc;
+        prop_cvc_matches_expansion;
+        prop_cvc_join_pointwise;
+        prop_cvc_leq_matches_expansion;
+        prop_cvc_roundtrip;
+      ]
