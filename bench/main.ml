@@ -13,6 +13,7 @@
      ptvc        ablation: PTVC format census and compression ratio
      queues      ablation: multi-queue logging throughput
      granularity ablation: byte- vs word-granular shadow memory
+     pipeline    telemetry per-stage profile -> BENCH_pipeline.json
      bechamel    Bechamel micro-benchmarks (one per table/figure)      *)
 
 module W = Workloads.Workload
@@ -22,9 +23,9 @@ let time_it ?(min_time = 0.05) f =
   let budget = ref 0.0 in
   let reps = ref 0 in
   while !budget < min_time || !reps < 3 do
-    let t0 = Unix.gettimeofday () in
+    let t0 = Telemetry.Clock.now_ns () in
     f ();
-    let d = Unix.gettimeofday () -. t0 in
+    let d = Telemetry.Clock.ns_to_s (Telemetry.Clock.elapsed_ns ~since:t0) in
     samples := d :: !samples;
     budget := !budget +. d;
     incr reps
@@ -200,7 +201,7 @@ let section_queues () =
       let queues =
         Array.init nq (fun _ -> Gpu_runtime.Queue.create ~capacity:1024)
       in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Telemetry.Clock.now_ns () in
       let consumed = ref 0 in
       for i = 0 to total - 1 do
         let q = queues.(i mod nq) in
@@ -222,7 +223,7 @@ let section_queues () =
           in
           drain ())
         queues;
-      let dt = Unix.gettimeofday () -. t0 in
+      let dt = Telemetry.Clock.ns_to_s (Telemetry.Clock.elapsed_ns ~since:t0) in
       let high =
         Array.fold_left
           (fun acc q -> max acc (Gpu_runtime.Queue.high_watermark q))
@@ -362,6 +363,37 @@ let section_parallel () =
     \   protocol — verdicts match the sequential pipeline)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry: per-stage pipeline profile -> BENCH_pipeline.json        *)
+
+let section_pipeline () =
+  header "Telemetry: per-stage pipeline profile (BENCH_pipeline.json)";
+  let subset = [ "backprop"; "pathfinder"; "dxtc"; "d_scan"; "hashtable" ] in
+  let registry = Telemetry.Registry.default in
+  Telemetry.Registry.set_enabled true;
+  Telemetry.Registry.reset registry;
+  let t0 = Telemetry.Clock.now_ns () in
+  List.iter
+    (fun name -> ignore (W.run_pipeline (Workloads.Registry.find name)))
+    subset;
+  let wall_ns = Telemetry.Clock.elapsed_ns ~since:t0 in
+  Telemetry.Registry.set_enabled false;
+  let totals = Telemetry.Span.totals ~registry () in
+  Printf.printf "  %-12s %8s %12s %8s\n" "stage" "calls" "total ms" "share";
+  List.iter
+    (fun (stage, (calls, ns)) ->
+      Printf.printf "  %-12s %8d %12.2f %7.1f%%\n" stage calls
+        (Telemetry.Clock.ns_to_ms ns)
+        (100.0 *. Int64.to_float ns /. Int64.to_float (max 1L wall_ns)))
+    totals;
+  Printf.printf "  records shipped %d, queue pushes %d, detector checks %d\n"
+    (Telemetry.Registry.find_counter registry "barracuda_pipeline_records_total")
+    (Telemetry.Registry.find_counter registry "barracuda_queue_pushes_total")
+    (Telemetry.Registry.find_counter registry "barracuda_detector_checks_total");
+  Telemetry.Export.write_json ~path:"BENCH_pipeline.json" registry;
+  Printf.printf "  wrote BENCH_pipeline.json (%d workloads)\n"
+    (List.length subset)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
 let section_bechamel () =
@@ -432,6 +464,7 @@ let sections =
     ("granularity", section_granularity);
     ("scaling", section_scaling);
     ("parallel", section_parallel);
+    ("pipeline", section_pipeline);
     ("bechamel", section_bechamel);
   ]
 

@@ -1,6 +1,7 @@
 (* The barracuda command-line tool.
 
      barracuda check FILE.ptx [--blocks N] [--tpb N] ...   race-check a kernel
+     barracuda profile FILE.ptx [--parallel]               per-stage telemetry
      barracuda instrument FILE.ptx [--no-prune]            show rewritten PTX
      barracuda suite                                        run the 66-program suite
      barracuda litmus [--runs N]                            fence litmus tests
@@ -66,46 +67,98 @@ let load_kernel file =
   close_in ic;
   Ptx.Parser.kernel_of_string src
 
+let print_machine_result kernel (result : Simt.Machine.result) =
+  Format.printf "kernel %s: %d warp instructions executed (%s)@."
+    kernel.Ptx.Ast.kname result.Simt.Machine.dyn_instructions
+    (match result.Simt.Machine.status with
+    | Simt.Machine.Completed -> "completed"
+    | Simt.Machine.Max_steps n -> Printf.sprintf "stopped at %d steps" n)
+
+let print_verdict report =
+  let errors = Barracuda.Report.errors report in
+  if errors = [] then begin
+    Format.printf "no races detected.@.";
+    0
+  end
+  else begin
+    Format.printf "%d distinct races detected:@."
+      (Barracuda.Report.race_count report);
+    List.iter (fun e -> Format.printf "  %a@." Barracuda.Report.pp_error e) errors;
+    1
+  end
+
+let metrics_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Enable telemetry and write the metric registry as JSON to \
+           $(docv) ($(b,-) for stdout).  The run goes through the full \
+           instrument/execute/queue/decode/detect pipeline so all five \
+           stage spans are populated.")
+
+let write_metrics path =
+  if path = "-" then
+    print_string (Telemetry.Export.to_json_string Telemetry.Registry.default)
+  else
+    match Telemetry.Export.write_json Telemetry.Registry.default ~path with
+    | () -> Format.printf "metrics written to %s@." path
+    | exception Sys_error msg ->
+        Format.eprintf "barracuda: cannot write metrics: %s@." msg;
+        exit 1
+
 let check_cmd =
-  let run layout file specs max_reports dump_trace =
+  let run layout file specs max_reports dump_trace metrics =
     let kernel = load_kernel file in
     let machine = Simt.Machine.create ~layout () in
     let args = resolve_args machine kernel specs in
     let config = { Barracuda.Detector.default_config with max_reports } in
     let infer = Gtrace.Infer.create ~layout kernel in
     let trace = ref [] in
-    let detector = Barracuda.Detector.create ~config ~layout kernel in
-    let on_event ev =
-      (match dump_trace with
+    let record_trace ev =
+      match dump_trace with
       | Some _ -> trace := List.rev_append (Gtrace.Infer.feed infer ev) !trace
-      | None -> ());
-      Barracuda.Detector.feed detector ev
+      | None -> ()
     in
-    let result = Simt.Machine.launch machine kernel args ~on_event in
-    (match dump_trace with
+    let write_trace () =
+      match dump_trace with
+      | Some path ->
+          let oc = open_out path in
+          Gtrace.Serialize.to_channel ~layout oc (List.rev !trace);
+          close_out oc;
+          Format.printf "trace written to %s@." path
+      | None -> ()
+    in
+    match metrics with
     | Some path ->
-        let oc = open_out path in
-        Gtrace.Serialize.to_channel ~layout oc (List.rev !trace);
-        close_out oc;
-        Format.printf "trace written to %s@." path
-    | None -> ());
-    Format.printf "kernel %s: %d warp instructions executed (%s)@."
-      kernel.Ptx.Ast.kname result.Simt.Machine.dyn_instructions
-      (match result.Simt.Machine.status with
-      | Simt.Machine.Completed -> "completed"
-      | Simt.Machine.Max_steps n -> Printf.sprintf "stopped at %d steps" n);
-    let report = Barracuda.Detector.report detector in
-    let errors = Barracuda.Report.errors report in
-    if errors = [] then begin
-      Format.printf "no races detected.@.";
-      0
-    end
-    else begin
-      Format.printf "%d distinct races detected:@."
-        (Barracuda.Report.race_count report);
-      List.iter (fun e -> Format.printf "  %a@." Barracuda.Report.pp_error e) errors;
-      1
-    end
+        (* Telemetry run: the deployed pipeline (Figure 5) end-to-end,
+           so the exported registry covers every stage.  The kernel
+           executed is the instrumented one, exactly as deployed. *)
+        Telemetry.Registry.set_enabled true;
+        Telemetry.Registry.reset Telemetry.Registry.default;
+        let pconfig =
+          { Gpu_runtime.Pipeline.default_config with detector = config }
+        in
+        let result =
+          Gpu_runtime.Pipeline.run ~config:pconfig ~machine ~tee:record_trace
+            kernel args
+        in
+        write_trace ();
+        print_machine_result kernel result.Gpu_runtime.Pipeline.machine_result;
+        let code = print_verdict (Gpu_runtime.Pipeline.report result) in
+        write_metrics path;
+        code
+    | None ->
+        let detector = Barracuda.Detector.create ~config ~layout kernel in
+        let on_event ev =
+          record_trace ev;
+          Barracuda.Detector.feed detector ev
+        in
+        let result = Simt.Machine.launch machine kernel args ~on_event in
+        write_trace ();
+        print_machine_result kernel result;
+        print_verdict (Barracuda.Detector.report detector)
   in
   let max_reports =
     Arg.(value & opt int 50 & info [ "max-reports" ] ~docv:"N"
@@ -121,7 +174,113 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Race-check a PTX kernel on the simulator.")
     Term.(
       const run $ layout_term $ file_term $ args_term $ max_reports
-      $ dump_trace)
+      $ dump_trace $ metrics_term)
+
+let profile_cmd =
+  let stage_order = [ "instrument"; "execute"; "queue"; "decode"; "detect" ] in
+  let run layout file specs parallel queues metrics prom =
+    let kernel = load_kernel file in
+    let machine = Simt.Machine.create ~layout () in
+    let args = resolve_args machine kernel specs in
+    Telemetry.Registry.set_enabled true;
+    Telemetry.Registry.reset Telemetry.Registry.default;
+    let config = { Gpu_runtime.Pipeline.default_config with queues } in
+    let t0 = Telemetry.Clock.now_ns () in
+    let result =
+      if parallel then
+        Gpu_runtime.Pipeline.run_parallel ~config ~machine kernel args
+      else Gpu_runtime.Pipeline.run ~config ~machine kernel args
+    in
+    let total_ns = Telemetry.Clock.elapsed_ns ~since:t0 in
+    print_machine_result kernel result.Gpu_runtime.Pipeline.machine_result;
+    let totals = Telemetry.Span.totals () in
+    let by_name n = List.assoc_opt n totals in
+    Format.printf "@.%-12s %12s %12s %12s %8s@." "stage" "calls" "total ms"
+      "mean us" "share";
+    let row name (calls, ns) =
+      let ms = Telemetry.Clock.ns_to_ms ns in
+      let mean_us =
+        if calls = 0 then 0.0 else Int64.to_float ns /. 1e3 /. float_of_int calls
+      in
+      let share =
+        100.0 *. Int64.to_float ns /. Int64.to_float (Int64.max total_ns 1L)
+      in
+      Format.printf "%-12s %12d %12.3f %12.3f %7.1f%%@." name calls ms mean_us
+        share
+    in
+    List.iter
+      (fun name ->
+        match by_name name with
+        | Some t -> row name t
+        | None -> row name (0, 0L))
+      stage_order;
+    List.iter
+      (fun (name, t) ->
+        if not (List.mem name stage_order) then row name t)
+      totals;
+    Format.printf "%-12s %12s %12.3f %12s %7.1f%%@." "wall" ""
+      (Telemetry.Clock.ns_to_ms total_ns) "" 100.0;
+    let reg = Telemetry.Registry.default in
+    let c = Telemetry.Registry.find_counter reg in
+    let g = Telemetry.Registry.find_gauge reg in
+    Format.printf "@.counters@.";
+    List.iter
+      (fun (label, v) -> Format.printf "  %-34s %12d@." label v)
+      [
+        ("records shipped", c "barracuda_pipeline_records_total");
+        ("producer stalls", c "barracuda_pipeline_stalls_total");
+        ("queue pushes", c "barracuda_queue_pushes_total");
+        ("queue pops", c "barracuda_queue_pops_total");
+        ("queue high watermark", g "barracuda_queue_high_watermark");
+        ("instructions retired", c "barracuda_simt_instructions_retired_total");
+        ("divergent branches", c "barracuda_simt_divergent_branches_total");
+        ("detector records", c "barracuda_detector_records_total");
+        ("detector checks", c "barracuda_detector_checks_total");
+        ("epoch fast-path checks", c "barracuda_detector_epoch_fast_total");
+        ("full vector-clock scans", c "barracuda_detector_vc_full_total");
+        ("race observations", c "barracuda_detector_races_total");
+      ];
+    let report = Gpu_runtime.Pipeline.report result in
+    Format.printf "@.%d distinct races reported.@."
+      (Barracuda.Report.race_count report);
+    (match metrics with Some path -> write_metrics path | None -> ());
+    (match prom with
+    | Some path -> (
+        match open_out path with
+        | oc ->
+            output_string oc
+              (Telemetry.Export.to_prometheus Telemetry.Registry.default);
+            close_out oc;
+            Format.printf "prometheus metrics written to %s@." path
+        | exception Sys_error msg ->
+            Format.eprintf "barracuda: cannot write metrics: %s@." msg;
+            exit 1)
+    | None -> ());
+    0
+  in
+  let parallel =
+    Arg.(value & flag
+           & info [ "parallel" ]
+               ~doc:"Profile the concurrent host (one consumer domain per \
+                     queue) instead of the sequential pipeline.")
+  in
+  let queues =
+    Arg.(value & opt int Gpu_runtime.Pipeline.default_config.Gpu_runtime.Pipeline.queues
+           & info [ "queues" ] ~docv:"N" ~doc:"GPU->host log queues.")
+  in
+  let prom =
+    Arg.(value & opt (some string) None
+           & info [ "prometheus" ] ~docv:"FILE"
+               ~doc:"Also write the registry in Prometheus text format.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run the full pipeline with telemetry enabled and print a \
+          per-stage time/count breakdown.")
+    Term.(
+      const run $ layout_term $ file_term $ args_term $ parallel $ queues
+      $ metrics_term $ prom)
 
 let replay_cmd =
   let run file =
@@ -258,6 +417,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            check_cmd; instrument_cmd; suite_cmd; litmus_cmd; table1_cmd;
-            sweep_cmd; replay_cmd;
+            check_cmd; profile_cmd; instrument_cmd; suite_cmd; litmus_cmd;
+            table1_cmd; sweep_cmd; replay_cmd;
           ]))

@@ -4,6 +4,41 @@ module Vc = Vclock.Vector_clock
 module Loc = Gtrace.Loc
 module Op = Gtrace.Op
 
+(* Detection telemetry: live totals across all detector instances.
+   [checks] counts thread-level access checks; the epoch/vc pair
+   splits ordering comparisons into the epoch fast path versus full
+   vector-clock scans (the compression the paper's §4.3.1 is about);
+   [races] counts raw race observations before report deduplication. *)
+let m_checks =
+  lazy
+    (Telemetry.Registry.counter
+       ~help:"Thread-level access checks performed"
+       Telemetry.Registry.default "barracuda_detector_checks_total")
+
+let m_records =
+  lazy
+    (Telemetry.Registry.counter
+       ~help:"Warp-level records processed by the detector"
+       Telemetry.Registry.default "barracuda_detector_records_total")
+
+let m_races =
+  lazy
+    (Telemetry.Registry.counter
+       ~help:"Race observations (before report deduplication)"
+       Telemetry.Registry.default "barracuda_detector_races_total")
+
+let m_epoch_fast =
+  lazy
+    (Telemetry.Registry.counter
+       ~help:"Ordering checks answered by the epoch fast path"
+       Telemetry.Registry.default "barracuda_detector_epoch_fast_total")
+
+let m_vc_full =
+  lazy
+    (Telemetry.Registry.counter
+       ~help:"Ordering checks requiring a full vector-clock scan"
+       Telemetry.Registry.default "barracuda_detector_vc_full_total")
+
 type config = {
   max_reports : int;
   filter_same_value : bool;
@@ -68,6 +103,7 @@ let report t = t.report
 
 (* [c@u <= C_lane?] via the compressed clock layers. *)
 let epoch_ordered ~wc ~lane (e : Epoch.t) =
+  Telemetry.Metric.counter_incr (Lazy.force m_epoch_fast);
   e.Epoch.clock <= Warp_clocks.entry wc ~lane ~tid:e.Epoch.tid
 
 let check_write t ~rid ~wc ~lane ~loc ~cur_kind ~value (cell : Shadow.cell) =
@@ -79,30 +115,38 @@ let check_write t ~rid ~wc ~lane ~loc ~cur_kind ~value (cell : Shadow.cell) =
       && (not cell.Shadow.write_atomic)
       && cell.Shadow.write_value = value
     in
-    if not filtered then
+    if not filtered then begin
+      Telemetry.Metric.counter_incr (Lazy.force m_races);
       Report.add_race t.report ~loc
         ~prev_tid:cell.Shadow.write_epoch.Epoch.tid
         ~prev_kind:
           (if cell.Shadow.write_atomic then Report.Atomic_rmw else Report.Write)
         ~cur_tid:(Layout.tid_of_warp_lane t.layout ~warp:(Warp_clocks.warp wc) ~lane)
         ~cur_kind ~same_instruction
+    end
   end
 
 let check_reads t ~wc ~lane ~loc ~cur_kind (cell : Shadow.cell) =
   let cur_tid =
     Layout.tid_of_warp_lane t.layout ~warp:(Warp_clocks.warp wc) ~lane
   in
-  if cell.Shadow.read_shared then
+  if cell.Shadow.read_shared then begin
+    Telemetry.Metric.counter_incr (Lazy.force m_vc_full);
     Vc.fold
       (fun u cu () ->
-        if cu > Warp_clocks.entry wc ~lane ~tid:u then
+        if cu > Warp_clocks.entry wc ~lane ~tid:u then begin
+          Telemetry.Metric.counter_incr (Lazy.force m_races);
           Report.add_race t.report ~loc ~prev_tid:u ~prev_kind:Report.Read
-            ~cur_tid ~cur_kind ~same_instruction:false)
+            ~cur_tid ~cur_kind ~same_instruction:false
+        end)
       cell.Shadow.read_vc ()
-  else if not (epoch_ordered ~wc ~lane cell.Shadow.read_epoch) then
+  end
+  else if not (epoch_ordered ~wc ~lane cell.Shadow.read_epoch) then begin
+    Telemetry.Metric.counter_incr (Lazy.force m_races);
     Report.add_race t.report ~loc
       ~prev_tid:cell.Shadow.read_epoch.Epoch.tid ~prev_kind:Report.Read
       ~cur_tid ~cur_kind ~same_instruction:false
+  end
 
 let clear_reads (cell : Shadow.cell) =
   cell.Shadow.read_epoch <- Epoch.bottom;
@@ -111,6 +155,7 @@ let clear_reads (cell : Shadow.cell) =
 
 let do_read t ~rid ~wc ~lane ~loc cell =
   Atomic.incr t.accesses;
+  Telemetry.Metric.counter_incr (Lazy.force m_checks);
   ignore rid;
   check_write t ~rid ~wc ~lane ~loc ~cur_kind:Report.Read ~value:0L cell;
   let tid =
@@ -140,12 +185,14 @@ let set_write ~rid ~wc ~lane ~atomic ~value (cell : Shadow.cell) =
 
 let do_write t ~rid ~wc ~lane ~loc ~value cell =
   Atomic.incr t.accesses;
+  Telemetry.Metric.counter_incr (Lazy.force m_checks);
   check_write t ~rid ~wc ~lane ~loc ~cur_kind:Report.Write ~value cell;
   check_reads t ~wc ~lane ~loc ~cur_kind:Report.Write cell;
   set_write ~rid ~wc ~lane ~atomic:false ~value cell
 
 let do_atomic t ~rid ~wc ~lane ~loc ~value cell =
   Atomic.incr t.accesses;
+  Telemetry.Metric.counter_incr (Lazy.force m_checks);
   if not cell.Shadow.write_atomic then
     check_write t ~rid ~wc ~lane ~loc ~cur_kind:Report.Atomic_rmw ~value cell;
   check_reads t ~wc ~lane ~loc ~cur_kind:Report.Atomic_rmw cell;
@@ -273,6 +320,7 @@ let do_barrier t block =
 let feed t event =
   let rid = Atomic.fetch_and_add t.record_id 1 + 1 in
   Atomic.incr t.records;
+  Telemetry.Metric.counter_incr (Lazy.force m_records);
   match event with
   | Simt.Event.Access a -> process_access t ~rid a
   | Simt.Event.Fence _ -> ()

@@ -5,6 +5,25 @@ type result = {
   stats : Stats.t;
 }
 
+(* Instrumentation telemetry: the "instrument" stage span plus static
+   rewrite totals (what Figure 9 reports per benchmark). *)
+let m_kernels =
+  lazy
+    (Telemetry.Registry.counter ~help:"Kernels instrumented"
+       Telemetry.Registry.default "barracuda_instrument_kernels_total")
+
+let m_logged =
+  lazy
+    (Telemetry.Registry.counter
+       ~help:"Static instructions given logging calls"
+       Telemetry.Registry.default "barracuda_instrument_logged_total")
+
+let m_pruned =
+  lazy
+    (Telemetry.Registry.counter
+       ~help:"Static instructions whose logging was pruned"
+       Telemetry.Registry.default "barracuda_instrument_pruned_total")
+
 let logging_cost = 4
 
 (* Model of one device-side logging call: compute the record slot,
@@ -91,7 +110,7 @@ let convergence_points (k : Ptx.Ast.kernel) =
     k.Ptx.Ast.body;
   points
 
-let instrument ?(prune = true) (k : Ptx.Ast.kernel) =
+let instrument_run ~prune (k : Ptx.Ast.kernel) =
   let n = Array.length k.Ptx.Ast.body in
   let redundant = if prune then Prune.redundant k else Array.make n false in
   let conv = convergence_points k in
@@ -188,3 +207,14 @@ let instrument ?(prune = true) (k : Ptx.Ast.kernel) =
   in
   let kernel = { k with Ptx.Ast.body } in
   { kernel; origin; logged; stats }
+
+let instrument ?(prune = true) (k : Ptx.Ast.kernel) =
+  let r =
+    Telemetry.Span.with_ ~name:"instrument" (fun () ->
+        instrument_run ~prune k)
+  in
+  Telemetry.Metric.counter_incr (Lazy.force m_kernels);
+  Telemetry.Metric.counter_add (Lazy.force m_logged)
+    (Stats.instrumented r.stats);
+  Telemetry.Metric.counter_add (Lazy.force m_pruned) r.stats.Stats.pruned;
+  r

@@ -29,6 +29,56 @@ type result = {
 
 let report r = Barracuda.Detector.report r.detector
 
+(* Telemetry: per-stage spans plus pipeline counters.  Stage handles
+   are resolved once per run (registration takes a mutex) and then
+   updated lock-free from whichever domain runs the stage.  With
+   telemetry disabled every hook is a single flag check. *)
+type stages = {
+  sp_execute : Telemetry.Span.h;
+  sp_queue : Telemetry.Span.h;
+  sp_decode : Telemetry.Span.h;
+  sp_detect : Telemetry.Span.h;
+  m_records : Telemetry.Metric.counter;
+  m_stalls : Telemetry.Metric.counter;
+}
+
+let stages () =
+  let reg = Telemetry.Registry.default in
+  {
+    sp_execute = Telemetry.Span.create "execute";
+    sp_queue = Telemetry.Span.create "queue";
+    sp_decode = Telemetry.Span.create "decode";
+    sp_detect = Telemetry.Span.create "detect";
+    m_records =
+      Telemetry.Registry.counter
+        ~help:"Records shipped through the pipeline" reg
+        "barracuda_pipeline_records_total";
+    m_stalls =
+      Telemetry.Registry.counter
+        ~help:"Producer stalls on full queues" reg
+        "barracuda_pipeline_stalls_total";
+  }
+
+(* The execute stage is the machine's own time: total launch time
+   minus time spent inside the event callback (which belongs to the
+   queue/decode/detect stages it invokes). *)
+let launch_timed st ?max_steps machine kernel args ~on_event =
+  if not (Telemetry.Registry.enabled ()) then
+    Simt.Machine.launch ?max_steps machine kernel args ~on_event
+  else begin
+    let cb_ns = ref 0L in
+    let on_event ev =
+      let t0 = Telemetry.Clock.now_ns () in
+      on_event ev;
+      cb_ns := Int64.add !cb_ns (Telemetry.Clock.elapsed_ns ~since:t0)
+    in
+    let t0 = Telemetry.Clock.now_ns () in
+    let result = Simt.Machine.launch ?max_steps machine kernel args ~on_event in
+    Telemetry.Span.record_ns st.sp_execute
+      (Int64.sub (Telemetry.Clock.elapsed_ns ~since:t0) !cb_ns);
+    result
+  end
+
 (* Remap an event of the instrumented kernel back to original static
    indices; [None] drops the event (logging traffic, pruned accesses). *)
 let remap (inst : Instrument.Pass.result) event =
@@ -78,6 +128,21 @@ let run_parallel ?(config = default_config) ?max_steps ~machine kernel args =
   let roles = Gtrace.Roles.classify kernel in
   let detector =
     Barracuda.Detector.create ~config:config.detector ~layout kernel
+  in
+  let st = stages () in
+  (* Per-domain drain totals, labeled by queue index, created before
+     the domains spawn so registration never races. *)
+  let m_drained =
+    Array.init config.queues (fun qi ->
+        Telemetry.Registry.counter
+          ~help:"Records drained per consumer domain"
+          ~labels:[ ("domain", string_of_int qi) ]
+          Telemetry.Registry.default "barracuda_pipeline_domain_drained_total")
+  in
+  let m_acquire_waits =
+    Telemetry.Registry.counter
+      ~help:"Consumer waits for cross-queue acquire ordering"
+      Telemetry.Registry.default "barracuda_pipeline_acquire_waits_total"
   in
   let queues =
     Array.init config.queues (fun _ ->
@@ -138,12 +203,18 @@ let run_parallel ?(config = default_config) ?max_steps ~machine kernel args =
                     Mutex.unlock side_lock.(qi);
                     (s, v)
                   in
-                  let r = Record.of_bytes ~values ~warp_size:ws bytes in
+                  let r =
+                    Telemetry.Span.with_h st.sp_decode (fun () ->
+                        Record.of_bytes ~values ~warp_size:ws bytes)
+                  in
                   if is_acquire r then
                     while not (others_past qi stamp) do
+                      Telemetry.Metric.counter_incr m_acquire_waits;
                       Unix.sleepf 0.0002
                     done;
-                  Barracuda.Detector.feed detector (Record.to_event r);
+                  Telemetry.Span.with_h st.sp_detect (fun () ->
+                      Barracuda.Detector.feed detector (Record.to_event r));
+                  Telemetry.Metric.counter_incr m_drained.(qi);
                   Atomic.set in_flight.(qi) max_int;
                   loop ()
               | None ->
@@ -181,14 +252,20 @@ let run_parallel ?(config = default_config) ?max_steps ~machine kernel args =
             Stdlib.Queue.push (!stamp_counter, r.Record.values) side.(qi);
             Mutex.unlock side_lock.(qi);
             let bytes = Record.to_bytes r in
-            while not (Queue.try_push queues.(qi) bytes) do
+            while
+              not
+                (Telemetry.Span.with_h st.sp_queue (fun () ->
+                     Queue.try_push queues.(qi) bytes))
+            do
               incr stalls;
+              Telemetry.Metric.counter_incr st.m_stalls;
               Unix.sleepf 0.0002
             done;
-            incr records)
+            incr records;
+            Telemetry.Metric.counter_incr st.m_records)
   in
   let machine_result =
-    Simt.Machine.launch ?max_steps machine inst.Instrument.Pass.kernel args
+    launch_timed st ?max_steps machine inst.Instrument.Pass.kernel args
       ~on_event
   in
   Atomic.set producing false;
@@ -217,6 +294,7 @@ let run ?(config = default_config) ?max_steps ?(tee = fun _ -> ()) ~machine
   let detector =
     Barracuda.Detector.create ~config:config.detector ~layout kernel
   in
+  let st = stages () in
   let queues =
     Array.init config.queues (fun _ ->
         Queue.create ~capacity:config.queue_capacity)
@@ -240,12 +318,16 @@ let run ?(config = default_config) ?max_steps ?(tee = fun _ -> ()) ~machine
     | Simt.Event.Kernel_done -> 0
   in
   let drain_one qi =
-    match Queue.pop queues.(qi) with
+    match Telemetry.Span.with_h st.sp_queue (fun () -> Queue.pop queues.(qi)) with
     | None -> false
     | Some bytes ->
         let values = Stdlib.Queue.pop side.(qi) in
-        let r = Record.of_bytes ~values ~warp_size:ws bytes in
-        Barracuda.Detector.feed detector (Record.to_event r);
+        let r =
+          Telemetry.Span.with_h st.sp_decode (fun () ->
+              Record.of_bytes ~values ~warp_size:ws bytes)
+        in
+        Telemetry.Span.with_h st.sp_detect (fun () ->
+            Barracuda.Detector.feed detector (Record.to_event r));
         true
     | exception Stdlib.Queue.Empty -> false
   in
@@ -271,19 +353,21 @@ let run ?(config = default_config) ?max_steps ?(tee = fun _ -> ()) ~machine
             (* Backpressure: if the queue is full the producer waits for
                the host to drain (we drain synchronously and count the
                stall). *)
-            while not (Queue.try_push queues.(qi) bytes) do
+            while
+              not
+                (Telemetry.Span.with_h st.sp_queue (fun () ->
+                     Queue.try_push queues.(qi) bytes))
+            do
               incr stalls;
+              Telemetry.Metric.counter_incr st.m_stalls;
               ignore (drain_one qi)
             done;
             Stdlib.Queue.push r.Record.values side.(qi);
             incr records;
-            (* Opportunistic host progress, as the host threads run
-               concurrently with the kernel in the real system. *)
-            if Queue.length queues.(qi) > config.queue_capacity / 2 then
-              ignore (drain_one qi))
+            Telemetry.Metric.counter_incr st.m_records)
   in
   let machine_result =
-    Simt.Machine.launch ?max_steps machine inst.Instrument.Pass.kernel args
+    launch_timed st ?max_steps machine inst.Instrument.Pass.kernel args
       ~on_event
   in
   drain_all ();

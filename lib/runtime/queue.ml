@@ -1,3 +1,25 @@
+(* Aggregate telemetry across all queues of the process: committed
+   records, consumed records, and the deepest backlog as a live gauge.
+   Handles resolve lazily so a program that never enables telemetry
+   only ever pays the disabled-flag check inside each update. *)
+let m_pushes =
+  lazy
+    (Telemetry.Registry.counter
+       ~help:"Records committed into GPU->host log queues"
+       Telemetry.Registry.default "barracuda_queue_pushes_total")
+
+let m_pops =
+  lazy
+    (Telemetry.Registry.counter
+       ~help:"Records consumed from GPU->host log queues"
+       Telemetry.Registry.default "barracuda_queue_pops_total")
+
+let m_high =
+  lazy
+    (Telemetry.Registry.gauge
+       ~help:"Deepest backlog observed across all queues"
+       Telemetry.Registry.default "barracuda_queue_high_watermark")
+
 type t = {
   capacity : int;
   slots : Bytes.t array;
@@ -43,7 +65,10 @@ let try_push t payload =
       while not (Atomic.compare_and_set t.commit_index slot (slot + 1)) do
         Domain.cpu_relax ()
       done;
-      bump_high t (slot + 1 - Atomic.get t.read_head);
+      let backlog = slot + 1 - Atomic.get t.read_head in
+      bump_high t backlog;
+      Telemetry.Metric.counter_incr (Lazy.force m_pushes);
+      Telemetry.Metric.gauge_max (Lazy.force m_high) backlog;
       true
 
 let pop t =
@@ -52,6 +77,7 @@ let pop t =
   else begin
     let payload = Bytes.copy t.slots.(r mod t.capacity) in
     Atomic.set t.read_head (r + 1);
+    Telemetry.Metric.counter_incr (Lazy.force m_pops);
     Some payload
   end
 

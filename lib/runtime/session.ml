@@ -1,3 +1,10 @@
+type rollup = {
+  r_kernel : string;
+  r_ns : int64;
+  r_records : int;
+  r_races : int;
+}
+
 type t = {
   config : Pipeline.config;
   layout : Vclock.Layout.t;
@@ -5,7 +12,25 @@ type t = {
   mutable launches : int;
   mutable resets : int;
   mutable reports : (string * Barracuda.Report.t) list; (* newest first *)
+  mutable rollups : rollup list; (* newest first *)
 }
+
+let m_launches =
+  lazy
+    (Telemetry.Registry.counter ~help:"Session kernel launches"
+       Telemetry.Registry.default "barracuda_session_launches_total")
+
+let m_races =
+  lazy
+    (Telemetry.Registry.counter
+       ~help:"Distinct races reported across session launches"
+       Telemetry.Registry.default "barracuda_session_races_total")
+
+let m_records =
+  lazy
+    (Telemetry.Registry.counter
+       ~help:"Records shipped across session launches"
+       Telemetry.Registry.default "barracuda_session_records_total")
 
 let create ?(config = Pipeline.default_config) ~layout () =
   {
@@ -15,15 +40,32 @@ let create ?(config = Pipeline.default_config) ~layout () =
     launches = 0;
     resets = 0;
     reports = [];
+    rollups = [];
   }
 
 let machine t = t.machine
 
 let launch ?max_steps t kernel args =
+  (* The per-launch rollup always carries a monotonic duration (cheap:
+     two clock reads per launch); the "launch" span additionally feeds
+     the registry when telemetry is enabled. *)
+  let t0 = Telemetry.Clock.now_ns () in
+  let sp = Telemetry.Span.create "launch" in
   let result = Pipeline.run ~config:t.config ?max_steps ~machine:t.machine kernel args in
+  let ns = Telemetry.Clock.elapsed_ns ~since:t0 in
+  Telemetry.Span.record_ns sp ns;
+  let report = Pipeline.report result in
+  let races = Barracuda.Report.race_count report in
+  let records = result.Pipeline.queue_stats.Pipeline.records in
+  Telemetry.Metric.counter_incr (Lazy.force m_launches);
+  Telemetry.Metric.counter_add (Lazy.force m_races) races;
+  Telemetry.Metric.counter_add (Lazy.force m_records) records;
   t.launches <- t.launches + 1;
-  t.reports <-
-    (kernel.Ptx.Ast.kname, Pipeline.report result) :: t.reports;
+  t.reports <- (kernel.Ptx.Ast.kname, report) :: t.reports;
+  t.rollups <-
+    { r_kernel = kernel.Ptx.Ast.kname; r_ns = ns; r_records = records;
+      r_races = races }
+    :: t.rollups;
   result
 
 let device_reset t =
@@ -36,6 +78,7 @@ let device_reset t =
 let launches t = t.launches
 let resets t = t.resets
 let reports t = List.rev t.reports
+let rollups t = List.rev t.rollups
 
 let total_races t =
   List.fold_left

@@ -12,6 +12,17 @@
     with fresh clocks while device memory carries over — two launches
     never race with one another, only within themselves. *)
 
+type rollup = {
+  r_kernel : string;  (** kernel name *)
+  r_ns : int64;  (** monotonic launch duration *)
+  r_records : int;  (** records shipped through the queues *)
+  r_races : int;  (** distinct races reported *)
+}
+(** Per-launch telemetry rollup.  Durations use the monotonic clock
+    and are collected unconditionally; when telemetry is enabled each
+    launch additionally records a ["launch"] span and session counters
+    in {!Telemetry.Registry.default}. *)
+
 type t
 
 val create :
@@ -36,5 +47,8 @@ val resets : t -> int
 
 val reports : t -> (string * Barracuda.Report.t) list
 (** Per-launch reports, oldest first: (kernel name, report). *)
+
+val rollups : t -> rollup list
+(** Per-launch telemetry rollups, oldest first. *)
 
 val total_races : t -> int

@@ -1,0 +1,14 @@
+(** Monotonic time source for spans and benchmarks.
+
+    Backed by [clock_gettime(CLOCK_MONOTONIC)]: durations are immune
+    to wall-clock adjustments.  Absolute values are meaningless except
+    as differences. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds since an arbitrary fixed origin. *)
+
+val elapsed_ns : since:int64 -> int64
+(** [elapsed_ns ~since:t0] is [now_ns () - t0]. *)
+
+val ns_to_ms : int64 -> float
+val ns_to_s : int64 -> float

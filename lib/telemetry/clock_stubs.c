@@ -1,0 +1,18 @@
+/* Monotonic clock for the telemetry subsystem.
+
+   CLOCK_MONOTONIC is immune to wall-clock adjustments (NTP slew,
+   manual date changes), which matters for the benchmark harness:
+   Figure 10 overheads are ratios of measured durations, and a clock
+   step mid-run would silently corrupt them. */
+
+#include <time.h>
+#include <stdint.h>
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+CAMLprim value barracuda_monotonic_now_ns(value unit)
+{
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
+}

@@ -1,0 +1,142 @@
+let labels_json labels =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labels)
+
+let sample_json (s : Registry.sample) =
+  let base ty rest =
+    Json.Obj
+      ([
+         ("name", Json.Str s.Registry.name);
+         ("type", Json.Str ty);
+         ("help", Json.Str s.Registry.help);
+         ("labels", labels_json s.Registry.labels);
+       ]
+      @ rest)
+  in
+  match s.Registry.metric with
+  | Metric.Counter c ->
+      base "counter" [ ("value", Json.Int (Metric.counter_value c)) ]
+  | Metric.Gauge g -> base "gauge" [ ("value", Json.Int (Metric.gauge_value g)) ]
+  | Metric.Histogram h ->
+      base "histogram"
+        [
+          ( "bounds",
+            Json.List
+              (Array.to_list
+                 (Array.map (fun b -> Json.Float b) (Metric.histogram_bounds h)))
+          );
+          ( "counts",
+            Json.List
+              (Array.to_list
+                 (Array.map (fun c -> Json.Int c) (Metric.histogram_counts h)))
+          );
+          ("sum", Json.Float (Metric.histogram_sum h));
+          ("count", Json.Int (Metric.histogram_count h));
+        ]
+
+let json_of registry =
+  Json.Obj
+    [
+      ("version", Json.Int 1);
+      ("metrics", Json.List (List.map sample_json (Registry.snapshot registry)));
+    ]
+
+let to_json_string registry = Json.to_string (json_of registry)
+
+let write_json registry ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_json_string registry);
+      output_char oc '\n')
+
+(* ---------------------- Prometheus text format ------------------- *)
+
+let prom_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let prom_labels buf labels =
+  match labels with
+  | [] -> ()
+  | labels ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf k;
+          Buffer.add_string buf "=\"";
+          Buffer.add_string buf (prom_escape v);
+          Buffer.add_char buf '"')
+        labels;
+      Buffer.add_char buf '}'
+
+let prom_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let to_prometheus registry =
+  let buf = Buffer.create 1024 in
+  let seen_header = Hashtbl.create 16 in
+  let header name ty help =
+    if not (Hashtbl.mem seen_header name) then begin
+      Hashtbl.add seen_header name ();
+      if help <> "" then
+        Buffer.add_string buf
+          (Printf.sprintf "# HELP %s %s\n" name (prom_escape help));
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name ty)
+    end
+  in
+  let line name labels value =
+    Buffer.add_string buf name;
+    prom_labels buf labels;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf value;
+    Buffer.add_char buf '\n'
+  in
+  List.iter
+    (fun (s : Registry.sample) ->
+      match s.Registry.metric with
+      | Metric.Counter c ->
+          header s.Registry.name "counter" s.Registry.help;
+          line s.Registry.name s.Registry.labels
+            (string_of_int (Metric.counter_value c))
+      | Metric.Gauge g ->
+          header s.Registry.name "gauge" s.Registry.help;
+          line s.Registry.name s.Registry.labels
+            (string_of_int (Metric.gauge_value g))
+      | Metric.Histogram h ->
+          header s.Registry.name "histogram" s.Registry.help;
+          let bounds = Metric.histogram_bounds h in
+          let counts = Metric.histogram_counts h in
+          let cumulative = ref 0 in
+          Array.iteri
+            (fun i b ->
+              cumulative := !cumulative + counts.(i);
+              line
+                (s.Registry.name ^ "_bucket")
+                (s.Registry.labels @ [ ("le", prom_float b) ])
+                (string_of_int !cumulative))
+            bounds;
+          cumulative := !cumulative + counts.(Array.length bounds);
+          line
+            (s.Registry.name ^ "_bucket")
+            (s.Registry.labels @ [ ("le", "+Inf") ])
+            (string_of_int !cumulative);
+          line (s.Registry.name ^ "_sum") s.Registry.labels
+            (prom_float (Metric.histogram_sum h));
+          line
+            (s.Registry.name ^ "_count")
+            s.Registry.labels
+            (string_of_int (Metric.histogram_count h)))
+    (Registry.snapshot registry);
+  Buffer.contents buf

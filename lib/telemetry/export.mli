@@ -1,0 +1,26 @@
+(** Registry exporters: JSON (machine-readable, round-trippable) and
+    Prometheus text exposition format.
+
+    The JSON document is
+    {v
+    { "version": 1,
+      "metrics": [
+        { "name": "...", "type": "counter",  "help": "...",
+          "labels": {"span": "detect"}, "value": 123 },
+        { "name": "...", "type": "gauge", ..., "value": 42 },
+        { "name": "...", "type": "histogram", ...,
+          "bounds": [0.001, ...], "counts": [5, ...],
+          "sum": 1.25, "count": 17 } ] }
+    v}
+    with [counts] per-bucket (not cumulative) and one trailing
+    overflow bucket, so [Json.of_string (to_json_string r)] recovers
+    {!json_of} exactly. *)
+
+val json_of : Registry.t -> Json.t
+val to_json_string : Registry.t -> string
+val write_json : Registry.t -> path:string -> unit
+
+val to_prometheus : Registry.t -> string
+(** Prometheus text format: [# HELP]/[# TYPE] preambles, labeled
+    samples, histograms as cumulative [_bucket{le=...}] series plus
+    [_sum] and [_count]. *)

@@ -1,0 +1,29 @@
+(** Minimal JSON tree with a printer and parser.
+
+    Self-contained so the telemetry exporters (and their round-trip
+    tests) need no external dependency.  Covers the full JSON grammar;
+    integers without a fraction or exponent parse as [Int], everything
+    else numeric as [Float], so exported counters survive a
+    print/parse round trip structurally unchanged. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?minify:bool -> t -> string
+(** [minify] defaults to [false]: two-space indented output. *)
+
+val of_string : string -> (t, string) result
+(** Parse error messages carry the byte offset. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] otherwise. *)
+
+val to_int : t -> int option
+val to_list : t -> t list option
+val to_str : t -> string option

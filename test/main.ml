@@ -17,4 +17,5 @@ let () =
       ("dims", Test_dims.suite);
       ("session", Test_session.suite);
       ("parallel", Test_parallel.suite);
+      ("telemetry", Test_telemetry.suite);
     ]

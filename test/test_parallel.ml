@@ -60,6 +60,40 @@ let test_many_queues () =
   Alcotest.(check bool) "dxtc shared races found in parallel" true (s >= 90);
   Alcotest.(check int) "no global races" 0 g
 
+let test_backpressure () =
+  (* a queue far smaller than the record stream: the producer must hit
+     the full queue (stalls > 0), and the push that filled it pins the
+     high watermark at exactly the capacity — in both pipelines, with
+     no records dropped *)
+  let w = Workloads.Registry.find "backprop" in
+  let capacity = 4 in
+  let config = { (parallel_config 2) with Pipeline.queue_capacity = capacity } in
+  let run_seq () =
+    let m = W.machine w in
+    let args = w.W.setup m in
+    Pipeline.run ~config ~machine:m w.W.kernel args
+  in
+  let run_par () =
+    let m = W.machine w in
+    let args = w.W.setup m in
+    Pipeline.run_parallel ~config ~machine:m w.W.kernel args
+  in
+  let seq = run_seq () in
+  let par = run_par () in
+  List.iter
+    (fun (which, (r : Pipeline.result)) ->
+      Alcotest.(check bool)
+        (which ^ ": producer stalled on the tiny queue")
+        true
+        (r.Pipeline.queue_stats.Pipeline.stalls > 0);
+      Alcotest.(check int)
+        (which ^ ": high watermark is the capacity")
+        capacity r.Pipeline.queue_stats.Pipeline.high_watermark)
+    [ ("sequential", seq); ("parallel", par) ];
+  Alcotest.(check int) "no records lost under backpressure"
+    seq.Pipeline.queue_stats.Pipeline.records
+    par.Pipeline.queue_stats.Pipeline.records
+
 (* a subset of workloads that exercises every interaction kind *)
 let subset =
   [ "backprop"; "dwt2d"; "hybridsort"; "pathfinder"; "hashtable";
@@ -71,6 +105,7 @@ let suite =
     Alcotest.test_case "single-queue parallel exact" `Quick
       test_single_queue_parallel;
     Alcotest.test_case "four queues" `Quick test_many_queues;
+    Alcotest.test_case "backpressure on tiny queues" `Quick test_backpressure;
   ]
   @ List.map
       (fun name ->
