@@ -14,6 +14,7 @@
      queues      ablation: multi-queue logging throughput
      granularity ablation: byte- vs word-granular shadow memory
      pipeline    telemetry per-stage profile -> BENCH_pipeline.json
+     predict     predictive analysis over traces -> BENCH_predict.json
      bechamel    Bechamel micro-benchmarks (one per table/figure)      *)
 
 module W = Workloads.Workload
@@ -394,6 +395,53 @@ let section_pipeline () =
     (List.length subset)
 
 (* ------------------------------------------------------------------ *)
+(* Predictive analysis over recorded traces -> BENCH_predict.json      *)
+
+let section_predict () =
+  header "Predictive race analysis (BENCH_predict.json)";
+  let registry = Telemetry.Registry.default in
+  Telemetry.Registry.set_enabled true;
+  Telemetry.Registry.reset registry;
+  Printf.printf "  %-28s %6s %6s %6s %5s %5s %5s %8s\n" "case" "ops" "accs"
+    "pairs" "obs" "pred" "conf" "ms";
+  let cases =
+    Bugsuite.Cases.predictive
+    @ List.filter
+        (fun (c : Bugsuite.Case.t) ->
+          List.mem c.Bugsuite.Case.name
+            [ "ww_global_inter_block"; "flag_handoff_gl_gl"; "ww_global_disjoint" ])
+        Bugsuite.Cases.all
+  in
+  List.iter
+    (fun (case : Bugsuite.Case.t) ->
+      let m = Simt.Machine.create ~layout:case.Bugsuite.Case.layout () in
+      let args = case.Bugsuite.Case.setup m in
+      let ops, _ =
+        Gtrace.Infer.run ~layout:case.Bugsuite.Case.layout m
+          case.Bugsuite.Case.kernel args
+      in
+      let t0 = Telemetry.Clock.now_ns () in
+      let a = Predict.Analysis.run ~layout:case.Bugsuite.Case.layout ops in
+      let ms = Telemetry.Clock.ns_to_ms (Telemetry.Clock.elapsed_ns ~since:t0) in
+      Printf.printf "  %-28s %6d %6d %6d %5d %5d %5d %8.2f\n"
+        case.Bugsuite.Case.name a.Predict.Analysis.op_count
+        a.Predict.Analysis.access_count a.Predict.Analysis.pairs_examined
+        a.Predict.Analysis.observed_race_count
+        (Predict.Analysis.predicted_count a)
+        (Predict.Analysis.confirmed_count a)
+        ms)
+    cases;
+  Telemetry.Registry.set_enabled false;
+  List.iter
+    (fun (stage, (calls, ns)) ->
+      if String.length stage >= 8 && String.sub stage 0 8 = "predict." then
+        Printf.printf "  span %-20s %6d calls %10.2f ms\n" stage calls
+          (Telemetry.Clock.ns_to_ms ns))
+    (Telemetry.Span.totals ~registry ());
+  Telemetry.Export.write_json ~path:"BENCH_predict.json" registry;
+  Printf.printf "  wrote BENCH_predict.json (%d cases)\n" (List.length cases)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
 let section_bechamel () =
@@ -465,6 +513,7 @@ let sections =
     ("scaling", section_scaling);
     ("parallel", section_parallel);
     ("pipeline", section_pipeline);
+    ("predict", section_predict);
     ("bechamel", section_bechamel);
   ]
 

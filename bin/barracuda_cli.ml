@@ -282,22 +282,23 @@ let profile_cmd =
       const run $ layout_term $ file_term $ args_term $ parallel $ queues
       $ metrics_term $ prom)
 
+let load_trace file =
+  let loaded = Gpu_runtime.Replay.load_file file in
+  (match Gpu_runtime.Replay.feasibility loaded with
+  | Ok () -> ()
+  | Error v ->
+      Format.printf "warning: trace is not feasible: %a@."
+        Gtrace.Feasible.pp_violation v);
+  loaded
+
 let replay_cmd =
   let run file =
-    let ic = open_in file in
-    let layout, ops = Gtrace.Serialize.of_channel ic in
-    close_in ic;
-    (match Gtrace.Feasible.check ~layout ops with
-    | Ok () -> ()
-    | Error v ->
-        Format.printf "warning: trace is not feasible: %a@."
-          Gtrace.Feasible.pp_violation v);
-    let d = Barracuda.Reference.create ~layout () in
-    Barracuda.Reference.run d ops;
-    let report = Barracuda.Reference.report d in
+    let loaded = load_trace file in
+    let report = Gpu_runtime.Replay.run loaded in
     let errors = Barracuda.Report.errors report in
-    Format.printf "%d operations replayed on %a@." (List.length ops)
-      Vclock.Layout.pp layout;
+    Format.printf "%d operations replayed on %a@."
+      (List.length loaded.Gpu_runtime.Replay.ops)
+      Vclock.Layout.pp loaded.Gpu_runtime.Replay.layout;
     if errors = [] then begin
       Format.printf "no races detected.@.";
       0
@@ -312,6 +313,85 @@ let replay_cmd =
     (Cmd.info "replay"
        ~doc:"Race-check a trace file produced by check --dump-trace.")
     Term.(const run $ file_term)
+
+let predict_cmd =
+  let run file json witness_dir max_predictions no_validate metrics =
+    (match metrics with
+    | Some _ ->
+        Telemetry.Registry.set_enabled true;
+        Telemetry.Registry.reset Telemetry.Registry.default
+    | None -> ());
+    let loaded = load_trace file in
+    let config =
+      {
+        Predict.Analysis.default_config with
+        Predict.Analysis.max_predictions;
+        validate = not no_validate;
+      }
+    in
+    let a =
+      Predict.Analysis.run ~config ~layout:loaded.Gpu_runtime.Replay.layout
+        loaded.Gpu_runtime.Replay.ops
+    in
+    if json then
+      print_endline (Telemetry.Json.to_string (Predict.Analysis.to_json a))
+    else Format.printf "@[<v>%a@]@." Predict.Analysis.pp a;
+    (match witness_dir with
+    | None -> ()
+    | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        List.iteri
+          (fun i (p : Predict.Analysis.prediction) ->
+            match p.Predict.Analysis.witness with
+            | None -> ()
+            | Some w ->
+                let path =
+                  Filename.concat dir (Printf.sprintf "witness-%d.trace" (i + 1))
+                in
+                let oc = open_out path in
+                Gtrace.Serialize.to_channel
+                  ~layout:loaded.Gpu_runtime.Replay.layout oc
+                  w.Predict.Witness.ops;
+                close_out oc;
+                if not json then
+                  Format.printf "witness for #%d written to %s@." (i + 1) path)
+          a.Predict.Analysis.predictions);
+    (match metrics with Some path -> write_metrics path | None -> ());
+    if Predict.Analysis.has_race a then 1 else 0
+  in
+  let json =
+    Arg.(value & flag
+           & info [ "json" ] ~doc:"Emit the report as JSON instead of text.")
+  in
+  let witness_dir =
+    Arg.(value & opt (some string) None
+           & info [ "witness-dir" ] ~docv:"DIR"
+               ~doc:
+                 "Write each prediction's witness schedule as a trace file \
+                  under $(docv); re-check one with $(b,barracuda replay).")
+  in
+  let max_predictions =
+    Arg.(value
+           & opt int Predict.Analysis.default_config.Predict.Analysis.max_predictions
+           & info [ "max-predictions" ] ~docv:"N"
+               ~doc:"Cap on emitted predictions.")
+  in
+  let no_validate =
+    Arg.(value & flag
+           & info [ "no-validate" ]
+               ~doc:"Skip witness replay validation (all predictions stay \
+                     unconfirmed).")
+  in
+  Cmd.v
+    (Cmd.info "predict"
+       ~doc:
+         "Predict schedule-sensitive races in a recorded trace: build the \
+          sync-preserving happens-before graph, enumerate conflicting pairs \
+          it leaves unordered, and validate each prediction with a witness \
+          schedule replayed through the reference detector.")
+    Term.(
+      const run $ file_term $ json $ witness_dir $ max_predictions
+      $ no_validate $ metrics_term)
 
 let instrument_cmd =
   let run file prune stats_only =
@@ -355,6 +435,13 @@ let suite_cmd =
       b.Bugsuite.Harness.total;
     Format.printf "CUDA-Racecheck: %d/%d@." r.Bugsuite.Harness.correct
       r.Bugsuite.Harness.total;
+    let pcases = Bugsuite.Cases.predictive in
+    let po = Bugsuite.Harness.run_barracuda pcases in
+    let pp_ = Bugsuite.Harness.run_predict pcases in
+    Format.printf
+      "schedule-sensitive supplement: online %d/%d, predict %d/%d@."
+      po.Bugsuite.Harness.correct po.Bugsuite.Harness.total
+      pp_.Bugsuite.Harness.correct pp_.Bugsuite.Harness.total;
     if b.Bugsuite.Harness.correct = b.Bugsuite.Harness.total then 0 else 1
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ]) in
@@ -418,5 +505,5 @@ let () =
        (Cmd.group info
           [
             check_cmd; profile_cmd; instrument_cmd; suite_cmd; litmus_cmd;
-            table1_cmd; sweep_cmd; replay_cmd;
+            table1_cmd; sweep_cmd; replay_cmd; predict_cmd;
           ]))

@@ -21,10 +21,11 @@ let std_setup nparams m =
       Int64.of_int (Simt.Machine.alloc_global m (64 * 4)))
 
 let cases = ref []
+let predictive_cases = ref []
 let next_id = ref 0
 
-let case ?(layout = std_layout) ?(nparams = 1) ?setup ?(bardiv = false) ~verdict
-    name descr build =
+let case_into target ?(layout = std_layout) ?(nparams = 1) ?setup
+    ?(bardiv = false) ~verdict name descr build =
   incr next_id;
   let params = List.init nparams (fun i -> Printf.sprintf "p%d" i) in
   let shared = [ ("smem", 64 * 4); ("smem2", 64 * 4) ] in
@@ -32,7 +33,7 @@ let case ?(layout = std_layout) ?(nparams = 1) ?setup ?(bardiv = false) ~verdict
   build b;
   let kernel = finish b in
   let setup = match setup with Some s -> s | None -> std_setup nparams in
-  cases :=
+  target :=
     {
       Case.id = !next_id;
       name;
@@ -43,7 +44,17 @@ let case ?(layout = std_layout) ?(nparams = 1) ?setup ?(bardiv = false) ~verdict
       verdict;
       expect_bardiv = bardiv;
     }
-    :: !cases
+    :: !target
+
+let case ?layout ?nparams ?setup ?bardiv ~verdict name descr build =
+  case_into cases ?layout ?nparams ?setup ?bardiv ~verdict name descr build
+
+(* Schedule-sensitive supplement: programs whose ground truth is [Racy]
+   but whose races the online detector misses in the schedule the
+   simulator produces — the predictive analysis must recover them. *)
+let pcase ?layout ?nparams ?setup ?bardiv ~verdict name descr build =
+  case_into predictive_cases ?layout ?nparams ?setup ?bardiv ~verdict name
+    descr build
 
 (* helpers ---------------------------------------------------------- *)
 
@@ -790,4 +801,114 @@ let () =
               let v = fresh_reg b in
               atom b Ast.A_add v (sym "p0") (imm 0))))
 
+(* ------------------------------------------------------------------ *)
+(* Family P: schedule-sensitive races (predictive supplement).
+
+   All three racy programs exploit the detector's atomic-atomic check
+   elision: once a location's last write is an atomic, a later atomic
+   replaces it without an ordering check, so a subsequent plain write
+   is only compared against the {e latest} atomic.  When the observed
+   schedule happens to order (or scope-misses) the earlier atomic, the
+   online detector stays silent even though a feasible reordering
+   races.  Bare-atomic flag handshakes pin the observed interleaving
+   without introducing synchronization order. *)
+
+(* Spin until [flag] (probed with a failing CAS) becomes non-zero.
+   With [fence], the CAS probe classifies as an acquire at that scope;
+   without it the probes stay plain atomics — no synchronization. *)
+let spin_nonzero ?fence b flag =
+  let seen = fresh_reg b in
+  mov b seen (imm 0);
+  let l = fresh_label b in
+  place_label b l;
+  atom_cas b seen (sym flag) (imm (-1)) (imm (-1));
+  let p = fresh_reg ~cls:"p" b in
+  setp b Ast.C_eq p (reg seen) (imm 0);
+  bra ~guard:(true, p) b l;
+  match fence with None -> () | Some s -> membar b s
+
+(* A label pinned on the next instruction stops the role scanner's
+   fence pairing, keeping a data atomic that follows an acquire fence a
+   plain atomic instead of a release. *)
+let role_break b =
+  let l = fresh_label b in
+  place_label b l
+
+let () =
+  pcase ~verdict:Case.Racy ~nparams:2 "pred_luck_ordered_xblock_ww"
+    "block 0's atomic and block 1's plain write conflict; a bare-atomic \
+     flag handshake orders them by luck, and block 1's own atomic elides \
+     the check" (fun b ->
+      if_else b Ast.C_eq (Ast.Sreg Ast.Ctaid) (imm 0)
+        (fun b ->
+          only_tid b 0 (fun b ->
+              let o = fresh_reg b in
+              atom b Ast.A_exch o (sym "p0") (imm 1);
+              let f = fresh_reg b in
+              atom b Ast.A_exch f (sym "p1") (imm 1)))
+        (fun b ->
+          only_tid b 0 (fun b ->
+              spin_nonzero b "p1";
+              let o = fresh_reg b in
+              atom b Ast.A_exch o (sym "p0") (imm 2);
+              st b (sym "p0") (imm 3))));
+  pcase ~verdict:Case.Racy ~nparams:2 "pred_fence_wrong_scope"
+    "a cta-scope release/acquire handoff between blocks synchronizes \
+     nothing; the atomic elision hides the cross-block atomic-vs-write \
+     race" (fun b ->
+      if_else b Ast.C_eq (Ast.Sreg Ast.Ctaid) (imm 0)
+        (fun b ->
+          only_tid b 0 (fun b ->
+              let o = fresh_reg b in
+              atom b Ast.A_exch o (sym "p0") (imm 1);
+              membar b Ast.Cta;
+              st b (sym "p1") (imm 1)))
+        (fun b ->
+          only_tid b 0 (fun b ->
+              spin_nonzero ~fence:Ast.Cta b "p1";
+              role_break b;
+              let o = fresh_reg b in
+              atom b Ast.A_exch o (sym "p0") (imm 2);
+              st b (sym "p0") (imm 3))));
+  pcase ~verdict:Case.Race_free ~nparams:2 "pred_fence_right_scope"
+    "the same handoff at global scope: the release covers the atomic, \
+     every access pair is ordered" (fun b ->
+      if_else b Ast.C_eq (Ast.Sreg Ast.Ctaid) (imm 0)
+        (fun b ->
+          only_tid b 0 (fun b ->
+              let o = fresh_reg b in
+              atom b Ast.A_exch o (sym "p0") (imm 1);
+              membar b Ast.Gl;
+              st b (sym "p1") (imm 1)))
+        (fun b ->
+          only_tid b 0 (fun b ->
+              spin_nonzero ~fence:Ast.Gl b "p1";
+              role_break b;
+              let o = fresh_reg b in
+              atom b Ast.A_exch o (sym "p0") (imm 2);
+              st b (sym "p0") (imm 3))));
+  pcase ~verdict:Case.Racy ~nparams:3 "pred_atomic_ordered_unsynced"
+    "a global release/acquire covers warp 1's atomic but not warp 0's \
+     earlier one; the final write is checked only against the covered \
+     atomic" (fun b ->
+      if_ b Ast.C_eq (Ast.Sreg Ast.Ctaid) (imm 0) (fun b ->
+          only_warp0_lane b 0 (fun b ->
+              let o = fresh_reg b in
+              atom b Ast.A_exch o (sym "p0") (imm 1);
+              let f = fresh_reg b in
+              atom b Ast.A_exch f (sym "p2") (imm 1));
+          only_warp1_lane b 0 (fun b ->
+              spin_nonzero b "p2";
+              let o = fresh_reg b in
+              atom b Ast.A_exch o (sym "p0") (imm 2);
+              membar b Ast.Gl;
+              st b (sym "p1") (imm 1)));
+      if_ b Ast.C_eq (Ast.Sreg Ast.Ctaid) (imm 1) (fun b ->
+          only_tid b 0 (fun b ->
+              spin_nonzero ~fence:Ast.Gl b "p1";
+              let sep = fresh_reg b in
+              mov b sep (imm 0);
+              st b (sym "p0") (imm 9))))
+
 let all = List.rev !cases
+let predictive = List.rev !predictive_cases

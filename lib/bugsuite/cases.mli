@@ -1,3 +1,11 @@
 (** The 66 bug-suite programs, in a stable order (ids 1..66). *)
 
 val all : Case.t list
+
+val predictive : Case.t list
+(** Schedule-sensitive supplement (ids continue after {!all}): programs
+    whose races hide from the online detector in the schedule the
+    simulator produces — bare-atomic handshakes pin the interleaving and
+    atomic-atomic check elision masks the conflicting pair — but which
+    the predictive analysis ([Predict.Analysis]) must flag.  Not part of
+    the paper's 66-case score. *)

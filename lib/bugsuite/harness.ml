@@ -105,6 +105,23 @@ let run_reference ?max_steps cases =
            ~check_bardiv:true)
        cases)
 
+let run_predict ?max_steps ?config cases =
+  score_of
+    (List.map
+       (fun (case : Case.t) ->
+         let m = machine_of case in
+         let args = case.Case.setup m in
+         let ops, result =
+           Gtrace.Infer.run ?max_steps ~layout:case.Case.layout m
+             case.Case.kernel args
+         in
+         let a = Predict.Analysis.run ?config ~layout:case.Case.layout ops in
+         judge case
+           ~reported_race:(Predict.Analysis.has_race a)
+           ~reported_bardiv:result.Simt.Machine.barrier_divergence
+           ~check_bardiv:false)
+       cases)
+
 let pp_score ppf s =
   Format.fprintf ppf "%d/%d correct" s.correct s.total;
   List.iter

@@ -25,4 +25,11 @@ val run_racecheck : ?max_steps:int -> Case.t list -> score
 val run_reference : ?max_steps:int -> Case.t list -> score
 (** The literal-semantics detector, fed through the trace layer. *)
 
+val run_predict :
+  ?max_steps:int -> ?config:Predict.Analysis.config -> Case.t list -> score
+(** The offline predictive analysis over the inferred trace: a case
+    counts as racy when the recorded order races {e or} any
+    schedule-sensitive pair is predicted.  Barrier divergence is not
+    judged (the analysis targets data races). *)
+
 val pp_score : Format.formatter -> score -> unit

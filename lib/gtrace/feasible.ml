@@ -1,7 +1,7 @@
-type violation = { index : int; message : string }
+type violation = { index : int; op : Op.t; message : string }
 
-let pp_violation ppf { index; message } =
-  Format.fprintf ppf "op %d: %s" index message
+let pp_violation ppf { index; op; message } =
+  Format.fprintf ppf "op %d (%s): %s" index (Serialize.op_to_string op) message
 
 (* Per-warp replay state: the active-mask stack (as maintained by the
    if/else/fi discipline) and the set of lanes that have performed a
@@ -84,6 +84,6 @@ let check ~layout ops =
     | op :: rest -> (
         match check_op op with
         | () -> go (i + 1) rest
-        | exception Bad message -> Error { index = i; message })
+        | exception Bad message -> Error { index = i; op; message })
   in
   go 0 ops

@@ -8,7 +8,7 @@
     which the test suite uses to validate that the simulator + inference
     pipeline only ever produces feasible traces. *)
 
-type violation = { index : int; message : string }
+type violation = { index : int; op : Op.t; message : string }
 
 val check : layout:Vclock.Layout.t -> Op.t list -> (unit, violation) result
 val pp_violation : Format.formatter -> violation -> unit

@@ -15,6 +15,9 @@
     re-checked offline ([barracuda replay]), diffed between runs, or
     minimized by hand while debugging a report. *)
 
+val op_to_string : Op.t -> string
+(** One operation in the line format above, without the newline. *)
+
 val to_channel : layout:Vclock.Layout.t -> out_channel -> Op.t list -> unit
 val to_string : layout:Vclock.Layout.t -> Op.t list -> string
 

@@ -1,0 +1,213 @@
+module Vc = Vclock.Vector_clock
+module Layout = Vclock.Layout
+module Op = Gtrace.Op
+module Loc = Gtrace.Loc
+
+type access = {
+  index : int;
+  tid : int;
+  warp : int;
+  seg : int;
+  kind : Barracuda.Report.access_kind;
+  value : int64;
+  loc : Loc.t;
+  vc : Vc.t;
+}
+
+type t = {
+  layout : Layout.t;
+  ops : Op.t array;
+  preds : int list array;
+  accesses : access array;
+  by_loc : access list Loc.Tbl.t;
+}
+
+let is_atomic a = a.kind = Barracuda.Report.Atomic_rmw
+
+(* Warps whose replay state an op touches: for [Bar] that is every warp
+   of the block, which is what makes the skeleton treat a barrier as a
+   rendezvous node on all the block's warp chains. *)
+let warps_of layout = function
+  | Op.Rd { tid; _ }
+  | Op.Wr { tid; _ }
+  | Op.Atm { tid; _ }
+  | Op.Acq { tid; _ }
+  | Op.Rel { tid; _ }
+  | Op.AcqRel { tid; _ } ->
+      [ Layout.warp_of_tid layout tid ]
+  | Op.Endi { warp; _ } | Op.If { warp; _ } | Op.Else { warp; _ }
+  | Op.Fi { warp; _ } ->
+      [ warp ]
+  | Op.Bar { block } ->
+      let wpb = Layout.warps_per_block layout in
+      List.init wpb (fun i -> (block * wpb) + i)
+
+let build ~layout ops =
+  let ops = Array.of_list ops in
+  let n = Array.length ops in
+  let preds = Array.make n [] in
+  let total_warps = Layout.total_warps layout in
+  let last = Array.make total_warps (-1) in
+  let seg = Array.make total_warps 0 in
+  (* Clocks mirror Barracuda.Reference exactly so that "ordered in the
+     sync-preserving graph" coincides with the happens-before relation
+     the online detector tracks (the detector's misses come from shadow
+     compression, not from a different HB). *)
+  let clocks : (int, Vc.t) Hashtbl.t = Hashtbl.create 64 in
+  let clock tid =
+    match Hashtbl.find_opt clocks tid with
+    | Some v -> v
+    | None -> Vc.incr Vc.bottom tid
+  in
+  let set_clock tid v = Hashtbl.replace clocks tid v in
+  let join_fork tids =
+    match tids with
+    | [] -> ()
+    | _ ->
+        let vc =
+          List.fold_left (fun acc u -> Vc.join acc (clock u)) Vc.bottom tids
+        in
+        List.iter (fun u -> set_clock u (Vc.incr vc u)) tids
+  in
+  (* Per-location sync state, scoped like Core.Sync_loc / Reference:
+     block -> publisher clock for the gains, block -> publishing event
+     index for the skeleton's release->acquire edges. *)
+  let sync_vc : (int, Vc.t) Hashtbl.t Loc.Tbl.t = Loc.Tbl.create 16 in
+  let sync_ev : (int, int) Hashtbl.t Loc.Tbl.t = Loc.Tbl.create 16 in
+  let tbl_of cache loc mk =
+    match Loc.Tbl.find_opt cache loc with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = mk () in
+        Loc.Tbl.add cache loc tbl;
+        tbl
+  in
+  let vcs loc = tbl_of sync_vc loc (fun () -> Hashtbl.create 4) in
+  let evs loc = tbl_of sync_ev loc (fun () -> Hashtbl.create 4) in
+  let add_pred i j = if j >= 0 && not (List.mem j preds.(i)) then preds.(i) <- j :: preds.(i) in
+  let acquire i tid loc scope =
+    let vtbl = vcs loc and etbl = evs loc in
+    let gain =
+      match scope with
+      | Op.Block ->
+          let b = Layout.block_of_tid layout tid in
+          (match Hashtbl.find_opt etbl b with
+          | Some j -> add_pred i j
+          | None -> ());
+          (match Hashtbl.find_opt vtbl b with Some v -> v | None -> Vc.bottom)
+      | Op.Global_scope ->
+          Hashtbl.iter (fun _b j -> add_pred i j) etbl;
+          Hashtbl.fold (fun _b v acc -> Vc.join acc v) vtbl Vc.bottom
+    in
+    set_clock tid (Vc.join (clock tid) gain)
+  in
+  let release i tid loc scope =
+    let vtbl = vcs loc and etbl = evs loc in
+    let c = clock tid in
+    (match scope with
+    | Op.Block ->
+        let b = Layout.block_of_tid layout tid in
+        Hashtbl.replace vtbl b c;
+        Hashtbl.replace etbl b i
+    | Op.Global_scope ->
+        Hashtbl.reset vtbl;
+        Hashtbl.reset etbl;
+        for b = 0 to layout.Layout.blocks - 1 do
+          Hashtbl.replace vtbl b c;
+          Hashtbl.replace etbl b i
+        done);
+    set_clock tid (Vc.incr c tid)
+  in
+  let accesses = ref [] in
+  let by_loc = Loc.Tbl.create 256 in
+  let record i tid kind loc value =
+    let warp = Layout.warp_of_tid layout tid in
+    let a =
+      { index = i; tid; warp; seg = seg.(warp); kind; value; loc;
+        vc = clock tid }
+    in
+    accesses := a :: !accesses;
+    let prev =
+      match Loc.Tbl.find_opt by_loc loc with Some l -> l | None -> []
+    in
+    Loc.Tbl.replace by_loc loc (a :: prev)
+  in
+  let lanes warp mask = Op.tids layout (Op.Endi { warp; mask }) in
+  for i = 0 to n - 1 do
+    let op = ops.(i) in
+    (* Skeleton: chain every op into the warp chains it participates in.
+       This keeps each warp's subsequence intact under any linearization
+       (so witnesses stay feasible) and subsumes program order, lockstep
+       and barrier rendezvous. *)
+    List.iter
+      (fun w ->
+        add_pred i last.(w);
+        last.(w) <- i)
+      (warps_of layout op);
+    (match op with
+    | Op.Rd { tid; loc } -> record i tid Barracuda.Report.Read loc 0L
+    | Op.Wr { tid; loc; value } -> record i tid Barracuda.Report.Write loc value
+    | Op.Atm { tid; loc; value } ->
+        record i tid Barracuda.Report.Atomic_rmw loc value
+    | Op.Endi { warp; mask } ->
+        join_fork (lanes warp mask);
+        seg.(warp) <- seg.(warp) + 1
+    | Op.If { warp; then_mask; else_mask = _ } ->
+        join_fork (lanes warp then_mask);
+        seg.(warp) <- seg.(warp) + 1
+    | Op.Else { warp; mask } | Op.Fi { warp; mask } ->
+        join_fork (lanes warp mask);
+        seg.(warp) <- seg.(warp) + 1
+    | Op.Bar { block } ->
+        let first = Layout.first_tid_of_block layout block in
+        join_fork
+          (List.init layout.Layout.threads_per_block (fun k -> first + k));
+        let wpb = Layout.warps_per_block layout in
+        for w = block * wpb to ((block + 1) * wpb) - 1 do
+          seg.(w) <- seg.(w) + 1
+        done
+    | Op.Acq { tid; loc; scope } -> acquire i tid loc scope
+    | Op.Rel { tid; loc; scope } -> release i tid loc scope
+    | Op.AcqRel { tid; loc; scope } ->
+        acquire i tid loc scope;
+        release i tid loc scope)
+  done;
+  let accesses = Array.of_list (List.rev !accesses) in
+  Loc.Tbl.iter (fun loc l -> Loc.Tbl.replace by_loc loc (List.rev l)) by_loc;
+  { layout; ops; preds; accesses; by_loc }
+
+(* HB query: the earlier access's epoch is contained in the later one's
+   clock iff a sync/lockstep/barrier path orders them.  Accesses do not
+   advance clocks, so [vc] is the thread clock at the access itself. *)
+let ordered a b =
+  let e, l = if a.index <= b.index then (a, b) else (b, a) in
+  Vc.get l.vc e.tid >= Vc.get e.vc e.tid
+
+let conflicting a b =
+  a.tid <> b.tid
+  && Loc.equal a.loc b.loc
+  && (a.kind <> Barracuda.Report.Read || b.kind <> Barracuda.Report.Read)
+  && not (is_atomic a && is_atomic b)
+
+(* Benign by the same-value filter: two plain writes of the same value
+   from the same warp-level instruction (same warp, same segment). *)
+let same_value_benign a b =
+  a.kind = Barracuda.Report.Write
+  && b.kind = Barracuda.Report.Write
+  && a.warp = b.warp && a.seg = b.seg
+  && Int64.equal a.value b.value
+
+let ancestors t roots =
+  let n = Array.length t.ops in
+  let anc = Array.make n false in
+  let rec visit i =
+    List.iter
+      (fun p ->
+        if not anc.(p) then begin
+          anc.(p) <- true;
+          visit p
+        end)
+      t.preds.(i)
+  in
+  List.iter (fun r -> if r >= 0 && r < n then visit r) roots;
+  anc

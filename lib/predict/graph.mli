@@ -1,0 +1,61 @@
+(** Sync-preserving happens-before graph over a recorded trace.
+
+    The online detector observes one schedule and orders events by it;
+    this module rebuilds, offline, only the orderings any feasible
+    schedule must respect: program order within a lane, warp lockstep
+    (the [endi]/[if]/[else]/[fi] join-and-forks), block barriers, and
+    scoped release/acquire pairs — the accidental cross-warp ordering of
+    the observed interleaving is dropped.
+
+    Two relations are maintained:
+
+    - a {e skeleton} DAG ([preds]) of per-warp chains, barrier rendezvous
+      and release→acquire edges, used to linearize witness schedules that
+      stay feasible (every warp's subsequence is preserved);
+    - the precise happens-before relation, computed by a vector-clock
+      sweep that mirrors {!Barracuda.Reference} clock-for-clock and is
+      queried per access pair via {!ordered}.
+
+    The skeleton over-approximates happens-before only {e within} a warp
+    (it chains same-segment lanes and divergent branch bodies), so any
+    cross-warp pair unordered by happens-before is also skeleton-unordered
+    and admits a reordered witness. *)
+
+type access = {
+  index : int;  (** position in the recorded trace *)
+  tid : int;
+  warp : int;
+  seg : int;  (** per-warp instruction segment (for the same-value filter) *)
+  kind : Barracuda.Report.access_kind;
+  value : int64;  (** stored value; 0 for reads *)
+  loc : Gtrace.Loc.t;
+  vc : Vclock.Vector_clock.t;  (** thread clock at the access *)
+}
+
+type t = {
+  layout : Vclock.Layout.t;
+  ops : Gtrace.Op.t array;
+  preds : int list array;  (** skeleton predecessors, all lower-index *)
+  accesses : access array;  (** data accesses (rd/wr/atm) in trace order *)
+  by_loc : access list Gtrace.Loc.Tbl.t;  (** per-location, trace order *)
+}
+
+val build : layout:Vclock.Layout.t -> Gtrace.Op.t list -> t
+
+val ordered : access -> access -> bool
+(** Whether the two accesses are ordered by the sync-preserving
+    happens-before relation (in either direction). *)
+
+val conflicting : access -> access -> bool
+(** Same location, different threads, at least one write-class access,
+    and not atomic-vs-atomic (atomics never race with each other). *)
+
+val same_value_benign : access -> access -> bool
+(** The detector's same-value filter: both plain writes of equal value
+    from the same warp-level instruction. *)
+
+val is_atomic : access -> bool
+
+val ancestors : t -> int list -> bool array
+(** Transitive skeleton predecessors of the given op indices (the roots
+    themselves are not marked unless reachable from another root). *)

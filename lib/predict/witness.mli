@@ -1,0 +1,31 @@
+(** Witness schedules for predicted races.
+
+    A predicted pair is only as good as a schedule that exhibits it: the
+    generator linearizes the skeleton graph so the pair's two accesses
+    become adjacent (ancestor cones first, in trace order; then the
+    pair; then everything else), which is a topological order of the
+    skeleton and therefore preserves every warp's subsequence — the
+    reordered trace stays feasible.
+
+    The witness then {e self-validates}: it is replayed through the
+    unmodified {!Barracuda.Reference} detector, and the prediction is
+    [confirmed] only if that replay reports a race between the same
+    threads at the same location.  Unconfirmed predictions are kept but
+    demoted in the report. *)
+
+type t = {
+  first : Graph.access;  (** scheduled immediately before [second] *)
+  second : Graph.access;
+  order : int array;  (** permutation: witness position -> trace index *)
+  ops : Gtrace.Op.t list;  (** the reordered trace *)
+  feasible : bool;
+  violation : Gtrace.Feasible.violation option;
+  confirmed : bool;  (** replay of [ops] races on this pair *)
+}
+
+val generate : ?validate:bool -> Graph.t -> Graph.access -> Graph.access -> t
+(** [validate] defaults to [true]; with [false] the replay is skipped
+    and [confirmed] is [false]. *)
+
+val to_string : Graph.t -> t -> string
+(** The witness trace in {!Gtrace.Serialize} format. *)

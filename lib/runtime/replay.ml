@@ -1,0 +1,17 @@
+type loaded = { layout : Vclock.Layout.t; ops : Gtrace.Op.t list }
+
+let load_channel ic =
+  let layout, ops = Gtrace.Serialize.of_channel ic in
+  { layout; ops }
+
+let load_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> load_channel ic)
+
+let of_ops ~layout ops = { layout; ops }
+let feasibility { layout; ops } = Gtrace.Feasible.check ~layout ops
+
+let run ?max_reports ?filter_same_value { layout; ops } =
+  let d = Barracuda.Reference.create ?max_reports ?filter_same_value ~layout () in
+  Barracuda.Reference.run d ops;
+  Barracuda.Reference.report d

@@ -1,0 +1,25 @@
+(** Offline replay entry point.
+
+    The one place that turns a serialized trace back into a detector
+    verdict: load ([Serialize]), sanity-check ([Feasible]), and re-run
+    the reference detector over the recorded operations.  Both the
+    [barracuda replay] command and the predictive analysis' witness
+    validation go through this path, so a witness schedule is judged by
+    exactly the detector a recorded trace would be. *)
+
+type loaded = { layout : Vclock.Layout.t; ops : Gtrace.Op.t list }
+
+val load_channel : in_channel -> loaded
+(** @raise Gtrace.Serialize.Parse_error on malformed input. *)
+
+val load_file : string -> loaded
+(** [load_channel] on the file, closing it even on parse errors.
+    @raise Sys_error if the file cannot be opened. *)
+
+val of_ops : layout:Vclock.Layout.t -> Gtrace.Op.t list -> loaded
+
+val feasibility : loaded -> (unit, Gtrace.Feasible.violation) result
+
+val run :
+  ?max_reports:int -> ?filter_same_value:bool -> loaded -> Barracuda.Report.t
+(** Replay through {!Barracuda.Reference} and return its report. *)

@@ -212,3 +212,12 @@ and pp_body ppf stmts =
     pp_stmt ppf stmts
 
 let print_program prog = Format.asprintf "%a" pp_body prog
+
+(* Run a generated program through the simulator + inference pipeline
+   and return its recorded trace (shared by the gtrace and predict
+   property tests). *)
+let trace_of_program prog =
+  let m = Simt.Machine.create ~layout () in
+  let k = kernel_of_program prog in
+  let args = setup m in
+  Gtrace.Infer.run ~layout m k args

@@ -18,4 +18,5 @@ let () =
       ("session", Test_session.suite);
       ("parallel", Test_parallel.suite);
       ("telemetry", Test_telemetry.suite);
+      ("predict", Test_predict.suite);
     ]

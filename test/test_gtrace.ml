@@ -90,11 +90,7 @@ let test_roles_local_ignored () =
 
 (* ---- Event -> Op translation --------------------------------------- *)
 
-let trace_of prog =
-  let m = Simt.Machine.create ~layout:Gen.layout () in
-  let k = Gen.kernel_of_program prog in
-  let args = Gen.setup m in
-  Gtrace.Infer.run ~layout:Gen.layout m k args
+let trace_of = Gen.trace_of_program
 
 let test_infer_bytes_per_access () =
   (* one 4-byte store by 4 active lanes in block 0 -> 16 Wr ops + endi *)
