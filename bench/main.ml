@@ -15,6 +15,7 @@
      granularity ablation: byte- vs word-granular shadow memory
      pipeline    telemetry per-stage profile -> BENCH_pipeline.json
      predict     predictive analysis over traces -> BENCH_predict.json
+     service     batch-daemon throughput scaling -> BENCH_service.json
      bechamel    Bechamel micro-benchmarks (one per table/figure)      *)
 
 module W = Workloads.Workload
@@ -442,6 +443,134 @@ let section_predict () =
   Printf.printf "  wrote BENCH_predict.json (%d cases)\n" (List.length cases)
 
 (* ------------------------------------------------------------------ *)
+(* Race-checking service throughput -> BENCH_service.json              *)
+
+let section_service () =
+  header "Race-checking service: batch throughput (BENCH_service.json)";
+  let clients = 8 and jobs_per_client = 12 in
+  (* A small kernel mix (4 distinct sources) submitted repeatedly, so
+     the artifact cache sees both cold misses and a hot steady state. *)
+  let mix =
+    List.filteri (fun i _ -> i < 4) Bugsuite.Cases.all
+    |> List.map (fun (c : Bugsuite.Case.t) ->
+           let layout = c.Bugsuite.Case.layout in
+           {
+             (Service.Protocol.submit_defaults ~kind:Service.Protocol.Check
+                (Format.asprintf "%a" Ptx.Printer.pp_kernel
+                   c.Bugsuite.Case.kernel))
+             with
+             Service.Protocol.layout =
+               Some
+                 ( layout.Vclock.Layout.blocks,
+                   layout.Vclock.Layout.threads_per_block,
+                   layout.Vclock.Layout.warp_size );
+             args =
+               List.map
+                 (fun _ -> "alloc:256")
+                 c.Bugsuite.Case.kernel.Ptx.Ast.params;
+           })
+    |> Array.of_list
+  in
+  let percentile sorted p =
+    let n = Array.length sorted in
+    sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+  in
+  let run_at workers =
+    let socket =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "barracuda-bench-%d-%d.sock" (Unix.getpid ()) workers)
+    in
+    (try Unix.unlink socket with Unix.Unix_error _ -> ());
+    let server =
+      Service.Server.start
+        ~config:
+          {
+            Service.Server.default_config with
+            Service.Server.socket_path = socket;
+            workers;
+            queue_capacity = 128;
+          }
+        ()
+    in
+    if not (Service.Client.wait_ready ~socket ()) then
+      failwith "service did not come up";
+    let t0 = Telemetry.Clock.now_ns () in
+    let client c =
+      Array.init jobs_per_client (fun j ->
+          let sub = mix.((c + (j * clients)) mod Array.length mix) in
+          let s0 = Telemetry.Clock.now_ns () in
+          (match Service.Client.submit ~retries:50 ~socket sub with
+          | Ok (Service.Protocol.Result _) -> ()
+          | Ok r ->
+              Printf.ksprintf failwith "bench job got %s"
+                (Service.Protocol.encode_response r)
+          | Error e -> Printf.ksprintf failwith "bench job: %s" e);
+          Telemetry.Clock.ns_to_ms (Telemetry.Clock.elapsed_ns ~since:s0))
+    in
+    let domains =
+      List.init clients (fun c -> Domain.spawn (fun () -> client c))
+    in
+    let latencies =
+      List.concat_map (fun d -> Array.to_list (Domain.join d)) domains
+    in
+    let wall_s = Telemetry.Clock.ns_to_s (Telemetry.Clock.elapsed_ns ~since:t0) in
+    let st =
+      match Service.Client.status ~socket with
+      | Ok s -> s
+      | Error e -> Printf.ksprintf failwith "status: %s" e
+    in
+    Service.Server.stop server;
+    let jobs = clients * jobs_per_client in
+    let sorted = Array.of_list (List.sort compare latencies) in
+    let lookups = st.Service.Protocol.cache_hits + st.Service.Protocol.cache_misses in
+    ( workers,
+      jobs,
+      float_of_int jobs /. wall_s,
+      percentile sorted 0.5,
+      percentile sorted 0.99,
+      float_of_int st.Service.Protocol.cache_hits /. float_of_int (max 1 lookups)
+    )
+  in
+  Printf.printf "  %7s %6s %14s %9s %9s %10s\n" "workers" "jobs" "jobs/s" "p50 ms"
+    "p99 ms" "cache hit";
+  let rows = List.map run_at [ 1; 2; 4; 8 ] in
+  List.iter
+    (fun (workers, jobs, thr, p50, p99, hit) ->
+      Printf.printf "  %7d %6d %14.1f %9.2f %9.2f %9.1f%%\n" workers jobs thr
+        p50 p99 (100.0 *. hit))
+    rows;
+  let json =
+    Telemetry.Json.Obj
+      [
+        ("version", Telemetry.Json.Int 1);
+        ("clients", Telemetry.Json.Int clients);
+        ("jobs_per_client", Telemetry.Json.Int jobs_per_client);
+        ("kernel_mix", Telemetry.Json.Int (Array.length mix));
+        ( "scaling",
+          Telemetry.Json.List
+            (List.map
+               (fun (workers, jobs, thr, p50, p99, hit) ->
+                 Telemetry.Json.Obj
+                   [
+                     ("workers", Telemetry.Json.Int workers);
+                     ("jobs", Telemetry.Json.Int jobs);
+                     ("throughput_jobs_per_s", Telemetry.Json.Float thr);
+                     ("p50_ms", Telemetry.Json.Float p50);
+                     ("p99_ms", Telemetry.Json.Float p99);
+                     ("cache_hit_rate", Telemetry.Json.Float hit);
+                   ])
+               rows) );
+      ]
+  in
+  let oc = open_out "BENCH_service.json" in
+  output_string oc (Telemetry.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote BENCH_service.json (%d worker counts)\n"
+    (List.length rows)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
 let section_bechamel () =
@@ -514,6 +643,7 @@ let sections =
     ("parallel", section_parallel);
     ("pipeline", section_pipeline);
     ("predict", section_predict);
+    ("service", section_service);
     ("bechamel", section_bechamel);
   ]
 

@@ -3,11 +3,46 @@
      barracuda check FILE.ptx [--blocks N] [--tpb N] ...   race-check a kernel
      barracuda profile FILE.ptx [--parallel]               per-stage telemetry
      barracuda instrument FILE.ptx [--no-prune]            show rewritten PTX
-     barracuda suite                                        run the 66-program suite
+     barracuda suite [--json]                               run the 66-program suite
      barracuda litmus [--runs N]                            fence litmus tests
-     barracuda table1                                       workload summary    *)
+     barracuda table1                                       workload summary
+     barracuda serve [--socket PATH] [--workers N]          race-checking daemon
+     barracuda submit FILE [--kind check|predict]           send a job to the daemon
+     barracuda svc-status [--prometheus]                    query the daemon
+
+   Exit codes: 0 = clean, 1 = race found (or an I/O error), 2 = bad
+   input — argument specs, PTX/trace parse errors, ill-formed kernels. *)
 
 open Cmdliner
+
+(* Every command body runs under this guard: user-input mistakes that
+   used to escape as an OCaml backtrace become a one-line error with a
+   usage hint and exit code 2, distinct from exit 1 (race found / I/O
+   error). *)
+let guard f =
+  try f () with
+  | Failure msg ->
+      Format.eprintf "barracuda: %s@." msg;
+      Format.eprintf
+        "hint: argument specs are alloc:BYTES, int:V or a bare integer; see \
+         --help.@.";
+      2
+  | Ptx.Parser.Error { line; message } ->
+      Format.eprintf "barracuda: PTX parse error at line %d: %s@." line message;
+      Format.eprintf "hint: the accepted PTX subset is described in README.md.@.";
+      2
+  | Gtrace.Serialize.Parse_error { line; message } ->
+      Format.eprintf "barracuda: trace parse error at line %d: %s@." line
+        message;
+      Format.eprintf
+        "hint: traces come from barracuda check --dump-trace FILE.@.";
+      2
+  | Invalid_argument msg ->
+      Format.eprintf "barracuda: invalid input: %s@." msg;
+      2
+  | Sys_error msg ->
+      Format.eprintf "barracuda: %s@." msg;
+      1
 
 let layout_term =
   let blocks =
@@ -110,6 +145,7 @@ let write_metrics path =
 
 let check_cmd =
   let run layout file specs max_reports dump_trace metrics =
+    guard @@ fun () ->
     let kernel = load_kernel file in
     let machine = Simt.Machine.create ~layout () in
     let args = resolve_args machine kernel specs in
@@ -179,6 +215,7 @@ let check_cmd =
 let profile_cmd =
   let stage_order = [ "instrument"; "execute"; "queue"; "decode"; "detect" ] in
   let run layout file specs parallel queues metrics prom =
+    guard @@ fun () ->
     let kernel = load_kernel file in
     let machine = Simt.Machine.create ~layout () in
     let args = resolve_args machine kernel specs in
@@ -293,6 +330,7 @@ let load_trace file =
 
 let replay_cmd =
   let run file =
+    guard @@ fun () ->
     let loaded = load_trace file in
     let report = Gpu_runtime.Replay.run loaded in
     let errors = Barracuda.Report.errors report in
@@ -316,6 +354,7 @@ let replay_cmd =
 
 let predict_cmd =
   let run file json witness_dir max_predictions no_validate metrics =
+    guard @@ fun () ->
     (match metrics with
     | Some _ ->
         Telemetry.Registry.set_enabled true;
@@ -395,6 +434,7 @@ let predict_cmd =
 
 let instrument_cmd =
   let run file prune stats_only =
+    guard @@ fun () ->
     let kernel = load_kernel file in
     let r = Instrument.Pass.instrument ~prune kernel in
     if not stats_only then
@@ -415,11 +455,56 @@ let instrument_cmd =
        ~doc:"Rewrite a PTX kernel with BARRACUDA logging calls.")
     Term.(const run $ file_term $ prune $ stats_only)
 
+(* The suite scores as JSON, for the service CI smoke job and
+   dashboards: overall numbers plus one record per case so a
+   regression names the kernel that flipped. *)
+let suite_json (b : Bugsuite.Harness.score) (r : Bugsuite.Harness.score)
+    (po : Bugsuite.Harness.score) (pp_ : Bugsuite.Harness.score) =
+  let module J = Telemetry.Json in
+  let score_obj (s : Bugsuite.Harness.score) =
+    J.Obj
+      [
+        ("correct", J.Int s.Bugsuite.Harness.correct);
+        ("total", J.Int s.Bugsuite.Harness.total);
+      ]
+  in
+  let outcome (o : Bugsuite.Harness.outcome) =
+    J.Obj
+      [
+        ("id", J.Int o.Bugsuite.Harness.case.Bugsuite.Case.id);
+        ("name", J.Str o.Bugsuite.Harness.case.Bugsuite.Case.name);
+        ( "truth",
+          J.Str
+            (Format.asprintf "%a" Bugsuite.Case.pp_verdict
+               o.Bugsuite.Harness.case.Bugsuite.Case.verdict) );
+        ("reported_race", J.Bool o.Bugsuite.Harness.reported_race);
+        ("correct", J.Bool o.Bugsuite.Harness.correct);
+      ]
+  in
+  J.Obj
+    [
+      ("version", J.Int 1);
+      ("barracuda", score_obj b);
+      ("racecheck", score_obj r);
+      ( "predictive",
+        J.Obj [ ("online", score_obj po); ("predict", score_obj pp_) ] );
+      ("cases", J.List (List.map outcome b.Bugsuite.Harness.outcomes));
+    ]
+
 let suite_cmd =
-  let run verbose =
+  let run verbose json =
+    guard @@ fun () ->
     let cases = Bugsuite.Cases.all in
     let b = Bugsuite.Harness.run_barracuda cases in
     let r = Bugsuite.Harness.run_racecheck cases in
+    if json then begin
+      let pcases = Bugsuite.Cases.predictive in
+      let po = Bugsuite.Harness.run_barracuda pcases in
+      let pp_ = Bugsuite.Harness.run_predict pcases in
+      print_endline (Telemetry.Json.to_string (suite_json b r po pp_));
+      if b.Bugsuite.Harness.correct = b.Bugsuite.Harness.total then 0 else 1
+    end
+    else begin
     if verbose then
       List.iter
         (fun (o : Bugsuite.Harness.outcome) ->
@@ -443,11 +528,17 @@ let suite_cmd =
       po.Bugsuite.Harness.correct po.Bugsuite.Harness.total
       pp_.Bugsuite.Harness.correct pp_.Bugsuite.Harness.total;
     if b.Bugsuite.Harness.correct = b.Bugsuite.Harness.total then 0 else 1
+    end
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ]) in
+  let json =
+    Arg.(value & flag
+           & info [ "json" ]
+               ~doc:"Emit the scores (and per-case outcomes) as JSON.")
+  in
   Cmd.v
     (Cmd.info "suite" ~doc:"Run the 66-program concurrency bug suite.")
-    Term.(const run $ verbose)
+    Term.(const run $ verbose $ json)
 
 let litmus_cmd =
   let run runs =
@@ -466,6 +557,7 @@ let litmus_cmd =
 
 let sweep_cmd =
   let run layout file specs =
+    guard @@ fun () ->
     let kernel = load_kernel file in
     let setup machine = resolve_args machine kernel specs in
     let result = Barracuda.Warp_sweep.sweep ~layout ~setup kernel in
@@ -497,6 +589,238 @@ let table1_cmd =
     (Cmd.info "table1" ~doc:"Race-check the 26 evaluation workloads.")
     Term.(const run $ const ())
 
+(* ------------------------- service mode -------------------------- *)
+
+let socket_term =
+  Arg.(
+    value
+    & opt string Service.Server.default_config.Service.Server.socket_path
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix domain socket the daemon listens on.")
+
+let serve_cmd =
+  let run socket workers queue_capacity cache_capacity max_steps =
+    guard @@ fun () ->
+    (* The daemon always runs with telemetry on: the status reply, the
+       metrics request and the Prometheus exporter feed from it. *)
+    Telemetry.Registry.set_enabled true;
+    let config =
+      {
+        Service.Server.default_config with
+        Service.Server.socket_path = socket;
+        workers;
+        queue_capacity;
+        cache_capacity;
+        max_steps;
+      }
+    in
+    let t = Service.Server.start ~config () in
+    let stop_signal _ = Service.Server.request_stop t in
+    (try
+       Sys.set_signal Sys.sigint (Sys.Signal_handle stop_signal);
+       Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_signal)
+     with Invalid_argument _ | Sys_error _ -> ());
+    Format.printf
+      "barracuda service listening on %s (%d workers, queue %d, cache %d)@."
+      socket workers queue_capacity cache_capacity;
+    Service.Server.wait t;
+    Format.printf "barracuda service stopped.@.";
+    0
+  in
+  let workers =
+    Arg.(value
+           & opt int Service.Server.default_config.Service.Server.workers
+           & info [ "workers" ] ~docv:"N" ~doc:"Worker domains.")
+  in
+  let queue =
+    Arg.(value
+           & opt int Service.Server.default_config.Service.Server.queue_capacity
+           & info [ "queue" ] ~docv:"N"
+               ~doc:"Job queue bound; submissions beyond it are rejected \
+                     with a retry hint.")
+  in
+  let cache =
+    Arg.(value
+           & opt int Service.Server.default_config.Service.Server.cache_capacity
+           & info [ "cache" ] ~docv:"N" ~doc:"Artifact cache entries.")
+  in
+  let max_steps =
+    Arg.(value
+           & opt int Service.Server.default_config.Service.Server.max_steps
+           & info [ "max-steps" ] ~docv:"N"
+               ~doc:"Per-job step budget; a kernel that exceeds it fails \
+                     with a structured timeout.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the race-checking daemon: a bounded job queue, a pool of \
+          worker domains and a content-hash artifact cache behind a Unix \
+          domain socket.")
+    Term.(const run $ socket_term $ workers $ queue $ cache $ max_steps)
+
+let submit_cmd =
+  let run socket layout file specs kind no_prune retries json =
+    guard @@ fun () ->
+    let ic = open_in file in
+    let payload = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let kind =
+      match kind with
+      | "check" -> Service.Protocol.Check
+      | "predict" -> Service.Protocol.Predict
+      | k -> failwith (Printf.sprintf "unknown job kind %S" k)
+    in
+    let sub =
+      {
+        Service.Protocol.kind;
+        payload;
+        layout =
+          Some
+            ( layout.Vclock.Layout.blocks,
+              layout.Vclock.Layout.threads_per_block,
+              layout.Vclock.Layout.warp_size );
+        args = specs;
+        prune = not no_prune;
+      }
+    in
+    match Service.Client.submit ~retries ~socket sub with
+    | Ok (Service.Protocol.Result { job; outcome; queue_ms; run_ms }) ->
+        if json then
+          print_endline
+            (Service.Protocol.encode_response
+               (Service.Protocol.Result { job; outcome; queue_ms; run_ms }))
+        else begin
+          List.iter
+            (fun e -> Format.printf "  %s@." e)
+            outcome.Service.Protocol.errors;
+          Format.printf
+            "job %d: %s (%d races, cache %s, queued %.1f ms, ran %.1f ms)@."
+            job
+            (Service.Protocol.verdict_string outcome.Service.Protocol.verdict)
+            outcome.Service.Protocol.races
+            (if outcome.Service.Protocol.cache_hit then "hit" else "miss")
+            queue_ms run_ms;
+          if outcome.Service.Protocol.predicted > 0 then
+            Format.printf "  %d schedule-sensitive predictions (%d confirmed)@."
+              outcome.Service.Protocol.predicted
+              outcome.Service.Protocol.confirmed
+        end;
+        if outcome.Service.Protocol.verdict = Service.Protocol.Racy then 1
+        else 0
+    | Ok (Service.Protocol.Rejected { reason; retry_after_ms }) ->
+        Format.eprintf
+          "barracuda: job rejected (%s); retry in %d ms or raise --retries@."
+          reason retry_after_ms;
+        2
+    | Ok (Service.Protocol.Failed { job; code; message }) ->
+        Format.eprintf "barracuda: job %d failed (%s): %s@." job code message;
+        2
+    | Ok (Service.Protocol.Error message) ->
+        Format.eprintf "barracuda: protocol error: %s@." message;
+        2
+    | Ok _ ->
+        Format.eprintf "barracuda: unexpected reply from the daemon@.";
+        2
+    | Error message ->
+        Format.eprintf "barracuda: cannot reach the daemon: %s@." message;
+        1
+  in
+  let kind =
+    Arg.(value & opt string "check"
+           & info [ "kind" ] ~docv:"KIND"
+               ~doc:"$(b,check) a PTX kernel or $(b,predict) over a \
+                     recorded trace.")
+  in
+  let no_prune =
+    Arg.(value & flag
+           & info [ "no-prune" ] ~doc:"Disable the logging-pruning pass.")
+  in
+  let retries =
+    Arg.(value & opt int 10
+           & info [ "retries" ] ~docv:"N"
+               ~doc:"Retries when the daemon's queue rejects the job.")
+  in
+  let json =
+    Arg.(value & flag
+           & info [ "json" ] ~doc:"Print the raw JSON result line.")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Send a PTX kernel (or a recorded trace) to a running barracuda \
+          daemon and wait for the verdict.")
+    Term.(
+      const run $ socket_term $ layout_term $ file_term $ args_term $ kind
+      $ no_prune $ retries $ json)
+
+let svc_status_cmd =
+  let run socket prometheus json shutdown =
+    guard @@ fun () ->
+    if shutdown then
+      match Service.Client.shutdown ~socket with
+      | Ok () ->
+          Format.printf "daemon on %s is stopping.@." socket;
+          0
+      | Error message ->
+          Format.eprintf "barracuda: cannot reach the daemon: %s@." message;
+          1
+    else if prometheus then
+      match Service.Client.metrics ~socket with
+      | Ok text ->
+          print_string text;
+          0
+      | Error message ->
+          Format.eprintf "barracuda: cannot reach the daemon: %s@." message;
+          1
+    else
+      match Service.Client.status ~socket with
+      | Ok s ->
+          if json then
+            print_endline
+              (Service.Protocol.encode_response
+                 (Service.Protocol.Status_reply s))
+          else begin
+            Format.printf "daemon on %s: up %.1f s@." socket
+              (s.Service.Protocol.uptime_ms /. 1000.0);
+            Format.printf "  workers   %d (%d busy)@."
+              s.Service.Protocol.workers s.Service.Protocol.busy;
+            Format.printf "  queue     %d/%d@." s.Service.Protocol.queue_depth
+              s.Service.Protocol.queue_capacity;
+            Format.printf
+              "  jobs      %d submitted, %d completed (%d racy / %d \
+               race-free), %d failed, %d rejected@."
+              s.Service.Protocol.submitted s.Service.Protocol.completed
+              s.Service.Protocol.racy s.Service.Protocol.race_free
+              s.Service.Protocol.failed s.Service.Protocol.rejected;
+            Format.printf "  cache     %d entries, %d hits / %d misses, %d \
+                           evictions@."
+              s.Service.Protocol.cache_entries s.Service.Protocol.cache_hits
+              s.Service.Protocol.cache_misses
+              s.Service.Protocol.cache_evictions
+          end;
+          0
+      | Error message ->
+          Format.eprintf "barracuda: cannot reach the daemon: %s@." message;
+          1
+  in
+  let prometheus =
+    Arg.(value & flag
+           & info [ "prometheus" ]
+               ~doc:"Print the daemon's registry in Prometheus text format.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the raw JSON status line.")
+  in
+  let shutdown =
+    Arg.(value & flag
+           & info [ "shutdown" ] ~doc:"Ask the daemon to shut down instead.")
+  in
+  Cmd.v
+    (Cmd.info "svc-status"
+       ~doc:"Query (or shut down) a running barracuda daemon.")
+    Term.(const run $ socket_term $ prometheus $ json $ shutdown)
+
 let () =
   let doc = "binary-level data race detection for (simulated) CUDA kernels" in
   let info = Cmd.info "barracuda" ~version:"1.0.0" ~doc in
@@ -505,5 +829,6 @@ let () =
        (Cmd.group info
           [
             check_cmd; profile_cmd; instrument_cmd; suite_cmd; litmus_cmd;
-            table1_cmd; sweep_cmd; replay_cmd; predict_cmd;
+            table1_cmd; sweep_cmd; replay_cmd; predict_cmd; serve_cmd;
+            submit_cmd; svc_status_cmd;
           ]))

@@ -121,10 +121,15 @@ let remap (inst : Instrument.Pass.result) event =
    that is empty can only ever produce larger stamps).  Stamps are
    totally ordered, so the wait graph is acyclic and the protocol
    cannot deadlock; releases and plain accesses never wait. *)
-let run_parallel ?(config = default_config) ?max_steps ~machine kernel args =
+let run_parallel ?(config = default_config) ?max_steps ?inst ~machine kernel
+    args =
   let layout = Simt.Machine.layout machine in
   let ws = layout.Vclock.Layout.warp_size in
-  let inst = Instrument.Pass.instrument ~prune:config.prune kernel in
+  let inst =
+    match inst with
+    | Some i -> i
+    | None -> Instrument.Pass.instrument ~prune:config.prune kernel
+  in
   let roles = Gtrace.Roles.classify kernel in
   let detector =
     Barracuda.Detector.create ~config:config.detector ~layout kernel
@@ -286,11 +291,15 @@ let run_parallel ?(config = default_config) ?max_steps ~machine kernel args =
       };
   }
 
-let run ?(config = default_config) ?max_steps ?(tee = fun _ -> ()) ~machine
-    kernel args =
+let run ?(config = default_config) ?max_steps ?(tee = fun _ -> ()) ?inst
+    ~machine kernel args =
   let layout = Simt.Machine.layout machine in
   let ws = layout.Vclock.Layout.warp_size in
-  let inst = Instrument.Pass.instrument ~prune:config.prune kernel in
+  let inst =
+    match inst with
+    | Some i -> i
+    | None -> Instrument.Pass.instrument ~prune:config.prune kernel
+  in
   let detector =
     Barracuda.Detector.create ~config:config.detector ~layout kernel
   in

@@ -43,6 +43,7 @@ val run :
   ?config:config ->
   ?max_steps:int ->
   ?tee:(Simt.Event.t -> unit) ->
+  ?inst:Instrument.Pass.result ->
   machine:Simt.Machine.t ->
   Ptx.Ast.kernel ->
   int64 array ->
@@ -52,11 +53,16 @@ val run :
     (Figure 10) launch the original kernel on a fresh machine
     themselves.  [tee] observes every remapped event as it is forwarded
     into the queues (used by tests to compare the queue transport
-    against a detector fed the identical stream). *)
+    against a detector fed the identical stream).  [inst] supplies a
+    previously computed instrumentation of {e this} kernel with the
+    configured [prune] setting — the race-checking service's artifact
+    cache uses it to skip the front half of the pipeline on repeat
+    submissions; when present it is trusted, not revalidated. *)
 
 val run_parallel :
   ?config:config ->
   ?max_steps:int ->
+  ?inst:Instrument.Pass.result ->
   machine:Simt.Machine.t ->
   Ptx.Ast.kernel ->
   int64 array ->

@@ -1,0 +1,48 @@
+(** Content-hash artifact cache.
+
+    Memoizes the front half of the checking pipeline — parsed kernel,
+    control-flow graph and instrumented kernel — keyed by a digest of
+    the PTX source and the instrumentation options, so repeat
+    submissions of the same kernel pay only machine creation and
+    execution.  All three artifacts are immutable once built (the
+    pipeline never mutates a kernel, a CFG or an instrumentation
+    result), which is what makes sharing them across worker domains
+    sound.
+
+    Bounded LRU with a mutex around the index; a miss builds {e
+    outside} the lock so concurrent workers are not serialized on
+    parsing, at the cost of an occasional duplicated build when two
+    workers miss the same key simultaneously (both results are
+    identical; the later insert wins).
+
+    Hits, misses and evictions are counted both locally (for the
+    [status] reply, live even with telemetry off) and into
+    [barracuda_service_cache_*] telemetry counters. *)
+
+type entry = {
+  kernel : Ptx.Ast.kernel;
+  cfg : Cfg.Graph.t;
+  inst : Instrument.Pass.result;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] defaults to 128 entries.
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : t -> int
+
+val key : prune:bool -> string -> string
+(** Digest of the source text and the options that shape the
+    artifacts. *)
+
+val find_or_build : t -> string -> build:(unit -> entry) -> entry * bool
+(** The entry for a key, building (and inserting) it on a miss; the
+    boolean is [true] on a hit.  Exceptions from [build] propagate and
+    leave the cache unchanged (failed builds are not negatively
+    cached: a malformed submission fails its own job each time). *)
+
+type stats = { entries : int; hits : int; misses : int; evictions : int }
+
+val stats : t -> stats

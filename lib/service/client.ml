@@ -1,0 +1,71 @@
+let request ~socket req =
+  let fd =
+    try Ok (Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0)
+    with Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  in
+  match fd with
+  | Error _ as e -> e
+  | Ok fd -> (
+      let finish r =
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        r
+      in
+      match
+        Unix.connect fd (Unix.ADDR_UNIX socket);
+        Protocol.write_frame fd (Protocol.encode_request req);
+        (* The reply may take as long as the job does; no read
+           timeout here, the daemon's queue bound is the limit. *)
+        Protocol.read_frame (Unix.in_channel_of_descr fd)
+      with
+      | None -> finish (Error "connection closed before a reply")
+      | Some line -> finish (Protocol.decode_response line)
+      | exception Unix.Unix_error (e, fn, _) ->
+          finish
+            (Error (Printf.sprintf "%s: %s (%s)" socket (Unix.error_message e) fn))
+      | exception Sys_error msg -> finish (Error msg)
+      | exception End_of_file -> finish (Error "connection closed before a reply"))
+
+let rec submit ?(retries = 0) ~socket sub =
+  match request ~socket (Protocol.Submit sub) with
+  | Ok (Protocol.Rejected { retry_after_ms; _ }) when retries > 0 ->
+      Unix.sleepf (float_of_int (max 1 retry_after_ms) /. 1000.0);
+      submit ~retries:(retries - 1) ~socket sub
+  | other -> other
+
+let status ~socket =
+  match request ~socket Protocol.Status with
+  | Ok (Protocol.Status_reply s) -> Ok s
+  | Ok r -> Error ("unexpected reply: " ^ Protocol.encode_response r)
+  | Error _ as e -> e
+
+let metrics ~socket =
+  match request ~socket Protocol.Metrics with
+  | Ok (Protocol.Metrics_reply text) -> Ok text
+  | Ok r -> Error ("unexpected reply: " ^ Protocol.encode_response r)
+  | Error _ as e -> e
+
+let ping ~socket =
+  match request ~socket Protocol.Ping with
+  | Ok Protocol.Pong -> true
+  | _ -> false
+
+let shutdown ~socket =
+  match request ~socket Protocol.Shutdown with
+  | Ok Protocol.Stopping -> Ok ()
+  | Ok r -> Error ("unexpected reply: " ^ Protocol.encode_response r)
+  | Error _ as e -> e
+
+let wait_ready ?(timeout_s = 5.0) ~socket () =
+  let deadline =
+    Int64.add (Telemetry.Clock.now_ns ())
+      (Int64.of_float (timeout_s *. 1e9))
+  in
+  let rec poll () =
+    if ping ~socket then true
+    else if Telemetry.Clock.now_ns () >= deadline then false
+    else begin
+      Unix.sleepf 0.01;
+      poll ()
+    end
+  in
+  poll ()

@@ -1,0 +1,32 @@
+(** Client side of the service protocol.
+
+    One-shot helpers: each call opens a connection to the daemon's
+    socket, performs a single exchange, and closes.  Results come back
+    as [(response, string) result] — the [Error] side is transport
+    trouble (no daemon, connection refused, malformed reply), while
+    job-level failure lives inside the {!Protocol.response}. *)
+
+val request :
+  socket:string -> Protocol.request -> (Protocol.response, string) result
+
+val submit :
+  ?retries:int ->
+  socket:string ->
+  Protocol.submit ->
+  (Protocol.response, string) result
+(** Submit a job and wait for its result.  A [Rejected] response (the
+    daemon's backpressure) is retried up to [retries] times (default
+    0: the caller sees the rejection), sleeping the response's
+    [retry_after_ms] between attempts. *)
+
+val status : socket:string -> (Protocol.status, string) result
+val metrics : socket:string -> (string, string) result
+
+val ping : socket:string -> bool
+(** [true] iff a daemon answers on the socket. *)
+
+val shutdown : socket:string -> (unit, string) result
+
+val wait_ready : ?timeout_s:float -> socket:string -> unit -> bool
+(** Poll {!ping} until the daemon answers or [timeout_s] (default 5 s)
+    elapses — for supervisors and tests that just started a server. *)

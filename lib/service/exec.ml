@@ -1,0 +1,152 @@
+type config = { max_steps : int; max_report_strings : int }
+
+let default_config = { max_steps = 2_000_000; max_report_strings = 20 }
+
+let default_layout =
+  Vclock.Layout.make ~warp_size:32 ~threads_per_block:64 ~blocks:2
+
+let resolve_args machine kernel specs =
+  let nparams = List.length kernel.Ptx.Ast.params in
+  let parse spec =
+    match String.split_on_char ':' spec with
+    | [ "alloc"; n ] -> (
+        match int_of_string_opt n with
+        | Some bytes when bytes >= 0 ->
+            Int64.of_int (Simt.Machine.alloc_global machine bytes)
+        | _ -> failwith (Printf.sprintf "bad argument spec %S" spec))
+    | [ "int"; v ] -> (
+        match Int64.of_string_opt v with
+        | Some x -> x
+        | None -> failwith (Printf.sprintf "bad argument spec %S" spec))
+    | [ v ] -> (
+        match Int64.of_string_opt v with
+        | Some x -> x
+        | None -> failwith (Printf.sprintf "bad argument spec %S" spec))
+    | _ -> failwith (Printf.sprintf "bad argument spec %S" spec)
+  in
+  let given = List.map parse specs in
+  let missing = nparams - List.length given in
+  if missing < 0 then
+    failwith
+      (Printf.sprintf "kernel %s takes %d arguments, got %d"
+         kernel.Ptx.Ast.kname nparams (List.length given));
+  let fill =
+    List.init missing (fun _ ->
+        Int64.of_int (Simt.Machine.alloc_global machine 4096))
+  in
+  Array.of_list (given @ fill)
+
+let layout_of (s : Protocol.submit) =
+  match s.Protocol.layout with
+  | None -> default_layout
+  | Some (blocks, tpb, warp) ->
+      Vclock.Layout.make ~warp_size:warp ~threads_per_block:tpb ~blocks
+
+let outcome_of_report ~config ~cache_hit report =
+  let errors =
+    List.filteri
+      (fun i _ -> i < config.max_report_strings)
+      (List.map
+         (Format.asprintf "%a" Barracuda.Report.pp_error)
+         (Barracuda.Report.errors report))
+  in
+  {
+    Protocol.verdict =
+      (if Barracuda.Report.has_race report then Protocol.Racy
+       else Protocol.Race_free);
+    races = Barracuda.Report.race_count report;
+    errors;
+    cache_hit;
+    predicted = 0;
+    confirmed = 0;
+  }
+
+let run_check ~config ~cache ~job (s : Protocol.submit) =
+  let key = Cache.key ~prune:s.Protocol.prune s.Protocol.payload in
+  let entry, cache_hit =
+    Cache.find_or_build cache key ~build:(fun () ->
+        let kernel = Ptx.Parser.kernel_of_string s.Protocol.payload in
+        let cfg = Cfg.Graph.of_kernel kernel in
+        let inst = Instrument.Pass.instrument ~prune:s.Protocol.prune kernel in
+        { Cache.kernel; cfg; inst })
+  in
+  let layout = layout_of s in
+  let machine = Simt.Machine.create ~layout () in
+  let args = resolve_args machine entry.Cache.kernel s.Protocol.args in
+  let pconfig =
+    { Gpu_runtime.Pipeline.default_config with prune = s.Protocol.prune }
+  in
+  let result =
+    Gpu_runtime.Pipeline.run ~config:pconfig ~max_steps:config.max_steps
+      ~inst:entry.Cache.inst ~machine entry.Cache.kernel args
+  in
+  match result.Gpu_runtime.Pipeline.machine_result.Simt.Machine.status with
+  | Simt.Machine.Max_steps n ->
+      Protocol.Failed
+        {
+          job;
+          code = "timeout";
+          message =
+            Printf.sprintf
+              "kernel stopped after the %d-step budget (possible livelock)" n;
+        }
+  | Simt.Machine.Completed ->
+      let report = Gpu_runtime.Pipeline.report result in
+      Protocol.Result
+        {
+          job;
+          outcome = outcome_of_report ~config ~cache_hit report;
+          queue_ms = 0.0;
+          run_ms = 0.0;
+        }
+
+let run_predict ~config ~job (s : Protocol.submit) =
+  let layout, ops = Gtrace.Serialize.of_string s.Protocol.payload in
+  let a = Predict.Analysis.run ~layout ops in
+  let errors =
+    List.filteri
+      (fun i _ -> i < config.max_report_strings)
+      (List.filter_map
+         (fun (p : Predict.Analysis.prediction) ->
+           match p.Predict.Analysis.status with
+           | Predict.Analysis.Observed -> None
+           | st ->
+               Some
+                 (Format.asprintf "%s race predicted at %a"
+                    (Predict.Analysis.status_string st)
+                    Gtrace.Loc.pp p.Predict.Analysis.loc))
+         a.Predict.Analysis.predictions)
+  in
+  Protocol.Result
+    {
+      job;
+      outcome =
+        {
+          Protocol.verdict =
+            (if Predict.Analysis.has_race a then Protocol.Racy
+             else Protocol.Race_free);
+          races = a.Predict.Analysis.observed_race_count;
+          errors;
+          cache_hit = false;
+          predicted = Predict.Analysis.predicted_count a;
+          confirmed = Predict.Analysis.confirmed_count a;
+        };
+      queue_ms = 0.0;
+      run_ms = 0.0;
+    }
+
+let run ?(config = default_config) ~cache ~job (s : Protocol.submit) =
+  let failed code message = Protocol.Failed { job; code; message } in
+  try
+    match s.Protocol.kind with
+    | Protocol.Check -> run_check ~config ~cache ~job s
+    | Protocol.Predict -> run_predict ~config ~job s
+  with
+  | Ptx.Parser.Error { line; message } ->
+      failed "parse_error" (Printf.sprintf "PTX line %d: %s" line message)
+  | Gtrace.Serialize.Parse_error { line; message } ->
+      failed "parse_error" (Printf.sprintf "trace line %d: %s" line message)
+  | Failure message -> failed "bad_request" message
+  | Invalid_argument message -> failed "exec_error" message
+  | Stack_overflow -> failed "exec_error" "stack overflow"
+  | exn -> failed "exec_error" (Printexc.to_string exn)

@@ -1,0 +1,38 @@
+(** Job execution: one submission through the existing machinery.
+
+    A [Check] job parses/instruments via the artifact {!Cache}
+    (skipping the front half of the pipeline on a hit), then runs the
+    deployed {!Gpu_runtime.Pipeline} on a fresh machine.  A [Predict]
+    job deserializes the trace and runs {!Predict.Analysis}.
+
+    {!run} never raises: every failure mode — malformed PTX or trace,
+    a bad argument spec, a step-budget timeout, an exception anywhere
+    in the pipeline — becomes a structured [Protocol.Failed] response
+    for that job, which is what isolates worker crashes from the
+    daemon. *)
+
+type config = {
+  max_steps : int;
+      (** per-job step budget; exceeding it fails the job with code
+          ["timeout"] (a domain cannot be killed, so the budget is the
+          service's cancellation point) *)
+  max_report_strings : int;  (** cap on pretty-printed errors returned *)
+}
+
+val default_config : config
+
+val default_layout : Vclock.Layout.t
+(** The layout used when a submission does not carry one; equals the
+    [barracuda check] CLI defaults (2 blocks of 64 threads, warp 32). *)
+
+val resolve_args :
+  Simt.Machine.t -> Ptx.Ast.kernel -> string list -> int64 array
+(** CLI-syntax argument resolution ([alloc:BYTES] / [int:V] / bare
+    integer; missing arguments become [alloc:4096]).
+    @raise Failure on a bad spec or too many arguments. *)
+
+val run :
+  ?config:config -> cache:Cache.t -> job:int -> Protocol.submit ->
+  Protocol.response
+(** Always a [Result] or [Failed]; [queue_ms]/[run_ms] are left zero
+    for the scheduler to fill in. *)

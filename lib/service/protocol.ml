@@ -1,0 +1,375 @@
+module Json = Telemetry.Json
+
+type kind = Check | Predict
+
+type submit = {
+  kind : kind;
+  payload : string;
+  layout : (int * int * int) option;
+  args : string list;
+  prune : bool;
+}
+
+let submit_defaults ~kind payload =
+  { kind; payload; layout = None; args = []; prune = true }
+
+type request =
+  | Submit of submit
+  | Status
+  | Metrics
+  | Ping
+  | Shutdown
+
+type verdict = Racy | Race_free
+
+type outcome = {
+  verdict : verdict;
+  races : int;
+  errors : string list;
+  cache_hit : bool;
+  predicted : int;
+  confirmed : int;
+}
+
+type status = {
+  uptime_ms : float;
+  workers : int;
+  busy : int;
+  queue_depth : int;
+  queue_capacity : int;
+  submitted : int;
+  completed : int;
+  failed : int;
+  rejected : int;
+  racy : int;
+  race_free : int;
+  cache_entries : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+}
+
+type response =
+  | Result of { job : int; outcome : outcome; queue_ms : float; run_ms : float }
+  | Rejected of { reason : string; retry_after_ms : int }
+  | Failed of { job : int; code : string; message : string }
+  | Status_reply of status
+  | Metrics_reply of string
+  | Pong
+  | Stopping
+  | Error of string
+
+let verdict_string = function Racy -> "racy" | Race_free -> "race_free"
+let kind_string = function Check -> "check" | Predict -> "predict"
+
+(* ------------------------------ encoding ------------------------- *)
+
+let encode_request r =
+  let doc =
+    match r with
+    | Submit s ->
+        let layout =
+          match s.layout with
+          | None -> []
+          | Some (blocks, tpb, warp) ->
+              [
+                ( "layout",
+                  Json.Obj
+                    [
+                      ("blocks", Json.Int blocks);
+                      ("tpb", Json.Int tpb);
+                      ("warp", Json.Int warp);
+                    ] );
+              ]
+        in
+        let args =
+          match s.args with
+          | [] -> []
+          | l -> [ ("args", Json.List (List.map (fun a -> Json.Str a) l)) ]
+        in
+        Json.Obj
+          ([
+             ("cmd", Json.Str "submit");
+             ("kind", Json.Str (kind_string s.kind));
+             ("payload", Json.Str s.payload);
+           ]
+          @ layout @ args
+          @ if s.prune then [] else [ ("prune", Json.Bool false) ])
+    | Status -> Json.Obj [ ("cmd", Json.Str "status") ]
+    | Metrics -> Json.Obj [ ("cmd", Json.Str "metrics") ]
+    | Ping -> Json.Obj [ ("cmd", Json.Str "ping") ]
+    | Shutdown -> Json.Obj [ ("cmd", Json.Str "shutdown") ]
+  in
+  Json.to_string ~minify:true doc
+
+let field name doc = Json.member name doc
+
+let int_field ?default name doc =
+  match field name doc with
+  | Some (Json.Int i) -> Ok i
+  | Some _ -> Result.Error (Printf.sprintf "field %S must be an integer" name)
+  | None -> (
+      match default with
+      | Some d -> Ok d
+      | None -> Result.Error (Printf.sprintf "missing field %S" name))
+
+let str_field name doc =
+  match field name doc with
+  | Some (Json.Str s) -> Ok s
+  | Some _ -> Result.Error (Printf.sprintf "field %S must be a string" name)
+  | None -> Result.Error (Printf.sprintf "missing field %S" name)
+
+let float_field ?default name doc =
+  match field name doc with
+  | Some (Json.Float f) -> Ok f
+  | Some (Json.Int i) -> Ok (float_of_int i)
+  | Some _ -> Result.Error (Printf.sprintf "field %S must be a number" name)
+  | None -> (
+      match default with
+      | Some d -> Ok d
+      | None -> Result.Error (Printf.sprintf "missing field %S" name))
+
+let ( let* ) = Result.bind
+
+let decode_submit doc =
+  let* kind =
+    match field "kind" doc with
+    | Some (Json.Str "check") | None -> Ok Check
+    | Some (Json.Str "predict") -> Ok Predict
+    | Some (Json.Str k) -> Result.Error (Printf.sprintf "unknown kind %S" k)
+    | Some _ -> Result.Error "field \"kind\" must be a string"
+  in
+  let* payload = str_field "payload" doc in
+  let* layout =
+    match field "layout" doc with
+    | None -> Ok None
+    | Some l ->
+        let* blocks = int_field "blocks" l in
+        let* tpb = int_field "tpb" l in
+        let* warp = int_field ~default:32 "warp" l in
+        Ok (Some (blocks, tpb, warp))
+  in
+  let* args =
+    match field "args" doc with
+    | None -> Ok []
+    | Some (Json.List l) ->
+        List.fold_right
+          (fun a acc ->
+            let* acc = acc in
+            match a with
+            | Json.Str s -> Ok (s :: acc)
+            | _ -> Result.Error "field \"args\" must be a list of strings")
+          l (Ok [])
+    | Some _ -> Result.Error "field \"args\" must be a list"
+  in
+  let prune =
+    match field "prune" doc with Some (Json.Bool b) -> b | _ -> true
+  in
+  Ok (Submit { kind; payload; layout; args; prune })
+
+let decode_request line =
+  match Json.of_string line with
+  | Result.Error e -> Result.Error e
+  | Ok doc -> (
+      match field "cmd" doc with
+      | Some (Json.Str "submit") -> decode_submit doc
+      | Some (Json.Str "status") -> Ok Status
+      | Some (Json.Str "metrics") -> Ok Metrics
+      | Some (Json.Str "ping") -> Ok Ping
+      | Some (Json.Str "shutdown") -> Ok Shutdown
+      | Some (Json.Str c) -> Result.Error (Printf.sprintf "unknown cmd %S" c)
+      | Some _ -> Result.Error "field \"cmd\" must be a string"
+      | None -> Result.Error "missing field \"cmd\"")
+
+let encode_response r =
+  let doc =
+    match r with
+    | Result { job; outcome = o; queue_ms; run_ms } ->
+        Json.Obj
+          [
+            ("ok", Json.Bool true);
+            ("job", Json.Int job);
+            ("verdict", Json.Str (verdict_string o.verdict));
+            ("races", Json.Int o.races);
+            ("errors", Json.List (List.map (fun e -> Json.Str e) o.errors));
+            ("cache", Json.Str (if o.cache_hit then "hit" else "miss"));
+            ("predicted", Json.Int o.predicted);
+            ("confirmed", Json.Int o.confirmed);
+            ("queue_ms", Json.Float queue_ms);
+            ("run_ms", Json.Float run_ms);
+          ]
+    | Rejected { reason; retry_after_ms } ->
+        Json.Obj
+          [
+            ("ok", Json.Bool false);
+            ("error", Json.Str reason);
+            ("retry_after_ms", Json.Int retry_after_ms);
+          ]
+    | Failed { job; code; message } ->
+        Json.Obj
+          [
+            ("ok", Json.Bool false);
+            ("job", Json.Int job);
+            ("error", Json.Str code);
+            ("message", Json.Str message);
+          ]
+    | Status_reply s ->
+        Json.Obj
+          [
+            ("ok", Json.Bool true);
+            ("uptime_ms", Json.Float s.uptime_ms);
+            ("workers", Json.Int s.workers);
+            ("busy", Json.Int s.busy);
+            ("queue_depth", Json.Int s.queue_depth);
+            ("queue_capacity", Json.Int s.queue_capacity);
+            ( "jobs",
+              Json.Obj
+                [
+                  ("submitted", Json.Int s.submitted);
+                  ("completed", Json.Int s.completed);
+                  ("failed", Json.Int s.failed);
+                  ("rejected", Json.Int s.rejected);
+                  ("racy", Json.Int s.racy);
+                  ("race_free", Json.Int s.race_free);
+                ] );
+            ( "cache",
+              Json.Obj
+                [
+                  ("entries", Json.Int s.cache_entries);
+                  ("hits", Json.Int s.cache_hits);
+                  ("misses", Json.Int s.cache_misses);
+                  ("evictions", Json.Int s.cache_evictions);
+                ] );
+          ]
+    | Metrics_reply text ->
+        Json.Obj [ ("ok", Json.Bool true); ("metrics", Json.Str text) ]
+    | Pong -> Json.Obj [ ("ok", Json.Bool true); ("pong", Json.Bool true) ]
+    | Stopping -> Json.Obj [ ("ok", Json.Bool true); ("stopping", Json.Bool true) ]
+    | Error message ->
+        Json.Obj
+          [
+            ("ok", Json.Bool false);
+            ("error", Json.Str "protocol_error");
+            ("message", Json.Str message);
+          ]
+  in
+  Json.to_string ~minify:true doc
+
+let decode_status doc =
+  let* uptime_ms = float_field ~default:0.0 "uptime_ms" doc in
+  let* workers = int_field "workers" doc in
+  let* busy = int_field "busy" doc in
+  let* queue_depth = int_field "queue_depth" doc in
+  let* queue_capacity = int_field "queue_capacity" doc in
+  let jobs = Option.value ~default:(Json.Obj []) (field "jobs" doc) in
+  let cache = Option.value ~default:(Json.Obj []) (field "cache" doc) in
+  let* submitted = int_field ~default:0 "submitted" jobs in
+  let* completed = int_field ~default:0 "completed" jobs in
+  let* failed = int_field ~default:0 "failed" jobs in
+  let* rejected = int_field ~default:0 "rejected" jobs in
+  let* racy = int_field ~default:0 "racy" jobs in
+  let* race_free = int_field ~default:0 "race_free" jobs in
+  let* cache_entries = int_field ~default:0 "entries" cache in
+  let* cache_hits = int_field ~default:0 "hits" cache in
+  let* cache_misses = int_field ~default:0 "misses" cache in
+  let* cache_evictions = int_field ~default:0 "evictions" cache in
+  Ok
+    (Status_reply
+       {
+         uptime_ms;
+         workers;
+         busy;
+         queue_depth;
+         queue_capacity;
+         submitted;
+         completed;
+         failed;
+         rejected;
+         racy;
+         race_free;
+         cache_entries;
+         cache_hits;
+         cache_misses;
+         cache_evictions;
+       })
+
+let decode_result doc =
+  let* job = int_field "job" doc in
+  let* verdict =
+    match field "verdict" doc with
+    | Some (Json.Str "racy") -> Ok Racy
+    | Some (Json.Str "race_free") -> Ok Race_free
+    | Some (Json.Str v) -> Result.Error (Printf.sprintf "unknown verdict %S" v)
+    | _ -> Result.Error "missing field \"verdict\""
+  in
+  let* races = int_field ~default:0 "races" doc in
+  let* predicted = int_field ~default:0 "predicted" doc in
+  let* confirmed = int_field ~default:0 "confirmed" doc in
+  let errors =
+    match field "errors" doc with
+    | Some (Json.List l) ->
+        List.filter_map (function Json.Str s -> Some s | _ -> None) l
+    | _ -> []
+  in
+  let cache_hit =
+    match field "cache" doc with Some (Json.Str "hit") -> true | _ -> false
+  in
+  let* queue_ms = float_field ~default:0.0 "queue_ms" doc in
+  let* run_ms = float_field ~default:0.0 "run_ms" doc in
+  Ok
+    (Result
+       {
+         job;
+         outcome = { verdict; races; errors; cache_hit; predicted; confirmed };
+         queue_ms;
+         run_ms;
+       })
+
+let decode_response line =
+  match Json.of_string line with
+  | Result.Error e -> Result.Error e
+  | Ok doc -> (
+      let ok = match field "ok" doc with Some (Json.Bool b) -> b | _ -> false in
+      if ok then
+        match field "pong" doc with
+        | Some (Json.Bool true) -> Ok Pong
+        | _ -> (
+            match field "stopping" doc with
+            | Some (Json.Bool true) -> Ok Stopping
+            | _ -> (
+                match field "metrics" doc with
+                | Some (Json.Str text) -> Ok (Metrics_reply text)
+                | _ ->
+                    if field "workers" doc <> None then decode_status doc
+                    else decode_result doc))
+      else
+        match field "error" doc with
+        | Some (Json.Str "protocol_error") ->
+            let* message = str_field "message" doc in
+            Ok (Error message)
+        | Some (Json.Str reason) -> (
+            match field "retry_after_ms" doc with
+            | Some (Json.Int retry_after_ms) ->
+                Ok (Rejected { reason; retry_after_ms })
+            | _ ->
+                let* job = int_field "job" doc in
+                let* message = str_field "message" doc in
+                Ok (Failed { job; code = reason; message }))
+        | _ -> Result.Error "missing field \"error\"")
+
+(* ------------------------------ framing -------------------------- *)
+
+let max_frame_bytes = 16 * 1024 * 1024
+
+let write_frame fd line =
+  let payload = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length payload in
+  let sent = ref 0 in
+  while !sent < len do
+    sent := !sent + Unix.write fd payload !sent (len - !sent)
+  done
+
+let read_frame ic =
+  match input_line ic with
+  | line -> if String.length line > max_frame_bytes then None else Some line
+  | exception End_of_file -> None

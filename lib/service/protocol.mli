@@ -1,0 +1,119 @@
+(** Wire protocol of the race-checking service.
+
+    Newline-delimited JSON over a Unix domain socket: each request and
+    each response is one JSON object on one line.  A client sends any
+    number of control requests ([ping]/[status]/[metrics]) on a
+    connection; a [submit] request is answered asynchronously by a
+    worker when the job completes, and ends the exchange on that
+    connection.
+
+    {v
+    -> {"cmd":"submit","kind":"check","payload":".visible .entry k..."}
+    <- {"ok":true,"job":3,"verdict":"race_free","races":0,"cache":"hit",...}
+
+    -> {"cmd":"submit","kind":"check","payload":"not ptx"}
+    <- {"ok":false,"job":4,"error":"parse_error","message":"line 1: ..."}
+
+    -> {"cmd":"submit",...}            (queue at capacity)
+    <- {"ok":false,"error":"queue_full","retry_after_ms":50}
+    v}
+
+    Everything a daemon can send is a {!response}; malformed requests
+    produce [Error] (and close the connection) rather than killing the
+    server. *)
+
+type kind =
+  | Check  (** race-check a PTX kernel through the deployed pipeline *)
+  | Predict  (** predictive analysis over a serialized trace *)
+
+type submit = {
+  kind : kind;
+  payload : string;
+      (** PTX source ([Check]) or a serialized trace ([Predict]) *)
+  layout : (int * int * int) option;
+      (** (blocks, threads/block, warp size); [None] = server default.
+          Ignored for [Predict] — the trace header carries its layout. *)
+  args : string list;
+      (** kernel argument specs in the CLI syntax ([alloc:BYTES],
+          [int:V], bare integer); missing ones default to [alloc:4096] *)
+  prune : bool;  (** apply the logging-pruning optimization *)
+}
+
+val submit_defaults : kind:kind -> string -> submit
+(** A submission of [payload] with default layout, args and pruning. *)
+
+type request =
+  | Submit of submit
+  | Status
+  | Metrics  (** Prometheus text exposition of the daemon's registry *)
+  | Ping
+  | Shutdown
+
+type verdict = Racy | Race_free
+
+type outcome = {
+  verdict : verdict;
+  races : int;  (** distinct races (observed, for [Predict]) *)
+  errors : string list;  (** pretty-printed reports, capped *)
+  cache_hit : bool;  (** artifact cache hit ([Check] only) *)
+  predicted : int;  (** schedule-sensitive predictions ([Predict] only) *)
+  confirmed : int;  (** predictions confirmed by witness replay *)
+}
+
+type status = {
+  uptime_ms : float;
+  workers : int;
+  busy : int;  (** workers currently executing a job *)
+  queue_depth : int;
+  queue_capacity : int;
+  submitted : int;
+  completed : int;
+  failed : int;
+  rejected : int;
+  racy : int;
+  race_free : int;
+  cache_entries : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+}
+
+type response =
+  | Result of {
+      job : int;
+      outcome : outcome;
+      queue_ms : float;  (** time spent waiting in the job queue *)
+      run_ms : float;  (** execution time on the worker *)
+    }
+  | Rejected of { reason : string; retry_after_ms : int }
+      (** backpressure: the job queue is full (or the daemon is
+          stopping); retry after the hinted delay *)
+  | Failed of { job : int; code : string; message : string }
+      (** the job itself failed — [parse_error], [bad_request],
+          [timeout] or [exec_error] — without affecting the daemon *)
+  | Status_reply of status
+  | Metrics_reply of string
+  | Pong
+  | Stopping
+  | Error of string  (** protocol-level error (unparsable request) *)
+
+val verdict_string : verdict -> string
+
+(** {1 Encoding}  One line per message, newline not included. *)
+
+val encode_request : request -> string
+val decode_request : string -> (request, string) result
+val encode_response : response -> string
+val decode_response : string -> (response, string) result
+
+(** {1 Framing} *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write [line ^ "\n"], handling short writes.
+    @raise Unix.Unix_error if the peer is gone. *)
+
+val read_frame : in_channel -> string option
+(** Next line, [None] on end of input. *)
+
+val max_frame_bytes : int
+(** Requests beyond this size are rejected while reading ([Error]). *)

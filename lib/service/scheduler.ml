@@ -1,0 +1,235 @@
+type config = { workers : int; queue_capacity : int; retry_after_ms : int }
+
+let default_config = { workers = 2; queue_capacity = 64; retry_after_ms = 50 }
+
+type counts = {
+  submitted : int;
+  completed : int;
+  failed : int;
+  rejected : int;
+  racy : int;
+  race_free : int;
+}
+
+type job = {
+  id : int;
+  submit : Protocol.submit;
+  reply : Protocol.response -> unit;
+  enqueued_ns : int64;
+}
+
+type t = {
+  config : config;
+  exec : job:int -> Protocol.submit -> Protocol.response;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  pending : job Queue.t;
+  mutable stopping : bool;
+  mutable joined : bool;
+  mutable next_id : int;
+  mutable busy : int;
+  mutable c : counts;
+  mutable workers : unit Domain.t list;
+  m_jobs_racy : Telemetry.Metric.counter;
+  m_jobs_race_free : Telemetry.Metric.counter;
+  m_jobs_failed : Telemetry.Metric.counter;
+  m_jobs_rejected : Telemetry.Metric.counter;
+  g_depth : Telemetry.Metric.gauge;
+  g_busy : Telemetry.Metric.gauge;
+  h_queue_wait : Telemetry.Metric.histogram;
+  h_run : Telemetry.Metric.histogram;
+}
+
+let latency_bounds =
+  [| 0.1; 0.25; 0.5; 1.0; 2.5; 5.0; 10.0; 25.0; 50.0; 100.0; 250.0; 500.0;
+     1000.0; 2500.0; 5000.0 |]
+
+let jobs_counter verdict =
+  Telemetry.Registry.counter
+    ~help:"Service jobs by final verdict"
+    ~labels:[ ("verdict", verdict) ]
+    Telemetry.Registry.default "barracuda_service_jobs_total"
+
+let ms_of_ns ns = Int64.to_float ns /. 1e6
+
+(* One worker: block on the condition variable, run jobs until the
+   scheduler stops AND the queue is drained (queued jobs are honored
+   across shutdown — their clients are still waiting). *)
+let worker_loop t =
+  let running = ref true in
+  while !running do
+    Mutex.lock t.lock;
+    while Queue.is_empty t.pending && not t.stopping do
+      Condition.wait t.nonempty t.lock
+    done;
+    if Queue.is_empty t.pending then begin
+      Mutex.unlock t.lock;
+      running := false
+    end
+    else begin
+      let job = Queue.pop t.pending in
+      t.busy <- t.busy + 1;
+      Telemetry.Metric.gauge_set t.g_depth (Queue.length t.pending);
+      Telemetry.Metric.gauge_set t.g_busy t.busy;
+      Mutex.unlock t.lock;
+      let queue_ms =
+        ms_of_ns (Telemetry.Clock.elapsed_ns ~since:job.enqueued_ns)
+      in
+      Telemetry.Metric.histogram_observe t.h_queue_wait queue_ms;
+      let t0 = Telemetry.Clock.now_ns () in
+      let response =
+        try t.exec ~job:job.id job.submit
+        with exn ->
+          (* {!Exec.run} already catches everything; this guards a
+             future exec that does not. *)
+          Protocol.Failed
+            { job = job.id; code = "exec_error";
+              message = Printexc.to_string exn }
+      in
+      let run_ms = ms_of_ns (Telemetry.Clock.elapsed_ns ~since:t0) in
+      Telemetry.Metric.histogram_observe t.h_run run_ms;
+      let response =
+        match response with
+        | Protocol.Result r -> Protocol.Result { r with queue_ms; run_ms }
+        | other -> other
+      in
+      (* Account the job before replying: a client that has received its
+         result must observe it in a subsequent status query. *)
+      Mutex.lock t.lock;
+      t.busy <- t.busy - 1;
+      Telemetry.Metric.gauge_set t.g_busy t.busy;
+      (match response with
+      | Protocol.Result { outcome; _ } ->
+          let c = t.c in
+          t.c <-
+            (match outcome.Protocol.verdict with
+            | Protocol.Racy -> { c with completed = c.completed + 1; racy = c.racy + 1 }
+            | Protocol.Race_free ->
+                { c with completed = c.completed + 1; race_free = c.race_free + 1 });
+          Telemetry.Metric.counter_incr
+            (match outcome.Protocol.verdict with
+            | Protocol.Racy -> t.m_jobs_racy
+            | Protocol.Race_free -> t.m_jobs_race_free)
+      | _ ->
+          t.c <- { t.c with failed = t.c.failed + 1 };
+          Telemetry.Metric.counter_incr t.m_jobs_failed);
+      Mutex.unlock t.lock;
+      (try job.reply response with _ -> ())
+    end
+  done
+
+let create ?(config = default_config) ~exec () =
+  if config.workers < 1 then
+    invalid_arg "Scheduler.create: workers must be positive";
+  if config.queue_capacity < 1 then
+    invalid_arg "Scheduler.create: queue_capacity must be positive";
+  let reg = Telemetry.Registry.default in
+  let t =
+    {
+      config;
+      exec;
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      pending = Queue.create ();
+      stopping = false;
+      joined = false;
+      next_id = 0;
+      busy = 0;
+      c =
+        {
+          submitted = 0;
+          completed = 0;
+          failed = 0;
+          rejected = 0;
+          racy = 0;
+          race_free = 0;
+        };
+      workers = [];
+      m_jobs_racy = jobs_counter "racy";
+      m_jobs_race_free = jobs_counter "race_free";
+      m_jobs_failed = jobs_counter "failed";
+      m_jobs_rejected = jobs_counter "rejected";
+      g_depth =
+        Telemetry.Registry.gauge ~help:"Jobs waiting in the service queue" reg
+          "barracuda_service_queue_depth";
+      g_busy =
+        Telemetry.Registry.gauge ~help:"Workers currently executing a job" reg
+          "barracuda_service_busy_workers";
+      h_queue_wait =
+        Telemetry.Registry.histogram ~help:"Job queue wait (ms)"
+          ~bounds:latency_bounds reg "barracuda_service_queue_wait_ms";
+      h_run =
+        Telemetry.Registry.histogram ~help:"Job execution time (ms)"
+          ~bounds:latency_bounds reg "barracuda_service_job_run_ms";
+    }
+  in
+  t.workers <-
+    List.init config.workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let submit t sub ~reply =
+  Mutex.lock t.lock;
+  if t.stopping then begin
+    t.c <- { t.c with rejected = t.c.rejected + 1 };
+    Mutex.unlock t.lock;
+    Telemetry.Metric.counter_incr t.m_jobs_rejected;
+    (try
+       reply
+         (Protocol.Rejected
+            { reason = "shutting_down";
+              retry_after_ms = t.config.retry_after_ms })
+     with _ -> ())
+  end
+  else if Queue.length t.pending >= t.config.queue_capacity then begin
+    t.c <- { t.c with rejected = t.c.rejected + 1 };
+    Mutex.unlock t.lock;
+    Telemetry.Metric.counter_incr t.m_jobs_rejected;
+    (try
+       reply
+         (Protocol.Rejected
+            { reason = "queue_full"; retry_after_ms = t.config.retry_after_ms })
+     with _ -> ())
+  end
+  else begin
+    t.next_id <- t.next_id + 1;
+    t.c <- { t.c with submitted = t.c.submitted + 1 };
+    Queue.push
+      {
+        id = t.next_id;
+        submit = sub;
+        reply;
+        enqueued_ns = Telemetry.Clock.now_ns ();
+      }
+      t.pending;
+    Telemetry.Metric.gauge_set t.g_depth (Queue.length t.pending);
+    Condition.signal t.nonempty;
+    Mutex.unlock t.lock
+  end
+
+let depth t =
+  Mutex.lock t.lock;
+  let d = Queue.length t.pending in
+  Mutex.unlock t.lock;
+  d
+
+let busy t =
+  Mutex.lock t.lock;
+  let b = t.busy in
+  Mutex.unlock t.lock;
+  b
+
+let counts t =
+  Mutex.lock t.lock;
+  let c = t.c in
+  Mutex.unlock t.lock;
+  c
+
+let stop t =
+  Mutex.lock t.lock;
+  let first = not t.stopping in
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  let join_here = first && not t.joined in
+  if join_here then t.joined <- true;
+  Mutex.unlock t.lock;
+  if join_here then List.iter Domain.join t.workers

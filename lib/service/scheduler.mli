@@ -1,0 +1,65 @@
+(** Bounded job queue and worker pool.
+
+    Submissions enter a FIFO of fixed capacity; a pool of OCaml 5
+    domains drains it, each job running the full checking machinery on
+    its worker.  When the queue is at capacity a submission is turned
+    away immediately with a [Rejected] response carrying a retry hint
+    — explicit backpressure instead of unbounded buffering, matching
+    the GPU→host queues' discipline one layer up.
+
+    The [exec] callback is expected not to raise ({!Exec.run}); as a
+    second line of defense any exception it does raise is converted to
+    a [Failed] response, so a job can never take a worker (or the
+    daemon) down with it.
+
+    Telemetry: [barracuda_service_jobs_total{verdict=...}] (racy /
+    race_free / failed / rejected), the [barracuda_service_queue_depth]
+    and [barracuda_service_busy_workers] gauges, and the
+    [barracuda_service_queue_wait_ms] / [barracuda_service_job_run_ms]
+    latency histograms. *)
+
+type config = {
+  workers : int;
+  queue_capacity : int;
+  retry_after_ms : int;  (** hint carried by reject responses *)
+}
+
+val default_config : config
+(** 2 workers, capacity 64, retry after 50 ms. *)
+
+type counts = {
+  submitted : int;
+  completed : int;
+  failed : int;
+  rejected : int;
+  racy : int;
+  race_free : int;
+}
+
+type t
+
+val create :
+  ?config:config ->
+  exec:(job:int -> Protocol.submit -> Protocol.response) ->
+  unit ->
+  t
+(** Spawns the worker domains immediately.
+    @raise Invalid_argument on a non-positive worker count or
+    capacity. *)
+
+val submit :
+  t -> Protocol.submit -> reply:(Protocol.response -> unit) -> unit
+(** Enqueue a job.  [reply] is invoked exactly once — with [Rejected]
+    synchronously when the queue is full (or the scheduler is
+    stopping), otherwise from a worker domain with the job's [Result]
+    or [Failed] (timings filled in).  Exceptions from [reply] are
+    swallowed: a client that hung up cannot hurt the worker. *)
+
+val depth : t -> int
+val busy : t -> int
+val counts : t -> counts
+
+val stop : t -> unit
+(** Stop accepting work, let the workers finish everything already
+    queued, and join them.  Idempotent; safe to call from any domain
+    or thread. *)

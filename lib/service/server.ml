@@ -1,0 +1,225 @@
+type config = {
+  socket_path : string;
+  workers : int;
+  queue_capacity : int;
+  retry_after_ms : int;
+  max_steps : int;
+  cache_capacity : int;
+  read_timeout_s : float;
+}
+
+let default_config =
+  {
+    socket_path = Filename.concat (Filename.get_temp_dir_name ()) "barracuda.sock";
+    workers = 2;
+    queue_capacity = 64;
+    retry_after_ms = 50;
+    max_steps = Exec.default_config.Exec.max_steps;
+    cache_capacity = 128;
+    read_timeout_s = 30.0;
+  }
+
+type t = {
+  config : config;
+  cache : Cache.t;
+  sched : Scheduler.t;
+  listener : Unix.file_descr;
+  stopping : bool Atomic.t;
+  started_ns : int64;
+  mutable accept_domain : unit Domain.t option;
+  m_connections : Telemetry.Metric.counter;
+  m_protocol_errors : Telemetry.Metric.counter;
+}
+
+let socket_path t = t.config.socket_path
+
+let status t =
+  let c = Scheduler.counts t.sched in
+  let cs = Cache.stats t.cache in
+  {
+    Protocol.uptime_ms =
+      Int64.to_float (Telemetry.Clock.elapsed_ns ~since:t.started_ns) /. 1e6;
+    workers = t.config.workers;
+    busy = Scheduler.busy t.sched;
+    queue_depth = Scheduler.depth t.sched;
+    queue_capacity = t.config.queue_capacity;
+    submitted = c.Scheduler.submitted;
+    completed = c.Scheduler.completed;
+    failed = c.Scheduler.failed;
+    rejected = c.Scheduler.rejected;
+    racy = c.Scheduler.racy;
+    race_free = c.Scheduler.race_free;
+    cache_entries = cs.Cache.entries;
+    cache_hits = cs.Cache.hits;
+    cache_misses = cs.Cache.misses;
+    cache_evictions = cs.Cache.evictions;
+  }
+
+let request_stop t =
+  if Atomic.compare_and_set t.stopping false true then begin
+    (* A blocked [accept] does not notice its descriptor being closed
+       (Linux keeps it parked), so wake the accept loop with a
+       throwaway self-connection; it re-checks the stopping flag on
+       every accept. *)
+    try
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX t.config.socket_path)
+       with Unix.Unix_error _ -> ());
+      try Unix.close fd with Unix.Unix_error _ -> ()
+    with Unix.Unix_error _ -> ()
+  end
+
+(* One client connection, on its own thread.  Reads are channel-based
+   (line framing); replies go straight to the descriptor.  Every exit
+   path closes the descriptor exactly once — except a dispatched
+   submission, whose worker owns the close. *)
+let handle_connection t fd =
+  Telemetry.Metric.counter_incr t.m_connections;
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.read_timeout_s
+   with Unix.Unix_error _ | Invalid_argument _ -> ());
+  let ic = Unix.in_channel_of_descr fd in
+  let closed = ref false in
+  let close () =
+    if not !closed then begin
+      closed := true;
+      try Unix.close fd with Unix.Unix_error _ -> ()
+    end
+  in
+  let send resp =
+    try Protocol.write_frame fd (Protocol.encode_response resp)
+    with Unix.Unix_error _ | Sys_error _ -> close ()
+  in
+  let rec loop () =
+    match Protocol.read_frame ic with
+    | None -> close ()
+    | exception (Sys_error _ | Unix.Unix_error _ | End_of_file) -> close ()
+    | Some line -> (
+        match Protocol.decode_request line with
+        | Error msg ->
+            Telemetry.Metric.counter_incr t.m_protocol_errors;
+            send (Protocol.Error msg);
+            close ()
+        | Ok Protocol.Ping ->
+            send Protocol.Pong;
+            loop ()
+        | Ok Protocol.Status ->
+            send (Protocol.Status_reply (status t));
+            loop ()
+        | Ok Protocol.Metrics ->
+            send
+              (Protocol.Metrics_reply
+                 (Telemetry.Export.to_prometheus Telemetry.Registry.default));
+            loop ()
+        | Ok Protocol.Shutdown ->
+            send Protocol.Stopping;
+            close ();
+            request_stop t
+        | Ok (Protocol.Submit sub) ->
+            (* The reply callback runs on a worker domain; from here on
+               the worker owns the descriptor. *)
+            Scheduler.submit t.sched sub ~reply:(fun resp ->
+                (try Protocol.write_frame fd (Protocol.encode_response resp)
+                 with Unix.Unix_error _ | Sys_error _ -> ());
+                try Unix.close fd with Unix.Unix_error _ -> ()))
+  in
+  try loop () with _ -> close ()
+
+let accept_loop t =
+  let rec go () =
+    if Atomic.get t.stopping then ()
+    else
+      match Unix.accept ~cloexec:true t.listener with
+      | fd, _ ->
+          if Atomic.get t.stopping then (
+            (try Unix.close fd with Unix.Unix_error _ -> ()))
+          else begin
+            ignore (Thread.create (fun () -> handle_connection t fd) ());
+            go ()
+          end
+      | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EINTR), _, _) ->
+          go ()
+      | exception Unix.Unix_error _ ->
+          (* EBADF/EINVAL: the listener broke under us; end the loop
+             rather than spin. *)
+          ()
+  in
+  go ()
+
+let start ?(config = default_config) () =
+  let cache = Cache.create ~capacity:config.cache_capacity () in
+  let exec_config =
+    { Exec.default_config with Exec.max_steps = config.max_steps }
+  in
+  let sched =
+    Scheduler.create
+      ~config:
+        {
+          Scheduler.workers = config.workers;
+          queue_capacity = config.queue_capacity;
+          retry_after_ms = config.retry_after_ms;
+        }
+      ~exec:(fun ~job sub -> Exec.run ~config:exec_config ~cache ~job sub)
+      ()
+  in
+  let listener = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let addr = Unix.ADDR_UNIX config.socket_path in
+  (match Unix.bind listener addr with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) ->
+      (* A previous daemon's socket file.  Only steal the address if
+         nothing answers on it. *)
+      let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let live =
+        match Unix.connect probe addr with
+        | () -> true
+        | exception Unix.Unix_error _ -> false
+      in
+      (try Unix.close probe with Unix.Unix_error _ -> ());
+      if live then begin
+        (try Unix.close listener with Unix.Unix_error _ -> ());
+        Scheduler.stop sched;
+        raise
+          (Unix.Unix_error (Unix.EADDRINUSE, "bind", config.socket_path))
+      end
+      else begin
+        (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+        Unix.bind listener addr
+      end
+  | exception e ->
+      (try Unix.close listener with Unix.Unix_error _ -> ());
+      Scheduler.stop sched;
+      raise e);
+  Unix.listen listener 64;
+  let t =
+    {
+      config;
+      cache;
+      sched;
+      listener;
+      stopping = Atomic.make false;
+      started_ns = Telemetry.Clock.now_ns ();
+      accept_domain = None;
+      m_connections =
+        Telemetry.Registry.counter ~help:"Client connections accepted"
+          Telemetry.Registry.default "barracuda_service_connections_total";
+      m_protocol_errors =
+        Telemetry.Registry.counter ~help:"Unparsable requests received"
+          Telemetry.Registry.default "barracuda_service_protocol_errors_total";
+    }
+  in
+  t.accept_domain <- Some (Domain.spawn (fun () -> accept_loop t));
+  t
+
+let wait t =
+  (match t.accept_domain with
+  | Some d ->
+      Domain.join d;
+      t.accept_domain <- None
+  | None -> ());
+  (try Unix.close t.listener with Unix.Unix_error _ -> ());
+  Scheduler.stop t.sched;
+  try Unix.unlink t.config.socket_path with Unix.Unix_error _ | Sys_error _ -> ()
+
+let stop t =
+  request_stop t;
+  wait t

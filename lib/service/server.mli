@@ -1,0 +1,55 @@
+(** The race-checking daemon.
+
+    Listens on a Unix domain socket, speaks the newline-delimited JSON
+    {!Protocol}, and dispatches submissions to a {!Scheduler} worker
+    pool backed by the shared artifact {!Cache}.
+
+    Concurrency shape: one accept domain; each accepted connection is
+    read on a lightweight thread of that domain (so a slow or silent
+    client never blocks other clients); job replies are written
+    directly from whichever worker domain completed the job.  A
+    connection carries any number of control requests but at most one
+    submission — the worker's reply ends it.
+
+    Failure isolation: protocol errors, client disconnects and job
+    failures are all confined to their connection/job; nothing a
+    client sends can stop the accept loop. *)
+
+type config = {
+  socket_path : string;
+  workers : int;
+  queue_capacity : int;
+  retry_after_ms : int;
+  max_steps : int;  (** per-job step budget (the timeout) *)
+  cache_capacity : int;
+  read_timeout_s : float;
+      (** receive timeout per connection; a client that connects and
+          sends nothing is dropped after this long *)
+}
+
+val default_config : config
+(** Socket [barracuda.sock] in the system temp directory, 2 workers,
+    queue 64, 2M-step budget, cache 128, 30 s read timeout. *)
+
+type t
+
+val start : ?config:config -> unit -> t
+(** Bind the socket (replacing a stale file at that path), spawn the
+    workers and the accept domain, and return immediately.
+    @raise Unix.Unix_error if the socket cannot be bound. *)
+
+val socket_path : t -> string
+
+val request_stop : t -> unit
+(** Initiate shutdown: stop accepting connections.  Returns
+    immediately; pair with {!wait}.  Safe from a signal handler. *)
+
+val wait : t -> unit
+(** Block until shutdown is initiated (a [shutdown] request,
+    {!request_stop}, or a signal handler calling it), then drain the
+    job queue, join the workers and remove the socket file. *)
+
+val stop : t -> unit
+(** [request_stop] + [wait]. *)
+
+val status : t -> Protocol.status

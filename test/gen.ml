@@ -221,3 +221,33 @@ let trace_of_program prog =
   let k = kernel_of_program prog in
   let args = setup m in
   Gtrace.Infer.run ~layout m k args
+
+(* ---- Deterministic property runs --------------------------------- *)
+
+(* Property tests draw from a pinned PRNG seed so a CI failure
+   reproduces locally; override with QCHECK_SEED=<int>.  The seed in
+   effect is printed whenever a property fails. *)
+let qcheck_seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | None | Some "" -> 0x5ca1ab1e
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> n
+      | None ->
+          Printf.ksprintf failwith "QCHECK_SEED must be an integer, got %S" s)
+
+(* Drop-in for [QCheck_alcotest.to_alcotest], seeded with
+   [qcheck_seed] instead of self-initialized randomness. *)
+let to_alcotest test =
+  let name, speed, run =
+    QCheck_alcotest.to_alcotest
+      ~rand:(Random.State.make [| qcheck_seed |])
+      test
+  in
+  ( name,
+    speed,
+    fun arg ->
+      try run arg
+      with e ->
+        Printf.eprintf "[qcheck] reproduce with QCHECK_SEED=%d\n%!" qcheck_seed;
+        raise e )

@@ -19,4 +19,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("telemetry", Test_telemetry.suite);
       ("predict", Test_predict.suite);
+      ("service", Test_service.suite);
     ]

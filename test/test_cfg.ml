@@ -132,5 +132,5 @@ let suite =
     Alcotest.test_case "loop reconvergence" `Quick test_loop_back_edge;
     Alcotest.test_case "preds consistent with succs" `Quick test_preds_consistent;
   ]
-  @ List.map QCheck_alcotest.to_alcotest
+  @ List.map Gen.to_alcotest
       [ prop_reconvergence_defined; prop_block_partition ]

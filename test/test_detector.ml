@@ -278,5 +278,5 @@ let suite =
     Alcotest.test_case "rule: barrier orders" `Quick test_rule_barrier_separates;
     Alcotest.test_case "rule: missing barrier" `Quick test_rule_no_barrier_races;
   ]
-  @ List.map QCheck_alcotest.to_alcotest
+  @ List.map Gen.to_alcotest
       [ prop_detector_matches_reference; prop_detector_deterministic ]

@@ -253,5 +253,5 @@ let suite =
     Alcotest.test_case "serialize replay verdict" `Quick
       test_serialize_replay_equal_verdict;
   ]
-  @ List.map QCheck_alcotest.to_alcotest
+  @ List.map Gen.to_alcotest
       [ prop_traces_feasible; prop_trace_roundtrip ]

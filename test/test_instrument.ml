@@ -206,7 +206,7 @@ let suite =
       test_convergence_points_logged;
     Alcotest.test_case "origin mapping" `Quick test_origin_mapping;
   ]
-  @ List.map QCheck_alcotest.to_alcotest
+  @ List.map Gen.to_alcotest
       [
         prop_instrumented_kernels_still_valid;
         prop_instrumented_execution_equivalent;

@@ -228,6 +228,6 @@ let suite =
       test_predictive_twin_race_free;
     Alcotest.test_case "suite: predict scores the supplement" `Quick
       test_predictive_suite_score;
-    QCheck_alcotest.to_alcotest prop_witnesses_valid;
-    QCheck_alcotest.to_alcotest prop_observed_races_enumerated;
+    Gen.to_alcotest prop_witnesses_valid;
+    Gen.to_alcotest prop_observed_races_enumerated;
   ]

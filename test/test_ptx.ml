@@ -230,5 +230,5 @@ let suite =
     Alcotest.test_case "builder while loop" `Quick test_builder_while_loops;
     Alcotest.test_case "validate catches errors" `Quick test_validate_catches;
   ]
-  @ List.map QCheck_alcotest.to_alcotest
+  @ List.map Gen.to_alcotest
       [ prop_builder_print_parse_roundtrip; prop_builder_kernels_validate ]

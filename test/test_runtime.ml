@@ -257,5 +257,5 @@ let suite =
     Alcotest.test_case "pipeline preserves results" `Quick
       test_pipeline_instrumented_execution_correct;
   ]
-  @ List.map QCheck_alcotest.to_alcotest
+  @ List.map Gen.to_alcotest
       [ prop_pipeline_matches_teed_detector; prop_pipeline_no_false_positives ]

@@ -1,0 +1,515 @@
+(* The race-checking service: wire protocol, artifact cache, scheduler
+   backpressure, daemon lifecycle (crash isolation, timeouts), and
+   verdict parity between the daemon and one-shot checking. *)
+
+module P = Service.Protocol
+module Case = Bugsuite.Case
+
+let ok_outcome =
+  {
+    P.verdict = P.Race_free;
+    races = 0;
+    errors = [];
+    cache_hit = false;
+    predicted = 0;
+    confirmed = 0;
+  }
+
+let tmp_socket name =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "barracuda-test-%d-%s.sock" (Unix.getpid ()) name)
+
+let with_server ?(workers = 2) ?(queue_capacity = 64) ?max_steps name f =
+  let socket_path = tmp_socket name in
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  let config =
+    {
+      Service.Server.default_config with
+      socket_path;
+      workers;
+      queue_capacity;
+      max_steps =
+        (match max_steps with
+        | Some n -> n
+        | None -> Service.Server.default_config.Service.Server.max_steps);
+    }
+  in
+  let t = Service.Server.start ~config () in
+  Fun.protect
+    ~finally:(fun () -> Service.Server.stop t)
+    (fun () ->
+      Alcotest.(check bool)
+        "daemon ready" true
+        (Service.Client.wait_ready ~socket:socket_path ());
+      f socket_path t)
+
+(* ---- protocol ---------------------------------------------------- *)
+
+let check_request_roundtrip req =
+  match P.decode_request (P.encode_request req) with
+  | Ok req' ->
+      Alcotest.(check bool) (P.encode_request req) true (req = req')
+  | Result.Error e -> Alcotest.failf "decode_request: %s" e
+
+let check_response_roundtrip resp =
+  match P.decode_response (P.encode_response resp) with
+  | Ok resp' ->
+      Alcotest.(check bool) (P.encode_response resp) true (resp = resp')
+  | Result.Error e -> Alcotest.failf "decode_response: %s" e
+
+let test_protocol_roundtrip () =
+  List.iter check_request_roundtrip
+    [
+      P.Ping;
+      P.Status;
+      P.Metrics;
+      P.Shutdown;
+      P.Submit (P.submit_defaults ~kind:P.Check ".visible .entry k () { ret; }");
+      P.Submit
+        {
+          P.kind = P.Predict;
+          payload = "line one\nline \"two\"\ttab\\slash";
+          layout = Some (4, 128, 32);
+          args = [ "alloc:256"; "int:7"; "42" ];
+          prune = false;
+        };
+    ];
+  List.iter check_response_roundtrip
+    [
+      P.Pong;
+      P.Stopping;
+      P.Error "unparsable request";
+      P.Rejected { reason = "queue_full"; retry_after_ms = 50 };
+      P.Failed { job = 9; code = "parse_error"; message = "PTX line 3: no" };
+      P.Result
+        {
+          job = 4;
+          outcome =
+            {
+              P.verdict = P.Racy;
+              races = 3;
+              errors = [ "race on g[0]"; "race on g[1]" ];
+              cache_hit = true;
+              predicted = 2;
+              confirmed = 1;
+            };
+          queue_ms = 0.25;
+          run_ms = 41.5;
+        };
+      P.Status_reply
+        {
+          P.uptime_ms = 1234.5;
+          workers = 4;
+          busy = 1;
+          queue_depth = 2;
+          queue_capacity = 64;
+          submitted = 10;
+          completed = 7;
+          failed = 1;
+          rejected = 2;
+          racy = 3;
+          race_free = 4;
+          cache_entries = 5;
+          cache_hits = 6;
+          cache_misses = 5;
+          cache_evictions = 0;
+        };
+      P.Metrics_reply "# TYPE a counter\na 1\n";
+    ];
+  (* Malformed input degrades to [Error], never an exception. *)
+  (match P.decode_request "{\"cmd\":\"no_such\"}" with
+  | Result.Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown cmd should not decode");
+  match P.decode_request "not json at all" with
+  | Result.Error _ -> ()
+  | Ok _ -> Alcotest.fail "junk should not decode"
+
+(* ---- artifact cache ---------------------------------------------- *)
+
+let tiny_entry () =
+  let b = Ptx.Builder.create ~params:[ "p0" ] "tiny" in
+  Ptx.Builder.st b (Ptx.Builder.sym "p0") (Ptx.Builder.imm 1);
+  let kernel = Ptx.Builder.finish b in
+  {
+    Service.Cache.kernel;
+    cfg = Cfg.Graph.of_kernel kernel;
+    inst = Instrument.Pass.instrument ~prune:true kernel;
+  }
+
+let test_cache_accounting () =
+  let cache = Service.Cache.create ~capacity:2 () in
+  let builds = ref 0 in
+  let build () =
+    incr builds;
+    tiny_entry ()
+  in
+  let _, hit = Service.Cache.find_or_build cache "a" ~build in
+  Alcotest.(check bool) "first lookup misses" false hit;
+  let _, hit = Service.Cache.find_or_build cache "a" ~build in
+  Alcotest.(check bool) "second lookup hits" true hit;
+  Alcotest.(check int) "hit does not rebuild" 1 !builds;
+  ignore (Service.Cache.find_or_build cache "b" ~build);
+  ignore (Service.Cache.find_or_build cache "c" ~build);
+  let s = Service.Cache.stats cache in
+  Alcotest.(check int) "bounded by capacity" 2 s.Service.Cache.entries;
+  Alcotest.(check int) "evicted one entry" 1 s.Service.Cache.evictions;
+  Alcotest.(check int) "hits counted" 1 s.Service.Cache.hits;
+  Alcotest.(check int) "misses counted" 3 s.Service.Cache.misses;
+  (* "a" was least recently used and must be the evictee: rebuilding it
+     misses, while "c" still hits. *)
+  let _, hit = Service.Cache.find_or_build cache "c" ~build in
+  Alcotest.(check bool) "recent key survives" true hit;
+  let _, hit = Service.Cache.find_or_build cache "a" ~build in
+  Alcotest.(check bool) "LRU key was evicted" false hit;
+  (* Failed builds propagate and are not negatively cached. *)
+  (match
+     Service.Cache.find_or_build cache "bad" ~build:(fun () ->
+         failwith "boom")
+   with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "failing build should raise");
+  let _, hit = Service.Cache.find_or_build cache "bad" ~build in
+  Alcotest.(check bool) "failure was not cached" false hit;
+  Alcotest.(check bool) "different sources, different keys" true
+    (Service.Cache.key ~prune:true "x" <> Service.Cache.key ~prune:true "y");
+  Alcotest.(check bool) "prune flag changes the key" true
+    (Service.Cache.key ~prune:true "x" <> Service.Cache.key ~prune:false "x")
+
+(* ---- scheduler backpressure -------------------------------------- *)
+
+(* Deterministic saturation: a controllable exec blocks its worker
+   until released, so with one worker and a one-slot queue the third
+   submission must be rejected synchronously. *)
+let test_backpressure () =
+  let m = Mutex.create () in
+  let cv = Condition.create () in
+  let running = ref 0 in
+  let release = ref false in
+  let exec ~job (_ : P.submit) =
+    Mutex.lock m;
+    incr running;
+    Condition.broadcast cv;
+    while not !release do
+      Condition.wait cv m
+    done;
+    Mutex.unlock m;
+    P.Result { job; outcome = ok_outcome; queue_ms = 0.0; run_ms = 0.0 }
+  in
+  let sched =
+    Service.Scheduler.create
+      ~config:
+        { Service.Scheduler.workers = 1; queue_capacity = 1; retry_after_ms = 7 }
+      ~exec ()
+  in
+  let replies = ref [] in
+  let reply r =
+    Mutex.lock m;
+    replies := r :: !replies;
+    Condition.broadcast cv;
+    Mutex.unlock m
+  in
+  let sub = P.submit_defaults ~kind:P.Check "irrelevant" in
+  Service.Scheduler.submit sched sub ~reply;
+  (* Wait until the worker holds job 1, so job 2 occupies the only
+     queue slot and job 3 finds the queue full. *)
+  Mutex.lock m;
+  while !running < 1 do
+    Condition.wait cv m
+  done;
+  Mutex.unlock m;
+  Service.Scheduler.submit sched sub ~reply;
+  let rejected = ref None in
+  Service.Scheduler.submit sched sub ~reply:(fun r -> rejected := Some r);
+  (match !rejected with
+  | Some (P.Rejected { reason; retry_after_ms }) ->
+      Alcotest.(check string) "reject reason" "queue_full" reason;
+      Alcotest.(check int) "retry hint" 7 retry_after_ms
+  | _ -> Alcotest.fail "third submission should be rejected synchronously");
+  Alcotest.(check int) "queue holds the waiting job" 1
+    (Service.Scheduler.depth sched);
+  Mutex.lock m;
+  release := true;
+  Condition.broadcast cv;
+  while List.length !replies < 2 do
+    Condition.wait cv m
+  done;
+  Mutex.unlock m;
+  Service.Scheduler.stop sched;
+  List.iter
+    (function
+      | P.Result _ -> ()
+      | r -> Alcotest.failf "accepted job got %s" (P.encode_response r))
+    !replies;
+  let c = Service.Scheduler.counts sched in
+  Alcotest.(check int) "completed" 2 c.Service.Scheduler.completed;
+  Alcotest.(check int) "rejected" 1 c.Service.Scheduler.rejected;
+  Alcotest.(check int) "failed" 0 c.Service.Scheduler.failed
+
+(* ---- daemon lifecycle -------------------------------------------- *)
+
+let trivial_ptx = ".visible .entry ok (.param .u64 p0)\n{\n    ret;\n}\n"
+
+(* Parses fine, then blows up in CFG construction (dangling branch
+   target) — an exception from the middle of the pipeline, which must
+   fail only its own job. *)
+let dangling_ptx =
+  ".visible .entry crash (.param .u64 p0)\n{\n    bra NOWHERE;\n    ret;\n}\n"
+
+let submit_verdict ?(retries = 0) ~socket sub =
+  match Service.Client.submit ~retries ~socket sub with
+  | Ok (P.Result { outcome; _ }) -> Ok outcome
+  | Ok (P.Failed { code; message; _ }) ->
+      Result.Error (Printf.sprintf "%s: %s" code message)
+  | Ok r -> Result.Error (P.encode_response r)
+  | Result.Error e -> Result.Error e
+
+let test_ping_and_status () =
+  with_server "status" (fun socket t ->
+      Alcotest.(check bool) "ping" true (Service.Client.ping ~socket);
+      let s =
+        match Service.Client.status ~socket with
+        | Ok s -> s
+        | Result.Error e -> Alcotest.failf "status: %s" e
+      in
+      Alcotest.(check int) "workers" 2 s.P.workers;
+      Alcotest.(check int) "queue capacity" 64 s.P.queue_capacity;
+      Alcotest.(check int) "nothing submitted yet" 0 s.P.submitted;
+      Alcotest.(check bool) "uptime advances" true (s.P.uptime_ms >= 0.0);
+      (* The server-side view agrees with the wire view. *)
+      let local = Service.Server.status t in
+      Alcotest.(check int) "local status agrees" local.P.workers s.P.workers;
+      match Service.Client.metrics ~socket with
+      | Ok text ->
+          let mentions_service =
+            List.exists
+              (String.starts_with ~prefix:"barracuda_service_")
+              (String.split_on_char '\n' text)
+          in
+          Alcotest.(check bool)
+            "prometheus text mentions service counters" true mentions_service
+      | Result.Error e -> Alcotest.failf "metrics: %s" e)
+
+let test_crash_isolation () =
+  (* Confirm the crash kernel really parses: the failure under test is
+     a mid-pipeline exception, not a parse error. *)
+  ignore (Ptx.Parser.kernel_of_string dangling_ptx);
+  with_server "crash" (fun socket _t ->
+      (match
+         Service.Client.submit ~socket
+           (P.submit_defaults ~kind:P.Check dangling_ptx)
+       with
+      | Ok (P.Failed { code; _ }) ->
+          Alcotest.(check string) "mid-pipeline crash code" "exec_error" code
+      | Ok r -> Alcotest.failf "expected Failed, got %s" (P.encode_response r)
+      | Result.Error e -> Alcotest.failf "transport: %s" e);
+      (* The daemon survived: it still answers and still checks. *)
+      Alcotest.(check bool) "daemon alive after crash" true
+        (Service.Client.ping ~socket);
+      (match
+         submit_verdict ~socket (P.submit_defaults ~kind:P.Check trivial_ptx)
+       with
+      | Ok o -> Alcotest.(check bool) "still checks" true (o.P.verdict = P.Race_free)
+      | Result.Error e -> Alcotest.failf "submit after crash: %s" e);
+      match Service.Client.status ~socket with
+      | Ok s ->
+          Alcotest.(check int) "one failed job" 1 s.P.failed;
+          Alcotest.(check int) "one completed job" 1 s.P.completed
+      | Result.Error e -> Alcotest.failf "status: %s" e)
+
+let test_job_timeout () =
+  with_server ~max_steps:1 "timeout" (fun socket _t ->
+      (match
+         Service.Client.submit ~socket
+           (P.submit_defaults ~kind:P.Check trivial_ptx)
+       with
+      | Ok (P.Failed { code; _ }) ->
+          Alcotest.(check string) "budget exhaustion code" "timeout" code
+      | Ok r -> Alcotest.failf "expected timeout, got %s" (P.encode_response r)
+      | Result.Error e -> Alcotest.failf "transport: %s" e);
+      Alcotest.(check bool) "daemon alive after timeout" true
+        (Service.Client.ping ~socket))
+
+let test_bad_submissions () =
+  with_server "badsub" (fun socket _t ->
+      (match
+         Service.Client.submit ~socket
+           (P.submit_defaults ~kind:P.Check "this is not ptx")
+       with
+      | Ok (P.Failed { code; _ }) ->
+          Alcotest.(check string) "parse failure code" "parse_error" code
+      | Ok r -> Alcotest.failf "expected Failed, got %s" (P.encode_response r)
+      | Result.Error e -> Alcotest.failf "transport: %s" e);
+      (match
+         Service.Client.submit ~socket
+           {
+             (P.submit_defaults ~kind:P.Check trivial_ptx) with
+             P.args = [ "alloc:nonsense" ];
+           }
+       with
+      | Ok (P.Failed { code; _ }) ->
+          Alcotest.(check string) "bad argument code" "bad_request" code
+      | Ok r -> Alcotest.failf "expected Failed, got %s" (P.encode_response r)
+      | Result.Error e -> Alcotest.failf "transport: %s" e);
+      Alcotest.(check bool) "daemon alive" true (Service.Client.ping ~socket))
+
+(* ---- verdict parity with one-shot checking ----------------------- *)
+
+let source_of_kernel k = Format.asprintf "%a" Ptx.Printer.pp_kernel k
+
+let arg_specs (c : Case.t) =
+  List.map (fun _ -> "alloc:256") c.Case.kernel.Ptx.Ast.params
+
+type verdict_or_timeout = V of P.verdict | Timeout
+
+(* One-shot reference: the same printed source through the same
+   pipeline configuration the service uses. *)
+let oneshot_verdict (c : Case.t) source =
+  let kernel = Ptx.Parser.kernel_of_string source in
+  let layout = c.Case.layout in
+  let machine = Simt.Machine.create ~layout () in
+  let args = Service.Exec.resolve_args machine kernel (arg_specs c) in
+  let config = { Gpu_runtime.Pipeline.default_config with prune = true } in
+  let result =
+    Gpu_runtime.Pipeline.run ~config
+      ~max_steps:Service.Exec.default_config.Service.Exec.max_steps ~machine
+      kernel args
+  in
+  match result.Gpu_runtime.Pipeline.machine_result.Simt.Machine.status with
+  | Simt.Machine.Max_steps _ -> Timeout
+  | Simt.Machine.Completed ->
+      let report = Gpu_runtime.Pipeline.report result in
+      V (if Barracuda.Report.has_race report then P.Racy else P.Race_free)
+
+let test_bugsuite_parity () =
+  (* The counter assertion at the end needs live telemetry (the CLI's
+     [serve] turns it on; tests run with it off by default). *)
+  let was_enabled = Telemetry.Registry.enabled () in
+  Telemetry.Registry.set_enabled true;
+  Fun.protect ~finally:(fun () -> Telemetry.Registry.set_enabled was_enabled)
+  @@ fun () ->
+  with_server ~workers:2 "parity" (fun socket _t ->
+      let cases = Bugsuite.Cases.all in
+      List.iter
+        (fun (c : Case.t) ->
+          let source = source_of_kernel c.Case.kernel in
+          let layout = c.Case.layout in
+          let sub =
+            {
+              (P.submit_defaults ~kind:P.Check source) with
+              P.layout =
+                Some
+                  ( layout.Vclock.Layout.blocks,
+                    layout.Vclock.Layout.threads_per_block,
+                    layout.Vclock.Layout.warp_size );
+              args = arg_specs c;
+            }
+          in
+          let via_service =
+            match Service.Client.submit ~retries:10 ~socket sub with
+            | Ok (P.Result { outcome; _ }) -> V outcome.P.verdict
+            | Ok (P.Failed { code = "timeout"; _ }) -> Timeout
+            | Ok r ->
+                Alcotest.failf "case %s: unexpected reply %s" c.Case.name
+                  (P.encode_response r)
+            | Result.Error e ->
+                Alcotest.failf "case %s: transport: %s" c.Case.name e
+          in
+          if via_service <> oneshot_verdict c source then
+            Alcotest.failf "case %s: service and one-shot verdicts differ"
+              c.Case.name)
+        cases;
+      (* Resubmitting a kernel already checked must hit the artifact
+         cache, and the hit must show up in the service counters. *)
+      let c = List.hd cases in
+      let source = source_of_kernel c.Case.kernel in
+      let layout = c.Case.layout in
+      let sub =
+        {
+          (P.submit_defaults ~kind:P.Check source) with
+          P.layout =
+            Some
+              ( layout.Vclock.Layout.blocks,
+                layout.Vclock.Layout.threads_per_block,
+                layout.Vclock.Layout.warp_size );
+          args = arg_specs c;
+        }
+      in
+      (match Service.Client.submit ~retries:10 ~socket sub with
+      | Ok (P.Result { outcome; _ }) ->
+          Alcotest.(check bool) "resubmission hits the cache" true
+            outcome.P.cache_hit
+      | Ok r -> Alcotest.failf "resubmit: unexpected reply %s" (P.encode_response r)
+      | Result.Error e -> Alcotest.failf "resubmit: transport: %s" e);
+      (match Service.Client.status ~socket with
+      | Ok s ->
+          Alcotest.(check bool) "status counts the hit" true (s.P.cache_hits >= 1);
+          Alcotest.(check int) "every submission accounted" (List.length cases + 1)
+            s.P.submitted
+      | Result.Error e -> Alcotest.failf "status: %s" e);
+      match Service.Client.metrics ~socket with
+      | Ok text ->
+          let hit_line =
+            String.split_on_char '\n' text
+            |> List.find_opt (fun l ->
+                   String.length l > 0
+                   && l.[0] <> '#'
+                   && String.starts_with ~prefix:"barracuda_service_cache_hits"
+                        l)
+          in
+          (match hit_line with
+          | Some line ->
+              let value =
+                match String.rindex_opt line ' ' with
+                | Some i ->
+                    float_of_string_opt
+                      (String.sub line (i + 1) (String.length line - i - 1))
+                | None -> None
+              in
+              Alcotest.(check bool)
+                "barracuda_service_cache_hits counter advanced" true
+                (match value with Some v -> v >= 1.0 | None -> false)
+          | None ->
+              Alcotest.fail "barracuda_service_cache_hits missing from metrics")
+      | Result.Error e -> Alcotest.failf "metrics: %s" e)
+
+(* ---- predictive jobs --------------------------------------------- *)
+
+let test_predict_over_trace () =
+  let c = List.hd Bugsuite.Cases.predictive in
+  let layout = c.Case.layout in
+  let m = Simt.Machine.create ~layout () in
+  let args = c.Case.setup m in
+  let ops, _ = Gtrace.Infer.run ~layout m c.Case.kernel args in
+  let payload = Gtrace.Serialize.to_string ~layout ops in
+  let local = Predict.Analysis.run ~layout ops in
+  with_server "predict" (fun socket _t ->
+      match
+        Service.Client.submit ~socket
+          (P.submit_defaults ~kind:P.Predict payload)
+      with
+      | Ok (P.Result { outcome; _ }) ->
+          Alcotest.(check bool) "verdict matches local analysis" true
+            (outcome.P.verdict = P.Racy
+            = Predict.Analysis.has_race local);
+          Alcotest.(check bool)
+            "predictive case is recovered from its trace" true
+            (outcome.P.verdict = P.Racy);
+          Alcotest.(check int) "prediction count matches"
+            (Predict.Analysis.predicted_count local)
+            outcome.P.predicted
+      | Ok r -> Alcotest.failf "unexpected reply %s" (P.encode_response r)
+      | Result.Error e -> Alcotest.failf "transport: %s" e)
+
+let suite =
+  [
+    Alcotest.test_case "protocol roundtrip" `Quick test_protocol_roundtrip;
+    Alcotest.test_case "cache accounting" `Quick test_cache_accounting;
+    Alcotest.test_case "queue backpressure" `Quick test_backpressure;
+    Alcotest.test_case "ping and status" `Quick test_ping_and_status;
+    Alcotest.test_case "crash isolation" `Quick test_crash_isolation;
+    Alcotest.test_case "job timeout" `Quick test_job_timeout;
+    Alcotest.test_case "bad submissions" `Quick test_bad_submissions;
+    Alcotest.test_case "bugsuite parity" `Slow test_bugsuite_parity;
+    Alcotest.test_case "predict over trace" `Quick test_predict_over_trace;
+  ]

@@ -96,4 +96,4 @@ let suite =
     Alcotest.test_case "per-launch reports" `Quick test_per_launch_reports;
     Alcotest.test_case "device reset" `Quick test_device_reset;
   ]
-  @ List.map QCheck_alcotest.to_alcotest [ prop_invariant_preserved ]
+  @ List.map Gen.to_alcotest [ prop_invariant_preserved ]

@@ -371,4 +371,4 @@ let suite =
       test_detector_survives_retired_paths;
     Alcotest.test_case "exec deterministic" `Quick test_exec_deterministic;
   ]
-  @ List.map QCheck_alcotest.to_alcotest [ prop_generated_kernels_complete ]
+  @ List.map Gen.to_alcotest [ prop_generated_kernels_complete ]

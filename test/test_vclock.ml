@@ -185,7 +185,7 @@ let test_cvc_floors_subsume_points () =
   (* the subsumed point entry should have been dropped *)
   Alcotest.(check int) "footprint is just the floor" 1 (Cvc.footprint v)
 
-let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+let qsuite tests = List.map Gen.to_alcotest tests
 let _ = print_vc
 
 let suite =
