@@ -43,6 +43,17 @@ let guard f =
   | Sys_error msg ->
       Format.eprintf "barracuda: %s@." msg;
       1
+  | Unix.Unix_error (Unix.EADDRINUSE, _, path) ->
+      Format.eprintf "barracuda: %s: address already in use@." path;
+      Format.eprintf
+        "hint: a daemon is already listening there; check it with \
+         svc-status or pick another --socket.@.";
+      1
+  | Unix.Unix_error (e, _, arg) ->
+      Format.eprintf "barracuda: %s%s@."
+        (if arg = "" then "" else arg ^ ": ")
+        (Unix.error_message e);
+      1
 
 let layout_term =
   let blocks =

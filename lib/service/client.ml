@@ -17,8 +17,13 @@ let request ~socket req =
            timeout here, the daemon's queue bound is the limit. *)
         Protocol.read_frame (Unix.in_channel_of_descr fd)
       with
-      | None -> finish (Error "connection closed before a reply")
-      | Some line -> finish (Protocol.decode_response line)
+      | Protocol.Eof -> finish (Error "connection closed before a reply")
+      | Protocol.Oversized ->
+          finish
+            (Error
+               (Printf.sprintf "reply exceeds the %d-byte frame limit"
+                  Protocol.max_frame_bytes))
+      | Protocol.Frame line -> finish (Protocol.decode_response line)
       | exception Unix.Unix_error (e, fn, _) ->
           finish
             (Error (Printf.sprintf "%s: %s (%s)" socket (Unix.error_message e) fn))

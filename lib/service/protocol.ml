@@ -361,7 +361,19 @@ let decode_response line =
 
 let max_frame_bytes = 16 * 1024 * 1024
 
+(* A peer can close its end while a frame for it is still in flight
+   (e.g. a killed submit client whose job later completes).  Without
+   this, the kernel delivers SIGPIPE — whose default disposition kills
+   the whole process — before [Unix.write] can return [EPIPE], so no
+   exception handler ever runs.  Latched once, forced on every write,
+   covering the daemon and the one-shot client binaries alike. *)
+let sigpipe_ignored =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ())
+
 let write_frame fd line =
+  Lazy.force sigpipe_ignored;
   let payload = Bytes.of_string (line ^ "\n") in
   let len = Bytes.length payload in
   let sent = ref 0 in
@@ -369,7 +381,20 @@ let write_frame fd line =
     sent := !sent + Unix.write fd payload !sent (len - !sent)
   done
 
+type frame = Frame of string | Eof | Oversized
+
 let read_frame ic =
-  match input_line ic with
-  | line -> if String.length line > max_frame_bytes then None else Some line
-  | exception End_of_file -> None
+  let buf = Buffer.create 256 in
+  let rec go () =
+    match input_char ic with
+    | '\n' -> Frame (Buffer.contents buf)
+    | c ->
+        if Buffer.length buf >= max_frame_bytes then Oversized
+        else begin
+          Buffer.add_char buf c;
+          go ()
+        end
+    | exception End_of_file ->
+        if Buffer.length buf = 0 then Eof else Frame (Buffer.contents buf)
+  in
+  go ()

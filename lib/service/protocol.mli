@@ -109,11 +109,23 @@ val decode_response : string -> (response, string) result
 (** {1 Framing} *)
 
 val write_frame : Unix.file_descr -> string -> unit
-(** Write [line ^ "\n"], handling short writes.
+(** Write [line ^ "\n"], handling short writes.  The first write
+    latches [SIGPIPE] to ignored process-wide, so a peer-closed
+    descriptor raises a catchable [Unix.Unix_error (EPIPE, _, _)]
+    instead of killing the process.
     @raise Unix.Unix_error if the peer is gone. *)
 
-val read_frame : in_channel -> string option
-(** Next line, [None] on end of input. *)
+type frame =
+  | Frame of string  (** one complete line, newline stripped *)
+  | Eof  (** clean end of input *)
+  | Oversized
+      (** the line exceeded {!max_frame_bytes}; reading stopped before
+          buffering more, leaving the rest of the line unconsumed *)
+
+val read_frame : in_channel -> frame
+(** Next line, read incrementally so {!max_frame_bytes} bounds
+    allocation. *)
 
 val max_frame_bytes : int
-(** Requests beyond this size are rejected while reading ([Error]). *)
+(** Requests beyond this size are rejected while reading
+    ([Oversized]); the daemon answers them with a protocol [Error]. *)

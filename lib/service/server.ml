@@ -90,10 +90,19 @@ let handle_connection t fd =
     with Unix.Unix_error _ | Sys_error _ -> close ()
   in
   let rec loop () =
+    (* [send] closes the descriptor on a failed write; never read after
+       that — the fd number may already belong to a newer connection. *)
+    let continue () = if !closed then () else loop () in
     match Protocol.read_frame ic with
-    | None -> close ()
+    | Protocol.Eof -> close ()
     | exception (Sys_error _ | Unix.Unix_error _ | End_of_file) -> close ()
-    | Some line -> (
+    | Protocol.Oversized ->
+        Telemetry.Metric.counter_incr t.m_protocol_errors;
+        send
+          (Protocol.Error
+             (Printf.sprintf "frame exceeds %d bytes" Protocol.max_frame_bytes));
+        close ()
+    | Protocol.Frame line -> (
         match Protocol.decode_request line with
         | Error msg ->
             Telemetry.Metric.counter_incr t.m_protocol_errors;
@@ -101,15 +110,15 @@ let handle_connection t fd =
             close ()
         | Ok Protocol.Ping ->
             send Protocol.Pong;
-            loop ()
+            continue ()
         | Ok Protocol.Status ->
             send (Protocol.Status_reply (status t));
-            loop ()
+            continue ()
         | Ok Protocol.Metrics ->
             send
               (Protocol.Metrics_reply
                  (Telemetry.Export.to_prometheus Telemetry.Registry.default));
-            loop ()
+            continue ()
         | Ok Protocol.Shutdown ->
             send Protocol.Stopping;
             close ();
@@ -146,6 +155,13 @@ let accept_loop t =
   go ()
 
 let start ?(config = default_config) () =
+  (* Worker reply callbacks write to client descriptors that may
+     already be closed (killed/timed-out submit clients); without this
+     the resulting SIGPIPE would kill the daemon before the EPIPE
+     handlers run.  [Protocol.write_frame] latches this too, but do it
+     eagerly so the daemon is covered from the first accept. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   let cache = Cache.create ~capacity:config.cache_capacity () in
   let exec_config =
     { Exec.default_config with Exec.max_steps = config.max_steps }
@@ -167,14 +183,10 @@ let start ?(config = default_config) () =
   | () -> ()
   | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) ->
       (* A previous daemon's socket file.  Only steal the address if
-         nothing answers on it. *)
-      let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      let live =
-        match Unix.connect probe addr with
-        | () -> true
-        | exception Unix.Unix_error _ -> false
-      in
-      (try Unix.close probe with Unix.Unix_error _ -> ());
+         nothing answers on it.  Probe with a real ping rather than a
+         bare connect-and-close, which would park one of the live
+         daemon's handler threads for its full read timeout. *)
+      let live = Client.ping ~socket:config.socket_path in
       if live then begin
         (try Unix.close listener with Unix.Unix_error _ -> ());
         Scheduler.stop sched;

@@ -125,6 +125,68 @@ let test_protocol_roundtrip () =
   | Result.Error _ -> ()
   | Ok _ -> Alcotest.fail "junk should not decode"
 
+(* ---- framing ----------------------------------------------------- *)
+
+let test_oversized_frame () =
+  (* Unit level: the cap stops the read mid-line and is distinguishable
+     from a clean EOF. *)
+  let file = Filename.temp_file "barracuda-frame" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin file in
+      let chunk = String.make 65536 'a' in
+      for _ = 1 to (P.max_frame_bytes / 65536) + 1 do
+        output_string oc chunk
+      done;
+      output_string oc "\n{\"cmd\":\"ping\"}\n";
+      close_out oc;
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          match P.read_frame ic with
+          | P.Oversized -> ()
+          | P.Frame _ -> Alcotest.fail "oversized frame was accepted"
+          | P.Eof -> Alcotest.fail "oversized frame read as EOF");
+      let ic = open_in_bin "/dev/null" in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          match P.read_frame ic with
+          | P.Eof -> ()
+          | _ -> Alcotest.fail "empty input should read as EOF"))
+
+let test_oversized_frame_daemon () =
+  with_server "oversize" (fun socket _t ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX socket);
+          let chunk = Bytes.make 65536 'a' in
+          let remaining = ref (P.max_frame_bytes + 2) in
+          (try
+             while !remaining > 0 do
+               let n = min !remaining (Bytes.length chunk) in
+               remaining := !remaining - Unix.write fd chunk 0 n
+             done
+           with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
+          (match P.read_frame (Unix.in_channel_of_descr fd) with
+          | P.Frame line -> (
+              match P.decode_response line with
+              | Ok (P.Error _) -> ()
+              | Ok r ->
+                  Alcotest.failf "expected protocol error, got %s"
+                    (P.encode_response r)
+              | Result.Error e -> Alcotest.failf "undecodable reply: %s" e)
+          | P.Eof | P.Oversized ->
+              Alcotest.fail "daemon closed without a protocol error reply"));
+      (* The daemon survives the abuse and keeps serving. *)
+      Alcotest.(check bool)
+        "daemon still responsive" true
+        (Service.Client.ping ~socket))
+
 (* ---- artifact cache ---------------------------------------------- *)
 
 let tiny_entry () =
@@ -504,6 +566,9 @@ let test_predict_over_trace () =
 let suite =
   [
     Alcotest.test_case "protocol roundtrip" `Quick test_protocol_roundtrip;
+    Alcotest.test_case "oversized frame" `Quick test_oversized_frame;
+    Alcotest.test_case "oversized frame on daemon" `Quick
+      test_oversized_frame_daemon;
     Alcotest.test_case "cache accounting" `Quick test_cache_accounting;
     Alcotest.test_case "queue backpressure" `Quick test_backpressure;
     Alcotest.test_case "ping and status" `Quick test_ping_and_status;
