@@ -1,6 +1,5 @@
 module Layout = Vclock.Layout
-module Epoch = Vclock.Epoch
-module Vc = Vclock.Vector_clock
+module Mut = Vclock.Cvc.Mut
 module Loc = Gtrace.Loc
 module Op = Gtrace.Op
 
@@ -8,7 +7,10 @@ module Op = Gtrace.Op
    [checks] counts thread-level access checks; the epoch/vc pair
    splits ordering comparisons into the epoch fast path versus full
    vector-clock scans (the compression the paper's §4.3.1 is about);
-   [races] counts raw race observations before report deduplication. *)
+   [races] counts raw race observations before report deduplication.
+   [records_inplace] counts records consumed directly from a wire
+   view ([feed_record]) — the in-place transport path — against the
+   pipeline-level fallback-decode counter maintained by the runtime. *)
 let m_checks =
   lazy
     (Telemetry.Registry.counter
@@ -39,6 +41,14 @@ let m_vc_full =
        ~help:"Ordering checks requiring a full vector-clock scan"
        Telemetry.Registry.default "barracuda_detector_vc_full_total")
 
+let m_inplace =
+  lazy
+    (Telemetry.Registry.counter
+       ~help:"Records consumed in place from a wire view (feed_record)"
+       Telemetry.Registry.default "barracuda_pipeline_records_inplace_total")
+
+let sp_feed_record = lazy (Telemetry.Span.create "detector.feed_record")
+
 type config = {
   max_reports : int;
   filter_same_value : bool;
@@ -64,10 +74,11 @@ type stats = {
 }
 
 (* Counters are atomics and the warp-level record id is threaded
-   through each feed call explicitly: [feed] may be invoked from one
-   host domain per queue (§4.3).  Per-warp clock state needs no lock
-   because each thread block logs to exactly one queue, so one domain
-   owns each warp; shadow cells carry the paper's per-location lock. *)
+   through each feed call explicitly: [feed]/[feed_record] may be
+   invoked from one host domain per queue (§4.3).  Per-warp clock state
+   needs no lock because each thread block logs to exactly one queue,
+   so one domain owns each warp; shadow cells carry the paper's
+   per-location lock. *)
 type t = {
   layout : Layout.t;
   config : config;
@@ -101,102 +112,141 @@ let create ?(config = default_config) ~layout kernel =
 
 let report t = t.report
 
-(* [c@u <= C_lane?] via the compressed clock layers. *)
-let epoch_ordered ~wc ~lane (e : Epoch.t) =
+(* [c@u <= C_lane?] via the compressed clock layers.  Epochs arrive as
+   bare (clock, tid) ints — the boxed [Epoch.t] is gone from this
+   path. *)
+let epoch_ordered ~wc ~lane ~clock ~tid =
   Telemetry.Metric.counter_incr (Lazy.force m_epoch_fast);
-  e.Epoch.clock <= Warp_clocks.entry wc ~lane ~tid:e.Epoch.tid
+  clock <= Warp_clocks.entry wc ~lane ~tid
 
-let check_write t ~rid ~wc ~lane ~loc ~cur_kind ~value (cell : Shadow.cell) =
-  if not (epoch_ordered ~wc ~lane cell.Shadow.write_epoch) then begin
+(* Race-report sites rebuild the cell's location from scalars; this is
+   the only place the hot path touches [Loc.t]. *)
+let cell_loc t ~space ~region ~index =
+  Loc.make ~space ~region ~addr:(index * Shadow.granularity t.shadow)
+
+let check_write t ~rid ~wc ~lane ~tid ~space ~region ~index ~cur_kind ~value
+    (cell : Shadow.cell) =
+  if
+    not
+      (epoch_ordered ~wc ~lane ~clock:cell.Shadow.write_clock
+         ~tid:cell.Shadow.write_tid)
+  then begin
     let same_instruction = cell.Shadow.write_record = rid in
     let filtered =
       t.config.filter_same_value && same_instruction
       && cur_kind = Report.Write
       && (not cell.Shadow.write_atomic)
-      && cell.Shadow.write_value = value
+      && Int64.equal cell.Shadow.write_value value
     in
     if not filtered then begin
       Telemetry.Metric.counter_incr (Lazy.force m_races);
-      Report.add_race t.report ~loc
-        ~prev_tid:cell.Shadow.write_epoch.Epoch.tid
+      Report.add_race t.report
+        ~loc:(cell_loc t ~space ~region ~index)
+        ~prev_tid:cell.Shadow.write_tid
         ~prev_kind:
           (if cell.Shadow.write_atomic then Report.Atomic_rmw else Report.Write)
-        ~cur_tid:(Layout.tid_of_warp_lane t.layout ~warp:(Warp_clocks.warp wc) ~lane)
-        ~cur_kind ~same_instruction
+        ~cur_tid:tid ~cur_kind ~same_instruction
     end
   end
 
-let check_reads t ~wc ~lane ~loc ~cur_kind (cell : Shadow.cell) =
-  let cur_tid =
-    Layout.tid_of_warp_lane t.layout ~warp:(Warp_clocks.warp wc) ~lane
-  in
+let check_reads t ~wc ~lane ~tid ~space ~region ~index ~cur_kind
+    (cell : Shadow.cell) =
   if cell.Shadow.read_shared then begin
     Telemetry.Metric.counter_incr (Lazy.force m_vc_full);
-    Vc.fold
-      (fun u cu () ->
-        if cu > Warp_clocks.entry wc ~lane ~tid:u then begin
-          Telemetry.Metric.counter_incr (Lazy.force m_races);
-          Report.add_race t.report ~loc ~prev_tid:u ~prev_kind:Report.Read
-            ~cur_tid ~cur_kind ~same_instruction:false
-        end)
-      cell.Shadow.read_vc ()
+    match cell.Shadow.read_vc with
+    | None -> ()
+    | Some m ->
+        Mut.iter_points
+          (fun u cu ->
+            if cu > Warp_clocks.entry wc ~lane ~tid:u then begin
+              Telemetry.Metric.counter_incr (Lazy.force m_races);
+              Report.add_race t.report
+                ~loc:(cell_loc t ~space ~region ~index)
+                ~prev_tid:u ~prev_kind:Report.Read ~cur_tid:tid ~cur_kind
+                ~same_instruction:false
+            end)
+          m
   end
-  else if not (epoch_ordered ~wc ~lane cell.Shadow.read_epoch) then begin
+  else if
+    not
+      (epoch_ordered ~wc ~lane ~clock:cell.Shadow.read_clock
+         ~tid:cell.Shadow.read_tid)
+  then begin
     Telemetry.Metric.counter_incr (Lazy.force m_races);
-    Report.add_race t.report ~loc
-      ~prev_tid:cell.Shadow.read_epoch.Epoch.tid ~prev_kind:Report.Read
-      ~cur_tid ~cur_kind ~same_instruction:false
+    Report.add_race t.report
+      ~loc:(cell_loc t ~space ~region ~index)
+      ~prev_tid:cell.Shadow.read_tid ~prev_kind:Report.Read ~cur_tid:tid
+      ~cur_kind ~same_instruction:false
   end
 
+(* The inflated read table is kept (cleared) for reuse, so a location
+   that oscillates between shared reads and clearing writes settles
+   into a no-allocation cycle. *)
 let clear_reads (cell : Shadow.cell) =
-  cell.Shadow.read_epoch <- Epoch.bottom;
-  cell.Shadow.read_vc <- Vc.bottom;
-  cell.Shadow.read_shared <- false
+  cell.Shadow.read_clock <- 0;
+  cell.Shadow.read_tid <- 0;
+  cell.Shadow.read_shared <- false;
+  match cell.Shadow.read_vc with Some m -> Mut.clear m | None -> ()
 
-let do_read t ~rid ~wc ~lane ~loc cell =
+let do_read t ~rid ~wc ~lane ~tid ~space ~region ~index cell =
   Atomic.incr t.accesses;
   Telemetry.Metric.counter_incr (Lazy.force m_checks);
-  ignore rid;
-  check_write t ~rid ~wc ~lane ~loc ~cur_kind:Report.Read ~value:0L cell;
-  let tid =
-    Layout.tid_of_warp_lane t.layout ~warp:(Warp_clocks.warp wc) ~lane
-  in
+  check_write t ~rid ~wc ~lane ~tid ~space ~region ~index ~cur_kind:Report.Read
+    ~value:0L cell;
   let own = Warp_clocks.own_clock wc ~lane in
-  if cell.Shadow.read_shared then
+  if cell.Shadow.read_shared then (
     (* ReadShared *)
-    cell.Shadow.read_vc <- Vc.set cell.Shadow.read_vc tid own
-  else if epoch_ordered ~wc ~lane cell.Shadow.read_epoch then
+    match cell.Shadow.read_vc with
+    | Some m -> Mut.raise_point m tid own
+    | None -> assert false)
+  else if
+    epoch_ordered ~wc ~lane ~clock:cell.Shadow.read_clock
+      ~tid:cell.Shadow.read_tid
+  then begin
     (* ReadExcl *)
-    cell.Shadow.read_epoch <- Epoch.make ~clock:own ~tid
+    cell.Shadow.read_clock <- own;
+    cell.Shadow.read_tid <- tid
+  end
   else begin
     (* ReadInflate: first concurrent read *)
-    let e = cell.Shadow.read_epoch in
-    cell.Shadow.read_vc <-
-      Vc.set (Vc.set Vc.bottom e.Epoch.tid e.Epoch.clock) tid own;
+    let m =
+      match cell.Shadow.read_vc with
+      | Some m -> m
+      | None ->
+          let m = Mut.create t.layout in
+          cell.Shadow.read_vc <- Some m;
+          m
+    in
+    Mut.raise_point m cell.Shadow.read_tid cell.Shadow.read_clock;
+    Mut.raise_point m tid own;
     cell.Shadow.read_shared <- true
   end
 
-let set_write ~rid ~wc ~lane ~atomic ~value (cell : Shadow.cell) =
+let set_write ~rid ~wc ~lane ~tid ~atomic ~value (cell : Shadow.cell) =
   clear_reads cell;
-  cell.Shadow.write_epoch <- Warp_clocks.epoch wc ~lane;
+  cell.Shadow.write_clock <- Warp_clocks.own_clock wc ~lane;
+  cell.Shadow.write_tid <- tid;
   cell.Shadow.write_atomic <- atomic;
   cell.Shadow.write_value <- value;
   cell.Shadow.write_record <- rid
 
-let do_write t ~rid ~wc ~lane ~loc ~value cell =
+let do_write t ~rid ~wc ~lane ~tid ~space ~region ~index ~value cell =
   Atomic.incr t.accesses;
   Telemetry.Metric.counter_incr (Lazy.force m_checks);
-  check_write t ~rid ~wc ~lane ~loc ~cur_kind:Report.Write ~value cell;
-  check_reads t ~wc ~lane ~loc ~cur_kind:Report.Write cell;
-  set_write ~rid ~wc ~lane ~atomic:false ~value cell
+  check_write t ~rid ~wc ~lane ~tid ~space ~region ~index ~cur_kind:Report.Write
+    ~value cell;
+  check_reads t ~wc ~lane ~tid ~space ~region ~index ~cur_kind:Report.Write cell;
+  set_write ~rid ~wc ~lane ~tid ~atomic:false ~value cell
 
-let do_atomic t ~rid ~wc ~lane ~loc ~value cell =
+let do_atomic t ~rid ~wc ~lane ~tid ~space ~region ~index ~value cell =
   Atomic.incr t.accesses;
   Telemetry.Metric.counter_incr (Lazy.force m_checks);
   if not cell.Shadow.write_atomic then
-    check_write t ~rid ~wc ~lane ~loc ~cur_kind:Report.Atomic_rmw ~value cell;
-  check_reads t ~wc ~lane ~loc ~cur_kind:Report.Atomic_rmw cell;
-  set_write ~rid ~wc ~lane ~atomic:true ~value cell
+    check_write t ~rid ~wc ~lane ~tid ~space ~region ~index
+      ~cur_kind:Report.Atomic_rmw ~value cell;
+  check_reads t ~wc ~lane ~tid ~space ~region ~index ~cur_kind:Report.Atomic_rmw
+    cell;
+  set_write ~rid ~wc ~lane ~tid ~atomic:true ~value cell
 
 let do_acquire t ~wc ~lane ~loc scope =
   (Shadow.find t.shadow loc).Shadow.sync_loc <- true;
@@ -230,75 +280,89 @@ let census_bump t wc =
   in
   Atomic.incr t.census.(idx)
 
-let with_cell_locked (loc, (cell : Shadow.cell)) f =
-  Mutex.lock cell.Shadow.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock cell.Shadow.lock) (fun () ->
-      f loc cell)
+(* Data access over the cells an access covers.  [cls] is 0 = read,
+   1 = write, 2 = atomic; the cell is locked per index without a
+   closure or [Fun.protect] (the handler only re-raises). *)
+let do_lane_data t ~rid ~wc ~lane ~tid ~cls ~space ~region ~addr ~width ~value =
+  let g = Shadow.granularity t.shadow in
+  let first = addr / g in
+  let last = (addr + width - 1) / g in
+  for index = first to last do
+    let cell = Shadow.cell t.shadow ~space ~region ~index in
+    Mutex.lock cell.Shadow.lock;
+    (try
+       if cls = 0 then do_read t ~rid ~wc ~lane ~tid ~space ~region ~index cell
+       else if cls = 1 then
+         do_write t ~rid ~wc ~lane ~tid ~space ~region ~index ~value cell
+       else do_atomic t ~rid ~wc ~lane ~tid ~space ~region ~index ~value cell
+     with e ->
+       Mutex.unlock cell.Shadow.lock;
+       raise e);
+    Mutex.unlock cell.Shadow.lock
+  done
+
+(* Per-lane dispatch shared by the event path ([feed]) and the wire
+   path ([feed_record]).  The access kind arrives as its wire opcode so
+   neither path materializes a [Simt.Event.access_kind] (the [Atomic _]
+   constructor would allocate). *)
+let do_lane t ~rid ~wc ~lane ~tid ~opc ~role ~space ~region ~addr ~width ~value
+    =
+  let is_load = opc = Wire.op_load in
+  let is_store = opc = Wire.op_store in
+  (* [Loc.make] is built inline on the sync branches only: a closure
+     here would charge every plain access its allocation. *)
+  match (role : Gtrace.Roles.t) with
+  | Gtrace.Roles.Plain ->
+      let cls = if is_load then 0 else if is_store then 1 else 2 in
+      do_lane_data t ~rid ~wc ~lane ~tid ~cls ~space ~region ~addr ~width ~value
+  | Gtrace.Roles.Acquire s ->
+      if is_store then
+        do_lane_data t ~rid ~wc ~lane ~tid ~cls:1 ~space ~region ~addr ~width
+          ~value
+      else do_acquire t ~wc ~lane ~loc:(Loc.make ~space ~region ~addr) s
+  | Gtrace.Roles.Release s ->
+      if is_load then
+        do_lane_data t ~rid ~wc ~lane ~tid ~cls:0 ~space ~region ~addr ~width
+          ~value
+      else do_release t ~wc ~lane ~loc:(Loc.make ~space ~region ~addr) s
+  | Gtrace.Roles.Acquire_release s ->
+      if is_load then
+        do_lane_data t ~rid ~wc ~lane ~tid ~cls:0 ~space ~region ~addr ~width
+          ~value
+      else if is_store then
+        do_lane_data t ~rid ~wc ~lane ~tid ~cls:1 ~space ~region ~addr ~width
+          ~value
+      else begin
+        let loc = Loc.make ~space ~region ~addr in
+        do_acquire t ~wc ~lane ~loc s;
+        do_release t ~wc ~lane ~loc s
+      end
 
 let process_access t ~rid (a : Simt.Event.mem_access) =
   match a.Simt.Event.space with
   | Ptx.Ast.Local | Ptx.Ast.Param -> () (* thread-private: cannot race *)
-  | Ptx.Ast.Global | Ptx.Ast.Shared ->
-      let wc = t.warps.(a.Simt.Event.warp) in
+  | (Ptx.Ast.Global | Ptx.Ast.Shared) as space ->
+      let warp = a.Simt.Event.warp in
+      let wc = t.warps.(warp) in
       census_bump t wc;
-      let loc0 =
-        match a.Simt.Event.space with
-        | Ptx.Ast.Global -> Loc.global 0
-        | Ptx.Ast.Shared ->
-            Loc.shared ~block:(Layout.block_of_warp t.layout a.Simt.Event.warp) 0
-        | _ -> assert false
+      let region =
+        match space with
+        | Ptx.Ast.Shared -> Layout.block_of_warp t.layout warp
+        | _ -> 0
       in
       let role = t.roles.(a.Simt.Event.insn) in
-      let lanes = Simt.Event.mask_lanes a.Simt.Event.mask in
-      List.iter
-        (fun lane ->
-          let base = a.Simt.Event.addrs.(lane) in
-          let value = a.Simt.Event.values.(lane) in
-          let data_cells () =
-            Shadow.cells_of_access t.shadow (Loc.with_addr loc0 base)
-              ~width:a.Simt.Event.width
-          in
-          let sync_loc = Loc.with_addr loc0 base in
-          let read_cells () =
-            List.iter
-              (fun lc ->
-                with_cell_locked lc (fun loc c -> do_read t ~rid ~wc ~lane ~loc c))
-              (data_cells ())
-          in
-          let write_cells () =
-            List.iter
-              (fun lc ->
-                with_cell_locked lc (fun loc c ->
-                    do_write t ~rid ~wc ~lane ~loc ~value c))
-              (data_cells ())
-          in
-          let atomic_cells () =
-            List.iter
-              (fun lc ->
-                with_cell_locked lc (fun loc c ->
-                    do_atomic t ~rid ~wc ~lane ~loc ~value c))
-              (data_cells ())
-          in
-          match (a.Simt.Event.kind, role) with
-          | Simt.Event.Load, Gtrace.Roles.Plain -> read_cells ()
-          | Simt.Event.Store, Gtrace.Roles.Plain -> write_cells ()
-          | Simt.Event.Atomic _, Gtrace.Roles.Plain -> atomic_cells ()
-          | (Simt.Event.Load | Simt.Event.Atomic _), Gtrace.Roles.Acquire s ->
-              do_acquire t ~wc ~lane ~loc:sync_loc s
-          | (Simt.Event.Store | Simt.Event.Atomic _), Gtrace.Roles.Release s ->
-              do_release t ~wc ~lane ~loc:sync_loc s
-          | Simt.Event.Atomic _, Gtrace.Roles.Acquire_release s ->
-              do_acquire t ~wc ~lane ~loc:sync_loc s;
-              do_release t ~wc ~lane ~loc:sync_loc s
-          | Simt.Event.Load, (Gtrace.Roles.Release _ | Gtrace.Roles.Acquire_release _)
-            ->
-              read_cells ()
-          | Simt.Event.Store, (Gtrace.Roles.Acquire _ | Gtrace.Roles.Acquire_release _)
-            ->
-              write_cells ())
-        lanes;
+      let opc = Wire.opcode_of_kind a.Simt.Event.kind in
+      let mask = a.Simt.Event.mask in
+      let ws = Array.length a.Simt.Event.addrs in
+      for lane = 0 to ws - 1 do
+        if mask land (1 lsl lane) <> 0 then
+          let tid = Layout.tid_of_warp_lane t.layout ~warp ~lane in
+          do_lane t ~rid ~wc ~lane ~tid ~opc ~role ~space ~region
+            ~addr:a.Simt.Event.addrs.(lane) ~width:a.Simt.Event.width
+            ~value:a.Simt.Event.values.(lane)
+      done;
       (* endi: join-and-fork the active lanes *)
-      Warp_clocks.join_fork wc ~mask:a.Simt.Event.mask
+      Warp_clocks.join_fork wc ~mask
 
 let do_barrier t block =
   let wpb = Layout.warps_per_block t.layout in
@@ -333,6 +397,66 @@ let feed t event =
   | Simt.Event.Barrier_divergence { warp; insn; _ } ->
       Report.add_barrier_divergence t.report ~warp ~insn
   | Simt.Event.Kernel_done -> ()
+
+(* The in-place entry: consume a 272-byte record directly out of a
+   transport buffer.  The view (buf, pos) is only guaranteed valid for
+   the duration of the call — for queue rings, until the consumer
+   releases the slot — and nothing here retains it.  [values] is the
+   producer's lane-value side channel ([ [||] ] when absent). *)
+let feed_record t ~values buf ~pos =
+  let enabled = Telemetry.Registry.enabled () in
+  let t0 = if enabled then Telemetry.Clock.now_ns () else 0L in
+  let rid = Atomic.fetch_and_add t.record_id 1 + 1 in
+  Atomic.incr t.records;
+  Telemetry.Metric.counter_incr (Lazy.force m_records);
+  Telemetry.Metric.counter_incr (Lazy.force m_inplace);
+  let opc = Wire.View.opcode buf ~pos in
+  (if Wire.is_access opc then begin
+     let sc = Wire.View.aux buf ~pos in
+     (* space codes 0 = global, 1 = shared; local/param never race *)
+     if sc <= 1 then begin
+       let warp = Wire.View.warp buf ~pos in
+       let wc = t.warps.(warp) in
+       census_bump t wc;
+       let space = Wire.space_of_code sc in
+       let region = if sc = 1 then Layout.block_of_warp t.layout warp else 0 in
+       let role = t.roles.(Wire.View.insn buf ~pos) in
+       let mask = Wire.View.mask buf ~pos in
+       let width = Wire.View.width buf ~pos in
+       let nvals = Array.length values in
+       let ws = t.layout.Layout.warp_size in
+       for lane = 0 to ws - 1 do
+         if mask land (1 lsl lane) <> 0 then
+           let tid = Layout.tid_of_warp_lane t.layout ~warp ~lane in
+           let addr = Wire.View.addr buf ~pos ~lane in
+           let value =
+             if lane < nvals then Array.unsafe_get values lane else 0L
+           in
+           do_lane t ~rid ~wc ~lane ~tid ~opc ~role ~space ~region ~addr ~width
+             ~value
+       done;
+       Warp_clocks.join_fork wc ~mask
+     end
+   end
+   else if opc = Wire.op_branch_if then
+     Warp_clocks.push_if
+       t.warps.(Wire.View.warp buf ~pos)
+       ~then_mask:(Wire.View.then_mask buf ~pos)
+       ~else_mask:(Wire.View.else_mask buf ~pos)
+   else if opc = Wire.op_branch_else || opc = Wire.op_branch_fi then
+     Warp_clocks.pop_path
+       t.warps.(Wire.View.warp buf ~pos)
+       ~mask:(Wire.View.mask buf ~pos)
+   else if opc = Wire.op_barrier then do_barrier t (Wire.View.aux buf ~pos)
+   else if opc = Wire.op_barrier_divergence then
+     Report.add_barrier_divergence t.report
+       ~warp:(Wire.View.warp buf ~pos)
+       ~insn:(Wire.View.insn buf ~pos)
+   else invalid_arg (Printf.sprintf "Detector.feed_record: bad opcode %d" opc));
+  if enabled then
+    Telemetry.Span.record_ns
+      (Lazy.force sp_feed_record)
+      (Telemetry.Clock.elapsed_ns ~since:t0)
 
 let stats t =
   let c = Atomic.get t.census.(0)

@@ -47,6 +47,19 @@ val create :
   ?config:config -> layout:Vclock.Layout.t -> Ptx.Ast.kernel -> t
 
 val feed : t -> Simt.Event.t -> unit
+(** Consume one decoded warp-level event. *)
+
+val feed_record : t -> values:int64 array -> Bytes.t -> pos:int -> unit
+(** Consume one 272-byte wire record ({!Wire}) in place at offset
+    [pos] of [buf], without decoding it into an event — the
+    steady-state path is allocation-free.  The view is only read for
+    the duration of the call (for queue rings: the slot may be
+    released as soon as this returns).  [values] is the store/atomic
+    lane-value side channel; pass [[||]] when absent (the same-value
+    write filter then compares zeros, as {!Record.of_bytes} without
+    [?values] would).
+    @raise Invalid_argument on an unknown opcode. *)
+
 val report : t -> Report.t
 val stats : t -> stats
 

@@ -1,21 +1,38 @@
-module Epoch = Vclock.Epoch
-module Vc = Vclock.Vector_clock
-
 type cell = {
   lock : Mutex.t; (* the paper's per-location spinlock (Fig. 8) *)
-  mutable read_epoch : Epoch.t;
-  mutable read_vc : Vc.t;
+  mutable read_clock : int;
+  mutable read_tid : int;
+  mutable read_vc : Vclock.Cvc.Mut.t option;
   mutable read_shared : bool;
-  mutable write_epoch : Epoch.t;
+  mutable write_clock : int;
+  mutable write_tid : int;
   mutable write_atomic : bool;
   mutable write_value : int64;
   mutable write_record : int;
   mutable sync_loc : bool;
 }
+(* Epochs are stored inline as (clock, tid) int pairs — building an
+   [Epoch.t] per access was a hot-path allocation.  [read_vc] is a
+   detector-owned mutable clock, mutated only under [lock]; once a cell
+   has been inflated the table is kept (cleared, not dropped) so
+   re-inflation after a clearing write does not allocate. *)
 
 let page_size = 1024 (* cells per page *)
 
 type page = cell option array
+
+(* One-entry page cache so the steady-state lookup is: compare three
+   immediates, index the page.  The cache record is immutable and the
+   [cache] field is a single mutable pointer, so concurrent readers on
+   other domains see either the old or the new record, never a torn
+   one; a stale hit is still a correct (space, region, page) mapping
+   because pages are never removed. *)
+type cache = {
+  c_space : Ptx.Ast.space;
+  c_region : int;
+  c_pidx : int;
+  c_page : page;
+}
 
 type t = {
   granularity : int;
@@ -23,6 +40,7 @@ type t = {
   pages : (Ptx.Ast.space * int * int, page) Hashtbl.t;
       (* (space, region, page index) -> page *)
   mutable cell_count : int;
+  mutable cache : cache option;
 }
 
 let create ?(granularity = 1) () =
@@ -33,6 +51,7 @@ let create ?(granularity = 1) () =
     table_lock = Mutex.create ();
     pages = Hashtbl.create 64;
     cell_count = 0;
+    cache = None;
   }
 
 let granularity t = t.granularity
@@ -40,21 +59,21 @@ let granularity t = t.granularity
 let fresh_cell () =
   {
     lock = Mutex.create ();
-    read_epoch = Epoch.bottom;
-    read_vc = Vc.bottom;
+    read_clock = 0;
+    read_tid = 0;
+    read_vc = None;
     read_shared = false;
-    write_epoch = Epoch.bottom;
+    write_clock = 0;
+    write_tid = 0;
     write_atomic = false;
     write_value = 0L;
     write_record = -1;
     sync_loc = false;
   }
 
-let cell_at t (loc : Gtrace.Loc.t) index =
+let page_slow t space region pidx =
   Mutex.lock t.table_lock;
-  let finally () = Mutex.unlock t.table_lock in
-  Fun.protect ~finally @@ fun () ->
-  let key = (loc.Gtrace.Loc.space, loc.Gtrace.Loc.region, index / page_size) in
+  let key = (space, region, pidx) in
   let page =
     match Hashtbl.find_opt t.pages key with
     | Some p -> p
@@ -63,16 +82,44 @@ let cell_at t (loc : Gtrace.Loc.t) index =
         Hashtbl.add t.pages key p;
         p
   in
-  let slot = index mod page_size in
-  match page.(slot) with
-  | Some c -> c
-  | None ->
-      let c = fresh_cell () in
-      page.(slot) <- Some c;
-      t.cell_count <- t.cell_count + 1;
-      c
+  t.cache <- Some { c_space = space; c_region = region; c_pidx = pidx; c_page = page };
+  Mutex.unlock t.table_lock;
+  page
 
-let find t loc = cell_at t loc (loc.Gtrace.Loc.addr / t.granularity)
+let page_for t space region pidx =
+  match t.cache with
+  (* [==] on the space: constant constructors are immediates, so
+     physical equality is value equality without a polymorphic-compare
+     call. *)
+  | Some c when c.c_pidx = pidx && c.c_region = region && c.c_space == space ->
+      c.c_page
+  | _ -> page_slow t space region pidx
+
+let cell_slow t page slot =
+  (* Re-check under the lock: another domain may have just created it. *)
+  Mutex.lock t.table_lock;
+  let c =
+    match page.(slot) with
+    | Some c -> c
+    | None ->
+        let c = fresh_cell () in
+        page.(slot) <- Some c;
+        t.cell_count <- t.cell_count + 1;
+        c
+  in
+  Mutex.unlock t.table_lock;
+  c
+
+let cell t ~space ~region ~index =
+  let page = page_for t space region (index / page_size) in
+  let slot = index mod page_size in
+  match Array.unsafe_get page slot with
+  | Some c -> c
+  | None -> cell_slow t page slot
+
+let find t (loc : Gtrace.Loc.t) =
+  cell t ~space:loc.Gtrace.Loc.space ~region:loc.Gtrace.Loc.region
+    ~index:(loc.Gtrace.Loc.addr / t.granularity)
 
 let cells_of_access t (loc : Gtrace.Loc.t) ~width =
   let first = loc.Gtrace.Loc.addr / t.granularity in
@@ -80,7 +127,8 @@ let cells_of_access t (loc : Gtrace.Loc.t) ~width =
   List.init (last - first + 1) (fun i ->
       let index = first + i in
       ( Gtrace.Loc.with_addr loc (index * t.granularity),
-        cell_at t loc index ))
+        cell t ~space:loc.Gtrace.Loc.space ~region:loc.Gtrace.Loc.region ~index
+      ))
 
 let pages t = Hashtbl.length t.pages
 let cells t = t.cell_count

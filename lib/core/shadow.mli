@@ -3,20 +3,29 @@
     Organized as a two-level page table, as in the paper: pages are
     allocated on demand in response to actual accesses (global memory
     consumption is unknown at launch), and each shadow cell carries the
-    last-write epoch (+ atomic bit), last-read epoch or a sparse
-    read vector clock once a location has concurrent readers, and
-    bookkeeping flags.  Cells are byte-granular by default; a coarser
-    [granularity] (e.g. 4) trades fidelity for speed and is exposed as a
-    benchmark ablation. *)
+    last-write epoch (+ atomic bit), last-read epoch or a mutable read
+    clock once a location has concurrent readers, and bookkeeping
+    flags.  Cells are byte-granular by default; a coarser [granularity]
+    (e.g. 4) trades fidelity for speed and is exposed as a benchmark
+    ablation.
+
+    The steady-state lookup path ({!cell}) is allocation-free: a
+    one-entry page cache answers repeated hits to the same page without
+    touching the table lock, and epochs live inline as [(clock, tid)]
+    int pairs rather than boxed {!Vclock.Epoch.t} values. *)
 
 type cell = {
   lock : Mutex.t;
       (** per-location lock, held by the host thread while checking and
           updating the cell (the paper's spinlock field) *)
-  mutable read_epoch : Vclock.Epoch.t;
-  mutable read_vc : Vclock.Vector_clock.t;  (** used once [read_shared] *)
+  mutable read_clock : int;  (** last-read epoch, [0] = bottom *)
+  mutable read_tid : int;
+  mutable read_vc : Vclock.Cvc.Mut.t option;
+      (** used once [read_shared]; owned by the cell, mutated only under
+          [lock], and must be frozen if it ever escapes the detector *)
   mutable read_shared : bool;
-  mutable write_epoch : Vclock.Epoch.t;
+  mutable write_clock : int;  (** last-write epoch, [0] = bottom *)
+  mutable write_tid : int;
   mutable write_atomic : bool;
   mutable write_value : int64;
   mutable write_record : int;  (** id of the warp instruction that wrote *)
@@ -30,15 +39,22 @@ val create : ?granularity:int -> unit -> t
 
 val granularity : t -> int
 
+val cell : t -> space:Ptx.Ast.space -> region:int -> index:int -> cell
+(** Cell at a granularity-scaled index (i.e. [addr / granularity]),
+    allocating page and cell on demand.  Allocation-free on the
+    steady-state hit path. *)
+
 val find : t -> Gtrace.Loc.t -> cell
-(** Cell covering a location's address, allocating page and cell on
-    demand. *)
+(** Cell covering a location's address. *)
 
 val cells_of_access : t -> Gtrace.Loc.t -> width:int -> (Gtrace.Loc.t * cell) list
 (** All cells covered by an access of [width] bytes at the location,
-    each paired with the location of the cell's first byte. *)
+    each paired with the location of the cell's first byte.  Allocates;
+    kept for tests and occasional callers — the detector hot path loops
+    over {!cell} indices directly. *)
 
 val pages : t -> int
 val cells : t -> int
+
 val bytes : t -> int
 (** Shadow bytes allocated, at the paper's 32 bytes per cell. *)

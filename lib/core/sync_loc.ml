@@ -1,9 +1,15 @@
 module Cvc = Vclock.Cvc
+module Mut = Vclock.Cvc.Mut
 module Loc = Gtrace.Loc
 
+(* Entries hold detector-owned mutable clocks, mutated only under
+   [lock].  A release reuses the existing entry's tables (clear +
+   refill) instead of rebuilding a persistent clock; every read-side
+   operation freezes before the clock escapes the lock, because the
+   caller may be on a different domain than the next releaser. *)
 type entry = {
-  mutable global_vc : Cvc.t option;
-  per_block : (int, Cvc.t) Hashtbl.t;
+  mutable global_vc : Mut.t option;
+  per_block : (int, Mut.t) Hashtbl.t;
 }
 
 type t = {
@@ -14,7 +20,6 @@ type t = {
 }
 
 let create layout = { layout; lock = Mutex.create (); locs = Loc.Tbl.create 16 }
-let _ = fun t -> t.layout
 
 let locked t f =
   Mutex.lock t.lock;
@@ -34,29 +39,44 @@ let effective t loc ~block =
   | None -> None
   | Some e -> (
       match Hashtbl.find_opt e.per_block block with
-      | Some v -> Some v
-      | None -> e.global_vc)
+      | Some m -> Some (Mut.freeze m)
+      | None -> (
+          match e.global_vc with
+          | Some m -> Some (Mut.freeze m)
+          | None -> None))
 
 let join_all_blocks t loc =
   locked t @@ fun () ->
   match Loc.Tbl.find_opt t.locs loc with
   | None -> None
   | Some e ->
-      Hashtbl.fold
-        (fun _b v acc ->
-          match acc with None -> Some v | Some a -> Some (Cvc.join a v))
-        e.per_block e.global_vc
+      let acc = Mut.create t.layout in
+      (match e.global_vc with
+      | Some g -> Mut.merge_into g ~into:acc
+      | None -> ());
+      Hashtbl.iter (fun _b m -> Mut.merge_into m ~into:acc) e.per_block;
+      if Mut.is_bottom acc then None else Some (Mut.freeze acc)
 
+(* Release semantics replace (not join) the entry, per FastTrack's
+   [S_x := C_t]; the stored tables are reused across releases. *)
 let release_block t loc ~block v =
   locked t @@ fun () ->
   let e = entry_of t loc in
-  Hashtbl.replace e.per_block block v
+  match Hashtbl.find_opt e.per_block block with
+  | Some m ->
+      Mut.clear m;
+      Mut.join_into v m
+  | None -> Hashtbl.replace e.per_block block (Mut.thaw v)
 
 let release_global t loc v =
   locked t @@ fun () ->
   let e = entry_of t loc in
   Hashtbl.reset e.per_block;
-  e.global_vc <- Some v
+  match e.global_vc with
+  | Some m ->
+      Mut.clear m;
+      Mut.join_into v m
+  | None -> e.global_vc <- Some (Mut.thaw v)
 
 let count t = locked t @@ fun () -> Loc.Tbl.length t.locs
 let mem t loc = locked t @@ fun () -> Loc.Tbl.mem t.locs loc

@@ -6,7 +6,14 @@
     semantics, [S_x] is a map from thread block to vector clock; a
     global release writes every block's entry at once, which we
     represent as a single grid-wide clock plus per-block overrides so a
-    million-block grid never materializes a million entries. *)
+    million-block grid never materializes a million entries.
+
+    Internally entries are {!Vclock.Cvc.Mut} clocks owned by this map
+    and mutated only under its lock (a release clears and refills the
+    existing entry in place).  The interface exchanges only persistent
+    {!Vclock.Cvc.t} values: {!effective} and {!join_all_blocks} freeze
+    before the clock escapes the lock — callers may sit on other
+    domains — and releases copy on the way in. *)
 
 type t
 

@@ -1,5 +1,6 @@
 module Layout = Vclock.Layout
 module Cvc = Vclock.Cvc
+module Mut = Vclock.Cvc.Mut
 module Epoch = Vclock.Epoch
 module Vc = Vclock.Vector_clock
 
@@ -9,13 +10,21 @@ type frame = {
   sib : int array; (* per-lane view: [local] for active, frozen otherwise *)
 }
 
+(* Overlays are mutable clocks under copy-on-write ownership:
+   [owned.(l)] means lane [l] holds the only reference to
+   [overlay.(l)] and may mutate it in place; a join point installs one
+   union clock into every active lane as a shared (unowned) value, and
+   an acquire on an unowned overlay copies before raising.  Nothing
+   here escapes the warp unfrozen: [materialize] and [overlay_union]
+   return persistent snapshots. *)
 type t = {
   layout : Layout.t;
   warp : int;
   ws : int;
   first_tid : int;
   own : int array; (* own clock per lane *)
-  overlay : Cvc.t option array; (* per-lane acquire-derived entries *)
+  overlay : Mut.t option array; (* per-lane acquire-derived entries *)
+  owned : bool array; (* copy-on-write flag per lane *)
   mutable block_clock : int;
   mutable stack : frame list; (* top first; never empty *)
 }
@@ -33,6 +42,7 @@ let create layout ~warp =
     first_tid = Layout.tid_of_warp_lane layout ~warp ~lane:0;
     own = Array.make ws 1;
     overlay = Array.make ws None;
+    owned = Array.make ws false;
     block_clock = 0;
     stack = [ { mask; local = 0; sib = Array.make ws 0 } ];
   }
@@ -61,35 +71,78 @@ let entry t ~lane ~tid =
   let base = base_entry t ~lane ~tid in
   match t.overlay.(lane) with
   | None -> base
-  | Some o -> max base (Cvc.get o tid)
+  | Some o -> max base (Mut.get o tid)
 
-let overlay_union_of t mask =
-  List.fold_left
-    (fun acc lane ->
-      match (acc, t.overlay.(lane)) with
-      | None, o -> o
-      | acc, None -> acc
-      | Some a, Some b -> Some (Cvc.join a b))
-    None
-    (Simt.Event.mask_lanes mask)
+(* Union of [mask]'s lane overlays as a value to be shared (unowned) by
+   those lanes.  When every active lane already aliases the same clock
+   (the common case after a previous join point) that clock is returned
+   as-is — no allocation; only genuinely distinct overlays force a
+   copy-and-merge. *)
+(* The scans below are top-level recursions over lane indices rather
+   than local refs: the common converged case (no overlays) must not
+   allocate, and the stock compiler boxes local refs. *)
+let rec first_overlay_lane overlay mask ws l =
+  if l >= ws then -1
+  else if
+    mask land (1 lsl l) <> 0
+    && match Array.unsafe_get overlay l with Some _ -> true | None -> false
+  then l
+  else first_overlay_lane overlay mask ws (l + 1)
 
-let overlay_union t = overlay_union_of t (active_mask t)
+let rec overlays_mixed overlay mask ws f l =
+  if l >= ws then false
+  else
+    (mask land (1 lsl l) <> 0
+    && match Array.unsafe_get overlay l with Some o -> o != f | None -> false)
+    || overlays_mixed overlay mask ws f (l + 1)
+
+let overlay_union_mut t mask =
+  let fi = first_overlay_lane t.overlay mask t.ws 0 in
+  if fi < 0 then None
+  else
+    let f =
+      match t.overlay.(fi) with Some f -> f | None -> assert false
+    in
+    if not (overlays_mixed t.overlay mask t.ws f (fi + 1)) then
+      (* every active overlay aliases [f]: return the existing option
+         cell as-is — no allocation *)
+      t.overlay.(fi)
+    else begin
+      let u = Mut.copy f in
+      for l = 0 to t.ws - 1 do
+        if mask land (1 lsl l) <> 0 then
+          match t.overlay.(l) with
+          | Some o when o != f -> Mut.merge_into o ~into:u
+          | _ -> ()
+      done;
+      Some u
+    end
+
+let overlay_union t =
+  match overlay_union_mut t (active_mask t) with
+  | None -> None
+  | Some m -> Some (Mut.freeze m)
 
 (* Renormalizing join-and-fork over [mask]'s lanes within the top frame:
    new shared clock = max own; every lane's own moves one past it. *)
 let join_fork t ~mask =
   if mask <> 0 then begin
     let f = top t in
-    let lanes = Simt.Event.mask_lanes mask in
-    let m = List.fold_left (fun acc l -> max acc t.own.(l)) 0 lanes in
+    let m = ref 0 in
+    for l = 0 to t.ws - 1 do
+      if mask land (1 lsl l) <> 0 && t.own.(l) > !m then m := t.own.(l)
+    done;
+    let m = !m in
     f.local <- m;
-    let shared = overlay_union_of t mask in
-    List.iter
-      (fun l ->
+    let shared = overlay_union_mut t mask in
+    for l = 0 to t.ws - 1 do
+      if mask land (1 lsl l) <> 0 then begin
         f.sib.(l) <- m;
         t.own.(l) <- m + 1;
-        t.overlay.(l) <- shared)
-      lanes
+        t.overlay.(l) <- shared;
+        t.owned.(l) <- false
+      end
+    done
   end
 
 let push_if t ~then_mask ~else_mask =
@@ -109,10 +162,22 @@ let pop_path t ~mask =
   join_fork t ~mask
 
 let acquire t ~lane cvc =
-  t.overlay.(lane) <-
-    (match t.overlay.(lane) with
-    | None -> Some cvc
-    | Some o -> Some (Cvc.join o cvc))
+  match t.overlay.(lane) with
+  | None ->
+      t.overlay.(lane) <- Some (Mut.thaw cvc);
+      t.owned.(lane) <- true
+  | Some o ->
+      let o =
+        if t.owned.(lane) then o
+        else begin
+          (* copy-on-write: the overlay is shared with other lanes *)
+          let c = Mut.copy o in
+          t.overlay.(lane) <- Some c;
+          t.owned.(lane) <- true;
+          c
+        end
+      in
+      Mut.join_into cvc o
 
 let release_increment t ~lane = t.own.(lane) <- t.own.(lane) + 1
 
@@ -127,7 +192,9 @@ let materialize t ~lane =
     let c = if u = lane then t.own.(lane) else f.sib.(u) in
     v := Cvc.set_point !v tid c
   done;
-  match t.overlay.(lane) with None -> !v | Some o -> Cvc.join !v o
+  match t.overlay.(lane) with
+  | None -> !v
+  | Some o -> Cvc.join !v (Mut.freeze o)
 
 let to_vector_clock t ~lane =
   let acc = ref Vc.bottom in
@@ -142,13 +209,17 @@ let max_own t = Array.fold_left max 0 t.own
 let block_clock t = t.block_clock
 
 let apply_barrier t ~clock ~overlay =
+  (* Thaw the block-wide overlay once and share it (unowned) across
+     the live lanes; an acquire will copy before mutating it. *)
+  let shared = match overlay with None -> None | Some o -> Some (Mut.thaw o) in
   let f = top t in
   let live = f.mask in
   for u = 0 to t.ws - 1 do
     if live land (1 lsl u) <> 0 then begin
       f.sib.(u) <- clock;
       t.own.(u) <- clock + 1;
-      t.overlay.(u) <- overlay
+      t.overlay.(u) <- shared;
+      t.owned.(u) <- false
     end
     else
       (* lanes that retired (or never existed): freeze at their final
@@ -158,46 +229,41 @@ let apply_barrier t ~clock ~overlay =
   f.local <- clock;
   t.block_clock <- clock
 
+(* Whether the frozen (inactive) sib entries of a frame are absent or
+   all one scalar — the paper's DIVERGED vs NESTEDDIVERGED split. *)
+let frozen_uniform ws (f : frame) =
+  let v = ref min_int in
+  let uniform = ref true in
+  for u = 0 to ws - 1 do
+    if f.mask land (1 lsl u) = 0 then
+      if !v = min_int then v := f.sib.(u)
+      else if f.sib.(u) <> !v then uniform := false
+  done;
+  !uniform
+
 let format_of t =
   let f = top t in
-  let has_overlay =
-    List.exists
-      (fun l -> t.overlay.(l) <> None)
-      (Simt.Event.mask_lanes f.mask)
-  in
-  if has_overlay then Sparse_vc
-  else if List.length t.stack = 1 then Converged
-  else begin
-    (* diverged: check whether the frozen entries are one scalar *)
-    let frozen = ref [] in
-    for u = 0 to t.ws - 1 do
-      if f.mask land (1 lsl u) = 0 then frozen := f.sib.(u) :: !frozen
-    done;
-    match !frozen with
-    | [] -> Diverged
-    | c :: rest ->
-        if List.for_all (Int.equal c) rest then Diverged else Nested_diverged
-  end
+  let has_overlay = ref false in
+  for l = 0 to t.ws - 1 do
+    if f.mask land (1 lsl l) <> 0 then
+      match t.overlay.(l) with Some _ -> has_overlay := true | None -> ()
+  done;
+  if !has_overlay then Sparse_vc
+  else
+    match t.stack with
+    | [ _ ] -> Converged
+    | _ -> if frozen_uniform t.ws f then Diverged else Nested_diverged
 
 let footprint_bytes t =
   (* Mirror the paper's 16-byte stack entries: CONVERGED/DIVERGED frames
      are scalar-only; NESTEDDIVERGED carries a warp-sized clock vector;
      overlays pay for what they store. *)
   let frame_bytes f =
-    let frozen_uniform =
-      let frozen = ref [] in
-      for u = 0 to t.ws - 1 do
-        if f.mask land (1 lsl u) = 0 then frozen := f.sib.(u) :: !frozen
-      done;
-      match !frozen with
-      | [] -> true
-      | c :: rest -> List.for_all (Int.equal c) rest
-    in
-    if frozen_uniform then 16 else 16 + (4 * t.ws)
+    if frozen_uniform t.ws f then 16 else 16 + (4 * t.ws)
   in
   let overlays =
     Array.fold_left
-      (fun acc o -> match o with None -> acc | Some o -> acc + (12 * Cvc.footprint o))
+      (fun acc o -> match o with None -> acc | Some o -> acc + (12 * Mut.footprint o))
       0 t.overlay
   in
   List.fold_left (fun acc f -> acc + frame_bytes f) 0 t.stack

@@ -26,7 +26,16 @@
     never another thread's view of it beyond that thread's own epochs —
     and is what keeps every format O(warp) instead of O(grid).  The
     equivalence with the literal semantics is checked against
-    {!Reference} by the test suite. *)
+    {!Reference} by the test suite.
+
+    Overlays are {!Vclock.Cvc.Mut} values under copy-on-write
+    ownership: a join point installs one shared union clock into every
+    active lane, an acquire copies a shared overlay before raising it
+    in place, and the steady state (no live overlays) allocates
+    nothing.  Clocks leave the warp only as persistent snapshots —
+    {!materialize} and {!overlay_union} freeze on the way out — so no
+    mutable clock is ever visible outside the domain that owns the
+    warp. *)
 
 type t
 

@@ -1,0 +1,152 @@
+(* 272-byte record wire format (§4.2, Figure 6), shared between the
+   runtime transport and the detector's in-place [feed_record] path.
+
+   All multi-byte fields are read and written through
+   [set_uint16_le]/[get_uint16_le] compositions: those primitives take
+   and return immediate [int]s, so no boxed [Int32.t]/[Int64.t]
+   temporary is allocated on the hot path (the [set_int32_le] family
+   boxes its argument unless the optimizer happens to unbox it). *)
+
+let size = 272 (* 16-byte header + 32 * 8-byte lane addresses *)
+let max_lanes = 32
+
+(* Opcodes: byte 0 *)
+let op_load = 1
+let op_store = 2
+let op_atomic_first = 3 (* 3..12 = A_add .. A_dec *)
+let op_atomic_last = 12
+let op_branch_if = 20
+let op_branch_else = 21
+let op_branch_fi = 22
+let op_barrier = 23
+let op_barrier_divergence = 24
+
+let is_access opc = opc >= op_load && opc <= op_atomic_last
+let is_atomic opc = opc >= op_atomic_first && opc <= op_atomic_last
+
+let atomic_code = function
+  | Ptx.Ast.A_add -> 0
+  | Ptx.Ast.A_exch -> 1
+  | Ptx.Ast.A_cas -> 2
+  | Ptx.Ast.A_min -> 3
+  | Ptx.Ast.A_max -> 4
+  | Ptx.Ast.A_and -> 5
+  | Ptx.Ast.A_or -> 6
+  | Ptx.Ast.A_xor -> 7
+  | Ptx.Ast.A_inc -> 8
+  | Ptx.Ast.A_dec -> 9
+
+let atomic_of_code = function
+  | 0 -> Ptx.Ast.A_add
+  | 1 -> Ptx.Ast.A_exch
+  | 2 -> Ptx.Ast.A_cas
+  | 3 -> Ptx.Ast.A_min
+  | 4 -> Ptx.Ast.A_max
+  | 5 -> Ptx.Ast.A_and
+  | 6 -> Ptx.Ast.A_or
+  | 7 -> Ptx.Ast.A_xor
+  | 8 -> Ptx.Ast.A_inc
+  | _ -> Ptx.Ast.A_dec
+
+let opcode_of_kind = function
+  | Simt.Event.Load -> op_load
+  | Simt.Event.Store -> op_store
+  | Simt.Event.Atomic op -> op_atomic_first + atomic_code op
+
+let kind_of_opcode opc =
+  if opc = op_load then Simt.Event.Load
+  else if opc = op_store then Simt.Event.Store
+  else if is_atomic opc then
+    Simt.Event.Atomic (atomic_of_code (opc - op_atomic_first))
+  else invalid_arg (Printf.sprintf "Wire.kind_of_opcode: bad opcode %d" opc)
+
+let space_code = function
+  | Ptx.Ast.Global -> 0
+  | Ptx.Ast.Shared -> 1
+  | Ptx.Ast.Local -> 2
+  | Ptx.Ast.Param -> 3
+
+let space_of_code = function
+  | 0 -> Ptx.Ast.Global
+  | 1 -> Ptx.Ast.Shared
+  | 2 -> Ptx.Ast.Local
+  | _ -> Ptx.Ast.Param
+
+(* Allocation-free scalar codecs over [Bytes.t]. *)
+
+let set_u32 b pos v =
+  Bytes.set_uint16_le b pos (v land 0xFFFF);
+  Bytes.set_uint16_le b (pos + 2) ((v lsr 16) land 0xFFFF)
+
+let set_u64 b pos v =
+  Bytes.set_uint16_le b pos (v land 0xFFFF);
+  Bytes.set_uint16_le b (pos + 2) ((v lsr 16) land 0xFFFF);
+  Bytes.set_uint16_le b (pos + 4) ((v lsr 32) land 0xFFFF);
+  Bytes.set_uint16_le b (pos + 6) ((v asr 48) land 0xFFFF)
+
+let get_u32 b pos =
+  Bytes.get_uint16_le b pos lor (Bytes.get_uint16_le b (pos + 2) lsl 16)
+
+(* 32-bit field read back as a sign-extended OCaml int (warp and insn
+   store -1 as 0xFFFFFFFF). *)
+let get_i32 b pos = (get_u32 b pos lxor 0x80000000) - 0x80000000
+
+let get_i64 b pos =
+  Bytes.get_uint16_le b pos
+  lor (Bytes.get_uint16_le b (pos + 2) lsl 16)
+  lor (Bytes.get_uint16_le b (pos + 4) lsl 32)
+  lor (Bytes.get_uint16_le b (pos + 6) lsl 48)
+
+(* Writers: each writes the full 16-byte header deterministically (ring
+   slots are reused, so unset header fields must be cleared, not
+   inherited from the previous occupant).  Lane slots beyond what a
+   writer sets may hold stale bytes from the slot's previous record;
+   readers only consult lanes the mask/opcode makes meaningful. *)
+
+let write_header b ~pos ~opcode ~width ~aux ~mask ~warp ~insn =
+  Bytes.set_uint8 b pos opcode;
+  Bytes.set_uint8 b (pos + 1) width;
+  Bytes.set_uint16_le b (pos + 2) (aux land 0xFFFF);
+  set_u32 b (pos + 4) mask;
+  set_u32 b (pos + 8) warp;
+  set_u32 b (pos + 12) insn
+
+let write_access b ~pos ~kind ~space ~width ~mask ~warp ~insn ~addrs =
+  write_header b ~pos ~opcode:(opcode_of_kind kind) ~width
+    ~aux:(space_code space) ~mask ~warp ~insn;
+  let n = Array.length addrs in
+  let n = if n > max_lanes then max_lanes else n in
+  for i = 0 to n - 1 do
+    set_u64 b (pos + 16 + (8 * i)) (Array.unsafe_get addrs i)
+  done
+
+let write_branch_if b ~pos ~mask ~warp ~insn ~then_mask ~else_mask =
+  write_header b ~pos ~opcode:op_branch_if ~width:0 ~aux:0 ~mask ~warp ~insn;
+  set_u64 b (pos + 16) then_mask;
+  set_u64 b (pos + 24) else_mask
+
+let write_branch_else b ~pos ~warp ~insn ~mask =
+  write_header b ~pos ~opcode:op_branch_else ~width:0 ~aux:0 ~mask ~warp ~insn
+
+let write_branch_fi b ~pos ~warp ~insn ~mask =
+  write_header b ~pos ~opcode:op_branch_fi ~width:0 ~aux:0 ~mask ~warp ~insn
+
+let write_barrier b ~pos ~warp ~insn ~mask ~block =
+  write_header b ~pos ~opcode:op_barrier ~width:0 ~aux:(block land 0xFFFF)
+    ~mask ~warp ~insn
+
+let write_barrier_divergence b ~pos ~warp ~insn ~mask ~expected =
+  write_header b ~pos ~opcode:op_barrier_divergence ~width:0 ~aux:expected
+    ~mask ~warp ~insn
+
+module View = struct
+  let opcode b ~pos = Bytes.get_uint8 b pos
+  let width b ~pos = Bytes.get_uint8 b (pos + 1)
+  let aux b ~pos = Bytes.get_uint16_le b (pos + 2)
+  let mask b ~pos = get_u32 b (pos + 4)
+  let warp b ~pos = get_i32 b (pos + 8)
+  let insn b ~pos = get_i32 b (pos + 12)
+  let addr b ~pos ~lane = get_i64 b (pos + 16 + (8 * lane))
+  let then_mask b ~pos = get_i64 b (pos + 16)
+  let else_mask b ~pos = get_i64 b (pos + 24)
+end

@@ -1,0 +1,128 @@
+(** The 272-byte record wire format (§4.2, Figure 6), shared between
+    the runtime transport ([Gpu_runtime.Record]/[Queue]) and the
+    detector's in-place {!Detector.feed_record} path.
+
+    Layout, [pos] being the byte offset of the record inside a larger
+    buffer (a queue ring slot or a standalone [Bytes.t]):
+
+    {v
+    byte  0      opcode
+    byte  1      access width / spare
+    bytes 2-3    space code / aux payload (little-endian u16)
+    bytes 4-7    active mask (u32)
+    bytes 8-11   warp id (u32, 0xFFFFFFFF = none)
+    bytes 12-15  static instruction index (u32, 0xFFFFFFFF = none)
+    bytes 16-271 32 x u64 lane addresses (doubles as aux payload)
+    v}
+
+    Every accessor and writer is allocation-free: multi-byte fields go
+    through [get_uint16_le]/[set_uint16_le] compositions, which traffic
+    in immediate [int]s rather than boxed [Int32.t]/[Int64.t].
+
+    Writers fill the whole 16-byte header (ring slots are reused, so
+    stale header fields must be overwritten), but only the lane slots
+    their payload defines; a reader may only consult lanes that the
+    opcode and mask make meaningful. *)
+
+val size : int
+(** 272 bytes, as in the paper. *)
+
+val max_lanes : int
+(** 32 lane-address slots per record. *)
+
+(** {1 Opcodes} *)
+
+val op_load : int
+val op_store : int
+
+val op_atomic_first : int
+(** Atomics occupy [op_atomic_first .. op_atomic_last], one opcode per
+    {!Ptx.Ast.atom_op}. *)
+
+val op_atomic_last : int
+val op_branch_if : int
+val op_branch_else : int
+val op_branch_fi : int
+val op_barrier : int
+val op_barrier_divergence : int
+
+val is_access : int -> bool
+(** Load, store, or atomic. *)
+
+val is_atomic : int -> bool
+val opcode_of_kind : Simt.Event.access_kind -> int
+
+val kind_of_opcode : int -> Simt.Event.access_kind
+(** Allocates for atomics; decode path only.
+    @raise Invalid_argument on a non-access opcode. *)
+
+val atomic_of_code : int -> Ptx.Ast.atom_op
+val space_code : Ptx.Ast.space -> int
+val space_of_code : int -> Ptx.Ast.space
+
+(** {1 Writers} *)
+
+val write_access :
+  Bytes.t ->
+  pos:int ->
+  kind:Simt.Event.access_kind ->
+  space:Ptx.Ast.space ->
+  width:int ->
+  mask:int ->
+  warp:int ->
+  insn:int ->
+  addrs:int array ->
+  unit
+
+val write_branch_if :
+  Bytes.t ->
+  pos:int ->
+  mask:int ->
+  warp:int ->
+  insn:int ->
+  then_mask:int ->
+  else_mask:int ->
+  unit
+(** [mask] is conventionally [then_mask lor else_mask]. *)
+
+val write_branch_else :
+  Bytes.t -> pos:int -> warp:int -> insn:int -> mask:int -> unit
+
+val write_branch_fi :
+  Bytes.t -> pos:int -> warp:int -> insn:int -> mask:int -> unit
+
+val write_barrier :
+  Bytes.t -> pos:int -> warp:int -> insn:int -> mask:int -> block:int -> unit
+(** The pipeline emits barriers with [warp = -1], [insn = -1],
+    [mask = 0]; they carry only the block id. *)
+
+val write_barrier_divergence :
+  Bytes.t -> pos:int -> warp:int -> insn:int -> mask:int -> expected:int -> unit
+
+(** {1 View}
+
+    Field accessors over a record at offset [pos].  A view is just the
+    [(buffer, pos)] pair: it stays valid only as long as the underlying
+    slot does (for queue rings, until the consumer releases the slot —
+    see [Gpu_runtime.Queue]). *)
+module View : sig
+  val opcode : Bytes.t -> pos:int -> int
+  val width : Bytes.t -> pos:int -> int
+
+  val aux : Bytes.t -> pos:int -> int
+  (** Space code for accesses, block id for barriers, expected mask for
+      barrier divergence. *)
+
+  val mask : Bytes.t -> pos:int -> int
+  val warp : Bytes.t -> pos:int -> int
+  val insn : Bytes.t -> pos:int -> int
+
+  val addr : Bytes.t -> pos:int -> lane:int -> int
+  (** Meaningful only for access records and lanes below the producer's
+      warp size. *)
+
+  val then_mask : Bytes.t -> pos:int -> int
+  (** Branch payloads (lane slots 0 and 1 reused). *)
+
+  val else_mask : Bytes.t -> pos:int -> int
+end

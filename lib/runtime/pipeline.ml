@@ -1,3 +1,5 @@
+module Wire = Barracuda.Wire
+
 type config = {
   queues : int;
   queue_capacity : int;
@@ -37,6 +39,8 @@ type stages = {
   sp_execute : Telemetry.Span.h;
   sp_queue : Telemetry.Span.h;
   sp_decode : Telemetry.Span.h;
+      (* the in-place pipeline no longer decodes; the stage reads zero
+         unless something regresses onto [Record.of_bytes] *)
   sp_detect : Telemetry.Span.h;
   m_records : Telemetry.Metric.counter;
   m_stalls : Telemetry.Metric.counter;
@@ -59,9 +63,18 @@ let stages () =
         "barracuda_pipeline_stalls_total";
   }
 
+(* Manual span timing: [tm_now] returns 0 when telemetry is off, so the
+   steady state pays one flag check and no boxed clock read. *)
+let tm_now () =
+  if Telemetry.Registry.enabled () then Telemetry.Clock.now_ns () else 0L
+
+let tm_record sp t0 =
+  if not (Int64.equal t0 0L) then
+    Telemetry.Span.record_ns sp (Telemetry.Clock.elapsed_ns ~since:t0)
+
 (* The execute stage is the machine's own time: total launch time
    minus time spent inside the event callback (which belongs to the
-   queue/decode/detect stages it invokes). *)
+   queue/detect stages it invokes). *)
 let launch_timed st ?max_steps machine kernel args ~on_event =
   if not (Telemetry.Registry.enabled ()) then
     Simt.Machine.launch ?max_steps machine kernel args ~on_event
@@ -79,37 +92,39 @@ let launch_timed st ?max_steps machine kernel args ~on_event =
     result
   end
 
-(* Remap an event of the instrumented kernel back to original static
-   indices; [None] drops the event (logging traffic, pruned accesses). *)
-let remap (inst : Instrument.Pass.result) event =
-  let orig i = if i >= 0 && i < Array.length inst.Instrument.Pass.origin then inst.Instrument.Pass.origin.(i) else -1 in
-  match event with
-  | Simt.Event.Access a ->
-      let o = orig a.Simt.Event.insn in
-      if o < 0 then None (* logging code *)
-      else if not inst.Instrument.Pass.logged.(o) then None (* pruned *)
-      else Some (Simt.Event.Access { a with Simt.Event.insn = o })
-  | Simt.Event.Fence { warp; insn; scope; mask } ->
-      let o = orig insn in
-      if o < 0 then None
-      else Some (Simt.Event.Fence { warp; insn = o; scope; mask })
-  | Simt.Event.Branch_if { warp; insn; then_mask; else_mask } ->
-      (* branches belong to the application whenever their original
-         instruction maps back; instrumentation-introduced branches
-         (predication rewrites) map to -1 and are forwarded too since
-         they reshape the SIMT stack *)
-      let o = orig insn in
-      Some (Simt.Event.Branch_if { warp; insn = o; then_mask; else_mask })
-  | Simt.Event.Branch_else _ | Simt.Event.Branch_fi _ | Simt.Event.Barrier _
-  | Simt.Event.Barrier_divergence _ | Simt.Event.Kernel_done ->
-      Some event
+(* Producers remap instrumented instruction indices back to original
+   static indices inline while serializing (the old [remap] built a
+   fresh event per record): accesses from logging code (origin -1) or
+   pruned sites are dropped; instrumentation-introduced branches
+   (predication rewrites) map to -1 but are still forwarded since they
+   reshape the SIMT stack. *)
+
+let no_values : int64 array = [||]
+
+(* Producer-side wait for a full queue when a consumer domain drains
+   concurrently: spin briefly, then sleep with a capped exponential
+   backoff (50us doubling to ~3ms) instead of a fixed-rate poll. *)
+let full_backoff attempt =
+  if attempt < 16 then Domain.cpu_relax ()
+  else begin
+    let e = attempt - 16 in
+    let e = if e > 6 then 6 else e in
+    Unix.sleepf (0.00005 *. (2. ** float_of_int e))
+  end
 
 (* The paper's deployment: host threads drain the queues concurrently
    with kernel execution.  The producer (the simulated device) runs on
    the calling domain; one consumer domain per queue feeds the shared
-   detector.  The record/value side channel is mutex-protected and
-   pushed before the record commits, so each consumer sees values in
-   commit order.
+   detector, reading each record in place from the ring slot
+   ([Detector.feed_record]) and releasing the slot afterwards.
+
+   Side channels (device stamp, store values) are slot-indexed arrays
+   alongside the ring, written between [try_reserve] and [commit]:
+   [commit]'s atomic store publishes them, and a consumer only reads a
+   slot after observing the commit, so the plain-array writes are
+   visible (release/acquire on the commit index).  A slot cannot be
+   rewritten until its consumer releases it, so the values stay valid
+   for exactly as long as the record bytes do.
 
    Cross-queue ordering of synchronization records is a hazard the
    paper does not address: block B's acquire can be drained before
@@ -124,7 +139,6 @@ let remap (inst : Instrument.Pass.result) event =
 let run_parallel ?(config = default_config) ?max_steps ?inst ~machine kernel
     args =
   let layout = Simt.Machine.layout machine in
-  let ws = layout.Vclock.Layout.warp_size in
   let inst =
     match inst with
     | Some i -> i
@@ -149,125 +163,182 @@ let run_parallel ?(config = default_config) ?max_steps ?inst ~machine kernel
       ~help:"Consumer waits for cross-queue acquire ordering"
       Telemetry.Registry.default "barracuda_pipeline_acquire_waits_total"
   in
-  let queues =
-    Array.init config.queues (fun _ ->
-        Queue.create ~capacity:config.queue_capacity)
-  in
-  (* per-queue side channel: (device stamp, store values) in commit order *)
-  let side = Array.init config.queues (fun _ -> Stdlib.Queue.create ()) in
-  let side_lock = Array.init config.queues (fun _ -> Mutex.create ()) in
+  let nq = config.queues in
+  let cap = config.queue_capacity in
+  let queues = Array.init nq (fun _ -> Queue.create ~capacity:cap) in
+  let stamps = Array.init nq (fun _ -> Array.make cap max_int) in
+  let values_ring = Array.init nq (fun _ -> Array.make cap no_values) in
   let stalls = ref 0 in
   let records = ref 0 in
   let stamp_counter = ref 0 in
   let producing = Atomic.make true in
-  (* A queue's authoritative frontier is the smaller of (a) the stamp of
-     the record its consumer is currently feeding ([in_flight], set
-     while the side-channel lock is held during the pop, so there is no
-     window in which a record is in neither place) and (b) the stamp at
-     the head of its side channel.  Anything below the frontier has been
-     fully race-checked; an empty queue can only ever receive larger
-     stamps, because the producer draws them in order and side-pushes
-     before committing. *)
-  let in_flight = Array.init config.queues (fun _ -> Atomic.make max_int) in
+  (* A queue's frontier is the stamp of its oldest unreleased record
+     (the one its consumer is feeding, or will feed next): everything
+     below it has been fully race-checked.  Reading it from another
+     domain is a benign race resolved conservatively: observing
+     [pushed > r] (acquire) makes record [r]'s stamp write visible, and
+     the slot cannot have been recycled while [read_index] still equals
+     [r] — slot reuse requires the reader to have advanced first.  If
+     the consumer moved under us, return 0 ("unknown, assume behind")
+     and let the waiter re-poll. *)
   let frontier_of qi =
-    Mutex.lock side_lock.(qi);
-    let head =
-      if Stdlib.Queue.is_empty side.(qi) then max_int
-      else fst (Stdlib.Queue.peek side.(qi))
-    in
-    let inflight = Atomic.get in_flight.(qi) in
-    Mutex.unlock side_lock.(qi);
-    min head inflight
-  in
-  let is_acquire (r : Record.t) =
-    match r.Record.op with
-    | Record.Access _ when r.Record.insn >= 0 -> (
-        match roles.(r.Record.insn) with
-        | Gtrace.Roles.Acquire _ | Gtrace.Roles.Acquire_release _ -> true
-        | Gtrace.Roles.Plain | Gtrace.Roles.Release _ -> false)
-    | _ -> false
+    let q = queues.(qi) in
+    let r = Queue.read_index q in
+    if Queue.pushed q <= r then max_int
+    else begin
+      let s = stamps.(qi).(r mod cap) in
+      if Queue.read_index q = r then s else 0
+    end
   in
   let others_past qi stamp =
     let ok = ref true in
-    Array.iteri
-      (fun qj _ -> if qj <> qi && frontier_of qj < stamp then ok := false)
-      queues;
+    for qj = 0 to nq - 1 do
+      if qj <> qi && frontier_of qj < stamp then ok := false
+    done;
     !ok
+  in
+  (* Acquire classification straight off the wire image — no decode. *)
+  let is_acquire_at buf pos =
+    let opc = Wire.View.opcode buf ~pos in
+    Wire.is_access opc
+    &&
+    let insn = Wire.View.insn buf ~pos in
+    insn >= 0
+    &&
+    match roles.(insn) with
+    | Gtrace.Roles.Acquire _ | Gtrace.Roles.Acquire_release _ -> true
+    | Gtrace.Roles.Plain | Gtrace.Roles.Release _ -> false
   in
   let consumers =
     Array.mapi
       (fun qi q ->
         Domain.spawn (fun () ->
+            let buf = Queue.buffer q in
             let rec loop () =
-              match Queue.pop q with
-              | Some bytes ->
-                  let stamp, values =
-                    Mutex.lock side_lock.(qi);
-                    let s, v = Stdlib.Queue.pop side.(qi) in
-                    Atomic.set in_flight.(qi) s;
-                    Mutex.unlock side_lock.(qi);
-                    (s, v)
-                  in
-                  let r =
-                    Telemetry.Span.with_h st.sp_decode (fun () ->
-                        Record.of_bytes ~values ~warp_size:ws bytes)
-                  in
-                  if is_acquire r then
-                    while not (others_past qi stamp) do
-                      Telemetry.Metric.counter_incr m_acquire_waits;
-                      Unix.sleepf 0.0002
-                    done;
-                  Telemetry.Span.with_h st.sp_detect (fun () ->
-                      Barracuda.Detector.feed detector (Record.to_event r));
-                  Telemetry.Metric.counter_incr m_drained.(qi);
-                  Atomic.set in_flight.(qi) max_int;
-                  loop ()
-              | None ->
-                  if Atomic.get producing || Queue.length q > 0 then begin
-                    Unix.sleepf 0.0002;
-                    loop ()
-                  end
+              let off = Queue.peek q in
+              if off >= 0 then begin
+                let slot = off / Record.wire_size in
+                let stamp = stamps.(qi).(slot) in
+                let values = values_ring.(qi).(slot) in
+                if is_acquire_at buf off then
+                  while not (others_past qi stamp) do
+                    Telemetry.Metric.counter_incr m_acquire_waits;
+                    Unix.sleepf 0.0002
+                  done;
+                let t0 = tm_now () in
+                Barracuda.Detector.feed_record detector ~values buf ~pos:off;
+                tm_record st.sp_detect t0;
+                Telemetry.Metric.counter_incr m_drained.(qi);
+                Queue.release q;
+                loop ()
+              end
+              else if Atomic.get producing || Queue.length q > 0 then begin
+                Unix.sleepf 0.0002;
+                loop ()
+              end
             in
             loop ()))
       queues
   in
-  let queue_of_event ev =
-    match ev with
-    | Simt.Event.Access { warp; _ }
-    | Simt.Event.Fence { warp; _ }
-    | Simt.Event.Branch_if { warp; _ }
-    | Simt.Event.Branch_else { warp; _ }
-    | Simt.Event.Branch_fi { warp; _ }
-    | Simt.Event.Barrier_divergence { warp; _ } ->
-        Vclock.Layout.block_of_warp layout warp mod config.queues
-    | Simt.Event.Barrier { block } -> block mod config.queues
-    | Simt.Event.Kernel_done -> 0
+  (* Producer side: reserve a slot (waiting out backpressure), write
+     stamp + values + wire bytes, commit.  Serialization happens
+     directly into the ring slot; no [Record.t] or [Bytes.t] per
+     record. *)
+  let reserve qi =
+    let q = queues.(qi) in
+    let rec go attempt =
+      let w = Queue.try_reserve q in
+      if w >= 0 then w
+      else begin
+        incr stalls;
+        Telemetry.Metric.counter_incr st.m_stalls;
+        full_backoff attempt;
+        go (attempt + 1)
+      end
+    in
+    go 0
   in
+  let start qi values =
+    let w = reserve qi in
+    let slot = w mod cap in
+    incr stamp_counter;
+    stamps.(qi).(slot) <- !stamp_counter;
+    values_ring.(qi).(slot) <- values;
+    w
+  in
+  let finish qi w t0 =
+    Queue.commit queues.(qi) w;
+    tm_record st.sp_queue t0;
+    incr records;
+    Telemetry.Metric.counter_incr st.m_records
+  in
+  let qi_of_warp warp =
+    Vclock.Layout.block_of_warp layout warp mod nq
+  in
+  let origin = inst.Instrument.Pass.origin in
+  let logged = inst.Instrument.Pass.logged in
+  let norigin = Array.length origin in
+  let orig i = if i >= 0 && i < norigin then Array.unsafe_get origin i else -1 in
   let on_event ev =
-    match remap inst ev with
-    | None -> ()
-    | Some ev -> (
-        match Record.of_event ~warp_size:ws ev with
-        | None -> ()
-        | Some r ->
-            let qi = queue_of_event ev in
-            incr stamp_counter;
-            (* side stamp+values first, so they are visible by commit time *)
-            Mutex.lock side_lock.(qi);
-            Stdlib.Queue.push (!stamp_counter, r.Record.values) side.(qi);
-            Mutex.unlock side_lock.(qi);
-            let bytes = Record.to_bytes r in
-            while
-              not
-                (Telemetry.Span.with_h st.sp_queue (fun () ->
-                     Queue.try_push queues.(qi) bytes))
-            do
-              incr stalls;
-              Telemetry.Metric.counter_incr st.m_stalls;
-              Unix.sleepf 0.0002
-            done;
-            incr records;
-            Telemetry.Metric.counter_incr st.m_records)
+    match ev with
+    | Simt.Event.Access a ->
+        let o = orig a.Simt.Event.insn in
+        if o >= 0 && logged.(o) then begin
+          let qi = qi_of_warp a.Simt.Event.warp in
+          let t0 = tm_now () in
+          let w = start qi a.Simt.Event.values in
+          let q = queues.(qi) in
+          Wire.write_access (Queue.buffer q) ~pos:(Queue.offset_of q w)
+            ~kind:a.Simt.Event.kind ~space:a.Simt.Event.space
+            ~width:a.Simt.Event.width ~mask:a.Simt.Event.mask
+            ~warp:a.Simt.Event.warp ~insn:o ~addrs:a.Simt.Event.addrs;
+          finish qi w t0
+        end
+    | Simt.Event.Branch_if { warp; insn; then_mask; else_mask } ->
+        let o = orig insn in
+        let qi = qi_of_warp warp in
+        let t0 = tm_now () in
+        let w = start qi no_values in
+        let q = queues.(qi) in
+        Wire.write_branch_if (Queue.buffer q) ~pos:(Queue.offset_of q w)
+          ~mask:(then_mask lor else_mask) ~warp ~insn:o ~then_mask ~else_mask;
+        finish qi w t0
+    | Simt.Event.Branch_else { warp; mask } ->
+        let qi = qi_of_warp warp in
+        let t0 = tm_now () in
+        let w = start qi no_values in
+        let q = queues.(qi) in
+        Wire.write_branch_else (Queue.buffer q) ~pos:(Queue.offset_of q w)
+          ~warp ~insn:(-1) ~mask;
+        finish qi w t0
+    | Simt.Event.Branch_fi { warp; mask } ->
+        let qi = qi_of_warp warp in
+        let t0 = tm_now () in
+        let w = start qi no_values in
+        let q = queues.(qi) in
+        Wire.write_branch_fi (Queue.buffer q) ~pos:(Queue.offset_of q w)
+          ~warp ~insn:(-1) ~mask;
+        finish qi w t0
+    | Simt.Event.Barrier { block } ->
+        let qi = block mod nq in
+        let t0 = tm_now () in
+        let w = start qi no_values in
+        let q = queues.(qi) in
+        Wire.write_barrier (Queue.buffer q) ~pos:(Queue.offset_of q w)
+          ~warp:(-1) ~insn:(-1) ~mask:0 ~block;
+        finish qi w t0
+    | Simt.Event.Barrier_divergence { warp; insn; mask; expected } ->
+        (* instruction index deliberately not remapped: divergence is
+           reported against the instrumented kernel's barrier site, as
+           the event-stream [remap] always did *)
+        let qi = qi_of_warp warp in
+        let t0 = tm_now () in
+        let w = start qi no_values in
+        let q = queues.(qi) in
+        Wire.write_barrier_divergence (Queue.buffer q)
+          ~pos:(Queue.offset_of q w) ~warp ~insn ~mask ~expected;
+        finish qi w t0
+    | Simt.Event.Fence _ | Simt.Event.Kernel_done -> ()
   in
   let machine_result =
     launch_timed st ?max_steps machine inst.Instrument.Pass.kernel args
@@ -278,6 +349,9 @@ let run_parallel ?(config = default_config) ?max_steps ?inst ~machine kernel
   let high =
     Array.fold_left (fun acc q -> max acc (Queue.high_watermark q)) 0 queues
   in
+  let queue_stalls =
+    Array.fold_left (fun acc q -> acc + Queue.stalls q) 0 queues
+  in
   {
     detector;
     machine_result;
@@ -286,15 +360,13 @@ let run_parallel ?(config = default_config) ?max_steps ?inst ~machine kernel
       {
         records = !records;
         bytes = !records * Record.wire_size;
-        stalls = !stalls;
+        stalls = !stalls + queue_stalls;
         high_watermark = high;
       };
   }
 
-let run ?(config = default_config) ?max_steps ?(tee = fun _ -> ()) ?inst
-    ~machine kernel args =
+let run ?(config = default_config) ?max_steps ?tee ?inst ~machine kernel args =
   let layout = Simt.Machine.layout machine in
-  let ws = layout.Vclock.Layout.warp_size in
   let inst =
     match inst with
     | Some i -> i
@@ -304,76 +376,150 @@ let run ?(config = default_config) ?max_steps ?(tee = fun _ -> ()) ?inst
     Barracuda.Detector.create ~config:config.detector ~layout kernel
   in
   let st = stages () in
-  let queues =
-    Array.init config.queues (fun _ ->
-        Queue.create ~capacity:config.queue_capacity)
-  in
+  let nq = config.queues in
+  let cap = config.queue_capacity in
+  let queues = Array.init nq (fun _ -> Queue.create ~capacity:cap) in
+  (* Store/atomic value side channel, slot-indexed alongside each ring:
+     the wire format does not carry values; the host re-attaches them
+     (modeling the deployed system's reread of device memory).  Slots
+     for non-access records keep whatever array was there — the
+     detector ignores values for those opcodes. *)
+  let values_ring = Array.init nq (fun _ -> Array.make cap no_values) in
   let stalls = ref 0 in
   let records = ref 0 in
-  (* Per-queue pending value side-channels, keyed by arrival order: the
-     wire format does not carry store values; the host re-attaches them
-     (modeling the deployed system's reread of device memory). *)
-  let side = Array.init config.queues (fun _ -> Stdlib.Queue.create ()) in
-  let queue_of_event ev =
-    match ev with
-    | Simt.Event.Access { warp; _ }
-    | Simt.Event.Fence { warp; _ }
-    | Simt.Event.Branch_if { warp; _ }
-    | Simt.Event.Branch_else { warp; _ }
-    | Simt.Event.Branch_fi { warp; _ }
-    | Simt.Event.Barrier_divergence { warp; _ } ->
-        Vclock.Layout.block_of_warp layout warp mod config.queues
-    | Simt.Event.Barrier { block } -> block mod config.queues
-    | Simt.Event.Kernel_done -> 0
-  in
   let drain_one qi =
-    match Telemetry.Span.with_h st.sp_queue (fun () -> Queue.pop queues.(qi)) with
-    | None -> false
-    | Some bytes ->
-        let values = Stdlib.Queue.pop side.(qi) in
-        let r =
-          Telemetry.Span.with_h st.sp_decode (fun () ->
-              Record.of_bytes ~values ~warp_size:ws bytes)
-        in
-        Telemetry.Span.with_h st.sp_detect (fun () ->
-            Barracuda.Detector.feed detector (Record.to_event r));
-        true
-    | exception Stdlib.Queue.Empty -> false
+    let q = queues.(qi) in
+    let off = Queue.peek q in
+    if off < 0 then false
+    else begin
+      let values = values_ring.(qi).(off / Record.wire_size) in
+      let t0 = tm_now () in
+      Barracuda.Detector.feed_record detector ~values (Queue.buffer q)
+        ~pos:off;
+      tm_record st.sp_detect t0;
+      Queue.release q;
+      true
+    end
   in
   let drain_all () =
     let progress = ref true in
     while !progress do
       progress := false;
-      for qi = 0 to config.queues - 1 do
+      for qi = 0 to nq - 1 do
         if drain_one qi then progress := true
       done
     done
   in
+  (* Backpressure: if the queue is full the producer waits for the
+     host to drain (we drain synchronously and count the stall). *)
+  let reserve qi =
+    let q = queues.(qi) in
+    let rec go () =
+      let w = Queue.try_reserve q in
+      if w >= 0 then w
+      else begin
+        incr stalls;
+        Telemetry.Metric.counter_incr st.m_stalls;
+        ignore (drain_one qi);
+        go ()
+      end
+    in
+    go ()
+  in
+  let finish qi w t0 =
+    Queue.commit queues.(qi) w;
+    tm_record st.sp_queue t0;
+    incr records;
+    Telemetry.Metric.counter_incr st.m_records
+  in
+  let qi_of_warp warp =
+    Vclock.Layout.block_of_warp layout warp mod nq
+  in
+  let origin = inst.Instrument.Pass.origin in
+  let logged = inst.Instrument.Pass.logged in
+  let norigin = Array.length origin in
+  let orig i = if i >= 0 && i < norigin then Array.unsafe_get origin i else -1 in
+  (* The tee hook observes every remapped event the queues would carry
+     (plus record-less Fences); the remapped event is only materialized
+     when a tee is installed, so the common no-tee path allocates
+     nothing. *)
   let on_event ev =
-    match remap inst ev with
-    | None -> ()
-    | Some ev -> (
-        tee ev;
-        match Record.of_event ~warp_size:ws ev with
+    match ev with
+    | Simt.Event.Access a ->
+        let o = orig a.Simt.Event.insn in
+        if o >= 0 && logged.(o) then begin
+          (match tee with
+          | None -> ()
+          | Some f -> f (Simt.Event.Access { a with Simt.Event.insn = o }));
+          let qi = qi_of_warp a.Simt.Event.warp in
+          let t0 = tm_now () in
+          let w = reserve qi in
+          let q = queues.(qi) in
+          values_ring.(qi).(w mod cap) <- a.Simt.Event.values;
+          Wire.write_access (Queue.buffer q) ~pos:(Queue.offset_of q w)
+            ~kind:a.Simt.Event.kind ~space:a.Simt.Event.space
+            ~width:a.Simt.Event.width ~mask:a.Simt.Event.mask
+            ~warp:a.Simt.Event.warp ~insn:o ~addrs:a.Simt.Event.addrs;
+          finish qi w t0
+        end
+    | Simt.Event.Fence { warp; insn; scope; mask } -> (
+        (* fences produce no record but tee observers still see them *)
+        match tee with
         | None -> ()
-        | Some r ->
-            let qi = queue_of_event ev in
-            let bytes = Record.to_bytes r in
-            (* Backpressure: if the queue is full the producer waits for
-               the host to drain (we drain synchronously and count the
-               stall). *)
-            while
-              not
-                (Telemetry.Span.with_h st.sp_queue (fun () ->
-                     Queue.try_push queues.(qi) bytes))
-            do
-              incr stalls;
-              Telemetry.Metric.counter_incr st.m_stalls;
-              ignore (drain_one qi)
-            done;
-            Stdlib.Queue.push r.Record.values side.(qi);
-            incr records;
-            Telemetry.Metric.counter_incr st.m_records)
+        | Some f ->
+            let o = orig insn in
+            if o >= 0 then f (Simt.Event.Fence { warp; insn = o; scope; mask }))
+    | Simt.Event.Branch_if { warp; insn; then_mask; else_mask } ->
+        let o = orig insn in
+        (match tee with
+        | None -> ()
+        | Some f ->
+            f (Simt.Event.Branch_if { warp; insn = o; then_mask; else_mask }));
+        let qi = qi_of_warp warp in
+        let t0 = tm_now () in
+        let w = reserve qi in
+        let q = queues.(qi) in
+        Wire.write_branch_if (Queue.buffer q) ~pos:(Queue.offset_of q w)
+          ~mask:(then_mask lor else_mask) ~warp ~insn:o ~then_mask ~else_mask;
+        finish qi w t0
+    | Simt.Event.Branch_else { warp; mask } ->
+        (match tee with None -> () | Some f -> f ev);
+        let qi = qi_of_warp warp in
+        let t0 = tm_now () in
+        let w = reserve qi in
+        let q = queues.(qi) in
+        Wire.write_branch_else (Queue.buffer q) ~pos:(Queue.offset_of q w)
+          ~warp ~insn:(-1) ~mask;
+        finish qi w t0
+    | Simt.Event.Branch_fi { warp; mask } ->
+        (match tee with None -> () | Some f -> f ev);
+        let qi = qi_of_warp warp in
+        let t0 = tm_now () in
+        let w = reserve qi in
+        let q = queues.(qi) in
+        Wire.write_branch_fi (Queue.buffer q) ~pos:(Queue.offset_of q w)
+          ~warp ~insn:(-1) ~mask;
+        finish qi w t0
+    | Simt.Event.Barrier { block } ->
+        (match tee with None -> () | Some f -> f ev);
+        let qi = block mod nq in
+        let t0 = tm_now () in
+        let w = reserve qi in
+        let q = queues.(qi) in
+        Wire.write_barrier (Queue.buffer q) ~pos:(Queue.offset_of q w)
+          ~warp:(-1) ~insn:(-1) ~mask:0 ~block;
+        finish qi w t0
+    | Simt.Event.Barrier_divergence { warp; insn; mask; expected } ->
+        (match tee with None -> () | Some f -> f ev);
+        let qi = qi_of_warp warp in
+        let t0 = tm_now () in
+        let w = reserve qi in
+        let q = queues.(qi) in
+        Wire.write_barrier_divergence (Queue.buffer q)
+          ~pos:(Queue.offset_of q w) ~warp ~insn ~mask ~expected;
+        finish qi w t0
+    | Simt.Event.Kernel_done -> (
+        match tee with None -> () | Some f -> f ev)
   in
   let machine_result =
     launch_timed st ?max_steps machine inst.Instrument.Pass.kernel args
@@ -383,6 +529,9 @@ let run ?(config = default_config) ?max_steps ?(tee = fun _ -> ()) ?inst
   let high =
     Array.fold_left (fun acc q -> max acc (Queue.high_watermark q)) 0 queues
   in
+  let queue_stalls =
+    Array.fold_left (fun acc q -> acc + Queue.stalls q) 0 queues
+  in
   {
     detector;
     machine_result;
@@ -391,7 +540,7 @@ let run ?(config = default_config) ?max_steps ?(tee = fun _ -> ()) ?inst
       {
         records = !records;
         bytes = !records * Record.wire_size;
-        stalls = !stalls;
+        stalls = !stalls + queue_stalls;
         high_watermark = high;
       };
   }

@@ -116,130 +116,82 @@ let to_event t =
       Simt.Event.Barrier_divergence
         { warp = t.warp; insn = t.insn; mask = t.mask; expected }
 
-(* Wire layout:
-   byte 0      : opcode
-   byte 1      : access width / spare
-   bytes 2-3   : space / aux (little-endian u16)
-   bytes 4-7   : active mask (u32)
-   bytes 8-11  : warp id (u32)
-   bytes 12-15 : static instruction index (u32, 0xFFFFFFFF = none)
-   bytes 16-271: 32 x u64 lane addresses (doubles as aux payload) *)
+module Wire = Barracuda.Wire
 
-let opcode t =
-  match t.op with
-  | Access { kind = Simt.Event.Load; _ } -> 1
-  | Access { kind = Simt.Event.Store; _ } -> 2
-  | Access { kind = Simt.Event.Atomic op; _ } -> (
-      3
-      +
-      match op with
-      | Ptx.Ast.A_add -> 0
-      | Ptx.Ast.A_exch -> 1
-      | Ptx.Ast.A_cas -> 2
-      | Ptx.Ast.A_min -> 3
-      | Ptx.Ast.A_max -> 4
-      | Ptx.Ast.A_and -> 5
-      | Ptx.Ast.A_or -> 6
-      | Ptx.Ast.A_xor -> 7
-      | Ptx.Ast.A_inc -> 8
-      | Ptx.Ast.A_dec -> 9)
-  | Branch_if _ -> 20
-  | Branch_else -> 21
-  | Branch_fi -> 22
-  | Barrier _ -> 23
-  | Barrier_divergence _ -> 24
+(* Serialization delegates to the shared {!Barracuda.Wire} codec; the
+   wire image is byte-identical to what the pipeline's in-place
+   producers write into queue ring slots. *)
 
-let space_code = function
-  | Ptx.Ast.Global -> 0
-  | Ptx.Ast.Shared -> 1
-  | Ptx.Ast.Local -> 2
-  | Ptx.Ast.Param -> 3
-
-let space_of_code = function
-  | 0 -> Ptx.Ast.Global
-  | 1 -> Ptx.Ast.Shared
-  | 2 -> Ptx.Ast.Local
-  | _ -> Ptx.Ast.Param
+(* Decoding a wire image into a [t] is the fallback path: the pipeline
+   feeds records to the detector in place ([Detector.feed_record])
+   without materializing a [t].  Count decodes so a caller regressing
+   onto this path shows up in telemetry. *)
+let m_fallback =
+  lazy
+    (Telemetry.Registry.counter
+       ~help:"Records decoded into events instead of being fed in place"
+       Telemetry.Registry.default
+       "barracuda_pipeline_records_fallback_decode_total")
 
 let to_bytes t =
   let b = Bytes.make wire_size '\000' in
-  Bytes.set_uint8 b 0 (opcode t);
   (match t.op with
-  | Access { width; space; _ } ->
-      Bytes.set_uint8 b 1 width;
-      Bytes.set_uint16_le b 2 (space_code space)
-  | Barrier { block } -> Bytes.set_uint16_le b 2 (block land 0xFFFF)
-  | Barrier_divergence { expected } -> Bytes.set_uint16_le b 2 expected
-  | Branch_if _ | Branch_else | Branch_fi -> ());
-  Bytes.set_int32_le b 4 (Int32.of_int t.mask);
-  Bytes.set_int32_le b 8 (Int32.of_int (t.warp land 0xFFFFFFFF));
-  Bytes.set_int32_le b 12 (Int32.of_int (t.insn land 0xFFFFFFFF));
-  (match t.op with
-  | Access _ ->
-      Array.iteri
-        (fun i a ->
-          if i < max_lanes then
-            Bytes.set_int64_le b (16 + (8 * i)) (Int64.of_int a))
-        t.addrs
+  | Access { kind; space; width } ->
+      Wire.write_access b ~pos:0 ~kind ~space ~width ~mask:t.mask ~warp:t.warp
+        ~insn:t.insn ~addrs:t.addrs
   | Branch_if { then_mask; else_mask } ->
-      Bytes.set_int64_le b 16 (Int64.of_int then_mask);
-      Bytes.set_int64_le b 24 (Int64.of_int else_mask)
-  | Branch_else | Branch_fi | Barrier _ | Barrier_divergence _ -> ());
+      Wire.write_branch_if b ~pos:0 ~mask:t.mask ~warp:t.warp ~insn:t.insn
+        ~then_mask ~else_mask
+  | Branch_else ->
+      Wire.write_branch_else b ~pos:0 ~warp:t.warp ~insn:t.insn ~mask:t.mask
+  | Branch_fi ->
+      Wire.write_branch_fi b ~pos:0 ~warp:t.warp ~insn:t.insn ~mask:t.mask
+  | Barrier { block } ->
+      Wire.write_barrier b ~pos:0 ~warp:t.warp ~insn:t.insn ~mask:t.mask ~block
+  | Barrier_divergence { expected } ->
+      Wire.write_barrier_divergence b ~pos:0 ~warp:t.warp ~insn:t.insn
+        ~mask:t.mask ~expected);
   b
 
-let of_bytes ?(values = [||]) ~warp_size b =
-  if Bytes.length b <> wire_size then
-    invalid_arg "Record.of_bytes: wrong wire size";
-  let opc = Bytes.get_uint8 b 0 in
-  let mask = Int32.to_int (Bytes.get_int32_le b 4) land 0xFFFFFFFF in
-  let warp = Int32.to_int (Bytes.get_int32_le b 8) in
-  let insn = Int32.to_int (Bytes.get_int32_le b 12) in
-  let lane_addrs () =
-    Array.init warp_size (fun i ->
-        if i < max_lanes then Int64.to_int (Bytes.get_int64_le b (16 + (8 * i)))
-        else 0)
-  in
-  let atomic_of = function
-    | 0 -> Ptx.Ast.A_add
-    | 1 -> Ptx.Ast.A_exch
-    | 2 -> Ptx.Ast.A_cas
-    | 3 -> Ptx.Ast.A_min
-    | 4 -> Ptx.Ast.A_max
-    | 5 -> Ptx.Ast.A_and
-    | 6 -> Ptx.Ast.A_or
-    | 7 -> Ptx.Ast.A_xor
-    | 8 -> Ptx.Ast.A_inc
-    | _ -> Ptx.Ast.A_dec
-  in
-  let access kind =
-    Access
-      {
-        kind;
-        space = space_of_code (Bytes.get_uint16_le b 2);
-        width = Bytes.get_uint8 b 1;
-      }
-  in
+module View = Wire.View
+
+let of_view ?(values = [||]) ~warp_size b ~pos =
+  let opc = View.opcode b ~pos in
+  let mask = View.mask b ~pos in
+  let warp = View.warp b ~pos in
+  let insn = View.insn b ~pos in
   let op =
-    match opc with
-    | 1 -> access Simt.Event.Load
-    | 2 -> access Simt.Event.Store
-    | n when n >= 3 && n <= 12 -> access (Simt.Event.Atomic (atomic_of (n - 3)))
-    | 20 ->
-        Branch_if
-          {
-            then_mask = Int64.to_int (Bytes.get_int64_le b 16);
-            else_mask = Int64.to_int (Bytes.get_int64_le b 24);
-          }
-    | 21 -> Branch_else
-    | 22 -> Branch_fi
-    | 23 -> Barrier { block = Bytes.get_uint16_le b 2 }
-    | 24 -> Barrier_divergence { expected = Bytes.get_uint16_le b 2 }
-    | n -> invalid_arg (Printf.sprintf "Record.of_bytes: bad opcode %d" n)
+    if Wire.is_access opc then
+      Access
+        {
+          kind = Wire.kind_of_opcode opc;
+          space = Wire.space_of_code (View.aux b ~pos);
+          width = View.width b ~pos;
+        }
+    else if opc = Wire.op_branch_if then
+      Branch_if
+        { then_mask = View.then_mask b ~pos; else_mask = View.else_mask b ~pos }
+    else if opc = Wire.op_branch_else then Branch_else
+    else if opc = Wire.op_branch_fi then Branch_fi
+    else if opc = Wire.op_barrier then Barrier { block = View.aux b ~pos }
+    else if opc = Wire.op_barrier_divergence then
+      Barrier_divergence { expected = View.aux b ~pos }
+    else invalid_arg (Printf.sprintf "Record.of_bytes: bad opcode %d" opc)
   in
   let addrs =
-    match op with Access _ -> lane_addrs () | _ -> Array.make warp_size 0
+    match op with
+    | Access _ ->
+        Array.init warp_size (fun i ->
+            if i < max_lanes then View.addr b ~pos ~lane:i else 0)
+    | _ -> Array.make warp_size 0
   in
   { warp; insn; op; mask; addrs; values }
+
+let of_bytes ?values ~warp_size b =
+  if Bytes.length b <> wire_size then
+    invalid_arg "Record.of_bytes: wrong wire size";
+  Telemetry.Metric.counter_incr (Lazy.force m_fallback);
+  of_view ?values ~warp_size b ~pos:0
 
 let pp ppf t =
   Format.fprintf ppf "record{warp=%d insn=%d mask=%#x %s}" t.warp t.insn t.mask

@@ -39,9 +39,22 @@ val of_event : warp_size:int -> Simt.Event.t -> t option
 val to_event : t -> Simt.Event.t
 
 val to_bytes : t -> Bytes.t
-(** Serialize to the 272-byte wire image. *)
+(** Serialize to the 272-byte wire image (the {!Barracuda.Wire}
+    layout, byte-identical to what the pipeline writes in place). *)
+
+module View = Barracuda.Wire.View
+(** Field accessors over a serialized record at an offset inside a
+    larger buffer — the allocation-free way to inspect a record
+    sitting in a queue ring slot.  Valid only while the slot is. *)
+
+val of_view : ?values:int64 array -> warp_size:int -> Bytes.t -> pos:int -> t
+(** Decode the record at offset [pos]; [values] restores the side
+    channel.  Allocates the [t] — replay and tests only.
+    @raise Invalid_argument on an unknown opcode. *)
 
 val of_bytes : ?values:int64 array -> warp_size:int -> Bytes.t -> t
-(** Decode a wire image; [values] restores the side channel. *)
+(** [of_view] over a standalone 272-byte image.  Counts into the
+    [barracuda_pipeline_records_fallback_decode_total] telemetry
+    counter: the steady-state pipeline never calls this. *)
 
 val pp : Format.formatter -> t -> unit

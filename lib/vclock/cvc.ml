@@ -133,3 +133,113 @@ let pp ppf v =
   in
   Format.fprintf ppf "@[<h>{%a%a%a}@]" (pp_map "B") v.block_floor
     (pp_map "W") v.warp_floor (pp_map "t") v.point
+
+module Mut = struct
+  type cvc = t
+
+  let cvc_bottom = bottom
+  let cvc_raise_block = raise_block
+  let cvc_raise_warp = raise_warp
+  let cvc_set_point = set_point
+
+  type t = {
+    layout : Layout.t;
+    block_floor : (int, int) Hashtbl.t;
+    warp_floor : (int, int) Hashtbl.t;
+    point : (int, int) Hashtbl.t;
+  }
+  (* The mutable layers keep a weaker invariant than the persistent
+     representation: every stored value is > 0 and is the max ever raised
+     for its key, but entries subsumed by a floor raised later are NOT
+     filtered out ([get] takes the max of the layers, so they are
+     harmless).  [freeze] re-canonicalizes. *)
+
+  let create layout =
+    {
+      layout;
+      block_floor = Hashtbl.create 8;
+      warp_floor = Hashtbl.create 8;
+      point = Hashtbl.create 8;
+    }
+
+  let layout m = m.layout
+
+  let find0 tbl key =
+    match Hashtbl.find_opt tbl key with Some c -> c | None -> 0
+
+  let floor_for_tid m tid =
+    let b = Layout.block_of_tid m.layout tid in
+    let w = Layout.warp_of_tid m.layout tid in
+    max (find0 m.block_floor b) (find0 m.warp_floor w)
+
+  let get m tid = max (floor_for_tid m tid) (find0 m.point tid)
+
+  (* [Hashtbl.replace] of an existing key updates the bucket in place,
+     so repeated raises of the same thread do not allocate. *)
+  let raise_point m tid c =
+    if c > floor_for_tid m tid && c > find0 m.point tid then
+      Hashtbl.replace m.point tid c
+
+  let raise_warp m w c =
+    let b = Layout.block_of_warp m.layout w in
+    if c > find0 m.block_floor b && c > find0 m.warp_floor w then
+      Hashtbl.replace m.warp_floor w c
+
+  let raise_block m b c =
+    if c > find0 m.block_floor b then Hashtbl.replace m.block_floor b c
+
+  let check_layout m (v : cvc) =
+    if m.layout <> v.layout then invalid_arg "Cvc.Mut: layout mismatch"
+
+  let join_into (v : cvc) m =
+    check_layout m v;
+    Imap.iter (fun b c -> raise_block m b c) v.block_floor;
+    Imap.iter (fun w c -> raise_warp m w c) v.warp_floor;
+    Imap.iter (fun tid c -> raise_point m tid c) v.point
+
+  let merge_into src ~into =
+    if src.layout <> into.layout then invalid_arg "Cvc.Mut: layout mismatch";
+    Hashtbl.iter (fun b c -> raise_block into b c) src.block_floor;
+    Hashtbl.iter (fun w c -> raise_warp into w c) src.warp_floor;
+    Hashtbl.iter (fun tid c -> raise_point into tid c) src.point
+
+  (* Floors first so the persistent canonicalization drops subsumed
+     warp floors and point entries on the way in. *)
+  let freeze m =
+    let v = ref (cvc_bottom m.layout) in
+    Hashtbl.iter (fun b c -> v := cvc_raise_block !v b c) m.block_floor;
+    Hashtbl.iter (fun w c -> v := cvc_raise_warp !v w c) m.warp_floor;
+    Hashtbl.iter (fun tid c -> v := cvc_set_point !v tid c) m.point;
+    !v
+
+  let thaw (v : cvc) =
+    let m = create v.layout in
+    Imap.iter (fun b c -> Hashtbl.replace m.block_floor b c) v.block_floor;
+    Imap.iter (fun w c -> Hashtbl.replace m.warp_floor w c) v.warp_floor;
+    Imap.iter (fun tid c -> Hashtbl.replace m.point tid c) v.point;
+    m
+
+  let copy m =
+    {
+      layout = m.layout;
+      block_floor = Hashtbl.copy m.block_floor;
+      warp_floor = Hashtbl.copy m.warp_floor;
+      point = Hashtbl.copy m.point;
+    }
+
+  let clear m =
+    Hashtbl.reset m.block_floor;
+    Hashtbl.reset m.warp_floor;
+    Hashtbl.reset m.point
+
+  let is_bottom m =
+    Hashtbl.length m.block_floor = 0
+    && Hashtbl.length m.warp_floor = 0
+    && Hashtbl.length m.point = 0
+
+  let iter_points f m = Hashtbl.iter f m.point
+
+  let footprint m =
+    Hashtbl.length m.block_floor + Hashtbl.length m.warp_floor
+    + Hashtbl.length m.point
+end

@@ -63,3 +63,64 @@ val footprint : t -> int
     reported by the PTVC ablation benchmark. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** Mutable sibling of {!t} for detector-owned state.
+
+    The hot path of the online detector raises clocks in place instead
+    of rebuilding a persistent value per operation.  Ownership rules:
+
+    - a [Mut.t] is owned by exactly one component (a lane overlay in
+      [Warp_clocks], a shadow cell's read clock, a [Sync_loc] entry) and
+      must only be mutated by its owner, under the owner's lock when the
+      owner is shared between domains;
+    - wherever a clock {e escapes} its owner — race reports, sync-
+      location reads, predict's graph, witness serialization, anything
+      crossing a domain boundary — it must first be converted to the
+      persistent exchange format with {!Mut.freeze}. *)
+module Mut : sig
+  type cvc := t
+  type t
+
+  val create : Layout.t -> t
+  (** Fresh all-zero mutable clock. *)
+
+  val layout : t -> Layout.t
+  val get : t -> int -> int
+
+  val raise_point : t -> int -> int -> unit
+  (** [raise_point m t c] raises thread [t]'s entry to at least [c],
+      in place.  Raising an already-covered entry is a no-op and does
+      not allocate. *)
+
+  val raise_warp : t -> int -> int -> unit
+  val raise_block : t -> int -> int -> unit
+
+  val join_into : cvc -> t -> unit
+  (** [join_into v m] folds the persistent clock [v] into [m]
+      (pointwise maximum), in place.
+      @raise Invalid_argument on layout mismatch. *)
+
+  val merge_into : t -> into:t -> unit
+  (** Mutable-to-mutable join; [src] is not modified. *)
+
+  val freeze : t -> cvc
+  (** Snapshot into the persistent exchange format.  The result shares
+      no mutable state with [m]: this is the mandatory boundary when a
+      clock escapes its owner. *)
+
+  val thaw : cvc -> t
+  (** Mutable copy of a persistent clock.  [freeze (thaw v)] is
+      semantically equal to [v]. *)
+
+  val copy : t -> t
+  val clear : t -> unit
+  val is_bottom : t -> bool
+
+  val iter_points : (int -> int -> unit) -> t -> unit
+  (** Iterate the exact per-thread point entries (not the floors); the
+      read-clock use case only ever raises points. *)
+
+  val footprint : t -> int
+  (** Stored floors + point entries.  Upper bound only: entries a later
+      floor subsumed are counted until the next [freeze]. *)
+end

@@ -94,6 +94,142 @@ let test_backpressure () =
     seq.Pipeline.queue_stats.Pipeline.records
     par.Pipeline.queue_stats.Pipeline.records
 
+(* ---- full-bugsuite parity across all consumption paths ----------- *)
+
+(* After the in-place transport refactor, every way of consuming the
+   record stream must still agree with the reference semantics: the
+   sequential pipeline and the parallel pipeline on each case's own
+   setup, and the service daemon against a one-shot run of the same
+   submission (the service resolves its own textual arg specs, so its
+   baseline is a sequential run with identical resolved args). *)
+
+module P = Service.Protocol
+
+let reference_racy (c : Bugsuite.Case.t) =
+  let m = Simt.Machine.create ~layout:c.Bugsuite.Case.layout () in
+  let args = c.Bugsuite.Case.setup m in
+  let ops, _ =
+    Gtrace.Infer.run ~layout:c.Bugsuite.Case.layout m c.Bugsuite.Case.kernel
+      args
+  in
+  let d = Barracuda.Reference.create ~layout:c.Bugsuite.Case.layout () in
+  Barracuda.Reference.run d ops;
+  Barracuda.Report.has_race (Barracuda.Reference.report d)
+
+let pipeline_racy ~parallel (c : Bugsuite.Case.t) =
+  let m = Simt.Machine.create ~layout:c.Bugsuite.Case.layout () in
+  let args = c.Bugsuite.Case.setup m in
+  let config =
+    {
+      Pipeline.default_config with
+      (* the sequential drain has no cross-queue ordering (only the
+         parallel consumers run the stamp protocol), so sequential
+         parity uses the single totally-ordered queue while the
+         parallel run exercises cross-queue acquires *)
+      queues = (if parallel then 2 else 1);
+      (* ship the full stream: pruning's precision trade-off is measured
+         elsewhere, parity is about the transport *)
+      prune = false;
+      detector = { Barracuda.Detector.default_config with max_reports = 100000 };
+    }
+  in
+  let r =
+    if parallel then
+      Pipeline.run_parallel ~config ~machine:m c.Bugsuite.Case.kernel args
+    else Pipeline.run ~config ~machine:m c.Bugsuite.Case.kernel args
+  in
+  Barracuda.Report.has_race (Pipeline.report r)
+
+let test_bugsuite_parity_all_paths () =
+  List.iter
+    (fun (c : Bugsuite.Case.t) ->
+      let expected = reference_racy c in
+      Alcotest.(check bool)
+        (c.Bugsuite.Case.name ^ ": sequential pipeline matches reference")
+        expected
+        (pipeline_racy ~parallel:false c);
+      Alcotest.(check bool)
+        (c.Bugsuite.Case.name ^ ": parallel pipeline matches reference")
+        expected
+        (pipeline_racy ~parallel:true c))
+    Bugsuite.Cases.all
+
+let test_bugsuite_service_parity () =
+  (* the service path: each case submitted to a live daemon must agree
+     with a one-shot sequential run of the identical submission *)
+  let socket_path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "barracuda-par-%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  let config =
+    { Service.Server.default_config with socket_path; workers = 2 }
+  in
+  let t = Service.Server.start ~config () in
+  Fun.protect
+    ~finally:(fun () -> Service.Server.stop t)
+    (fun () ->
+      Alcotest.(check bool)
+        "daemon ready" true
+        (Service.Client.wait_ready ~socket:socket_path ());
+      List.iter
+        (fun (c : Bugsuite.Case.t) ->
+          let source =
+            Format.asprintf "%a" Ptx.Printer.pp_kernel c.Bugsuite.Case.kernel
+          in
+          let layout = c.Bugsuite.Case.layout in
+          let args =
+            List.map
+              (fun _ -> "alloc:256")
+              c.Bugsuite.Case.kernel.Ptx.Ast.params
+          in
+          let sub =
+            {
+              (P.submit_defaults ~kind:P.Check source) with
+              P.layout =
+                Some
+                  ( layout.Vclock.Layout.blocks,
+                    layout.Vclock.Layout.threads_per_block,
+                    layout.Vclock.Layout.warp_size );
+              args;
+            }
+          in
+          let via_service =
+            match Service.Client.submit ~retries:10 ~socket:socket_path sub with
+            | Ok (P.Result { outcome; _ }) -> Some outcome.P.verdict
+            | Ok (P.Failed { code = "timeout"; _ }) -> None
+            | Ok r ->
+                Alcotest.failf "case %s: unexpected reply %s"
+                  c.Bugsuite.Case.name (P.encode_response r)
+            | Result.Error e ->
+                Alcotest.failf "case %s: transport: %s" c.Bugsuite.Case.name e
+          in
+          let oneshot =
+            let kernel = Ptx.Parser.kernel_of_string source in
+            let machine = Simt.Machine.create ~layout () in
+            let rargs = Service.Exec.resolve_args machine kernel args in
+            let result =
+              Pipeline.run
+                ~config:{ Pipeline.default_config with prune = true }
+                ~max_steps:Service.Exec.default_config.Service.Exec.max_steps
+                ~machine kernel rargs
+            in
+            match
+              result.Pipeline.machine_result.Simt.Machine.status
+            with
+            | Simt.Machine.Max_steps _ -> None
+            | Simt.Machine.Completed ->
+                Some
+                  (if Barracuda.Report.has_race (Pipeline.report result) then
+                     P.Racy
+                   else P.Race_free)
+          in
+          if via_service <> oneshot then
+            Alcotest.failf "case %s: service and one-shot verdicts differ"
+              c.Bugsuite.Case.name)
+        Bugsuite.Cases.all)
+
 (* a subset of workloads that exercises every interaction kind *)
 let subset =
   [ "backprop"; "dwt2d"; "hybridsort"; "pathfinder"; "hashtable";
@@ -106,6 +242,10 @@ let suite =
       test_single_queue_parallel;
     Alcotest.test_case "four queues" `Quick test_many_queues;
     Alcotest.test_case "backpressure on tiny queues" `Quick test_backpressure;
+    Alcotest.test_case "bugsuite parity: sequential+parallel vs reference"
+      `Quick test_bugsuite_parity_all_paths;
+    Alcotest.test_case "bugsuite parity: service vs one-shot" `Quick
+      test_bugsuite_service_parity;
   ]
   @ List.map
       (fun name ->

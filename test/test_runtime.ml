@@ -86,40 +86,152 @@ let test_record_event_roundtrip () =
       | None -> ())
     sample_records
 
+(* ---- Record.View vs decode ---------------------------------------- *)
+
+(* Arbitrary records (not just ones reachable from events), serialized
+   at a non-zero offset inside a larger dirty buffer: every [View]
+   accessor must agree field-for-field with the decoded record. *)
+let gen_record =
+  QCheck2.Gen.(
+    let gen_kind =
+      oneofl
+        [
+          Simt.Event.Load;
+          Simt.Event.Store;
+          Simt.Event.Atomic Ptx.Ast.A_add;
+          Simt.Event.Atomic Ptx.Ast.A_cas;
+          Simt.Event.Atomic Ptx.Ast.A_dec;
+        ]
+    in
+    let gen_space = oneofl [ Ptx.Ast.Global; Ptx.Ast.Shared ] in
+    let gen_mask = int_range 0 0xFFFF in
+    let gen_warp = oneof [ return (-1); int_range 0 4096 ] in
+    let gen_insn = oneof [ return (-1); int_range 0 100_000 ] in
+    let gen_addrs =
+      array_size (return ws) (int_range 0 0x3FFF_FFFF)
+    in
+    let mk warp insn op mask addrs =
+      { Record.warp; insn; op; mask; addrs; values = [||] }
+    in
+    let gen_op =
+      oneof
+        [
+          map3
+            (fun kind space width -> Record.Access { kind; space; width })
+            gen_kind gen_space (oneofl [ 1; 2; 4; 8 ]);
+          map2
+            (fun t e -> Record.Branch_if { then_mask = t; else_mask = e })
+            gen_mask gen_mask;
+          return Record.Branch_else;
+          return Record.Branch_fi;
+          map (fun b -> Record.Barrier { block = b }) (int_range 0 0xFFFF);
+          map
+            (fun e -> Record.Barrier_divergence { expected = e })
+            (int_range 0 0xFFFF);
+        ]
+    in
+    map
+      (fun ((warp, insn, op), (mask, addrs)) ->
+        mk warp insn op mask addrs)
+      (pair (triple gen_warp gen_insn gen_op) (pair gen_mask gen_addrs)))
+
+let print_record r = Format.asprintf "%a" Record.pp r
+
+let prop_view_matches_decode =
+  QCheck2.Test.make
+    ~name:"Record.View accessors agree with Record.of_bytes" ~count:500
+    ~print:print_record gen_record (fun r ->
+      let img = Record.to_bytes r in
+      let pos = Record.wire_size in
+      let buf = Bytes.make (3 * Record.wire_size) '\xAB' in
+      Bytes.blit img 0 buf pos Record.wire_size;
+      let d = Record.of_bytes ~warp_size:ws img in
+      let module V = Record.View in
+      V.warp buf ~pos = d.Record.warp
+      && V.insn buf ~pos = d.Record.insn
+      && V.mask buf ~pos = d.Record.mask
+      &&
+      match d.Record.op with
+      | Record.Access { kind; space; width } ->
+          V.opcode buf ~pos = Barracuda.Wire.opcode_of_kind kind
+          && Barracuda.Wire.space_of_code (V.aux buf ~pos) = space
+          && V.width buf ~pos = width
+          && Array.for_all
+               (fun lane -> V.addr buf ~pos ~lane = d.Record.addrs.(lane))
+               (Array.init (min ws Barracuda.Wire.max_lanes) Fun.id)
+      | Record.Branch_if { then_mask; else_mask } ->
+          V.opcode buf ~pos = Barracuda.Wire.op_branch_if
+          && V.then_mask buf ~pos = then_mask
+          && V.else_mask buf ~pos = else_mask
+      | Record.Branch_else -> V.opcode buf ~pos = Barracuda.Wire.op_branch_else
+      | Record.Branch_fi -> V.opcode buf ~pos = Barracuda.Wire.op_branch_fi
+      | Record.Barrier { block } ->
+          V.opcode buf ~pos = Barracuda.Wire.op_barrier
+          && V.aux buf ~pos = block
+      | Record.Barrier_divergence { expected } ->
+          V.opcode buf ~pos = Barracuda.Wire.op_barrier_divergence
+          && V.aux buf ~pos = expected)
+
 (* ---- Queue ----------------------------------------------------------- *)
 
-let payload i =
-  let b = Bytes.make Record.wire_size '\000' in
-  Bytes.set_uint8 b 0 1;
-  Bytes.set_int32_le b 8 (Int32.of_int i);
-  b
+(* Fill a ring slot with a minimal load record whose warp field carries
+   the sequence number [i] (queue tests read it back via the view). *)
+let fill_payload i buf off =
+  Bytes.fill buf off Record.wire_size '\000';
+  Bytes.set_uint8 buf off 1;
+  Bytes.set_uint16_le buf (off + 8) (i land 0xFFFF);
+  Bytes.set_uint16_le buf (off + 10) ((i lsr 16) land 0xFFFF)
+
+let seq_of buf off = Record.View.warp buf ~pos:off
 
 let test_queue_fifo () =
   let q = Queue.create ~capacity:8 in
   for i = 0 to 5 do
-    Alcotest.(check bool) "push" true (Queue.try_push q (payload i))
+    Alcotest.(check bool) "push" true (Queue.push_into q (fill_payload i))
   done;
   Alcotest.(check int) "length" 6 (Queue.length q);
   for i = 0 to 5 do
-    match Queue.pop q with
-    | Some b ->
-        Alcotest.(check int32)
-          (Printf.sprintf "fifo %d" i)
-          (Int32.of_int i) (Bytes.get_int32_le b 8)
-    | None -> Alcotest.fail "pop failed"
+    match Queue.consume q seq_of with
+    | Some v -> Alcotest.(check int) (Printf.sprintf "fifo %d" i) i v
+    | None -> Alcotest.fail "consume failed"
   done;
-  Alcotest.(check bool) "empty" true (Queue.pop q = None)
+  Alcotest.(check bool) "empty" true (Queue.consume q seq_of = None)
 
 let test_queue_full () =
   let q = Queue.create ~capacity:4 in
   for i = 0 to 3 do
-    Alcotest.(check bool) "fills" true (Queue.try_push q (payload i))
+    Alcotest.(check bool) "fills" true (Queue.push_into q (fill_payload i))
   done;
-  Alcotest.(check bool) "rejects when full" false (Queue.try_push q (payload 4));
-  ignore (Queue.pop q);
-  Alcotest.(check bool) "space after pop" true (Queue.try_push q (payload 4));
+  Alcotest.(check bool) "rejects when full" false
+    (Queue.push_into q (fill_payload 4));
+  ignore (Queue.consume q seq_of);
+  Alcotest.(check bool) "space after release" true
+    (Queue.push_into q (fill_payload 4));
   Alcotest.(check int) "wraparound accounting" 5 (Queue.pushed q);
   Alcotest.(check int) "high watermark" 4 (Queue.high_watermark q)
+
+let test_queue_inplace_protocol () =
+  (* raw reserve/commit/peek/release: the slot peeked is stable until
+     released, and offsets wrap around the flat ring *)
+  let q = Queue.create ~capacity:2 in
+  let w0 = Queue.try_reserve q in
+  Alcotest.(check int) "first reservation" 0 w0;
+  Alcotest.(check int) "peek before commit" (-1) (Queue.peek q);
+  fill_payload 7 (Queue.buffer q) (Queue.offset_of q w0);
+  Queue.commit q w0;
+  let off = Queue.peek q in
+  Alcotest.(check int) "slot offset" (Queue.offset_of q w0) off;
+  Alcotest.(check int) "peek is stable" off (Queue.peek q);
+  Alcotest.(check int) "payload in place" 7 (seq_of (Queue.buffer q) off);
+  Queue.release q;
+  Alcotest.(check int) "empty after release" (-1) (Queue.peek q);
+  (* wraparound: virtual index 2 lands on slot 0 *)
+  ignore (Queue.push_into q (fill_payload 1));
+  ignore (Queue.consume q seq_of);
+  let w2 = Queue.try_reserve q in
+  Alcotest.(check int) "third reservation" 2 w2;
+  Alcotest.(check int) "wraps to slot 0" 0 (Queue.offset_of q w2);
+  Queue.commit q w2
 
 let test_queue_domains () =
   (* one producer domain, one consumer domain, 10k records *)
@@ -128,7 +240,7 @@ let test_queue_domains () =
   let producer =
     Domain.spawn (fun () ->
         for i = 0 to n - 1 do
-          while not (Queue.try_push q (payload i)) do
+          while not (Queue.push_into q (fill_payload i)) do
             Domain.cpu_relax ()
           done
         done)
@@ -136,15 +248,56 @@ let test_queue_domains () =
   let seen = ref 0 in
   let in_order = ref true in
   while !seen < n do
-    match Queue.pop q with
-    | Some b ->
-        let v = Int32.to_int (Bytes.get_int32_le b 8) in
+    match Queue.consume q seq_of with
+    | Some v ->
         if v <> !seen then in_order := false;
         incr seen
     | None -> Domain.cpu_relax ()
   done;
   Domain.join producer;
   Alcotest.(check bool) "all records in order across domains" true !in_order
+
+(* ---- Steady-state allocation ---------------------------------------- *)
+
+let test_steady_state_allocation () =
+  (* The record hot path — serialize into a ring slot, commit, feed the
+     detector in place, release — must not allocate in steady state on
+     a converged workload.  Bound: < 8 minor-heap words per record
+     (zero in practice; the slack absorbs incidental boxing if the
+     compiler changes). *)
+  Telemetry.Registry.set_enabled false;
+  let layout = Gen.layout in
+  let wsz = layout.Vclock.Layout.warp_size in
+  let k = Gen.kernel_of_program [ Gen.Global_store (0, Gen.Const 1) ] in
+  let det = Barracuda.Detector.create ~layout k in
+  let q = Queue.create ~capacity:64 in
+  let buf = Queue.buffer q in
+  let addrs = Array.init wsz (fun i -> 4 * i) in
+  let values = Array.make wsz 1L in
+  let mask = (1 lsl wsz) - 1 in
+  let pump n =
+    for _ = 1 to n do
+      let w = Queue.try_reserve q in
+      Barracuda.Wire.write_access buf ~pos:(Queue.offset_of q w)
+        ~kind:Simt.Event.Store ~space:Ptx.Ast.Global ~width:4 ~mask ~warp:0
+        ~insn:0 ~addrs;
+      Queue.commit q w;
+      let off = Queue.peek q in
+      Barracuda.Detector.feed_record det ~values buf ~pos:off;
+      Queue.release q
+    done
+  in
+  pump 512 (* warm up: shadow pages, table growth, lazy telemetry handles *);
+  let n = 20_000 in
+  let before = Gc.minor_words () in
+  pump n;
+  let after = Gc.minor_words () in
+  let per_record = (after -. before) /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "steady-state allocation (%.2f words/record) < 8"
+       per_record)
+    true
+    (per_record < 8.0)
 
 (* ---- Pipeline -------------------------------------------------------- *)
 
@@ -252,10 +405,18 @@ let suite =
     Alcotest.test_case "record event roundtrip" `Quick test_record_event_roundtrip;
     Alcotest.test_case "queue fifo" `Quick test_queue_fifo;
     Alcotest.test_case "queue full/wrap" `Quick test_queue_full;
+    Alcotest.test_case "queue in-place protocol" `Quick
+      test_queue_inplace_protocol;
     Alcotest.test_case "queue across domains" `Quick test_queue_domains;
+    Alcotest.test_case "steady-state allocation bound" `Quick
+      test_steady_state_allocation;
     Alcotest.test_case "pipeline backpressure" `Quick test_pipeline_backpressure;
     Alcotest.test_case "pipeline preserves results" `Quick
       test_pipeline_instrumented_execution_correct;
   ]
   @ List.map Gen.to_alcotest
-      [ prop_pipeline_matches_teed_detector; prop_pipeline_no_false_positives ]
+      [
+        prop_view_matches_decode;
+        prop_pipeline_matches_teed_detector;
+        prop_pipeline_no_false_positives;
+      ]

@@ -178,6 +178,41 @@ let prop_cvc_roundtrip =
       let full = Cvc.to_vector_clock v in
       Cvc.equal v (Cvc.of_vector_clock lay full))
 
+(* ---- Mutable compressed clocks (Cvc.Mut) --------------------------- *)
+
+let prop_mut_thaw_freeze_roundtrip =
+  QCheck2.Test.make ~name:"Cvc.Mut.freeze (thaw v) = v" ~count:300 gen_cvc
+    (fun v -> Cvc.equal v (Cvc.Mut.freeze (Cvc.Mut.thaw v)))
+
+let prop_mut_get_matches_persistent =
+  QCheck2.Test.make ~name:"Cvc.Mut.get agrees with the thawed clock"
+    ~count:300 gen_cvc (fun v ->
+      let m = Cvc.Mut.thaw v in
+      let ok = ref true in
+      for tid = 0 to Layout.total_threads lay - 1 do
+        if Cvc.Mut.get m tid <> Cvc.get v tid then ok := false
+      done;
+      !ok)
+
+let prop_mut_join_into_matches_join =
+  QCheck2.Test.make
+    ~name:"in-place join_into then freeze equals persistent join" ~count:300
+    QCheck2.Gen.(pair gen_cvc gen_cvc)
+    (fun (a, b) ->
+      let m = Cvc.Mut.thaw a in
+      Cvc.Mut.join_into b m;
+      Cvc.equal (Cvc.join a b) (Cvc.Mut.freeze m))
+
+let prop_mut_copy_isolates =
+  QCheck2.Test.make ~name:"Cvc.Mut.copy detaches mutable state" ~count:200
+    QCheck2.Gen.(pair gen_cvc gen_cvc)
+    (fun (a, b) ->
+      let m = Cvc.Mut.thaw a in
+      let m' = Cvc.Mut.copy m in
+      Cvc.Mut.join_into b m';
+      (* the original must be unaffected by mutations of the copy *)
+      Cvc.equal a (Cvc.Mut.freeze m))
+
 let test_cvc_floors_subsume_points () =
   let v = Cvc.set_point (Cvc.bottom lay) 5 2 in
   let v = Cvc.raise_block v 0 4 in
@@ -213,4 +248,8 @@ let suite =
         prop_cvc_join_pointwise;
         prop_cvc_leq_matches_expansion;
         prop_cvc_roundtrip;
+        prop_mut_thaw_freeze_roundtrip;
+        prop_mut_get_matches_persistent;
+        prop_mut_join_into_matches_join;
+        prop_mut_copy_isolates;
       ]
