@@ -426,10 +426,10 @@ let hot_pump_records_per_sec () =
   let pump n =
     for _ = 1 to n do
       let w = Gpu_runtime.Queue.try_reserve q in
-      Barracuda.Wire.write_access buf
-        ~pos:(Gpu_runtime.Queue.offset_of q w)
-        ~kind:Simt.Event.Store ~space:Ptx.Ast.Global ~width:4 ~mask ~warp:0
-        ~insn:0 ~addrs;
+      let pos = Gpu_runtime.Queue.offset_of q w in
+      Barracuda.Wire.write_access buf ~pos ~kind:Simt.Event.Store
+        ~space:Ptx.Ast.Global ~width:4 ~mask ~warp:0 ~insn:0 ~addrs;
+      Barracuda.Wire.seal buf ~pos ~seq:w;
       Gpu_runtime.Queue.commit q w;
       let off = Gpu_runtime.Queue.peek q in
       Barracuda.Detector.feed_record det ~values buf ~pos:off;

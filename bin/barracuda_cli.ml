@@ -118,10 +118,28 @@ let print_machine_result kernel (result : Simt.Machine.result) =
     kernel.Ptx.Ast.kname result.Simt.Machine.dyn_instructions
     (match result.Simt.Machine.status with
     | Simt.Machine.Completed -> "completed"
-    | Simt.Machine.Max_steps n -> Printf.sprintf "stopped at %d steps" n)
+    | Simt.Machine.Max_steps n -> Printf.sprintf "stopped at %d steps" n
+    | Simt.Machine.Deadline n ->
+        Printf.sprintf "stopped at the wall-clock deadline after %d steps" n)
+
+let print_degraded_caveat report =
+  if Barracuda.Report.degraded report then begin
+    let i = Barracuda.Report.integrity report in
+    Format.printf
+      "warning: degraded transport — %d corrupt record%s skipped, %d \
+       record%s lost, %d stale/duplicate, %d orphaned branch record%s; \
+       the verdict may be missing evidence.@."
+      i.Barracuda.Report.corrupt
+      (if i.Barracuda.Report.corrupt = 1 then "" else "s")
+      i.Barracuda.Report.gaps
+      (if i.Barracuda.Report.gaps = 1 then "" else "s")
+      i.Barracuda.Report.stale i.Barracuda.Report.desync
+      (if i.Barracuda.Report.desync = 1 then "" else "s")
+  end
 
 let print_verdict report =
   let errors = Barracuda.Report.errors report in
+  print_degraded_caveat report;
   if errors = [] then begin
     Format.printf "no races detected.@.";
     0
@@ -610,7 +628,7 @@ let socket_term =
         ~doc:"Unix domain socket the daemon listens on.")
 
 let serve_cmd =
-  let run socket workers queue_capacity cache_capacity max_steps =
+  let run socket workers queue_capacity cache_capacity max_steps deadline_ms =
     guard @@ fun () ->
     (* The daemon always runs with telemetry on: the status reply, the
        metrics request and the Prometheus exporter feed from it. *)
@@ -623,6 +641,7 @@ let serve_cmd =
         queue_capacity;
         cache_capacity;
         max_steps;
+        job_deadline_ms = deadline_ms;
       }
     in
     let t = Service.Server.start ~config () in
@@ -662,13 +681,21 @@ let serve_cmd =
                ~doc:"Per-job step budget; a kernel that exceeds it fails \
                      with a structured timeout.")
   in
+  let deadline =
+    Arg.(value
+           & opt int Service.Server.default_config.Service.Server.job_deadline_ms
+           & info [ "deadline-ms" ] ~docv:"MS"
+               ~doc:"Per-job wall-clock deadline; a kernel that exceeds it \
+                     fails with a structured deadline error.  0 disables.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run the race-checking daemon: a bounded job queue, a pool of \
-          worker domains and a content-hash artifact cache behind a Unix \
-          domain socket.")
-    Term.(const run $ socket_term $ workers $ queue $ cache $ max_steps)
+         "Run the race-checking daemon: a bounded job queue, a \
+          self-healing pool of worker domains and a content-hash artifact \
+          cache behind a Unix domain socket.")
+    Term.(const run $ socket_term $ workers $ queue $ cache $ max_steps
+          $ deadline)
 
 let submit_cmd =
   let run socket layout file specs kind no_prune retries json =
@@ -715,7 +742,11 @@ let submit_cmd =
           if outcome.Service.Protocol.predicted > 0 then
             Format.printf "  %d schedule-sensitive predictions (%d confirmed)@."
               outcome.Service.Protocol.predicted
-              outcome.Service.Protocol.confirmed
+              outcome.Service.Protocol.confirmed;
+          if outcome.Service.Protocol.degraded then
+            Format.printf
+              "  warning: degraded transport — the verdict may be missing \
+               evidence@."
         end;
         if outcome.Service.Protocol.verdict = Service.Protocol.Racy then 1
         else 0
@@ -804,6 +835,10 @@ let svc_status_cmd =
               s.Service.Protocol.submitted s.Service.Protocol.completed
               s.Service.Protocol.racy s.Service.Protocol.race_free
               s.Service.Protocol.failed s.Service.Protocol.rejected;
+            Format.printf "  healing   %d workers respawned, %d jobs \
+                           quarantined@."
+              s.Service.Protocol.workers_restarted
+              s.Service.Protocol.quarantined;
             Format.printf "  cache     %d entries, %d hits / %d misses, %d \
                            evictions@."
               s.Service.Protocol.cache_entries s.Service.Protocol.cache_hits
@@ -832,6 +867,60 @@ let svc_status_cmd =
        ~doc:"Query (or shut down) a running barracuda daemon.")
     Term.(const run $ socket_term $ prometheus $ json $ shutdown)
 
+let faults_cmd =
+  let run seed quick trials json =
+    guard @@ fun () ->
+    let report =
+      Campaign.run ~config:{ Campaign.seed; quick; trials } ()
+    in
+    Format.printf "%a" Campaign.pp report;
+    (match json with
+    | None -> ()
+    | Some path ->
+        let line = Campaign.to_json report in
+        if path = "-" then print_endline line
+        else begin
+          let oc = open_out path in
+          output_string oc line;
+          output_char oc '\n';
+          close_out oc;
+          Format.printf "campaign report written to %s@." path
+        end);
+    if Campaign.ok report then 0 else 1
+  in
+  let seed =
+    Arg.(value & opt int Campaign.default_config.Campaign.seed
+           & info [ "seed" ] ~docv:"N"
+               ~doc:"Campaign seed; a fixed seed makes the whole campaign \
+                     (and its JSON report) bitwise reproducible.")
+  in
+  let quick =
+    Arg.(value & flag
+           & info [ "quick" ]
+               ~doc:"CI mode: a small case subset and one trial per fault \
+                     class.")
+  in
+  let trials =
+    Arg.(value & opt int Campaign.default_config.Campaign.trials
+           & info [ "trials" ] ~docv:"N"
+               ~doc:"Transport trials per (case, fault class).")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+           & info [ "json" ] ~docv:"FILE"
+               ~doc:"Also write the campaign report as one JSON line to \
+                     $(docv) ($(b,-) for stdout).")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Run a seeded fault-injection campaign: transport corruption \
+          (bit flips, drops, duplicates, reorder-delays), gpuFI-style \
+          architectural flips in the interpreter, and worker crashes \
+          against the service scheduler.  Exits non-zero on any silent \
+          corruption or unhealed service fault.")
+    Term.(const run $ seed $ quick $ trials $ json)
+
 let () =
   let doc = "binary-level data race detection for (simulated) CUDA kernels" in
   let info = Cmd.info "barracuda" ~version:"1.0.0" ~doc in
@@ -840,6 +929,6 @@ let () =
        (Cmd.group info
           [
             check_cmd; profile_cmd; instrument_cmd; suite_cmd; litmus_cmd;
-            table1_cmd; sweep_cmd; replay_cmd; predict_cmd; serve_cmd;
-            submit_cmd; svc_status_cmd;
+            table1_cmd; sweep_cmd; replay_cmd; predict_cmd; faults_cmd;
+            serve_cmd; submit_cmd; svc_status_cmd;
           ]))

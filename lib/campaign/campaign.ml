@@ -1,0 +1,347 @@
+(* Seeded fault-injection campaign over the bug suite.
+
+   Every trial derives its fault plan seed from (campaign seed, case
+   id, fault class, trial index) alone, and the report carries only
+   counts — no timestamps, no durations — so a campaign with a fixed
+   seed is bitwise reproducible. *)
+
+module Case = Bugsuite.Case
+module Plan = Fault.Plan
+
+type config = { seed : int; quick : bool; trials : int }
+
+let default_config = { seed = 42; quick = false; trials = 3 }
+
+type cell = {
+  trials : int;
+  injected : int;  (* faults actually injected across the trials *)
+  masked : int;
+  absorbed : int;
+  degraded_wrong : int;
+  silent_wrong : int;
+  crashed : int;
+}
+
+let empty_cell =
+  {
+    trials = 0;
+    injected = 0;
+    masked = 0;
+    absorbed = 0;
+    degraded_wrong = 0;
+    silent_wrong = 0;
+    crashed = 0;
+  }
+
+type machine_cell = {
+  m_trials : int;
+  applied : int;
+  m_masked : int;
+  sdc : int;  (* run finished with a different verdict *)
+  m_crashed : int;  (* the interpreter raised on the corrupted state *)
+}
+
+type service_cell = {
+  jobs : int;
+  parity : bool;  (* crash-survivor verdicts match one-shot checking *)
+  workers_restarted : int;
+  quarantined : int;
+  quarantine_ok : bool;  (* the poison job failed with code "quarantined" *)
+}
+
+type t = {
+  seed : int;
+  cases : int;
+  transport : (string * cell) list;
+  machine : machine_cell;
+  service : service_cell;
+}
+
+(* ---- seeding ----------------------------------------------------- *)
+
+let trial_seed ~seed ~case_id ~cls ~trial =
+  (seed * 0x9E3779B1) lxor (case_id * 7919) lxor (cls * 104729) lxor (trial * 31)
+  |> abs
+
+(* ---- transport --------------------------------------------------- *)
+
+let transport_classes =
+  [
+    ("bit_flip", fun s -> { Plan.none with Plan.seed = s; bit_flip = 0.05 });
+    ("drop", fun s -> { Plan.none with Plan.seed = s; drop = 0.05 });
+    ("duplicate", fun s -> { Plan.none with Plan.seed = s; duplicate = 0.05 });
+    ( "delay",
+      fun s -> { Plan.none with Plan.seed = s; delay = 0.05; delay_hold = 3 } );
+  ]
+
+let pipeline_verdict ?fault (case : Case.t) =
+  let machine = Simt.Machine.create ~layout:case.Case.layout () in
+  let args = case.Case.setup machine in
+  let config = { Gpu_runtime.Pipeline.default_config with fault } in
+  let result =
+    Gpu_runtime.Pipeline.run ~config ~machine case.Case.kernel args
+  in
+  let report = Gpu_runtime.Pipeline.report result in
+  (Barracuda.Report.has_race report, Barracuda.Report.degraded report)
+
+let transport_trial ~baseline_race ~plan case cell =
+  let cell = { cell with trials = cell.trials + 1 } in
+  match pipeline_verdict ~fault:plan case with
+  | exception _ -> { cell with crashed = cell.crashed + 1 }
+  | race, degraded ->
+      let inj = Plan.injected plan in
+      let n = inj.Plan.flips + inj.Plan.drops + inj.Plan.dups + inj.Plan.delays in
+      let cell = { cell with injected = cell.injected + n } in
+      let right = Bool.equal race baseline_race in
+      if right && not degraded then { cell with masked = cell.masked + 1 }
+      else if right then { cell with absorbed = cell.absorbed + 1 }
+      else if degraded then
+        { cell with degraded_wrong = cell.degraded_wrong + 1 }
+      else { cell with silent_wrong = cell.silent_wrong + 1 }
+
+let run_transport ~seed ~trials cases =
+  List.mapi
+    (fun cls (name, spec_of) ->
+      let cell =
+        List.fold_left
+          (fun cell (case : Case.t) ->
+            let baseline_race, _ = pipeline_verdict case in
+            let rec go cell trial =
+              if trial >= trials then cell
+              else
+                let s =
+                  trial_seed ~seed ~case_id:case.Case.id ~cls ~trial
+                in
+                let plan = Plan.make (spec_of s) in
+                go (transport_trial ~baseline_race ~plan case cell) (trial + 1)
+            in
+            go cell 0)
+          empty_cell cases
+      in
+      (name, cell))
+    transport_classes
+
+(* ---- machine (gpuFI-style architectural flips) ------------------- *)
+
+let run_machine ~seed ~trials cases =
+  List.fold_left
+    (fun acc (case : Case.t) ->
+      let baseline_race, _ = pipeline_verdict case in
+      let rec go acc trial =
+        if trial >= trials then acc
+        else
+          let s = trial_seed ~seed ~case_id:case.Case.id ~cls:17 ~trial in
+          let plan =
+            Plan.make
+              {
+                Plan.none with
+                Plan.seed = s;
+                reg_flips = 2;
+                smem_flips = 1;
+                (* bug-suite kernels are tiny (tens to hundreds of
+                   steps); a window wider than the run means most
+                   scheduled flips never fire *)
+                fault_window = 64;
+              }
+          in
+          let acc = { acc with m_trials = acc.m_trials + 1 } in
+          let acc =
+            match pipeline_verdict ~fault:plan case with
+            | exception _ -> { acc with m_crashed = acc.m_crashed + 1 }
+            | race, _ ->
+                let inj = Plan.injected plan in
+                let acc =
+                  {
+                    acc with
+                    applied =
+                      acc.applied + inj.Plan.reg_flips_applied
+                      + inj.Plan.smem_flips_applied;
+                  }
+                in
+                if Bool.equal race baseline_race then
+                  { acc with m_masked = acc.m_masked + 1 }
+                else { acc with sdc = acc.sdc + 1 }
+          in
+          go acc (trial + 1)
+      in
+      go acc 0)
+    { m_trials = 0; applied = 0; m_masked = 0; sdc = 0; m_crashed = 0 }
+    cases
+
+(* ---- service (worker crashes, respawn, quarantine) --------------- *)
+
+let oneshot_verdict (case : Case.t) =
+  let machine = Simt.Machine.create ~layout:case.Case.layout () in
+  let args = case.Case.setup machine in
+  let det, _ = Barracuda.Detector.run ~machine case.Case.kernel args in
+  Barracuda.Report.has_race (Barracuda.Detector.report det)
+
+let run_service ~seed cases =
+  let cases = Array.of_list cases in
+  let n = Array.length cases in
+  let by_name = Hashtbl.create 16 in
+  Array.iter (fun (c : Case.t) -> Hashtbl.replace by_name c.Case.name c) cases;
+  let exec ~job (sub : Service.Protocol.submit) =
+    match Hashtbl.find_opt by_name sub.Service.Protocol.payload with
+    | None ->
+        Service.Protocol.Failed
+          { job; code = "bad_request"; message = "unknown campaign case" }
+    | Some case ->
+        let race = oneshot_verdict case in
+        Service.Protocol.Result
+          {
+            job;
+            outcome =
+              {
+                Service.Protocol.verdict =
+                  (if race then Service.Protocol.Racy
+                   else Service.Protocol.Race_free);
+                races = 0;
+                errors = [];
+                cache_hit = false;
+                predicted = 0;
+                confirmed = 0;
+                degraded = false;
+              };
+            queue_ms = 0.0;
+            run_ms = 0.0;
+          }
+  in
+  (* Jobs 1..n are the parity sweep; every third crashes its worker
+     once (exercising respawn + requeue).  Job n+1 is poison: it
+     crashes on every attempt and must come back quarantined. *)
+  let crash_once =
+    List.filter (fun id -> id mod 3 = 1) (List.init n (fun i -> i + 1))
+  in
+  let plan =
+    Plan.make
+      { Plan.none with Plan.seed = seed; crash_once_jobs = crash_once;
+        poison_jobs = [ n + 1 ] }
+  in
+  let sched =
+    Service.Scheduler.create
+      ~config:
+        {
+          Service.Scheduler.default_config with
+          Service.Scheduler.workers = 2;
+          queue_capacity = n + 8;
+          fault = Some plan;
+        }
+      ~exec ()
+  in
+  let lock = Mutex.create () in
+  let replies = Array.make (n + 1) None in
+  let submit_case i payload =
+    Service.Scheduler.submit sched
+      (Service.Protocol.submit_defaults ~kind:Service.Protocol.Check payload)
+      ~reply:(fun resp ->
+        Mutex.lock lock;
+        replies.(i) <- Some resp;
+        Mutex.unlock lock)
+  in
+  Array.iteri (fun i (c : Case.t) -> submit_case i c.Case.name) cases;
+  submit_case n cases.(0).Case.name;
+  Service.Scheduler.stop sched;
+  let parity =
+    Array.for_all Fun.id
+      (Array.init n (fun i ->
+           match replies.(i) with
+           | Some
+               (Service.Protocol.Result
+                  { outcome = { Service.Protocol.verdict; _ }; _ }) ->
+               Bool.equal (oneshot_verdict cases.(i))
+                 (verdict = Service.Protocol.Racy)
+           | _ -> false))
+  in
+  let quarantine_ok =
+    match replies.(n) with
+    | Some (Service.Protocol.Failed { code = "quarantined"; _ }) -> true
+    | _ -> false
+  in
+  let c = Service.Scheduler.counts sched in
+  {
+    jobs = n + 1;
+    parity;
+    workers_restarted = c.Service.Scheduler.workers_restarted;
+    quarantined = c.Service.Scheduler.quarantined;
+    quarantine_ok;
+  }
+
+(* ---- driver ------------------------------------------------------ *)
+
+let take k l = List.filteri (fun i _ -> i < k) l
+
+let run ?(config = default_config) () =
+  let all = Bugsuite.Cases.all in
+  let transport_cases, machine_cases, service_cases, trials =
+    if config.quick then (take 8 all, take 4 all, take 6 all, 1)
+    else (all, take 16 all, take 12 all, config.trials)
+  in
+  {
+    seed = config.seed;
+    cases = List.length transport_cases;
+    transport = run_transport ~seed:config.seed ~trials transport_cases;
+    machine = run_machine ~seed:config.seed ~trials:1 machine_cases;
+    service = run_service ~seed:config.seed service_cases;
+  }
+
+let ok t =
+  List.for_all
+    (fun (_, c) -> c.silent_wrong = 0 && c.crashed = 0)
+    t.transport
+  && t.service.parity && t.service.quarantine_ok
+  && t.service.workers_restarted > 0
+  && t.service.quarantined = 1
+
+(* ---- rendering --------------------------------------------------- *)
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\"seed\":%d,\"cases\":%d,\"ok\":%b,\"transport\":{" t.seed t.cases
+    (ok t);
+  List.iteri
+    (fun i (name, c) ->
+      if i > 0 then add ",";
+      add
+        "%S:{\"trials\":%d,\"injected\":%d,\"masked\":%d,\"absorbed\":%d,\
+         \"degraded_wrong\":%d,\"silent_wrong\":%d,\"crashed\":%d}"
+        name c.trials c.injected c.masked c.absorbed c.degraded_wrong
+        c.silent_wrong c.crashed)
+    t.transport;
+  add "},\"machine\":{\"trials\":%d,\"applied\":%d,\"masked\":%d,\"sdc\":%d,\
+       \"crashed\":%d}"
+    t.machine.m_trials t.machine.applied t.machine.m_masked t.machine.sdc
+    t.machine.m_crashed;
+  add
+    ",\"service\":{\"jobs\":%d,\"parity\":%b,\"workers_restarted\":%d,\
+     \"quarantined\":%d,\"quarantine_ok\":%b}}"
+    t.service.jobs t.service.parity t.service.workers_restarted
+    t.service.quarantined t.service.quarantine_ok;
+  Buffer.contents buf
+
+let pp ppf t =
+  Format.fprintf ppf "fault campaign: seed %d, %d bug-suite cases@." t.seed
+    t.cases;
+  Format.fprintf ppf
+    "  %-10s %7s %8s %7s %9s %9s %7s %8s@." "class" "trials" "injected"
+    "masked" "absorbed" "deg-wrong" "silent" "crashed";
+  List.iter
+    (fun (name, c) ->
+      Format.fprintf ppf "  %-10s %7d %8d %7d %9d %9d %7d %8d@." name c.trials
+        c.injected c.masked c.absorbed c.degraded_wrong c.silent_wrong
+        c.crashed)
+    t.transport;
+  Format.fprintf ppf
+    "  machine: %d trials, %d flips applied: %d masked, %d SDC, %d crashed@."
+    t.machine.m_trials t.machine.applied t.machine.m_masked t.machine.sdc
+    t.machine.m_crashed;
+  Format.fprintf ppf
+    "  service: %d jobs, parity %b, %d workers respawned, %d quarantined \
+     (poison reply %s)@."
+    t.service.jobs t.service.parity t.service.workers_restarted
+    t.service.quarantined
+    (if t.service.quarantine_ok then "ok" else "WRONG");
+  Format.fprintf ppf "  verdict: %s@."
+    (if ok t then "no silent corruption, service healed itself"
+     else "FAILED (silent corruption or unhealed service)")

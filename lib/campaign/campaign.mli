@@ -1,0 +1,84 @@
+(** Seeded fault-injection campaigns over the bug suite.
+
+    One campaign = three sweeps, all driven by {!Fault.Plan}:
+
+    - {b transport}: for each fault class (bit flip / drop / duplicate
+      / reorder-delay), run bug-suite cases through the deployed
+      pipeline with that class injected and classify each trial
+      against the fault-free baseline verdict:
+      {e masked} (verdict unchanged, nothing flagged),
+      {e absorbed} (verdict unchanged, [degraded] flagged),
+      {e degraded_wrong} (verdict changed but flagged — evidence was
+      lost and the report says so), {e silent_wrong} (verdict changed
+      with no flag — the failure mode the integrity layer exists to
+      rule out; must be zero), or {e crashed} (must be zero);
+    - {b machine}: gpuFI-style register/shared-memory bit flips inside
+      the interpreter, classified masked / SDC / crashed — these
+      corrupt the {e program} rather than the transport, so a changed
+      verdict is legitimate behavior, not a detector failure;
+    - {b service}: a live {!Service.Scheduler} with planned worker
+      crashes — every third job kills its worker once (the watchdog
+      must respawn and the retried verdicts must match one-shot
+      checking) and a final poison job crashes every attempt (it must
+      come back [Failed] with code ["quarantined"]).
+
+    Reports carry only counts derived from the seed — no timestamps —
+    so a fixed-seed campaign is bitwise reproducible. *)
+
+type config = {
+  seed : int;
+  quick : bool;
+      (** CI mode: 8 transport cases, 1 trial per class, smaller
+          machine/service sweeps *)
+  trials : int;  (** transport trials per (case, class) when not quick *)
+}
+
+val default_config : config
+(** seed 42, full sweep, 3 trials. *)
+
+type cell = {
+  trials : int;
+  injected : int;  (** faults actually injected across the trials *)
+  masked : int;
+  absorbed : int;
+  degraded_wrong : int;
+  silent_wrong : int;  (** must be 0 *)
+  crashed : int;  (** must be 0 *)
+}
+
+type machine_cell = {
+  m_trials : int;
+  applied : int;
+  m_masked : int;
+  sdc : int;
+  m_crashed : int;
+}
+
+type service_cell = {
+  jobs : int;
+  parity : bool;
+  workers_restarted : int;
+  quarantined : int;
+  quarantine_ok : bool;
+}
+
+type t = {
+  seed : int;
+  cases : int;
+  transport : (string * cell) list;
+  machine : machine_cell;
+  service : service_cell;
+}
+
+val run : ?config:config -> unit -> t
+
+val ok : t -> bool
+(** No silent corruption, no transport crashes, service parity held,
+    the watchdog respawned at least one worker, and exactly the poison
+    job was quarantined. *)
+
+val to_json : t -> string
+(** One line, keys in a fixed order; bitwise identical across runs
+    with the same seed and config. *)
+
+val pp : Format.formatter -> t -> unit

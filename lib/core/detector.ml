@@ -49,14 +49,46 @@ let m_inplace =
 
 let sp_feed_record = lazy (Telemetry.Span.create "detector.feed_record")
 
+(* Transport-integrity accounting: anomalies the in-place feed path
+   absorbed instead of crashing or silently mis-detecting. *)
+let m_int_corrupt =
+  lazy
+    (Telemetry.Registry.counter
+       ~help:"Wire records failing magic/version/checksum validation"
+       Telemetry.Registry.default "barracuda_transport_integrity_corrupt_total")
+
+let m_int_gap =
+  lazy
+    (Telemetry.Registry.counter
+       ~help:"Records lost between consecutive producer sequence numbers"
+       Telemetry.Registry.default "barracuda_transport_integrity_gap_total")
+
+let m_int_stale =
+  lazy
+    (Telemetry.Registry.counter
+       ~help:"Duplicate or out-of-date wire records skipped"
+       Telemetry.Registry.default "barracuda_transport_integrity_stale_total")
+
+let m_int_desync =
+  lazy
+    (Telemetry.Registry.counter
+       ~help:"Branch else/fi records orphaned by an upstream loss, skipped"
+       Telemetry.Registry.default "barracuda_transport_integrity_desync_total")
+
 type config = {
   max_reports : int;
   filter_same_value : bool;
   shadow_granularity : int;
+  check_integrity : bool;
 }
 
 let default_config =
-  { max_reports = 1000; filter_same_value = true; shadow_granularity = 1 }
+  {
+    max_reports = 1000;
+    filter_same_value = true;
+    shadow_granularity = 1;
+    check_integrity = true;
+  }
 
 type stats = {
   accesses_checked : int;
@@ -91,7 +123,12 @@ type t = {
   accesses : int Atomic.t;
   records : int Atomic.t;
   census : int Atomic.t array; (* converged/diverged/nested/sparse *)
+  seq_next : int Atomic.t array; (* per-producer expected sequence number *)
 }
+
+(* Producer queues are indexed 0..n-1; each src slot is only ever
+   advanced by the one consumer domain that owns that queue. *)
+let max_srcs = 64
 
 let create ?(config = default_config) ~layout kernel =
   {
@@ -108,6 +145,7 @@ let create ?(config = default_config) ~layout kernel =
     accesses = Atomic.make 0;
     records = Atomic.make 0;
     census = Array.init 4 (fun _ -> Atomic.make 0);
+    seq_next = Array.init max_srcs (fun _ -> Atomic.make 0);
   }
 
 let report t = t.report
@@ -398,20 +436,15 @@ let feed t event =
       Report.add_barrier_divergence t.report ~warp ~insn
   | Simt.Event.Kernel_done -> ()
 
-(* The in-place entry: consume a 272-byte record directly out of a
+(* The in-place entry: consume a 280-byte record directly out of a
    transport buffer.  The view (buf, pos) is only guaranteed valid for
    the duration of the call — for queue rings, until the consumer
    releases the slot — and nothing here retains it.  [values] is the
    producer's lane-value side channel ([ [||] ] when absent). *)
-let feed_record t ~values buf ~pos =
-  let enabled = Telemetry.Registry.enabled () in
-  let t0 = if enabled then Telemetry.Clock.now_ns () else 0L in
+let process_record t ~values buf ~pos =
   let rid = Atomic.fetch_and_add t.record_id 1 + 1 in
-  Atomic.incr t.records;
-  Telemetry.Metric.counter_incr (Lazy.force m_records);
-  Telemetry.Metric.counter_incr (Lazy.force m_inplace);
   let opc = Wire.View.opcode buf ~pos in
-  (if Wire.is_access opc then begin
+  if Wire.is_access opc then begin
      let sc = Wire.View.aux buf ~pos in
      (* space codes 0 = global, 1 = shared; local/param never race *)
      if sc <= 1 then begin
@@ -435,28 +468,82 @@ let feed_record t ~values buf ~pos =
            do_lane t ~rid ~wc ~lane ~tid ~opc ~role ~space ~region ~addr ~width
              ~value
        done;
-       Warp_clocks.join_fork wc ~mask
-     end
-   end
-   else if opc = Wire.op_branch_if then
-     Warp_clocks.push_if
-       t.warps.(Wire.View.warp buf ~pos)
-       ~then_mask:(Wire.View.then_mask buf ~pos)
-       ~else_mask:(Wire.View.else_mask buf ~pos)
-   else if opc = Wire.op_branch_else || opc = Wire.op_branch_fi then
-     Warp_clocks.pop_path
-       t.warps.(Wire.View.warp buf ~pos)
-       ~mask:(Wire.View.mask buf ~pos)
-   else if opc = Wire.op_barrier then do_barrier t (Wire.View.aux buf ~pos)
-   else if opc = Wire.op_barrier_divergence then
-     Report.add_barrier_divergence t.report
-       ~warp:(Wire.View.warp buf ~pos)
-       ~insn:(Wire.View.insn buf ~pos)
-   else invalid_arg (Printf.sprintf "Detector.feed_record: bad opcode %d" opc));
+      Warp_clocks.join_fork wc ~mask
+    end
+  end
+  else if opc = Wire.op_branch_if then
+    Warp_clocks.push_if
+      t.warps.(Wire.View.warp buf ~pos)
+      ~then_mask:(Wire.View.then_mask buf ~pos)
+      ~else_mask:(Wire.View.else_mask buf ~pos)
+  else if opc = Wire.op_branch_else || opc = Wire.op_branch_fi then begin
+    (* A lost branch_if (dropped record, failed checksum) leaves this
+       else/fi with no frame to pop.  Skipping it loses one
+       reconvergence join — a soundness caveat already implied by the
+       upstream loss — where popping the root frame would corrupt every
+       later verdict and raising would kill the consumer. *)
+    let wc = t.warps.(Wire.View.warp buf ~pos) in
+    if Warp_clocks.path_depth wc > 1 then
+      Warp_clocks.pop_path wc ~mask:(Wire.View.mask buf ~pos)
+    else begin
+      Telemetry.Metric.counter_incr (Lazy.force m_int_desync);
+      Report.note_desync t.report
+    end
+  end
+  else if opc = Wire.op_barrier then do_barrier t (Wire.View.aux buf ~pos)
+  else if opc = Wire.op_barrier_divergence then
+    Report.add_barrier_divergence t.report
+      ~warp:(Wire.View.warp buf ~pos)
+      ~insn:(Wire.View.insn buf ~pos)
+  else invalid_arg (Printf.sprintf "Detector.feed_record: bad opcode %d" opc)
+
+(* Integrity-checked wrapper: validate magic/version/checksum, then the
+   per-producer sequence number.  Anomalies are counted, noted on the
+   report (degrading the verdict), and absorbed — a corrupted or stale
+   record is skipped, a gap is accounted and the stream accepted from
+   the new position.  Stale records cannot be replayed: warp-clock
+   state has already moved past them, so feeding them again would
+   corrupt detection rather than repair it. *)
+let feed_record_from t ~src ~values buf ~pos =
+  let enabled = Telemetry.Registry.enabled () in
+  let t0 = if enabled then Telemetry.Clock.now_ns () else 0L in
+  Atomic.incr t.records;
+  Telemetry.Metric.counter_incr (Lazy.force m_records);
+  Telemetry.Metric.counter_incr (Lazy.force m_inplace);
+  (if not t.config.check_integrity then process_record t ~values buf ~pos
+   else
+     match Wire.check buf ~pos with
+     | Wire.Intact ->
+         if src >= 0 && src < max_srcs then begin
+           let slot = Array.unsafe_get t.seq_next src in
+           let expect = Atomic.get slot in
+           let seq = Wire.View.seq buf ~pos in
+           let diff = (seq - (expect land 0xFFFFFFFF)) land 0xFFFFFFFF in
+           if diff = 0 then begin
+             Atomic.set slot (expect + 1);
+             process_record t ~values buf ~pos
+           end
+           else if diff < 0x80000000 then begin
+             Atomic.set slot (expect + diff + 1);
+             Telemetry.Metric.counter_add (Lazy.force m_int_gap) diff;
+             Report.note_gap t.report diff;
+             process_record t ~values buf ~pos
+           end
+           else begin
+             Telemetry.Metric.counter_incr (Lazy.force m_int_stale);
+             Report.note_stale t.report
+           end
+         end
+         else process_record t ~values buf ~pos
+     | Wire.Bad_magic | Wire.Bad_version | Wire.Bad_checksum ->
+         Telemetry.Metric.counter_incr (Lazy.force m_int_corrupt);
+         Report.note_corrupt t.report);
   if enabled then
     Telemetry.Span.record_ns
       (Lazy.force sp_feed_record)
       (Telemetry.Clock.elapsed_ns ~since:t0)
+
+let feed_record t ~values buf ~pos = feed_record_from t ~src:0 ~values buf ~pos
 
 let stats t =
   let c = Atomic.get t.census.(0)

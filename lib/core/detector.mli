@@ -22,6 +22,10 @@ type config = {
   max_reports : int;
   filter_same_value : bool;
   shadow_granularity : int;  (** bytes per shadow cell; 1 = the paper *)
+  check_integrity : bool;
+      (** validate magic/version/checksum and producer sequence numbers
+          on the {!feed_record} path (default true); anomalies are
+          counted, absorbed, and degrade the verdict via {!Report} *)
 }
 
 val default_config : config
@@ -50,7 +54,7 @@ val feed : t -> Simt.Event.t -> unit
 (** Consume one decoded warp-level event. *)
 
 val feed_record : t -> values:int64 array -> Bytes.t -> pos:int -> unit
-(** Consume one 272-byte wire record ({!Wire}) in place at offset
+(** Consume one 280-byte wire record ({!Wire}) in place at offset
     [pos] of [buf], without decoding it into an event — the
     steady-state path is allocation-free.  The view is only read for
     the duration of the call (for queue rings: the slot may be
@@ -58,7 +62,22 @@ val feed_record : t -> values:int64 array -> Bytes.t -> pos:int -> unit
     lane-value side channel; pass [[||]] when absent (the same-value
     write filter then compares zeros, as {!Record.of_bytes} without
     [?values] would).
-    @raise Invalid_argument on an unknown opcode. *)
+
+    With [config.check_integrity] (the default) the record must have
+    been {!Wire.seal}ed by its producer: magic, version, checksum, and
+    sequence number are validated first, and any anomaly (corruption,
+    loss, duplication) is counted in the
+    [barracuda_transport_integrity_*] metrics, noted on the report
+    (degrading the verdict), and absorbed without raising.
+    Equivalent to {!feed_record_from} with [src = 0].
+    @raise Invalid_argument on an unknown opcode in a valid record. *)
+
+val feed_record_from :
+  t -> src:int -> values:int64 array -> Bytes.t -> pos:int -> unit
+(** Like {!feed_record}, naming the producer queue: sequence numbers
+    are tracked per [src] (one expected-next counter per producer,
+    [0 <= src < 64]; out-of-range sources skip the sequence check but
+    keep the checksum check). *)
 
 val report : t -> Report.t
 val stats : t -> stats

@@ -28,6 +28,8 @@ module Loc_set = Set.Make (struct
   let compare = Gtrace.Loc.compare
 end)
 
+type integrity = { corrupt : int; gaps : int; stale : int; desync : int }
+
 type t = {
   layout : Vclock.Layout.t;
   max_reports : int;
@@ -38,6 +40,10 @@ type t = {
   mutable kept : int;
   mutable race_count : int;
   mutable bardiv_seen : (int * int) list;
+  mutable corrupt : int; (* transport records failing checksum/magic *)
+  mutable gaps : int; (* records lost per sequence-number gaps *)
+  mutable stale : int; (* duplicate / out-of-date records skipped *)
+  mutable desync : int; (* control records orphaned by upstream losses *)
 }
 
 let create ?(max_reports = 1000) ~layout () =
@@ -51,6 +57,10 @@ let create ?(max_reports = 1000) ~layout () =
     kept = 0;
     race_count = 0;
     bardiv_seen = [];
+    corrupt = 0;
+    gaps = 0;
+    stale = 0;
+    desync = 0;
   }
 
 let locked t f =
@@ -90,6 +100,22 @@ let add_barrier_divergence t ~warp ~insn =
       t.kept <- t.kept + 1
     end
   end
+
+let note_corrupt t = locked t @@ fun () -> t.corrupt <- t.corrupt + 1
+let note_gap t n = locked t @@ fun () -> t.gaps <- t.gaps + n
+let note_stale t = locked t @@ fun () -> t.stale <- t.stale + 1
+let note_desync t = locked t @@ fun () -> t.desync <- t.desync + 1
+
+let integrity t =
+  locked t @@ fun () ->
+  { corrupt = t.corrupt; gaps = t.gaps; stale = t.stale; desync = t.desync }
+
+(* A degraded verdict is a soundness caveat, not an error: detection
+   ran, but part of the event stream was lost or corrupted in
+   transport, so "no race found" may under-report. *)
+let degraded t =
+  locked t @@ fun () ->
+  t.corrupt > 0 || t.gaps > 0 || t.stale > 0 || t.desync > 0
 
 let errors t = locked t @@ fun () -> List.rev t.errors
 let race_count t = locked t @@ fun () -> t.race_count

@@ -58,6 +58,35 @@ val racy_locations : t -> int
 (** Number of distinct locations involved in at least one race. *)
 
 val has_race : t -> bool
+
+(** {1 Transport integrity}
+
+    The detector's [feed_record] path notes every transport anomaly it
+    absorbs.  A report with any anomaly is {e degraded}: detection ran,
+    but part of the event stream was lost or corrupted in transport, so
+    a race-free verdict may under-report.  Degradation is surfaced as a
+    caveat on the verdict, never as a crash. *)
+
+type integrity = { corrupt : int; gaps : int; stale : int; desync : int }
+
+val note_corrupt : t -> unit
+(** A record failed its magic/version/checksum validation and was
+    skipped. *)
+
+val note_gap : t -> int -> unit
+(** [n] records were lost between consecutive sequence numbers. *)
+
+val note_stale : t -> unit
+(** A duplicate or out-of-date sequence number was skipped. *)
+
+val note_desync : t -> unit
+(** A control record (branch else/fi) arrived with no matching
+    divergence frame — its opener was lost upstream — and was skipped
+    instead of corrupting the reconvergence stack. *)
+
+val integrity : t -> integrity
+val degraded : t -> bool
+
 val pp_error : Format.formatter -> error -> unit
 val pp_kind : Format.formatter -> access_kind -> unit
 val pp_class : Format.formatter -> race_class -> unit

@@ -153,6 +153,8 @@ let push_if t ~then_mask ~else_mask =
   t.stack <- then_frame :: else_frame :: t.stack;
   join_fork t ~mask:then_mask
 
+let path_depth t = List.length t.stack
+
 let pop_path t ~mask =
   (match t.stack with
   | _ :: (_ :: _ as rest) -> t.stack <- rest

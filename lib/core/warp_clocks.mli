@@ -63,10 +63,17 @@ val push_if : t -> then_mask:int -> else_mask:int -> unit
 (** Divergence: freeze the current view for the else path, then
     join-fork the then path. *)
 
+val path_depth : t -> int
+(** Divergence frames currently on the stack, counting the root frame:
+    [1] means no divergence is open and {!pop_path} would raise.
+    Lossy-transport consumers probe this to skip an else/fi whose
+    opening [branch_if] record was lost. *)
+
 val pop_path : t -> mask:int -> unit
 (** An [else] or [fi]: pop one divergence frame, activate [mask] (which
     may exclude lanes that retired inside the branch), and join-fork
-    it. [mask = 0] just pops. *)
+    it. [mask = 0] just pops.
+    @raise Invalid_argument when only the root frame remains. *)
 
 val acquire : t -> lane:int -> Vclock.Cvc.t -> unit
 (** Join an acquired synchronization clock into one lane's overlay. *)

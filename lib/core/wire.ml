@@ -1,5 +1,9 @@
-(* 272-byte record wire format (§4.2, Figure 6), shared between the
-   runtime transport and the detector's in-place [feed_record] path.
+(* 280-byte record wire format — the paper's 272-byte layout (§4.2,
+   Figure 6) extended with an 8-byte integrity prefix: magic, format
+   version, a 16-bit rotate-XOR checksum, and a per-producer sequence
+   number.
+   Shared between the runtime transport and the detector's in-place
+   [feed_record] path.
 
    All multi-byte fields are read and written through
    [set_uint16_le]/[get_uint16_le] compositions: those primitives take
@@ -7,10 +11,13 @@
    temporary is allocated on the hot path (the [set_int32_le] family
    boxes its argument unless the optimizer happens to unbox it). *)
 
-let size = 272 (* 16-byte header + 32 * 8-byte lane addresses *)
+let magic = 0xBA
+let version = 1
+let header_size = 24
+let size = 280 (* 24-byte header + 32 * 8-byte lane addresses *)
 let max_lanes = 32
 
-(* Opcodes: byte 0 *)
+(* Opcodes: byte 2 *)
 let op_load = 1
 let op_store = 2
 let op_atomic_first = 3 (* 3..12 = A_add .. A_dec *)
@@ -97,19 +104,24 @@ let get_i64 b pos =
   lor (Bytes.get_uint16_le b (pos + 4) lsl 32)
   lor (Bytes.get_uint16_le b (pos + 6) lsl 48)
 
-(* Writers: each writes the full 16-byte header deterministically (ring
+(* Writers: each writes the full 24-byte header deterministically (ring
    slots are reused, so unset header fields must be cleared, not
    inherited from the previous occupant).  Lane slots beyond what a
    writer sets may hold stale bytes from the slot's previous record;
-   readers only consult lanes the mask/opcode makes meaningful. *)
+   readers only consult lanes the mask/opcode makes meaningful, and the
+   checksum covers only those. *)
 
 let write_header b ~pos ~opcode ~width ~aux ~mask ~warp ~insn =
-  Bytes.set_uint8 b pos opcode;
-  Bytes.set_uint8 b (pos + 1) width;
-  Bytes.set_uint16_le b (pos + 2) (aux land 0xFFFF);
-  set_u32 b (pos + 4) mask;
-  set_u32 b (pos + 8) warp;
-  set_u32 b (pos + 12) insn
+  Bytes.set_uint8 b pos magic;
+  Bytes.set_uint8 b (pos + 1) version;
+  Bytes.set_uint8 b (pos + 2) opcode;
+  Bytes.set_uint8 b (pos + 3) width;
+  Bytes.set_uint16_le b (pos + 4) (aux land 0xFFFF);
+  Bytes.set_uint16_le b (pos + 6) 0;
+  set_u32 b (pos + 8) mask;
+  set_u32 b (pos + 12) warp;
+  set_u32 b (pos + 16) insn;
+  set_u32 b (pos + 20) 0
 
 let write_access b ~pos ~kind ~space ~width ~mask ~warp ~insn ~addrs =
   write_header b ~pos ~opcode:(opcode_of_kind kind) ~width
@@ -117,13 +129,13 @@ let write_access b ~pos ~kind ~space ~width ~mask ~warp ~insn ~addrs =
   let n = Array.length addrs in
   let n = if n > max_lanes then max_lanes else n in
   for i = 0 to n - 1 do
-    set_u64 b (pos + 16 + (8 * i)) (Array.unsafe_get addrs i)
+    set_u64 b (pos + header_size + (8 * i)) (Array.unsafe_get addrs i)
   done
 
 let write_branch_if b ~pos ~mask ~warp ~insn ~then_mask ~else_mask =
   write_header b ~pos ~opcode:op_branch_if ~width:0 ~aux:0 ~mask ~warp ~insn;
-  set_u64 b (pos + 16) then_mask;
-  set_u64 b (pos + 24) else_mask
+  set_u64 b (pos + header_size) then_mask;
+  set_u64 b (pos + header_size + 8) else_mask
 
 let write_branch_else b ~pos ~warp ~insn ~mask =
   write_header b ~pos ~opcode:op_branch_else ~width:0 ~aux:0 ~mask ~warp ~insn
@@ -139,14 +151,115 @@ let write_barrier_divergence b ~pos ~warp ~insn ~mask ~expected =
   write_header b ~pos ~opcode:op_barrier_divergence ~width:0 ~aux:expected
     ~mask ~warp ~insn
 
+(* Integrity: a rotate-XOR checksum over the covered region — the
+   header (minus the checksum field itself), a length prefix, and
+   exactly the payload bytes the opcode + mask make meaningful.  Stale
+   lane bytes beyond the producer's payload are uncovered by design:
+   they never influence detection, so a flip there is harmless and a
+   checksum over them would force writers to clear 256 bytes per slot.
+
+   The stream is consumed as 16-bit chunks; each chunk is rotated left
+   within a 62-bit accumulator by a schedule that advances 16 per
+   chunk (mod 62) and XORed in, then the accumulator is folded to 16
+   bits.  Every input bit maps to exactly one accumulator bit
+   (rotation is injective on a 16-bit chunk) and every accumulator bit
+   folds into exactly one checksum bit, so any single-bit flip in the
+   covered region flips exactly one checksum bit — the detection
+   guarantee is structural, not probabilistic.  Rotation makes
+   repeated or swapped chunks contribute differently (the schedule
+   only cycles every 31 chunks).  The fold is tail-recursive over
+   immediates — no tuple or ref allocation on the hot path — and
+   touches two bytes per primitive read, which is what keeps [seal] +
+   [check] cheap enough to run on every record of the hot path. *)
+
+let top_bit_index m =
+  let a = if m land 0x7FFF0000 <> 0 then 16 else 0 in
+  let m = m lsr a in
+  let b = if m land 0xFF00 <> 0 then 8 else 0 in
+  let m = m lsr b in
+  let c = if m land 0xF0 <> 0 then 4 else 0 in
+  let m = m lsr c in
+  let d = if m land 0xC <> 0 then 2 else 0 in
+  let m = m lsr d in
+  let e = if m land 0x2 <> 0 then 1 else 0 in
+  a + b + c + d + e
+
+let covered_bytes b ~pos =
+  let opc = Bytes.get_uint8 b (pos + 2) in
+  if is_access opc then begin
+    let mask = get_u32 b (pos + 8) land 0xFFFFFFFF in
+    if mask = 0 then 0
+    else
+      let lanes = top_bit_index mask + 1 in
+      let lanes = if lanes > max_lanes then max_lanes else lanes in
+      8 * lanes
+  end
+  else if opc = op_branch_if then 16
+  else 0
+
+(* Rotate left by [r] (0 <= r <= 61) within the 62-bit accumulator
+   ([max_int] is 2^62 - 1, so a native int holds 62 value bits): bits
+   shifted past bit 61 wrap to the bottom. *)
+let rotl62 x r = ((x lsl r) land max_int) lor (x lsr (62 - r))
+
+(* Unchecked native-endian 16-bit load (the primitive behind
+   [Bytes.get_uint16_*]): [checksum_at] bounds-checks the whole
+   covered region once instead of every chunk, and native byte order
+   is fine because a record is sealed and verified by the same
+   process — the checksum never leaves the machine that computed
+   it. *)
+external unsafe_get16 : bytes -> int -> int = "%caml_bytes_get16u"
+
+let rec sum_range b i stop r acc =
+  if i >= stop then acc
+  else
+    sum_range b (i + 2) stop
+      (if r >= 46 then r - 46 else r + 16)
+      (acc lxor rotl62 (unsafe_get16 b i) r)
+
+let checksum_at b ~pos =
+  let n = covered_bytes b ~pos in
+  if pos < 0 || pos + header_size + n > Bytes.length b then
+    invalid_arg "Wire.checksum_at: record exceeds buffer";
+  (* Avalanched length prefix first: a flip that changes the covered
+     length (an opcode bit, the top mask bit) removes or adds whole
+     payload chunks, whose XOR could cancel a one-bit header change —
+     scattering the length across the accumulator makes such a
+     cancellation a ~2^-16 accident instead of something structured
+     payloads hit.  All covered segments have even length: 6 header
+     bytes, 16 more header bytes, and a payload that is a multiple
+     of 8. *)
+  let h = n * 0x9E3779B1 in
+  let acc = (h lxor (h lsr 17)) land max_int in
+  let acc = sum_range b pos (pos + 6) 3 acc in
+  let acc = sum_range b (pos + 8) (pos + header_size) 23 acc in
+  let acc = sum_range b (pos + header_size) (pos + header_size + n) 9 acc in
+  let acc = acc lxor (acc lsr 32) in
+  let acc = acc lxor (acc lsr 16) in
+  acc land 0xFFFF
+
+let seal b ~pos ~seq =
+  set_u32 b (pos + 20) (seq land 0xFFFFFFFF);
+  Bytes.set_uint16_le b (pos + 6) (checksum_at b ~pos)
+
+type integrity = Intact | Bad_magic | Bad_version | Bad_checksum
+
+let check b ~pos =
+  if Bytes.get_uint8 b pos <> magic then Bad_magic
+  else if Bytes.get_uint8 b (pos + 1) <> version then Bad_version
+  else if Bytes.get_uint16_le b (pos + 6) <> checksum_at b ~pos then
+    Bad_checksum
+  else Intact
+
 module View = struct
-  let opcode b ~pos = Bytes.get_uint8 b pos
-  let width b ~pos = Bytes.get_uint8 b (pos + 1)
-  let aux b ~pos = Bytes.get_uint16_le b (pos + 2)
-  let mask b ~pos = get_u32 b (pos + 4)
-  let warp b ~pos = get_i32 b (pos + 8)
-  let insn b ~pos = get_i32 b (pos + 12)
-  let addr b ~pos ~lane = get_i64 b (pos + 16 + (8 * lane))
-  let then_mask b ~pos = get_i64 b (pos + 16)
-  let else_mask b ~pos = get_i64 b (pos + 24)
+  let opcode b ~pos = Bytes.get_uint8 b (pos + 2)
+  let width b ~pos = Bytes.get_uint8 b (pos + 3)
+  let aux b ~pos = Bytes.get_uint16_le b (pos + 4)
+  let mask b ~pos = get_u32 b (pos + 8)
+  let warp b ~pos = get_i32 b (pos + 12)
+  let insn b ~pos = get_i32 b (pos + 16)
+  let seq b ~pos = get_u32 b (pos + 20) land 0xFFFFFFFF
+  let addr b ~pos ~lane = get_i64 b (pos + header_size + (8 * lane))
+  let then_mask b ~pos = get_i64 b (pos + header_size)
+  let else_mask b ~pos = get_i64 b (pos + header_size + 8)
 end

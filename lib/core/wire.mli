@@ -1,31 +1,48 @@
-(** The 272-byte record wire format (§4.2, Figure 6), shared between
-    the runtime transport ([Gpu_runtime.Record]/[Queue]) and the
-    detector's in-place {!Detector.feed_record} path.
+(** The 280-byte record wire format — the paper's 272-byte layout
+    (§4.2, Figure 6) extended with an 8-byte integrity prefix — shared
+    between the runtime transport ([Gpu_runtime.Record]/[Queue]) and
+    the detector's in-place {!Detector.feed_record} path.
 
     Layout, [pos] being the byte offset of the record inside a larger
     buffer (a queue ring slot or a standalone [Bytes.t]):
 
     {v
-    byte  0      opcode
-    byte  1      access width / spare
-    bytes 2-3    space code / aux payload (little-endian u16)
-    bytes 4-7    active mask (u32)
-    bytes 8-11   warp id (u32, 0xFFFFFFFF = none)
-    bytes 12-15  static instruction index (u32, 0xFFFFFFFF = none)
-    bytes 16-271 32 x u64 lane addresses (doubles as aux payload)
+    byte  0      magic (0xBA)
+    byte  1      format version (1)
+    byte  2      opcode
+    byte  3      access width / spare
+    bytes 4-5    space code / aux payload (little-endian u16)
+    bytes 6-7    rotate-XOR checksum (0 until sealed)
+    bytes 8-11   active mask (u32)
+    bytes 12-15  warp id (u32, 0xFFFFFFFF = none)
+    bytes 16-19  static instruction index (u32, 0xFFFFFFFF = none)
+    bytes 20-23  producer sequence number (u32, 0 until sealed)
+    bytes 24-279 32 x u64 lane addresses (doubles as aux payload)
     v}
 
     Every accessor and writer is allocation-free: multi-byte fields go
     through [get_uint16_le]/[set_uint16_le] compositions, which traffic
     in immediate [int]s rather than boxed [Int32.t]/[Int64.t].
 
-    Writers fill the whole 16-byte header (ring slots are reused, so
+    Writers fill the whole 24-byte header (ring slots are reused, so
     stale header fields must be overwritten), but only the lane slots
     their payload defines; a reader may only consult lanes that the
-    opcode and mask make meaningful. *)
+    opcode and mask make meaningful.  After the payload is written and
+    before the slot is published, the producer must {!seal} the record;
+    consumers validate with {!check} before trusting any field. *)
+
+val magic : int
+(** First byte of every record: 0xBA. *)
+
+val version : int
+(** Wire format version carried in byte 1; this build reads and writes
+    version 1. *)
+
+val header_size : int
+(** 24 bytes of header before the lane payload. *)
 
 val size : int
-(** 272 bytes, as in the paper. *)
+(** 280 bytes: the paper's 272 plus the 8-byte integrity prefix. *)
 
 val max_lanes : int
 (** 32 lane-address slots per record. *)
@@ -99,6 +116,43 @@ val write_barrier :
 val write_barrier_divergence :
   Bytes.t -> pos:int -> warp:int -> insn:int -> mask:int -> expected:int -> unit
 
+(** {1 Integrity}
+
+    The checksum is a rotate-XOR sum over a length prefix, the header
+    minus the checksum field itself, and exactly the payload bytes the
+    opcode and mask make meaningful ({!covered_bytes}).  Stale lane
+    bytes beyond the producer's payload are uncovered by design: they
+    never influence detection, so a flip there is harmless.  Any
+    single-bit flip that leaves the covered length unchanged is
+    {e guaranteed} to change the checksum: the stream's 16-bit chunks
+    are rotated into disjoint-per-bit positions of a 62-bit
+    accumulator and the fold to 16 bits maps every accumulator bit to
+    exactly one checksum bit, so one flipped input bit flips exactly
+    one checksum bit.  A flip that changes the covered length itself
+    (an opcode bit, the top set mask bit) reshapes the stream; the
+    avalanched length prefix makes a cancellation there a ~2^-16
+    accident rather than anything structured payloads can hit
+    systematically. *)
+
+val covered_bytes : Bytes.t -> pos:int -> int
+(** Payload bytes covered by the checksum: [8 * (top set mask bit + 1)]
+    for accesses, 16 for [branch_if], 0 otherwise. *)
+
+val checksum_at : Bytes.t -> pos:int -> int
+(** The checksum of the record at [pos] (the stored checksum field is
+    excluded from the sum).  Allocation-free. *)
+
+val seal : Bytes.t -> pos:int -> seq:int -> unit
+(** Stamp the producer sequence number (masked to 32 bits) and the
+    checksum.  Must be called after the payload writer and before the
+    slot is committed; allocation-free. *)
+
+type integrity = Intact | Bad_magic | Bad_version | Bad_checksum
+
+val check : Bytes.t -> pos:int -> integrity
+(** Validate magic, version, and checksum of a sealed record.
+    Allocation-free (constant constructors only). *)
+
 (** {1 View}
 
     Field accessors over a record at offset [pos].  A view is just the
@@ -116,6 +170,10 @@ module View : sig
   val mask : Bytes.t -> pos:int -> int
   val warp : Bytes.t -> pos:int -> int
   val insn : Bytes.t -> pos:int -> int
+
+  val seq : Bytes.t -> pos:int -> int
+  (** Producer sequence number stamped by {!seal}; 0 on unsealed
+      records. *)
 
   val addr : Bytes.t -> pos:int -> lane:int -> int
   (** Meaningful only for access records and lanes below the producer's

@@ -97,7 +97,21 @@ let parse_value line s =
     | None -> fail line "bad value %S" s
   else fail line "expected =value, got %S" s
 
+let format_version = 1
+
 let parse_header line s =
+  (* Parse the version generically first, so a trace written by a
+     different (older or newer) build fails with one line naming both
+     versions instead of a generic bad-header complaint. *)
+  (match
+     try Scanf.sscanf s "# barracuda-trace v%d " (fun v -> Some v)
+     with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+   with
+  | Some v when v <> format_version ->
+      fail line
+        "trace format version %d not supported (this build reads v%d)" v
+        format_version
+  | _ -> ());
   try
     Scanf.sscanf s "# barracuda-trace v1 warp_size=%d threads_per_block=%d blocks=%d"
       (fun warp_size threads_per_block blocks ->

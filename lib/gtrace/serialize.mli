@@ -15,6 +15,11 @@
     re-checked offline ([barracuda replay]), diffed between runs, or
     minimized by hand while debugging a report. *)
 
+val format_version : int
+(** The trace format version this build reads and writes (the [v1] in
+    the header).  A trace whose header names any other version is
+    rejected with a one-line [Parse_error] naming both versions. *)
+
 val op_to_string : Op.t -> string
 (** One operation in the line format above, without the newline. *)
 

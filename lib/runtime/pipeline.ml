@@ -5,6 +5,8 @@ type config = {
   queue_capacity : int;
   prune : bool;
   detector : Barracuda.Detector.config;
+  fault : Fault.Plan.t option;
+      (* seeded transport/machine fault injection; None in production *)
 }
 
 let default_config =
@@ -13,6 +15,7 @@ let default_config =
     queue_capacity = 4096;
     prune = true;
     detector = Barracuda.Detector.default_config;
+    fault = None;
   }
 
 type queue_stats = {
@@ -75,9 +78,11 @@ let tm_record sp t0 =
 (* The execute stage is the machine's own time: total launch time
    minus time spent inside the event callback (which belongs to the
    queue/detect stages it invokes). *)
-let launch_timed st ?max_steps machine kernel args ~on_event =
+let launch_timed st ?max_steps ?deadline_ns ?fault machine kernel args
+    ~on_event =
   if not (Telemetry.Registry.enabled ()) then
-    Simt.Machine.launch ?max_steps machine kernel args ~on_event
+    Simt.Machine.launch ?max_steps ?deadline_ns ?fault machine kernel args
+      ~on_event
   else begin
     let cb_ns = ref 0L in
     let on_event ev =
@@ -86,11 +91,80 @@ let launch_timed st ?max_steps machine kernel args ~on_event =
       cb_ns := Int64.add !cb_ns (Telemetry.Clock.elapsed_ns ~since:t0)
     in
     let t0 = Telemetry.Clock.now_ns () in
-    let result = Simt.Machine.launch ?max_steps machine kernel args ~on_event in
+    let result =
+      Simt.Machine.launch ?max_steps ?deadline_ns ?fault machine kernel args
+        ~on_event
+    in
     Telemetry.Span.record_ns st.sp_execute
       (Int64.sub (Telemetry.Clock.elapsed_ns ~since:t0) !cb_ns);
     result
   end
+
+(* Consumer-side transport-fault injection: applied between [peek] and
+   [feed_record], i.e. to committed, sealed records — exactly where a
+   real DMA/interconnect fault would land.  All state is owned by the
+   one consumer (domain) of each queue.  Delayed records are copied
+   aside, released, and re-fed [hold] records later: by then the
+   detector's sequence tracking has moved past them, so they surface as
+   an accounted gap + stale pair rather than silently reordering
+   detection state. *)
+type faulty_consumer = {
+  stream : Fault.Plan.Transport.stream;
+  mutable held : (int * Bytes.t * int64 array) list;
+}
+
+let faulty_consumers fault nq =
+  match fault with
+  | None -> [||]
+  | Some p ->
+      Array.init nq (fun qi ->
+          { stream = Fault.Plan.Transport.stream p ~src:qi; held = [] })
+
+let tick_held detector ~src fc =
+  match fc.held with
+  | [] -> ()
+  | held ->
+      let ready = ref [] in
+      fc.held <-
+        List.filter_map
+          (fun (n, b, v) ->
+            if n <= 1 then begin
+              ready := (b, v) :: !ready;
+              None
+            end
+            else Some (n - 1, b, v))
+          held;
+      List.iter
+        (fun (b, v) ->
+          Barracuda.Detector.feed_record_from detector ~src ~values:v b ~pos:0)
+        (List.rev !ready)
+
+let flush_held detector ~src fc =
+  List.iter
+    (fun (_, b, v) ->
+      Barracuda.Detector.feed_record_from detector ~src ~values:v b ~pos:0)
+    fc.held;
+  fc.held <- []
+
+(* Consume one committed record through the fault plan.  The caller
+   releases the slot afterwards. *)
+let feed_with_fault detector ~src fc buf ~pos ~values =
+  (match Fault.Plan.Transport.next fc.stream with
+  | Fault.Plan.Transport.Pass ->
+      Barracuda.Detector.feed_record_from detector ~src ~values buf ~pos
+  | Fault.Plan.Transport.Flip raw ->
+      let bit = raw mod (Record.wire_size * 8) in
+      let byte = pos + (bit / 8) in
+      Bytes.set_uint8 buf byte
+        (Bytes.get_uint8 buf byte lxor (1 lsl (bit land 7)));
+      Barracuda.Detector.feed_record_from detector ~src ~values buf ~pos
+  | Fault.Plan.Transport.Drop -> ()
+  | Fault.Plan.Transport.Duplicate ->
+      Barracuda.Detector.feed_record_from detector ~src ~values buf ~pos;
+      Barracuda.Detector.feed_record_from detector ~src ~values buf ~pos
+  | Fault.Plan.Transport.Delay hold ->
+      fc.held <- fc.held @ [ (hold, Bytes.sub buf pos Record.wire_size, values) ]);
+  tick_held detector ~src fc
 
 (* Producers remap instrumented instruction indices back to original
    static indices inline while serializing (the old [remap] built a
@@ -136,8 +210,8 @@ let full_backoff attempt =
    that is empty can only ever produce larger stamps).  Stamps are
    totally ordered, so the wait graph is acyclic and the protocol
    cannot deadlock; releases and plain accesses never wait. *)
-let run_parallel ?(config = default_config) ?max_steps ?inst ~machine kernel
-    args =
+let run_parallel ?(config = default_config) ?max_steps ?deadline_ns ?inst
+    ~machine kernel args =
   let layout = Simt.Machine.layout machine in
   let inst =
     match inst with
@@ -209,6 +283,7 @@ let run_parallel ?(config = default_config) ?max_steps ?inst ~machine kernel
     | Gtrace.Roles.Acquire _ | Gtrace.Roles.Acquire_release _ -> true
     | Gtrace.Roles.Plain | Gtrace.Roles.Release _ -> false
   in
+  let fcs = faulty_consumers config.fault nq in
   let consumers =
     Array.mapi
       (fun qi q ->
@@ -226,7 +301,11 @@ let run_parallel ?(config = default_config) ?max_steps ?inst ~machine kernel
                     Unix.sleepf 0.0002
                   done;
                 let t0 = tm_now () in
-                Barracuda.Detector.feed_record detector ~values buf ~pos:off;
+                if Array.length fcs = 0 then
+                  Barracuda.Detector.feed_record_from detector ~src:qi ~values
+                    buf ~pos:off
+                else
+                  feed_with_fault detector ~src:qi fcs.(qi) buf ~pos:off ~values;
                 tm_record st.sp_detect t0;
                 Telemetry.Metric.counter_incr m_drained.(qi);
                 Queue.release q;
@@ -236,6 +315,8 @@ let run_parallel ?(config = default_config) ?max_steps ?inst ~machine kernel
                 Unix.sleepf 0.0002;
                 loop ()
               end
+              else if Array.length fcs > 0 then
+                flush_held detector ~src:qi fcs.(qi)
             in
             loop ()))
       queues
@@ -267,7 +348,11 @@ let run_parallel ?(config = default_config) ?max_steps ?inst ~machine kernel
     w
   in
   let finish qi w t0 =
-    Queue.commit queues.(qi) w;
+    let q = queues.(qi) in
+    (* Seal (sequence number + checksum) between the payload write and
+       the commit that publishes the slot. *)
+    Wire.seal (Queue.buffer q) ~pos:(Queue.offset_of q w) ~seq:w;
+    Queue.commit q w;
     tm_record st.sp_queue t0;
     incr records;
     Telemetry.Metric.counter_incr st.m_records
@@ -341,8 +426,8 @@ let run_parallel ?(config = default_config) ?max_steps ?inst ~machine kernel
     | Simt.Event.Fence _ | Simt.Event.Kernel_done -> ()
   in
   let machine_result =
-    launch_timed st ?max_steps machine inst.Instrument.Pass.kernel args
-      ~on_event
+    launch_timed st ?max_steps ?deadline_ns ?fault:config.fault machine
+      inst.Instrument.Pass.kernel args ~on_event
   in
   Atomic.set producing false;
   Array.iter Domain.join consumers;
@@ -365,7 +450,8 @@ let run_parallel ?(config = default_config) ?max_steps ?inst ~machine kernel
       };
   }
 
-let run ?(config = default_config) ?max_steps ?tee ?inst ~machine kernel args =
+let run ?(config = default_config) ?max_steps ?deadline_ns ?tee ?inst ~machine
+    kernel args =
   let layout = Simt.Machine.layout machine in
   let inst =
     match inst with
@@ -387,6 +473,7 @@ let run ?(config = default_config) ?max_steps ?tee ?inst ~machine kernel args =
   let values_ring = Array.init nq (fun _ -> Array.make cap no_values) in
   let stalls = ref 0 in
   let records = ref 0 in
+  let fcs = faulty_consumers config.fault nq in
   let drain_one qi =
     let q = queues.(qi) in
     let off = Queue.peek q in
@@ -394,8 +481,12 @@ let run ?(config = default_config) ?max_steps ?tee ?inst ~machine kernel args =
     else begin
       let values = values_ring.(qi).(off / Record.wire_size) in
       let t0 = tm_now () in
-      Barracuda.Detector.feed_record detector ~values (Queue.buffer q)
-        ~pos:off;
+      if Array.length fcs = 0 then
+        Barracuda.Detector.feed_record_from detector ~src:qi ~values
+          (Queue.buffer q) ~pos:off
+      else
+        feed_with_fault detector ~src:qi fcs.(qi) (Queue.buffer q) ~pos:off
+          ~values;
       tm_record st.sp_detect t0;
       Queue.release q;
       true
@@ -427,7 +518,9 @@ let run ?(config = default_config) ?max_steps ?tee ?inst ~machine kernel args =
     go ()
   in
   let finish qi w t0 =
-    Queue.commit queues.(qi) w;
+    let q = queues.(qi) in
+    Wire.seal (Queue.buffer q) ~pos:(Queue.offset_of q w) ~seq:w;
+    Queue.commit q w;
     tm_record st.sp_queue t0;
     incr records;
     Telemetry.Metric.counter_incr st.m_records
@@ -522,10 +615,11 @@ let run ?(config = default_config) ?max_steps ?tee ?inst ~machine kernel args =
         match tee with None -> () | Some f -> f ev)
   in
   let machine_result =
-    launch_timed st ?max_steps machine inst.Instrument.Pass.kernel args
-      ~on_event
+    launch_timed st ?max_steps ?deadline_ns ?fault:config.fault machine
+      inst.Instrument.Pass.kernel args ~on_event
   in
   drain_all ();
+  Array.iteri (fun qi fc -> flush_held detector ~src:qi fc) fcs;
   let high =
     Array.fold_left (fun acc q -> max acc (Queue.high_watermark q)) 0 queues
   in

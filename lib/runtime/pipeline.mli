@@ -13,14 +13,20 @@
     - each thread block logs to one queue ([block mod queues], §4.2);
       when a queue fills, the producer stalls and the host drains
       ({!stats} counts those backpressure events);
-    - records cross the queue in the paper's 272-byte wire format and
-      are decoded back into events for the detector. *)
+    - records cross the queue in the 280-byte wire format (the paper's
+      272-byte layout plus an integrity prefix), sealed by the producer
+      and validated in place by the detector. *)
 
 type config = {
   queues : int;
   queue_capacity : int;
   prune : bool;  (** apply the logging-pruning optimization *)
   detector : Barracuda.Detector.config;
+  fault : Fault.Plan.t option;
+      (** seeded fault injection: transport faults are applied by the
+          consumer between [peek] and [feed_record], machine faults are
+          forwarded to {!Simt.Machine.launch}.  [None] (the default) is
+          the production path. *)
 }
 
 val default_config : config
@@ -42,6 +48,7 @@ type result = {
 val run :
   ?config:config ->
   ?max_steps:int ->
+  ?deadline_ns:int64 ->
   ?tee:(Simt.Event.t -> unit) ->
   ?inst:Instrument.Pass.result ->
   machine:Simt.Machine.t ->
@@ -62,6 +69,7 @@ val run :
 val run_parallel :
   ?config:config ->
   ?max_steps:int ->
+  ?deadline_ns:int64 ->
   ?inst:Instrument.Pass.result ->
   machine:Simt.Machine.t ->
   Ptx.Ast.kernel ->

@@ -19,7 +19,7 @@ type t = {
   values : int64 array;
 }
 
-let wire_size = 272 (* 16-byte header + 32 * 8-byte addresses *)
+let wire_size = 280 (* 24-byte header + 32 * 8-byte addresses *)
 let max_lanes = 32
 
 let of_event ~warp_size = function
@@ -151,6 +151,7 @@ let to_bytes t =
   | Barrier_divergence { expected } ->
       Wire.write_barrier_divergence b ~pos:0 ~warp:t.warp ~insn:t.insn
         ~mask:t.mask ~expected);
+  Wire.seal b ~pos:0 ~seq:0;
   b
 
 module View = Wire.View
@@ -190,6 +191,14 @@ let of_view ?(values = [||]) ~warp_size b ~pos =
 let of_bytes ?values ~warp_size b =
   if Bytes.length b <> wire_size then
     invalid_arg "Record.of_bytes: wrong wire size";
+  if Bytes.get_uint8 b 0 <> Wire.magic then
+    invalid_arg "Record.of_bytes: bad magic (not a barracuda wire record)";
+  if Bytes.get_uint8 b 1 <> Wire.version then
+    invalid_arg
+      (Printf.sprintf
+         "Record.of_bytes: wire format version %d not supported (this build \
+          reads v%d)"
+         (Bytes.get_uint8 b 1) Wire.version);
   Telemetry.Metric.counter_incr (Lazy.force m_fallback);
   of_view ?values ~warp_size b ~pos:0
 

@@ -30,12 +30,37 @@ let request ~socket req =
       | exception Sys_error msg -> finish (Error msg)
       | exception End_of_file -> finish (Error "connection closed before a reply"))
 
-let rec submit ?(retries = 0) ~socket sub =
-  match request ~socket (Protocol.Submit sub) with
-  | Ok (Protocol.Rejected { retry_after_ms; _ }) when retries > 0 ->
-      Unix.sleepf (float_of_int (max 1 retry_after_ms) /. 1000.0);
-      submit ~retries:(retries - 1) ~socket sub
-  | other -> other
+let backoff_cap_s = 2.0
+
+(* Jittered exponential backoff: the daemon's [retry_after_ms] hint is
+   the base, doubled per attempt, capped at {!backoff_cap_s}, then
+   scaled by a uniform factor in [0.5, 1.0) so a burst of rejected
+   clients does not re-dogpile the queue in lockstep. *)
+let backoff_s rng ~retry_after_ms ~attempt =
+  let base = float_of_int (max 1 retry_after_ms) /. 1000.0 in
+  let exp = base *. (2.0 ** float_of_int (min attempt 24)) in
+  Float.min exp backoff_cap_s *. (0.5 +. Random.State.float rng 0.5)
+
+let submit ?(retries = 0) ?(retry_budget_s = 30.0) ~socket sub =
+  let rng = lazy (Random.State.make_self_init ()) in
+  let give_up_ns =
+    Int64.add (Telemetry.Clock.now_ns ())
+      (Int64.of_float (retry_budget_s *. 1e9))
+  in
+  let rec go attempt remaining =
+    match request ~socket (Protocol.Submit sub) with
+    | Ok (Protocol.Rejected { retry_after_ms; _ })
+      when remaining > 0 && Telemetry.Clock.now_ns () < give_up_ns ->
+        let delay = backoff_s (Lazy.force rng) ~retry_after_ms ~attempt in
+        let left =
+          Int64.to_float (Int64.sub give_up_ns (Telemetry.Clock.now_ns ()))
+          /. 1e9
+        in
+        Unix.sleepf (Float.max 0.0 (Float.min delay left));
+        go (attempt + 1) (remaining - 1)
+    | other -> other
+  in
+  go 0 retries
 
 let status ~socket =
   match request ~socket Protocol.Status with

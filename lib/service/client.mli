@@ -11,13 +11,19 @@ val request :
 
 val submit :
   ?retries:int ->
+  ?retry_budget_s:float ->
   socket:string ->
   Protocol.submit ->
   (Protocol.response, string) result
 (** Submit a job and wait for its result.  A [Rejected] response (the
     daemon's backpressure) is retried up to [retries] times (default
-    0: the caller sees the rejection), sleeping the response's
-    [retry_after_ms] between attempts. *)
+    0: the caller sees the rejection), sleeping a jittered exponential
+    backoff between attempts: the response's [retry_after_ms] doubled
+    per attempt, capped at 2 s, scaled by a uniform factor in
+    [0.5, 1.0) so rejected clients desynchronize.  [retry_budget_s]
+    (default 30 s) bounds the {e total} time spent retrying regardless
+    of [retries]; once it is spent the caller sees the last
+    rejection. *)
 
 val status : socket:string -> (Protocol.status, string) result
 val metrics : socket:string -> (string, string) result

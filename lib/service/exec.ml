@@ -1,6 +1,7 @@
-type config = { max_steps : int; max_report_strings : int }
+type config = { max_steps : int; max_report_strings : int; deadline_ms : int }
 
-let default_config = { max_steps = 2_000_000; max_report_strings = 20 }
+let default_config =
+  { max_steps = 2_000_000; max_report_strings = 20; deadline_ms = 0 }
 
 let default_layout =
   Vclock.Layout.make ~warp_size:32 ~threads_per_block:64 ~blocks:2
@@ -59,6 +60,7 @@ let outcome_of_report ~config ~cache_hit report =
     cache_hit;
     predicted = 0;
     confirmed = 0;
+    degraded = Barracuda.Report.degraded report;
   }
 
 let run_check ~config ~cache ~job (s : Protocol.submit) =
@@ -76,9 +78,16 @@ let run_check ~config ~cache ~job (s : Protocol.submit) =
   let pconfig =
     { Gpu_runtime.Pipeline.default_config with prune = s.Protocol.prune }
   in
+  let deadline_ns =
+    if config.deadline_ms <= 0 then None
+    else
+      Some
+        (Int64.add (Telemetry.Clock.now_ns ())
+           (Int64.mul (Int64.of_int config.deadline_ms) 1_000_000L))
+  in
   let result =
     Gpu_runtime.Pipeline.run ~config:pconfig ~max_steps:config.max_steps
-      ~inst:entry.Cache.inst ~machine entry.Cache.kernel args
+      ?deadline_ns ~inst:entry.Cache.inst ~machine entry.Cache.kernel args
   in
   match result.Gpu_runtime.Pipeline.machine_result.Simt.Machine.status with
   | Simt.Machine.Max_steps n ->
@@ -89,6 +98,16 @@ let run_check ~config ~cache ~job (s : Protocol.submit) =
           message =
             Printf.sprintf
               "kernel stopped after the %d-step budget (possible livelock)" n;
+        }
+  | Simt.Machine.Deadline n ->
+      Protocol.Failed
+        {
+          job;
+          code = "deadline";
+          message =
+            Printf.sprintf
+              "kernel stopped at the %d ms wall-clock deadline after %d steps"
+              config.deadline_ms n;
         }
   | Simt.Machine.Completed ->
       let report = Gpu_runtime.Pipeline.report result in
@@ -130,6 +149,7 @@ let run_predict ~config ~job (s : Protocol.submit) =
           cache_hit = false;
           predicted = Predict.Analysis.predicted_count a;
           confirmed = Predict.Analysis.confirmed_count a;
+          degraded = false;
         };
       queue_ms = 0.0;
       run_ms = 0.0;

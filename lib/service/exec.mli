@@ -17,6 +17,12 @@ type config = {
           ["timeout"] (a domain cannot be killed, so the budget is the
           service's cancellation point) *)
   max_report_strings : int;  (** cap on pretty-printed errors returned *)
+  deadline_ms : int;
+      (** per-job wall-clock deadline; [0] (the default) disables it.
+          Exceeding it fails the job with code ["deadline"] — the
+          backstop for kernels that make steady progress (so the step
+          budget never trips) but too slowly to be worth waiting for,
+          and the bound on how long a hung worker can hold its seat *)
 }
 
 val default_config : config

@@ -29,6 +29,8 @@ type outcome = {
   cache_hit : bool;
   predicted : int;
   confirmed : int;
+  degraded : bool;
+      (* transport anomalies were absorbed; the verdict is a caveat *)
 }
 
 type status = {
@@ -43,6 +45,8 @@ type status = {
   rejected : int;
   racy : int;
   race_free : int;
+  quarantined : int;
+  workers_restarted : int;
   cache_entries : int;
   cache_hits : int;
   cache_misses : int;
@@ -195,6 +199,7 @@ let encode_response r =
             ("cache", Json.Str (if o.cache_hit then "hit" else "miss"));
             ("predicted", Json.Int o.predicted);
             ("confirmed", Json.Int o.confirmed);
+            ("degraded", Json.Bool o.degraded);
             ("queue_ms", Json.Float queue_ms);
             ("run_ms", Json.Float run_ms);
           ]
@@ -231,7 +236,9 @@ let encode_response r =
                   ("rejected", Json.Int s.rejected);
                   ("racy", Json.Int s.racy);
                   ("race_free", Json.Int s.race_free);
+                  ("quarantined", Json.Int s.quarantined);
                 ] );
+            ("workers_restarted", Json.Int s.workers_restarted);
             ( "cache",
               Json.Obj
                 [
@@ -269,6 +276,8 @@ let decode_status doc =
   let* rejected = int_field ~default:0 "rejected" jobs in
   let* racy = int_field ~default:0 "racy" jobs in
   let* race_free = int_field ~default:0 "race_free" jobs in
+  let* quarantined = int_field ~default:0 "quarantined" jobs in
+  let* workers_restarted = int_field ~default:0 "workers_restarted" doc in
   let* cache_entries = int_field ~default:0 "entries" cache in
   let* cache_hits = int_field ~default:0 "hits" cache in
   let* cache_misses = int_field ~default:0 "misses" cache in
@@ -287,6 +296,8 @@ let decode_status doc =
          rejected;
          racy;
          race_free;
+         quarantined;
+         workers_restarted;
          cache_entries;
          cache_hits;
          cache_misses;
@@ -314,13 +325,17 @@ let decode_result doc =
   let cache_hit =
     match field "cache" doc with Some (Json.Str "hit") -> true | _ -> false
   in
+  let degraded =
+    match field "degraded" doc with Some (Json.Bool b) -> b | _ -> false
+  in
   let* queue_ms = float_field ~default:0.0 "queue_ms" doc in
   let* run_ms = float_field ~default:0.0 "run_ms" doc in
   Ok
     (Result
        {
          job;
-         outcome = { verdict; races; errors; cache_hit; predicted; confirmed };
+         outcome =
+           { verdict; races; errors; cache_hit; predicted; confirmed; degraded };
          queue_ms;
          run_ms;
        })

@@ -58,6 +58,10 @@ type outcome = {
   cache_hit : bool;  (** artifact cache hit ([Check] only) *)
   predicted : int;  (** schedule-sensitive predictions ([Predict] only) *)
   confirmed : int;  (** predictions confirmed by witness replay *)
+  degraded : bool;
+      (** transport anomalies (corruption/loss/duplication) were
+          absorbed during detection; the verdict carries a soundness
+          caveat *)
 }
 
 type status = {
@@ -72,6 +76,8 @@ type status = {
   rejected : int;
   racy : int;
   race_free : int;
+  quarantined : int;  (** jobs failed after exhausting crash-restarts *)
+  workers_restarted : int;  (** dead worker domains respawned *)
   cache_entries : int;
   cache_hits : int;
   cache_misses : int;

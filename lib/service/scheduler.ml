@@ -1,6 +1,21 @@
-type config = { workers : int; queue_capacity : int; retry_after_ms : int }
+type config = {
+  workers : int;
+  queue_capacity : int;
+  retry_after_ms : int;
+  max_job_restarts : int;
+  watchdog_interval_s : float;
+  fault : Fault.Plan.t option;
+}
 
-let default_config = { workers = 2; queue_capacity = 64; retry_after_ms = 50 }
+let default_config =
+  {
+    workers = 2;
+    queue_capacity = 64;
+    retry_after_ms = 50;
+    max_job_restarts = 2;
+    watchdog_interval_s = 0.02;
+    fault = None;
+  }
 
 type counts = {
   submitted : int;
@@ -9,6 +24,8 @@ type counts = {
   rejected : int;
   racy : int;
   race_free : int;
+  quarantined : int;
+  workers_restarted : int;
 }
 
 type job = {
@@ -16,6 +33,18 @@ type job = {
   submit : Protocol.submit;
   reply : Protocol.response -> unit;
   enqueued_ns : int64;
+  mutable attempts : int;
+      (* crash-restarts so far; bumped by the watchdog on requeue *)
+}
+
+(* One worker seat.  The domain occupying it changes over time: when a
+   worker dies the watchdog reaps the corpse and spawns a replacement
+   into the same slot. *)
+type slot = {
+  mutable dom : unit Domain.t option;
+  mutable beat_ns : int64;  (* last heartbeat (job pickup/completion) *)
+  mutable current : job option;  (* job in flight on this seat *)
+  mutable crashed : bool;  (* set by the dying worker, cleared by reaper *)
 }
 
 type t = {
@@ -29,11 +58,14 @@ type t = {
   mutable next_id : int;
   mutable busy : int;
   mutable c : counts;
-  mutable workers : unit Domain.t list;
+  slots : slot array;
+  mutable watchdog : Thread.t option;
   m_jobs_racy : Telemetry.Metric.counter;
   m_jobs_race_free : Telemetry.Metric.counter;
   m_jobs_failed : Telemetry.Metric.counter;
   m_jobs_rejected : Telemetry.Metric.counter;
+  m_workers_restarted : Telemetry.Metric.counter;
+  m_jobs_quarantined : Telemetry.Metric.counter;
   g_depth : Telemetry.Metric.gauge;
   g_busy : Telemetry.Metric.gauge;
   h_queue_wait : Telemetry.Metric.histogram;
@@ -55,7 +87,7 @@ let ms_of_ns ns = Int64.to_float ns /. 1e6
 (* One worker: block on the condition variable, run jobs until the
    scheduler stops AND the queue is drained (queued jobs are honored
    across shutdown — their clients are still waiting). *)
-let worker_loop t =
+let worker_body t slot =
   let running = ref true in
   while !running do
     Mutex.lock t.lock;
@@ -69,9 +101,20 @@ let worker_loop t =
     else begin
       let job = Queue.pop t.pending in
       t.busy <- t.busy + 1;
+      slot.current <- Some job;
+      slot.beat_ns <- Telemetry.Clock.now_ns ();
       Telemetry.Metric.gauge_set t.g_depth (Queue.length t.pending);
       Telemetry.Metric.gauge_set t.g_busy t.busy;
       Mutex.unlock t.lock;
+      (* Fault injection: a planned crash fires here, after the job is
+         claimed but before any work — the worst spot for the
+         supervisor, since without requeue the job would be lost and
+         its client left hanging. *)
+      (match t.config.fault with
+      | Some p
+        when Fault.Plan.crash_at_pickup p ~job:job.id ~attempt:job.attempts ->
+          raise Fault.Plan.Injected_worker_crash
+      | _ -> ());
       let queue_ms =
         ms_of_ns (Telemetry.Clock.elapsed_ns ~since:job.enqueued_ns)
       in
@@ -97,6 +140,8 @@ let worker_loop t =
          result must observe it in a subsequent status query. *)
       Mutex.lock t.lock;
       t.busy <- t.busy - 1;
+      slot.current <- None;
+      slot.beat_ns <- Telemetry.Clock.now_ns ();
       Telemetry.Metric.gauge_set t.g_busy t.busy;
       (match response with
       | Protocol.Result { outcome; _ } ->
@@ -118,11 +163,114 @@ let worker_loop t =
     end
   done
 
+(* The supervised entry point: any exception that escapes the worker
+   loop — an injected crash, or machinery bugs [exec]'s own catch-all
+   cannot see — marks the seat crashed and lets the domain die.  The
+   watchdog notices, settles the in-flight job, and respawns. *)
+let worker_loop t slot =
+  try worker_body t slot
+  with _ ->
+    Mutex.lock t.lock;
+    slot.crashed <- true;
+    Mutex.unlock t.lock
+
+let quarantine_message attempts =
+  Printf.sprintf
+    "job crashed its worker %d time%s and was quarantined as poison" attempts
+    (if attempts = 1 then "" else "s")
+
+(* Watchdog: reap crashed workers, requeue or quarantine their jobs,
+   respawn replacement domains.  Runs on a sys-thread of the spawning
+   domain so it costs no domain slot; it polls rather than waiting on a
+   condition because a dying worker cannot be relied on to signal. *)
+let watchdog_loop t =
+  let stop_now = ref false in
+  while not !stop_now do
+    Thread.delay t.config.watchdog_interval_s;
+    Mutex.lock t.lock;
+    let reaped = ref [] in
+    Array.iter
+      (fun slot ->
+        if slot.crashed then begin
+          slot.crashed <- false;
+          let dead = slot.dom in
+          slot.dom <- None;
+          let quarantined =
+            match slot.current with
+            | None -> None
+            | Some job ->
+                t.busy <- t.busy - 1;
+                Telemetry.Metric.gauge_set t.g_busy t.busy;
+                slot.current <- None;
+                job.attempts <- job.attempts + 1;
+                if job.attempts > t.config.max_job_restarts then begin
+                  t.c <-
+                    {
+                      t.c with
+                      failed = t.c.failed + 1;
+                      quarantined = t.c.quarantined + 1;
+                    };
+                  Telemetry.Metric.counter_incr t.m_jobs_failed;
+                  Telemetry.Metric.counter_incr t.m_jobs_quarantined;
+                  Some job
+                end
+                else begin
+                  (* Back to the tail with enqueued_ns intact, so
+                     queue-wait telemetry reflects the true end-to-end
+                     wait including the crash. *)
+                  Queue.push job t.pending;
+                  Telemetry.Metric.gauge_set t.g_depth
+                    (Queue.length t.pending);
+                  Condition.signal t.nonempty;
+                  None
+                end
+          in
+          reaped := (slot, dead, quarantined) :: !reaped
+        end)
+      t.slots;
+    let exit_now =
+      t.stopping && Queue.is_empty t.pending && t.busy = 0 && !reaped = []
+      && Array.for_all (fun s -> not s.crashed) t.slots
+    in
+    Mutex.unlock t.lock;
+    List.iter
+      (fun (slot, dead, quarantined) ->
+        (* Join the corpse outside the lock (the supervised entry caught
+           the exception, so the domain terminated normally and this
+           returns promptly), settle the quarantined client, and seat a
+           replacement. *)
+        (match dead with
+        | Some d -> ( try Domain.join d with _ -> ())
+        | None -> ());
+        (match quarantined with
+        | None -> ()
+        | Some job -> (
+            try
+              job.reply
+                (Protocol.Failed
+                   {
+                     job = job.id;
+                     code = "quarantined";
+                     message = quarantine_message job.attempts;
+                   })
+            with _ -> ()));
+        let d = Domain.spawn (fun () -> worker_loop t slot) in
+        Mutex.lock t.lock;
+        slot.dom <- Some d;
+        t.c <- { t.c with workers_restarted = t.c.workers_restarted + 1 };
+        Mutex.unlock t.lock;
+        Telemetry.Metric.counter_incr t.m_workers_restarted)
+      !reaped;
+    if exit_now then stop_now := true
+  done
+
 let create ?(config = default_config) ~exec () =
   if config.workers < 1 then
     invalid_arg "Scheduler.create: workers must be positive";
   if config.queue_capacity < 1 then
     invalid_arg "Scheduler.create: queue_capacity must be positive";
+  if config.max_job_restarts < 0 then
+    invalid_arg "Scheduler.create: max_job_restarts must be non-negative";
   let reg = Telemetry.Registry.default in
   let t =
     {
@@ -143,12 +291,30 @@ let create ?(config = default_config) ~exec () =
           rejected = 0;
           racy = 0;
           race_free = 0;
+          quarantined = 0;
+          workers_restarted = 0;
         };
-      workers = [];
+      slots =
+        Array.init config.workers (fun _ ->
+            {
+              dom = None;
+              beat_ns = Telemetry.Clock.now_ns ();
+              current = None;
+              crashed = false;
+            });
+      watchdog = None;
       m_jobs_racy = jobs_counter "racy";
       m_jobs_race_free = jobs_counter "race_free";
       m_jobs_failed = jobs_counter "failed";
       m_jobs_rejected = jobs_counter "rejected";
+      m_workers_restarted =
+        Telemetry.Registry.counter
+          ~help:"Dead worker domains respawned by the watchdog" reg
+          "barracuda_service_workers_restarted_total";
+      m_jobs_quarantined =
+        Telemetry.Registry.counter
+          ~help:"Jobs quarantined after exhausting crash-restarts" reg
+          "barracuda_service_jobs_quarantined_total";
       g_depth =
         Telemetry.Registry.gauge ~help:"Jobs waiting in the service queue" reg
           "barracuda_service_queue_depth";
@@ -163,8 +329,10 @@ let create ?(config = default_config) ~exec () =
           ~bounds:latency_bounds reg "barracuda_service_job_run_ms";
     }
   in
-  t.workers <-
-    List.init config.workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  Array.iter
+    (fun slot -> slot.dom <- Some (Domain.spawn (fun () -> worker_loop t slot)))
+    t.slots;
+  t.watchdog <- Some (Thread.create watchdog_loop t);
   t
 
 let submit t sub ~reply =
@@ -199,6 +367,7 @@ let submit t sub ~reply =
         submit = sub;
         reply;
         enqueued_ns = Telemetry.Clock.now_ns ();
+        attempts = 0;
       }
       t.pending;
     Telemetry.Metric.gauge_set t.g_depth (Queue.length t.pending);
@@ -224,6 +393,12 @@ let counts t =
   Mutex.unlock t.lock;
   c
 
+let heartbeats t =
+  Mutex.lock t.lock;
+  let beats = Array.map (fun slot -> slot.beat_ns) t.slots in
+  Mutex.unlock t.lock;
+  beats
+
 let stop t =
   Mutex.lock t.lock;
   let first = not t.stopping in
@@ -232,4 +407,25 @@ let stop t =
   let join_here = first && not t.joined in
   if join_here then t.joined <- true;
   Mutex.unlock t.lock;
-  if join_here then List.iter Domain.join t.workers
+  if join_here then begin
+    (* Watchdog first: it only exits once the queue is drained with no
+       worker crashed or mid-respawn, so after this join the seat
+       assignments are final and every queued job has been settled. *)
+    (match t.watchdog with
+    | Some th ->
+        Thread.join th;
+        t.watchdog <- None
+    | None -> ());
+    Array.iter
+      (fun slot ->
+        match slot.dom with
+        | Some d ->
+            Domain.join d;
+            slot.dom <- None
+        | None -> ())
+      t.slots;
+    (* The queue is drained and no job can arrive; pin the gauges so a
+       scrape after shutdown does not report ghost depth or busyness. *)
+    Telemetry.Metric.gauge_set t.g_depth 0;
+    Telemetry.Metric.gauge_set t.g_busy 0
+  end

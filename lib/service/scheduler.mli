@@ -1,4 +1,4 @@
-(** Bounded job queue and worker pool.
+(** Bounded job queue and self-healing worker pool.
 
     Submissions enter a FIFO of fixed capacity; a pool of OCaml 5
     domains drains it, each job running the full checking machinery on
@@ -9,31 +9,55 @@
 
     The [exec] callback is expected not to raise ({!Exec.run}); as a
     second line of defense any exception it does raise is converted to
-    a [Failed] response, so a job can never take a worker (or the
-    daemon) down with it.
+    a [Failed] response.  An exception that escapes the worker loop
+    {e itself} (an injected crash, or machinery bugs outside [exec]'s
+    reach) kills only that worker's domain: a watchdog thread notices
+    the dead seat, requeues its in-flight job (or, after
+    [max_job_restarts] crash-restarts, quarantines it with a [Failed]
+    response, code ["quarantined"]), joins the corpse, and spawns a
+    replacement domain into the same seat.  The daemon survives; the
+    client always gets an answer.
+
+    Workers heartbeat ({!heartbeats}) at job pickup and completion.  A
+    {e hung} worker cannot be killed (OCaml domains are not
+    cancellable), so hangs are bounded one layer down by the per-job
+    wall-clock deadline ({!Exec.config.deadline_ms}).
 
     Telemetry: [barracuda_service_jobs_total{verdict=...}] (racy /
-    race_free / failed / rejected), the [barracuda_service_queue_depth]
-    and [barracuda_service_busy_workers] gauges, and the
-    [barracuda_service_queue_wait_ms] / [barracuda_service_job_run_ms]
-    latency histograms. *)
+    race_free / failed / rejected), the
+    [barracuda_service_workers_restarted_total] and
+    [barracuda_service_jobs_quarantined_total] counters, the
+    [barracuda_service_queue_depth] and
+    [barracuda_service_busy_workers] gauges (both pinned to 0 by
+    {!stop}), and the [barracuda_service_queue_wait_ms] /
+    [barracuda_service_job_run_ms] latency histograms. *)
 
 type config = {
   workers : int;
   queue_capacity : int;
   retry_after_ms : int;  (** hint carried by reject responses *)
+  max_job_restarts : int;
+      (** crash-restarts granted to a job before it is quarantined as
+          poison (0 = quarantine on first crash) *)
+  watchdog_interval_s : float;  (** supervision poll period *)
+  fault : Fault.Plan.t option;
+      (** seeded fault injection: planned worker crashes fire at job
+          pickup.  [None] (the default) is the production path. *)
 }
 
 val default_config : config
-(** 2 workers, capacity 64, retry after 50 ms. *)
+(** 2 workers, capacity 64, retry after 50 ms, 2 crash-restarts,
+    20 ms watchdog poll, no faults. *)
 
 type counts = {
   submitted : int;
   completed : int;
-  failed : int;
+  failed : int;  (** includes quarantined jobs *)
   rejected : int;
   racy : int;
   race_free : int;
+  quarantined : int;  (** jobs failed after exhausting crash-restarts *)
+  workers_restarted : int;  (** dead worker domains respawned *)
 }
 
 type t
@@ -43,23 +67,31 @@ val create :
   exec:(job:int -> Protocol.submit -> Protocol.response) ->
   unit ->
   t
-(** Spawns the worker domains immediately.
+(** Spawns the worker domains and the watchdog thread immediately.
     @raise Invalid_argument on a non-positive worker count or
-    capacity. *)
+    capacity, or a negative [max_job_restarts]. *)
 
 val submit :
   t -> Protocol.submit -> reply:(Protocol.response -> unit) -> unit
 (** Enqueue a job.  [reply] is invoked exactly once — with [Rejected]
     synchronously when the queue is full (or the scheduler is
     stopping), otherwise from a worker domain with the job's [Result]
-    or [Failed] (timings filled in).  Exceptions from [reply] are
-    swallowed: a client that hung up cannot hurt the worker. *)
+    or [Failed] (timings filled in), or from the watchdog with
+    [Failed {code = "quarantined"}] if the job kept crashing its
+    workers.  Exceptions from [reply] are swallowed: a client that
+    hung up cannot hurt the worker. *)
 
 val depth : t -> int
 val busy : t -> int
 val counts : t -> counts
 
+val heartbeats : t -> int64 array
+(** Per-seat last-heartbeat timestamps ({!Telemetry.Clock.now_ns}
+    domain), updated at job pickup and completion. *)
+
 val stop : t -> unit
 (** Stop accepting work, let the workers finish everything already
-    queued, and join them.  Idempotent; safe to call from any domain
-    or thread. *)
+    queued (crashed workers are still respawned while queued jobs
+    remain), join the watchdog and the workers, and pin the depth and
+    busy gauges to zero.  Idempotent; safe to call from any domain or
+    thread. *)

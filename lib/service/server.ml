@@ -4,6 +4,7 @@ type config = {
   queue_capacity : int;
   retry_after_ms : int;
   max_steps : int;
+  job_deadline_ms : int;
   cache_capacity : int;
   read_timeout_s : float;
 }
@@ -15,6 +16,7 @@ let default_config =
     queue_capacity = 64;
     retry_after_ms = 50;
     max_steps = Exec.default_config.Exec.max_steps;
+    job_deadline_ms = 30_000;
     cache_capacity = 128;
     read_timeout_s = 30.0;
   }
@@ -49,6 +51,8 @@ let status t =
     rejected = c.Scheduler.rejected;
     racy = c.Scheduler.racy;
     race_free = c.Scheduler.race_free;
+    quarantined = c.Scheduler.quarantined;
+    workers_restarted = c.Scheduler.workers_restarted;
     cache_entries = cs.Cache.entries;
     cache_hits = cs.Cache.hits;
     cache_misses = cs.Cache.misses;
@@ -164,12 +168,17 @@ let start ?(config = default_config) () =
    with Invalid_argument _ | Sys_error _ -> ());
   let cache = Cache.create ~capacity:config.cache_capacity () in
   let exec_config =
-    { Exec.default_config with Exec.max_steps = config.max_steps }
+    {
+      Exec.default_config with
+      Exec.max_steps = config.max_steps;
+      deadline_ms = config.job_deadline_ms;
+    }
   in
   let sched =
     Scheduler.create
       ~config:
         {
+          Scheduler.default_config with
           Scheduler.workers = config.workers;
           queue_capacity = config.queue_capacity;
           retry_after_ms = config.retry_after_ms;

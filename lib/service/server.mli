@@ -21,6 +21,9 @@ type config = {
   queue_capacity : int;
   retry_after_ms : int;
   max_steps : int;  (** per-job step budget (the timeout) *)
+  job_deadline_ms : int;
+      (** per-job wall-clock deadline ({!Exec.config.deadline_ms});
+          [0] disables it *)
   cache_capacity : int;
   read_timeout_s : float;
       (** receive timeout per connection; a client that connects and
@@ -29,7 +32,8 @@ type config = {
 
 val default_config : config
 (** Socket [barracuda.sock] in the system temp directory, 2 workers,
-    queue 64, 2M-step budget, cache 128, 30 s read timeout. *)
+    queue 64, 2M-step budget, 30 s job deadline, cache 128, 30 s read
+    timeout. *)
 
 type t
 

@@ -1,5 +1,5 @@
 type policy = Round_robin | Random of int
-type status = Completed | Max_steps of int
+type status = Completed | Max_steps of int | Deadline of int
 
 (* Execution telemetry.  Instructions retired is the hot counter, so it
    is accumulated in the launch context and flushed once per launch;
@@ -529,7 +529,8 @@ let release_barriers ctx =
     release_barrier_of_block ctx b
   done
 
-let launch ?(max_steps = 50_000_000) ?(on_event = fun _ -> ()) t kernel args =
+let launch ?(max_steps = 50_000_000) ?deadline_ns ?fault ?(on_event = fun _ -> ())
+    t kernel args =
   Ptx.Validate.check_exn kernel;
   if List.length kernel.Ptx.Ast.params <> Array.length args then
     invalid_arg
@@ -596,9 +597,59 @@ let launch ?(max_steps = 50_000_000) ?(on_event = fun _ -> ()) t kernel args =
   let steps = ref 0 in
   let cursor = ref 0 in
   let finished_run = ref false in
+  let deadline_hit = ref false in
+  (* gpuFI-style architectural fault schedule: seeded (step, fault)
+     pairs, applied when execution reaches each step.  Raw selectors
+     are reduced modulo the live population at injection time; faults
+     scheduled past the end of a short run never fire. *)
+  let mfaults =
+    match fault with Some p -> Fault.Plan.machine_faults p | None -> [||]
+  in
+  let mfi = ref 0 in
+  let apply_machine_fault = function
+    | Fault.Plan.Reg_flip { warp_r; reg_r; lane_r; bit } -> (
+        let w = warps.(warp_r mod nw) in
+        let names =
+          List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) w.regs [])
+        in
+        match names with
+        | [] -> ()
+        | _ :: _ ->
+            let name = List.nth names (reg_r mod List.length names) in
+            let arr = Hashtbl.find w.regs name in
+            let lane = lane_r mod Array.length arr in
+            arr.(lane) <-
+              Int64.logxor arr.(lane) (Int64.shift_left 1L (bit land 63));
+            Option.iter Fault.Plan.note_reg_applied fault)
+    | Fault.Plan.Smem_flip { block_r; addr_r; bit } ->
+        let mem = t.shared.(block_r mod layout.Vclock.Layout.blocks) in
+        let fp = Memory.footprint mem in
+        if fp > 0 then begin
+          let addr = addr_r mod fp in
+          let v = Memory.read mem ~addr ~width:1 in
+          Memory.write mem ~addr ~width:1
+            (Int64.logxor v (Int64.shift_left 1L (bit land 7)));
+          Option.iter Fault.Plan.note_smem_applied fault
+        end
+  in
   (try
      while not !finished_run do
        if !steps >= max_steps then raise Stdlib.Exit;
+       (match deadline_ns with
+       | Some d ->
+           (* Cooperative wall-clock budget, polled every 1024 steps so
+              the clock read stays off the per-instruction path. *)
+           if !steps land 1023 = 0 && Telemetry.Clock.now_ns () >= d then begin
+             deadline_hit := true;
+             raise Stdlib.Exit
+           end
+       | None -> ());
+       while
+         !mfi < Array.length mfaults && fst mfaults.(!mfi) <= !steps
+       do
+         apply_machine_fault (snd mfaults.(!mfi));
+         incr mfi
+       done;
        (* pick a runnable warp *)
        let picked = ref (-1) in
        let start =
@@ -644,7 +695,10 @@ let launch ?(max_steps = 50_000_000) ?(on_event = fun _ -> ()) t kernel args =
   Telemetry.Metric.counter_incr (Lazy.force m_launches);
   Telemetry.Metric.counter_add (Lazy.force m_instructions) ctx.dyn_instructions;
   {
-    status = (if !finished_run then Completed else Max_steps !steps);
+    status =
+      (if !finished_run then Completed
+       else if !deadline_hit then Deadline !steps
+       else Max_steps !steps);
     dyn_instructions = ctx.dyn_instructions;
     barrier_divergence = ctx.barrier_divergence;
   }

@@ -23,6 +23,8 @@ type policy =
 type status =
   | Completed
   | Max_steps of int  (** stopped after the step budget; possible livelock *)
+  | Deadline of int
+      (** stopped at the wall-clock deadline after this many steps *)
 
 type result = {
   status : status;
@@ -51,6 +53,8 @@ val poke : t -> addr:int -> width:int -> int64 -> unit
 
 val launch :
   ?max_steps:int ->
+  ?deadline_ns:int64 ->
+  ?fault:Fault.Plan.t ->
   ?on_event:(Event.t -> unit) ->
   t ->
   Ptx.Ast.kernel ->
@@ -59,4 +63,12 @@ val launch :
 (** [launch m kernel args] runs [kernel] with parameters bound to [args]
     positionally, emitting events to [on_event] as execution proceeds.
     The kernel is validated first.
+
+    [deadline_ns] is an absolute monotonic timestamp
+    ({!Telemetry.Clock.now_ns}); execution past it stops cooperatively
+    (polled every 1024 steps) with status {!Deadline}.
+
+    [fault] applies the plan's gpuFI-style machine-fault schedule —
+    seeded register and shared-memory bit flips — at the scheduled
+    steps.
     @raise Invalid_argument on an ill-formed kernel or wrong arity. *)

@@ -20,4 +20,5 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("predict", Test_predict.suite);
       ("service", Test_service.suite);
+      ("fault", Test_fault.suite);
     ]

@@ -218,7 +218,7 @@ let test_bugsuite_service_parity () =
             match
               result.Pipeline.machine_result.Simt.Machine.status
             with
-            | Simt.Machine.Max_steps _ -> None
+            | Simt.Machine.Max_steps _ | Simt.Machine.Deadline _ -> None
             | Simt.Machine.Completed ->
                 Some
                   (if Barracuda.Report.has_race (Pipeline.report result) then

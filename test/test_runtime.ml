@@ -46,12 +46,13 @@ let sample_records =
   ]
 
 let test_record_wire_size () =
-  Alcotest.(check int) "paper wire size" 272 Record.wire_size;
+  (* the paper's 272-byte layout plus the 8-byte integrity prefix *)
+  Alcotest.(check int) "wire size" 280 Record.wire_size;
   List.iter
     (fun r ->
       match r with
       | Some r ->
-          Alcotest.(check int) "serialized size" 272
+          Alcotest.(check int) "serialized size" 280
             (Bytes.length (Record.to_bytes r))
       | None -> Alcotest.fail "event should produce a record")
     sample_records
@@ -178,9 +179,11 @@ let prop_view_matches_decode =
    the sequence number [i] (queue tests read it back via the view). *)
 let fill_payload i buf off =
   Bytes.fill buf off Record.wire_size '\000';
-  Bytes.set_uint8 buf off 1;
-  Bytes.set_uint16_le buf (off + 8) (i land 0xFFFF);
-  Bytes.set_uint16_le buf (off + 10) ((i lsr 16) land 0xFFFF)
+  Bytes.set_uint8 buf off Barracuda.Wire.magic;
+  Bytes.set_uint8 buf (off + 1) Barracuda.Wire.version;
+  Bytes.set_uint8 buf (off + 2) Barracuda.Wire.op_load;
+  Bytes.set_uint16_le buf (off + 12) (i land 0xFFFF);
+  Bytes.set_uint16_le buf (off + 14) ((i lsr 16) land 0xFFFF)
 
 let seq_of buf off = Record.View.warp buf ~pos:off
 
@@ -278,9 +281,10 @@ let test_steady_state_allocation () =
   let pump n =
     for _ = 1 to n do
       let w = Queue.try_reserve q in
-      Barracuda.Wire.write_access buf ~pos:(Queue.offset_of q w)
-        ~kind:Simt.Event.Store ~space:Ptx.Ast.Global ~width:4 ~mask ~warp:0
-        ~insn:0 ~addrs;
+      let pos = Queue.offset_of q w in
+      Barracuda.Wire.write_access buf ~pos ~kind:Simt.Event.Store
+        ~space:Ptx.Ast.Global ~width:4 ~mask ~warp:0 ~insn:0 ~addrs;
+      Barracuda.Wire.seal buf ~pos ~seq:w;
       Queue.commit q w;
       let off = Queue.peek q in
       Barracuda.Detector.feed_record det ~values buf ~pos:off;

@@ -13,6 +13,7 @@ let ok_outcome =
     cache_hit = false;
     predicted = 0;
     confirmed = 0;
+    degraded = false;
   }
 
 let tmp_socket name =
@@ -93,6 +94,7 @@ let test_protocol_roundtrip () =
               cache_hit = true;
               predicted = 2;
               confirmed = 1;
+              degraded = true;
             };
           queue_ms = 0.25;
           run_ms = 41.5;
@@ -110,6 +112,8 @@ let test_protocol_roundtrip () =
           rejected = 2;
           racy = 3;
           race_free = 4;
+          quarantined = 1;
+          workers_restarted = 2;
           cache_entries = 5;
           cache_hits = 6;
           cache_misses = 5;
@@ -261,7 +265,12 @@ let test_backpressure () =
   let sched =
     Service.Scheduler.create
       ~config:
-        { Service.Scheduler.workers = 1; queue_capacity = 1; retry_after_ms = 7 }
+        {
+          Service.Scheduler.default_config with
+          Service.Scheduler.workers = 1;
+          queue_capacity = 1;
+          retry_after_ms = 7;
+        }
       ~exec ()
   in
   let replies = ref [] in
@@ -438,7 +447,7 @@ let oneshot_verdict (c : Case.t) source =
       kernel args
   in
   match result.Gpu_runtime.Pipeline.machine_result.Simt.Machine.status with
-  | Simt.Machine.Max_steps _ -> Timeout
+  | Simt.Machine.Max_steps _ | Simt.Machine.Deadline _ -> Timeout
   | Simt.Machine.Completed ->
       let report = Gpu_runtime.Pipeline.report result in
       V (if Barracuda.Report.has_race report then P.Racy else P.Race_free)

@@ -261,7 +261,7 @@ let test_exec_max_steps () =
   let base = Simt.Machine.alloc_global m2 16 in
   let r2 = Simt.Machine.launch ~max_steps:1000 m2 k [| Int64.of_int base |] in
   match r2.Simt.Machine.status with
-  | Simt.Machine.Max_steps _ -> ()
+  | Simt.Machine.Max_steps _ | Simt.Machine.Deadline _ -> ()
   | Simt.Machine.Completed -> Alcotest.fail "infinite loop terminated?!"
 
 let test_exec_wrong_arity () =

@@ -8,7 +8,8 @@ let check_workload (w : W.t) () =
   let det, result = W.run_detector w in
   (match result.Simt.Machine.status with
   | Simt.Machine.Completed -> ()
-  | Simt.Machine.Max_steps _ -> Alcotest.fail "did not complete");
+  | Simt.Machine.Max_steps _ | Simt.Machine.Deadline _ ->
+      Alcotest.fail "did not complete");
   let report = Barracuda.Detector.report det in
   let shared, global = W.racy_word_counts report in
   Alcotest.(check bool)
