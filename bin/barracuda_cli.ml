@@ -173,8 +173,9 @@ let write_metrics path =
         exit 1
 
 let check_cmd =
-  let run layout file specs max_reports dump_trace metrics =
+  let run layout file specs max_reports dump_trace metrics shards =
     guard @@ fun () ->
+    if shards < 1 then failwith "--shards must be at least 1";
     let kernel = load_kernel file in
     let machine = Simt.Machine.create ~layout () in
     let args = resolve_args machine kernel specs in
@@ -195,6 +196,27 @@ let check_cmd =
           Format.printf "trace written to %s@." path
       | None -> ()
     in
+    if shards > 1 then begin
+      (* Sharded detection: N detector domains over partitioned shadow
+         state, verdicts bitwise-identical to the serial pipeline.  The
+         trace tee lives on the serial pipeline only. *)
+      if dump_trace <> None then
+        failwith "--dump-trace is not supported together with --shards";
+      (match metrics with
+      | Some _ ->
+          Telemetry.Registry.set_enabled true;
+          Telemetry.Registry.reset Telemetry.Registry.default
+      | None -> ());
+      let pconfig =
+        { Shard.Pipeline.default_config with shards; detector = config }
+      in
+      let result = Shard.Pipeline.run_sharded ~config:pconfig ~machine kernel args in
+      print_machine_result kernel result.Shard.Pipeline.machine_result;
+      let code = print_verdict result.Shard.Pipeline.report in
+      (match metrics with Some path -> write_metrics path | None -> ());
+      code
+    end
+    else
     match metrics with
     | Some path ->
         (* Telemetry run: the deployed pipeline (Figure 5) end-to-end,
@@ -235,11 +257,21 @@ let check_cmd =
                ~doc:"Write the abstract trace (paper 3.1) to FILE for \
                      offline replay.")
   in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Detector domains to shard detection across (default 1, the \
+             serial pipeline).  Shadow state is partitioned \
+             deterministically; verdicts are identical at every shard \
+             count.")
+  in
   Cmd.v
     (Cmd.info "check" ~doc:"Race-check a PTX kernel on the simulator.")
     Term.(
       const run $ layout_term $ file_term $ args_term $ max_reports
-      $ dump_trace $ metrics_term)
+      $ dump_trace $ metrics_term $ shards)
 
 let profile_cmd =
   let stage_order = [ "instrument"; "execute"; "queue"; "decode"; "detect" ] in
@@ -628,8 +660,10 @@ let socket_term =
         ~doc:"Unix domain socket the daemon listens on.")
 
 let serve_cmd =
-  let run socket workers queue_capacity cache_capacity max_steps deadline_ms =
+  let run socket workers queue_capacity cache_capacity max_steps deadline_ms
+      job_shards =
     guard @@ fun () ->
+    if job_shards < 1 then failwith "--job-shards must be at least 1";
     (* The daemon always runs with telemetry on: the status reply, the
        metrics request and the Prometheus exporter feed from it. *)
     Telemetry.Registry.set_enabled true;
@@ -642,6 +676,7 @@ let serve_cmd =
         cache_capacity;
         max_steps;
         job_deadline_ms = deadline_ms;
+        job_shards;
       }
     in
     let t = Service.Server.start ~config () in
@@ -650,9 +685,17 @@ let serve_cmd =
        Sys.set_signal Sys.sigint (Sys.Signal_handle stop_signal);
        Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_signal)
      with Invalid_argument _ | Sys_error _ -> ());
-    Format.printf
-      "barracuda service listening on %s (%d workers, queue %d, cache %d)@."
-      socket workers queue_capacity cache_capacity;
+    if job_shards > 1 then
+      Format.printf
+        "barracuda service listening on %s (%d job seats x %d shards from a \
+         %d-domain budget, queue %d, cache %d)@."
+        socket
+        (max 1 (workers / job_shards))
+        job_shards workers queue_capacity cache_capacity
+    else
+      Format.printf
+        "barracuda service listening on %s (%d workers, queue %d, cache %d)@."
+        socket workers queue_capacity cache_capacity;
     Service.Server.wait t;
     Format.printf "barracuda service stopped.@.";
     0
@@ -688,6 +731,14 @@ let serve_cmd =
                ~doc:"Per-job wall-clock deadline; a kernel that exceeds it \
                      fails with a structured deadline error.  0 disables.")
   in
+  let job_shards =
+    Arg.(value
+           & opt int Service.Server.default_config.Service.Server.job_shards
+           & info [ "job-shards" ] ~docv:"N"
+               ~doc:"Detector domains per job.  Above 1, the --workers \
+                     domain budget is split between job seats and \
+                     intra-job shards (workers / N seats, at least 1).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -695,7 +746,7 @@ let serve_cmd =
           self-healing pool of worker domains and a content-hash artifact \
           cache behind a Unix domain socket.")
     Term.(const run $ socket_term $ workers $ queue $ cache $ max_steps
-          $ deadline)
+          $ deadline $ job_shards)
 
 let submit_cmd =
   let run socket layout file specs kind no_prune retries json =

@@ -124,16 +124,23 @@ type t = {
   records : int Atomic.t;
   census : int Atomic.t array; (* converged/diverged/nested/sparse *)
   seq_next : int Atomic.t array; (* per-producer expected sequence number *)
+  owns : (Ptx.Ast.space -> int -> int -> bool) option;
+      (* shadow-cell ownership predicate for sharded detection: when
+         present, only cells it accepts are checked (and their pages
+         materialized).  Warp clocks and sync state still evolve over
+         the full record stream, so a sharded detector's clock state is
+         bit-identical to an unsharded one. *)
 }
 
 (* Producer queues are indexed 0..n-1; each src slot is only ever
    advanced by the one consumer domain that owns that queue. *)
 let max_srcs = 64
 
-let create ?(config = default_config) ~layout kernel =
+let create ?(config = default_config) ?owns ~layout kernel =
   {
     layout;
     config;
+    owns;
     roles = Gtrace.Roles.classify kernel;
     warps =
       Array.init (Layout.total_warps layout) (fun warp ->
@@ -326,17 +333,25 @@ let do_lane_data t ~rid ~wc ~lane ~tid ~cls ~space ~region ~addr ~width ~value =
   let first = addr / g in
   let last = (addr + width - 1) / g in
   for index = first to last do
-    let cell = Shadow.cell t.shadow ~space ~region ~index in
-    Mutex.lock cell.Shadow.lock;
-    (try
-       if cls = 0 then do_read t ~rid ~wc ~lane ~tid ~space ~region ~index cell
-       else if cls = 1 then
-         do_write t ~rid ~wc ~lane ~tid ~space ~region ~index ~value cell
-       else do_atomic t ~rid ~wc ~lane ~tid ~space ~region ~index ~value cell
-     with e ->
-       Mutex.unlock cell.Shadow.lock;
-       raise e);
-    Mutex.unlock cell.Shadow.lock
+    (* The ownership filter runs before [Shadow.cell], so a sharded
+       detector never materializes pages for cells it does not own —
+       shadow state is genuinely partitioned, not replicated. *)
+    let owned =
+      match t.owns with None -> true | Some f -> f space region index
+    in
+    if owned then begin
+      let cell = Shadow.cell t.shadow ~space ~region ~index in
+      Mutex.lock cell.Shadow.lock;
+      (try
+         if cls = 0 then do_read t ~rid ~wc ~lane ~tid ~space ~region ~index cell
+         else if cls = 1 then
+           do_write t ~rid ~wc ~lane ~tid ~space ~region ~index ~value cell
+         else do_atomic t ~rid ~wc ~lane ~tid ~space ~region ~index ~value cell
+       with e ->
+         Mutex.unlock cell.Shadow.lock;
+         raise e);
+      Mutex.unlock cell.Shadow.lock
+    end
   done
 
 (* Per-lane dispatch shared by the event path ([feed]) and the wire

@@ -48,7 +48,20 @@ type stats = {
 type t
 
 val create :
-  ?config:config -> layout:Vclock.Layout.t -> Ptx.Ast.kernel -> t
+  ?config:config ->
+  ?owns:(Ptx.Ast.space -> int -> int -> bool) ->
+  layout:Vclock.Layout.t ->
+  Ptx.Ast.kernel ->
+  t
+(** [owns] is the shadow-cell ownership predicate used by sharded
+    detection ([Shard.Engine]): called as [owns space region index] for
+    every shadow cell a data access covers, before the cell (or its
+    page) is materialized.  Cells it rejects are neither allocated nor
+    checked; everything else — warp clocks, divergence stack, sync
+    locations, barriers — still processes the full record stream, so a
+    detector restricted by [owns] has bit-identical clock state to an
+    unrestricted one and reports exactly the subset of races whose
+    location it owns.  Omitted (the default): all cells are checked. *)
 
 val feed : t -> Simt.Event.t -> unit
 (** Consume one decoded warp-level event. *)

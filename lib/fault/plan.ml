@@ -20,6 +20,8 @@ type spec = {
   reg_flips : int; (* register bit flips per launch *)
   smem_flips : int; (* shared-memory bit flips per launch *)
   fault_window : int; (* steps across which machine faults spread *)
+  shard_crash_shards : int list; (* shard consumer domains that die *)
+  shard_crash_after : int; (* records a doomed shard consumes first *)
 }
 
 let none =
@@ -36,6 +38,8 @@ let none =
     reg_flips = 0;
     smem_flips = 0;
     fault_window = 4096;
+    shard_crash_shards = [];
+    shard_crash_after = 0;
   }
 
 type injected = {
@@ -44,6 +48,7 @@ type injected = {
   dups : int;
   delays : int;
   crashes : int;
+  shard_crashes : int;
   reg_flips_applied : int;
   smem_flips_applied : int;
 }
@@ -55,6 +60,7 @@ type t = {
   n_dups : int Atomic.t;
   n_delays : int Atomic.t;
   n_crashes : int Atomic.t;
+  n_shard_crashes : int Atomic.t;
   n_reg : int Atomic.t;
   n_smem : int Atomic.t;
 }
@@ -67,6 +73,7 @@ let make spec =
     n_dups = Atomic.make 0;
     n_delays = Atomic.make 0;
     n_crashes = Atomic.make 0;
+    n_shard_crashes = Atomic.make 0;
     n_reg = Atomic.make 0;
     n_smem = Atomic.make 0;
   }
@@ -80,6 +87,7 @@ let injected t =
     dups = Atomic.get t.n_dups;
     delays = Atomic.get t.n_delays;
     crashes = Atomic.get t.n_crashes;
+    shard_crashes = Atomic.get t.n_shard_crashes;
     reg_flips_applied = Atomic.get t.n_reg;
     smem_flips_applied = Atomic.get t.n_smem;
   }
@@ -90,6 +98,7 @@ let reset_injected t =
   Atomic.set t.n_dups 0;
   Atomic.set t.n_delays 0;
   Atomic.set t.n_crashes 0;
+  Atomic.set t.n_shard_crashes 0;
   Atomic.set t.n_reg 0;
   Atomic.set t.n_smem 0
 
@@ -171,6 +180,22 @@ let crash_at_pickup t ~job ~attempt =
   in
   if hit then Atomic.incr t.n_crashes;
   hit
+
+(* {2 Shard crashes} *)
+
+exception Injected_shard_crash
+
+(* Shard crashes are listed explicitly rather than drawn: a campaign
+   cell names which consumer domain dies, and [shard_crash_after] says
+   how deep into the job.  The check runs once per consumed record, so
+   it must stay a list lookup on the fast path only when the list is
+   non-empty. *)
+let shard_crash_after t ~shard =
+  if List.mem shard t.spec.shard_crash_shards then
+    Some (if t.spec.shard_crash_after < 0 then 0 else t.spec.shard_crash_after)
+  else None
+
+let note_shard_crash t = Atomic.incr t.n_shard_crashes
 
 (* {2 Machine faults} *)
 

@@ -21,6 +21,10 @@ type spec = {
   reg_flips : int;  (** register bit flips per launch *)
   smem_flips : int;  (** shared-memory bit flips per launch *)
   fault_window : int;  (** steps across which machine faults spread *)
+  shard_crash_shards : int list;
+      (** shard consumer domains ([Shard.Engine]) that die mid-job *)
+  shard_crash_after : int;
+      (** records a doomed shard consumes before dying *)
 }
 
 val none : spec
@@ -39,6 +43,7 @@ type injected = {
   dups : int;
   delays : int;
   crashes : int;
+  shard_crashes : int;
   reg_flips_applied : int;
   smem_flips_applied : int;
 }
@@ -79,6 +84,20 @@ val crash_at_pickup : t -> job:int -> attempt:int -> bool
     (exercising quarantine); [crash_once_jobs] crash only on attempt 0
     (exercising respawn + retry); otherwise a seeded Bernoulli draw of
     probability [worker_crash]. *)
+
+(** {1 Shard crashes} *)
+
+exception Injected_shard_crash
+(** Raised inside a shard consumer domain when the plan dooms it. *)
+
+val shard_crash_after : t -> shard:int -> int option
+(** [Some n] if the plan dooms shard [shard]: its consumer domain must
+    raise {!Injected_shard_crash} after consuming [n] records.  [None]
+    for surviving shards. *)
+
+val note_shard_crash : t -> unit
+(** Called by the dying consumer so campaign accounting sees the
+    injection. *)
 
 (** {1 Machine faults} — gpuFI-style architectural bit flips. *)
 

@@ -30,6 +30,11 @@ type result = {
   machine_result : Simt.Machine.result;
   instr_stats : Instrument.Stats.t;
   queue_stats : queue_stats;
+  detect_ns : int64;
+      (* time inside [feed_record_from]: summed for [run], the busiest
+         consumer domain for [run_parallel] — measured even with
+         telemetry disabled, so the service can report per-job detect
+         latency without the global sink *)
 }
 
 let report r = Barracuda.Detector.report r.detector
@@ -289,6 +294,7 @@ let run_parallel ?(config = default_config) ?max_steps ?deadline_ns ?inst
       (fun qi q ->
         Domain.spawn (fun () ->
             let buf = Queue.buffer q in
+            let detect = ref 0L in
             let rec loop () =
               let off = Queue.peek q in
               if off >= 0 then begin
@@ -300,13 +306,16 @@ let run_parallel ?(config = default_config) ?max_steps ?deadline_ns ?inst
                     Telemetry.Metric.counter_incr m_acquire_waits;
                     Unix.sleepf 0.0002
                   done;
-                let t0 = tm_now () in
+                let t0 = Telemetry.Clock.now_ns () in
                 if Array.length fcs = 0 then
                   Barracuda.Detector.feed_record_from detector ~src:qi ~values
                     buf ~pos:off
                 else
                   feed_with_fault detector ~src:qi fcs.(qi) buf ~pos:off ~values;
-                tm_record st.sp_detect t0;
+                let d = Telemetry.Clock.elapsed_ns ~since:t0 in
+                detect := Int64.add !detect d;
+                if Telemetry.Registry.enabled () then
+                  Telemetry.Span.record_ns st.sp_detect d;
                 Telemetry.Metric.counter_incr m_drained.(qi);
                 Queue.release q;
                 loop ()
@@ -318,7 +327,8 @@ let run_parallel ?(config = default_config) ?max_steps ?deadline_ns ?inst
               else if Array.length fcs > 0 then
                 flush_held detector ~src:qi fcs.(qi)
             in
-            loop ()))
+            loop ();
+            !detect))
       queues
   in
   (* Producer side: reserve a slot (waiting out backpressure), write
@@ -430,7 +440,13 @@ let run_parallel ?(config = default_config) ?max_steps ?deadline_ns ?inst
       inst.Instrument.Pass.kernel args ~on_event
   in
   Atomic.set producing false;
-  Array.iter Domain.join consumers;
+  let detect_ns =
+    Array.fold_left
+      (fun acc d ->
+        let t = Domain.join d in
+        if Int64.compare t acc > 0 then t else acc)
+      0L consumers
+  in
   let high =
     Array.fold_left (fun acc q -> max acc (Queue.high_watermark q)) 0 queues
   in
@@ -448,6 +464,7 @@ let run_parallel ?(config = default_config) ?max_steps ?deadline_ns ?inst
         stalls = !stalls + queue_stalls;
         high_watermark = high;
       };
+    detect_ns;
   }
 
 let run ?(config = default_config) ?max_steps ?deadline_ns ?tee ?inst ~machine
@@ -473,6 +490,7 @@ let run ?(config = default_config) ?max_steps ?deadline_ns ?tee ?inst ~machine
   let values_ring = Array.init nq (fun _ -> Array.make cap no_values) in
   let stalls = ref 0 in
   let records = ref 0 in
+  let detect = ref 0L in
   let fcs = faulty_consumers config.fault nq in
   let drain_one qi =
     let q = queues.(qi) in
@@ -480,14 +498,17 @@ let run ?(config = default_config) ?max_steps ?deadline_ns ?tee ?inst ~machine
     if off < 0 then false
     else begin
       let values = values_ring.(qi).(off / Record.wire_size) in
-      let t0 = tm_now () in
+      let t0 = Telemetry.Clock.now_ns () in
       if Array.length fcs = 0 then
         Barracuda.Detector.feed_record_from detector ~src:qi ~values
           (Queue.buffer q) ~pos:off
       else
         feed_with_fault detector ~src:qi fcs.(qi) (Queue.buffer q) ~pos:off
           ~values;
-      tm_record st.sp_detect t0;
+      let d = Telemetry.Clock.elapsed_ns ~since:t0 in
+      detect := Int64.add !detect d;
+      if Telemetry.Registry.enabled () then
+        Telemetry.Span.record_ns st.sp_detect d;
       Queue.release q;
       true
     end
@@ -637,4 +658,5 @@ let run ?(config = default_config) ?max_steps ?deadline_ns ?tee ?inst ~machine
         stalls = !stalls + queue_stalls;
         high_watermark = high;
       };
+    detect_ns = !detect;
   }

@@ -43,6 +43,11 @@ type result = {
   machine_result : Simt.Machine.result;
   instr_stats : Instrument.Stats.t;
   queue_stats : queue_stats;
+  detect_ns : int64;
+      (** cumulative time inside the detector's record feed: the sum
+          over records for {!run}, the busiest consumer domain for
+          {!run_parallel}.  Measured unconditionally (telemetry on or
+          off) so callers can report per-job detect latency. *)
 }
 
 val run :

@@ -1,7 +1,18 @@
-type config = { max_steps : int; max_report_strings : int; deadline_ms : int }
+type config = {
+  max_steps : int;
+  max_report_strings : int;
+  deadline_ms : int;
+  job_shards : int;
+      (* detector domains per check job; 1 = the serial pipeline *)
+}
 
 let default_config =
-  { max_steps = 2_000_000; max_report_strings = 20; deadline_ms = 0 }
+  {
+    max_steps = 2_000_000;
+    max_report_strings = 20;
+    deadline_ms = 0;
+    job_shards = 1;
+  }
 
 let default_layout =
   Vclock.Layout.make ~warp_size:32 ~threads_per_block:64 ~blocks:2
@@ -43,7 +54,7 @@ let layout_of (s : Protocol.submit) =
   | Some (blocks, tpb, warp) ->
       Vclock.Layout.make ~warp_size:warp ~threads_per_block:tpb ~blocks
 
-let outcome_of_report ~config ~cache_hit report =
+let outcome_of_report ~config ~cache_hit ~detect_ms report =
   let errors =
     List.filteri
       (fun i _ -> i < config.max_report_strings)
@@ -61,6 +72,7 @@ let outcome_of_report ~config ~cache_hit report =
     predicted = 0;
     confirmed = 0;
     degraded = Barracuda.Report.degraded report;
+    detect_ms;
   }
 
 let run_check ~config ~cache ~job (s : Protocol.submit) =
@@ -75,9 +87,6 @@ let run_check ~config ~cache ~job (s : Protocol.submit) =
   let layout = layout_of s in
   let machine = Simt.Machine.create ~layout () in
   let args = resolve_args machine entry.Cache.kernel s.Protocol.args in
-  let pconfig =
-    { Gpu_runtime.Pipeline.default_config with prune = s.Protocol.prune }
-  in
   let deadline_ns =
     if config.deadline_ms <= 0 then None
     else
@@ -85,11 +94,40 @@ let run_check ~config ~cache ~job (s : Protocol.submit) =
         (Int64.add (Telemetry.Clock.now_ns ())
            (Int64.mul (Int64.of_int config.deadline_ms) 1_000_000L))
   in
-  let result =
-    Gpu_runtime.Pipeline.run ~config:pconfig ~max_steps:config.max_steps
-      ?deadline_ns ~inst:entry.Cache.inst ~machine entry.Cache.kernel args
+  (* [job_shards = 1] is the serial pipeline; above that, the job's
+     detection fans out over shard domains ([Shard.Pipeline]) with
+     bitwise-identical verdicts. *)
+  let status, report, detect_ns =
+    if config.job_shards <= 1 then begin
+      let pconfig =
+        { Gpu_runtime.Pipeline.default_config with prune = s.Protocol.prune }
+      in
+      let result =
+        Gpu_runtime.Pipeline.run ~config:pconfig ~max_steps:config.max_steps
+          ?deadline_ns ~inst:entry.Cache.inst ~machine entry.Cache.kernel args
+      in
+      ( result.Gpu_runtime.Pipeline.machine_result.Simt.Machine.status,
+        Gpu_runtime.Pipeline.report result,
+        result.Gpu_runtime.Pipeline.detect_ns )
+    end
+    else begin
+      let pconfig =
+        {
+          Shard.Pipeline.default_config with
+          shards = config.job_shards;
+          prune = s.Protocol.prune;
+        }
+      in
+      let result =
+        Shard.Pipeline.run_sharded ~config:pconfig ~max_steps:config.max_steps
+          ?deadline_ns ~inst:entry.Cache.inst ~machine entry.Cache.kernel args
+      in
+      ( result.Shard.Pipeline.machine_result.Simt.Machine.status,
+        result.Shard.Pipeline.report,
+        result.Shard.Pipeline.detect_ns )
+    end
   in
-  match result.Gpu_runtime.Pipeline.machine_result.Simt.Machine.status with
+  match status with
   | Simt.Machine.Max_steps n ->
       Protocol.Failed
         {
@@ -110,11 +148,13 @@ let run_check ~config ~cache ~job (s : Protocol.submit) =
               config.deadline_ms n;
         }
   | Simt.Machine.Completed ->
-      let report = Gpu_runtime.Pipeline.report result in
       Protocol.Result
         {
           job;
-          outcome = outcome_of_report ~config ~cache_hit report;
+          outcome =
+            outcome_of_report ~config ~cache_hit
+              ~detect_ms:(Int64.to_float detect_ns /. 1e6)
+              report;
           queue_ms = 0.0;
           run_ms = 0.0;
         }
@@ -150,6 +190,7 @@ let run_predict ~config ~job (s : Protocol.submit) =
           predicted = Predict.Analysis.predicted_count a;
           confirmed = Predict.Analysis.confirmed_count a;
           degraded = false;
+          detect_ms = 0.0;
         };
       queue_ms = 0.0;
       run_ms = 0.0;
@@ -166,6 +207,10 @@ let run ?(config = default_config) ~cache ~job (s : Protocol.submit) =
       failed "parse_error" (Printf.sprintf "PTX line %d: %s" line message)
   | Gtrace.Serialize.Parse_error { line; message } ->
       failed "parse_error" (Printf.sprintf "trace line %d: %s" line message)
+  | Shard.Engine.Shard_crashed i ->
+      (* never degrade to a partial merge: a dead shard domain means
+         the verdict is unrecoverable for this attempt *)
+      failed "shard_crashed" (Printf.sprintf "shard %d consumer domain died" i)
   | Failure message -> failed "bad_request" message
   | Invalid_argument message -> failed "exec_error" message
   | Stack_overflow -> failed "exec_error" "stack overflow"

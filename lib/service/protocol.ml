@@ -31,6 +31,10 @@ type outcome = {
   confirmed : int;
   degraded : bool;
       (* transport anomalies were absorbed; the verdict is a caveat *)
+  detect_ms : float;
+      (* wall-clock spent inside the race detector for this job: the
+         drain loop for serial checks, the busiest shard domain for
+         sharded ones; 0 for cache-trivial or predict jobs *)
 }
 
 type status = {
@@ -200,6 +204,7 @@ let encode_response r =
             ("predicted", Json.Int o.predicted);
             ("confirmed", Json.Int o.confirmed);
             ("degraded", Json.Bool o.degraded);
+            ("detect_ms", Json.Float o.detect_ms);
             ("queue_ms", Json.Float queue_ms);
             ("run_ms", Json.Float run_ms);
           ]
@@ -328,6 +333,7 @@ let decode_result doc =
   let degraded =
     match field "degraded" doc with Some (Json.Bool b) -> b | _ -> false
   in
+  let* detect_ms = float_field ~default:0.0 "detect_ms" doc in
   let* queue_ms = float_field ~default:0.0 "queue_ms" doc in
   let* run_ms = float_field ~default:0.0 "run_ms" doc in
   Ok
@@ -335,7 +341,16 @@ let decode_result doc =
        {
          job;
          outcome =
-           { verdict; races; errors; cache_hit; predicted; confirmed; degraded };
+           {
+             verdict;
+             races;
+             errors;
+             cache_hit;
+             predicted;
+             confirmed;
+             degraded;
+             detect_ms;
+           };
          queue_ms;
          run_ms;
        })

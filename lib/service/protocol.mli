@@ -62,6 +62,9 @@ type outcome = {
       (** transport anomalies (corruption/loss/duplication) were
           absorbed during detection; the verdict carries a soundness
           caveat *)
+  detect_ms : float;
+      (** wall-clock spent inside the race detector for this job (the
+          busiest shard domain when sharded); 0 for [Predict] *)
 }
 
 type status = {

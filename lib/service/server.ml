@@ -7,6 +7,7 @@ type config = {
   job_deadline_ms : int;
   cache_capacity : int;
   read_timeout_s : float;
+  job_shards : int;
 }
 
 let default_config =
@@ -19,7 +20,16 @@ let default_config =
     job_deadline_ms = 30_000;
     cache_capacity = 128;
     read_timeout_s = 30.0;
+    job_shards = 1;
   }
+
+(* [workers] is the total domain budget.  With intra-job sharding each
+   job seat drives [job_shards] detector domains, so the scheduler gets
+   [workers / job_shards] seats (at least one): the budget is split
+   between inter-job and intra-job parallelism rather than multiplied. *)
+let worker_seats config =
+  if config.job_shards <= 1 then config.workers
+  else max 1 (config.workers / config.job_shards)
 
 type t = {
   config : config;
@@ -41,7 +51,7 @@ let status t =
   {
     Protocol.uptime_ms =
       Int64.to_float (Telemetry.Clock.elapsed_ns ~since:t.started_ns) /. 1e6;
-    workers = t.config.workers;
+    workers = worker_seats t.config;
     busy = Scheduler.busy t.sched;
     queue_depth = Scheduler.depth t.sched;
     queue_capacity = t.config.queue_capacity;
@@ -172,6 +182,7 @@ let start ?(config = default_config) () =
       Exec.default_config with
       Exec.max_steps = config.max_steps;
       deadline_ms = config.job_deadline_ms;
+      job_shards = config.job_shards;
     }
   in
   let sched =
@@ -179,7 +190,7 @@ let start ?(config = default_config) () =
       ~config:
         {
           Scheduler.default_config with
-          Scheduler.workers = config.workers;
+          Scheduler.workers = worker_seats config;
           queue_capacity = config.queue_capacity;
           retry_after_ms = config.retry_after_ms;
         }

@@ -28,12 +28,18 @@ type config = {
   read_timeout_s : float;
       (** receive timeout per connection; a client that connects and
           sends nothing is dropped after this long *)
+  job_shards : int;
+      (** detector domains per job ({!Exec.config.job_shards}).  Above
+          [1], the [workers] domain budget is {e split} between jobs
+          and intra-job shards: the scheduler gets
+          [max 1 (workers / job_shards)] seats, each driving
+          [job_shards] shard domains. *)
 }
 
 val default_config : config
 (** Socket [barracuda.sock] in the system temp directory, 2 workers,
     queue 64, 2M-step budget, 30 s job deadline, cache 128, 30 s read
-    timeout. *)
+    timeout, 1 job shard (serial per-job detection). *)
 
 type t
 

@@ -1,0 +1,46 @@
+(** Sharded end-to-end detection: simulate a kernel and race-check its
+    event stream across [shards] detector domains ({!Engine}).
+
+    The producer side mirrors [Gpu_runtime.Pipeline] — the same
+    instrumentation pass, origin remapping, and wire serialization —
+    but commits each record to every shard's ring instead of hashing
+    it onto one queue.  Verdicts are bitwise-identical to the serial
+    pipeline on every trace, at every shard count; the test suite
+    enforces this over the whole bug suite. *)
+
+type config = {
+  shards : int;
+  ring_capacity : int;  (** records per shard ring *)
+  prune : bool;  (** instrumentation pruning, as in [Gpu_runtime.Pipeline] *)
+  detector : Barracuda.Detector.config;
+  fault : Fault.Plan.t option;
+      (** machine faults + shard-crash injection; transport faults are
+          not applied on the sharded path *)
+}
+
+val default_config : config
+(** [shards = 2], [ring_capacity = 4096], pruning on, default detector
+    config, no faults. *)
+
+type result = {
+  report : Barracuda.Report.t;  (** merged, deterministic (see {!Merge}) *)
+  detectors : Barracuda.Detector.t array;  (** per-shard, for stats *)
+  machine_result : Simt.Machine.result;
+  instr_stats : Instrument.Stats.t;
+  queue_stats : Gpu_runtime.Pipeline.queue_stats;
+      (** [records] counts the broadcast stream once, not per shard *)
+  detect_ns : int64;  (** busiest shard's time inside the detector *)
+}
+
+val run_sharded :
+  ?config:config ->
+  ?max_steps:int ->
+  ?deadline_ns:int64 ->
+  ?inst:Instrument.Pass.result ->
+  machine:Simt.Machine.t ->
+  Ptx.Ast.kernel ->
+  int64 array ->
+  result
+(** @raise Engine.Shard_crashed if a shard consumer domain dies
+    mid-job (fault injection or otherwise): a partial merge is never
+    returned. *)

@@ -1,0 +1,34 @@
+(** Deterministic shadow-state partitioner.
+
+    The sharded engine splits detection state by memory location: every
+    shadow cell — a [(space, region, cell-index)] triple at the
+    detector's shadow granularity — is owned by exactly one shard, and
+    only that shard checks (or even materializes) it.  Ownership is a
+    pure function of the triple and the shard count, so the producer,
+    every consumer domain, and the tests all agree on the partition
+    without communicating.
+
+    Cells are grouped into contiguous ranges of [2^range_log2] cells
+    before hashing, preserving the spatial locality GPU access patterns
+    have (coalesced warps touch neighbouring addresses): one warp-wide
+    access usually lands on a single shard instead of fanning out to
+    all of them. *)
+
+type t
+
+val make : ?range_log2:int -> shards:int -> unit -> t
+(** [range_log2] defaults to 6 (64-cell ranges — two coalesced 32-lane
+    word accesses).  @raise Invalid_argument if [shards < 1] or
+    [range_log2 < 0]. *)
+
+val shards : t -> int
+val range_log2 : t -> int
+
+val owner : t -> space:Ptx.Ast.space -> region:int -> index:int -> int
+(** The shard owning a shadow cell, in [0, shards).  Deterministic:
+    depends only on the arguments and the router parameters. *)
+
+val owns : t -> shard:int -> Ptx.Ast.space -> int -> int -> bool
+(** [owns t ~shard] as a predicate suitable for
+    [Barracuda.Detector.create ?owns] — true iff [owner] names
+    [shard]. *)

@@ -21,4 +21,5 @@ let () =
       ("predict", Test_predict.suite);
       ("service", Test_service.suite);
       ("fault", Test_fault.suite);
+      ("shard", Test_shard.suite);
     ]

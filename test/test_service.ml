@@ -14,6 +14,7 @@ let ok_outcome =
     predicted = 0;
     confirmed = 0;
     degraded = false;
+    detect_ms = 0.0;
   }
 
 let tmp_socket name =
@@ -95,6 +96,7 @@ let test_protocol_roundtrip () =
               predicted = 2;
               confirmed = 1;
               degraded = true;
+              detect_ms = 1.75;
             };
           queue_ms = 0.25;
           run_ms = 41.5;
