@@ -16,6 +16,7 @@
      pipeline    telemetry per-stage profile -> BENCH_pipeline.json
      predict     predictive analysis over traces -> BENCH_predict.json
      service     batch-daemon throughput scaling -> BENCH_service.json
+     static      static race analysis pruning wins -> BENCH_static.json
      bechamel    Bechamel micro-benchmarks (one per table/figure)      *)
 
 module W = Workloads.Workload
@@ -116,16 +117,20 @@ let section_table1 () =
 
 let section_figure9 () =
   header "Figure 9: % of static PTX instructions instrumented";
-  Printf.printf "  %-18s %-9s %12s %12s %8s\n" "benchmark" "suite" "unoptimized"
-    "optimized" "pruned";
+  Printf.printf "  %-18s %-9s %12s %12s %10s %11s\n" "benchmark" "suite"
+    "unoptimized" "optimized" "pruned-blk" "pruned-stat";
   List.iter
     (fun (w : W.t) ->
-      let unopt = Instrument.Pass.instrument ~prune:false w.W.kernel in
+      let unopt =
+        Instrument.Pass.instrument ~prune:false ~static:false w.W.kernel
+      in
       let opt = Instrument.Pass.instrument w.W.kernel in
-      Printf.printf "  %-18s %-9s %11.1f%% %11.1f%% %8d\n" w.W.name w.W.suite
+      Printf.printf "  %-18s %-9s %11.1f%% %11.1f%% %10d %11d\n" w.W.name
+        w.W.suite
         (100.0 *. Instrument.Stats.fraction unopt.Instrument.Pass.stats)
         (100.0 *. Instrument.Stats.fraction opt.Instrument.Pass.stats)
-        opt.Instrument.Pass.stats.Instrument.Stats.pruned)
+        opt.Instrument.Pass.stats.Instrument.Stats.pruned_block
+        opt.Instrument.Pass.stats.Instrument.Stats.pruned_static)
     Workloads.Registry.all
 
 (* ------------------------------------------------------------------ *)
@@ -818,6 +823,115 @@ let section_shard () =
   Printf.printf "  wrote BENCH_shard.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Static race analysis -> BENCH_static.json                           *)
+
+let static_baseline_json = "bench/baseline_static.json"
+let key_static_on = "barracuda_bench_static_on_accesses_per_sec"
+let key_static_pruned = "barracuda_bench_static_pruned_insns"
+
+let section_static () =
+  header "Static race analysis: pruning and throughput (BENCH_static.json)";
+  (* Per-tier pruning census over a subset with real static wins
+     (lavamd drops from 20.7% to 1.7% instrumented). *)
+  let subset = [ "lavamd"; "nn"; "hotspot"; "backprop"; "d_scan"; "dxtc" ] in
+  Printf.printf "  %-12s %8s %10s %11s %11s %9s\n" "benchmark" "insns"
+    "accesses" "pruned-stat" "pruned-blk" "analyze";
+  let tot_insns = ref 0 and tot_static = ref 0 and tot_block = ref 0 in
+  let tot_analyze_ms = ref 0.0 in
+  List.iter
+    (fun name ->
+      let w = Workloads.Registry.find name in
+      let analyze_s = time_it (fun () -> ignore (Static.Analysis.analyze w.W.kernel)) in
+      let a = Static.Analysis.analyze w.W.kernel in
+      let safe, racy, unknown = Static.Analysis.counts a in
+      let opt = Instrument.Pass.instrument w.W.kernel in
+      let st = opt.Instrument.Pass.stats in
+      tot_insns := !tot_insns + st.Instrument.Stats.total_static;
+      tot_static := !tot_static + st.Instrument.Stats.pruned_static;
+      tot_block := !tot_block + st.Instrument.Stats.pruned_block;
+      tot_analyze_ms := !tot_analyze_ms +. (analyze_s *. 1e3);
+      Printf.printf "  %-12s %8d %10d %11d %11d %7.2fms\n" w.W.name
+        st.Instrument.Stats.total_static
+        (safe + racy + unknown)
+        st.Instrument.Stats.pruned_static st.Instrument.Stats.pruned_block
+        (analyze_s *. 1e3))
+    subset;
+  Printf.printf "  %-12s %8d %10s %11d %11d %7.2fms\n" "total" !tot_insns ""
+    !tot_static !tot_block !tot_analyze_ms;
+  Printf.printf "  static tier prunes %d of %d static instructions (%.1f%%)\n"
+    !tot_static !tot_insns
+    (100.0 *. float_of_int !tot_static /. float_of_int (max 1 !tot_insns));
+  (* End-to-end effect: the same workload through the full pipeline
+     with the static tier off vs on.  The numerator is the unpruned
+     record count both ways — the logical work checked — so the two
+     throughput numbers are comparable. *)
+  let e2e name =
+    let w = Workloads.Registry.find name in
+    let run static_prune =
+      let m = W.machine w in
+      let args = w.W.setup m in
+      let r =
+        Gpu_runtime.Pipeline.run
+          ~config:{ Gpu_runtime.Pipeline.default_config with static_prune }
+          ~machine:m w.W.kernel args
+      in
+      r.Gpu_runtime.Pipeline.queue_stats.Gpu_runtime.Pipeline.records
+    in
+    let records_off = run false in
+    let records_on = run true in
+    let t_off = time_it (fun () -> ignore (run false)) in
+    let t_on = time_it (fun () -> ignore (run true)) in
+    let off_tp = float_of_int records_off /. t_off in
+    let on_tp = float_of_int records_off /. t_on in
+    Printf.printf
+      "  %-12s %7d -> %5d records  %9.0f -> %9.0f accesses/s  (%.2fx)\n"
+      w.W.name records_off records_on off_tp on_tp (t_off /. t_on);
+    (records_off, records_on, off_tp, on_tp)
+  in
+  Printf.printf "  end-to-end pipeline, static tier off vs on:\n";
+  let _, _, _, lavamd_on = e2e "lavamd" in
+  ignore (e2e "nn");
+  ignore (e2e "backprop");
+  let registry = Telemetry.Registry.default in
+  Telemetry.Registry.reset registry;
+  Telemetry.Registry.set_enabled true;
+  Telemetry.Metric.gauge_set
+    (Telemetry.Registry.gauge
+       ~help:"Static instructions whose logging the static tier pruned \
+              (bench subset)"
+       registry key_static_pruned)
+    !tot_static;
+  Telemetry.Metric.gauge_set
+    (Telemetry.Registry.gauge
+       ~help:"Static instructions considered in the bench subset" registry
+       "barracuda_bench_static_insns_total")
+    !tot_insns;
+  Telemetry.Metric.gauge_set
+    (Telemetry.Registry.gauge
+       ~help:"Whole-subset static analysis time, microseconds" registry
+       "barracuda_bench_static_analyze_us")
+    (int_of_float (!tot_analyze_ms *. 1e3));
+  Telemetry.Metric.gauge_set
+    (Telemetry.Registry.gauge
+       ~help:"lavamd end-to-end throughput with static pruning (unpruned \
+              accesses per second)"
+       registry key_static_on)
+    (int_of_float lavamd_on);
+  Telemetry.Registry.set_enabled false;
+  warn_on_regression ~baseline:static_baseline_json ~key:key_static_on
+    ~label:"static-pruned pipeline throughput" ~fresh:lavamd_on ();
+  (match scan_baseline static_baseline_json key_static_pruned with
+  | Some old when !tot_static < old ->
+      Printf.printf
+        "::warning::static tier prunes fewer instructions than the \
+         checked-in baseline (%d -> %d)\n"
+        old !tot_static
+  | _ -> ());
+  Telemetry.Export.write_json ~path:"BENCH_static.json" registry;
+  Printf.printf "  wrote BENCH_static.json (%d workloads)\n"
+    (List.length subset)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
 let section_bechamel () =
@@ -892,6 +1006,7 @@ let sections =
     ("predict", section_predict);
     ("service", section_service);
     ("shard", section_shard);
+    ("static", section_static);
     ("bechamel", section_bechamel);
   ]
 

@@ -3,6 +3,7 @@
      barracuda check FILE.ptx [--blocks N] [--tpb N] ...   race-check a kernel
      barracuda profile FILE.ptx [--parallel]               per-stage telemetry
      barracuda instrument FILE.ptx [--no-prune]            show rewritten PTX
+     barracuda analyze FILE.ptx [--json]                    static race verdicts
      barracuda suite [--json]                               run the 66-program suite
      barracuda litmus [--runs N]                            fence litmus tests
      barracuda table1                                       workload summary
@@ -494,10 +495,10 @@ let predict_cmd =
       $ no_validate $ metrics_term)
 
 let instrument_cmd =
-  let run file prune stats_only =
+  let run file prune static stats_only =
     guard @@ fun () ->
     let kernel = load_kernel file in
-    let r = Instrument.Pass.instrument ~prune kernel in
+    let r = Instrument.Pass.instrument ~prune ~static kernel in
     if not stats_only then
       print_string (Ptx.Printer.kernel_to_string r.Instrument.Pass.kernel);
     Format.printf "// %a@." Instrument.Stats.pp r.Instrument.Pass.stats;
@@ -508,13 +509,150 @@ let instrument_cmd =
            ~doc:"Disable intra-basic-block logging pruning.")
     |> Term.map not
   in
+  let static =
+    Arg.(value & flag & info [ "no-static" ]
+           ~doc:"Disable static-analysis logging pruning.")
+    |> Term.map not
+  in
   let stats_only =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print statistics only.")
   in
   Cmd.v
     (Cmd.info "instrument"
        ~doc:"Rewrite a PTX kernel with BARRACUDA logging calls.")
-    Term.(const run $ file_term $ prune $ stats_only)
+    Term.(const run $ file_term $ prune $ static $ stats_only)
+
+(* ------------------------- static analysis ----------------------- *)
+
+let analyze_json kernel layout (a : Static.Analysis.t) =
+  let module J = Telemetry.Json in
+  let realizable = Static.Analysis.realizable_pairs a ~layout in
+  let verdict_obj i v =
+    let base =
+      [
+        ("insn", J.Int i);
+        ("verdict", J.Str (Static.Analysis.verdict_name v));
+        ("class", J.Str (Static.Analysis.klass_name (Static.Analysis.klass a i)));
+        ( "text",
+          J.Str
+            (Format.asprintf "%a" Ptx.Printer.pp_insn
+               kernel.Ptx.Ast.body.(i)) );
+      ]
+    in
+    match v with
+    | Static.Analysis.Safe r ->
+        J.Obj (base @ [ ("reason", J.Str (Static.Analysis.reason_name r)) ])
+    | _ -> J.Obj base
+  in
+  let verdicts = ref [] in
+  Array.iteri
+    (fun i _ ->
+      match Static.Analysis.verdict a i with
+      | Some v -> verdicts := verdict_obj i v :: !verdicts
+      | None -> ())
+    kernel.Ptx.Ast.body;
+  let pair_obj (p : Static.Analysis.racy_pair) =
+    J.Obj
+      [
+        ("a", J.Int p.Static.Analysis.a_insn);
+        ("b", J.Int p.Static.Analysis.b_insn);
+        ( "space",
+          J.Str
+            (match p.Static.Analysis.pair_space with
+            | Ptx.Ast.Shared -> "shared"
+            | _ -> "global") );
+        ( "base",
+          match p.Static.Analysis.base_param with
+          | Some b -> J.Str b
+          | None -> J.Null );
+        ("addr", J.Int (Int64.to_int p.Static.Analysis.addr));
+        ("width", J.Int p.Static.Analysis.pair_width);
+        ("realizable", J.Bool (List.memq p realizable));
+      ]
+  in
+  let safe, racy, unknown = Static.Analysis.counts a in
+  J.Obj
+    [
+      ("kernel", J.Str kernel.Ptx.Ast.kname);
+      ("instructions", J.Int (Array.length kernel.Ptx.Ast.body));
+      ("safe", J.Int safe);
+      ("racy", J.Int racy);
+      ("unknown", J.Int unknown);
+      ("provably_racy", J.Bool (realizable <> []));
+      ("verdicts", J.List (List.rev !verdicts));
+      ("pairs", J.List (List.map pair_obj (Static.Analysis.pairs a)));
+    ]
+
+let analyze_cmd =
+  let run layout file json noalias metrics =
+    guard @@ fun () ->
+    (match metrics with
+    | Some _ ->
+        Telemetry.Registry.set_enabled true;
+        Telemetry.Registry.reset Telemetry.Registry.default
+    | None -> ());
+    let kernel = load_kernel file in
+    let a = Static.Analysis.analyze ~assume_noalias:noalias kernel in
+    let racy_now = Static.Analysis.provably_racy a ~layout in
+    if json then
+      print_endline (Telemetry.Json.to_string (analyze_json kernel layout a))
+    else begin
+      let safe, racy, unknown = Static.Analysis.counts a in
+      Format.printf
+        "kernel %s: %d instructions, %d memory accesses (%d safe / %d racy \
+         / %d unknown)@."
+        kernel.Ptx.Ast.kname
+        (Array.length kernel.Ptx.Ast.body)
+        (safe + racy + unknown) safe racy unknown;
+      Array.iteri
+        (fun i insn ->
+          match Static.Analysis.verdict a i with
+          | Some v ->
+              Format.printf "  %4d  %-12s %-14s %a@." i
+                (Static.Analysis.klass_name (Static.Analysis.klass a i))
+                (Format.asprintf "%a" Static.Analysis.pp_verdict v)
+                Ptx.Printer.pp_insn insn
+          | None -> ())
+        kernel.Ptx.Ast.body;
+      List.iter
+        (fun p -> Format.printf "  %a@." Static.Analysis.pp_pair p)
+        (Static.Analysis.pairs a);
+      if racy_now then
+        Format.printf
+          "provably racy for %d blocks x %d threads: no execution needed.@."
+          layout.Vclock.Layout.blocks layout.Vclock.Layout.threads_per_block
+      else if racy + unknown = 0 then
+        Format.printf
+          "provably race-free: every access is safe; logging fully pruned.@."
+      else
+        Format.printf "%d access%s left for dynamic checking.@."
+          (racy + unknown)
+          (if racy + unknown = 1 then "" else "es")
+    end;
+    (match metrics with Some path -> write_metrics path | None -> ());
+    if racy_now then 1 else 0
+  in
+  let json =
+    Arg.(value & flag
+           & info [ "json" ] ~doc:"Emit the verdicts as JSON instead of text.")
+  in
+  let noalias =
+    Arg.(value & flag
+           & info [ "no-noalias" ]
+               ~doc:
+                 "Drop the assumption that distinct kernel pointer \
+                  parameters never alias.")
+    |> Term.map not
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Statically classify a kernel's memory accesses: provably \
+          race-free accesses (whose logging the instrumentation drops), \
+          provably racy pairs (reported without executing the kernel), \
+          and everything left for dynamic checking.  Exits 1 when the \
+          kernel is provably racy for the given layout.")
+    Term.(const run $ layout_term $ file_term $ json $ noalias $ metrics_term)
 
 (* The suite scores as JSON, for the service CI smoke job and
    dashboards: overall numbers plus one record per case so a
@@ -749,7 +887,7 @@ let serve_cmd =
           $ deadline $ job_shards)
 
 let submit_cmd =
-  let run socket layout file specs kind no_prune retries json =
+  let run socket layout file specs kind no_prune no_static retries json =
     guard @@ fun () ->
     let ic = open_in file in
     let payload = really_input_string ic (in_channel_length ic) in
@@ -771,6 +909,7 @@ let submit_cmd =
               layout.Vclock.Layout.warp_size );
         args = specs;
         prune = not no_prune;
+        static = not no_static;
       }
     in
     match Service.Client.submit ~retries ~socket sub with
@@ -794,6 +933,10 @@ let submit_cmd =
             Format.printf "  %d schedule-sensitive predictions (%d confirmed)@."
               outcome.Service.Protocol.predicted
               outcome.Service.Protocol.confirmed;
+          if outcome.Service.Protocol.static then
+            Format.printf
+              "  verdict from the static analysis alone: the kernel was \
+               never executed@.";
           if outcome.Service.Protocol.degraded then
             Format.printf
               "  warning: degraded transport — the verdict may be missing \
@@ -829,6 +972,12 @@ let submit_cmd =
     Arg.(value & flag
            & info [ "no-prune" ] ~doc:"Disable the logging-pruning pass.")
   in
+  let no_static =
+    Arg.(value & flag
+           & info [ "no-static" ]
+               ~doc:"Disable the static race analysis (no logging pruning, \
+                     no instant racy verdicts).")
+  in
   let retries =
     Arg.(value & opt int 10
            & info [ "retries" ] ~docv:"N"
@@ -845,7 +994,7 @@ let submit_cmd =
           daemon and wait for the verdict.")
     Term.(
       const run $ socket_term $ layout_term $ file_term $ args_term $ kind
-      $ no_prune $ retries $ json)
+      $ no_prune $ no_static $ retries $ json)
 
 let svc_status_cmd =
   let run socket prometheus json shutdown =
@@ -979,7 +1128,7 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            check_cmd; profile_cmd; instrument_cmd; suite_cmd; litmus_cmd;
-            table1_cmd; sweep_cmd; replay_cmd; predict_cmd; faults_cmd;
+            check_cmd; profile_cmd; instrument_cmd; analyze_cmd; suite_cmd;
+            litmus_cmd; table1_cmd; sweep_cmd; replay_cmd; predict_cmd; faults_cmd;
             serve_cmd; submit_cmd; svc_status_cmd;
           ]))

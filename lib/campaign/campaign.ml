@@ -211,6 +211,7 @@ let run_service ~seed cases =
                 predicted = 0;
                 confirmed = 0;
                 degraded = false;
+                static = false;
                 detect_ms = 0.0;
               };
             queue_ms = 0.0;

@@ -7,6 +7,18 @@
 
 type t
 
+val compute :
+  nodes:int ->
+  root:int ->
+  succs:(int -> int list) ->
+  preds:(int -> int list) ->
+  t
+(** Dominator tree of an arbitrary digraph given by adjacency functions
+    (nodes are [0 .. nodes-1]).  Exposed so analyses can run dominance
+    over adjusted edge sets (and so the algorithm can be property-tested
+    on irreducible and multi-exit graphs directly). Nodes unreachable
+    from [root] get no immediate dominator. *)
+
 val dominators : Graph.t -> t
 (** Dominator tree rooted at the entry block. *)
 

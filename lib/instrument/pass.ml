@@ -24,6 +24,18 @@ let m_pruned =
        ~help:"Static instructions whose logging was pruned"
        Telemetry.Registry.default "barracuda_instrument_pruned_total")
 
+let m_pruned_block =
+  lazy
+    (Telemetry.Registry.counter
+       ~help:"Logging pruned by intra-block redundancy elimination"
+       Telemetry.Registry.default "barracuda_instrument_pruned_block_total")
+
+let m_pruned_static =
+  lazy
+    (Telemetry.Registry.counter
+       ~help:"Logging pruned by the static race analysis"
+       Telemetry.Registry.default "barracuda_instrument_pruned_static_total")
+
 let logging_cost = 4
 
 (* Model of one device-side logging call: compute the record slot,
@@ -110,9 +122,16 @@ let convergence_points (k : Ptx.Ast.kernel) =
     k.Ptx.Ast.body;
   points
 
-let instrument_run ~prune (k : Ptx.Ast.kernel) =
+let instrument_run ~prune ~static (k : Ptx.Ast.kernel) =
   let n = Array.length k.Ptx.Ast.body in
-  let redundant = if prune then Prune.redundant k else Array.make n false in
+  let static_safe =
+    if static then Static.Analysis.safe_mask (Static.Analysis.analyze k)
+    else Array.make n false
+  in
+  let redundant =
+    if prune then Prune.redundant ~exclude:static_safe k
+    else Array.make n false
+  in
   let conv = convergence_points k in
   let logged = Array.make n false in
   let out = ref [] in
@@ -121,7 +140,8 @@ let instrument_run ~prune (k : Ptx.Ast.kernel) =
   let stats_mem = ref 0
   and stats_sync = ref 0
   and stats_conv = ref 0
-  and stats_pruned = ref 0
+  and stats_pruned_block = ref 0
+  and stats_pruned_static = ref 0
   and stats_pred = ref 0 in
   let fresh_label_counter = ref 0 in
   let emit ~orig insn =
@@ -159,8 +179,14 @@ let instrument_run ~prune (k : Ptx.Ast.kernel) =
           | Ptx.Ast.Membar _ | Ptx.Ast.Bar_sync _ -> incr stats_sync
           | _ -> incr stats_mem
         in
-        if redundant.(i) then begin
-          incr stats_pruned;
+        if static_safe.(i) then begin
+          (* provably race-free (or provably private/dead): keep the
+             instruction, drop its logging *)
+          incr stats_pruned_static;
+          emit ~orig:i insn
+        end
+        else if redundant.(i) then begin
+          incr stats_pruned_block;
           emit ~orig:i insn
         end
         else if is_guarded_access insn then begin
@@ -201,20 +227,25 @@ let instrument_run ~prune (k : Ptx.Ast.kernel) =
       mem_logged = !stats_mem;
       sync_logged = !stats_sync;
       convergence_logged = !stats_conv;
-      pruned = !stats_pruned;
+      pruned_block = !stats_pruned_block;
+      pruned_static = !stats_pruned_static;
       predicated_rewritten = !stats_pred;
     }
   in
   let kernel = { k with Ptx.Ast.body } in
   { kernel; origin; logged; stats }
 
-let instrument ?(prune = true) (k : Ptx.Ast.kernel) =
+let instrument ?(prune = true) ?(static = true) (k : Ptx.Ast.kernel) =
   let r =
     Telemetry.Span.with_ ~name:"instrument" (fun () ->
-        instrument_run ~prune k)
+        instrument_run ~prune ~static k)
   in
   Telemetry.Metric.counter_incr (Lazy.force m_kernels);
   Telemetry.Metric.counter_add (Lazy.force m_logged)
     (Stats.instrumented r.stats);
-  Telemetry.Metric.counter_add (Lazy.force m_pruned) r.stats.Stats.pruned;
+  Telemetry.Metric.counter_add (Lazy.force m_pruned) (Stats.pruned r.stats);
+  Telemetry.Metric.counter_add (Lazy.force m_pruned_block)
+    r.stats.Stats.pruned_block;
+  Telemetry.Metric.counter_add (Lazy.force m_pruned_static)
+    r.stats.Stats.pruned_static;
   r

@@ -12,7 +12,12 @@
       unpredicated instruction, so the logging call sits under the same
       guard;
     - with [prune] (the default), intra-basic-block redundant logging is
-      eliminated ({!Prune}).
+      eliminated ({!Prune});
+    - with [static] (the default), accesses the static race analysis
+      proves race-free ({!Static.Analysis}) keep the instruction but
+      lose their logging call entirely — statically-pruned accesses are
+      also excluded from block-prune witnessing so the two tiers compose
+      soundly.
 
     Logging calls are modeled as short straight-line sequences of
     ALU/local-memory instructions using reserved [%lg*] registers: they
@@ -30,7 +35,7 @@ type result = {
   stats : Stats.t;
 }
 
-val instrument : ?prune:bool -> Ptx.Ast.kernel -> result
+val instrument : ?prune:bool -> ?static:bool -> Ptx.Ast.kernel -> result
 
 val logging_cost : int
 (** Instructions inserted per logging call. *)

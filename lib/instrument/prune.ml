@@ -25,9 +25,12 @@ let access_key = function
 let base_register key =
   match key.base with Ptx.Ast.Reg r -> Some r | _ -> None
 
-let redundant (k : Ptx.Ast.kernel) =
+let redundant ?exclude (k : Ptx.Ast.kernel) =
   let g = Cfg.Graph.of_kernel k in
   let n = Array.length k.Ptx.Ast.body in
+  let excluded i =
+    match exclude with Some mask -> mask.(i) | None -> false
+  in
   let out = Array.make n false in
   Array.iter
     (fun (b : Cfg.Graph.block) ->
@@ -42,7 +45,7 @@ let redundant (k : Ptx.Ast.kernel) =
         (* Guarded accesses execute under a mask that may differ from the
            earlier access, so they are never pruned. *)
         (match access_key insn.Ptx.Ast.kind with
-        | Some key when insn.Ptx.Ast.guard = None ->
+        | Some key when insn.Ptx.Ast.guard = None && not (excluded i) ->
             if Kset.mem key !logged then out.(i) <- true
             else logged := Kset.add key !logged
         | Some _ | None -> ());

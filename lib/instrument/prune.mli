@@ -13,4 +13,8 @@
     boundaries, barriers and fences (fences change the synchronization
     role of neighbouring accesses). *)
 
-val redundant : Ptx.Ast.kernel -> bool array
+val redundant : ?exclude:bool array -> Ptx.Ast.kernel -> bool array
+(** [exclude] masks instructions (by original index) that must neither
+    serve as the earlier-access witness nor be marked redundant —
+    the instrumentation pass excludes statically-pruned accesses, whose
+    log records will not exist at runtime. *)

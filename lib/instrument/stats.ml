@@ -3,11 +3,13 @@ type t = {
   mem_logged : int;
   sync_logged : int;
   convergence_logged : int;
-  pruned : int;
+  pruned_block : int;
+  pruned_static : int;
   predicated_rewritten : int;
 }
 
 let instrumented t = t.mem_logged + t.sync_logged + t.convergence_logged
+let pruned t = t.pruned_block + t.pruned_static
 
 let fraction t =
   if t.total_static = 0 then 0.0
@@ -15,6 +17,8 @@ let fraction t =
 
 let pp ppf t =
   Format.fprintf ppf
-    "static=%d logged(mem=%d sync=%d conv=%d) pruned=%d predicated=%d (%.1f%%)"
-    t.total_static t.mem_logged t.sync_logged t.convergence_logged t.pruned
-    t.predicated_rewritten (100.0 *. fraction t)
+    "static=%d logged(mem=%d sync=%d conv=%d) pruned(block=%d static=%d) \
+     predicated=%d (%.1f%%)"
+    t.total_static t.mem_logged t.sync_logged t.convergence_logged
+    t.pruned_block t.pruned_static t.predicated_rewritten
+    (100.0 *. fraction t)

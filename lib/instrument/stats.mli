@@ -10,12 +10,16 @@ type t = {
   mem_logged : int;  (** memory accesses logged *)
   sync_logged : int;  (** fences + barriers logged *)
   convergence_logged : int;  (** branch convergence points logged *)
-  pruned : int;  (** logging calls removed by the optimization *)
+  pruned_block : int;  (** logging removed by intra-block redundancy *)
+  pruned_static : int;  (** logging removed by the static race analysis *)
   predicated_rewritten : int;  (** predicated accesses turned into branches *)
 }
 
 val instrumented : t -> int
 (** Total instructions carrying logging calls. *)
+
+val pruned : t -> int
+(** Logging calls removed by either pruning tier. *)
 
 val fraction : t -> float
 (** [instrumented / total_static]. *)

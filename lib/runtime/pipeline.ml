@@ -4,6 +4,7 @@ type config = {
   queues : int;
   queue_capacity : int;
   prune : bool;
+  static_prune : bool;
   detector : Barracuda.Detector.config;
   fault : Fault.Plan.t option;
       (* seeded transport/machine fault injection; None in production *)
@@ -14,6 +15,7 @@ let default_config =
     queues = 4;
     queue_capacity = 4096;
     prune = true;
+    static_prune = true;
     detector = Barracuda.Detector.default_config;
     fault = None;
   }
@@ -221,7 +223,8 @@ let run_parallel ?(config = default_config) ?max_steps ?deadline_ns ?inst
   let inst =
     match inst with
     | Some i -> i
-    | None -> Instrument.Pass.instrument ~prune:config.prune kernel
+    | None -> Instrument.Pass.instrument ~prune:config.prune
+          ~static:config.static_prune kernel
   in
   let roles = Gtrace.Roles.classify kernel in
   let detector =
@@ -473,7 +476,8 @@ let run ?(config = default_config) ?max_steps ?deadline_ns ?tee ?inst ~machine
   let inst =
     match inst with
     | Some i -> i
-    | None -> Instrument.Pass.instrument ~prune:config.prune kernel
+    | None -> Instrument.Pass.instrument ~prune:config.prune
+          ~static:config.static_prune kernel
   in
   let detector =
     Barracuda.Detector.create ~config:config.detector ~layout kernel

@@ -21,6 +21,7 @@ type config = {
   queues : int;
   queue_capacity : int;
   prune : bool;  (** apply the logging-pruning optimization *)
+  static_prune : bool;  (** drop logging for statically race-free accesses *)
   detector : Barracuda.Detector.config;
   fault : Fault.Plan.t option;
       (** seeded fault injection: transport faults are applied by the

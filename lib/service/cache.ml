@@ -2,6 +2,7 @@ type entry = {
   kernel : Ptx.Ast.kernel;
   cfg : Cfg.Graph.t;
   inst : Instrument.Pass.result;
+  analysis : Static.Analysis.t;
 }
 
 type slot = { value : entry; mutable last_use : int }
@@ -47,9 +48,11 @@ let create ?(capacity = 128) () =
 
 let capacity t = t.capacity
 
-let key ~prune source =
+let key ~prune ~static source =
   Digest.to_hex
-    (Digest.string (Printf.sprintf "barracuda-v1:prune=%b:%s" prune source))
+    (Digest.string
+       (Printf.sprintf "barracuda-v2:prune=%b:static=%b:%s" prune static
+          source))
 
 (* O(capacity) scan on eviction: capacities are small (hundreds) and
    evictions already amortize a full parse+instrument, so an intrusive

@@ -1,7 +1,7 @@
 (** Content-hash artifact cache.
 
     Memoizes the front half of the checking pipeline — parsed kernel,
-    control-flow graph and instrumented kernel — keyed by a digest of
+    control-flow graph, instrumented kernel and static race analysis — keyed by a digest of
     the PTX source and the instrumentation options, so repeat
     submissions of the same kernel pay only machine creation and
     execution.  All three artifacts are immutable once built (the
@@ -23,6 +23,9 @@ type entry = {
   kernel : Ptx.Ast.kernel;
   cfg : Cfg.Graph.t;
   inst : Instrument.Pass.result;
+  analysis : Static.Analysis.t;
+      (** static race verdicts of the original kernel — what the
+          instant-answer fast path consults *)
 }
 
 type t
@@ -33,7 +36,7 @@ val create : ?capacity:int -> unit -> t
 
 val capacity : t -> int
 
-val key : prune:bool -> string -> string
+val key : prune:bool -> static:bool -> string -> string
 (** Digest of the source text and the options that shape the
     artifacts. *)
 

@@ -54,7 +54,13 @@ let layout_of (s : Protocol.submit) =
   | Some (blocks, tpb, warp) ->
       Vclock.Layout.make ~warp_size:warp ~threads_per_block:tpb ~blocks
 
-let outcome_of_report ~config ~cache_hit ~detect_ms report =
+let m_static_fast =
+  lazy
+    (Telemetry.Registry.counter
+       ~help:"Check jobs answered by the static analysis without execution"
+       Telemetry.Registry.default "barracuda_service_static_fast_total")
+
+let outcome_of_report ?(static = false) ~config ~cache_hit ~detect_ms report =
   let errors =
     List.filteri
       (fun i _ -> i < config.max_report_strings)
@@ -72,19 +78,67 @@ let outcome_of_report ~config ~cache_hit ~detect_ms report =
     predicted = 0;
     confirmed = 0;
     degraded = Barracuda.Report.degraded report;
+    static;
     detect_ms;
   }
 
-let run_check ~config ~cache ~job (s : Protocol.submit) =
-  let key = Cache.key ~prune:s.Protocol.prune s.Protocol.payload in
-  let entry, cache_hit =
-    Cache.find_or_build cache key ~build:(fun () ->
-        let kernel = Ptx.Parser.kernel_of_string s.Protocol.payload in
-        let cfg = Cfg.Graph.of_kernel kernel in
-        let inst = Instrument.Pass.instrument ~prune:s.Protocol.prune kernel in
-        { Cache.kernel; cfg; inst })
+let entry_for ~cache (s : Protocol.submit) =
+  let key =
+    Cache.key ~prune:s.Protocol.prune ~static:s.Protocol.static
+      s.Protocol.payload
   in
+  Cache.find_or_build cache key ~build:(fun () ->
+      let kernel = Ptx.Parser.kernel_of_string s.Protocol.payload in
+      let cfg = Cfg.Graph.of_kernel kernel in
+      let inst =
+        Instrument.Pass.instrument ~prune:s.Protocol.prune
+          ~static:s.Protocol.static kernel
+      in
+      let analysis = Static.Analysis.analyze kernel in
+      { Cache.kernel; cfg; inst; analysis })
+
+(* The instant-answer path: a kernel the static analysis proves racy
+   (for this launch layout) is answered without ever executing it.
+   Race-free and unknown kernels still run — the analysis only
+   certifies [Racy] on its own. *)
+let static_result ~config ~cache_hit ~job ~layout entry
+    (s : Protocol.submit) =
+  if not s.Protocol.static then None
+  else
+    match Static.Analysis.report entry.Cache.analysis ~layout with
+    | None -> None
+    | Some report ->
+        Telemetry.Metric.counter_incr (Lazy.force m_static_fast);
+        Some
+          (Protocol.Result
+             {
+               job;
+               outcome =
+                 outcome_of_report ~static:true ~config ~cache_hit
+                   ~detect_ms:0.0 report;
+               queue_ms = 0.0;
+               run_ms = 0.0;
+             })
+
+let static_verdict ?(config = default_config) ~cache ~job
+    (s : Protocol.submit) =
+  match s.Protocol.kind with
+  | Protocol.Predict -> None
+  | Protocol.Check -> (
+      if not s.Protocol.static then None
+      else
+        try
+          let entry, cache_hit = entry_for ~cache s in
+          let layout = layout_of s in
+          static_result ~config ~cache_hit ~job ~layout entry s
+        with _ -> None)
+
+let run_check ~config ~cache ~job (s : Protocol.submit) =
+  let entry, cache_hit = entry_for ~cache s in
   let layout = layout_of s in
+  match static_result ~config ~cache_hit ~job ~layout entry s with
+  | Some result -> result
+  | None ->
   let machine = Simt.Machine.create ~layout () in
   let args = resolve_args machine entry.Cache.kernel s.Protocol.args in
   let deadline_ns =
@@ -100,7 +154,11 @@ let run_check ~config ~cache ~job (s : Protocol.submit) =
   let status, report, detect_ns =
     if config.job_shards <= 1 then begin
       let pconfig =
-        { Gpu_runtime.Pipeline.default_config with prune = s.Protocol.prune }
+        {
+          Gpu_runtime.Pipeline.default_config with
+          prune = s.Protocol.prune;
+          static_prune = s.Protocol.static;
+        }
       in
       let result =
         Gpu_runtime.Pipeline.run ~config:pconfig ~max_steps:config.max_steps
@@ -116,6 +174,7 @@ let run_check ~config ~cache ~job (s : Protocol.submit) =
           Shard.Pipeline.default_config with
           shards = config.job_shards;
           prune = s.Protocol.prune;
+          static_prune = s.Protocol.static;
         }
       in
       let result =
@@ -190,6 +249,7 @@ let run_predict ~config ~job (s : Protocol.submit) =
           predicted = Predict.Analysis.predicted_count a;
           confirmed = Predict.Analysis.confirmed_count a;
           degraded = false;
+          static = false;
           detect_ms = 0.0;
         };
       queue_ms = 0.0;

@@ -48,4 +48,16 @@ val run :
   ?config:config -> cache:Cache.t -> job:int -> Protocol.submit ->
   Protocol.response
 (** Always a [Result] or [Failed]; [queue_ms]/[run_ms] are left zero
-    for the scheduler to fill in. *)
+    for the scheduler to fill in.  A [Check] whose kernel the static
+    analysis proves racy for the requested layout is answered without
+    executing it (outcome flagged [static]). *)
+
+val static_verdict :
+  ?config:config -> cache:Cache.t -> job:int -> Protocol.submit ->
+  Protocol.response option
+(** The instant-answer probe: [Some (Result ...)] iff the submission is
+    a [Check] with static analysis enabled whose kernel is provably
+    racy for the requested layout.  Parses and caches through the
+    artifact cache; never raises — any failure returns [None] so the
+    submission takes the normal queued path (and reports its error
+    there). *)

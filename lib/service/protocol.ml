@@ -8,10 +8,11 @@ type submit = {
   layout : (int * int * int) option;
   args : string list;
   prune : bool;
+  static : bool;
 }
 
 let submit_defaults ~kind payload =
-  { kind; payload; layout = None; args = []; prune = true }
+  { kind; payload; layout = None; args = []; prune = true; static = true }
 
 type request =
   | Submit of submit
@@ -31,6 +32,9 @@ type outcome = {
   confirmed : int;
   degraded : bool;
       (* transport anomalies were absorbed; the verdict is a caveat *)
+  static : bool;
+      (* the verdict came from the static analysis alone: the kernel
+         was never executed *)
   detect_ms : float;
       (* wall-clock spent inside the race detector for this job: the
          drain loop for serial checks, the busiest shard domain for
@@ -102,7 +106,8 @@ let encode_request r =
              ("payload", Json.Str s.payload);
            ]
           @ layout @ args
-          @ if s.prune then [] else [ ("prune", Json.Bool false) ])
+          @ (if s.prune then [] else [ ("prune", Json.Bool false) ])
+          @ if s.static then [] else [ ("static", Json.Bool false) ])
     | Status -> Json.Obj [ ("cmd", Json.Str "status") ]
     | Metrics -> Json.Obj [ ("cmd", Json.Str "metrics") ]
     | Ping -> Json.Obj [ ("cmd", Json.Str "ping") ]
@@ -173,7 +178,10 @@ let decode_submit doc =
   let prune =
     match field "prune" doc with Some (Json.Bool b) -> b | _ -> true
   in
-  Ok (Submit { kind; payload; layout; args; prune })
+  let static =
+    match field "static" doc with Some (Json.Bool b) -> b | _ -> true
+  in
+  Ok (Submit { kind; payload; layout; args; prune; static })
 
 let decode_request line =
   match Json.of_string line with
@@ -204,6 +212,7 @@ let encode_response r =
             ("predicted", Json.Int o.predicted);
             ("confirmed", Json.Int o.confirmed);
             ("degraded", Json.Bool o.degraded);
+            ("static", Json.Bool o.static);
             ("detect_ms", Json.Float o.detect_ms);
             ("queue_ms", Json.Float queue_ms);
             ("run_ms", Json.Float run_ms);
@@ -333,6 +342,9 @@ let decode_result doc =
   let degraded =
     match field "degraded" doc with Some (Json.Bool b) -> b | _ -> false
   in
+  let static =
+    match field "static" doc with Some (Json.Bool b) -> b | _ -> false
+  in
   let* detect_ms = float_field ~default:0.0 "detect_ms" doc in
   let* queue_ms = float_field ~default:0.0 "queue_ms" doc in
   let* run_ms = float_field ~default:0.0 "run_ms" doc in
@@ -349,6 +361,7 @@ let decode_result doc =
              predicted;
              confirmed;
              degraded;
+             static;
              detect_ms;
            };
          queue_ms;

@@ -37,10 +37,14 @@ type submit = {
       (** kernel argument specs in the CLI syntax ([alloc:BYTES],
           [int:V], bare integer); missing ones default to [alloc:4096] *)
   prune : bool;  (** apply the logging-pruning optimization *)
+  static : bool;
+      (** run the static race analysis: prune provably-safe logging and
+          answer provably-racy kernels without executing them *)
 }
 
 val submit_defaults : kind:kind -> string -> submit
-(** A submission of [payload] with default layout, args and pruning. *)
+(** A submission of [payload] with default layout, args, pruning and
+    static analysis. *)
 
 type request =
   | Submit of submit
@@ -62,6 +66,10 @@ type outcome = {
       (** transport anomalies (corruption/loss/duplication) were
           absorbed during detection; the verdict carries a soundness
           caveat *)
+  static : bool;
+      (** the verdict came from the static race analysis alone — the
+          kernel was never executed (always [Racy]: race-free kernels
+          still run to catch what the analysis cannot see) *)
   detect_ms : float;
       (** wall-clock spent inside the race detector for this job (the
           busiest shard domain when sharded); 0 for [Predict] *)

@@ -137,13 +137,23 @@ let handle_connection t fd =
             send Protocol.Stopping;
             close ();
             request_stop t
-        | Ok (Protocol.Submit sub) ->
-            (* The reply callback runs on a worker domain; from here on
-               the worker owns the descriptor. *)
-            Scheduler.submit t.sched sub ~reply:(fun resp ->
-                (try Protocol.write_frame fd (Protocol.encode_response resp)
-                 with Unix.Unix_error _ | Sys_error _ -> ());
-                try Unix.close fd with Unix.Unix_error _ -> ()))
+        | Ok (Protocol.Submit sub) -> (
+            (* Statically-provable racy kernels are answered right here
+               on the connection thread: no queue seat, no worker, no
+               execution.  Anything else (including anything the probe
+               chokes on) takes the normal queued path. *)
+            match Exec.static_verdict ~cache:t.cache ~job:0 sub with
+            | Some resp ->
+                send resp;
+                continue ()
+            | None ->
+                (* The reply callback runs on a worker domain; from here
+                   on the worker owns the descriptor. *)
+                Scheduler.submit t.sched sub ~reply:(fun resp ->
+                    (try
+                       Protocol.write_frame fd (Protocol.encode_response resp)
+                     with Unix.Unix_error _ | Sys_error _ -> ());
+                    try Unix.close fd with Unix.Unix_error _ -> ())))
   in
   try loop () with _ -> close ()
 

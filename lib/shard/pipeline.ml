@@ -4,6 +4,7 @@ type config = {
   shards : int;
   ring_capacity : int;
   prune : bool;
+  static_prune : bool;
   detector : Barracuda.Detector.config;
   fault : Fault.Plan.t option;
 }
@@ -13,6 +14,7 @@ let default_config =
     shards = 2;
     ring_capacity = 4096;
     prune = true;
+    static_prune = true;
     detector = Barracuda.Detector.default_config;
     fault = None;
   }
@@ -34,7 +36,8 @@ let run_sharded ?(config = default_config) ?max_steps ?deadline_ns ?inst
   let inst =
     match inst with
     | Some i -> i
-    | None -> Instrument.Pass.instrument ~prune:config.prune kernel
+    | None -> Instrument.Pass.instrument ~prune:config.prune
+          ~static:config.static_prune kernel
   in
   let roles = Gtrace.Roles.classify kernel in
   let engine =

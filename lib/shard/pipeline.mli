@@ -12,6 +12,7 @@ type config = {
   shards : int;
   ring_capacity : int;  (** records per shard ring *)
   prune : bool;  (** instrumentation pruning, as in [Gpu_runtime.Pipeline] *)
+  static_prune : bool;  (** static-analysis pruning, as in [Gpu_runtime.Pipeline] *)
   detector : Barracuda.Detector.config;
   fault : Fault.Plan.t option;
       (** machine faults + shard-crash injection; transport faults are

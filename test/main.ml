@@ -22,4 +22,5 @@ let () =
       ("service", Test_service.suite);
       ("fault", Test_fault.suite);
       ("shard", Test_shard.suite);
+      ("static", Test_static.suite);
     ]

@@ -124,6 +124,77 @@ let prop_block_partition =
         (Cfg.Graph.blocks g);
       Array.for_all (Int.equal 1) covered)
 
+(* ---- dominance on arbitrary digraphs ----------------------------- *)
+
+(* Random digraphs, including irreducible and multi-exit shapes, checked
+   against a brute-force oracle: [a] dominates [b] iff removing [a]
+   makes [b] unreachable from the root.  The idom of a reachable
+   non-root node must be one of its proper dominators and be dominated
+   by every other proper dominator; unreachable nodes get none. *)
+
+let gen_digraph =
+  let open QCheck2.Gen in
+  small_nat >>= fun seed ->
+  int_range 1 10 >>= fun n ->
+  let rng = Random.State.make [| 0xd1a6; seed; n |] in
+  let edges = ref [] in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if Random.State.int rng 3 = 0 then edges := (src, dst) :: !edges
+    done
+  done;
+  return (n, List.rev !edges)
+
+let print_digraph (n, edges) =
+  Printf.sprintf "nodes=%d edges=[%s]" n
+    (String.concat "; "
+       (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) edges))
+
+(* Nodes reachable from [root] without stepping on [skip]. *)
+let reachable_avoiding n edges ~root ~skip =
+  let seen = Array.make n false in
+  let rec go v =
+    if v <> skip && not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter (fun (a, b) -> if a = v then go b) edges
+    end
+  in
+  if root <> skip then go root;
+  seen
+
+let prop_dominance_oracle =
+  QCheck2.Test.make ~name:"idom agrees with the brute-force dominance oracle"
+    ~count:300 ~print:print_digraph gen_digraph (fun (n, edges) ->
+      let succs v = List.filter_map (fun (a, b) -> if a = v then Some b else None) edges in
+      let preds v = List.filter_map (fun (a, b) -> if b = v then Some a else None) edges in
+      let t = Cfg.Dominance.compute ~nodes:n ~root:0 ~succs ~preds in
+      let reach = reachable_avoiding n edges ~root:0 ~skip:(-1) in
+      (* Oracle: a dominates b iff b is unreachable once a is removed. *)
+      let dom a b =
+        reach.(b) && (a = b || not (reachable_avoiding n edges ~root:0 ~skip:a).(b))
+      in
+      let ok = ref true in
+      for b = 0 to n - 1 do
+        (match Cfg.Dominance.idom t b with
+        | None -> if reach.(b) && b <> 0 then ok := false
+        | Some i ->
+            if (not reach.(b)) || b = 0 then ok := false
+            else begin
+              (* The idom is a proper dominator... *)
+              if i = b || not (dom i b) then ok := false;
+              (* ...dominated by every other proper dominator of b. *)
+              for d = 0 to n - 1 do
+                if d <> b && dom d b && not (dom d i) then ok := false
+              done
+            end);
+        (* [dominates] matches the oracle on reachable targets. *)
+        if reach.(b) then
+          for a = 0 to n - 1 do
+            if Cfg.Dominance.dominates t a b <> dom a b then ok := false
+          done
+      done;
+      !ok)
+
 let suite =
   [
     Alcotest.test_case "diamond blocks" `Quick test_diamond_blocks;
@@ -133,4 +204,5 @@ let suite =
     Alcotest.test_case "preds consistent with succs" `Quick test_preds_consistent;
   ]
   @ List.map Gen.to_alcotest
-      [ prop_reconvergence_defined; prop_block_partition ]
+      [ prop_reconvergence_defined; prop_block_partition;
+        prop_dominance_oracle ]

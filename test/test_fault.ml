@@ -297,6 +297,7 @@ let scheduler_with_cases ~plan cases =
                 predicted = 0;
                 confirmed = 0;
                 degraded = false;
+                static = false;
                 detect_ms = 0.0;
               };
             queue_ms = 0.0;

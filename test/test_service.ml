@@ -14,6 +14,7 @@ let ok_outcome =
     predicted = 0;
     confirmed = 0;
     degraded = false;
+    static = false;
     detect_ms = 0.0;
   }
 
@@ -75,6 +76,7 @@ let test_protocol_roundtrip () =
           layout = Some (4, 128, 32);
           args = [ "alloc:256"; "int:7"; "42" ];
           prune = false;
+          static = false;
         };
     ];
   List.iter check_response_roundtrip
@@ -96,6 +98,7 @@ let test_protocol_roundtrip () =
               predicted = 2;
               confirmed = 1;
               degraded = true;
+              static = true;
               detect_ms = 1.75;
             };
           queue_ms = 0.25;
@@ -203,6 +206,7 @@ let tiny_entry () =
     Service.Cache.kernel;
     cfg = Cfg.Graph.of_kernel kernel;
     inst = Instrument.Pass.instrument ~prune:true kernel;
+    analysis = Static.Analysis.analyze kernel;
   }
 
 let test_cache_accounting () =
@@ -239,10 +243,13 @@ let test_cache_accounting () =
   | _ -> Alcotest.fail "failing build should raise");
   let _, hit = Service.Cache.find_or_build cache "bad" ~build in
   Alcotest.(check bool) "failure was not cached" false hit;
+  let key ~prune ~static s = Service.Cache.key ~prune ~static s in
   Alcotest.(check bool) "different sources, different keys" true
-    (Service.Cache.key ~prune:true "x" <> Service.Cache.key ~prune:true "y");
+    (key ~prune:true ~static:true "x" <> key ~prune:true ~static:true "y");
   Alcotest.(check bool) "prune flag changes the key" true
-    (Service.Cache.key ~prune:true "x" <> Service.Cache.key ~prune:false "x")
+    (key ~prune:true ~static:true "x" <> key ~prune:false ~static:true "x");
+  Alcotest.(check bool) "static flag changes the key" true
+    (key ~prune:true ~static:true "x" <> key ~prune:true ~static:false "x")
 
 (* ---- scheduler backpressure -------------------------------------- *)
 
