@@ -35,7 +35,16 @@ type result = {
   stats : Stats.t;
 }
 
-val instrument : ?prune:bool -> ?static:bool -> Ptx.Ast.kernel -> result
+val instrument :
+  ?prune:bool ->
+  ?static:bool ->
+  ?analysis:Static.Analysis.t ->
+  Ptx.Ast.kernel ->
+  result
+(** [analysis] is a precomputed {!Static.Analysis.t} of the same
+    kernel to reuse for the static tier (the service's artifact cache
+    computes one analysis for both the cache entry and this pass);
+    when absent and [static] is on, the pass runs its own. *)
 
 val logging_cost : int
 (** Instructions inserted per logging call. *)

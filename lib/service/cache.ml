@@ -72,6 +72,19 @@ let evict_lru t =
       Telemetry.Metric.counter_incr t.m_evictions
   | None -> ()
 
+let peek t key =
+  Mutex.lock t.lock;
+  let found =
+    match Hashtbl.find_opt t.index key with
+    | Some slot ->
+        t.tick <- t.tick + 1;
+        slot.last_use <- t.tick;
+        Some slot.value
+    | None -> None
+  in
+  Mutex.unlock t.lock;
+  found
+
 let find_or_build t key ~build =
   Mutex.lock t.lock;
   t.tick <- t.tick + 1;

@@ -40,6 +40,13 @@ val key : prune:bool -> static:bool -> string -> string
 (** Digest of the source text and the options that shape the
     artifacts. *)
 
+val peek : t -> string -> entry option
+(** The entry for a key if one is already resident — never builds.
+    Refreshes LRU recency but does not touch the hit/miss counters:
+    those account {!find_or_build} traffic, and a peek's caller falls
+    through to [find_or_build] (which counts the hit) whenever the
+    peek alone does not settle the request. *)
+
 val find_or_build : t -> string -> build:(unit -> entry) -> entry * bool
 (** The entry for a key, building (and inserting) it on a miss; the
     boolean is [true] on a hit.  Exceptions from [build] propagate and

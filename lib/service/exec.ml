@@ -90,11 +90,13 @@ let entry_for ~cache (s : Protocol.submit) =
   Cache.find_or_build cache key ~build:(fun () ->
       let kernel = Ptx.Parser.kernel_of_string s.Protocol.payload in
       let cfg = Cfg.Graph.of_kernel kernel in
+      (* one analysis serves both the instrument pass's static tier and
+         the entry's instant-answer verdicts *)
+      let analysis = Static.Analysis.analyze kernel in
       let inst =
         Instrument.Pass.instrument ~prune:s.Protocol.prune
-          ~static:s.Protocol.static kernel
+          ~static:s.Protocol.static ~analysis kernel
       in
-      let analysis = Static.Analysis.analyze kernel in
       { Cache.kernel; cfg; inst; analysis })
 
 (* The instant-answer path: a kernel the static analysis proves racy
@@ -127,10 +129,22 @@ let static_verdict ?(config = default_config) ~cache ~job
   | Protocol.Check -> (
       if not s.Protocol.static then None
       else
+        (* Peek only — never parse or analyze here.  The probe runs on
+           the caller's thread (the daemon's per-connection threads),
+           so a cold kernel must take the queued path, where the
+           scheduler's admission control bounds the heavy work and
+           [run_check] both warms the cache and short-circuits
+           statically itself. *)
         try
-          let entry, cache_hit = entry_for ~cache s in
-          let layout = layout_of s in
-          static_result ~config ~cache_hit ~job ~layout entry s
+          match
+            Cache.peek cache
+              (Cache.key ~prune:s.Protocol.prune ~static:s.Protocol.static
+                 s.Protocol.payload)
+          with
+          | None -> None
+          | Some entry ->
+              let layout = layout_of s in
+              static_result ~config ~cache_hit:true ~job ~layout entry s
         with _ -> None)
 
 let run_check ~config ~cache ~job (s : Protocol.submit) =

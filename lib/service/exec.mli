@@ -56,8 +56,10 @@ val static_verdict :
   ?config:config -> cache:Cache.t -> job:int -> Protocol.submit ->
   Protocol.response option
 (** The instant-answer probe: [Some (Result ...)] iff the submission is
-    a [Check] with static analysis enabled whose kernel is provably
-    racy for the requested layout.  Parses and caches through the
-    artifact cache; never raises — any failure returns [None] so the
-    submission takes the normal queued path (and reports its error
-    there). *)
+    a [Check] with static analysis enabled whose kernel's artifacts are
+    {e already resident} in the cache and provably racy for the
+    requested layout.  A pure cache peek — it never parses, instruments
+    or analyzes, so it is cheap enough for the daemon's per-connection
+    threads; a cold kernel returns [None] and takes the queued path,
+    whose {!run} warms the cache (and short-circuits statically
+    itself).  Never raises — any failure returns [None]. *)

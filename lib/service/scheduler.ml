@@ -375,6 +375,23 @@ let submit t sub ~reply =
     Mutex.unlock t.lock
   end
 
+let note_static t ~racy =
+  Mutex.lock t.lock;
+  t.next_id <- t.next_id + 1;
+  let id = t.next_id in
+  let c = t.c in
+  t.c <-
+    (if racy then
+       { c with submitted = c.submitted + 1; completed = c.completed + 1;
+         racy = c.racy + 1 }
+     else
+       { c with submitted = c.submitted + 1; completed = c.completed + 1;
+         race_free = c.race_free + 1 });
+  Mutex.unlock t.lock;
+  Telemetry.Metric.counter_incr
+    (if racy then t.m_jobs_racy else t.m_jobs_race_free);
+  id
+
 let depth t =
   Mutex.lock t.lock;
   let d = Queue.length t.pending in

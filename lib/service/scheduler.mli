@@ -81,6 +81,14 @@ val submit :
     workers.  Exceptions from [reply] are swallowed: a client that
     hung up cannot hurt the worker. *)
 
+val note_static : t -> racy:bool -> int
+(** Account a job answered outside the worker pool (the daemon's
+    static-verdict fast path): allocates a fresh job id from the same
+    sequence worker jobs use and counts the job as submitted, completed
+    and racy/race-free, so [counts] and the
+    [barracuda_service_jobs_total] telemetry cover statically-answered
+    submissions and clients see a real, unique job id. *)
+
 val depth : t -> int
 val busy : t -> int
 val counts : t -> counts

@@ -33,6 +33,7 @@ let worker_seats config =
 
 type t = {
   config : config;
+  exec_config : Exec.config;
   cache : Cache.t;
   sched : Scheduler.t;
   listener : Unix.file_descr;
@@ -138,12 +139,31 @@ let handle_connection t fd =
             close ();
             request_stop t
         | Ok (Protocol.Submit sub) -> (
-            (* Statically-provable racy kernels are answered right here
-               on the connection thread: no queue seat, no worker, no
-               execution.  Anything else (including anything the probe
-               chokes on) takes the normal queued path. *)
-            match Exec.static_verdict ~cache:t.cache ~job:0 sub with
+            (* Statically-provable racy kernels whose artifacts are
+               already cached are answered right here on the connection
+               thread: no queue seat, no worker, no execution.  The
+               probe is a pure cache peek, so a burst of connections
+               cannot pile heavy analysis work onto accept threads —
+               cold kernels (and anything the probe chokes on) take the
+               normal queued path, which enforces admission control,
+               warms the cache, and short-circuits statically itself. *)
+            match
+              Exec.static_verdict ~config:t.exec_config ~cache:t.cache
+                ~job:0 sub
+            with
             | Some resp ->
+                (* Account the answer like any other job: a real id from
+                   the scheduler's sequence, counted in status. *)
+                let resp =
+                  match resp with
+                  | Protocol.Result ({ outcome; _ } as r) ->
+                      let racy =
+                        outcome.Protocol.verdict = Protocol.Racy
+                      in
+                      Protocol.Result
+                        { r with job = Scheduler.note_static t.sched ~racy }
+                  | other -> other
+                in
                 send resp;
                 continue ()
             | None ->
@@ -235,6 +255,7 @@ let start ?(config = default_config) () =
   let t =
     {
       config;
+      exec_config;
       cache;
       sched;
       listener;

@@ -279,14 +279,22 @@ let run ctx (k : Ptx.Ast.kernel) ~(blocks : Cfg.Graph.block array)
   let n = Array.length k.Ptx.Ast.body in
   let in_state : Env.t option array = Array.make nblocks None in
   let out_state : Env.t option array = Array.make nblocks None in
+  (* [nblocks] may exceed the block array: synthetic nodes (the exit
+     node) carry no instructions, so their out state is their in
+     state. *)
   let flow_out b env =
-    let env = ref env in
-    for i = blocks.(b).Cfg.Graph.first to blocks.(b).Cfg.Graph.last do
-      env := transfer ctx !env k.Ptx.Ast.body.(i)
-    done;
-    !env
+    if b >= Array.length blocks then env
+    else begin
+      let env = ref env in
+      for i = blocks.(b).Cfg.Graph.first to blocks.(b).Cfg.Graph.last do
+        env := transfer ctx !env k.Ptx.Ast.body.(i)
+      done;
+      !env
+    end
   in
-  in_state.(0) <- Some Env.empty;
+  (* Block 0 starts unseeded so its first visit is stale and computes
+     out_state.(0) — seeding in_state.(0) here would leave every
+     successor joining over all-None out states forever. *)
   let changed = ref true in
   while !changed do
     changed := false;

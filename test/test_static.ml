@@ -105,6 +105,66 @@ let test_vecadd_all_safe () =
     (A.verdict a 4 = Some (A.Safe A.Read_only));
   Alcotest.(check bool) "no racy pairs" true (A.pairs a = [])
 
+(* Control flow must not defeat the affine dataflow: the same
+   per-thread accesses behind a guarded bounds-check branch (three
+   blocks) keep their disjointness proofs.  Regression test for the
+   fixpoint seeding bug that pre-seeded the entry block's in state,
+   never computed its out state, and so left every later block at
+   Top. *)
+let vecadd_branch_src =
+  {|
+.visible .entry vecadd_branch (.param .u64 a)
+{
+    mad.lo.s64 %rdt, %ctaid.x, %ntid.x, %tid.x;
+    setp.ge.s64 %p1, %rdt, 1024;
+    @%p1 bra L_done;
+    mad.lo.s64 %rda, %rdt, 4, a;
+    ld.global.u32 %r1, [%rda];
+    add.s32 %r2, %r1, 1;
+    st.global.u32 [%rda], %r2;
+L_done:
+    ret;
+}
+|}
+
+let test_branch_keeps_disjoint () =
+  let a = A.analyze (parse vecadd_branch_src) in
+  Alcotest.(check bool) "load past the branch is lane-affine" true
+    (A.klass a 4 = A.Lane_affine);
+  Alcotest.(check bool) "store past the branch is disjoint-safe" true
+    (A.verdict a 6 = Some (A.Safe A.Disjoint_footprints));
+  let safe, racy, unknown = A.counts a in
+  Alcotest.(check (triple int int int)) "both accesses safe" (2, 0, 0)
+    (safe, racy, unknown)
+
+(* The dual: a diamond whose paths leave different values in the
+   address register must join to Top, not pick a side — the store
+   falls back to dynamic checking. *)
+let diamond_src =
+  {|
+.visible .entry diamond (.param .u64 out)
+{
+    .shared .align 4 .b8 buf[64];
+    mov.s32 %r1, 1;
+    setp.gt.s32 %p1, %tid.x, 15;
+    @%p1 bra L_hi;
+    mov.s64 %rdo, buf;
+    bra.uni L_join;
+L_hi:
+    add.s64 %rdo, buf, 4;
+L_join:
+    st.shared.u32 [%rdo], %r1;
+    ret;
+}
+|}
+
+let test_diamond_join_is_top () =
+  let a = A.analyze (parse diamond_src) in
+  Alcotest.(check bool) "conflicting join leaves the address unknown" true
+    (A.klass a 6 = A.Unknown_addr);
+  Alcotest.(check bool) "store is left for dynamic checking" true
+    (A.verdict a 6 = Some A.Unknown)
+
 let uniform_safe_src =
   {|
 .visible .entry uniform_safe (.param .u64 cfg, .param .u64 out)
@@ -257,30 +317,42 @@ let submit ?(static = true) src =
 
 let test_service_static_verdict () =
   let cache = Service.Cache.create ~capacity:4 () in
-  (* A provably racy kernel is answered without execution... *)
-  (match Service.Exec.static_verdict ~cache ~job:0 (submit static_racy_src) with
+  (* The probe is a pure cache peek: a kernel never seen before takes
+     the queued path even when provably racy — heavy analysis work
+     never runs on the probing (connection) thread. *)
+  Alcotest.(check bool) "cold cache: no instant answer" true
+    (Service.Exec.static_verdict ~cache ~job:0 (submit static_racy_src)
+    = None);
+  (* The queued executor short-circuits statically and warms the
+     cache... *)
+  (match Service.Exec.run ~cache ~job:7 (submit static_racy_src) with
+  | Service.Protocol.Result { outcome; job; _ } ->
+      Alcotest.(check bool) "run short-circuits statically" true
+        outcome.Service.Protocol.static;
+      Alcotest.(check int) "run keeps its job id" 7 job
+  | _ -> Alcotest.fail "expected a result from run");
+  (* ...after which the probe answers without execution. *)
+  (match Service.Exec.static_verdict ~cache ~job:3 (submit static_racy_src) with
   | Some (Service.Protocol.Result { outcome; _ }) ->
       Alcotest.(check bool) "verdict is racy" true
         (outcome.Service.Protocol.verdict = Service.Protocol.Racy);
       Alcotest.(check bool) "flagged static" true
-        outcome.Service.Protocol.static
+        outcome.Service.Protocol.static;
+      Alcotest.(check bool) "counted as a cache hit" true
+        outcome.Service.Protocol.cache_hit
   | _ -> Alcotest.fail "expected an instant racy result");
   (* ...but not when the client disabled the analysis... *)
   Alcotest.(check bool) "no probe with static off" true
     (Service.Exec.static_verdict ~cache ~job:0
        (submit ~static:false static_racy_src)
     = None);
-  (* ...and race-free or unprovable kernels take the queued path. *)
+  (* ...and race-free or unprovable kernels take the queued path even
+     once cached. *)
+  ignore (Service.Exec.run ~cache ~job:8 (submit vecadd_src));
   Alcotest.(check bool) "no probe for a safe kernel" true
     (Service.Exec.static_verdict ~cache ~job:0 (submit vecadd_src) = None);
   Alcotest.(check bool) "no probe for garbage (queued path reports it)" true
-    (Service.Exec.static_verdict ~cache ~job:0 (submit "not ptx") = None);
-  (* The full executor gives the same instant answer. *)
-  match Service.Exec.run ~cache ~job:7 (submit static_racy_src) with
-  | Service.Protocol.Result { outcome; _ } ->
-      Alcotest.(check bool) "run short-circuits too" true
-        outcome.Service.Protocol.static
-  | _ -> Alcotest.fail "expected a result from run"
+    (Service.Exec.static_verdict ~cache ~job:0 (submit "not ptx") = None)
 
 (* ---- instrumentation wiring -------------------------------------- *)
 
@@ -303,6 +375,10 @@ let test_pass_static_tier () =
 let suite =
   [
     Alcotest.test_case "vecadd: every access safe" `Quick test_vecadd_all_safe;
+    Alcotest.test_case "branchy vecadd keeps its disjointness proof" `Quick
+      test_branch_keeps_disjoint;
+    Alcotest.test_case "diamond join falls back to unknown" `Quick
+      test_diamond_join_is_top;
     Alcotest.test_case "barrier-phased tile is safe" `Quick
       test_uniform_safe_phased;
     Alcotest.test_case "missing barrier defeats the phase proof" `Quick
