@@ -17,6 +17,7 @@
      predict     predictive analysis over traces -> BENCH_predict.json
      service     batch-daemon throughput scaling -> BENCH_service.json
      static      static race analysis pruning wins -> BENCH_static.json
+     repair      automated repair scoreboard + throughput -> BENCH_repair.json
      bechamel    Bechamel micro-benchmarks (one per table/figure)      *)
 
 module W = Workloads.Workload
@@ -932,6 +933,89 @@ let section_static () =
     (List.length subset)
 
 (* ------------------------------------------------------------------ *)
+(* Automated repair -> BENCH_repair.json                               *)
+
+let repair_baseline_json = "bench/baseline_repair.json"
+let key_repair_fixed = "barracuda_bench_repair_fixed_total"
+let key_repair_cases_per_sec = "barracuda_bench_repair_cases_per_sec"
+
+let section_repair () =
+  header "Automated repair: bug-suite scoreboard and throughput \
+          (BENCH_repair.json)";
+  let registry = Telemetry.Registry.default in
+  Telemetry.Registry.reset registry;
+  Telemetry.Registry.set_enabled true;
+  let cases = Bugsuite.Cases.all in
+  let t0 = Telemetry.Clock.now_ns () in
+  let score = Bugsuite.Harness.run_repair cases in
+  let wall_s = Telemetry.Clock.ns_to_s (Telemetry.Clock.elapsed_ns ~since:t0) in
+  Telemetry.Registry.set_enabled false;
+  Printf.printf
+    "  %d cases: %d fixed, %d already clean, %d unfixable (%d candidates \
+     rejected) in %.2fs\n"
+    (List.length cases) score.Bugsuite.Harness.fixed
+    score.Bugsuite.Harness.clean score.Bugsuite.Harness.unfixable
+    score.Bugsuite.Harness.fix_rejected wall_s;
+  Printf.printf "  %-12s %6s %6s %10s\n" "family" "fixed" "racy" "rejected";
+  List.iter
+    (fun (f, (s : Bugsuite.Harness.repair_score)) ->
+      if s.Bugsuite.Harness.fixed + s.Bugsuite.Harness.unfixable > 0 then
+        Printf.printf "  %-12s %6d %6d %10d\n" f s.Bugsuite.Harness.fixed
+          (s.Bugsuite.Harness.fixed + s.Bugsuite.Harness.unfixable)
+          s.Bugsuite.Harness.fix_rejected)
+    (Bugsuite.Harness.repair_families score);
+  let tried =
+    List.fold_left
+      (fun acc (o : Bugsuite.Harness.repair_outcome) ->
+        acc + o.Bugsuite.Harness.result.Repair.Engine.candidates_tried)
+      0 score.Bugsuite.Harness.repair_outcomes
+  in
+  let cases_per_sec = float_of_int (List.length cases) /. wall_s in
+  Printf.printf
+    "  %d candidate validations, %.0f cases/s end-to-end\n" tried
+    cases_per_sec;
+  Telemetry.Registry.set_enabled true;
+  Telemetry.Metric.gauge_set
+    (Telemetry.Registry.gauge
+       ~help:"Bug-suite cases the repair engine fixed" registry
+       key_repair_fixed)
+    score.Bugsuite.Harness.fixed;
+  Telemetry.Metric.gauge_set
+    (Telemetry.Registry.gauge
+       ~help:"Bug-suite cases no candidate fix survived validation for"
+       registry "barracuda_bench_repair_unfixable_total")
+    score.Bugsuite.Harness.unfixable;
+  Telemetry.Metric.gauge_set
+    (Telemetry.Registry.gauge
+       ~help:"Candidate fixes that entered validation over the bug suite"
+       registry "barracuda_bench_repair_candidates_tried")
+    tried;
+  Telemetry.Metric.gauge_set
+    (Telemetry.Registry.gauge
+       ~help:"Whole-suite repair wall time, milliseconds" registry
+       "barracuda_bench_repair_ms")
+    (int_of_float (wall_s *. 1e3));
+  Telemetry.Metric.gauge_set
+    (Telemetry.Registry.gauge
+       ~help:"Repair throughput: bug-suite cases diagnosed and (when racy) \
+              fixed per second"
+       registry key_repair_cases_per_sec)
+    (int_of_float cases_per_sec);
+  Telemetry.Registry.set_enabled false;
+  warn_on_regression ~baseline:repair_baseline_json
+    ~key:key_repair_cases_per_sec ~label:"repair end-to-end throughput"
+    ~fresh:cases_per_sec ();
+  (match scan_baseline repair_baseline_json key_repair_fixed with
+  | Some old when score.Bugsuite.Harness.fixed < old ->
+      Printf.printf
+        "::warning::repair fixes fewer bug-suite cases than the checked-in \
+         baseline (%d -> %d)\n"
+        old score.Bugsuite.Harness.fixed
+  | _ -> ());
+  Telemetry.Export.write_json ~path:"BENCH_repair.json" registry;
+  Printf.printf "  wrote BENCH_repair.json (%d cases)\n" (List.length cases)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
 let section_bechamel () =
@@ -1007,6 +1091,7 @@ let sections =
     ("service", section_service);
     ("shard", section_shard);
     ("static", section_static);
+    ("repair", section_repair);
     ("bechamel", section_bechamel);
   ]
 

@@ -4,6 +4,7 @@
      barracuda profile FILE.ptx [--parallel]               per-stage telemetry
      barracuda instrument FILE.ptx [--no-prune]            show rewritten PTX
      barracuda analyze FILE.ptx [--json]                    static race verdicts
+     barracuda repair FILE.ptx [--json] [--out DIR]         propose a minimal fix
      barracuda suite [--json]                               run the 66-program suite
      barracuda litmus [--runs N]                            fence litmus tests
      barracuda table1                                       workload summary
@@ -654,11 +655,243 @@ let analyze_cmd =
           kernel is provably racy for the given layout.")
     Term.(const run $ layout_term $ file_term $ json $ noalias $ metrics_term)
 
+(* ------------------------- automated repair ----------------------- *)
+
+let repair_json ~original (r : Repair.Engine.result) =
+  let module J = Telemetry.Json in
+  let d = r.Repair.Engine.diagnosis in
+  let base =
+    [
+      ("verdict", J.Str (Repair.Engine.verdict_name r.Repair.Engine.verdict));
+      ("racy", J.Bool d.Repair.Localize.racy);
+      ("observed_racy", J.Bool d.Repair.Localize.observed_racy);
+      ("predicted_racy", J.Bool d.Repair.Localize.predicted_racy);
+      ("static_racy", J.Bool d.Repair.Localize.static_racy);
+      ("bardiv", J.Bool d.Repair.Localize.bardiv);
+      ( "pairs",
+        J.List
+          (List.map
+             (fun (a, b) -> J.List [ J.Int a; J.Int b ])
+             d.Repair.Localize.pairs) );
+      ("candidates_total", J.Int r.Repair.Engine.candidates_total);
+      ("candidates_tried", J.Int r.Repair.Engine.candidates_tried);
+      ( "rejected",
+        J.List
+          (List.map
+             (fun (c, why) ->
+               J.Obj [ ("candidate", J.Str c); ("reason", J.Str why) ])
+             r.Repair.Engine.rejected) );
+    ]
+  in
+  let fix =
+    match r.Repair.Engine.verdict with
+    | Repair.Engine.Fixed f ->
+        [
+          ( "fix",
+            J.Obj
+              [
+                ("description", J.Str f.Repair.Engine.description);
+                ( "kind",
+                  J.Str (Repair.Candidates.kind_name f.Repair.Engine.kind) );
+                ("cost", J.Float f.Repair.Engine.cost);
+                ( "sites",
+                  J.List (List.map (fun i -> J.Int i) f.Repair.Engine.sites) );
+                ("ptx", J.Str f.Repair.Engine.ptx);
+                ( "patch",
+                  J.Str (Repair.Engine.patch_of ~original f) );
+              ] );
+        ]
+    | _ -> []
+  in
+  J.Obj (("version", J.Int 1) :: (base @ fix))
+
+let repair_cmd =
+  let run layout file specs max_candidates max_steps seed json out metrics =
+    guard @@ fun () ->
+    (match metrics with
+    | Some _ ->
+        Telemetry.Registry.set_enabled true;
+        Telemetry.Registry.reset Telemetry.Registry.default
+    | None -> ());
+    let kernel = load_kernel file in
+    let setup machine = resolve_args machine kernel specs in
+    let config =
+      {
+        Repair.Engine.default_config with
+        Repair.Engine.max_candidates;
+        max_steps;
+        seed;
+      }
+    in
+    let r = Repair.Engine.repair ~config ~layout ~setup kernel in
+    let write_out fix =
+      match out with
+      | None -> ()
+      | Some dir ->
+          (try Unix.mkdir dir 0o755
+           with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+          let base = Filename.remove_extension (Filename.basename file) in
+          let ptx_path = Filename.concat dir (base ^ ".repaired.ptx") in
+          let patch_path = Filename.concat dir (base ^ ".patch") in
+          let save path contents =
+            let oc = open_out path in
+            output_string oc contents;
+            close_out oc
+          in
+          (match fix with
+          | Some (f : Repair.Engine.fix) ->
+              save ptx_path f.Repair.Engine.ptx;
+              save patch_path (Repair.Engine.patch_of ~original:kernel f);
+              if not json then
+                Format.printf "repaired kernel written to %s, patch to %s@."
+                  ptx_path patch_path
+          | None -> ())
+    in
+    let code =
+      if json then begin
+        print_endline (Telemetry.Json.to_string (repair_json ~original:kernel r));
+        match r.Repair.Engine.verdict with
+        | Repair.Engine.Fixed f ->
+            write_out (Some f);
+            0
+        | Repair.Engine.Already_clean -> 0
+        | Repair.Engine.Unfixable -> 1
+      end
+      else begin
+        let d = r.Repair.Engine.diagnosis in
+        if d.Repair.Localize.racy then begin
+          Format.printf "kernel %s is racy (%s%s%s)@." kernel.Ptx.Ast.kname
+            (if d.Repair.Localize.observed_racy then "observed" else "")
+            (if d.Repair.Localize.predicted_racy then
+               (if d.Repair.Localize.observed_racy then ", predicted"
+                else "predicted")
+             else "")
+            (if d.Repair.Localize.static_racy then ", provably static"
+             else "");
+          List.iter
+            (fun (a, b) ->
+              Format.printf "  racy pair: insn %d vs insn %d@." a b)
+            d.Repair.Localize.pairs
+        end;
+        match r.Repair.Engine.verdict with
+        | Repair.Engine.Already_clean ->
+            Format.printf
+              "kernel %s is already race-free: nothing to repair.@."
+              kernel.Ptx.Ast.kname;
+            0
+        | Repair.Engine.Fixed f ->
+            Format.printf "accepted fix (%d of %d candidates tried): %s@."
+              r.Repair.Engine.candidates_tried r.Repair.Engine.candidates_total
+              f.Repair.Engine.description;
+            List.iter
+              (fun (c, why) -> Format.printf "  rejected: %s — %s@." c why)
+              r.Repair.Engine.rejected;
+            Format.printf "%s@." (Repair.Engine.patch_of ~original:kernel f);
+            Format.printf
+              "validated: serial x2 (deterministic), sharded parity, \
+               predictive schedules, fault slice — all race-free.@.";
+            write_out (Some f);
+            0
+        | Repair.Engine.Unfixable ->
+            Format.printf
+              "no fix found: %d of %d candidates tried, all rejected.@."
+              r.Repair.Engine.candidates_tried r.Repair.Engine.candidates_total;
+            List.iter
+              (fun (c, why) -> Format.printf "  rejected: %s — %s@." c why)
+              r.Repair.Engine.rejected;
+            1
+      end
+    in
+    (match metrics with Some path -> write_metrics path | None -> ());
+    code
+  in
+  let max_candidates =
+    Arg.(value
+           & opt int Repair.Engine.default_config.Repair.Engine.max_candidates
+           & info [ "max-candidates" ] ~docv:"N"
+               ~doc:"Validation budget: candidate fixes tried per kernel.")
+  in
+  let max_steps =
+    Arg.(value & opt int Repair.Engine.default_config.Repair.Engine.max_steps
+           & info [ "max-steps" ] ~docv:"N"
+               ~doc:"Step budget for each validation run.")
+  in
+  let seed =
+    Arg.(value & opt int Repair.Engine.default_config.Repair.Engine.seed
+           & info [ "seed" ] ~docv:"N"
+               ~doc:"Seed for the fault-campaign validation slice; the \
+                     whole search is deterministic for a fixed seed.")
+  in
+  let json =
+    Arg.(value & flag
+           & info [ "json" ] ~doc:"Emit the repair result as JSON.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+           & info [ "out" ] ~docv:"DIR"
+               ~doc:"Write the repaired kernel and its patch into $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:
+         "Diagnose a racy PTX kernel and search for a minimal fix — \
+          atomic promotion, fence strengthening or insertion, or a \
+          bar.sync at the CFG phase boundary — accepting only a patch \
+          that the unchanged detector (serial and sharded), the \
+          predictive schedule explorer and a fault-injection slice all \
+          agree is race-free.  Exits 1 when the kernel is racy and no \
+          candidate survives validation.")
+    Term.(
+      const run $ layout_term $ file_term $ args_term $ max_candidates
+      $ max_steps $ seed $ json $ out $ metrics_term)
+
 (* The suite scores as JSON, for the service CI smoke job and
    dashboards: overall numbers plus one record per case so a
    regression names the kernel that flipped. *)
+let repair_score_json (rp : Bugsuite.Harness.repair_score) =
+  let module J = Telemetry.Json in
+  let totals (s : Bugsuite.Harness.repair_score) =
+    [
+      ("fixed", J.Int s.Bugsuite.Harness.fixed);
+      ("already_clean", J.Int s.Bugsuite.Harness.clean);
+      ("unfixable", J.Int s.Bugsuite.Harness.unfixable);
+      ("fix_rejected", J.Int s.Bugsuite.Harness.fix_rejected);
+    ]
+  in
+  let case (o : Bugsuite.Harness.repair_outcome) =
+    let fix =
+      match o.Bugsuite.Harness.result.Repair.Engine.verdict with
+      | Repair.Engine.Fixed f ->
+          [ ("fix", J.Str f.Repair.Engine.description) ]
+      | _ -> []
+    in
+    J.Obj
+      ([
+         ("name", J.Str o.Bugsuite.Harness.case.Bugsuite.Case.name);
+         ("family", J.Str (Bugsuite.Harness.family o.Bugsuite.Harness.case));
+         ( "verdict",
+           J.Str
+             (Repair.Engine.verdict_name
+                o.Bugsuite.Harness.result.Repair.Engine.verdict) );
+         ( "candidates_tried",
+           J.Int o.Bugsuite.Harness.result.Repair.Engine.candidates_tried );
+       ]
+      @ fix)
+  in
+  J.Obj
+    (totals rp
+    @ [
+        ( "families",
+          J.Obj
+            (List.map
+               (fun (f, s) -> (f, J.Obj (totals s)))
+               (Bugsuite.Harness.repair_families rp)) );
+        ("cases", J.List (List.map case rp.Bugsuite.Harness.repair_outcomes));
+      ])
+
 let suite_json (b : Bugsuite.Harness.score) (r : Bugsuite.Harness.score)
-    (po : Bugsuite.Harness.score) (pp_ : Bugsuite.Harness.score) =
+    (po : Bugsuite.Harness.score) (pp_ : Bugsuite.Harness.score)
+    (rp : Bugsuite.Harness.repair_score) =
   let module J = Telemetry.Json in
   let score_obj (s : Bugsuite.Harness.score) =
     J.Obj
@@ -687,6 +920,7 @@ let suite_json (b : Bugsuite.Harness.score) (r : Bugsuite.Harness.score)
       ("racecheck", score_obj r);
       ( "predictive",
         J.Obj [ ("online", score_obj po); ("predict", score_obj pp_) ] );
+      ("repair", repair_score_json rp);
       ("cases", J.List (List.map outcome b.Bugsuite.Harness.outcomes));
     ]
 
@@ -700,7 +934,8 @@ let suite_cmd =
       let pcases = Bugsuite.Cases.predictive in
       let po = Bugsuite.Harness.run_barracuda pcases in
       let pp_ = Bugsuite.Harness.run_predict pcases in
-      print_endline (Telemetry.Json.to_string (suite_json b r po pp_));
+      let rp = Bugsuite.Harness.run_repair cases in
+      print_endline (Telemetry.Json.to_string (suite_json b r po pp_ rp));
       if b.Bugsuite.Harness.correct = b.Bugsuite.Harness.total then 0 else 1
     end
     else begin
@@ -726,6 +961,17 @@ let suite_cmd =
       "schedule-sensitive supplement: online %d/%d, predict %d/%d@."
       po.Bugsuite.Harness.correct po.Bugsuite.Harness.total
       pp_.Bugsuite.Harness.correct pp_.Bugsuite.Harness.total;
+    let rp = Bugsuite.Harness.run_repair cases in
+    Format.printf "automated repair: %a@." Bugsuite.Harness.pp_repair_score
+      (if verbose then rp
+       else { rp with Bugsuite.Harness.repair_outcomes = [] });
+    List.iter
+      (fun (f, s) ->
+        if s.Bugsuite.Harness.fixed + s.Bugsuite.Harness.unfixable > 0 then
+          Format.printf "  %-12s fixed %d / racy %d@." f
+            s.Bugsuite.Harness.fixed
+            (s.Bugsuite.Harness.fixed + s.Bugsuite.Harness.unfixable))
+      (Bugsuite.Harness.repair_families rp);
     if b.Bugsuite.Harness.correct = b.Bugsuite.Harness.total then 0 else 1
     end
   in
@@ -896,6 +1142,7 @@ let submit_cmd =
       match kind with
       | "check" -> Service.Protocol.Check
       | "predict" -> Service.Protocol.Predict
+      | "repair" -> Service.Protocol.Repair
       | k -> failwith (Printf.sprintf "unknown job kind %S" k)
     in
     let sub =
@@ -937,6 +1184,18 @@ let submit_cmd =
             Format.printf
               "  verdict from the static analysis alone: the kernel was \
                never executed@.";
+          if outcome.Service.Protocol.repaired then
+            Format.printf "  repaired (%d candidate%s tried): %s@."
+              outcome.Service.Protocol.repair_tried
+              (if outcome.Service.Protocol.repair_tried = 1 then "" else "s")
+              outcome.Service.Protocol.fix
+          else if kind = Service.Protocol.Repair then
+            Format.printf "  %s@."
+              (if outcome.Service.Protocol.verdict = Service.Protocol.Racy
+               then
+                 Printf.sprintf "unfixable: %d candidates tried, all rejected"
+                   outcome.Service.Protocol.repair_tried
+               else "already race-free: nothing to repair");
           if outcome.Service.Protocol.degraded then
             Format.printf
               "  warning: degraded transport — the verdict may be missing \
@@ -965,8 +1224,8 @@ let submit_cmd =
   let kind =
     Arg.(value & opt string "check"
            & info [ "kind" ] ~docv:"KIND"
-               ~doc:"$(b,check) a PTX kernel or $(b,predict) over a \
-                     recorded trace.")
+               ~doc:"$(b,check) a PTX kernel, $(b,predict) over a recorded \
+                     trace, or $(b,repair) a racy PTX kernel.")
   in
   let no_prune =
     Arg.(value & flag
@@ -1128,7 +1387,8 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            check_cmd; profile_cmd; instrument_cmd; analyze_cmd; suite_cmd;
+            check_cmd; profile_cmd; instrument_cmd; analyze_cmd; repair_cmd;
+            suite_cmd;
             litmus_cmd; table1_cmd; sweep_cmd; replay_cmd; predict_cmd; faults_cmd;
             serve_cmd; submit_cmd; svc_status_cmd;
           ]))

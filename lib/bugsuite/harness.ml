@@ -122,6 +122,98 @@ let run_predict ?max_steps ?config cases =
            ~check_bardiv:false)
        cases)
 
+(* ---- automated repair scoreboard ----------------------------------- *)
+
+type repair_outcome = { case : Case.t; result : Repair.Engine.result }
+
+type repair_score = {
+  repair_outcomes : repair_outcome list;
+  fixed : int;
+  unfixable : int;
+  clean : int;
+  fix_rejected : int;  (** candidates rejected by validation, summed *)
+}
+
+let family (case : Case.t) =
+  match String.index_opt case.Case.name '_' with
+  | Some i -> String.sub case.Case.name 0 i
+  | None -> case.Case.name
+
+let repair_score_of repair_outcomes =
+  let count p =
+    List.length (List.filter (fun (o : repair_outcome) -> p o) repair_outcomes)
+  in
+  {
+    repair_outcomes;
+    fixed =
+      count (fun o ->
+          match o.result.Repair.Engine.verdict with
+          | Repair.Engine.Fixed _ -> true
+          | _ -> false);
+    unfixable =
+      count (fun o -> o.result.Repair.Engine.verdict = Repair.Engine.Unfixable);
+    clean =
+      count (fun o ->
+          o.result.Repair.Engine.verdict = Repair.Engine.Already_clean);
+    fix_rejected =
+      List.fold_left
+        (fun acc (o : repair_outcome) ->
+          acc + List.length o.result.Repair.Engine.rejected)
+        0 repair_outcomes;
+  }
+
+let run_repair ?max_steps ?config cases =
+  let config =
+    match (config, max_steps) with
+    | Some c, _ -> c
+    | None, Some max_steps ->
+        { Repair.Engine.default_config with Repair.Engine.max_steps }
+    | None, None -> Repair.Engine.default_config
+  in
+  repair_score_of
+    (List.map
+       (fun (case : Case.t) ->
+         let result =
+           Repair.Engine.repair ~config ~layout:case.Case.layout
+             ~setup:case.Case.setup case.Case.kernel
+         in
+         { case; result })
+       cases)
+
+let repair_families score =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (o : repair_outcome) ->
+      let f = family o.case in
+      if not (Hashtbl.mem tbl f) then begin
+        Hashtbl.add tbl f (ref []);
+        order := f :: !order
+      end;
+      let cell = Hashtbl.find tbl f in
+      cell := o :: !cell)
+    score.repair_outcomes;
+  List.rev_map
+    (fun f -> (f, repair_score_of (List.rev !(Hashtbl.find tbl f))))
+    !order
+
+let pp_repair_score ppf s =
+  Format.fprintf ppf "fixed %d, already-clean %d, unfixable %d (%d candidate%s rejected)"
+    s.fixed s.clean s.unfixable s.fix_rejected
+    (if s.fix_rejected = 1 then "" else "s");
+  List.iter
+    (fun (o : repair_outcome) ->
+      match o.result.Repair.Engine.verdict with
+      | Repair.Engine.Fixed f ->
+          Format.fprintf ppf "@\n  FIXED      %-34s %s" o.case.Case.name
+            f.Repair.Engine.description
+      | Repair.Engine.Unfixable ->
+          Format.fprintf ppf "@\n  UNFIXABLE  %-34s tried %d of %d candidates"
+            o.case.Case.name o.result.Repair.Engine.candidates_tried
+            o.result.Repair.Engine.candidates_total
+      | Repair.Engine.Already_clean -> ())
+    s.repair_outcomes
+
 let pp_score ppf s =
   Format.fprintf ppf "%d/%d correct" s.correct s.total;
   List.iter

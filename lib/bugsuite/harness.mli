@@ -33,3 +33,32 @@ val run_predict :
     judged (the analysis targets data races). *)
 
 val pp_score : Format.formatter -> score -> unit
+
+(** {1 Automated repair scoreboard}
+
+    Runs the {!Repair.Engine} over each case and tallies verdicts:
+    racy cases should come back [Fixed], race-free cases
+    [Already_clean].  [fix_rejected] counts candidate patches the
+    validation gauntlet killed before a fix was accepted. *)
+
+type repair_outcome = { case : Case.t; result : Repair.Engine.result }
+
+type repair_score = {
+  repair_outcomes : repair_outcome list;
+  fixed : int;
+  unfixable : int;
+  clean : int;
+  fix_rejected : int;
+}
+
+val run_repair :
+  ?max_steps:int -> ?config:Repair.Engine.config -> Case.t list -> repair_score
+(** [config] wins over [max_steps] when both are given. *)
+
+val family : Case.t -> string
+(** Case family: the leading [_]-separated token of the case name. *)
+
+val repair_families : repair_score -> (string * repair_score) list
+(** Per-family breakdown, in first-appearance order. *)
+
+val pp_repair_score : Format.formatter -> repair_score -> unit

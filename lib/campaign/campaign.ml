@@ -212,6 +212,9 @@ let run_service ~seed cases =
                 confirmed = 0;
                 degraded = false;
                 static = false;
+                repaired = false;
+                fix = "";
+                repair_tried = 0;
                 detect_ms = 0.0;
               };
             queue_ms = 0.0;

@@ -169,8 +169,8 @@ let epoch_ordered ~wc ~lane ~clock ~tid =
 let cell_loc t ~space ~region ~index =
   Loc.make ~space ~region ~addr:(index * Shadow.granularity t.shadow)
 
-let check_write t ~rid ~wc ~lane ~tid ~space ~region ~index ~cur_kind ~value
-    (cell : Shadow.cell) =
+let check_write t ~rid ~wc ~lane ~tid ~insn ~space ~region ~index ~cur_kind
+    ~value (cell : Shadow.cell) =
   if
     not
       (epoch_ordered ~wc ~lane ~clock:cell.Shadow.write_clock
@@ -185,7 +185,7 @@ let check_write t ~rid ~wc ~lane ~tid ~space ~region ~index ~cur_kind ~value
     in
     if not filtered then begin
       Telemetry.Metric.counter_incr (Lazy.force m_races);
-      Report.add_race t.report
+      Report.add_race t.report ~prev_insn:cell.Shadow.write_insn ~cur_insn:insn
         ~loc:(cell_loc t ~space ~region ~index)
         ~prev_tid:cell.Shadow.write_tid
         ~prev_kind:
@@ -194,7 +194,7 @@ let check_write t ~rid ~wc ~lane ~tid ~space ~region ~index ~cur_kind ~value
     end
   end
 
-let check_reads t ~wc ~lane ~tid ~space ~region ~index ~cur_kind
+let check_reads t ~wc ~lane ~tid ~insn ~space ~region ~index ~cur_kind
     (cell : Shadow.cell) =
   if cell.Shadow.read_shared then begin
     Telemetry.Metric.counter_incr (Lazy.force m_vc_full);
@@ -205,7 +205,11 @@ let check_reads t ~wc ~lane ~tid ~space ~region ~index ~cur_kind
           (fun u cu ->
             if cu > Warp_clocks.entry wc ~lane ~tid:u then begin
               Telemetry.Metric.counter_incr (Lazy.force m_races);
-              Report.add_race t.report
+              (* [read_insn] is the latest reader's instruction, not
+                 necessarily thread [u]'s — a deliberate approximation
+                 (see {!Shadow.cell}). *)
+              Report.add_race t.report ~prev_insn:cell.Shadow.read_insn
+                ~cur_insn:insn
                 ~loc:(cell_loc t ~space ~region ~index)
                 ~prev_tid:u ~prev_kind:Report.Read ~cur_tid:tid ~cur_kind
                 ~same_instruction:false
@@ -218,7 +222,7 @@ let check_reads t ~wc ~lane ~tid ~space ~region ~index ~cur_kind
          ~tid:cell.Shadow.read_tid)
   then begin
     Telemetry.Metric.counter_incr (Lazy.force m_races);
-    Report.add_race t.report
+    Report.add_race t.report ~prev_insn:cell.Shadow.read_insn ~cur_insn:insn
       ~loc:(cell_loc t ~space ~region ~index)
       ~prev_tid:cell.Shadow.read_tid ~prev_kind:Report.Read ~cur_tid:tid
       ~cur_kind ~same_instruction:false
@@ -230,15 +234,17 @@ let check_reads t ~wc ~lane ~tid ~space ~region ~index ~cur_kind
 let clear_reads (cell : Shadow.cell) =
   cell.Shadow.read_clock <- 0;
   cell.Shadow.read_tid <- 0;
+  cell.Shadow.read_insn <- -1;
   cell.Shadow.read_shared <- false;
   match cell.Shadow.read_vc with Some m -> Mut.clear m | None -> ()
 
-let do_read t ~rid ~wc ~lane ~tid ~space ~region ~index cell =
+let do_read t ~rid ~wc ~lane ~tid ~insn ~space ~region ~index cell =
   Atomic.incr t.accesses;
   Telemetry.Metric.counter_incr (Lazy.force m_checks);
-  check_write t ~rid ~wc ~lane ~tid ~space ~region ~index ~cur_kind:Report.Read
-    ~value:0L cell;
+  check_write t ~rid ~wc ~lane ~tid ~insn ~space ~region ~index
+    ~cur_kind:Report.Read ~value:0L cell;
   let own = Warp_clocks.own_clock wc ~lane in
+  cell.Shadow.read_insn <- insn;
   if cell.Shadow.read_shared then (
     (* ReadShared *)
     match cell.Shadow.read_vc with
@@ -267,31 +273,33 @@ let do_read t ~rid ~wc ~lane ~tid ~space ~region ~index cell =
     cell.Shadow.read_shared <- true
   end
 
-let set_write ~rid ~wc ~lane ~tid ~atomic ~value (cell : Shadow.cell) =
+let set_write ~rid ~wc ~lane ~tid ~insn ~atomic ~value (cell : Shadow.cell) =
   clear_reads cell;
   cell.Shadow.write_clock <- Warp_clocks.own_clock wc ~lane;
   cell.Shadow.write_tid <- tid;
+  cell.Shadow.write_insn <- insn;
   cell.Shadow.write_atomic <- atomic;
   cell.Shadow.write_value <- value;
   cell.Shadow.write_record <- rid
 
-let do_write t ~rid ~wc ~lane ~tid ~space ~region ~index ~value cell =
+let do_write t ~rid ~wc ~lane ~tid ~insn ~space ~region ~index ~value cell =
   Atomic.incr t.accesses;
   Telemetry.Metric.counter_incr (Lazy.force m_checks);
-  check_write t ~rid ~wc ~lane ~tid ~space ~region ~index ~cur_kind:Report.Write
-    ~value cell;
-  check_reads t ~wc ~lane ~tid ~space ~region ~index ~cur_kind:Report.Write cell;
-  set_write ~rid ~wc ~lane ~tid ~atomic:false ~value cell
+  check_write t ~rid ~wc ~lane ~tid ~insn ~space ~region ~index
+    ~cur_kind:Report.Write ~value cell;
+  check_reads t ~wc ~lane ~tid ~insn ~space ~region ~index
+    ~cur_kind:Report.Write cell;
+  set_write ~rid ~wc ~lane ~tid ~insn ~atomic:false ~value cell
 
-let do_atomic t ~rid ~wc ~lane ~tid ~space ~region ~index ~value cell =
+let do_atomic t ~rid ~wc ~lane ~tid ~insn ~space ~region ~index ~value cell =
   Atomic.incr t.accesses;
   Telemetry.Metric.counter_incr (Lazy.force m_checks);
   if not cell.Shadow.write_atomic then
-    check_write t ~rid ~wc ~lane ~tid ~space ~region ~index
+    check_write t ~rid ~wc ~lane ~tid ~insn ~space ~region ~index
       ~cur_kind:Report.Atomic_rmw ~value cell;
-  check_reads t ~wc ~lane ~tid ~space ~region ~index ~cur_kind:Report.Atomic_rmw
-    cell;
-  set_write ~rid ~wc ~lane ~tid ~atomic:true ~value cell
+  check_reads t ~wc ~lane ~tid ~insn ~space ~region ~index
+    ~cur_kind:Report.Atomic_rmw cell;
+  set_write ~rid ~wc ~lane ~tid ~insn ~atomic:true ~value cell
 
 let do_acquire t ~wc ~lane ~loc scope =
   (Shadow.find t.shadow loc).Shadow.sync_loc <- true;
@@ -328,7 +336,8 @@ let census_bump t wc =
 (* Data access over the cells an access covers.  [cls] is 0 = read,
    1 = write, 2 = atomic; the cell is locked per index without a
    closure or [Fun.protect] (the handler only re-raises). *)
-let do_lane_data t ~rid ~wc ~lane ~tid ~cls ~space ~region ~addr ~width ~value =
+let do_lane_data t ~rid ~wc ~lane ~tid ~insn ~cls ~space ~region ~addr ~width
+    ~value =
   let g = Shadow.granularity t.shadow in
   let first = addr / g in
   let last = (addr + width - 1) / g in
@@ -343,10 +352,14 @@ let do_lane_data t ~rid ~wc ~lane ~tid ~cls ~space ~region ~addr ~width ~value =
       let cell = Shadow.cell t.shadow ~space ~region ~index in
       Mutex.lock cell.Shadow.lock;
       (try
-         if cls = 0 then do_read t ~rid ~wc ~lane ~tid ~space ~region ~index cell
+         if cls = 0 then
+           do_read t ~rid ~wc ~lane ~tid ~insn ~space ~region ~index cell
          else if cls = 1 then
-           do_write t ~rid ~wc ~lane ~tid ~space ~region ~index ~value cell
-         else do_atomic t ~rid ~wc ~lane ~tid ~space ~region ~index ~value cell
+           do_write t ~rid ~wc ~lane ~tid ~insn ~space ~region ~index ~value
+             cell
+         else
+           do_atomic t ~rid ~wc ~lane ~tid ~insn ~space ~region ~index ~value
+             cell
        with e ->
          Mutex.unlock cell.Shadow.lock;
          raise e);
@@ -358,8 +371,8 @@ let do_lane_data t ~rid ~wc ~lane ~tid ~cls ~space ~region ~addr ~width ~value =
    path ([feed_record]).  The access kind arrives as its wire opcode so
    neither path materializes a [Simt.Event.access_kind] (the [Atomic _]
    constructor would allocate). *)
-let do_lane t ~rid ~wc ~lane ~tid ~opc ~role ~space ~region ~addr ~width ~value
-    =
+let do_lane t ~rid ~wc ~lane ~tid ~insn ~opc ~role ~space ~region ~addr ~width
+    ~value =
   let is_load = opc = Wire.op_load in
   let is_store = opc = Wire.op_store in
   (* [Loc.make] is built inline on the sync branches only: a closure
@@ -367,24 +380,25 @@ let do_lane t ~rid ~wc ~lane ~tid ~opc ~role ~space ~region ~addr ~width ~value
   match (role : Gtrace.Roles.t) with
   | Gtrace.Roles.Plain ->
       let cls = if is_load then 0 else if is_store then 1 else 2 in
-      do_lane_data t ~rid ~wc ~lane ~tid ~cls ~space ~region ~addr ~width ~value
+      do_lane_data t ~rid ~wc ~lane ~tid ~insn ~cls ~space ~region ~addr ~width
+        ~value
   | Gtrace.Roles.Acquire s ->
       if is_store then
-        do_lane_data t ~rid ~wc ~lane ~tid ~cls:1 ~space ~region ~addr ~width
-          ~value
+        do_lane_data t ~rid ~wc ~lane ~tid ~insn ~cls:1 ~space ~region ~addr
+          ~width ~value
       else do_acquire t ~wc ~lane ~loc:(Loc.make ~space ~region ~addr) s
   | Gtrace.Roles.Release s ->
       if is_load then
-        do_lane_data t ~rid ~wc ~lane ~tid ~cls:0 ~space ~region ~addr ~width
-          ~value
+        do_lane_data t ~rid ~wc ~lane ~tid ~insn ~cls:0 ~space ~region ~addr
+          ~width ~value
       else do_release t ~wc ~lane ~loc:(Loc.make ~space ~region ~addr) s
   | Gtrace.Roles.Acquire_release s ->
       if is_load then
-        do_lane_data t ~rid ~wc ~lane ~tid ~cls:0 ~space ~region ~addr ~width
-          ~value
+        do_lane_data t ~rid ~wc ~lane ~tid ~insn ~cls:0 ~space ~region ~addr
+          ~width ~value
       else if is_store then
-        do_lane_data t ~rid ~wc ~lane ~tid ~cls:1 ~space ~region ~addr ~width
-          ~value
+        do_lane_data t ~rid ~wc ~lane ~tid ~insn ~cls:1 ~space ~region ~addr
+          ~width ~value
       else begin
         let loc = Loc.make ~space ~region ~addr in
         do_acquire t ~wc ~lane ~loc s;
@@ -403,14 +417,15 @@ let process_access t ~rid (a : Simt.Event.mem_access) =
         | Ptx.Ast.Shared -> Layout.block_of_warp t.layout warp
         | _ -> 0
       in
-      let role = t.roles.(a.Simt.Event.insn) in
+      let insn = a.Simt.Event.insn in
+      let role = t.roles.(insn) in
       let opc = Wire.opcode_of_kind a.Simt.Event.kind in
       let mask = a.Simt.Event.mask in
       let ws = Array.length a.Simt.Event.addrs in
       for lane = 0 to ws - 1 do
         if mask land (1 lsl lane) <> 0 then
           let tid = Layout.tid_of_warp_lane t.layout ~warp ~lane in
-          do_lane t ~rid ~wc ~lane ~tid ~opc ~role ~space ~region
+          do_lane t ~rid ~wc ~lane ~tid ~insn ~opc ~role ~space ~region
             ~addr:a.Simt.Event.addrs.(lane) ~width:a.Simt.Event.width
             ~value:a.Simt.Event.values.(lane)
       done;
@@ -468,7 +483,8 @@ let process_record t ~values buf ~pos =
        census_bump t wc;
        let space = Wire.space_of_code sc in
        let region = if sc = 1 then Layout.block_of_warp t.layout warp else 0 in
-       let role = t.roles.(Wire.View.insn buf ~pos) in
+       let insn = Wire.View.insn buf ~pos in
+       let role = t.roles.(insn) in
        let mask = Wire.View.mask buf ~pos in
        let width = Wire.View.width buf ~pos in
        let nvals = Array.length values in
@@ -480,8 +496,8 @@ let process_record t ~values buf ~pos =
            let value =
              if lane < nvals then Array.unsafe_get values lane else 0L
            in
-           do_lane t ~rid ~wc ~lane ~tid ~opc ~role ~space ~region ~addr ~width
-             ~value
+           do_lane t ~rid ~wc ~lane ~tid ~insn ~opc ~role ~space ~region ~addr
+             ~width ~value
        done;
       Warp_clocks.join_fork wc ~mask
     end

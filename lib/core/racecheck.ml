@@ -63,9 +63,9 @@ let cell_of t key =
 
 let conflict t ~loc ~(prev : access) ~(cur : access) =
   if prev.tid <> cur.tid then
-    Report.add_race t.report ~loc ~prev_tid:prev.tid ~prev_kind:prev.kind
-      ~cur_tid:cur.tid ~cur_kind:cur.kind
-      ~same_instruction:(prev.record = cur.record)
+    Report.add_race t.report ~prev_insn:(-1) ~cur_insn:(-1) ~loc
+      ~prev_tid:prev.tid ~prev_kind:prev.kind ~cur_tid:cur.tid
+      ~cur_kind:cur.kind ~same_instruction:(prev.record = cur.record)
 
 let process_access t (a : Simt.Event.mem_access) =
   match a.Simt.Event.space with

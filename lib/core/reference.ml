@@ -84,7 +84,8 @@ let check_write_ordered t ~loc ~tid ~cur_kind ~value ~instr =
       && cur_kind = Report.Write && (not w.atomic) && w.value = value
     in
     if not filtered then
-      Report.add_race t.report ~loc ~prev_tid:w.epoch.Epoch.tid
+      Report.add_race t.report ~prev_insn:(-1) ~cur_insn:(-1) ~loc
+        ~prev_tid:w.epoch.Epoch.tid
         ~prev_kind:(if w.atomic then Report.Atomic_rmw else Report.Write)
         ~cur_tid:tid ~cur_kind ~same_instruction
   end
@@ -96,15 +97,16 @@ let check_reads_ordered t ~loc ~tid ~cur_kind =
   match read_meta t loc with
   | R_epoch e ->
       if not (Epoch.leq_vc e c) then
-        Report.add_race t.report ~loc ~prev_tid:e.Epoch.tid
-          ~prev_kind:Report.Read ~cur_tid:tid ~cur_kind
+        Report.add_race t.report ~prev_insn:(-1) ~cur_insn:(-1) ~loc
+          ~prev_tid:e.Epoch.tid ~prev_kind:Report.Read ~cur_tid:tid ~cur_kind
           ~same_instruction:false
   | R_vc rvc ->
       Vc.fold
         (fun u cu () ->
           if cu > Vc.get c u then
-            Report.add_race t.report ~loc ~prev_tid:u ~prev_kind:Report.Read
-              ~cur_tid:tid ~cur_kind ~same_instruction:false)
+            Report.add_race t.report ~prev_insn:(-1) ~cur_insn:(-1) ~loc
+              ~prev_tid:u ~prev_kind:Report.Read ~cur_tid:tid ~cur_kind
+              ~same_instruction:false)
         rvc ()
 
 let do_read t tid loc =

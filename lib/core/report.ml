@@ -5,8 +5,10 @@ type race = {
   loc : Gtrace.Loc.t;
   prev_tid : int;
   prev_kind : access_kind;
+  prev_insn : int;
   cur_tid : int;
   cur_kind : access_kind;
+  cur_insn : int;
   same_instruction : bool;
   cls : race_class;
 }
@@ -75,7 +77,8 @@ let classify layout t1 t2 =
   then Intra_block
   else Inter_block
 
-let add_race t ~loc ~prev_tid ~prev_kind ~cur_tid ~cur_kind ~same_instruction =
+let add_race t ~prev_insn ~cur_insn ~loc ~prev_tid ~prev_kind ~cur_tid
+    ~cur_kind ~same_instruction =
   locked t @@ fun () ->
   let key = (loc, prev_tid, prev_kind, cur_tid, cur_kind) in
   if not (Dedup_set.mem key t.seen) then begin
@@ -85,7 +88,18 @@ let add_race t ~loc ~prev_tid ~prev_kind ~cur_tid ~cur_kind ~same_instruction =
     if t.kept < t.max_reports then begin
       let cls = classify t.layout prev_tid cur_tid in
       t.errors <-
-        Race { loc; prev_tid; prev_kind; cur_tid; cur_kind; same_instruction; cls }
+        Race
+          {
+            loc;
+            prev_tid;
+            prev_kind;
+            prev_insn;
+            cur_tid;
+            cur_kind;
+            cur_insn;
+            same_instruction;
+            cls;
+          }
         :: t.errors;
       t.kept <- t.kept + 1
     end
@@ -132,11 +146,14 @@ let pp_class ppf = function
   | Intra_block -> Format.pp_print_string ppf "intra-block"
   | Inter_block -> Format.pp_print_string ppf "inter-block"
 
+let pp_insn ppf insn =
+  if insn >= 0 then Format.fprintf ppf " (insn %d)" insn
+
 let pp_error ppf = function
   | Race r ->
-      Format.fprintf ppf "%a race on %a: %a by t%d vs %a by t%d%s" pp_class
-        r.cls Gtrace.Loc.pp r.loc pp_kind r.prev_kind r.prev_tid pp_kind
-        r.cur_kind r.cur_tid
+      Format.fprintf ppf "%a race on %a: %a by t%d%a vs %a by t%d%a%s" pp_class
+        r.cls Gtrace.Loc.pp r.loc pp_kind r.prev_kind r.prev_tid pp_insn
+        r.prev_insn pp_kind r.cur_kind r.cur_tid pp_insn r.cur_insn
         (if r.same_instruction then " (same instruction)" else "")
   | Barrier_divergence { warp; insn } ->
       Format.fprintf ppf "barrier divergence: warp %d at insn %d" warp insn

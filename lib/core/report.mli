@@ -18,8 +18,12 @@ type race = {
   loc : Gtrace.Loc.t;
   prev_tid : int;
   prev_kind : access_kind;
+  prev_insn : int;
+      (** static instruction id of the previous access, [-1] if unknown *)
   cur_tid : int;
   cur_kind : access_kind;
+  cur_insn : int;
+      (** static instruction id of the current access, [-1] if unknown *)
   same_instruction : bool;
       (** both accesses belong to the same warp-level instruction *)
   cls : race_class;
@@ -39,6 +43,8 @@ val classify : Vclock.Layout.t -> int -> int -> race_class
 
 val add_race :
   t ->
+  prev_insn:int ->
+  cur_insn:int ->
   loc:Gtrace.Loc.t ->
   prev_tid:int ->
   prev_kind:access_kind ->
@@ -46,6 +52,10 @@ val add_race :
   cur_kind:access_kind ->
   same_instruction:bool ->
   unit
+(** The instruction ids ([-1] when unknown) are metadata for repair
+    localization; they do not participate in deduplication, so the
+    first report for a (loc, tids, kinds) key fixes the ids seen
+    downstream. *)
 
 val add_barrier_divergence : t -> warp:int -> insn:int -> unit
 val errors : t -> error list

@@ -2,10 +2,12 @@ type cell = {
   lock : Mutex.t; (* the paper's per-location spinlock (Fig. 8) *)
   mutable read_clock : int;
   mutable read_tid : int;
+  mutable read_insn : int; (* static insn of the last recorded read, -1 if none *)
   mutable read_vc : Vclock.Cvc.Mut.t option;
   mutable read_shared : bool;
   mutable write_clock : int;
   mutable write_tid : int;
+  mutable write_insn : int; (* static insn of the last write, -1 if none *)
   mutable write_atomic : bool;
   mutable write_value : int64;
   mutable write_record : int;
@@ -61,10 +63,12 @@ let fresh_cell () =
     lock = Mutex.create ();
     read_clock = 0;
     read_tid = 0;
+    read_insn = -1;
     read_vc = None;
     read_shared = false;
     write_clock = 0;
     write_tid = 0;
+    write_insn = -1;
     write_atomic = false;
     write_value = 0L;
     write_record = -1;

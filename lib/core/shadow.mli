@@ -20,12 +20,19 @@ type cell = {
           updating the cell (the paper's spinlock field) *)
   mutable read_clock : int;  (** last-read epoch, [0] = bottom *)
   mutable read_tid : int;
+  mutable read_insn : int;
+      (** static instruction id of the last recorded read, [-1] if none.
+          Once reads inflate to a clock this is the {e latest} reader's
+          instruction — an approximation kept so the hot path stays
+          allocation-free (no per-thread insn map). *)
   mutable read_vc : Vclock.Cvc.Mut.t option;
       (** used once [read_shared]; owned by the cell, mutated only under
           [lock], and must be frozen if it ever escapes the detector *)
   mutable read_shared : bool;
   mutable write_clock : int;  (** last-write epoch, [0] = bottom *)
   mutable write_tid : int;
+  mutable write_insn : int;
+      (** static instruction id of the last write, [-1] if none *)
   mutable write_atomic : bool;
   mutable write_value : int64;
   mutable write_record : int;  (** id of the warp instruction that wrote *)

@@ -1,0 +1,456 @@
+(* Candidate-fix generation over the PTX DSL.
+
+   Each candidate is a whole patched kernel plus the metadata the cost
+   model ranks on: a static weight reflecting how much synchronization
+   the edit adds (atomic promotion touches one location, a fence orders
+   one thread's accesses, a barrier stalls a whole block) and the
+   original-kernel instruction sites the edit touches (scaled by their
+   dynamic execution counts).  Generation is purely syntactic and
+   deliberately optimistic — a candidate that lands a barrier in
+   divergent code, or fails to break the race, is killed downstream by
+   {!Validate}, never accepted. *)
+
+module Ast = Ptx.Ast
+
+type kind =
+  | Promote_atomic
+  | Strengthen_fence
+  | Insert_fence
+  | Insert_barrier
+
+type t = {
+  kind : kind;
+  description : string;
+  kernel : Ast.kernel;
+  weight : float;  (** static synchronization-scope weight *)
+  sites : int list;  (** original instruction indices the edit touches *)
+}
+
+let kind_name = function
+  | Promote_atomic -> "promote-atomic"
+  | Strengthen_fence -> "strengthen-fence"
+  | Insert_fence -> "insert-fence"
+  | Insert_barrier -> "insert-barrier"
+
+(* Weights order the scope of the added synchronization: an atomic
+   pins one location, strengthening an existing fence widens ordering
+   already paid for, a fresh fence orders a thread's memory traffic,
+   and a barrier makes every thread of the block wait. *)
+let weight_of = function
+  | Promote_atomic -> 1.0
+  | Strengthen_fence -> 2.0
+  | Insert_fence -> 3.0
+  | Insert_barrier -> 4.0
+
+(* ---- kernel surgery ------------------------------------------------ *)
+
+let with_body k body = { k with Ast.body }
+
+(* Insert [kind] before index [at].  Any label on the displaced
+   instruction moves onto the insertion so branch targets execute the
+   new synchronization too (a barrier reachable only by fallthrough
+   would split the block's threads across two barriers). *)
+let insert_before k ~at kind =
+  let n = Array.length k.Ast.body in
+  let displaced = k.Ast.body.(at) in
+  let inserted = Ast.mk ?label:displaced.Ast.label kind in
+  let body =
+    Array.init (n + 1) (fun i ->
+        if i < at then k.Ast.body.(i)
+        else if i = at then inserted
+        else if i = at + 1 then { displaced with Ast.label = None }
+        else k.Ast.body.(i - 1))
+  in
+  with_body k body
+
+let insert_after k ~at kind =
+  let n = Array.length k.Ast.body in
+  let body =
+    Array.init (n + 1) (fun i ->
+        if i <= at then k.Ast.body.(i)
+        else if i = at + 1 then Ast.mk kind
+        else k.Ast.body.(i - 1))
+  in
+  with_body k body
+
+let replace_kind k ~at kind =
+  let body = Array.copy k.Ast.body in
+  body.(at) <- { body.(at) with Ast.kind };
+  with_body k body
+
+(* Apply [edits] (index, function) bottom-up so earlier indices stay
+   valid while later ones shift. *)
+let apply_edits k edits =
+  List.fold_left
+    (fun k (_, f) -> f k)
+    k
+    (List.sort (fun (a, _) (b, _) -> compare b a) edits)
+
+(* A register name unused anywhere in the kernel, for the discarded
+   old value of a store promoted to atom.exch. *)
+let fresh_reg k =
+  let used = Hashtbl.create 32 in
+  let note_op = function
+    | Ast.Reg r -> Hashtbl.replace used r ()
+    | Ast.Imm _ | Ast.Sym _ | Ast.Sreg _ -> ()
+  in
+  let note_addr (a : Ast.address) = note_op a.Ast.base in
+  Array.iter
+    (fun (i : Ast.insn) ->
+      (match i.Ast.guard with
+      | Some (_, p) -> Hashtbl.replace used p ()
+      | None -> ());
+      match i.Ast.kind with
+      | Ast.Ld { dst; addr; _ } ->
+          Hashtbl.replace used dst ();
+          note_addr addr
+      | Ast.St { src; addr; _ } ->
+          note_op src;
+          note_addr addr
+      | Ast.Atom { dst; addr; src; src2; _ } ->
+          Hashtbl.replace used dst ();
+          note_addr addr;
+          note_op src;
+          Option.iter note_op src2
+      | Ast.Setp { dst; a; b; _ } ->
+          Hashtbl.replace used dst ();
+          note_op a;
+          note_op b
+      | Ast.Mov { dst; src } | Ast.Not { dst; src } | Ast.Cvt { dst; src } ->
+          Hashtbl.replace used dst ();
+          note_op src
+      | Ast.Binop { dst; a; b; _ } ->
+          Hashtbl.replace used dst ();
+          note_op a;
+          note_op b
+      | Ast.Mad { dst; a; b; c } ->
+          Hashtbl.replace used dst ();
+          note_op a;
+          note_op b;
+          note_op c
+      | Ast.Selp { dst; a; b; pred } ->
+          Hashtbl.replace used dst ();
+          note_op a;
+          note_op b;
+          Hashtbl.replace used pred ()
+      | Ast.Membar _ | Ast.Bar_sync _ | Ast.Bra _ | Ast.Ret | Ast.Exit
+      | Ast.Nop ->
+          ())
+    k.Ast.body;
+  let rec pick i =
+    let r = Printf.sprintf "%%rp%d" i in
+    if Hashtbl.mem used r then pick (i + 1) else r
+  in
+  pick 0
+
+let promote_insn k ~at =
+  match k.Ast.body.(at).Ast.kind with
+  | Ast.Ld { space; width; dst; addr; _ } ->
+      Some
+        (Ast.Atom
+           {
+             space;
+             op = Ast.A_add;
+             width;
+             dst;
+             addr;
+             src = Ast.Imm 0L;
+             src2 = None;
+           })
+  | Ast.St { space; width; src; addr; _ } ->
+      Some
+        (Ast.Atom
+           {
+             space;
+             op = Ast.A_exch;
+             width;
+             dst = fresh_reg k;
+             addr;
+             src;
+             src2 = None;
+           })
+  | _ -> None
+
+let is_plain_access k at =
+  at >= 0
+  && at < Array.length k.Ast.body
+  &&
+  match k.Ast.body.(at).Ast.kind with
+  | Ast.Ld _ | Ast.St _ -> true
+  | _ -> false
+
+let is_access k at =
+  at >= 0
+  && at < Array.length k.Ast.body
+  && Ast.is_memory_access k.Ast.body.(at).Ast.kind
+
+(* ---- generators ---------------------------------------------------- *)
+
+(* 1. Promote a racy pair's plain load/store endpoints to atomics: the
+   detector (and the predictive analysis) treat atomic-atomic access
+   sets as synchronization, so an all-atomic location cannot race. *)
+let gen_promote_pair kernel (a, b) =
+  let ats =
+    List.sort_uniq compare (List.filter (is_plain_access kernel) [ a; b ])
+  in
+  let atomic_other =
+    List.for_all
+      (fun i ->
+        is_plain_access kernel i
+        ||
+        match kernel.Ast.body.(i).Ast.kind with Ast.Atom _ -> true | _ -> false)
+      (List.filter (fun i -> i >= 0 && i < Array.length kernel.Ast.body) [ a; b ])
+  in
+  if ats = [] || not atomic_other then []
+  else
+    let k =
+      List.fold_left
+        (fun k at ->
+          match promote_insn k ~at with
+          | Some kind -> replace_kind k ~at kind
+          | None -> k)
+        kernel ats
+    in
+    [
+      {
+        kind = Promote_atomic;
+        description =
+          Printf.sprintf "promote %s to atomics"
+            (String.concat ", "
+               (List.map (Printf.sprintf "insn %d") ats));
+        kernel = k;
+        weight = weight_of Promote_atomic;
+        sites = ats;
+      };
+    ]
+
+(* 2. Strengthen every block-scoped fence to global scope — needs no
+   localization and fixes the cta-fence-across-blocks family. *)
+let gen_strengthen_fences kernel =
+  let sites = ref [] in
+  Array.iteri
+    (fun i (insn : Ast.insn) ->
+      match insn.Ast.kind with
+      | Ast.Membar Ast.Cta -> sites := i :: !sites
+      | _ -> ())
+    kernel.Ast.body;
+  match List.rev !sites with
+  | [] -> []
+  | sites ->
+      let one at =
+        {
+          kind = Strengthen_fence;
+          description =
+            Printf.sprintf "strengthen membar.cta to membar.gl at insn %d" at;
+          kernel = replace_kind kernel ~at (Ast.Membar Ast.Gl);
+          weight = weight_of Strengthen_fence;
+          sites = [ at ];
+        }
+      in
+      let all =
+        {
+          kind = Strengthen_fence;
+          description = "strengthen every membar.cta to membar.gl";
+          kernel =
+            List.fold_left
+              (fun k at -> replace_kind k ~at (Ast.Membar Ast.Gl))
+              kernel sites;
+          weight = weight_of Strengthen_fence *. 1.5;
+          sites;
+        }
+      in
+      List.map one sites @ (if List.length sites > 1 then [ all ] else [])
+
+(* 3. Turn a store/load pair into a release/acquire handoff: the role
+   inference treats a store immediately preceded by an unguarded fence
+   as a release and a load immediately followed by one as an acquire
+   (atomics become acquire-release when fence-sandwiched). *)
+let fence_edits_for kernel at =
+  match kernel.Ast.body.(at).Ast.kind with
+  | Ast.St _ -> [ (at, fun k -> insert_before k ~at (Ast.Membar Ast.Gl)) ]
+  | Ast.Ld _ -> [ (at, fun k -> insert_after k ~at (Ast.Membar Ast.Gl)) ]
+  | Ast.Atom _ ->
+      [
+        (at, fun k -> insert_after k ~at (Ast.Membar Ast.Gl));
+        (at, fun k -> insert_before k ~at (Ast.Membar Ast.Gl));
+      ]
+  | _ -> []
+
+let gen_fence_pair kernel (a, b) =
+  if a = b || not (is_access kernel a) || not (is_access kernel b) then []
+  else
+    let edits = fence_edits_for kernel a @ fence_edits_for kernel b in
+    if edits = [] then []
+    else
+      [
+        {
+          kind = Insert_fence;
+          description =
+            Printf.sprintf
+              "insert membar.gl around insns %d and %d (release/acquire)" a b;
+          kernel = apply_edits kernel edits;
+          weight = weight_of Insert_fence;
+          sites = [ a; b ];
+        };
+      ]
+
+(* Fence-sandwich every atomic in the kernel: the space-directed
+   fallback for predicted races on atomic handoffs, where the recorded
+   order is silent and no static pair exists. *)
+let gen_fence_all_atomics kernel =
+  let sites = ref [] in
+  Array.iteri
+    (fun i (insn : Ast.insn) ->
+      match insn.Ast.kind with Ast.Atom _ -> sites := i :: !sites | _ -> ())
+    kernel.Ast.body;
+  match List.rev !sites with
+  | [] -> []
+  | sites ->
+      let edits = List.concat_map (fence_edits_for kernel) sites in
+      [
+        {
+          kind = Insert_fence;
+          description = "insert membar.gl around every atomic (acquire-release)";
+          kernel = apply_edits kernel edits;
+          weight = weight_of Insert_fence *. 1.5;
+          sites;
+        };
+      ]
+
+(* 4. Barrier insertion for a racy pair.  Candidate placements:
+   immediately before the later access, and at the entry of each block
+   that dominates the later access while post-dominating the earlier
+   one (every thread that executed the first access reaches the
+   boundary, and no thread reaches the second without crossing it).
+   Divergent placements are rejected by validation, not avoided
+   here. *)
+let gen_barrier_pair kernel (a, b) =
+  if not (is_access kernel a && is_access kernel b) then []
+  else
+    let lo = min a b and hi = max a b in
+    let before_hi =
+      {
+        kind = Insert_barrier;
+        description = Printf.sprintf "insert bar.sync 0 before insn %d" hi;
+        kernel = insert_before kernel ~at:hi (Ast.Bar_sync 0);
+        weight = weight_of Insert_barrier;
+        sites = [ hi ];
+      }
+    in
+    let boundary =
+      try
+        let g = Cfg.Graph.of_kernel kernel in
+        let doms = Cfg.Dominance.dominators g in
+        let pdoms = Cfg.Dominance.post_dominators g in
+        let block_lo = Cfg.Graph.block_of_insn g lo in
+        let block_hi = Cfg.Graph.block_of_insn g hi in
+        if block_lo = block_hi then []
+        else
+          Array.to_list (Cfg.Graph.blocks g)
+          |> List.filter (fun (blk : Cfg.Graph.block) ->
+                 blk.Cfg.Graph.id <> block_lo
+                 && blk.Cfg.Graph.id <> 0
+                 && Cfg.Dominance.dominates doms blk.Cfg.Graph.id block_hi
+                 && Cfg.Dominance.dominates pdoms blk.Cfg.Graph.id block_lo)
+          |> List.map (fun (blk : Cfg.Graph.block) ->
+                 {
+                   kind = Insert_barrier;
+                   description =
+                     Printf.sprintf
+                       "insert bar.sync 0 at the phase boundary (insn %d)"
+                       blk.Cfg.Graph.first;
+                   kernel =
+                     insert_before kernel ~at:blk.Cfg.Graph.first
+                       (Ast.Bar_sync 0);
+                   weight = weight_of Insert_barrier;
+                   sites = [ blk.Cfg.Graph.first ];
+                 })
+      with Invalid_argument _ -> []
+    in
+    before_hi :: boundary
+
+(* Space-directed fallback: promote every plain access to a racy space
+   when no localized pair exists (predicted-only races).  Wide, so it
+   carries the heaviest weight and only wins when nothing narrower
+   validates. *)
+let gen_promote_space kernel space =
+  let sites = ref [] in
+  Array.iteri
+    (fun i (insn : Ast.insn) ->
+      match insn.Ast.kind with
+      | Ast.Ld { space = s; _ } | Ast.St { space = s; _ } ->
+          if s = space then sites := i :: !sites
+      | _ -> ())
+    kernel.Ast.body;
+  match List.rev !sites with
+  | [] -> []
+  | sites ->
+      let k =
+        List.fold_left
+          (fun k at ->
+            match promote_insn k ~at with
+            | Some kind -> replace_kind k ~at kind
+            | None -> k)
+          kernel sites
+      in
+      [
+        {
+          kind = Promote_atomic;
+          description =
+            Format.asprintf "promote every plain %a access to atomics"
+              Ast.pp_space space;
+          kernel = k;
+          weight = weight_of Promote_atomic *. 4.0;
+          sites;
+        };
+      ]
+
+(* ---- assembly ------------------------------------------------------ *)
+
+(* Cost = static weight x (1 + dynamic executions at the touched
+   sites), so of two candidates with the same shape the one on the
+   colder path wins, and cheap narrow fixes outrank block-wide
+   barriers unless the narrow fixes fail validation. *)
+let cost counts c =
+  let dyn =
+    List.fold_left
+      (fun acc i ->
+        acc + (if i >= 0 && i < Array.length counts then counts.(i) else 0))
+      0 c.sites
+  in
+  c.weight *. (1.0 +. float_of_int dyn)
+
+let all ~(diagnosis : Localize.t) kernel =
+  let per_pair p =
+    gen_promote_pair kernel p @ gen_fence_pair kernel p
+    @ gen_barrier_pair kernel p
+  in
+  let localized = List.concat_map per_pair diagnosis.Localize.pairs in
+  let fallback =
+    gen_strengthen_fences kernel
+    @ gen_fence_all_atomics kernel
+    @ List.concat_map (gen_promote_space kernel) diagnosis.Localize.spaces
+  in
+  (* Dedup structurally identical patches (different pairs often
+     propose the same edit), keeping first-generated order for
+     deterministic tie-breaks. *)
+  let seen = Hashtbl.create 16 in
+  let uniq =
+    List.filter
+      (fun c ->
+        let key = Ptx.Printer.kernel_to_string c.kernel in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.replace seen key ();
+          true
+        end)
+      (localized @ fallback)
+  in
+  (* Stable sort by cost: equal-cost candidates stay in generation
+     order, so ranking is deterministic. *)
+  List.stable_sort
+    (fun a b ->
+      compare
+        (cost diagnosis.Localize.counts a)
+        (cost diagnosis.Localize.counts b))
+    uniq

@@ -1,0 +1,33 @@
+(** Candidate-fix generation and ranking.
+
+    The search space is the paper-adjacent fix vocabulary of the PTX
+    DSL: promote racy plain load/store endpoints to atomics, strengthen
+    block-scoped fences to global scope, insert release/acquire fences
+    around a handoff pair, and insert [bar.sync] at the phase boundary
+    the CFG's dominance structure suggests.  Generation is syntactic
+    and optimistic — unsound placements are killed by {!Validate}. *)
+
+type kind =
+  | Promote_atomic
+  | Strengthen_fence
+  | Insert_fence
+  | Insert_barrier
+
+type t = {
+  kind : kind;
+  description : string;
+  kernel : Ptx.Ast.kernel;  (** the patched kernel *)
+  weight : float;  (** static synchronization-scope weight *)
+  sites : int list;  (** original instruction indices the edit touches *)
+}
+
+val kind_name : kind -> string
+
+val cost : int array -> t -> float
+(** [cost counts c]: static weight scaled by the dynamic execution
+    count of the touched sites — the ranking key (lower is better). *)
+
+val all : diagnosis:Localize.t -> Ptx.Ast.kernel -> t list
+(** All structurally distinct candidates for the diagnosed races,
+    sorted by ascending {!cost} (stable, so ranking is
+    deterministic). *)

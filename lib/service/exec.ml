@@ -79,6 +79,9 @@ let outcome_of_report ?(static = false) ~config ~cache_hit ~detect_ms report =
     confirmed = 0;
     degraded = Barracuda.Report.degraded report;
     static;
+    repaired = false;
+    fix = "";
+    repair_tried = 0;
     detect_ms;
   }
 
@@ -125,7 +128,7 @@ let static_result ~config ~cache_hit ~job ~layout entry
 let static_verdict ?(config = default_config) ~cache ~job
     (s : Protocol.submit) =
   match s.Protocol.kind with
-  | Protocol.Predict -> None
+  | Protocol.Predict | Protocol.Repair -> None
   | Protocol.Check -> (
       if not s.Protocol.static then None
       else
@@ -264,7 +267,73 @@ let run_predict ~config ~job (s : Protocol.submit) =
           confirmed = Predict.Analysis.confirmed_count a;
           degraded = false;
           static = false;
+          repaired = false;
+          fix = "";
+          repair_tried = 0;
           detect_ms = 0.0;
+        };
+      queue_ms = 0.0;
+      run_ms = 0.0;
+    }
+
+(* A repair job: diagnose, search the candidate-fix space, validate
+   through the unchanged detector.  The parse/CFG/analysis artifacts
+   come from the same source-digest cache as check jobs; the verdict
+   describes the post-repair state ([Race_free] + [repaired] = fixed,
+   [Racy] = unfixable) so verdict parity with the one-shot
+   [barracuda repair] command holds by construction. *)
+let run_repair ~config ~cache ~job (s : Protocol.submit) =
+  let entry, cache_hit = entry_for ~cache s in
+  let layout = layout_of s in
+  let kernel = entry.Cache.kernel in
+  let setup machine = resolve_args machine kernel s.Protocol.args in
+  let rconfig =
+    {
+      Repair.Engine.default_config with
+      Repair.Engine.max_steps = config.max_steps;
+      shards = max 2 config.job_shards;
+    }
+  in
+  let t0 = Telemetry.Clock.now_ns () in
+  let r = Repair.Engine.repair ~config:rconfig ~layout ~setup kernel in
+  let detect_ms =
+    Int64.to_float (Int64.sub (Telemetry.Clock.now_ns ()) t0) /. 1e6
+  in
+  let d = r.Repair.Engine.diagnosis in
+  let pair_errors =
+    List.filteri
+      (fun i _ -> i < config.max_report_strings)
+      (List.map
+         (fun (a, b) -> Printf.sprintf "racy pair: insn %d vs insn %d" a b)
+         d.Repair.Localize.pairs)
+  in
+  let verdict, repaired, fix, errors =
+    match r.Repair.Engine.verdict with
+    | Repair.Engine.Already_clean -> (Protocol.Race_free, false, "", [])
+    | Repair.Engine.Fixed f ->
+        ( Protocol.Race_free,
+          true,
+          f.Repair.Engine.description,
+          pair_errors )
+    | Repair.Engine.Unfixable -> (Protocol.Racy, false, "", pair_errors)
+  in
+  Protocol.Result
+    {
+      job;
+      outcome =
+        {
+          Protocol.verdict;
+          races = List.length d.Repair.Localize.pairs;
+          errors;
+          cache_hit;
+          predicted = 0;
+          confirmed = 0;
+          degraded = false;
+          static = false;
+          repaired;
+          fix;
+          repair_tried = r.Repair.Engine.candidates_tried;
+          detect_ms;
         };
       queue_ms = 0.0;
       run_ms = 0.0;
@@ -276,6 +345,7 @@ let run ?(config = default_config) ~cache ~job (s : Protocol.submit) =
     match s.Protocol.kind with
     | Protocol.Check -> run_check ~config ~cache ~job s
     | Protocol.Predict -> run_predict ~config ~job s
+    | Protocol.Repair -> run_repair ~config ~cache ~job s
   with
   | Ptx.Parser.Error { line; message } ->
       failed "parse_error" (Printf.sprintf "PTX line %d: %s" line message)

@@ -1,6 +1,6 @@
 module Json = Telemetry.Json
 
-type kind = Check | Predict
+type kind = Check | Predict | Repair
 
 type submit = {
   kind : kind;
@@ -35,6 +35,12 @@ type outcome = {
   static : bool;
       (* the verdict came from the static analysis alone: the kernel
          was never executed *)
+  repaired : bool;
+      (* a repair job accepted a validated fix; [fix] describes it *)
+  fix : string;
+      (* human-readable description of the accepted fix, "" otherwise *)
+  repair_tried : int;
+      (* candidate fixes that entered validation for a repair job *)
   detect_ms : float;
       (* wall-clock spent inside the race detector for this job: the
          drain loop for serial checks, the busiest shard domain for
@@ -72,7 +78,10 @@ type response =
   | Error of string
 
 let verdict_string = function Racy -> "racy" | Race_free -> "race_free"
-let kind_string = function Check -> "check" | Predict -> "predict"
+let kind_string = function
+  | Check -> "check"
+  | Predict -> "predict"
+  | Repair -> "repair"
 
 (* ------------------------------ encoding ------------------------- *)
 
@@ -149,6 +158,7 @@ let decode_submit doc =
     match field "kind" doc with
     | Some (Json.Str "check") | None -> Ok Check
     | Some (Json.Str "predict") -> Ok Predict
+    | Some (Json.Str "repair") -> Ok Repair
     | Some (Json.Str k) -> Result.Error (Printf.sprintf "unknown kind %S" k)
     | Some _ -> Result.Error "field \"kind\" must be a string"
   in
@@ -213,6 +223,9 @@ let encode_response r =
             ("confirmed", Json.Int o.confirmed);
             ("degraded", Json.Bool o.degraded);
             ("static", Json.Bool o.static);
+            ("repaired", Json.Bool o.repaired);
+            ("fix", Json.Str o.fix);
+            ("repair_tried", Json.Int o.repair_tried);
             ("detect_ms", Json.Float o.detect_ms);
             ("queue_ms", Json.Float queue_ms);
             ("run_ms", Json.Float run_ms);
@@ -345,6 +358,13 @@ let decode_result doc =
   let static =
     match field "static" doc with Some (Json.Bool b) -> b | _ -> false
   in
+  let repaired =
+    match field "repaired" doc with Some (Json.Bool b) -> b | _ -> false
+  in
+  let fix =
+    match field "fix" doc with Some (Json.Str s) -> s | _ -> ""
+  in
+  let* repair_tried = int_field ~default:0 "repair_tried" doc in
   let* detect_ms = float_field ~default:0.0 "detect_ms" doc in
   let* queue_ms = float_field ~default:0.0 "queue_ms" doc in
   let* run_ms = float_field ~default:0.0 "run_ms" doc in
@@ -362,6 +382,9 @@ let decode_result doc =
              confirmed;
              degraded;
              static;
+             repaired;
+             fix;
+             repair_tried;
              detect_ms;
            };
          queue_ms;

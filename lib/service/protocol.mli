@@ -25,6 +25,9 @@
 type kind =
   | Check  (** race-check a PTX kernel through the deployed pipeline *)
   | Predict  (** predictive analysis over a serialized trace *)
+  | Repair
+      (** diagnose a racy PTX kernel and search for a minimal validated
+          fix; the verdict describes the post-repair state *)
 
 type submit = {
   kind : kind;
@@ -70,6 +73,13 @@ type outcome = {
       (** the verdict came from the static race analysis alone — the
           kernel was never executed (always [Racy]: race-free kernels
           still run to catch what the analysis cannot see) *)
+  repaired : bool;
+      (** [Repair] only: a validated fix was accepted.  [Race_free] +
+          [repaired] = fixed; [Race_free] alone = already clean;
+          [Racy] = unfixable within the candidate budget *)
+  fix : string;  (** description of the accepted fix, [""] otherwise *)
+  repair_tried : int;
+      (** [Repair] only: candidate fixes that entered validation *)
   detect_ms : float;
       (** wall-clock spent inside the race detector for this job (the
           busiest shard domain when sharded); 0 for [Predict] *)

@@ -22,7 +22,15 @@ let compare_race (a : Report.race) (b : Report.race) =
             compare (kind_code a.Report.cur_kind) (kind_code b.Report.cur_kind)
           in
           if c <> 0 then c
-          else compare a.Report.same_instruction b.Report.same_instruction
+          else
+            let c =
+              compare a.Report.same_instruction b.Report.same_instruction
+            in
+            if c <> 0 then c
+            else
+              let c = compare a.Report.prev_insn b.Report.prev_insn in
+              if c <> 0 then c
+              else compare a.Report.cur_insn b.Report.cur_insn
 
 let merged ~layout ~max_reports reports =
   let out = Report.create ~max_reports ~layout () in
@@ -38,9 +46,10 @@ let merged ~layout ~max_reports reports =
     reports;
   List.iter
     (fun (race : Report.race) ->
-      Report.add_race out ~loc:race.Report.loc ~prev_tid:race.Report.prev_tid
-        ~prev_kind:race.Report.prev_kind ~cur_tid:race.Report.cur_tid
-        ~cur_kind:race.Report.cur_kind
+      Report.add_race out ~prev_insn:race.Report.prev_insn
+        ~cur_insn:race.Report.cur_insn ~loc:race.Report.loc
+        ~prev_tid:race.Report.prev_tid ~prev_kind:race.Report.prev_kind
+        ~cur_tid:race.Report.cur_tid ~cur_kind:race.Report.cur_kind
         ~same_instruction:race.Report.same_instruction)
     (List.sort compare_race !races);
   List.iter

@@ -463,8 +463,9 @@ let report t ~layout =
         let kind w =
           if w then Barracuda.Report.Write else Barracuda.Report.Read
         in
-        Barracuda.Report.add_race r ~loc ~prev_tid:0 ~prev_kind:(kind p.a_write)
-          ~cur_tid ~cur_kind:(kind p.b_write) ~same_instruction:false)
+        Barracuda.Report.add_race r ~prev_insn:p.a_insn ~cur_insn:p.b_insn ~loc
+          ~prev_tid:0 ~prev_kind:(kind p.a_write) ~cur_tid
+          ~cur_kind:(kind p.b_write) ~same_instruction:false)
       live;
     Some r
   end

@@ -23,4 +23,5 @@ let () =
       ("fault", Test_fault.suite);
       ("shard", Test_shard.suite);
       ("static", Test_static.suite);
+      ("repair", Test_repair.suite);
     ]

@@ -86,10 +86,12 @@ let test_wc_release_increment_breaks_uniformity () =
 let test_report_dedup_and_classes () =
   let r = Report.create ~layout:lay () in
   let loc = Gtrace.Loc.global 0 in
-  Report.add_race r ~loc ~prev_tid:0 ~prev_kind:Report.Write ~cur_tid:1
-    ~cur_kind:Report.Write ~same_instruction:false;
-  Report.add_race r ~loc ~prev_tid:0 ~prev_kind:Report.Write ~cur_tid:1
-    ~cur_kind:Report.Write ~same_instruction:false;
+  Report.add_race r ~prev_insn:1 ~cur_insn:2 ~loc ~prev_tid:0
+    ~prev_kind:Report.Write ~cur_tid:1 ~cur_kind:Report.Write
+    ~same_instruction:false;
+  Report.add_race r ~prev_insn:1 ~cur_insn:2 ~loc ~prev_tid:0
+    ~prev_kind:Report.Write ~cur_tid:1 ~cur_kind:Report.Write
+    ~same_instruction:false;
   Alcotest.(check int) "duplicates suppressed" 1 (Report.race_count r);
   Alcotest.(check bool) "intra-warp classification" true
     (Report.classify lay 0 1 = Report.Intra_warp);
@@ -101,9 +103,9 @@ let test_report_dedup_and_classes () =
 let test_report_cap () =
   let r = Report.create ~max_reports:2 ~layout:lay () in
   for i = 0 to 9 do
-    Report.add_race r ~loc:(Gtrace.Loc.global i) ~prev_tid:0
-      ~prev_kind:Report.Write ~cur_tid:1 ~cur_kind:Report.Write
-      ~same_instruction:false
+    Report.add_race r ~prev_insn:(-1) ~cur_insn:(-1)
+      ~loc:(Gtrace.Loc.global i) ~prev_tid:0 ~prev_kind:Report.Write
+      ~cur_tid:1 ~cur_kind:Report.Write ~same_instruction:false
   done;
   Alcotest.(check int) "count sees all" 10 (Report.race_count r);
   Alcotest.(check int) "list capped" 2 (List.length (Report.errors r))

@@ -298,6 +298,9 @@ let scheduler_with_cases ~plan cases =
                 confirmed = 0;
                 degraded = false;
                 static = false;
+                repaired = false;
+                fix = "";
+                repair_tried = 0;
                 detect_ms = 0.0;
               };
             queue_ms = 0.0;

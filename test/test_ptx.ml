@@ -132,13 +132,97 @@ let test_roundtrip_sample () =
     (strip_labels_positions k = strip_labels_positions k');
   Alcotest.(check (list string)) "params" k.Ast.params k'.Ast.params
 
+(* The full printer<->parser contract: the re-parse of a printed kernel
+   is structurally *equal* — every instruction record (kind, guard,
+   label string), the name, the parameters and the shared declarations.
+   The AST stores no source positions, so plain equality is exact. *)
 let prop_builder_print_parse_roundtrip =
   QCheck2.Test.make ~name:"builder kernels roundtrip through print+parse"
     ~count:100 ~print:Gen.print_program Gen.gen_program (fun prog ->
       let k = Gen.kernel_of_program prog in
       let k' = Ptx.Parser.kernel_of_string (Ptx.Printer.kernel_to_string k) in
-      strip_labels_positions k = strip_labels_positions k'
-      && k.Ast.shared_decls = k'.Ast.shared_decls)
+      k = k')
+
+(* The same contract over the instruction forms the repair engine
+   emits: load/store pairs promoted to atomics (add-0 reads, exch
+   writes, plus the cas form), block fences strengthened to global and
+   system scope, and bar.sync/membar insertions.  Every mutated kernel
+   must survive print -> parse with full equality and still validate —
+   exactly what the validation gauntlet's first stage relies on. *)
+let repair_style_mutations (k : Ast.kernel) =
+  let promote (i : Ast.insn) =
+    match i.Ast.kind with
+    | Ast.Ld { space; width; dst; addr; _ } ->
+        {
+          i with
+          Ast.kind =
+            Ast.Atom
+              {
+                space;
+                op = Ast.A_add;
+                width;
+                dst;
+                addr;
+                src = Ast.Imm 0L;
+                src2 = None;
+              };
+        }
+    | Ast.St { space; width; src; addr; _ } ->
+        {
+          i with
+          Ast.kind =
+            Ast.Atom
+              { space; op = Ast.A_exch; width; dst = "%rrt0"; addr; src;
+                src2 = None };
+        }
+    | _ -> i
+  in
+  let strengthen (i : Ast.insn) =
+    match i.Ast.kind with
+    | Ast.Membar Ast.Cta -> { i with Ast.kind = Ast.Membar Ast.Gl }
+    | Ast.Membar Ast.Gl -> { i with Ast.kind = Ast.Membar Ast.Sys }
+    | _ -> i
+  in
+  let with_body body = { k with Ast.body } in
+  let inserted =
+    (* prepend the synchronization forms repair inserts, plus a cas,
+       at index 0 — never a branch target, so labels stay intact *)
+    with_body
+      (Array.append
+         [|
+           Ast.mk (Ast.Bar_sync 0);
+           Ast.mk (Ast.Membar Ast.Gl);
+           Ast.mk
+             (Ast.Atom
+                {
+                  space = Ast.Global;
+                  op = Ast.A_cas;
+                  width = 4;
+                  dst = "%rrt1";
+                  addr = { Ast.base = Ast.Sym "g"; offset = 0 };
+                  src = Ast.Imm 0L;
+                  src2 = Some (Ast.Imm 1L);
+                });
+         |]
+         k.Ast.body)
+  in
+  [
+    with_body (Array.map promote k.Ast.body);
+    with_body (Array.map strengthen k.Ast.body);
+    inserted;
+  ]
+
+let prop_repair_forms_roundtrip =
+  QCheck2.Test.make
+    ~name:"repair-emitted forms roundtrip through print+parse and validate"
+    ~count:100 ~print:Gen.print_program Gen.gen_program (fun prog ->
+      List.for_all
+        (fun k ->
+          let k' =
+            Ptx.Parser.kernel_of_string (Ptx.Printer.kernel_to_string k)
+          in
+          k = k' && Ptx.Validate.check k' = [])
+        (repair_style_mutations (Gen.kernel_of_program prog)))
 
 (* ---- Builder ------------------------------------------------------- *)
 
@@ -231,4 +315,8 @@ let suite =
     Alcotest.test_case "validate catches errors" `Quick test_validate_catches;
   ]
   @ List.map Gen.to_alcotest
-      [ prop_builder_print_parse_roundtrip; prop_builder_kernels_validate ]
+      [
+        prop_builder_print_parse_roundtrip;
+        prop_repair_forms_roundtrip;
+        prop_builder_kernels_validate;
+      ]

@@ -15,6 +15,9 @@ let ok_outcome =
     confirmed = 0;
     degraded = false;
     static = false;
+    repaired = false;
+    fix = "";
+    repair_tried = 0;
     detect_ms = 0.0;
   }
 
@@ -99,6 +102,9 @@ let test_protocol_roundtrip () =
               confirmed = 1;
               degraded = true;
               static = true;
+              repaired = false;
+              fix = "";
+              repair_tried = 0;
               detect_ms = 1.75;
             };
           queue_ms = 0.25;
