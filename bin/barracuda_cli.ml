@@ -10,6 +10,7 @@
      barracuda table1                                       workload summary
      barracuda serve [--socket PATH] [--workers N]          race-checking daemon
      barracuda submit FILE [--kind check|predict]           send a job to the daemon
+     barracuda stream FILE --trace REC [--chunk N]          stream a recording to the daemon
      barracuda svc-status [--prometheus]                    query the daemon
 
    Exit codes: 0 = clean, 1 = race found (or an I/O error), 2 = bad
@@ -175,9 +176,15 @@ let write_metrics path =
         exit 1
 
 let check_cmd =
-  let run layout file specs max_reports dump_trace metrics shards =
+  let run layout file specs max_reports dump_trace metrics shards record =
     guard @@ fun () ->
     if shards < 1 then failwith "--shards must be at least 1";
+    if record <> None && shards > 1 then
+      failwith "--record is not supported together with --shards";
+    if record <> None && dump_trace <> None then
+      failwith "--record is not supported together with --dump-trace";
+    if record <> None && metrics <> None then
+      failwith "--record is not supported together with --metrics";
     let kernel = load_kernel file in
     let machine = Simt.Machine.create ~layout () in
     let args = resolve_args machine kernel specs in
@@ -238,7 +245,9 @@ let check_cmd =
         let code = print_verdict (Gpu_runtime.Pipeline.report result) in
         write_metrics path;
         code
-    | None ->
+    | None when dump_trace <> None ->
+        (* The abstract-trace dump needs the raw interpreter events, so
+           it keeps the direct detector feed. *)
         let detector = Barracuda.Detector.create ~config ~layout kernel in
         let on_event ev =
           record_trace ev;
@@ -248,6 +257,24 @@ let check_cmd =
         write_trace ();
         print_machine_result kernel result;
         print_verdict (Barracuda.Detector.report detector)
+    | None ->
+        (* The plain serial check is a thin driver over the streaming
+           session core; --record taps its capture hook. *)
+        let capture =
+          match record with Some _ -> Some (Buffer.create 65536) | None -> None
+        in
+        let result =
+          Gpu_runtime.Session.run_stream ~detector:config ?capture ~machine
+            kernel args
+        in
+        (match (record, capture) with
+        | Some path, Some buf ->
+            Gpu_runtime.Stream.write_file path ~layout buf;
+            Format.printf "stream recorded to %s (%d records)@." path
+              result.Gpu_runtime.Session.sr_records
+        | _ -> ());
+        print_machine_result kernel result.Gpu_runtime.Session.sr_machine_result;
+        print_verdict result.Gpu_runtime.Session.sr_report
   in
   let max_reports =
     Arg.(value & opt int 50 & info [ "max-reports" ] ~docv:"N"
@@ -269,11 +296,21 @@ let check_cmd =
              deterministically; verdicts are identical at every shard \
              count.")
   in
+  let record =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record" ] ~docv:"FILE"
+          ~doc:
+            "Record the sealed wire-record stream (with store values) to \
+             $(docv) while checking.  The recording replays through \
+             $(b,barracuda stream) with a bitwise-identical verdict.")
+  in
   Cmd.v
     (Cmd.info "check" ~doc:"Race-check a PTX kernel on the simulator.")
     Term.(
       const run $ layout_term $ file_term $ args_term $ max_reports
-      $ dump_trace $ metrics_term $ shards)
+      $ dump_trace $ metrics_term $ shards $ record)
 
 let profile_cmd =
   let stage_order = [ "instrument"; "execute"; "queue"; "decode"; "detect" ] in
@@ -1045,9 +1082,10 @@ let socket_term =
 
 let serve_cmd =
   let run socket workers queue_capacity cache_capacity max_steps deadline_ms
-      job_shards =
+      job_shards sessions =
     guard @@ fun () ->
     if job_shards < 1 then failwith "--job-shards must be at least 1";
+    if sessions < 0 then failwith "--sessions must be at least 0";
     (* The daemon always runs with telemetry on: the status reply, the
        metrics request and the Prometheus exporter feed from it. *)
     Telemetry.Registry.set_enabled true;
@@ -1061,6 +1099,7 @@ let serve_cmd =
         max_steps;
         job_deadline_ms = deadline_ms;
         job_shards;
+        session_seats = sessions;
       }
     in
     let t = Service.Server.start ~config () in
@@ -1078,8 +1117,9 @@ let serve_cmd =
         job_shards workers queue_capacity cache_capacity
     else
       Format.printf
-        "barracuda service listening on %s (%d workers, queue %d, cache %d)@."
-        socket workers queue_capacity cache_capacity;
+        "barracuda service listening on %s (%d workers, %d session seats, \
+         queue %d, cache %d)@."
+        socket workers sessions queue_capacity cache_capacity;
     Service.Server.wait t;
     Format.printf "barracuda service stopped.@.";
     0
@@ -1123,6 +1163,14 @@ let serve_cmd =
                      domain budget is split between job seats and \
                      intra-job shards (workers / N seats, at least 1).")
   in
+  let sessions =
+    Arg.(value
+           & opt int Service.Server.default_config.Service.Server.session_seats
+           & info [ "sessions" ] ~docv:"N"
+               ~doc:"Long-lived streaming-session seats (dedicated \
+                     domains, separate from the --workers batch pool).  \
+                     0 disables streaming.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1130,7 +1178,7 @@ let serve_cmd =
           self-healing pool of worker domains and a content-hash artifact \
           cache behind a Unix domain socket.")
     Term.(const run $ socket_term $ workers $ queue $ cache $ max_steps
-          $ deadline $ job_shards)
+          $ deadline $ job_shards $ sessions)
 
 let submit_cmd =
   let run socket layout file specs kind no_prune no_static retries json =
@@ -1255,6 +1303,138 @@ let submit_cmd =
       const run $ socket_term $ layout_term $ file_term $ args_term $ kind
       $ no_prune $ no_static $ retries $ json)
 
+let stream_cmd =
+  let run socket file trace specs chunk flush_every no_prune no_static =
+    guard @@ fun () ->
+    if chunk < 1 then failwith "--chunk must be at least 1";
+    let ic = open_in file in
+    let payload = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    (* The recorded layout travels in the stream file's header: the
+       session replays under exactly the grid that produced it. *)
+    let layout, cells = Gpu_runtime.Stream.read_file trace in
+    let sub =
+      {
+        Service.Protocol.kind = Service.Protocol.Check;
+        payload;
+        layout =
+          Some
+            ( layout.Vclock.Layout.blocks,
+              layout.Vclock.Layout.threads_per_block,
+              layout.Vclock.Layout.warp_size );
+        args = specs;
+        prune = not no_prune;
+        static = not no_static;
+      }
+    in
+    let print_verdict ~label (v : Service.Client.stream_verdict) =
+      Format.printf "%s: %d records, %s (%d race%s)@." label
+        v.Service.Client.v_records
+        (Service.Protocol.verdict_string v.Service.Client.v_verdict)
+        v.Service.Client.v_races
+        (if v.Service.Client.v_races = 1 then "" else "s");
+      if v.Service.Client.v_degraded then
+        Format.printf
+          "  warning: degraded transport — %d corrupt, %d lost, %d stale, \
+           %d desynced@."
+          v.Service.Client.v_corrupt v.Service.Client.v_gaps
+          v.Service.Client.v_stale v.Service.Client.v_desync
+    in
+    match Service.Client.stream_open ~socket sub with
+    | Error message ->
+        Format.eprintf "barracuda: cannot open a session: %s@." message;
+        1
+    | Ok s -> (
+        let total = String.length cells in
+        let nchunks = max 1 ((total + chunk - 1) / chunk) in
+        Format.printf
+          "session %d open on %s: shipping %d bytes in %d chunk%s@."
+          (Service.Client.session_sid s)
+          socket total nchunks
+          (if nchunks = 1 then "" else "s");
+        let failed message =
+          Service.Client.stream_abort s;
+          Format.eprintf "barracuda: stream failed: %s@." message;
+          None
+        in
+        let rec ship sent i =
+          if sent >= total then Some ()
+          else
+            let len = min chunk (total - sent) in
+            match Service.Client.stream_append s (String.sub cells sent len) with
+            | Error message -> failed message
+            | Ok records -> (
+                let sent = sent + len and i = i + 1 in
+                if
+                  flush_every > 0 && i mod flush_every = 0 && sent < total
+                then
+                  match Service.Client.stream_flush s with
+                  | Error message -> failed message
+                  | Ok v ->
+                      print_verdict
+                        ~label:
+                          (Printf.sprintf "chunk %d/%d" i nchunks)
+                        v;
+                      ship sent i
+                else begin
+                  ignore records;
+                  ship sent i
+                end)
+        in
+        match ship 0 0 with
+        | None -> 1
+        | Some () -> (
+            match Service.Client.stream_close s with
+            | Error message ->
+                Format.eprintf "barracuda: stream failed: %s@." message;
+                1
+            | Ok v ->
+                print_verdict ~label:"final" v;
+                if v.Service.Client.v_verdict = Service.Protocol.Racy then 1
+                else 0))
+  in
+  let trace =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Recorded wire-record stream from $(b,barracuda check \
+                --record).")
+  in
+  let chunk =
+    Arg.(
+      value & opt int 4096
+      & info [ "chunk" ] ~docv:"BYTES"
+          ~doc:"Chunk size; cells are split at arbitrary byte boundaries \
+                and reassembled daemon-side.")
+  in
+  let flush_every =
+    Arg.(
+      value & opt int 8
+      & info [ "flush-every" ] ~docv:"N"
+          ~doc:"Checkpoint (and print the verdict so far) every $(docv) \
+                chunks; 0 checkpoints only at close.")
+  in
+  let no_prune =
+    Arg.(value & flag
+           & info [ "no-prune" ] ~doc:"Disable the logging-pruning pass.")
+  in
+  let no_static =
+    Arg.(value & flag
+           & info [ "no-static" ]
+               ~doc:"Disable the static race analysis tier.")
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:
+         "Ship a recorded wire-record stream to a running daemon in \
+          chunks over a long-lived session, printing online verdicts at \
+          each checkpoint.  The final verdict is bitwise-identical to a \
+          one-shot check of the same kernel.")
+    Term.(
+      const run $ socket_term $ file_term $ trace $ args_term $ chunk
+      $ flush_every $ no_prune $ no_static)
+
 let svc_status_cmd =
   let run socket prometheus json shutdown =
     guard @@ fun () ->
@@ -1302,7 +1482,17 @@ let svc_status_cmd =
                            evictions@."
               s.Service.Protocol.cache_entries s.Service.Protocol.cache_hits
               s.Service.Protocol.cache_misses
-              s.Service.Protocol.cache_evictions
+              s.Service.Protocol.cache_evictions;
+            Format.printf "  sessions  %d seats, %d open, %d opened total@."
+              s.Service.Protocol.session_seats
+              s.Service.Protocol.open_sessions
+              s.Service.Protocol.sessions_opened;
+            Format.printf
+              "  transport %d corrupt, %d lost, %d stale, %d desynced@."
+              s.Service.Protocol.integrity_corrupt
+              s.Service.Protocol.integrity_gaps
+              s.Service.Protocol.integrity_stale
+              s.Service.Protocol.integrity_desync
           end;
           0
       | Error message ->
@@ -1390,5 +1580,5 @@ let () =
             check_cmd; profile_cmd; instrument_cmd; analyze_cmd; repair_cmd;
             suite_cmd;
             litmus_cmd; table1_cmd; sweep_cmd; replay_cmd; predict_cmd; faults_cmd;
-            serve_cmd; submit_cmd; svc_status_cmd;
+            serve_cmd; submit_cmd; stream_cmd; svc_status_cmd;
           ]))

@@ -11,7 +11,9 @@ let load_file path =
 let of_ops ~layout ops = { layout; ops }
 let feasibility { layout; ops } = Gtrace.Feasible.check ~layout ops
 
+(* A thin driver over the op-plane session core: feed every recorded
+   operation incrementally and close for the final verdict. *)
 let run ?max_reports ?filter_same_value { layout; ops } =
-  let d = Barracuda.Reference.create ?max_reports ?filter_same_value ~layout () in
-  Barracuda.Reference.run d ops;
-  Barracuda.Reference.report d
+  let s = Session.open_ops ?max_reports ?filter_same_value ~layout () in
+  Session.feed_ops s ops;
+  Session.close_ops s

@@ -22,4 +22,5 @@ val feasibility : loaded -> (unit, Gtrace.Feasible.violation) result
 
 val run :
   ?max_reports:int -> ?filter_same_value:bool -> loaded -> Barracuda.Report.t
-(** Replay through {!Barracuda.Reference} and return its report. *)
+(** Replay through the op-plane session core ({!Session.open_ops}; the
+    reference detector underneath) and return its report. *)

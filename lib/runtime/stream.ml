@@ -1,0 +1,130 @@
+module Wire = Barracuda.Wire
+
+exception Framing of string
+
+let cell_size ~nvalues = Wire.size + 2 + (8 * nvalues)
+let max_cell_size = cell_size ~nvalues:Wire.max_lanes
+
+let append_cell b buf ~pos ~values =
+  Buffer.add_subbytes b buf pos Wire.size;
+  let n = Array.length values in
+  if n > Wire.max_lanes then invalid_arg "Stream.append_cell: too many values";
+  Buffer.add_char b (Char.chr (n land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 8) land 0xff));
+  for i = 0 to n - 1 do
+    Buffer.add_int64_le b values.(i)
+  done
+
+type reader = {
+  mutable buf : Bytes.t;
+  mutable start : int;  (* first pending byte *)
+  mutable avail : int;  (* pending bytes from [start] *)
+}
+
+let reader () = { buf = Bytes.create (4 * max_cell_size); start = 0; avail = 0 }
+let pending r = r.avail
+
+(* Make room for [extra] more bytes after the pending region: compact
+   pending bytes to the front, growing the backing buffer if needed. *)
+let make_room r extra =
+  let need = r.avail + extra in
+  if need > Bytes.length r.buf then begin
+    let cap = ref (Bytes.length r.buf) in
+    while !cap < need do
+      cap := !cap * 2
+    done;
+    let nb = Bytes.create !cap in
+    Bytes.blit r.buf r.start nb 0 r.avail;
+    r.buf <- nb;
+    r.start <- 0
+  end
+  else if r.start + need > Bytes.length r.buf then begin
+    Bytes.blit r.buf r.start r.buf 0 r.avail;
+    r.start <- 0
+  end
+
+let feed r ?(pos = 0) ?len chunk k =
+  let len = match len with Some l -> l | None -> String.length chunk - pos in
+  if pos < 0 || len < 0 || pos + len > String.length chunk then
+    invalid_arg "Stream.feed";
+  make_room r len;
+  Bytes.blit_string chunk pos r.buf (r.start + r.avail) len;
+  r.avail <- r.avail + len;
+  let delivered = ref 0 in
+  let continue = ref true in
+  while !continue do
+    if r.avail < Wire.size + 2 then continue := false
+    else begin
+      let at = r.start + Wire.size in
+      let n =
+        Char.code (Bytes.get r.buf at)
+        lor (Char.code (Bytes.get r.buf (at + 1)) lsl 8)
+      in
+      if n > Wire.max_lanes then
+        raise
+          (Framing
+             (Printf.sprintf "impossible value count %d (max %d)" n
+                Wire.max_lanes));
+      let cell = cell_size ~nvalues:n in
+      if r.avail < cell then continue := false
+      else begin
+        let values =
+          Array.init n (fun i -> Bytes.get_int64_le r.buf (at + 2 + (8 * i)))
+        in
+        k ~buf:r.buf ~pos:r.start ~values;
+        r.start <- r.start + cell;
+        r.avail <- r.avail - cell;
+        incr delivered
+      end
+    end
+  done;
+  if r.avail = 0 then r.start <- 0;
+  !delivered
+
+(* ---- recorded stream files --------------------------------------- *)
+
+let header_size = 16
+let magic = "BAWS"
+let format_version = 1
+
+let encode_header (l : Vclock.Layout.t) =
+  let b = Buffer.create header_size in
+  Buffer.add_string b magic;
+  Buffer.add_uint16_le b format_version;
+  Buffer.add_uint16_le b l.Vclock.Layout.warp_size;
+  Buffer.add_int32_le b (Int32.of_int l.Vclock.Layout.threads_per_block);
+  Buffer.add_int32_le b (Int32.of_int l.Vclock.Layout.blocks);
+  Buffer.contents b
+
+let decode_header s =
+  if String.length s < header_size then raise (Framing "truncated header");
+  if String.sub s 0 4 <> magic then raise (Framing "bad stream magic");
+  let u16 at = Char.code s.[at] lor (Char.code s.[at + 1] lsl 8) in
+  let u32 at = u16 at lor (u16 (at + 2) lsl 16) in
+  let v = u16 4 in
+  if v <> format_version then
+    raise (Framing (Printf.sprintf "unsupported stream version %d" v));
+  let warp_size = u16 6 in
+  let threads_per_block = u32 8 in
+  let blocks = u32 12 in
+  if warp_size <= 0 || threads_per_block <= 0 || blocks <= 0 then
+    raise (Framing "bad layout in stream header");
+  Vclock.Layout.make ~warp_size ~threads_per_block ~blocks
+
+let write_file path ~layout cells =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (encode_header layout);
+      Buffer.output_buffer oc cells)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let layout = decode_header s in
+  (layout, String.sub s header_size (String.length s - header_size))

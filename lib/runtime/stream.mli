@@ -1,0 +1,70 @@
+(** Incremental wire-record streams: the byte format streaming sessions
+    feed on and batch runs record to.
+
+    A stream is a sequence of {e cells}.  Each cell is one sealed
+    280-byte wire record ({!Barracuda.Wire}) followed by its value
+    side channel: a 16-bit little-endian count [n] (at most
+    {!Barracuda.Wire.max_lanes}) and [n] 64-bit little-endian lane
+    values.  The real system rereads store values from device memory
+    when applying the same-value write filter; carrying them in the
+    cell preserves bitwise verdict parity between a replayed stream and
+    the run that recorded it.
+
+    Cells may be split at {e any} byte boundary when shipped in chunks;
+    {!feed} reassembles them.  Recorded stream files prepend a fixed
+    {!header_size}-byte header naming the grid layout. *)
+
+exception Framing of string
+(** The byte stream cannot be a cell sequence (impossible value count).
+    Distinct from record-level corruption, which is absorbed and
+    accounted by the session's integrity tracking: framing corruption
+    desynchronizes every subsequent cell boundary, so it is loud. *)
+
+val cell_size : nvalues:int -> int
+(** Bytes occupied by a cell carrying [nvalues] lane values. *)
+
+val max_cell_size : int
+(** [cell_size ~nvalues:Barracuda.Wire.max_lanes]. *)
+
+val append_cell : Buffer.t -> Bytes.t -> pos:int -> values:int64 array -> unit
+(** Append one cell: the sealed record at [pos] plus [values]. *)
+
+type reader
+(** Incremental cell reassembly with partial-cell buffering. *)
+
+val reader : unit -> reader
+
+val pending : reader -> int
+(** Bytes buffered awaiting the rest of their cell. *)
+
+val feed :
+  reader ->
+  ?pos:int ->
+  ?len:int ->
+  string ->
+  (buf:Bytes.t -> pos:int -> values:int64 array -> unit) ->
+  int
+(** Feed a chunk and invoke the callback once per completed cell, in
+    stream order; the record bytes are valid only for the duration of
+    the callback.  Returns the number of cells delivered.
+    @raise Framing on an impossible value count. *)
+
+(** {1 Recorded stream files} *)
+
+val header_size : int
+
+val encode_header : Vclock.Layout.t -> string
+(** 16 bytes: magic ["BAWS"], format version, warp size, threads per
+    block, blocks (1-D layouts; the recorders only emit those). *)
+
+val decode_header : string -> Vclock.Layout.t
+(** @raise Framing on bad magic/version or a truncated header. *)
+
+val write_file : string -> layout:Vclock.Layout.t -> Buffer.t -> unit
+(** Write header + recorded cells to [path]. *)
+
+val read_file : string -> Vclock.Layout.t * string
+(** Load a recorded stream: the layout and the raw cell bytes (header
+    stripped), ready to be chunked into {!feed} or a session.
+    @raise Framing on a bad header.
+    @raise Sys_error if the file cannot be read. *)

@@ -1,34 +1,41 @@
-let request ~socket req =
-  let fd =
-    try Ok (Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0)
-    with Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
-  in
-  match fd with
-  | Error _ as e -> e
-  | Ok fd -> (
-      let finish r =
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        r
-      in
-      match
-        Unix.connect fd (Unix.ADDR_UNIX socket);
-        Protocol.write_frame fd (Protocol.encode_request req);
-        (* The reply may take as long as the job does; no read
-           timeout here, the daemon's queue bound is the limit. *)
-        Protocol.read_frame (Unix.in_channel_of_descr fd)
-      with
-      | Protocol.Eof -> finish (Error "connection closed before a reply")
-      | Protocol.Oversized ->
-          finish
-            (Error
-               (Printf.sprintf "reply exceeds the %d-byte frame limit"
-                  Protocol.max_frame_bytes))
-      | Protocol.Frame line -> finish (Protocol.decode_response line)
+(* One request/response exchange on an already-connected descriptor;
+   the caller owns the close. *)
+let exchange ~socket fd ic req =
+  match
+    Protocol.write_frame fd (Protocol.encode_request req);
+    (* The reply may take as long as the job does; no read
+       timeout here, the daemon's queue bound is the limit. *)
+    Protocol.read_frame ic
+  with
+  | Protocol.Eof -> Error "connection closed before a reply"
+  | Protocol.Oversized ->
+      Error
+        (Printf.sprintf "reply exceeds the %d-byte frame limit"
+           Protocol.max_frame_bytes)
+  | Protocol.Frame line -> Protocol.decode_response line
+  | exception Unix.Unix_error (e, fn, _) ->
+      Error (Printf.sprintf "%s: %s (%s)" socket (Unix.error_message e) fn)
+  | exception Sys_error msg -> Error msg
+  | exception End_of_file -> Error "connection closed before a reply"
+
+let connect ~socket =
+  match Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | fd -> (
+      match Unix.connect fd (Unix.ADDR_UNIX socket) with
+      | () -> Ok fd
       | exception Unix.Unix_error (e, fn, _) ->
-          finish
-            (Error (Printf.sprintf "%s: %s (%s)" socket (Unix.error_message e) fn))
-      | exception Sys_error msg -> finish (Error msg)
-      | exception End_of_file -> finish (Error "connection closed before a reply"))
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error
+            (Printf.sprintf "%s: %s (%s)" socket (Unix.error_message e) fn))
+
+let request ~socket req =
+  match connect ~socket with
+  | Error _ as e -> e
+  | Ok fd ->
+      let r = exchange ~socket fd (Unix.in_channel_of_descr fd) req in
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      r
 
 let backoff_cap_s = 2.0
 
@@ -83,6 +90,121 @@ let shutdown ~socket =
   match request ~socket Protocol.Shutdown with
   | Ok Protocol.Stopping -> Ok ()
   | Ok r -> Error ("unexpected reply: " ^ Protocol.encode_response r)
+  | Error _ as e -> e
+
+(* ---- streaming sessions ------------------------------------------ *)
+
+type session = {
+  s_socket : string;
+  s_fd : Unix.file_descr;
+  s_ic : in_channel;
+  s_sid : int;
+  mutable s_alive : bool;
+}
+
+type stream_verdict = {
+  v_final : bool;
+  v_records : int;
+  v_races : int;
+  v_verdict : Protocol.verdict;
+  v_degraded : bool;
+  v_corrupt : int;
+  v_gaps : int;
+  v_stale : int;
+  v_desync : int;
+}
+
+let session_sid s = s.s_sid
+
+let session_teardown s =
+  if s.s_alive then begin
+    s.s_alive <- false;
+    try Unix.close s.s_fd with Unix.Unix_error _ -> ()
+  end
+
+let stream_abort = session_teardown
+
+(* Any failed exchange poisons the session: the daemon has already
+   aborted it server-side (stream errors close the connection), so
+   tear down the descriptor rather than resynchronize. *)
+let session_exchange s req =
+  if not s.s_alive then Error "stream session is closed"
+  else
+    match exchange ~socket:s.s_socket s.s_fd s.s_ic req with
+    | Ok (Protocol.Failed { code; message; _ }) ->
+        session_teardown s;
+        Error (Printf.sprintf "%s: %s" code message)
+    | Ok (Protocol.Error msg) ->
+        session_teardown s;
+        Error ("daemon: " ^ msg)
+    | Error msg ->
+        session_teardown s;
+        Error msg
+    | Ok _ as ok -> ok
+
+let stream_open ~socket sub =
+  match connect ~socket with
+  | Error _ as e -> e
+  | Ok fd -> (
+      let ic = Unix.in_channel_of_descr fd in
+      let fail msg =
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error msg
+      in
+      match exchange ~socket fd ic (Protocol.Stream_open sub) with
+      | Ok (Protocol.Stream_opened { sid }) ->
+          Ok { s_socket = socket; s_fd = fd; s_ic = ic; s_sid = sid;
+               s_alive = true }
+      | Ok (Protocol.Rejected { reason; retry_after_ms }) ->
+          fail
+            (Printf.sprintf "rejected: %s (retry after %d ms)" reason
+               retry_after_ms)
+      | Ok (Protocol.Failed { code; message; _ }) ->
+          fail (Printf.sprintf "%s: %s" code message)
+      | Ok r -> fail ("unexpected reply: " ^ Protocol.encode_response r)
+      | Error msg -> fail msg)
+
+let stream_append s chunk =
+  match
+    session_exchange s (Protocol.Stream_append { sid = s.s_sid; chunk })
+  with
+  | Ok (Protocol.Stream_ack { records; _ }) -> Ok records
+  | Ok r ->
+      session_teardown s;
+      Error ("unexpected reply: " ^ Protocol.encode_response r)
+  | Error _ as e -> e
+
+let verdict_of_response s = function
+  | Protocol.Stream_verdict
+      { final; records; races; verdict; degraded; corrupt; gaps; stale;
+        desync; _ } ->
+      Ok
+        {
+          v_final = final;
+          v_records = records;
+          v_races = races;
+          v_verdict = verdict;
+          v_degraded = degraded;
+          v_corrupt = corrupt;
+          v_gaps = gaps;
+          v_stale = stale;
+          v_desync = desync;
+        }
+  | r ->
+      session_teardown s;
+      Error ("unexpected reply: " ^ Protocol.encode_response r)
+
+let stream_flush s =
+  match session_exchange s (Protocol.Stream_flush { sid = s.s_sid }) with
+  | Ok r -> verdict_of_response s r
+  | Error _ as e -> e
+
+let stream_close s =
+  match session_exchange s (Protocol.Stream_close { sid = s.s_sid }) with
+  | Ok r ->
+      let v = verdict_of_response s r in
+      session_teardown s;
+      v
   | Error _ as e -> e
 
 let wait_ready ?(timeout_s = 5.0) ~socket () =

@@ -36,3 +36,57 @@ val shutdown : socket:string -> (unit, string) result
 val wait_ready : ?timeout_s:float -> socket:string -> unit -> bool
 (** Poll {!ping} until the daemon answers or [timeout_s] (default 5 s)
     elapses — for supervisors and tests that just started a server. *)
+
+(** {1 Streaming sessions}
+
+    Unlike the one-shot helpers, a streaming session holds its
+    connection open for its whole lifetime: {!stream_open} connects
+    and claims a daemon session seat, {!stream_append} ships chunks of
+    recorded wire bytes, {!stream_flush} forces a checkpoint and
+    returns the verdict so far, and {!stream_close} returns the final
+    verdict and releases the seat.  Any failed exchange poisons the
+    session (the daemon aborts it server-side and closes the
+    connection), so after an [Error] the session is dead and a new
+    {!stream_open} is required. *)
+
+type session
+(** A live streaming session: an open connection plus the daemon-side
+    session id. *)
+
+type stream_verdict = {
+  v_final : bool;  (** [true] only from {!stream_close} *)
+  v_records : int;  (** records accepted so far *)
+  v_races : int;
+  v_verdict : Protocol.verdict;
+  v_degraded : bool;  (** transport integrity trouble was seen *)
+  v_corrupt : int;
+  v_gaps : int;
+  v_stale : int;
+  v_desync : int;
+}
+
+val stream_open :
+  socket:string -> Protocol.submit -> (session, string) result
+(** Connect and open a streaming session for [submit] (which must have
+    [kind = Check]).  A daemon whose session seats are all occupied
+    answers [Rejected]; that surfaces here as an [Error] mentioning
+    the retry hint — streaming does not auto-retry. *)
+
+val session_sid : session -> int
+
+val stream_append : session -> string -> (int, string) result
+(** Ship a chunk of recorded stream bytes (any byte boundary; cells
+    are reassembled daemon-side).  [Ok n] is the cumulative count of
+    records accepted by the session. *)
+
+val stream_flush : session -> (stream_verdict, string) result
+(** Checkpoint: block until every record shipped so far is fully
+    detected, and return the verdict over that prefix. *)
+
+val stream_close : session -> (stream_verdict, string) result
+(** Final checkpoint + verdict; tears the session down whatever the
+    outcome. *)
+
+val stream_abort : session -> unit
+(** Drop the connection without a final verdict (the daemon aborts the
+    session when it notices).  Idempotent; safe after any error. *)

@@ -170,20 +170,17 @@ let run_check ~config ~cache ~job (s : Protocol.submit) =
      bitwise-identical verdicts. *)
   let status, report, detect_ns =
     if config.job_shards <= 1 then begin
-      let pconfig =
-        {
-          Gpu_runtime.Pipeline.default_config with
-          prune = s.Protocol.prune;
-          static_prune = s.Protocol.static;
-        }
-      in
+      (* The serial path runs through the streaming-session core (the
+         cached instrument pass already encodes prune/static choices),
+         so a daemon check job and a [Stream_open] session share one
+         producer and one backend. *)
       let result =
-        Gpu_runtime.Pipeline.run ~config:pconfig ~max_steps:config.max_steps
+        Gpu_runtime.Session.run_stream ~max_steps:config.max_steps
           ?deadline_ns ~inst:entry.Cache.inst ~machine entry.Cache.kernel args
       in
-      ( result.Gpu_runtime.Pipeline.machine_result.Simt.Machine.status,
-        Gpu_runtime.Pipeline.report result,
-        result.Gpu_runtime.Pipeline.detect_ns )
+      ( result.Gpu_runtime.Session.sr_machine_result.Simt.Machine.status,
+        result.Gpu_runtime.Session.sr_report,
+        result.Gpu_runtime.Session.sr_detect_ns )
     end
     else begin
       let pconfig =
@@ -339,18 +336,31 @@ let run_repair ~config ~cache ~job (s : Protocol.submit) =
       run_ms = 0.0;
     }
 
-let run ?(config = default_config) ~cache ~job (s : Protocol.submit) =
+(* Open a streaming session for a daemon stream job.  Artifacts come
+   from the same source-digest cache as batch checks, and [job_shards]
+   selects the backend exactly as [run_check] does, so a streamed
+   trace's verdict is bitwise the one a batch submission of the same
+   records would produce. *)
+let stream_open ?(config = default_config) ~cache (s : Protocol.submit) =
+  let entry, _ = entry_for ~cache s in
+  let layout = layout_of s in
+  if config.job_shards <= 1 then
+    Gpu_runtime.Session.open_stream ~layout entry.Cache.kernel
+  else
+    let sink =
+      Shard.Stream.sink ~shards:config.job_shards ~layout entry.Cache.kernel
+    in
+    Gpu_runtime.Session.open_stream ~sink ~layout entry.Cache.kernel
+
+let error_response ~job exn =
   let failed code message = Protocol.Failed { job; code; message } in
-  try
-    match s.Protocol.kind with
-    | Protocol.Check -> run_check ~config ~cache ~job s
-    | Protocol.Predict -> run_predict ~config ~job s
-    | Protocol.Repair -> run_repair ~config ~cache ~job s
-  with
+  match exn with
   | Ptx.Parser.Error { line; message } ->
       failed "parse_error" (Printf.sprintf "PTX line %d: %s" line message)
   | Gtrace.Serialize.Parse_error { line; message } ->
       failed "parse_error" (Printf.sprintf "trace line %d: %s" line message)
+  | Gpu_runtime.Stream.Framing message ->
+      failed "bad_request" (Printf.sprintf "stream framing: %s" message)
   | Shard.Engine.Shard_crashed i ->
       (* never degrade to a partial merge: a dead shard domain means
          the verdict is unrecoverable for this attempt *)
@@ -359,3 +369,11 @@ let run ?(config = default_config) ~cache ~job (s : Protocol.submit) =
   | Invalid_argument message -> failed "exec_error" message
   | Stack_overflow -> failed "exec_error" "stack overflow"
   | exn -> failed "exec_error" (Printexc.to_string exn)
+
+let run ?(config = default_config) ~cache ~job (s : Protocol.submit) =
+  try
+    match s.Protocol.kind with
+    | Protocol.Check -> run_check ~config ~cache ~job s
+    | Protocol.Predict -> run_predict ~config ~job s
+    | Protocol.Repair -> run_repair ~config ~cache ~job s
+  with exn -> error_response ~job exn

@@ -52,6 +52,23 @@ val run :
     analysis proves racy for the requested layout is answered without
     executing it (outcome flagged [static]). *)
 
+val stream_open :
+  ?config:config -> cache:Cache.t -> Protocol.submit ->
+  Gpu_runtime.Session.stream
+(** Open a streaming session for a daemon stream job: artifacts from
+    the same cache as batch checks, backend (serial or [job_shards]
+    shard domains) chosen exactly as {!run} chooses it — streamed and
+    batch verdicts are bitwise identical by construction.  Unlike
+    {!run} this {e does} raise (malformed PTX, etc.); callers convert
+    with {!error_response}.  Must run on a scheduler session seat, not
+    a connection thread. *)
+
+val error_response : job:int -> exn -> Protocol.response
+(** The failure mapping {!run} applies — [parse_error], [bad_request]
+    (including stream framing errors), [shard_crashed], [timeout]…  —
+    exposed for the daemon's streaming handlers, which manage their
+    own exception boundary. *)
+
 val static_verdict :
   ?config:config -> cache:Cache.t -> job:int -> Protocol.submit ->
   Protocol.response option

@@ -16,6 +16,10 @@ let submit_defaults ~kind payload =
 
 type request =
   | Submit of submit
+  | Stream_open of submit
+  | Stream_append of { sid : int; chunk : string }
+  | Stream_flush of { sid : int }
+  | Stream_close of { sid : int }
   | Status
   | Metrics
   | Ping
@@ -65,17 +69,78 @@ type status = {
   cache_hits : int;
   cache_misses : int;
   cache_evictions : int;
+  session_seats : int;
+  open_sessions : int;
+  sessions_opened : int;
+  integrity_corrupt : int;
+  integrity_gaps : int;
+  integrity_stale : int;
+  integrity_desync : int;
 }
 
 type response =
   | Result of { job : int; outcome : outcome; queue_ms : float; run_ms : float }
   | Rejected of { reason : string; retry_after_ms : int }
   | Failed of { job : int; code : string; message : string }
+  | Stream_opened of { sid : int }
+  | Stream_ack of { sid : int; records : int }
+  | Stream_verdict of {
+      sid : int;
+      final : bool;
+      records : int;
+      races : int;
+      verdict : verdict;
+      degraded : bool;
+      corrupt : int;
+      gaps : int;
+      stale : int;
+      desync : int;
+    }
   | Status_reply of status
   | Metrics_reply of string
   | Pong
   | Stopping
   | Error of string
+
+(* ------------------------------ hex ------------------------------- *)
+
+(* Stream chunks are raw bytes; JSON frames carry them hex-encoded.
+   2x expansion keeps even max-size cells (~600 B) far under the frame
+   cap, and the codec has no dependency beyond the stdlib. *)
+
+let hex_digits = "0123456789abcdef"
+
+let to_hex s =
+  let n = String.length s in
+  let b = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let c = Char.code (String.unsafe_get s i) in
+    Bytes.unsafe_set b (2 * i) (String.unsafe_get hex_digits (c lsr 4));
+    Bytes.unsafe_set b ((2 * i) + 1) (String.unsafe_get hex_digits (c land 15))
+  done;
+  Bytes.unsafe_to_string b
+
+let of_hex s =
+  let n = String.length s in
+  if n mod 2 <> 0 then Result.Error "odd-length hex chunk"
+  else begin
+    let nib c =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> -1
+    in
+    let b = Bytes.create (n / 2) in
+    let bad = ref false in
+    for i = 0 to (n / 2) - 1 do
+      let hi = nib s.[2 * i] and lo = nib s.[(2 * i) + 1] in
+      if hi < 0 || lo < 0 then bad := true
+      else Bytes.unsafe_set b i (Char.unsafe_chr ((hi lsl 4) lor lo))
+    done;
+    if !bad then Result.Error "invalid hex chunk"
+    else Ok (Bytes.unsafe_to_string b)
+  end
 
 let verdict_string = function Racy -> "racy" | Race_free -> "race_free"
 let kind_string = function
@@ -85,38 +150,52 @@ let kind_string = function
 
 (* ------------------------------ encoding ------------------------- *)
 
+let submit_fields ~cmd s =
+  let layout =
+    match s.layout with
+    | None -> []
+    | Some (blocks, tpb, warp) ->
+        [
+          ( "layout",
+            Json.Obj
+              [
+                ("blocks", Json.Int blocks);
+                ("tpb", Json.Int tpb);
+                ("warp", Json.Int warp);
+              ] );
+        ]
+  in
+  let args =
+    match s.args with
+    | [] -> []
+    | l -> [ ("args", Json.List (List.map (fun a -> Json.Str a) l)) ]
+  in
+  Json.Obj
+    ([
+       ("cmd", Json.Str cmd);
+       ("kind", Json.Str (kind_string s.kind));
+       ("payload", Json.Str s.payload);
+     ]
+    @ layout @ args
+    @ (if s.prune then [] else [ ("prune", Json.Bool false) ])
+    @ if s.static then [] else [ ("static", Json.Bool false) ])
+
 let encode_request r =
   let doc =
     match r with
-    | Submit s ->
-        let layout =
-          match s.layout with
-          | None -> []
-          | Some (blocks, tpb, warp) ->
-              [
-                ( "layout",
-                  Json.Obj
-                    [
-                      ("blocks", Json.Int blocks);
-                      ("tpb", Json.Int tpb);
-                      ("warp", Json.Int warp);
-                    ] );
-              ]
-        in
-        let args =
-          match s.args with
-          | [] -> []
-          | l -> [ ("args", Json.List (List.map (fun a -> Json.Str a) l)) ]
-        in
+    | Submit s -> submit_fields ~cmd:"submit" s
+    | Stream_open s -> submit_fields ~cmd:"stream_open" s
+    | Stream_append { sid; chunk } ->
         Json.Obj
-          ([
-             ("cmd", Json.Str "submit");
-             ("kind", Json.Str (kind_string s.kind));
-             ("payload", Json.Str s.payload);
-           ]
-          @ layout @ args
-          @ (if s.prune then [] else [ ("prune", Json.Bool false) ])
-          @ if s.static then [] else [ ("static", Json.Bool false) ])
+          [
+            ("cmd", Json.Str "stream_append");
+            ("sid", Json.Int sid);
+            ("hex", Json.Str (to_hex chunk));
+          ]
+    | Stream_flush { sid } ->
+        Json.Obj [ ("cmd", Json.Str "stream_flush"); ("sid", Json.Int sid) ]
+    | Stream_close { sid } ->
+        Json.Obj [ ("cmd", Json.Str "stream_close"); ("sid", Json.Int sid) ]
     | Status -> Json.Obj [ ("cmd", Json.Str "status") ]
     | Metrics -> Json.Obj [ ("cmd", Json.Str "metrics") ]
     | Ping -> Json.Obj [ ("cmd", Json.Str "ping") ]
@@ -191,14 +270,32 @@ let decode_submit doc =
   let static =
     match field "static" doc with Some (Json.Bool b) -> b | _ -> true
   in
-  Ok (Submit { kind; payload; layout; args; prune; static })
+  Ok { kind; payload; layout; args; prune; static }
+
+let decode_sid doc k =
+  let* sid = int_field "sid" doc in
+  k sid
 
 let decode_request line =
   match Json.of_string line with
   | Result.Error e -> Result.Error e
   | Ok doc -> (
       match field "cmd" doc with
-      | Some (Json.Str "submit") -> decode_submit doc
+      | Some (Json.Str "submit") ->
+          let* s = decode_submit doc in
+          Ok (Submit s)
+      | Some (Json.Str "stream_open") ->
+          let* s = decode_submit doc in
+          Ok (Stream_open s)
+      | Some (Json.Str "stream_append") ->
+          decode_sid doc (fun sid ->
+              let* hex = str_field "hex" doc in
+              let* chunk = of_hex hex in
+              Ok (Stream_append { sid; chunk }))
+      | Some (Json.Str "stream_flush") ->
+          decode_sid doc (fun sid -> Ok (Stream_flush { sid }))
+      | Some (Json.Str "stream_close") ->
+          decode_sid doc (fun sid -> Ok (Stream_close { sid }))
       | Some (Json.Str "status") -> Ok Status
       | Some (Json.Str "metrics") -> Ok Metrics
       | Some (Json.Str "ping") -> Ok Ping
@@ -245,6 +342,40 @@ let encode_response r =
             ("error", Json.Str code);
             ("message", Json.Str message);
           ]
+    | Stream_opened { sid } ->
+        Json.Obj
+          [
+            ("ok", Json.Bool true);
+            ("sid", Json.Int sid);
+            ("opened", Json.Bool true);
+          ]
+    | Stream_ack { sid; records } ->
+        Json.Obj
+          [
+            ("ok", Json.Bool true);
+            ("sid", Json.Int sid);
+            ("accepted", Json.Int records);
+          ]
+    | Stream_verdict v ->
+        Json.Obj
+          [
+            ("ok", Json.Bool true);
+            ("sid", Json.Int v.sid);
+            ("stream", Json.Bool true);
+            ("final", Json.Bool v.final);
+            ("records", Json.Int v.records);
+            ("races", Json.Int v.races);
+            ("verdict", Json.Str (verdict_string v.verdict));
+            ("degraded", Json.Bool v.degraded);
+            ( "integrity",
+              Json.Obj
+                [
+                  ("corrupt", Json.Int v.corrupt);
+                  ("gaps", Json.Int v.gaps);
+                  ("stale", Json.Int v.stale);
+                  ("desync", Json.Int v.desync);
+                ] );
+          ]
     | Status_reply s ->
         Json.Obj
           [
@@ -273,6 +404,21 @@ let encode_response r =
                   ("hits", Json.Int s.cache_hits);
                   ("misses", Json.Int s.cache_misses);
                   ("evictions", Json.Int s.cache_evictions);
+                ] );
+            ( "sessions",
+              Json.Obj
+                [
+                  ("seats", Json.Int s.session_seats);
+                  ("open", Json.Int s.open_sessions);
+                  ("opened", Json.Int s.sessions_opened);
+                ] );
+            ( "transport",
+              Json.Obj
+                [
+                  ("corrupt", Json.Int s.integrity_corrupt);
+                  ("gaps", Json.Int s.integrity_gaps);
+                  ("stale", Json.Int s.integrity_stale);
+                  ("desync", Json.Int s.integrity_desync);
                 ] );
           ]
     | Metrics_reply text ->
@@ -309,6 +455,15 @@ let decode_status doc =
   let* cache_hits = int_field ~default:0 "hits" cache in
   let* cache_misses = int_field ~default:0 "misses" cache in
   let* cache_evictions = int_field ~default:0 "evictions" cache in
+  let sessions = Option.value ~default:(Json.Obj []) (field "sessions" doc) in
+  let transport = Option.value ~default:(Json.Obj []) (field "transport" doc) in
+  let* session_seats = int_field ~default:0 "seats" sessions in
+  let* open_sessions = int_field ~default:0 "open" sessions in
+  let* sessions_opened = int_field ~default:0 "opened" sessions in
+  let* integrity_corrupt = int_field ~default:0 "corrupt" transport in
+  let* integrity_gaps = int_field ~default:0 "gaps" transport in
+  let* integrity_stale = int_field ~default:0 "stale" transport in
+  let* integrity_desync = int_field ~default:0 "desync" transport in
   Ok
     (Status_reply
        {
@@ -329,6 +484,13 @@ let decode_status doc =
          cache_hits;
          cache_misses;
          cache_evictions;
+         session_seats;
+         open_sessions;
+         sessions_opened;
+         integrity_corrupt;
+         integrity_gaps;
+         integrity_stale;
+         integrity_desync;
        })
 
 let decode_result doc =
@@ -391,6 +553,50 @@ let decode_result doc =
          run_ms;
        })
 
+let decode_stream_reply ~sid doc =
+  match field "stream" doc with
+  | Some (Json.Bool true) ->
+      let final =
+        match field "final" doc with Some (Json.Bool b) -> b | _ -> false
+      in
+      let* records = int_field ~default:0 "records" doc in
+      let* races = int_field ~default:0 "races" doc in
+      let* verdict =
+        match field "verdict" doc with
+        | Some (Json.Str "racy") -> Ok Racy
+        | Some (Json.Str "race_free") -> Ok Race_free
+        | _ -> Result.Error "missing field \"verdict\""
+      in
+      let degraded =
+        match field "degraded" doc with Some (Json.Bool b) -> b | _ -> false
+      in
+      let integ = Option.value ~default:(Json.Obj []) (field "integrity" doc) in
+      let* corrupt = int_field ~default:0 "corrupt" integ in
+      let* gaps = int_field ~default:0 "gaps" integ in
+      let* stale = int_field ~default:0 "stale" integ in
+      let* desync = int_field ~default:0 "desync" integ in
+      Ok
+        (Stream_verdict
+           {
+             sid;
+             final;
+             records;
+             races;
+             verdict;
+             degraded;
+             corrupt;
+             gaps;
+             stale;
+             desync;
+           })
+  | _ -> (
+      match field "accepted" doc with
+      | Some (Json.Int records) -> Ok (Stream_ack { sid; records })
+      | _ -> (
+          match field "opened" doc with
+          | Some (Json.Bool true) -> Ok (Stream_opened { sid })
+          | _ -> Result.Error "unrecognized stream reply"))
+
 let decode_response line =
   match Json.of_string line with
   | Result.Error e -> Result.Error e
@@ -405,9 +611,12 @@ let decode_response line =
             | _ -> (
                 match field "metrics" doc with
                 | Some (Json.Str text) -> Ok (Metrics_reply text)
-                | _ ->
-                    if field "workers" doc <> None then decode_status doc
-                    else decode_result doc))
+                | _ -> (
+                    match field "sid" doc with
+                    | Some (Json.Int sid) -> decode_stream_reply ~sid doc
+                    | _ ->
+                        if field "workers" doc <> None then decode_status doc
+                        else decode_result doc)))
       else
         match field "error" doc with
         | Some (Json.Str "protocol_error") ->

@@ -51,6 +51,22 @@ val submit_defaults : kind:kind -> string -> submit
 
 type request =
   | Submit of submit
+  | Stream_open of submit
+      (** open a streaming session against [payload]'s kernel; answered
+          with [Stream_opened] carrying the session id.  Unlike
+          [Submit], the connection stays open for the session's
+          lifetime; [kind] must be [Check]. *)
+  | Stream_append of { sid : int; chunk : string }
+      (** ship a chunk of recorded wire-stream bytes
+          ([Gpu_runtime.Stream] cells, split at any byte boundary);
+          [chunk] is raw bytes here and hex-encoded on the wire.
+          Answered with [Stream_ack]. *)
+  | Stream_flush of { sid : int }
+      (** checkpoint: quiesce detection and return the verdict-so-far
+          as a non-final [Stream_verdict] *)
+  | Stream_close of { sid : int }
+      (** finish the session; answered with a final [Stream_verdict]
+          and the session seat is released *)
   | Status
   | Metrics  (** Prometheus text exposition of the daemon's registry *)
   | Ping
@@ -103,6 +119,19 @@ type status = {
   cache_hits : int;
   cache_misses : int;
   cache_evictions : int;
+  session_seats : int;  (** long-lived streaming-session seats *)
+  open_sessions : int;  (** seats currently occupied *)
+  sessions_opened : int;  (** sessions opened since start *)
+  integrity_corrupt : int;
+      (** global transport-integrity counters
+          ([barracuda_transport_integrity_*]): wire records dropped for
+          failed checksum validation, lost in sequence gaps, or dropped
+          as stale/desynchronized — across batch jobs and streaming
+          sessions alike, so streaming clients can observe their own
+          corruption without scraping the Prometheus dump *)
+  integrity_gaps : int;
+  integrity_stale : int;
+  integrity_desync : int;
 }
 
 type response =
@@ -118,6 +147,22 @@ type response =
   | Failed of { job : int; code : string; message : string }
       (** the job itself failed — [parse_error], [bad_request],
           [timeout] or [exec_error] — without affecting the daemon *)
+  | Stream_opened of { sid : int }
+  | Stream_ack of { sid : int; records : int }
+      (** append accepted; [records] is the session's cumulative
+          accepted-record count *)
+  | Stream_verdict of {
+      sid : int;
+      final : bool;  (** [true] from [Stream_close] *)
+      records : int;
+      races : int;
+      verdict : verdict;
+      degraded : bool;
+      corrupt : int;
+      gaps : int;
+      stale : int;
+      desync : int;
+    }  (** verdict-so-far (flush) or final verdict (close) *)
   | Status_reply of status
   | Metrics_reply of string
   | Pong
@@ -125,6 +170,11 @@ type response =
   | Error of string  (** protocol-level error (unparsable request) *)
 
 val verdict_string : verdict -> string
+
+val to_hex : string -> string
+(** Lowercase hex of raw bytes (stream chunks on the wire). *)
+
+val of_hex : string -> (string, string) result
 
 (** {1 Encoding}  One line per message, newline not included. *)
 

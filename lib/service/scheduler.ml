@@ -4,6 +4,7 @@ type config = {
   retry_after_ms : int;
   max_job_restarts : int;
   watchdog_interval_s : float;
+  session_seats : int;
   fault : Fault.Plan.t option;
 }
 
@@ -14,6 +15,7 @@ let default_config =
     retry_after_ms = 50;
     max_job_restarts = 2;
     watchdog_interval_s = 0.02;
+    session_seats = 2;
     fault = None;
   }
 
@@ -47,6 +49,24 @@ type slot = {
   mutable crashed : bool;  (* set by the dying worker, cleared by reaper *)
 }
 
+(* One long-lived streaming-session seat.  Each seat owns a dedicated
+   domain; connection sys-threads rendezvous closures onto it through
+   [session_call], so detector compute never runs on the accept
+   domain (every [Thread.create] thread shares its spawning domain).
+   A seat serves one session at a time — occupancy is tracked in the
+   scheduler under its lock, the rendezvous state under the seat's
+   own lock so calls never contend with the job queue. *)
+type seat = {
+  seat_id : int;
+  s_lock : Mutex.t;
+  s_wake : Condition.t;  (* a call arrived, or shutdown *)
+  s_done : Condition.t;  (* the pending call completed *)
+  mutable s_pending : (unit -> unit) option;
+  mutable s_finished : bool;
+  mutable s_shutdown : bool;
+  mutable s_dom : unit Domain.t option;
+}
+
 type t = {
   config : config;
   exec : job:int -> Protocol.submit -> Protocol.response;
@@ -59,6 +79,10 @@ type t = {
   mutable busy : int;
   mutable c : counts;
   slots : slot array;
+  seats : seat array;
+  seat_taken : bool array;  (* indexed by [seat_id], guarded by [lock] *)
+  mutable sessions_open : int;
+  mutable sessions_opened_total : int;
   mutable watchdog : Thread.t option;
   m_jobs_racy : Telemetry.Metric.counter;
   m_jobs_race_free : Telemetry.Metric.counter;
@@ -68,6 +92,7 @@ type t = {
   m_jobs_quarantined : Telemetry.Metric.counter;
   g_depth : Telemetry.Metric.gauge;
   g_busy : Telemetry.Metric.gauge;
+  g_sessions : Telemetry.Metric.gauge;
   h_queue_wait : Telemetry.Metric.histogram;
   h_run : Telemetry.Metric.histogram;
 }
@@ -264,6 +289,30 @@ let watchdog_loop t =
     if exit_now then stop_now := true
   done
 
+(* A seat domain: park on the condition variable, run rendezvoused
+   calls to completion.  Pending work is always honored before a
+   shutdown is observed, so [stop] never strands a blocked caller. *)
+let seat_loop seat =
+  Mutex.lock seat.s_lock;
+  let rec go () =
+    match seat.s_pending with
+    | Some thunk ->
+        seat.s_pending <- None;
+        Mutex.unlock seat.s_lock;
+        thunk ();
+        Mutex.lock seat.s_lock;
+        seat.s_finished <- true;
+        Condition.broadcast seat.s_done;
+        go ()
+    | None ->
+        if not seat.s_shutdown then begin
+          Condition.wait seat.s_wake seat.s_lock;
+          go ()
+        end
+  in
+  go ();
+  Mutex.unlock seat.s_lock
+
 let create ?(config = default_config) ~exec () =
   if config.workers < 1 then
     invalid_arg "Scheduler.create: workers must be positive";
@@ -271,6 +320,8 @@ let create ?(config = default_config) ~exec () =
     invalid_arg "Scheduler.create: queue_capacity must be positive";
   if config.max_job_restarts < 0 then
     invalid_arg "Scheduler.create: max_job_restarts must be non-negative";
+  if config.session_seats < 0 then
+    invalid_arg "Scheduler.create: session_seats must be non-negative";
   let reg = Telemetry.Registry.default in
   let t =
     {
@@ -302,6 +353,21 @@ let create ?(config = default_config) ~exec () =
               current = None;
               crashed = false;
             });
+      seats =
+        Array.init config.session_seats (fun i ->
+            {
+              seat_id = i;
+              s_lock = Mutex.create ();
+              s_wake = Condition.create ();
+              s_done = Condition.create ();
+              s_pending = None;
+              s_finished = false;
+              s_shutdown = false;
+              s_dom = None;
+            });
+      seat_taken = Array.make config.session_seats false;
+      sessions_open = 0;
+      sessions_opened_total = 0;
       watchdog = None;
       m_jobs_racy = jobs_counter "racy";
       m_jobs_race_free = jobs_counter "race_free";
@@ -321,6 +387,10 @@ let create ?(config = default_config) ~exec () =
       g_busy =
         Telemetry.Registry.gauge ~help:"Workers currently executing a job" reg
           "barracuda_service_busy_workers";
+      g_sessions =
+        Telemetry.Registry.gauge
+          ~help:"Streaming sessions currently open" reg
+          "barracuda_service_open_sessions";
       h_queue_wait =
         Telemetry.Registry.histogram ~help:"Job queue wait (ms)"
           ~bounds:latency_bounds reg "barracuda_service_queue_wait_ms";
@@ -332,8 +402,78 @@ let create ?(config = default_config) ~exec () =
   Array.iter
     (fun slot -> slot.dom <- Some (Domain.spawn (fun () -> worker_loop t slot)))
     t.slots;
+  Array.iter
+    (fun seat -> seat.s_dom <- Some (Domain.spawn (fun () -> seat_loop seat)))
+    t.seats;
   t.watchdog <- Some (Thread.create watchdog_loop t);
   t
+
+let session_seats t = Array.length t.seats
+
+let session_open t =
+  Mutex.lock t.lock;
+  let found =
+    if t.stopping then None
+    else
+      Array.fold_left
+        (fun acc seat ->
+          match acc with
+          | Some _ -> acc
+          | None -> if t.seat_taken.(seat.seat_id) then None else Some seat)
+        None t.seats
+  in
+  (match found with
+  | Some seat ->
+      t.seat_taken.(seat.seat_id) <- true;
+      t.sessions_open <- t.sessions_open + 1;
+      t.sessions_opened_total <- t.sessions_opened_total + 1;
+      Telemetry.Metric.gauge_set t.g_sessions t.sessions_open
+  | None -> ());
+  Mutex.unlock t.lock;
+  found
+
+let session_call seat f =
+  let cell = ref None in
+  Mutex.lock seat.s_lock;
+  if seat.s_shutdown then begin
+    Mutex.unlock seat.s_lock;
+    failwith "session seat is shutting down"
+  end;
+  seat.s_finished <- false;
+  seat.s_pending <-
+    Some
+      (fun () ->
+        cell := Some (match f () with v -> Ok v | exception e -> Error e));
+  Condition.broadcast seat.s_wake;
+  while not seat.s_finished do
+    Condition.wait seat.s_done seat.s_lock
+  done;
+  Mutex.unlock seat.s_lock;
+  match !cell with
+  | Some (Ok v) -> v
+  | Some (Error e) -> raise e
+  | None -> assert false
+
+let session_close t seat =
+  Mutex.lock t.lock;
+  if t.seat_taken.(seat.seat_id) then begin
+    t.seat_taken.(seat.seat_id) <- false;
+    t.sessions_open <- t.sessions_open - 1;
+    Telemetry.Metric.gauge_set t.g_sessions t.sessions_open
+  end;
+  Mutex.unlock t.lock
+
+let open_sessions t =
+  Mutex.lock t.lock;
+  let n = t.sessions_open in
+  Mutex.unlock t.lock;
+  n
+
+let sessions_opened t =
+  Mutex.lock t.lock;
+  let n = t.sessions_opened_total in
+  Mutex.unlock t.lock;
+  n
 
 let submit t sub ~reply =
   Mutex.lock t.lock;
@@ -441,8 +581,28 @@ let stop t =
             slot.dom <- None
         | None -> ())
       t.slots;
-    (* The queue is drained and no job can arrive; pin the gauges so a
-       scrape after shutdown does not report ghost depth or busyness. *)
+    (* Session seats: flag, wake, join.  An in-flight [session_call]
+       completes first (the seat loop drains pending work before it
+       observes shutdown); later calls raise. *)
+    Array.iter
+      (fun seat ->
+        Mutex.lock seat.s_lock;
+        seat.s_shutdown <- true;
+        Condition.broadcast seat.s_wake;
+        Mutex.unlock seat.s_lock)
+      t.seats;
+    Array.iter
+      (fun seat ->
+        match seat.s_dom with
+        | Some d ->
+            Domain.join d;
+            seat.s_dom <- None
+        | None -> ())
+      t.seats;
+    (* The queue is drained, no job can arrive and every seat is down;
+       zero ALL scheduler-owned gauges so a scrape after shutdown does
+       not report ghost depth, busyness or open sessions. *)
     Telemetry.Metric.gauge_set t.g_depth 0;
-    Telemetry.Metric.gauge_set t.g_busy 0
+    Telemetry.Metric.gauge_set t.g_busy 0;
+    Telemetry.Metric.gauge_set t.g_sessions 0
   end

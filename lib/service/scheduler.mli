@@ -23,12 +23,22 @@
     cancellable), so hangs are bounded one layer down by the per-job
     wall-clock deadline ({!Exec.config.deadline_ms}).
 
+    Alongside the batch worker pool the scheduler owns a small number
+    of long-lived {e session seats} for streaming jobs.  A seat is a
+    dedicated domain onto which connection threads rendezvous closures
+    with {!session_call} — streaming detector compute must not run on
+    the daemon's connection sys-threads, which all share the accept
+    domain.  Seats are bounded ([config.session_seats]); when all are
+    occupied an open attempt returns [None] and the daemon answers
+    with backpressure, so batch workers and streaming sessions coexist
+    without starving each other.
+
     Telemetry: [barracuda_service_jobs_total{verdict=...}] (racy /
     race_free / failed / rejected), the
     [barracuda_service_workers_restarted_total] and
     [barracuda_service_jobs_quarantined_total] counters, the
-    [barracuda_service_queue_depth] and
-    [barracuda_service_busy_workers] gauges (both pinned to 0 by
+    [barracuda_service_queue_depth], [barracuda_service_busy_workers]
+    and [barracuda_service_open_sessions] gauges (all pinned to 0 by
     {!stop}), and the [barracuda_service_queue_wait_ms] /
     [barracuda_service_job_run_ms] latency histograms. *)
 
@@ -40,6 +50,9 @@ type config = {
       (** crash-restarts granted to a job before it is quarantined as
           poison (0 = quarantine on first crash) *)
   watchdog_interval_s : float;  (** supervision poll period *)
+  session_seats : int;
+      (** dedicated domains for long-lived streaming sessions (0
+          disables streaming) *)
   fault : Fault.Plan.t option;
       (** seeded fault injection: planned worker crashes fire at job
           pickup.  [None] (the default) is the production path. *)
@@ -47,7 +60,7 @@ type config = {
 
 val default_config : config
 (** 2 workers, capacity 64, retry after 50 ms, 2 crash-restarts,
-    20 ms watchdog poll, no faults. *)
+    20 ms watchdog poll, 2 session seats, no faults. *)
 
 type counts = {
   submitted : int;
@@ -67,9 +80,10 @@ val create :
   exec:(job:int -> Protocol.submit -> Protocol.response) ->
   unit ->
   t
-(** Spawns the worker domains and the watchdog thread immediately.
+(** Spawns the worker domains, the session-seat domains and the
+    watchdog thread immediately.
     @raise Invalid_argument on a non-positive worker count or
-    capacity, or a negative [max_job_restarts]. *)
+    capacity, or a negative [max_job_restarts] or [session_seats]. *)
 
 val submit :
   t -> Protocol.submit -> reply:(Protocol.response -> unit) -> unit
@@ -93,6 +107,33 @@ val depth : t -> int
 val busy : t -> int
 val counts : t -> counts
 
+(** {1 Streaming-session seats} *)
+
+type seat
+(** A claimed session seat: a dedicated domain a single streaming
+    session runs on.  A seat serves one session at a time; calls on it
+    must come from one thread at a time (the daemon serializes them
+    per connection). *)
+
+val session_open : t -> seat option
+(** Claim a free seat, bumping the [barracuda_service_open_sessions]
+    gauge.  [None] when every seat is occupied or the scheduler is
+    stopping — answer with backpressure. *)
+
+val session_call : seat -> (unit -> 'a) -> 'a
+(** Run [f] on the seat's domain and return its result; exceptions
+    propagate to the caller.  Raises [Failure] once the scheduler is
+    stopping. *)
+
+val session_close : t -> seat -> unit
+(** Release the seat for the next session.  Idempotent. *)
+
+val session_seats : t -> int
+val open_sessions : t -> int
+val sessions_opened : t -> int
+(** Seats configured / currently occupied / total sessions ever
+    opened. *)
+
 val heartbeats : t -> int64 array
 (** Per-seat last-heartbeat timestamps ({!Telemetry.Clock.now_ns}
     domain), updated at job pickup and completion. *)
@@ -100,6 +141,8 @@ val heartbeats : t -> int64 array
 val stop : t -> unit
 (** Stop accepting work, let the workers finish everything already
     queued (crashed workers are still respawned while queued jobs
-    remain), join the watchdog and the workers, and pin the depth and
-    busy gauges to zero.  Idempotent; safe to call from any domain or
-    thread. *)
+    remain), join the watchdog, the workers and the session seats (an
+    in-flight {!session_call} completes first), and zero {e every}
+    scheduler-owned gauge — queue depth, busy workers and open
+    sessions — so a post-shutdown scrape reports no ghost activity.
+    Idempotent; safe to call from any domain or thread. *)

@@ -8,6 +8,7 @@ type config = {
   cache_capacity : int;
   read_timeout_s : float;
   job_shards : int;
+  session_seats : int;
 }
 
 let default_config =
@@ -21,6 +22,7 @@ let default_config =
     cache_capacity = 128;
     read_timeout_s = 30.0;
     job_shards = 1;
+    session_seats = Scheduler.default_config.Scheduler.session_seats;
   }
 
 (* [workers] is the total domain budget.  With intra-job sharding each
@@ -39,6 +41,7 @@ type t = {
   listener : Unix.file_descr;
   stopping : bool Atomic.t;
   started_ns : int64;
+  next_sid : int Atomic.t;
   mutable accept_domain : unit Domain.t option;
   m_connections : Telemetry.Metric.counter;
   m_protocol_errors : Telemetry.Metric.counter;
@@ -68,6 +71,24 @@ let status t =
     cache_hits = cs.Cache.hits;
     cache_misses = cs.Cache.misses;
     cache_evictions = cs.Cache.evictions;
+    session_seats = Scheduler.session_seats t.sched;
+    open_sessions = Scheduler.open_sessions t.sched;
+    sessions_opened = Scheduler.sessions_opened t.sched;
+    (* The global transport-integrity counters cover batch jobs and
+       streaming sessions alike; surfacing them here lets svc-status
+       report desyncs without a Prometheus scrape. *)
+    integrity_corrupt =
+      Telemetry.Registry.find_counter Telemetry.Registry.default
+        "barracuda_transport_integrity_corrupt_total";
+    integrity_gaps =
+      Telemetry.Registry.find_counter Telemetry.Registry.default
+        "barracuda_transport_integrity_gap_total";
+    integrity_stale =
+      Telemetry.Registry.find_counter Telemetry.Registry.default
+        "barracuda_transport_integrity_stale_total";
+    integrity_desync =
+      Telemetry.Registry.find_counter Telemetry.Registry.default
+        "barracuda_transport_integrity_desync_total";
   }
 
 let request_stop t =
@@ -84,19 +105,58 @@ let request_stop t =
     with Unix.Unix_error _ -> ()
   end
 
+let stream_verdict ~sid (p : Gpu_runtime.Session.progress) =
+  Protocol.Stream_verdict
+    {
+      sid;
+      final = p.Gpu_runtime.Session.p_final;
+      records = p.Gpu_runtime.Session.p_records;
+      races = p.Gpu_runtime.Session.p_race_count;
+      verdict =
+        (if p.Gpu_runtime.Session.p_has_race then Protocol.Racy
+         else Protocol.Race_free);
+      degraded = p.Gpu_runtime.Session.p_degraded;
+      corrupt = p.Gpu_runtime.Session.p_integrity.Barracuda.Report.corrupt;
+      gaps = p.Gpu_runtime.Session.p_integrity.Barracuda.Report.gaps;
+      stale = p.Gpu_runtime.Session.p_integrity.Barracuda.Report.stale;
+      desync = p.Gpu_runtime.Session.p_integrity.Barracuda.Report.desync;
+    }
+
 (* One client connection, on its own thread.  Reads are channel-based
    (line framing); replies go straight to the descriptor.  Every exit
    path closes the descriptor exactly once — except a dispatched
-   submission, whose worker owns the close. *)
+   submission, whose worker owns the close.  Streaming sessions opened
+   on the connection live in a connection-local table and are aborted
+   (seat released) on any exit, so a client hang-up cannot leak a
+   seat. *)
 let handle_connection t fd =
   Telemetry.Metric.counter_incr t.m_connections;
   (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.read_timeout_s
    with Unix.Unix_error _ | Invalid_argument _ -> ());
   let ic = Unix.in_channel_of_descr fd in
+  let sessions :
+      (int, Scheduler.seat * Gpu_runtime.Session.stream) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let drop_session sid seat st =
+    (* Abort on the seat when it still answers; directly otherwise
+       (abort never raises, and at teardown the connection thread may
+       run it). *)
+    (try Scheduler.session_call seat (fun () ->
+         Gpu_runtime.Session.abort_stream st)
+     with _ -> ( try Gpu_runtime.Session.abort_stream st with _ -> ()));
+    Hashtbl.remove sessions sid;
+    Scheduler.session_close t.sched seat
+  in
+  let abort_sessions () =
+    Hashtbl.fold (fun sid (seat, st) acc -> (sid, seat, st) :: acc) sessions []
+    |> List.iter (fun (sid, seat, st) -> drop_session sid seat st)
+  in
   let closed = ref false in
   let close () =
     if not !closed then begin
       closed := true;
+      abort_sessions ();
       try Unix.close fd with Unix.Unix_error _ -> ()
     end
   in
@@ -138,6 +198,107 @@ let handle_connection t fd =
             send Protocol.Stopping;
             close ();
             request_stop t
+        | Ok (Protocol.Stream_open sub) -> (
+            if sub.Protocol.kind <> Protocol.Check then begin
+              send (Protocol.Error "stream jobs must be of kind \"check\"");
+              close ()
+            end
+            else
+              match Scheduler.session_open t.sched with
+              | None ->
+                  (* Backpressure, not an error: every seat is occupied
+                     (or the daemon is stopping); the connection stays
+                     usable for a retry. *)
+                  send
+                    (Protocol.Rejected
+                       {
+                         reason = "sessions_exhausted";
+                         retry_after_ms = t.config.retry_after_ms;
+                       });
+                  continue ()
+              | Some seat -> (
+                  match
+                    Scheduler.session_call seat (fun () ->
+                        Exec.stream_open ~config:t.exec_config ~cache:t.cache
+                          sub)
+                  with
+                  | st ->
+                      let sid = Atomic.fetch_and_add t.next_sid 1 in
+                      Hashtbl.replace sessions sid (seat, st);
+                      send (Protocol.Stream_opened { sid });
+                      continue ()
+                  | exception exn ->
+                      Scheduler.session_close t.sched seat;
+                      send (Exec.error_response ~job:0 exn);
+                      continue ()))
+        | Ok (Protocol.Stream_append { sid; chunk }) -> (
+            match Hashtbl.find_opt sessions sid with
+            | None ->
+                send (Protocol.Error "unknown session id");
+                close ()
+            | Some (seat, st) -> (
+                match
+                  Scheduler.session_call seat (fun () ->
+                      Gpu_runtime.Session.feed_chunk st chunk)
+                with
+                | () ->
+                    send
+                      (Protocol.Stream_ack
+                         {
+                           sid;
+                           records = Gpu_runtime.Session.stream_records st;
+                         });
+                    continue ()
+                | exception exn ->
+                    (* A framing error (or a dead shard) leaves the
+                       session unusable; tear it down and end the
+                       exchange. *)
+                    drop_session sid seat st;
+                    send (Exec.error_response ~job:sid exn);
+                    close ()))
+        | Ok (Protocol.Stream_flush { sid }) -> (
+            match Hashtbl.find_opt sessions sid with
+            | None ->
+                send (Protocol.Error "unknown session id");
+                close ()
+            | Some (seat, st) -> (
+                match
+                  Scheduler.session_call seat (fun () ->
+                      Gpu_runtime.Session.checkpoint st)
+                with
+                | p ->
+                    send (stream_verdict ~sid p);
+                    continue ()
+                | exception exn ->
+                    drop_session sid seat st;
+                    send (Exec.error_response ~job:sid exn);
+                    close ()))
+        | Ok (Protocol.Stream_close { sid }) -> (
+            match Hashtbl.find_opt sessions sid with
+            | None ->
+                send (Protocol.Error "unknown session id");
+                close ()
+            | Some (seat, st) -> (
+                match
+                  Scheduler.session_call seat (fun () ->
+                      Gpu_runtime.Session.close_stream st)
+                with
+                | p ->
+                    Hashtbl.remove sessions sid;
+                    Scheduler.session_close t.sched seat;
+                    send (stream_verdict ~sid p);
+                    continue ()
+                | exception exn ->
+                    drop_session sid seat st;
+                    send (Exec.error_response ~job:sid exn);
+                    close ()))
+        | Ok (Protocol.Submit _) when Hashtbl.length sessions > 0 ->
+            (* A dispatched submission hands the descriptor to a worker,
+               which would orphan the live sessions; keep the exchange
+               modes separate. *)
+            send
+              (Protocol.Error "cannot submit while a streaming session is open");
+            close ()
         | Ok (Protocol.Submit sub) -> (
             (* Statically-provable racy kernels whose artifacts are
                already cached are answered right here on the connection
@@ -223,6 +384,7 @@ let start ?(config = default_config) () =
           Scheduler.workers = worker_seats config;
           queue_capacity = config.queue_capacity;
           retry_after_ms = config.retry_after_ms;
+          session_seats = config.session_seats;
         }
       ~exec:(fun ~job sub -> Exec.run ~config:exec_config ~cache ~job sub)
       ()
@@ -261,6 +423,7 @@ let start ?(config = default_config) () =
       listener;
       stopping = Atomic.make false;
       started_ns = Telemetry.Clock.now_ns ();
+      next_sid = Atomic.make 1;
       accept_domain = None;
       m_connections =
         Telemetry.Registry.counter ~help:"Client connections accepted"

@@ -11,6 +11,15 @@
     connection carries any number of control requests but at most one
     submission — the worker's reply ends it.
 
+    Streaming sessions ([stream_open]/[append]/[flush]/[close]) are
+    long-lived: the connection stays open for the session's lifetime,
+    each request answered in order.  Session compute runs on a
+    scheduler session seat (a dedicated domain), never on the
+    connection thread; when every seat is occupied an open attempt is
+    answered with [Rejected {reason = "sessions_exhausted"}].  A
+    connection that drops with sessions open has them aborted and
+    their seats released.
+
     Failure isolation: protocol errors, client disconnects and job
     failures are all confined to their connection/job; nothing a
     client sends can stop the accept loop. *)
@@ -34,12 +43,16 @@ type config = {
           and intra-job shards: the scheduler gets
           [max 1 (workers / job_shards)] seats, each driving
           [job_shards] shard domains. *)
+  session_seats : int;
+      (** long-lived streaming-session seats
+          ({!Scheduler.config.session_seats}); [0] disables streaming *)
 }
 
 val default_config : config
 (** Socket [barracuda.sock] in the system temp directory, 2 workers,
     queue 64, 2M-step budget, 30 s job deadline, cache 128, 30 s read
-    timeout, 1 job shard (serial per-job detection). *)
+    timeout, 1 job shard (serial per-job detection), 2 session
+    seats. *)
 
 type t
 

@@ -190,6 +190,25 @@ let broadcast t ~values ~sync =
   done;
   t.records <- t.records + 1
 
+(* Wait until every ring is fully drained while the consumers keep
+   running — the epoch-aligned barrier behind streaming checkpoints.
+   The producer (the one caller) is quiescent by contract, so once the
+   rings are empty every broadcast record has been fed and released;
+   reading the ring's consumer index synchronizes with the release, so
+   detector state is safe to read until production resumes. *)
+let quiesce t =
+  Array.iteri
+    (fun i q ->
+      let rec wait () =
+        if Atomic.get t.failed.(i) then raise (Shard_crashed i);
+        if Queue.length q > 0 then begin
+          Unix.sleepf 0.0002;
+          wait ()
+        end
+      in
+      wait ())
+    t.rings
+
 let join_all t =
   if not t.joined then begin
     Atomic.set t.producing false;

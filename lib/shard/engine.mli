@@ -65,6 +65,15 @@ val broadcast : t -> values:int64 array -> sync:bool -> unit
     every record is broadcast.  @raise Shard_crashed instead of
     blocking forever on a ring whose consumer has died. *)
 
+val quiesce : t -> unit
+(** Wait until every shard ring is fully drained {e without} stopping
+    the consumers — the epoch-aligned barrier behind streaming
+    checkpoints: on return, every broadcast record has been detected
+    and per-shard state is stable until the producer broadcasts again.
+    Producer-side call (same caller as {!broadcast}).
+    @raise Shard_crashed if a consumer died, since its ring would
+    never drain. *)
+
 val finish : t -> unit
 (** Stop producing, drain, and join every consumer domain.
     @raise Shard_crashed if any consumer died.  Idempotent. *)

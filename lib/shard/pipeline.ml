@@ -28,8 +28,12 @@ type result = {
   detect_ns : int64;
 }
 
-let no_values : int64 array = [||]
-
+(* A thin driver over the streaming-session core: build the sharded
+   sink and let [Session.drive] run the producer half (instrumented
+   execution, origin remap, logging filter, sync classification).  The
+   sink's abort-on-exception covers a [Shard_crashed] raised from
+   [broadcast], so the consumer domains are always joined before the
+   original exception propagates. *)
 let run_sharded ?(config = default_config) ?max_steps ?deadline_ns ?inst
     ~machine kernel args =
   let layout = Simt.Machine.layout machine in
@@ -39,70 +43,13 @@ let run_sharded ?(config = default_config) ?max_steps ?deadline_ns ?inst
     | None -> Instrument.Pass.instrument ~prune:config.prune
           ~static:config.static_prune kernel
   in
-  let roles = Gtrace.Roles.classify kernel in
   let engine =
     Engine.create ~ring_capacity:config.ring_capacity ?fault:config.fault
       ~config:config.detector ~layout ~shards:config.shards kernel
   in
-  let buf = Engine.scratch engine in
-  let origin = inst.Instrument.Pass.origin in
-  let logged = inst.Instrument.Pass.logged in
-  let norigin = Array.length origin in
-  let orig i = if i >= 0 && i < norigin then Array.unsafe_get origin i else -1 in
-  (* Synchronization classification for the epoch histogram: barriers
-     always; accesses when the static role analysis gave them
-     acquire/release semantics.  Classification never affects routing —
-     the engine broadcasts everything. *)
-  let is_sync_access o =
-    o >= 0
-    &&
-    match roles.(o) with
-    | Gtrace.Roles.Acquire _ | Gtrace.Roles.Release _
-    | Gtrace.Roles.Acquire_release _ ->
-        true
-    | Gtrace.Roles.Plain -> false
-  in
-  let on_event ev =
-    match ev with
-    | Simt.Event.Access a ->
-        let o = orig a.Simt.Event.insn in
-        if o >= 0 && logged.(o) then begin
-          Wire.write_access buf ~pos:0 ~kind:a.Simt.Event.kind
-            ~space:a.Simt.Event.space ~width:a.Simt.Event.width
-            ~mask:a.Simt.Event.mask ~warp:a.Simt.Event.warp ~insn:o
-            ~addrs:a.Simt.Event.addrs;
-          Engine.broadcast engine ~values:a.Simt.Event.values
-            ~sync:(is_sync_access o)
-        end
-    | Simt.Event.Branch_if { warp; insn; then_mask; else_mask } ->
-        let o = orig insn in
-        Wire.write_branch_if buf ~pos:0 ~mask:(then_mask lor else_mask) ~warp
-          ~insn:o ~then_mask ~else_mask;
-        Engine.broadcast engine ~values:no_values ~sync:false
-    | Simt.Event.Branch_else { warp; mask } ->
-        Wire.write_branch_else buf ~pos:0 ~warp ~insn:(-1) ~mask;
-        Engine.broadcast engine ~values:no_values ~sync:false
-    | Simt.Event.Branch_fi { warp; mask } ->
-        Wire.write_branch_fi buf ~pos:0 ~warp ~insn:(-1) ~mask;
-        Engine.broadcast engine ~values:no_values ~sync:false
-    | Simt.Event.Barrier { block } ->
-        Wire.write_barrier buf ~pos:0 ~warp:(-1) ~insn:(-1) ~mask:0 ~block;
-        Engine.broadcast engine ~values:no_values ~sync:true
-    | Simt.Event.Barrier_divergence { warp; insn; mask; expected } ->
-        Wire.write_barrier_divergence buf ~pos:0 ~warp ~insn ~mask ~expected;
-        Engine.broadcast engine ~values:no_values ~sync:false
-    | Simt.Event.Fence _ | Simt.Event.Kernel_done -> ()
-  in
   let machine_result =
-    try
-      Simt.Machine.launch ?max_steps ?deadline_ns ?fault:config.fault machine
-        inst.Instrument.Pass.kernel args ~on_event
-    with e ->
-      (* Join consumer domains before unwinding (a [Shard_crashed]
-         from [broadcast] lands here too); the original exception is
-         what the caller must see. *)
-      Engine.abort engine;
-      raise e
+    Gpu_runtime.Session.drive ?max_steps ?deadline_ns ?fault:config.fault
+      ~inst ~machine (Stream.sink_of_engine engine) kernel args
   in
   Engine.finish engine;
   let records = Engine.records engine in

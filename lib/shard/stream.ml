@@ -1,0 +1,15 @@
+let sink_of_engine engine =
+  {
+    Gpu_runtime.Session.stage = Engine.scratch engine;
+    submit = (fun ~values ~sync -> Engine.broadcast engine ~values ~sync);
+    quiesce = (fun () -> Engine.quiesce engine);
+    sink_report = (fun ~max_reports -> Engine.report engine ~max_reports);
+    finish = (fun () -> Engine.finish engine);
+    abort = (fun () -> Engine.abort engine);
+    detect_ns = (fun () -> Engine.detect_ns engine);
+    sink_records = (fun () -> Engine.records engine);
+  }
+
+let sink ?router ?ring_capacity ?fault ?config ~layout ~shards kernel =
+  sink_of_engine
+    (Engine.create ?router ?ring_capacity ?fault ?config ~layout ~shards kernel)

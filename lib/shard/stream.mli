@@ -1,0 +1,26 @@
+(** The sharded backend for streaming sessions: a
+    {!Gpu_runtime.Session.sink} over {!Engine}'s broadcast transport.
+
+    The sink's staging buffer {e is} the engine's scratch record, so
+    producers (the session core, or {!Gpu_runtime.Session.drive})
+    serialize once and broadcast in place; [quiesce] waits for every
+    shard ring to drain, which aligns checkpoints with broadcast
+    epochs; [finish]/[abort] join the consumer domains.  Feeding the
+    same record stream through this sink and through the serial sink
+    yields bitwise-identical merged race sets — the shard parity
+    guarantee, now available incrementally. *)
+
+val sink_of_engine : Engine.t -> Gpu_runtime.Session.sink
+(** Wrap an existing engine.  The caller must not also drive the
+    engine directly while the sink is live. *)
+
+val sink :
+  ?router:Router.t ->
+  ?ring_capacity:int ->
+  ?fault:Fault.Plan.t ->
+  ?config:Barracuda.Detector.config ->
+  layout:Vclock.Layout.t ->
+  shards:int ->
+  Ptx.Ast.kernel ->
+  Gpu_runtime.Session.sink
+(** Create an engine (spawning its consumer domains) and wrap it. *)

@@ -16,6 +16,7 @@ let () =
       ("warp_sweep", Test_warp_sweep.suite);
       ("dims", Test_dims.suite);
       ("session", Test_session.suite);
+      ("stream", Test_stream.suite);
       ("parallel", Test_parallel.suite);
       ("telemetry", Test_telemetry.suite);
       ("predict", Test_predict.suite);

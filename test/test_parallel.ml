@@ -206,23 +206,28 @@ let test_bugsuite_service_parity () =
                 Alcotest.failf "case %s: transport: %s" c.Bugsuite.Case.name e
           in
           let oneshot =
+            (* the same session-core path the service's serial jobs run *)
             let kernel = Ptx.Parser.kernel_of_string source in
             let machine = Simt.Machine.create ~layout () in
             let rargs = Service.Exec.resolve_args machine kernel args in
+            let inst =
+              Instrument.Pass.instrument ~prune:true ~static:true kernel
+            in
             let result =
-              Pipeline.run
-                ~config:{ Pipeline.default_config with prune = true }
+              Gpu_runtime.Session.run_stream
                 ~max_steps:Service.Exec.default_config.Service.Exec.max_steps
-                ~machine kernel rargs
+                ~inst ~machine kernel rargs
             in
             match
-              result.Pipeline.machine_result.Simt.Machine.status
+              result.Gpu_runtime.Session.sr_machine_result.Simt.Machine.status
             with
             | Simt.Machine.Max_steps _ | Simt.Machine.Deadline _ -> None
             | Simt.Machine.Completed ->
                 Some
-                  (if Barracuda.Report.has_race (Pipeline.report result) then
-                     P.Racy
+                  (if
+                     Barracuda.Report.has_race
+                       result.Gpu_runtime.Session.sr_report
+                   then P.Racy
                    else P.Race_free)
           in
           if via_service <> oneshot then

@@ -81,6 +81,11 @@ let test_protocol_roundtrip () =
           prune = false;
           static = false;
         };
+      P.Stream_open
+        (P.submit_defaults ~kind:P.Check ".visible .entry k () { ret; }");
+      P.Stream_append { sid = 7; chunk = "\x00\xffbinary\ngoo\x01" };
+      P.Stream_flush { sid = 7 };
+      P.Stream_close { sid = 7 };
     ];
   List.iter check_response_roundtrip
     [
@@ -129,6 +134,41 @@ let test_protocol_roundtrip () =
           cache_hits = 6;
           cache_misses = 5;
           cache_evictions = 0;
+          session_seats = 2;
+          open_sessions = 1;
+          sessions_opened = 9;
+          integrity_corrupt = 3;
+          integrity_gaps = 2;
+          integrity_stale = 1;
+          integrity_desync = 4;
+        };
+      P.Stream_opened { sid = 7 };
+      P.Stream_ack { sid = 7; records = 1234 };
+      P.Stream_verdict
+        {
+          sid = 7;
+          final = false;
+          records = 1234;
+          races = 2;
+          verdict = P.Racy;
+          degraded = true;
+          corrupt = 1;
+          gaps = 2;
+          stale = 0;
+          desync = 0;
+        };
+      P.Stream_verdict
+        {
+          sid = 8;
+          final = true;
+          records = 0;
+          races = 0;
+          verdict = P.Race_free;
+          degraded = false;
+          corrupt = 0;
+          gaps = 0;
+          stale = 0;
+          desync = 0;
         };
       P.Metrics_reply "# TYPE a counter\na 1\n";
     ];
@@ -449,22 +489,24 @@ let arg_specs (c : Case.t) =
 type verdict_or_timeout = V of P.verdict | Timeout
 
 (* One-shot reference: the same printed source through the same
-   pipeline configuration the service uses. *)
+   session-core path the service's serial jobs use. *)
 let oneshot_verdict (c : Case.t) source =
   let kernel = Ptx.Parser.kernel_of_string source in
   let layout = c.Case.layout in
   let machine = Simt.Machine.create ~layout () in
   let args = Service.Exec.resolve_args machine kernel (arg_specs c) in
-  let config = { Gpu_runtime.Pipeline.default_config with prune = true } in
+  let inst = Instrument.Pass.instrument ~prune:true ~static:true kernel in
   let result =
-    Gpu_runtime.Pipeline.run ~config
-      ~max_steps:Service.Exec.default_config.Service.Exec.max_steps ~machine
-      kernel args
+    Gpu_runtime.Session.run_stream
+      ~max_steps:Service.Exec.default_config.Service.Exec.max_steps ~inst
+      ~machine kernel args
   in
-  match result.Gpu_runtime.Pipeline.machine_result.Simt.Machine.status with
+  match
+    result.Gpu_runtime.Session.sr_machine_result.Simt.Machine.status
+  with
   | Simt.Machine.Max_steps _ | Simt.Machine.Deadline _ -> Timeout
   | Simt.Machine.Completed ->
-      let report = Gpu_runtime.Pipeline.report result in
+      let report = result.Gpu_runtime.Session.sr_report in
       V (if Barracuda.Report.has_race report then P.Racy else P.Race_free)
 
 let test_bugsuite_parity () =
@@ -587,6 +629,143 @@ let test_predict_over_trace () =
       | Ok r -> Alcotest.failf "unexpected reply %s" (P.encode_response r)
       | Result.Error e -> Alcotest.failf "transport: %s" e)
 
+(* ---- streaming sessions ------------------------------------------ *)
+
+(* Record a case's wire stream locally through the session core; the
+   recording is the exact batch feed, so daemon-side replay parity is
+   chunking + transport only. *)
+let record_case (c : Case.t) =
+  let layout = c.Case.layout in
+  let machine = Simt.Machine.create ~layout () in
+  let args = c.Case.setup machine in
+  let buf = Buffer.create 4096 in
+  let r =
+    Gpu_runtime.Session.run_stream ~capture:buf ~machine c.Case.kernel args
+  in
+  ( Barracuda.Report.has_race r.Gpu_runtime.Session.sr_report,
+    r.Gpu_runtime.Session.sr_records,
+    Buffer.contents buf )
+
+let stream_sub (c : Case.t) =
+  let layout = c.Case.layout in
+  {
+    (P.submit_defaults ~kind:P.Check (source_of_kernel c.Case.kernel)) with
+    P.layout =
+      Some
+        ( layout.Vclock.Layout.blocks,
+          layout.Vclock.Layout.threads_per_block,
+          layout.Vclock.Layout.warp_size );
+  }
+
+let ship_chunked s ~chunk bytes =
+  let total = String.length bytes in
+  let pos = ref 0 in
+  while !pos < total do
+    let len = min chunk (total - !pos) in
+    (match Service.Client.stream_append s (String.sub bytes !pos len) with
+    | Ok _ -> ()
+    | Result.Error e -> Alcotest.failf "append: %s" e);
+    pos := !pos + len
+  done
+
+let test_streaming_session () =
+  with_server "stream" (fun socket _t ->
+      List.iter
+        (fun (c : Case.t) ->
+          let racy, records, bytes = record_case c in
+          match Service.Client.stream_open ~socket (stream_sub c) with
+          | Result.Error e -> Alcotest.failf "open: %s" e
+          | Ok s ->
+              (* split mid-record: 777 is coprime to the cell size *)
+              let half = String.length bytes / 2 in
+              ship_chunked s ~chunk:777 (String.sub bytes 0 half);
+              (match Service.Client.stream_flush s with
+              | Ok v ->
+                  Alcotest.(check bool)
+                    (c.Case.name ^ ": checkpoint is a prefix verdict")
+                    true
+                    (v.Service.Client.v_records <= records
+                    && not v.Service.Client.v_final)
+              | Result.Error e -> Alcotest.failf "flush: %s" e);
+              ship_chunked s ~chunk:777
+                (String.sub bytes half (String.length bytes - half));
+              (match Service.Client.stream_close s with
+              | Ok v ->
+                  Alcotest.(check bool) (c.Case.name ^ ": final") true
+                    v.Service.Client.v_final;
+                  Alcotest.(check int) (c.Case.name ^ ": all records landed")
+                    records v.Service.Client.v_records;
+                  Alcotest.(check bool)
+                    (c.Case.name ^ ": verdict matches the local batch run")
+                    racy
+                    (v.Service.Client.v_verdict = P.Racy);
+                  Alcotest.(check bool) (c.Case.name ^ ": clean transport")
+                    false v.Service.Client.v_degraded
+              | Result.Error e -> Alcotest.failf "close: %s" e))
+        [ List.hd Bugsuite.Cases.all;
+          List.find (fun (c : Case.t) -> c.Case.verdict = Case.Race_free)
+            Bugsuite.Cases.all ])
+
+let test_streaming_seat_exhaustion () =
+  with_server "seats" (fun socket _t ->
+      let c = List.hd Bugsuite.Cases.all in
+      let sub = stream_sub c in
+      let open_ok () =
+        match Service.Client.stream_open ~socket sub with
+        | Ok s -> s
+        | Result.Error e -> Alcotest.failf "open: %s" e
+      in
+      (* default config: 2 seats *)
+      let a = open_ok () in
+      let b = open_ok () in
+      (match Service.Client.stream_open ~socket sub with
+      | Ok _ -> Alcotest.fail "third session must be rejected"
+      | Result.Error e ->
+          Alcotest.(check bool) "backpressure names the reason" true
+            (String.length e >= 8
+            && String.sub e 0 8 = "rejected"));
+      (* releasing a seat makes streaming available again *)
+      (match Service.Client.stream_close a with
+      | Ok v ->
+          Alcotest.(check bool) "empty session closes race-free" true
+            (v.Service.Client.v_verdict = P.Race_free)
+      | Result.Error e -> Alcotest.failf "close: %s" e);
+      let c3 = open_ok () in
+      Service.Client.stream_abort c3;
+      Service.Client.stream_abort b)
+
+let test_streaming_integrity_in_status () =
+  (* a corrupted chunk must degrade the session verdict AND surface in
+     the daemon's status integrity counters (satellite: previously
+     Prometheus-only) *)
+  let was_enabled = Telemetry.Registry.enabled () in
+  Telemetry.Registry.set_enabled true;
+  Fun.protect ~finally:(fun () -> Telemetry.Registry.set_enabled was_enabled)
+  @@ fun () ->
+  with_server "integrity" (fun socket _t ->
+      let c = List.hd Bugsuite.Cases.all in
+      let _, records, bytes = record_case c in
+      let b = Bytes.of_string bytes in
+      (* flip a checksum-covered header byte of the first record *)
+      Bytes.set b 12 (Char.chr (Char.code (Bytes.get b 12) lxor 0xff));
+      match Service.Client.stream_open ~socket (stream_sub c) with
+      | Result.Error e -> Alcotest.failf "open: %s" e
+      | Ok s -> (
+          ship_chunked s ~chunk:4096 (Bytes.to_string b);
+          (match Service.Client.stream_close s with
+          | Ok v ->
+              Alcotest.(check bool) "degraded" true v.Service.Client.v_degraded;
+              Alcotest.(check int) "one corrupt record" 1
+                v.Service.Client.v_corrupt;
+              Alcotest.(check int) "the rest landed" (records - 1)
+                v.Service.Client.v_records
+          | Result.Error e -> Alcotest.failf "close: %s" e);
+          match Service.Client.status ~socket with
+          | Ok st ->
+              Alcotest.(check bool) "status surfaces the desync counts" true
+                (st.P.integrity_corrupt >= 1)
+          | Result.Error e -> Alcotest.failf "status: %s" e))
+
 let suite =
   [
     Alcotest.test_case "protocol roundtrip" `Quick test_protocol_roundtrip;
@@ -601,4 +780,10 @@ let suite =
     Alcotest.test_case "bad submissions" `Quick test_bad_submissions;
     Alcotest.test_case "bugsuite parity" `Slow test_bugsuite_parity;
     Alcotest.test_case "predict over trace" `Quick test_predict_over_trace;
+    Alcotest.test_case "streaming session end-to-end" `Quick
+      test_streaming_session;
+    Alcotest.test_case "streaming seat exhaustion" `Quick
+      test_streaming_seat_exhaustion;
+    Alcotest.test_case "streaming integrity in status" `Quick
+      test_streaming_integrity_in_status;
   ]

@@ -1,0 +1,385 @@
+(* The streaming-session core (lib/runtime/session + lib/runtime/stream):
+   the load-bearing claim is chunk invariance — feeding a recorded wire
+   stream through a session in ANY chunking (1-byte, mid-record,
+   straddling barrier epochs) yields bitwise the batch race set, on the
+   serial backend and on the sharded one.  Plus the stream file codec,
+   the op-plane lifecycle, and the scheduler's session seats. *)
+
+module Report = Barracuda.Report
+module Session = Gpu_runtime.Session
+module Stream = Gpu_runtime.Stream
+
+(* ---- race-set extraction (as in test_shard) ---------------------- *)
+
+type race_key = {
+  loc : Gtrace.Loc.t;
+  prev_tid : int;
+  prev_kind : Report.access_kind;
+  cur_tid : int;
+  cur_kind : Report.access_kind;
+}
+
+let race_set_of_errors errors =
+  errors
+  |> List.filter_map (function
+       | Report.Race r ->
+           Some
+             {
+               loc = r.Report.loc;
+               prev_tid = r.Report.prev_tid;
+               prev_kind = r.Report.prev_kind;
+               cur_tid = r.Report.cur_tid;
+               cur_kind = r.Report.cur_kind;
+             }
+       | Report.Barrier_divergence _ -> None)
+  |> List.sort_uniq Stdlib.compare
+
+let race_set report = race_set_of_errors (Report.errors report)
+
+(* Parity needs the full stream with no report cap in the way. *)
+let detector_config =
+  { Barracuda.Detector.default_config with max_reports = 100000 }
+
+(* ---- recording a one-shot run ------------------------------------ *)
+
+(* One-shot through the session core, capturing the stream: the
+   recording IS the batch feed, so replaying it chunked isolates the
+   chunking as the only variable. *)
+let oneshot ~layout kernel args_of_machine =
+  let machine = Simt.Machine.create ~layout () in
+  let args = args_of_machine machine in
+  let buf = Buffer.create 4096 in
+  let r =
+    Session.run_stream ~detector:detector_config ~capture:buf ~machine kernel
+      args
+  in
+  (race_set r.Session.sr_report, r.Session.sr_records, Buffer.contents buf)
+
+(* Replay [bytes] through a streaming session, cutting chunks by the
+   (cyclic, positive) sizes in [cuts], checkpointing every
+   [checkpoint_every] chunks.  [shards = 0] is the serial backend. *)
+let streamed ~layout ~shards ~cuts ~checkpoint_every kernel bytes =
+  let sink =
+    if shards = 0 then None
+    else
+      Some
+        (Shard.Stream.sink ~config:detector_config ~layout ~shards kernel)
+  in
+  let st = Session.open_stream ?sink ~detector:detector_config ~layout kernel in
+  match
+    let total = String.length bytes in
+    let ncuts = Array.length cuts in
+    let pos = ref 0 and i = ref 0 in
+    while !pos < total do
+      let len = min cuts.(!i mod ncuts) (total - !pos) in
+      Session.feed_chunk st ~pos:!pos ~len bytes;
+      pos := !pos + len;
+      incr i;
+      if checkpoint_every > 0 && !i mod checkpoint_every = 0 then
+        ignore (Session.checkpoint st)
+    done;
+    Session.close_stream st
+  with
+  | p -> (race_set_of_errors p.Session.p_errors, p.Session.p_records)
+  | exception e ->
+      Session.abort_stream st;
+      raise e
+
+(* ---- QCheck: chunk invariance ------------------------------------ *)
+
+let gen_chunking =
+  QCheck2.Gen.(
+    (* sizes deliberately straddle every interesting boundary: single
+       bytes, sub-record, exactly a record, and multi-cell *)
+    let* cuts =
+      array_size (int_range 1 24)
+        (oneof
+           [
+             int_range 1 8;
+             int_range (Barracuda.Wire.size - 4) (Barracuda.Wire.size + 4);
+             int_range 1 (2 * Stream.max_cell_size);
+           ])
+    in
+    let* checkpoint_every = int_range 0 5 in
+    return (cuts, checkpoint_every))
+
+let gen_case = QCheck2.Gen.pair Gen.gen_program gen_chunking
+
+let print_case (prog, (cuts, ce)) =
+  Printf.sprintf "program:\n%s\ncuts=[%s] checkpoint_every=%d"
+    (Gen.print_program prog)
+    (String.concat ";" (Array.to_list (Array.map string_of_int cuts)))
+    ce
+
+let prop_chunk_invariance =
+  QCheck2.Test.make
+    ~name:
+      "any chunking of a recorded stream reproduces the batch race set \
+       (serial and 4 shards)"
+    ~count:60 ~print:print_case gen_case
+    (fun (prog, (cuts, checkpoint_every)) ->
+      let kernel = Gen.kernel_of_program prog in
+      let layout = Gen.layout in
+      let expected, records, bytes = oneshot ~layout kernel Gen.setup in
+      let serial =
+        streamed ~layout ~shards:0 ~cuts ~checkpoint_every kernel bytes
+      in
+      let sharded =
+        streamed ~layout ~shards:4 ~cuts ~checkpoint_every kernel bytes
+      in
+      if serial <> (expected, records) then
+        QCheck2.Test.fail_reportf
+          "serial stream diverged: %d races / %d records, one-shot %d / %d"
+          (List.length (fst serial))
+          (snd serial) (List.length expected) records;
+      if sharded <> (expected, records) then
+        QCheck2.Test.fail_reportf
+          "4-shard stream diverged: %d races / %d records, one-shot %d / %d"
+          (List.length (fst sharded))
+          (snd sharded) (List.length expected) records;
+      true)
+
+(* ---- fixed awkward chunkings over a real racy case --------------- *)
+
+let test_awkward_chunk_sizes () =
+  let c =
+    List.find
+      (fun (c : Bugsuite.Case.t) -> c.Bugsuite.Case.verdict <> Bugsuite.Case.Race_free)
+      Bugsuite.Cases.all
+  in
+  let layout = c.Bugsuite.Case.layout in
+  let kernel = c.Bugsuite.Case.kernel in
+  let expected, records, bytes =
+    oneshot ~layout kernel c.Bugsuite.Case.setup
+  in
+  Alcotest.(check bool) "the case actually races" true (expected <> []);
+  List.iter
+    (fun size ->
+      List.iter
+        (fun shards ->
+          let got =
+            streamed ~layout ~shards ~cuts:[| size |] ~checkpoint_every:3
+              kernel bytes
+          in
+          if got <> (expected, records) then
+            Alcotest.failf "chunk=%d shards=%d: diverged from one-shot" size
+              shards)
+        [ 0; 4 ])
+    [ 1; 7; Barracuda.Wire.size - 1; Barracuda.Wire.size;
+      Stream.max_cell_size + 1 ]
+
+(* ---- full-bugsuite streaming parity ------------------------------ *)
+
+let test_bugsuite_streaming_parity () =
+  List.iter
+    (fun (c : Bugsuite.Case.t) ->
+      let layout = c.Bugsuite.Case.layout in
+      let kernel = c.Bugsuite.Case.kernel in
+      let expected, records, bytes =
+        oneshot ~layout kernel c.Bugsuite.Case.setup
+      in
+      List.iter
+        (fun shards ->
+          let got =
+            streamed ~layout ~shards ~cuts:[| 997 |] ~checkpoint_every:4
+              kernel bytes
+          in
+          if got <> (expected, records) then
+            Alcotest.failf "%s @ %d shards: streamed race set differs"
+              c.Bugsuite.Case.name shards)
+        [ 0; 4 ])
+    Bugsuite.Cases.all
+
+(* ---- integrity: corruption is absorbed and surfaced -------------- *)
+
+let test_corrupt_record_counted () =
+  let c = List.hd Bugsuite.Cases.all in
+  let layout = c.Bugsuite.Case.layout in
+  let kernel = c.Bugsuite.Case.kernel in
+  let _, records, bytes = oneshot ~layout kernel c.Bugsuite.Case.setup in
+  Alcotest.(check bool) "have records" true (records > 1);
+  (* flip a checksum-covered header byte of the first cell's record *)
+  let b = Bytes.of_string bytes in
+  Bytes.set b 12 (Char.chr (Char.code (Bytes.get b 12) lxor 0xff));
+  let st = Session.open_stream ~detector:detector_config ~layout kernel in
+  Session.feed_chunk st (Bytes.to_string b);
+  let p = Session.close_stream st in
+  Alcotest.(check bool) "degraded" true p.Session.p_degraded;
+  Alcotest.(check int) "one corrupt record skipped" 1
+    p.Session.p_integrity.Report.corrupt;
+  Alcotest.(check int) "the rest made it" (records - 1) p.Session.p_records
+
+let test_framing_is_loud () =
+  let c = List.hd Bugsuite.Cases.all in
+  let layout = c.Bugsuite.Case.layout in
+  let kernel = c.Bugsuite.Case.kernel in
+  let _, _, bytes = oneshot ~layout kernel c.Bugsuite.Case.setup in
+  (* an impossible value count desynchronizes cell boundaries: loud *)
+  let b = Bytes.of_string bytes in
+  Bytes.set_uint16_le b Barracuda.Wire.size 0xffff;
+  let st = Session.open_stream ~detector:detector_config ~layout kernel in
+  (match Session.feed_chunk st (Bytes.to_string b) with
+  | () -> Alcotest.fail "expected Stream.Framing"
+  | exception Stream.Framing _ -> ());
+  Session.abort_stream st
+
+(* ---- recorded stream files --------------------------------------- *)
+
+let test_stream_file_roundtrip () =
+  let c = List.hd Bugsuite.Cases.all in
+  let layout = c.Bugsuite.Case.layout in
+  let kernel = c.Bugsuite.Case.kernel in
+  let expected, records, bytes = oneshot ~layout kernel c.Bugsuite.Case.setup in
+  let path = Filename.temp_file "barracuda-stream" ".baws" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let buf = Buffer.create (String.length bytes) in
+      Buffer.add_string buf bytes;
+      Stream.write_file path ~layout buf;
+      let layout', cells = Stream.read_file path in
+      Alcotest.(check bool) "layout survives the header" true (layout' = layout);
+      Alcotest.(check int) "cell bytes survive" (String.length bytes)
+        (String.length cells);
+      let got =
+        streamed ~layout:layout' ~shards:0 ~cuts:[| 512 |] ~checkpoint_every:0
+          kernel cells
+      in
+      Alcotest.(check bool) "replay matches the recording run" true
+        (got = (expected, records)))
+
+let test_bad_header_rejected () =
+  match Stream.decode_header (String.make Stream.header_size '\x00') with
+  | _ -> Alcotest.fail "expected Stream.Framing"
+  | exception Stream.Framing _ -> ()
+
+(* ---- op-plane lifecycle ------------------------------------------ *)
+
+let test_ops_lifecycle () =
+  let layout = Gen.layout in
+  let s = Session.open_ops ~layout () in
+  let loc = Gtrace.Loc.global 0x100 in
+  Session.feed_ops s
+    [
+      Gtrace.Op.Wr { tid = 0; loc; value = 1L };
+      Gtrace.Op.Endi { warp = 0; mask = 1 };
+    ];
+  Alcotest.(check bool) "no race yet" false
+    (Report.has_race (Session.ops_report s));
+  Session.feed_ops s
+    [
+      Gtrace.Op.Wr { tid = 9; loc; value = 2L };
+      Gtrace.Op.Endi { warp = 2; mask = 2 };
+    ];
+  Alcotest.(check bool) "verdict-so-far sees the race" true
+    (Report.has_race (Session.ops_report s));
+  Alcotest.(check int) "ops counted" 4 (Session.ops_fed s);
+  let final = Session.close_ops s in
+  Alcotest.(check bool) "final verdict" true (Report.has_race final);
+  match Session.feed_op s (Gtrace.Op.Endi { warp = 0; mask = 1 }) with
+  | () -> Alcotest.fail "feed after close must raise"
+  | exception Invalid_argument _ -> ()
+
+(* ---- scheduler session seats ------------------------------------- *)
+
+let scheduler_config =
+  {
+    Service.Scheduler.default_config with
+    Service.Scheduler.workers = 2;
+    session_seats = 2;
+  }
+
+let idle_exec ~job:_ _sub = Service.Protocol.Error "unused"
+
+let test_seats_bounded () =
+  let t = Service.Scheduler.create ~config:scheduler_config ~exec:idle_exec () in
+  Fun.protect
+    ~finally:(fun () -> Service.Scheduler.stop t)
+    (fun () ->
+      match
+        ( Service.Scheduler.session_open t,
+          Service.Scheduler.session_open t,
+          Service.Scheduler.session_open t )
+      with
+      | Some a, Some b, None ->
+          Alcotest.(check int) "both seats open" 2
+            (Service.Scheduler.open_sessions t);
+          (* session compute really runs on the seat's own domain *)
+          let here = (Domain.self () :> int) in
+          let seat_dom =
+            Service.Scheduler.session_call a (fun () ->
+                (Domain.self () :> int))
+          in
+          Alcotest.(check bool) "call ran on the seat domain" true
+            (seat_dom <> here);
+          (* exceptions cross the rendezvous *)
+          (match
+             Service.Scheduler.session_call b (fun () -> failwith "boom")
+           with
+          | _ -> Alcotest.fail "expected the closure's exception"
+          | exception Failure m -> Alcotest.(check string) "verbatim" "boom" m);
+          Service.Scheduler.session_close t a;
+          Alcotest.(check bool) "freed seat is reusable" true
+            (Service.Scheduler.session_open t <> None);
+          Alcotest.(check int) "opened total counts every claim" 3
+            (Service.Scheduler.sessions_opened t)
+      | _ -> Alcotest.fail "expected exactly 2 seats")
+
+(* Satellite: stop must zero EVERY scheduler-owned gauge — busy-worker
+   and session gauges included, not just queue depth. *)
+let test_stop_zeroes_all_gauges () =
+  let was_enabled = Telemetry.Registry.enabled () in
+  Telemetry.Registry.set_enabled true;
+  Telemetry.Registry.reset Telemetry.Registry.default;
+  Fun.protect ~finally:(fun () -> Telemetry.Registry.set_enabled was_enabled)
+  @@ fun () ->
+  let slow ~job:_ _sub =
+    Unix.sleepf 0.05;
+    Service.Protocol.Error "unused"
+  in
+  let t = Service.Scheduler.create ~config:scheduler_config ~exec:slow () in
+  (* make every gauge nonzero: busy workers, queue depth, open session *)
+  let sub = Service.Protocol.submit_defaults ~kind:Service.Protocol.Check "" in
+  for _ = 1 to 6 do
+    Service.Scheduler.submit t sub ~reply:(fun _ -> ())
+  done;
+  (match Service.Scheduler.session_open t with
+  | Some _ -> ()
+  | None -> Alcotest.fail "no free seat");
+  Alcotest.(check bool) "a session is open" true
+    (Telemetry.Registry.find_gauge Telemetry.Registry.default
+       "barracuda_service_open_sessions"
+    > 0);
+  (* stop without closing the session: the gauges must still be
+     pinned to zero afterwards *)
+  Service.Scheduler.stop t;
+  List.iter
+    (fun name ->
+      Alcotest.(check int) (name ^ " zero after stop") 0
+        (Telemetry.Registry.find_gauge Telemetry.Registry.default name))
+    [
+      "barracuda_service_queue_depth";
+      "barracuda_service_busy_workers";
+      "barracuda_service_open_sessions";
+    ]
+
+let suite =
+  [
+    Gen.to_alcotest prop_chunk_invariance;
+    Alcotest.test_case "awkward chunk sizes, serial and sharded" `Quick
+      test_awkward_chunk_sizes;
+    Alcotest.test_case "bugsuite streaming parity (serial + 4 shards)" `Quick
+      test_bugsuite_streaming_parity;
+    Alcotest.test_case "corrupt record absorbed and counted" `Quick
+      test_corrupt_record_counted;
+    Alcotest.test_case "framing corruption raises" `Quick test_framing_is_loud;
+    Alcotest.test_case "stream file round-trip" `Quick
+      test_stream_file_roundtrip;
+    Alcotest.test_case "bad stream header rejected" `Quick
+      test_bad_header_rejected;
+    Alcotest.test_case "op-plane lifecycle" `Quick test_ops_lifecycle;
+    Alcotest.test_case "session seats are bounded and reusable" `Quick
+      test_seats_bounded;
+    Alcotest.test_case "stop zeroes every scheduler gauge" `Quick
+      test_stop_zeroes_all_gauges;
+  ]
