@@ -19,6 +19,7 @@
      stream      streaming-session chunked ingest -> BENCH_stream.json
      static      static race analysis pruning wins -> BENCH_static.json
      repair      automated repair scoreboard + throughput -> BENCH_repair.json
+     fleet       multi-tenant soak + background campaign -> BENCH_fleet.json
      bechamel    Bechamel micro-benchmarks (one per table/figure)      *)
 
 module W = Workloads.Workload
@@ -603,32 +604,33 @@ let section_predict () =
 (* ------------------------------------------------------------------ *)
 (* Race-checking service throughput -> BENCH_service.json              *)
 
+(* A small kernel mix (4 distinct sources) submitted repeatedly, so
+   the artifact cache sees both cold misses and a hot steady state. *)
+let kernel_mix () =
+  List.filteri (fun i _ -> i < 4) Bugsuite.Cases.all
+  |> List.map (fun (c : Bugsuite.Case.t) ->
+         let layout = c.Bugsuite.Case.layout in
+         {
+           (Service.Protocol.submit_defaults ~kind:Service.Protocol.Check
+              (Format.asprintf "%a" Ptx.Printer.pp_kernel
+                 c.Bugsuite.Case.kernel))
+           with
+           Service.Protocol.layout =
+             Some
+               ( layout.Vclock.Layout.blocks,
+                 layout.Vclock.Layout.threads_per_block,
+                 layout.Vclock.Layout.warp_size );
+           args =
+             List.map
+               (fun _ -> "alloc:256")
+               c.Bugsuite.Case.kernel.Ptx.Ast.params;
+         })
+  |> Array.of_list
+
 let section_service () =
   header "Race-checking service: batch throughput (BENCH_service.json)";
   let clients = 8 and jobs_per_client = 12 in
-  (* A small kernel mix (4 distinct sources) submitted repeatedly, so
-     the artifact cache sees both cold misses and a hot steady state. *)
-  let mix =
-    List.filteri (fun i _ -> i < 4) Bugsuite.Cases.all
-    |> List.map (fun (c : Bugsuite.Case.t) ->
-           let layout = c.Bugsuite.Case.layout in
-           {
-             (Service.Protocol.submit_defaults ~kind:Service.Protocol.Check
-                (Format.asprintf "%a" Ptx.Printer.pp_kernel
-                   c.Bugsuite.Case.kernel))
-             with
-             Service.Protocol.layout =
-               Some
-                 ( layout.Vclock.Layout.blocks,
-                   layout.Vclock.Layout.threads_per_block,
-                   layout.Vclock.Layout.warp_size );
-             args =
-               List.map
-                 (fun _ -> "alloc:256")
-                 c.Bugsuite.Case.kernel.Ptx.Ast.params;
-           })
-    |> Array.of_list
-  in
+  let mix = kernel_mix () in
   let percentile sorted p =
     let n = Array.length sorted in
     sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
@@ -1147,6 +1149,213 @@ let section_repair () =
   Printf.printf "  wrote BENCH_repair.json (%d cases)\n" (List.length cases)
 
 (* ------------------------------------------------------------------ *)
+(* Fleet mode: multi-tenant soak + campaign -> BENCH_fleet.json        *)
+
+let fleet_baseline_json = "bench/baseline_fleet.json"
+let key_fleet_jobs_per_sec = "barracuda_bench_fleet_jobs_per_sec"
+let key_fleet_p99_ms = "barracuda_bench_fleet_p99_ms"
+
+(* A timed mixed-workload soak: several quota'd tenants hammer the
+   daemon from client domains while the background fault campaign
+   sweeps at its duty cycle.  Reports per-tenant client-observed
+   latency, quota rejects absorbed by the retry loop, and how far the
+   campaign got on the scraps of idle time. *)
+let section_fleet () =
+  header
+    "Fleet mode: multi-tenant soak with background campaign \
+     (BENCH_fleet.json)";
+  let registry = Telemetry.Registry.default in
+  Telemetry.Registry.reset registry;
+  Telemetry.Registry.set_enabled true;
+  let tenants = 3 and domains_per_tenant = 2 and jobs_per_domain = 8 in
+  let mix = kernel_mix () in
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "barracuda-fleet-bench-%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  (* Tight enough that bursty submits hit the bucket and exercise the
+     client's retry-after loop, loose enough that the soak still
+     finishes promptly. *)
+  let quota = { Service.Scheduler.rate = 50.0; burst = 2; seats = 2 } in
+  let tenant_quotas =
+    List.init tenants (fun i -> (Printf.sprintf "tenant%d" i, quota))
+  in
+  let server =
+    Service.Server.start
+      ~config:
+        {
+          Service.Server.default_config with
+          Service.Server.socket_path = socket;
+          workers = 4;
+          queue_capacity = 128;
+          tenant_quotas;
+        }
+      ()
+  in
+  if not (Service.Client.wait_ready ~socket ()) then
+    failwith "fleet bench: service did not come up";
+  let campaign_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "barracuda-fleet-bench-%d" (Unix.getpid ()))
+  in
+  (try Sys.remove (Campaign.Journal.path ~dir:campaign_dir)
+   with Sys_error _ -> ());
+  let daemon =
+    match
+      Campaign.Daemon.start
+        ~config:
+          {
+            Campaign.Daemon.seed = 42;
+            cases = 4;
+            trials = 6;
+            batch = 8;
+            duty = 0.5;
+            load = (fun () -> Service.Server.load server);
+          }
+        ~dir:campaign_dir ()
+    with
+    | Ok d -> d
+    | Error e -> failwith ("fleet bench: campaign: " ^ e)
+  in
+  Service.Server.set_campaign_hook server (fun () ->
+      Some (Campaign.Daemon.status daemon));
+  let t0 = Telemetry.Clock.now_ns () in
+  let client tenant c =
+    Array.init jobs_per_domain (fun j ->
+        let base =
+          mix.((c + (j * domains_per_tenant)) mod Array.length mix)
+        in
+        let sub = { base with Service.Protocol.tenant = Some tenant } in
+        let s0 = Telemetry.Clock.now_ns () in
+        (match Service.Client.submit ~retries:100 ~socket sub with
+        | Ok (Service.Protocol.Result _) -> ()
+        | Ok r ->
+            Printf.ksprintf failwith "fleet job got %s"
+              (Service.Protocol.encode_response r)
+        | Error e -> Printf.ksprintf failwith "fleet job: %s" e);
+        Telemetry.Clock.ns_to_ms (Telemetry.Clock.elapsed_ns ~since:s0))
+  in
+  let doms =
+    List.concat
+      (List.init tenants (fun ti ->
+           let name = Printf.sprintf "tenant%d" ti in
+           List.init domains_per_tenant (fun c ->
+               (name, Domain.spawn (fun () -> client name c)))))
+  in
+  let by_tenant = Hashtbl.create 8 in
+  List.iter
+    (fun (name, d) ->
+      let samples = Array.to_list (Domain.join d) in
+      let prev =
+        Option.value ~default:[] (Hashtbl.find_opt by_tenant name)
+      in
+      Hashtbl.replace by_tenant name (samples @ prev))
+    doms;
+  let wall_s = Telemetry.Clock.ns_to_s (Telemetry.Clock.elapsed_ns ~since:t0) in
+  (* Let the campaign use the now-idle service briefly so the status
+     join below has sweep progress to show. *)
+  Thread.delay 0.3;
+  let st =
+    match Service.Client.status ~socket with
+    | Ok s -> s
+    | Error e -> Printf.ksprintf failwith "fleet status: %s" e
+  in
+  Campaign.Daemon.stop daemon;
+  let campaign = Campaign.Daemon.status daemon in
+  Service.Server.stop server;
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then 0.0 else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+  in
+  let rejected_of name =
+    match
+      List.find_opt
+        (fun (t : Service.Protocol.tenant_status) ->
+          t.Service.Protocol.t_name = name)
+        st.Service.Protocol.tenants
+    with
+    | Some t -> t.Service.Protocol.t_rejected
+    | None -> 0
+  in
+  Printf.printf "  %-10s %6s %9s %9s %9s\n" "tenant" "jobs" "p50 ms"
+    "p99 ms" "rejects";
+  let all = ref [] in
+  List.iter
+    (fun ti ->
+      let name = Printf.sprintf "tenant%d" ti in
+      let samples =
+        Option.value ~default:[] (Hashtbl.find_opt by_tenant name)
+      in
+      all := samples @ !all;
+      let sorted = Array.of_list (List.sort compare samples) in
+      Printf.printf "  %-10s %6d %9.2f %9.2f %9d\n" name
+        (List.length samples) (percentile sorted 0.5)
+        (percentile sorted 0.99) (rejected_of name))
+    (List.init tenants (fun i -> i));
+  let jobs = tenants * domains_per_tenant * jobs_per_domain in
+  let thr = float_of_int jobs /. wall_s in
+  let sorted_all = Array.of_list (List.sort compare !all) in
+  let p99_all = percentile sorted_all 0.99 in
+  let rejects_total =
+    List.fold_left
+      (fun acc (t : Service.Protocol.tenant_status) ->
+        acc + t.Service.Protocol.t_rejected)
+      0 st.Service.Protocol.tenants
+  in
+  Printf.printf
+    "  %d jobs in %.2fs (%.1f jobs/s), overall p99 %.2f ms, %d quota \
+     rejects retried\n"
+    jobs wall_s thr p99_all rejects_total;
+  Printf.printf
+    "  campaign alongside: %d/%d trials in %d batches, silent-wrong %d%s\n"
+    campaign.Service.Protocol.ca_trials campaign.Service.Protocol.ca_total
+    campaign.Service.Protocol.ca_batches
+    campaign.Service.Protocol.ca_silent_wrong
+    (if campaign.Service.Protocol.ca_silent_wrong > 0 then
+       "  ** SILENT CORRUPTION **"
+     else "");
+  if campaign.Service.Protocol.ca_silent_wrong > 0 then
+    Printf.printf
+      "::warning::fleet campaign observed silent-wrong results under \
+       fault injection\n";
+  let gauge key help v =
+    Telemetry.Metric.gauge_set
+      (Telemetry.Registry.gauge ~help registry key)
+      v
+  in
+  gauge key_fleet_jobs_per_sec
+    "Mixed-tenant soak throughput with the campaign running"
+    (int_of_float thr);
+  gauge key_fleet_p99_ms "Overall client-observed p99 latency, milliseconds"
+    (int_of_float (Float.ceil p99_all));
+  gauge "barracuda_bench_fleet_quota_rejects"
+    "Quota rejects absorbed by the client retry loop during the soak"
+    rejects_total;
+  gauge "barracuda_bench_fleet_campaign_trials"
+    "Fault-campaign trials completed on idle time during the soak"
+    campaign.Service.Protocol.ca_trials;
+  gauge "barracuda_bench_fleet_silent_wrong"
+    "Silent-wrong trials observed by the background campaign"
+    campaign.Service.Protocol.ca_silent_wrong;
+  Telemetry.Registry.set_enabled false;
+  warn_on_regression ~baseline:fleet_baseline_json
+    ~key:key_fleet_jobs_per_sec ~label:"fleet soak throughput" ~fresh:thr ();
+  (match scan_baseline fleet_baseline_json key_fleet_p99_ms with
+  | Some old when p99_all > 4.0 *. float_of_int (max 1 old) ->
+      Printf.printf
+        "::warning::fleet p99 latency regressed vs the checked-in \
+         baseline (%d ms -> %.0f ms)\n"
+        old p99_all
+  | _ -> ());
+  Telemetry.Registry.set_enabled true;
+  Telemetry.Export.write_json ~path:"BENCH_fleet.json" registry;
+  Telemetry.Registry.set_enabled false;
+  Printf.printf "  wrote BENCH_fleet.json (%d tenants)\n" tenants
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 
 let section_bechamel () =
@@ -1224,6 +1433,7 @@ let sections =
     ("stream", section_stream);
     ("static", section_static);
     ("repair", section_repair);
+    ("fleet", section_fleet);
     ("bechamel", section_bechamel);
   ]
 

@@ -1080,15 +1080,37 @@ let socket_term =
     & info [ "socket" ] ~docv:"PATH"
         ~doc:"Unix domain socket the daemon listens on.")
 
+(* NAME:RATE:BURST:SEATS, e.g. acme:5:10:2.  RATE is jobs/second (0 =
+   unlimited); SEATS caps concurrent jobs (0 = unlimited). *)
+let parse_tenant_quota spec =
+  match String.split_on_char ':' spec with
+  | [ name; rate; burst; seats ] when name <> "" -> (
+      match
+        (float_of_string_opt rate, int_of_string_opt burst,
+         int_of_string_opt seats)
+      with
+      | Some rate, Some burst, Some seats ->
+          (name, { Service.Scheduler.rate; burst; seats })
+      | _ ->
+          failwith
+            (Printf.sprintf "bad --tenant-quota %S (want NAME:RATE:BURST:SEATS)"
+               spec))
+  | _ ->
+      failwith
+        (Printf.sprintf "bad --tenant-quota %S (want NAME:RATE:BURST:SEATS)"
+           spec)
+
 let serve_cmd =
   let run socket workers queue_capacity cache_capacity max_steps deadline_ms
-      job_shards sessions =
+      job_shards sessions quotas campaign_dir campaign_seed campaign_cases
+      campaign_trials campaign_batch campaign_duty =
     guard @@ fun () ->
     if job_shards < 1 then failwith "--job-shards must be at least 1";
     if sessions < 0 then failwith "--sessions must be at least 0";
     (* The daemon always runs with telemetry on: the status reply, the
        metrics request and the Prometheus exporter feed from it. *)
     Telemetry.Registry.set_enabled true;
+    let tenant_quotas = List.map parse_tenant_quota quotas in
     let config =
       {
         Service.Server.default_config with
@@ -1100,9 +1122,37 @@ let serve_cmd =
         job_deadline_ms = deadline_ms;
         job_shards;
         session_seats = sessions;
+        tenant_quotas;
       }
     in
     let t = Service.Server.start ~config () in
+    (* The background campaign composes in here — the server cannot
+       depend on the campaign layer — running as the lowest-priority
+       work in the daemon process, pausing whenever the server carries
+       load and checkpointing its journal after every batch. *)
+    let campaign =
+      match campaign_dir with
+      | None -> None
+      | Some dir -> (
+          let cfg =
+            {
+              Campaign.Daemon.seed = campaign_seed;
+              cases = campaign_cases;
+              trials = campaign_trials;
+              batch = campaign_batch;
+              duty = campaign_duty;
+              load = (fun () -> Service.Server.load t);
+            }
+          in
+          match Campaign.Daemon.start ~config:cfg ~dir () with
+          | Error message ->
+              Service.Server.stop t;
+              failwith message
+          | Ok d ->
+              Service.Server.set_campaign_hook t (fun () ->
+                  Some (Campaign.Daemon.status d));
+              Some d)
+    in
     let stop_signal _ = Service.Server.request_stop t in
     (try
        Sys.set_signal Sys.sigint (Sys.Signal_handle stop_signal);
@@ -1120,7 +1170,21 @@ let serve_cmd =
         "barracuda service listening on %s (%d workers, %d session seats, \
          queue %d, cache %d)@."
         socket workers sessions queue_capacity cache_capacity;
+    List.iter
+      (fun (name, q) ->
+        Format.printf
+          "  tenant %s: %.3g jobs/s (burst %d), %s concurrent@." name
+          q.Service.Scheduler.rate q.Service.Scheduler.burst
+          (if q.Service.Scheduler.seats > 0 then
+             string_of_int q.Service.Scheduler.seats
+           else "unlimited"))
+      tenant_quotas;
+    (match (campaign, campaign_dir) with
+    | Some _, Some dir ->
+        Format.printf "  background campaign journaling to %s@." dir
+    | _ -> ());
     Service.Server.wait t;
+    Option.iter Campaign.Daemon.stop campaign;
     Format.printf "barracuda service stopped.@.";
     0
   in
@@ -1171,17 +1235,70 @@ let serve_cmd =
                      domains, separate from the --workers batch pool).  \
                      0 disables streaming.")
   in
+  let quotas =
+    Arg.(value & opt_all string []
+           & info [ "tenant-quota" ] ~docv:"NAME:RATE:BURST:SEATS"
+               ~doc:"Per-tenant admission quota (repeatable): sustained \
+                     RATE jobs/s with BURST back-to-back, at most SEATS \
+                     concurrent jobs (0 = unlimited).  Tenants without a \
+                     quota are unlimited but still scheduled fairly.")
+  in
+  let campaign_dir =
+    Arg.(value & opt (some string) None
+           & info [ "campaign" ] ~docv:"DIR"
+               ~doc:"Run the continuous background fault campaign inside \
+                     the daemon, journaling to $(docv) (resumes an \
+                     existing journal).")
+  in
+  let campaign_seed =
+    Arg.(value & opt int Campaign.Daemon.default_config.Campaign.Daemon.seed
+           & info [ "campaign-seed" ] ~docv:"N"
+               ~doc:"Background campaign seed (ignored when resuming).")
+  in
+  let campaign_cases =
+    Arg.(value & opt int Campaign.Daemon.default_config.Campaign.Daemon.cases
+           & info [ "campaign-cases" ] ~docv:"N"
+               ~doc:"Bug-suite cases the background campaign sweeps.")
+  in
+  let campaign_trials =
+    Arg.(value & opt int Campaign.Daemon.default_config.Campaign.Daemon.trials
+           & info [ "campaign-trials" ] ~docv:"N"
+               ~doc:"Background campaign trials per (case, fault class).")
+  in
+  let campaign_batch =
+    Arg.(value & opt int Campaign.Daemon.default_config.Campaign.Daemon.batch
+           & info [ "campaign-batch" ] ~docv:"N"
+               ~doc:"Trials per journal checkpoint.")
+  in
+  let campaign_duty =
+    Arg.(value & opt float Campaign.Daemon.default_config.Campaign.Daemon.duty
+           & info [ "campaign-duty" ] ~docv:"FRAC"
+               ~doc:"Fraction of idle wall-clock the campaign may use.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run the race-checking daemon: a bounded job queue, a \
-          self-healing pool of worker domains and a content-hash artifact \
-          cache behind a Unix domain socket.")
+         "Run the race-checking daemon: a bounded job queue with \
+          per-tenant fair scheduling and quotas, a self-healing pool of \
+          worker domains, a content-hash artifact cache and an optional \
+          continuous background fault campaign behind a Unix domain \
+          socket.")
     Term.(const run $ socket_term $ workers $ queue $ cache $ max_steps
-          $ deadline $ job_shards $ sessions)
+          $ deadline $ job_shards $ sessions $ quotas $ campaign_dir
+          $ campaign_seed $ campaign_cases $ campaign_trials
+          $ campaign_batch $ campaign_duty)
+
+let tenant_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tenant" ] ~docv:"NAME"
+        ~doc:
+          "Tenant the job is accounted (and rate-limited) under; \
+           omitted jobs join the daemon's default tenant.")
 
 let submit_cmd =
-  let run socket layout file specs kind no_prune no_static retries json =
+  let run socket layout file specs kind no_prune no_static retries json tenant =
     guard @@ fun () ->
     let ic = open_in file in
     let payload = really_input_string ic (in_channel_length ic) in
@@ -1205,6 +1322,7 @@ let submit_cmd =
         args = specs;
         prune = not no_prune;
         static = not no_static;
+        tenant;
       }
     in
     match Service.Client.submit ~retries ~socket sub with
@@ -1301,10 +1419,11 @@ let submit_cmd =
           daemon and wait for the verdict.")
     Term.(
       const run $ socket_term $ layout_term $ file_term $ args_term $ kind
-      $ no_prune $ no_static $ retries $ json)
+      $ no_prune $ no_static $ retries $ json $ tenant_term)
 
 let stream_cmd =
-  let run socket file trace specs chunk flush_every no_prune no_static =
+  let run socket file trace specs chunk flush_every no_prune no_static retries
+      tenant =
     guard @@ fun () ->
     if chunk < 1 then failwith "--chunk must be at least 1";
     let ic = open_in file in
@@ -1325,6 +1444,7 @@ let stream_cmd =
         args = specs;
         prune = not no_prune;
         static = not no_static;
+        tenant;
       }
     in
     let print_verdict ~label (v : Service.Client.stream_verdict) =
@@ -1340,7 +1460,7 @@ let stream_cmd =
           v.Service.Client.v_corrupt v.Service.Client.v_gaps
           v.Service.Client.v_stale v.Service.Client.v_desync
     in
-    match Service.Client.stream_open ~socket sub with
+    match Service.Client.stream_open ~retries ~socket sub with
     | Error message ->
         Format.eprintf "barracuda: cannot open a session: %s@." message;
         1
@@ -1424,6 +1544,11 @@ let stream_cmd =
            & info [ "no-static" ]
                ~doc:"Disable the static race analysis tier.")
   in
+  let retries =
+    Arg.(value & opt int 10
+           & info [ "retries" ] ~docv:"N"
+               ~doc:"Retries when every daemon session seat is occupied.")
+  in
   Cmd.v
     (Cmd.info "stream"
        ~doc:
@@ -1433,7 +1558,7 @@ let stream_cmd =
           one-shot check of the same kernel.")
     Term.(
       const run $ socket_term $ file_term $ trace $ args_term $ chunk
-      $ flush_every $ no_prune $ no_static)
+      $ flush_every $ no_prune $ no_static $ retries $ tenant_term)
 
 let svc_status_cmd =
   let run socket prometheus json shutdown =
@@ -1570,6 +1695,250 @@ let faults_cmd =
           corruption or unhealed service fault.")
     Term.(const run $ seed $ quick $ trials $ json)
 
+(* ------------------------- fleet mode ---------------------------- *)
+
+let fleet_cmd =
+  let run dir seed cases trials batch resume max_trials json =
+    guard @@ fun () ->
+    if batch < 1 then failwith "--batch must be at least 1";
+    let exists = Sys.file_exists (Campaign.Journal.path ~dir) in
+    if exists && not resume then
+      failwith
+        (Printf.sprintf
+           "%s already holds a campaign journal; pass --resume to continue \
+            it (or point --dir at a fresh directory)"
+           dir);
+    let j =
+      if exists then
+        match Campaign.Journal.load ~dir with
+        | Ok j -> j
+        | Error message -> failwith message
+      else begin
+        let j =
+          Campaign.Journal.create ~seed
+            ~cases:(min cases (List.length Bugsuite.Cases.all))
+            ~trials
+        in
+        Campaign.Journal.save ~dir j;
+        j
+      end
+    in
+    if resume && not exists then
+      failwith (Printf.sprintf "no campaign journal to resume in %s" dir);
+    (* Foreground runner: same deterministic stepper the in-daemon
+       campaign uses, checkpointing after every batch so a kill at any
+       point resumes without losing or double-counting trials. *)
+    let baselines = Hashtbl.create 8 in
+    let budget =
+      match max_trials with
+      | None -> max_int
+      | Some m -> if m < 0 then 0 else m
+    in
+    let rec drive done_now =
+      if done_now >= budget || Campaign.Journal.complete j then ()
+      else begin
+        let ran =
+          Campaign.Daemon.step ~baselines j
+            ~n:(min batch (budget - done_now))
+        in
+        Campaign.Journal.save ~dir j;
+        if ran = 0 then () else drive (done_now + ran)
+      end
+    in
+    drive 0;
+    Format.printf "%a" Campaign.Journal.pp j;
+    (match json with
+    | None -> ()
+    | Some path ->
+        let line = Campaign.Journal.report_json j in
+        if path = "-" then print_endline line
+        else begin
+          let oc = open_out path in
+          output_string oc line;
+          output_char oc '\n';
+          close_out oc;
+          Format.printf "fleet campaign report written to %s@." path
+        end);
+    let clean =
+      List.for_all
+        (fun (_, (c : Campaign.Trial.cell)) ->
+          c.Campaign.Trial.silent_wrong = 0 && c.Campaign.Trial.crashed = 0)
+        j.Campaign.Journal.j_cells
+    in
+    if not clean then 1
+    else if Campaign.Journal.complete j || max_trials <> None then 0
+    else 1
+  in
+  let dir =
+    Arg.(required & pos 0 (some string) None
+           & info [] ~docv:"DIR" ~doc:"Campaign journal directory.")
+  in
+  let seed =
+    Arg.(value & opt int Campaign.Daemon.default_config.Campaign.Daemon.seed
+           & info [ "seed" ] ~docv:"N"
+               ~doc:"Campaign seed (ignored with --resume: the journal's \
+                     seed wins).")
+  in
+  let cases =
+    Arg.(value & opt int Campaign.Daemon.default_config.Campaign.Daemon.cases
+           & info [ "cases" ] ~docv:"N" ~doc:"Bug-suite cases swept.")
+  in
+  let trials =
+    Arg.(value & opt int Campaign.Daemon.default_config.Campaign.Daemon.trials
+           & info [ "trials" ] ~docv:"N"
+               ~doc:"Trials per (case, fault class).")
+  in
+  let batch =
+    Arg.(value & opt int Campaign.Daemon.default_config.Campaign.Daemon.batch
+           & info [ "batch" ] ~docv:"N" ~doc:"Trials per checkpoint.")
+  in
+  let resume =
+    Arg.(value & flag
+           & info [ "resume" ]
+               ~doc:"Continue the journal already in DIR from its cursor.")
+  in
+  let max_trials =
+    Arg.(value & opt (some int) None
+           & info [ "max-trials" ] ~docv:"N"
+               ~doc:"Stop after $(docv) trials this run (the journal keeps \
+                     the rest for a later --resume).")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+           & info [ "json" ] ~docv:"FILE"
+               ~doc:"Also write the deterministic campaign report as one \
+                     JSON line to $(docv) ($(b,-) for stdout).")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Run (or --resume) a checkpointed fault campaign in the \
+          foreground: the same seeded trial space the in-daemon \
+          background campaign sweeps, journaled to disk after every \
+          batch so an interrupted campaign resumes exactly where it \
+          stopped and its merged report is bitwise identical to an \
+          uninterrupted run.")
+    Term.(const run $ dir $ seed $ cases $ trials $ batch $ resume
+          $ max_trials $ json)
+
+let fleet_status_cmd =
+  let run socket dir prometheus json =
+    guard @@ fun () ->
+    match dir with
+    | Some dir -> (
+        (* Journal mode: render campaign state straight from disk — no
+           daemon required (e.g. after a crash, before the resume). *)
+        match Campaign.Journal.load ~dir with
+        | Error message ->
+            Format.eprintf "barracuda: %s@." message;
+            1
+        | Ok j ->
+            if json then print_endline (Campaign.Journal.report_json j)
+            else Format.printf "%a" Campaign.Journal.pp j;
+            if Campaign.Journal.silent_wrong j = 0 then 0 else 1)
+    | None ->
+        if prometheus then
+          match Service.Client.metrics ~socket with
+          | Ok text ->
+              print_string text;
+              0
+          | Error message ->
+              Format.eprintf "barracuda: cannot reach the daemon: %s@."
+                message;
+              1
+        else (
+          match Service.Client.status ~socket with
+          | Error message ->
+              Format.eprintf "barracuda: cannot reach the daemon: %s@."
+                message;
+              1
+          | Ok s ->
+              if json then
+                print_endline
+                  (Service.Protocol.encode_response
+                     (Service.Protocol.Status_reply s))
+              else begin
+                Format.printf "fleet on %s: up %.1f s@." socket
+                  (s.Service.Protocol.uptime_ms /. 1000.0);
+                Format.printf
+                  "  service   %d workers (%d busy), queue %d/%d, %d \
+                   submitted, %d rejected@."
+                  s.Service.Protocol.workers s.Service.Protocol.busy
+                  s.Service.Protocol.queue_depth
+                  s.Service.Protocol.queue_capacity
+                  s.Service.Protocol.submitted s.Service.Protocol.rejected;
+                Format.printf
+                  "  healing   %d workers respawned, %d jobs quarantined@."
+                  s.Service.Protocol.workers_restarted
+                  s.Service.Protocol.quarantined;
+                (match s.Service.Protocol.tenants with
+                | [] -> Format.printf "  tenants   none seen yet@."
+                | tenants ->
+                    List.iter
+                      (fun (tn : Service.Protocol.tenant_status) ->
+                        Format.printf
+                          "  tenant %-10s %d queued, %d in flight, %d \
+                           submitted, %d done, %d rejected, p50 %.1f ms, \
+                           p99 %.1f ms@."
+                          tn.Service.Protocol.t_name
+                          tn.Service.Protocol.t_queued
+                          tn.Service.Protocol.t_inflight
+                          tn.Service.Protocol.t_submitted
+                          tn.Service.Protocol.t_completed
+                          tn.Service.Protocol.t_rejected
+                          tn.Service.Protocol.t_p50_ms
+                          tn.Service.Protocol.t_p99_ms)
+                      tenants);
+                (match s.Service.Protocol.campaign with
+                | None -> Format.printf "  campaign  not running@."
+                | Some c ->
+                    Format.printf
+                      "  campaign  %d/%d trials (%d batches)%s, \
+                       silent-wrong %d%s@."
+                      c.Service.Protocol.ca_trials
+                      c.Service.Protocol.ca_total
+                      c.Service.Protocol.ca_batches
+                      (if c.Service.Protocol.ca_paused then
+                         " [paused for paying work]"
+                       else "")
+                      c.Service.Protocol.ca_silent_wrong
+                      (if c.Service.Protocol.ca_silent_wrong > 0 then
+                         "  ** SILENT CORRUPTION **"
+                       else ""))
+              end;
+              let silent =
+                match s.Service.Protocol.campaign with
+                | Some c -> c.Service.Protocol.ca_silent_wrong
+                | None -> 0
+              in
+              if silent = 0 then 0 else 1)
+  in
+  let dir =
+    Arg.(value & opt (some string) None
+           & info [ "dir" ] ~docv:"DIR"
+               ~doc:"Read campaign state from a journal directory instead \
+                     of a live daemon.")
+  in
+  let prometheus =
+    Arg.(value & flag
+           & info [ "prometheus" ]
+               ~doc:"Print the daemon's registry in Prometheus text format.")
+  in
+  let json =
+    Arg.(value & flag
+           & info [ "json" ]
+               ~doc:"Raw JSON: the status line (daemon mode) or the \
+                     deterministic campaign report (--dir mode).")
+  in
+  Cmd.v
+    (Cmd.info "fleet-status"
+       ~doc:
+         "Live reliability dashboard: per-tenant queue depth, \
+          throughput, rejections and latency percentiles joined with \
+          background-campaign survival state (silent-wrong must stay \
+          0).  Exits non-zero on any silent-wrong trial.")
+    Term.(const run $ socket_term $ dir $ prometheus $ json)
+
 let () =
   let doc = "binary-level data race detection for (simulated) CUDA kernels" in
   let info = Cmd.info "barracuda" ~version:"1.0.0" ~doc in
@@ -1581,4 +1950,5 @@ let () =
             suite_cmd;
             litmus_cmd; table1_cmd; sweep_cmd; replay_cmd; predict_cmd; faults_cmd;
             serve_cmd; submit_cmd; stream_cmd; svc_status_cmd;
+            fleet_cmd; fleet_status_cmd;
           ]))

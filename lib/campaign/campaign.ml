@@ -8,11 +8,18 @@
 module Case = Bugsuite.Case
 module Plan = Fault.Plan
 
+(* The single-trial machinery, the resumable journal and the
+   background sweep live in their own modules, re-exported here as the
+   library's public face. *)
+module Trial = Trial
+module Journal = Journal
+module Daemon = Daemon
+
 type config = { seed : int; quick : bool; trials : int }
 
 let default_config = { seed = 42; quick = false; trials = 3 }
 
-type cell = {
+type cell = Trial.cell = {
   trials : int;
   injected : int;  (* faults actually injected across the trials *)
   masked : int;
@@ -22,16 +29,7 @@ type cell = {
   crashed : int;
 }
 
-let empty_cell =
-  {
-    trials = 0;
-    injected = 0;
-    masked = 0;
-    absorbed = 0;
-    degraded_wrong = 0;
-    silent_wrong = 0;
-    crashed = 0;
-  }
+let empty_cell = Trial.empty_cell
 
 type machine_cell = {
   m_trials : int;
@@ -66,47 +64,12 @@ type t = {
   shard : shard_cell;
 }
 
-(* ---- seeding ----------------------------------------------------- *)
+(* ---- seeding / transport (shared machinery in {!Trial}) ---------- *)
 
-let trial_seed ~seed ~case_id ~cls ~trial =
-  (seed * 0x9E3779B1) lxor (case_id * 7919) lxor (cls * 104729) lxor (trial * 31)
-  |> abs
-
-(* ---- transport --------------------------------------------------- *)
-
-let transport_classes =
-  [
-    ("bit_flip", fun s -> { Plan.none with Plan.seed = s; bit_flip = 0.05 });
-    ("drop", fun s -> { Plan.none with Plan.seed = s; drop = 0.05 });
-    ("duplicate", fun s -> { Plan.none with Plan.seed = s; duplicate = 0.05 });
-    ( "delay",
-      fun s -> { Plan.none with Plan.seed = s; delay = 0.05; delay_hold = 3 } );
-  ]
-
-let pipeline_verdict ?fault (case : Case.t) =
-  let machine = Simt.Machine.create ~layout:case.Case.layout () in
-  let args = case.Case.setup machine in
-  let config = { Gpu_runtime.Pipeline.default_config with fault } in
-  let result =
-    Gpu_runtime.Pipeline.run ~config ~machine case.Case.kernel args
-  in
-  let report = Gpu_runtime.Pipeline.report result in
-  (Barracuda.Report.has_race report, Barracuda.Report.degraded report)
-
-let transport_trial ~baseline_race ~plan case cell =
-  let cell = { cell with trials = cell.trials + 1 } in
-  match pipeline_verdict ~fault:plan case with
-  | exception _ -> { cell with crashed = cell.crashed + 1 }
-  | race, degraded ->
-      let inj = Plan.injected plan in
-      let n = inj.Plan.flips + inj.Plan.drops + inj.Plan.dups + inj.Plan.delays in
-      let cell = { cell with injected = cell.injected + n } in
-      let right = Bool.equal race baseline_race in
-      if right && not degraded then { cell with masked = cell.masked + 1 }
-      else if right then { cell with absorbed = cell.absorbed + 1 }
-      else if degraded then
-        { cell with degraded_wrong = cell.degraded_wrong + 1 }
-      else { cell with silent_wrong = cell.silent_wrong + 1 }
+let trial_seed = Trial.trial_seed
+let transport_classes = Trial.transport_classes
+let pipeline_verdict = Trial.pipeline_verdict
+let transport_trial = Trial.transport_trial
 
 let run_transport ~seed ~trials cases =
   List.mapi
@@ -376,8 +339,11 @@ let ok t =
 let to_json t =
   let buf = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  add "{\"seed\":%d,\"cases\":%d,\"ok\":%b,\"transport\":{" t.seed t.cases
-    (ok t);
+  (* The schema version travels with every campaign artifact (this
+     report and the resumable journal alike) so consumers — and
+     journal merges — can reject incompatible trial formats loudly. *)
+  add "{\"schema_version\":%d,\"seed\":%d,\"cases\":%d,\"ok\":%b,\"transport\":{"
+    Journal.schema_version t.seed t.cases (ok t);
   List.iteri
     (fun i (name, c) ->
       if i > 0 then add ",";

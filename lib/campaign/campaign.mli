@@ -27,7 +27,18 @@
       merge.
 
     Reports carry only counts derived from the seed — no timestamps —
-    so a fixed-seed campaign is bitwise reproducible. *)
+    so a fixed-seed campaign is bitwise reproducible.
+
+    Beyond the foreground sweep, the library exposes the fleet-mode
+    building blocks: {!Trial} (the per-trial machinery every sweep
+    shares), {!Journal} (the versioned on-disk checkpoint format that
+    makes campaigns resumable) and {!Daemon} (the continuous
+    background sweep that runs inside the live service at a duty
+    cycle). *)
+
+module Trial = Trial
+module Journal = Journal
+module Daemon = Daemon
 
 type config = {
   seed : int;
@@ -40,7 +51,7 @@ type config = {
 val default_config : config
 (** seed 42, full sweep, 3 trials. *)
 
-type cell = {
+type cell = Trial.cell = {
   trials : int;
   injected : int;  (** faults actually injected across the trials *)
   masked : int;
@@ -96,7 +107,8 @@ val ok : t -> bool
     and at least one shard crash actually fired. *)
 
 val to_json : t -> string
-(** One line, keys in a fixed order; bitwise identical across runs
-    with the same seed and config. *)
+(** One line, keys in a fixed order, starting with
+    [{"schema_version":N,...}] ({!Journal.schema_version}); bitwise
+    identical across runs with the same seed and config. *)
 
 val pp : Format.formatter -> t -> unit

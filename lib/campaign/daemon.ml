@@ -1,0 +1,203 @@
+(* Continuous background fault campaign.
+
+   A single sys-thread walks the journal's linear trial space in
+   batches, checkpointing after every batch.  It is deliberately the
+   lowest-priority work in the process: before each batch it probes
+   the service load (queued + executing jobs, read from the telemetry
+   gauges by default so this layer needs no handle on the server) and
+   yields while any paying work exists; after each batch it sleeps the
+   duty-cycle complement of the time the batch took. *)
+
+module Case = Bugsuite.Case
+module Plan = Fault.Plan
+
+type config = {
+  seed : int;
+  cases : int;
+  trials : int;
+  batch : int;  (* trials per checkpoint *)
+  duty : float;  (* fraction of wall-clock spent running trials *)
+  load : unit -> int;  (* paying work right now; > 0 pauses the sweep *)
+}
+
+let default_load () =
+  Telemetry.Registry.find_gauge Telemetry.Registry.default
+    "barracuda_service_queue_depth"
+  + Telemetry.Registry.find_gauge Telemetry.Registry.default
+      "barracuda_service_busy_workers"
+
+let default_config =
+  { seed = 42; cases = 8; trials = 25; batch = 8; duty = 0.25;
+    load = default_load }
+
+let take k l = List.filteri (fun i _ -> i < k) l
+
+(* Advance the journal by up to [n] trials.  Pure replay: which trials
+   run, and their outcomes, depend only on the journal's seed and
+   cursor — never on wall-clock, load or previous interruptions.
+   [baselines] memoizes the fault-free verdict per case across
+   batches. *)
+let step ?(baselines = Hashtbl.create 8) j ~n =
+  let cases = Array.of_list (take j.Journal.j_cases Bugsuite.Cases.all) in
+  let classes = Array.of_list Trial.transport_classes in
+  let per_case = Trial.class_count * j.Journal.j_trials in
+  (* A journal written against a larger bug suite than this build
+     carries can only be advanced over the cases that exist. *)
+  let ceiling = min (Journal.total j) (Array.length cases * per_case) in
+  let stop = min ceiling (j.Journal.j_cursor + max 0 n) in
+  let ran = stop - j.Journal.j_cursor in
+  for i = j.Journal.j_cursor to stop - 1 do
+    let case = cases.(i / per_case) in
+    let rem = i mod per_case in
+    let cls = rem / j.Journal.j_trials in
+    let trial = rem mod j.Journal.j_trials in
+    let baseline_race =
+      match Hashtbl.find_opt baselines (i / per_case) with
+      | Some b -> b
+      | None ->
+          let b, _ = Trial.pipeline_verdict case in
+          Hashtbl.replace baselines (i / per_case) b;
+          b
+    in
+    let name, spec_of = classes.(cls) in
+    let s =
+      Trial.trial_seed ~seed:j.Journal.j_seed ~case_id:case.Case.id ~cls ~trial
+    in
+    let plan = Plan.make (spec_of s) in
+    j.Journal.j_cells <-
+      List.map
+        (fun (n', cell) ->
+          if String.equal n' name then
+            (n', Trial.transport_trial ~baseline_race ~plan case cell)
+          else (n', cell))
+        j.Journal.j_cells
+  done;
+  j.Journal.j_cursor <- stop;
+  if ran > 0 then j.Journal.j_batches <- j.Journal.j_batches + 1;
+  ran
+
+type t = {
+  config : config;
+  dir : string;
+  journal : Journal.t;
+  lock : Mutex.t;
+  mutable paused : bool;  (* last probe found paying work *)
+  mutable stopping : bool;
+  mutable thread : Thread.t option;
+}
+
+let journal_status ~paused (j : Journal.t) =
+  {
+    Service.Protocol.ca_trials = j.Journal.j_cursor;
+    ca_total = Journal.total j;
+    ca_batches = j.Journal.j_batches;
+    ca_silent_wrong = Journal.silent_wrong j;
+    ca_paused = paused;
+  }
+
+let status t =
+  Mutex.lock t.lock;
+  let s = journal_status ~paused:t.paused t.journal in
+  Mutex.unlock t.lock;
+  s
+
+let journal t =
+  Mutex.lock t.lock;
+  (* Snapshot under the lock so readers never see a half-applied
+     batch. *)
+  let j =
+    {
+      t.journal with
+      Journal.j_cells = t.journal.Journal.j_cells;
+    }
+  in
+  Mutex.unlock t.lock;
+  j
+
+(* Sleep in short slices so [stop] never waits long. *)
+let interruptible_sleep t s =
+  let slice = 0.05 in
+  let rec go left =
+    if left > 0.0 && not t.stopping then begin
+      Thread.delay (Float.min slice left);
+      go (left -. slice)
+    end
+  in
+  go s
+
+let loop t =
+  let baselines = Hashtbl.create 8 in
+  while not t.stopping do
+    if Journal.complete t.journal then begin
+      t.paused <- false;
+      interruptible_sleep t 0.2
+    end
+    else if t.config.load () > 0 then begin
+      (* Paying work in the house: yield immediately and re-probe
+         soon.  The campaign never occupies the process while a real
+         job is queued or running. *)
+      t.paused <- true;
+      interruptible_sleep t 0.02
+    end
+    else begin
+      t.paused <- false;
+      let t0 = Telemetry.Clock.now_ns () in
+      Mutex.lock t.lock;
+      let ran = step ~baselines t.journal ~n:t.config.batch in
+      Mutex.unlock t.lock;
+      if ran > 0 then Journal.save ~dir:t.dir t.journal;
+      let elapsed_s =
+        Int64.to_float (Telemetry.Clock.elapsed_ns ~since:t0) /. 1e9
+      in
+      (* duty cycle: running d of the time means idling
+         elapsed * (1 - d) / d after each batch. *)
+      let duty = Float.max 0.01 (Float.min 1.0 t.config.duty) in
+      if duty < 1.0 then
+        interruptible_sleep t (elapsed_s *. (1.0 -. duty) /. duty)
+    end
+  done
+
+let start ?(config = default_config) ~dir () =
+  if config.cases < 1 || config.trials < 1 || config.batch < 1 then
+    Error "campaign daemon: cases, trials and batch must be positive"
+  else
+    let journal =
+      if Sys.file_exists (Journal.path ~dir) then Journal.load ~dir
+      else begin
+        let j =
+          Journal.create ~seed:config.seed
+            ~cases:(min config.cases (List.length Bugsuite.Cases.all))
+            ~trials:config.trials
+        in
+        Journal.save ~dir j;
+        Ok j
+      end
+    in
+    match journal with
+    | Error _ as e -> e
+    | Ok j ->
+        let t =
+          {
+            config;
+            dir;
+            journal = j;
+            lock = Mutex.create ();
+            paused = false;
+            stopping = false;
+            thread = None;
+          }
+        in
+        t.thread <- Some (Thread.create loop t);
+        Ok t
+
+let stop t =
+  t.stopping <- true;
+  match t.thread with
+  | Some th ->
+      Thread.join th;
+      t.thread <- None;
+      (* Final checkpoint so nothing since the last batch save is
+         lost.  (Batch saves already make this a no-op in the common
+         case.) *)
+      Journal.save ~dir:t.dir t.journal
+  | None -> ()

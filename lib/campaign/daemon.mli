@@ -1,0 +1,61 @@
+(** Continuous background fault campaign, designed to live inside the
+    race-checking daemon process.
+
+    A single thread walks the journal's deterministic trial space in
+    batches, checkpointing the {!Journal} to disk after every batch
+    (atomic rename), so the campaign resumes exactly where it left off
+    after a crash or restart and a kill can never lose or double-count
+    trials.
+
+    The campaign is strictly lowest-priority: before each batch it
+    probes [config.load] — by default the daemon's own
+    [barracuda_service_queue_depth] + [barracuda_service_busy_workers]
+    gauges — and yields whenever any paying work is queued or running;
+    between batches it sleeps the duty-cycle complement of the batch's
+    runtime, so even an idle service only spends [duty] of wall-clock
+    on fault trials. *)
+
+type config = {
+  seed : int;
+  cases : int;  (** bug-suite cases swept (clamped to the suite size) *)
+  trials : int;  (** trials per (case, fault class) *)
+  batch : int;  (** trials per checkpoint *)
+  duty : float;
+      (** fraction of wall-clock spent running trials when the service
+          is otherwise idle (clamped to [0.01, 1.0]) *)
+  load : unit -> int;
+      (** paying work right now; any positive value pauses the sweep.
+          Defaults to reading the service telemetry gauges, so the
+          campaign needs no handle on the server. *)
+}
+
+val default_config : config
+(** seed 42, 8 cases, 25 trials, batch 8, duty 0.25, telemetry-gauge
+    load probe. *)
+
+val default_load : unit -> int
+
+val step : ?baselines:(int, bool) Hashtbl.t -> Journal.t -> n:int -> int
+(** Advance the journal by up to [n] trials (bounded by the trial
+    space) and return how many ran.  Pure deterministic replay — which
+    trials run and their outcomes depend only on the journal's seed
+    and cursor — exposed for tests and the foreground [fleet] runner.
+    Counts one batch when at least one trial ran.  [baselines]
+    memoizes fault-free verdicts per case across calls. *)
+
+type t
+
+val start : ?config:config -> dir:string -> unit -> (t, string) result
+(** Resume the journal in [dir] if one exists (rejecting mismatched
+    schema versions loudly), otherwise create and checkpoint a fresh
+    one; then spawn the sweep thread.  [Error] on an invalid config or
+    an unreadable/incompatible journal. *)
+
+val status : t -> Service.Protocol.campaign_status
+(** Live snapshot for status replies and the fleet dashboard. *)
+
+val journal : t -> Journal.t
+(** Snapshot of the journal (safe to render while the sweep runs). *)
+
+val stop : t -> unit
+(** Stop the sweep thread and write a final checkpoint. *)

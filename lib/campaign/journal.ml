@@ -1,0 +1,214 @@
+(* Versioned on-disk campaign journal.
+
+   The trial space is linearized case-major: index i covers
+   case i / (classes * trials), class (i mod (classes * trials)) /
+   trials, trial i mod trials.  The journal is just the cursor into
+   that line plus the per-class cells accumulated so far — because
+   every trial's outcome is a pure function of the seed tuple
+   ({!Trial.trial_seed}), resuming from the cursor reproduces exactly
+   the trials an uninterrupted run would have done, and the merged
+   counts are monotone: a trial is folded in once, at the moment the
+   cursor passes it, and checkpoints are atomic (tmp + rename), so a
+   kill can neither lose nor double-count trials. *)
+
+module Json = Telemetry.Json
+
+let schema_version = 1
+let file_name = "campaign.json"
+
+type t = {
+  j_seed : int;
+  j_cases : int;
+  j_trials : int;  (* per (case, class) *)
+  mutable j_cursor : int;  (* trials completed, = next linear index *)
+  mutable j_batches : int;  (* checkpointed batches (not in reports) *)
+  mutable j_cells : (string * Trial.cell) list;  (* class-name order *)
+}
+
+let create ~seed ~cases ~trials =
+  {
+    j_seed = seed;
+    j_cases = cases;
+    j_trials = trials;
+    j_cursor = 0;
+    j_batches = 0;
+    j_cells = List.map (fun name -> (name, Trial.empty_cell)) Trial.class_names;
+  }
+
+let total j = j.j_cases * Trial.class_count * j.j_trials
+let complete j = j.j_cursor >= total j
+
+let silent_wrong j =
+  List.fold_left
+    (fun acc (_, (c : Trial.cell)) -> acc + c.Trial.silent_wrong)
+    0 j.j_cells
+
+let cell_fields (c : Trial.cell) =
+  [
+    ("trials", Json.Int c.Trial.trials);
+    ("injected", Json.Int c.Trial.injected);
+    ("masked", Json.Int c.Trial.masked);
+    ("absorbed", Json.Int c.Trial.absorbed);
+    ("degraded_wrong", Json.Int c.Trial.degraded_wrong);
+    ("silent_wrong", Json.Int c.Trial.silent_wrong);
+    ("crashed", Json.Int c.Trial.crashed);
+  ]
+
+let to_json j =
+  Json.Obj
+    [
+      ("schema_version", Json.Int schema_version);
+      ("seed", Json.Int j.j_seed);
+      ("cases", Json.Int j.j_cases);
+      ("trials", Json.Int j.j_trials);
+      ("cursor", Json.Int j.j_cursor);
+      ("batches", Json.Int j.j_batches);
+      ( "classes",
+        Json.Obj
+          (List.map (fun (name, c) -> (name, Json.Obj (cell_fields c))) j.j_cells)
+      );
+    ]
+
+let int_field name doc =
+  match Option.bind (Json.member name doc) Json.to_int with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "campaign journal: missing field %S" name)
+
+let ( let* ) = Result.bind
+
+let cell_of_json doc =
+  let* trials = int_field "trials" doc in
+  let* injected = int_field "injected" doc in
+  let* masked = int_field "masked" doc in
+  let* absorbed = int_field "absorbed" doc in
+  let* degraded_wrong = int_field "degraded_wrong" doc in
+  let* silent_wrong = int_field "silent_wrong" doc in
+  let* crashed = int_field "crashed" doc in
+  Ok
+    {
+      Trial.trials;
+      injected;
+      masked;
+      absorbed;
+      degraded_wrong;
+      silent_wrong;
+      crashed;
+    }
+
+let of_string s =
+  let* doc =
+    Result.map_error (fun e -> "campaign journal: " ^ e) (Json.of_string s)
+  in
+  let* version = int_field "schema_version" doc in
+  if version <> schema_version then
+    (* Loud and versioned, mirroring the trace-file rejection: silently
+       merging incompatible trial formats would corrupt the campaign. *)
+    Error
+      (Printf.sprintf
+         "campaign journal schema version %d (expected %d): refusing to \
+          merge incompatible trial formats"
+         version schema_version)
+  else
+    let* seed = int_field "seed" doc in
+    let* cases = int_field "cases" doc in
+    let* trials = int_field "trials" doc in
+    let* cursor = int_field "cursor" doc in
+    let* batches = int_field "batches" doc in
+    let* cells =
+      List.fold_left
+        (fun acc name ->
+          let* acc = acc in
+          match Option.bind (Json.member "classes" doc) (Json.member name) with
+          | None ->
+              Error
+                (Printf.sprintf "campaign journal: missing class %S" name)
+          | Some c ->
+              let* cell = cell_of_json c in
+              Ok ((name, cell) :: acc))
+        (Ok []) Trial.class_names
+    in
+    if cursor < 0 || cases < 0 || trials < 0 then
+      Error "campaign journal: negative cursor or dimensions"
+    else
+      Ok
+        {
+          j_seed = seed;
+          j_cases = cases;
+          j_trials = trials;
+          j_cursor = cursor;
+          j_batches = batches;
+          j_cells = List.rev cells;
+        }
+
+let path ~dir = Filename.concat dir file_name
+
+let save ~dir j =
+  (try
+     if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let final = path ~dir in
+  let tmp = final ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (Json.to_string ~minify:true (to_json j));
+  output_char oc '\n';
+  close_out oc;
+  (* Atomic within the directory: a kill leaves either the previous
+     checkpoint or this one, never a torn file. *)
+  Sys.rename tmp final
+
+let load ~dir =
+  let file = path ~dir in
+  if not (Sys.file_exists file) then
+    Error (Printf.sprintf "no campaign journal at %s" file)
+  else begin
+    let ic = open_in file in
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    of_string s
+  end
+
+let ok j =
+  complete j
+  && List.for_all
+       (fun (_, (c : Trial.cell)) ->
+         c.Trial.silent_wrong = 0 && c.Trial.crashed = 0)
+       j.j_cells
+
+(* The report deliberately excludes [batches] (and any other
+   run-shape detail): an interrupted-and-resumed campaign must render
+   bitwise the same report as an uninterrupted one. *)
+let report_json j =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\"schema_version\":%d,\"seed\":%d,\"cases\":%d,\"trials\":%d,\
+       \"trials_done\":%d,\"ok\":%b,\"classes\":{"
+    schema_version j.j_seed j.j_cases j.j_trials j.j_cursor (ok j);
+  List.iteri
+    (fun i (name, (c : Trial.cell)) ->
+      if i > 0 then add ",";
+      add
+        "%S:{\"trials\":%d,\"injected\":%d,\"masked\":%d,\"absorbed\":%d,\
+         \"degraded_wrong\":%d,\"silent_wrong\":%d,\"crashed\":%d}"
+        name c.Trial.trials c.Trial.injected c.Trial.masked c.Trial.absorbed
+        c.Trial.degraded_wrong c.Trial.silent_wrong c.Trial.crashed)
+    j.j_cells;
+  add "}}";
+  Buffer.contents buf
+
+let pp ppf j =
+  Format.fprintf ppf
+    "campaign journal: seed %d, %d cases x %d classes x %d trials — %d/%d \
+     trials done (%d batches)@."
+    j.j_seed j.j_cases Trial.class_count j.j_trials j.j_cursor (total j)
+    j.j_batches;
+  List.iter
+    (fun (name, (c : Trial.cell)) ->
+      Format.fprintf ppf
+        "  %-10s %5d trials: %d injected, %d masked, %d absorbed, %d \
+         deg-wrong, %d silent, %d crashed@."
+        name c.Trial.trials c.Trial.injected c.Trial.masked c.Trial.absorbed
+        c.Trial.degraded_wrong c.Trial.silent_wrong c.Trial.crashed)
+    j.j_cells

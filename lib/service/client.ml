@@ -142,27 +142,52 @@ let session_exchange s req =
         Error msg
     | Ok _ as ok -> ok
 
-let stream_open ~socket sub =
-  match connect ~socket with
-  | Error _ as e -> e
-  | Ok fd -> (
-      let ic = Unix.in_channel_of_descr fd in
-      let fail msg =
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        Error msg
-      in
-      match exchange ~socket fd ic (Protocol.Stream_open sub) with
-      | Ok (Protocol.Stream_opened { sid }) ->
-          Ok { s_socket = socket; s_fd = fd; s_ic = ic; s_sid = sid;
-               s_alive = true }
-      | Ok (Protocol.Rejected { reason; retry_after_ms }) ->
-          fail
-            (Printf.sprintf "rejected: %s (retry after %d ms)" reason
-               retry_after_ms)
-      | Ok (Protocol.Failed { code; message; _ }) ->
-          fail (Printf.sprintf "%s: %s" code message)
-      | Ok r -> fail ("unexpected reply: " ^ Protocol.encode_response r)
-      | Error msg -> fail msg)
+let stream_open ?(retries = 0) ?(retry_budget_s = 30.0) ~socket sub =
+  let rng = lazy (Random.State.make_self_init ()) in
+  let give_up_ns =
+    Int64.add (Telemetry.Clock.now_ns ())
+      (Int64.of_float (retry_budget_s *. 1e9))
+  in
+  let rec go attempt remaining =
+    match connect ~socket with
+    | Error _ as e -> e
+    | Ok fd -> (
+        let ic = Unix.in_channel_of_descr fd in
+        let fail msg =
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error msg
+        in
+        match exchange ~socket fd ic (Protocol.Stream_open sub) with
+        | Ok (Protocol.Stream_opened { sid }) ->
+            Ok { s_socket = socket; s_fd = fd; s_ic = ic; s_sid = sid;
+                 s_alive = true }
+        | Ok (Protocol.Rejected { reason; retry_after_ms }) ->
+            (* Seat exhaustion is backpressure, not failure: honor the
+               daemon's hint with the same jittered-backoff loop
+               [submit] uses, under the same retry budget. *)
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            if remaining > 0 && Telemetry.Clock.now_ns () < give_up_ns then begin
+              let delay =
+                backoff_s (Lazy.force rng) ~retry_after_ms ~attempt
+              in
+              let left =
+                Int64.to_float
+                  (Int64.sub give_up_ns (Telemetry.Clock.now_ns ()))
+                /. 1e9
+              in
+              Unix.sleepf (Float.max 0.0 (Float.min delay left));
+              go (attempt + 1) (remaining - 1)
+            end
+            else
+              Error
+                (Printf.sprintf "rejected: %s (retry after %d ms)" reason
+                   retry_after_ms)
+        | Ok (Protocol.Failed { code; message; _ }) ->
+            fail (Printf.sprintf "%s: %s" code message)
+        | Ok r -> fail ("unexpected reply: " ^ Protocol.encode_response r)
+        | Error msg -> fail msg)
+  in
+  go 0 retries
 
 let stream_append s chunk =
   match

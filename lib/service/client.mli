@@ -66,11 +66,19 @@ type stream_verdict = {
 }
 
 val stream_open :
-  socket:string -> Protocol.submit -> (session, string) result
+  ?retries:int ->
+  ?retry_budget_s:float ->
+  socket:string ->
+  Protocol.submit ->
+  (session, string) result
 (** Connect and open a streaming session for [submit] (which must have
     [kind = Check]).  A daemon whose session seats are all occupied
-    answers [Rejected]; that surfaces here as an [Error] mentioning
-    the retry hint — streaming does not auto-retry. *)
+    answers [Rejected]; like {!submit}, the rejection is retried up to
+    [retries] times (default 0) honoring the daemon's [retry_after_ms]
+    hint with the same jittered exponential backoff and the same
+    [retry_budget_s] total bound (default 30 s).  Once the budget or
+    the attempts run out the caller sees an [Error] mentioning the
+    retry hint. *)
 
 val session_sid : session -> int
 

@@ -9,10 +9,19 @@ type submit = {
   args : string list;
   prune : bool;
   static : bool;
+  tenant : string option;
 }
 
 let submit_defaults ~kind payload =
-  { kind; payload; layout = None; args = []; prune = true; static = true }
+  {
+    kind;
+    payload;
+    layout = None;
+    args = [];
+    prune = true;
+    static = true;
+    tenant = None;
+  }
 
 type request =
   | Submit of submit
@@ -51,6 +60,25 @@ type outcome = {
          sharded ones; 0 for cache-trivial or predict jobs *)
 }
 
+type tenant_status = {
+  t_name : string;
+  t_queued : int;
+  t_inflight : int;
+  t_submitted : int;
+  t_completed : int;
+  t_rejected : int;
+  t_p50_ms : float;
+  t_p99_ms : float;
+}
+
+type campaign_status = {
+  ca_trials : int;
+  ca_total : int;
+  ca_batches : int;
+  ca_silent_wrong : int;
+  ca_paused : bool;
+}
+
 type status = {
   uptime_ms : float;
   workers : int;
@@ -76,6 +104,8 @@ type status = {
   integrity_gaps : int;
   integrity_stale : int;
   integrity_desync : int;
+  tenants : tenant_status list;
+  campaign : campaign_status option;
 }
 
 type response =
@@ -170,13 +200,18 @@ let submit_fields ~cmd s =
     | [] -> []
     | l -> [ ("args", Json.List (List.map (fun a -> Json.Str a) l)) ]
   in
+  let tenant =
+    match s.tenant with
+    | None -> []
+    | Some name -> [ ("tenant", Json.Str name) ]
+  in
   Json.Obj
     ([
        ("cmd", Json.Str cmd);
        ("kind", Json.Str (kind_string s.kind));
        ("payload", Json.Str s.payload);
      ]
-    @ layout @ args
+    @ layout @ args @ tenant
     @ (if s.prune then [] else [ ("prune", Json.Bool false) ])
     @ if s.static then [] else [ ("static", Json.Bool false) ])
 
@@ -270,7 +305,13 @@ let decode_submit doc =
   let static =
     match field "static" doc with Some (Json.Bool b) -> b | _ -> true
   in
-  Ok { kind; payload; layout; args; prune; static }
+  let* tenant =
+    match field "tenant" doc with
+    | None -> Ok None
+    | Some (Json.Str name) -> Ok (Some name)
+    | Some _ -> Result.Error "field \"tenant\" must be a string"
+  in
+  Ok { kind; payload; layout; args; prune; static; tenant }
 
 let decode_sid doc k =
   let* sid = int_field "sid" doc in
@@ -377,8 +418,47 @@ let encode_response r =
                 ] );
           ]
     | Status_reply s ->
+        let tenants =
+          match s.tenants with
+          | [] -> []
+          | ts ->
+              [
+                ( "tenants",
+                  Json.List
+                    (List.map
+                       (fun tn ->
+                         Json.Obj
+                           [
+                             ("name", Json.Str tn.t_name);
+                             ("queued", Json.Int tn.t_queued);
+                             ("inflight", Json.Int tn.t_inflight);
+                             ("submitted", Json.Int tn.t_submitted);
+                             ("completed", Json.Int tn.t_completed);
+                             ("rejected", Json.Int tn.t_rejected);
+                             ("p50_ms", Json.Float tn.t_p50_ms);
+                             ("p99_ms", Json.Float tn.t_p99_ms);
+                           ])
+                       ts) );
+              ]
+        in
+        let campaign =
+          match s.campaign with
+          | None -> []
+          | Some ca ->
+              [
+                ( "campaign",
+                  Json.Obj
+                    [
+                      ("trials", Json.Int ca.ca_trials);
+                      ("total", Json.Int ca.ca_total);
+                      ("batches", Json.Int ca.ca_batches);
+                      ("silent_wrong", Json.Int ca.ca_silent_wrong);
+                      ("paused", Json.Bool ca.ca_paused);
+                    ] );
+              ]
+        in
         Json.Obj
-          [
+          ([
             ("ok", Json.Bool true);
             ("uptime_ms", Json.Float s.uptime_ms);
             ("workers", Json.Int s.workers);
@@ -421,6 +501,7 @@ let encode_response r =
                   ("desync", Json.Int s.integrity_desync);
                 ] );
           ]
+          @ tenants @ campaign)
     | Metrics_reply text ->
         Json.Obj [ ("ok", Json.Bool true); ("metrics", Json.Str text) ]
     | Pong -> Json.Obj [ ("ok", Json.Bool true); ("pong", Json.Bool true) ]
@@ -464,6 +545,49 @@ let decode_status doc =
   let* integrity_gaps = int_field ~default:0 "gaps" transport in
   let* integrity_stale = int_field ~default:0 "stale" transport in
   let* integrity_desync = int_field ~default:0 "desync" transport in
+  let* tenants =
+    match field "tenants" doc with
+    | None -> Ok []
+    | Some (Json.List l) ->
+        List.fold_right
+          (fun tn acc ->
+            let* acc = acc in
+            let* t_name = str_field "name" tn in
+            let* t_queued = int_field ~default:0 "queued" tn in
+            let* t_inflight = int_field ~default:0 "inflight" tn in
+            let* t_submitted = int_field ~default:0 "submitted" tn in
+            let* t_completed = int_field ~default:0 "completed" tn in
+            let* t_rejected = int_field ~default:0 "rejected" tn in
+            let* t_p50_ms = float_field ~default:0.0 "p50_ms" tn in
+            let* t_p99_ms = float_field ~default:0.0 "p99_ms" tn in
+            Ok
+              ({
+                 t_name;
+                 t_queued;
+                 t_inflight;
+                 t_submitted;
+                 t_completed;
+                 t_rejected;
+                 t_p50_ms;
+                 t_p99_ms;
+               }
+              :: acc))
+          l (Ok [])
+    | Some _ -> Result.Error "field \"tenants\" must be a list"
+  in
+  let* campaign =
+    match field "campaign" doc with
+    | None -> Ok None
+    | Some ca ->
+        let* ca_trials = int_field ~default:0 "trials" ca in
+        let* ca_total = int_field ~default:0 "total" ca in
+        let* ca_batches = int_field ~default:0 "batches" ca in
+        let* ca_silent_wrong = int_field ~default:0 "silent_wrong" ca in
+        let ca_paused =
+          match field "paused" ca with Some (Json.Bool b) -> b | _ -> false
+        in
+        Ok (Some { ca_trials; ca_total; ca_batches; ca_silent_wrong; ca_paused })
+  in
   Ok
     (Status_reply
        {
@@ -491,6 +615,8 @@ let decode_status doc =
          integrity_gaps;
          integrity_stale;
          integrity_desync;
+         tenants;
+         campaign;
        })
 
 let decode_result doc =

@@ -43,6 +43,12 @@ type submit = {
   static : bool;
       (** run the static race analysis: prune provably-safe logging and
           answer provably-racy kernels without executing them *)
+  tenant : string option;
+      (** tenant the job is accounted (and rate-limited) under; [None]
+          joins the daemon's default tenant.  Tenants with a configured
+          quota ({!Scheduler.quota}) are token-bucket admitted and
+          seat-capped; all tenants share the queue via deficit
+          round-robin so none can starve another. *)
 }
 
 val submit_defaults : kind:kind -> string -> submit
@@ -101,6 +107,26 @@ type outcome = {
           busiest shard domain when sharded); 0 for [Predict] *)
 }
 
+type tenant_status = {
+  t_name : string;
+  t_queued : int;  (** jobs waiting in this tenant's sub-queue *)
+  t_inflight : int;  (** jobs currently executing on workers *)
+  t_submitted : int;
+  t_completed : int;  (** jobs settled with a terminal reply *)
+  t_rejected : int;  (** quota and queue-full rejections *)
+  t_p50_ms : float;  (** end-to-end (queue + run) latency percentiles, *)
+  t_p99_ms : float;  (** estimated from the tenant latency histogram *)
+}
+
+type campaign_status = {
+  ca_trials : int;  (** trials completed (the journal cursor) *)
+  ca_total : int;  (** trials in the whole campaign space *)
+  ca_batches : int;  (** checkpointed batches so far *)
+  ca_silent_wrong : int;  (** must stay 0 *)
+  ca_paused : bool;
+      (** the daemon deferred its last batch to paying work *)
+}
+
 type status = {
   uptime_ms : float;
   workers : int;
@@ -132,6 +158,12 @@ type status = {
   integrity_gaps : int;
   integrity_stale : int;
   integrity_desync : int;
+  tenants : tenant_status list;
+      (** one entry per tenant the scheduler has seen, sorted by name;
+          empty from daemons predating fleet mode *)
+  campaign : campaign_status option;
+      (** the background fault campaign, when one is running inside the
+          daemon *)
 }
 
 type response =

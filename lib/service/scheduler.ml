@@ -1,3 +1,5 @@
+type quota = { rate : float; burst : int; seats : int }
+
 type config = {
   workers : int;
   queue_capacity : int;
@@ -6,6 +8,7 @@ type config = {
   watchdog_interval_s : float;
   session_seats : int;
   fault : Fault.Plan.t option;
+  tenant_quotas : (string * quota) list;
 }
 
 let default_config =
@@ -17,7 +20,10 @@ let default_config =
     watchdog_interval_s = 0.02;
     session_seats = 2;
     fault = None;
+    tenant_quotas = [];
   }
+
+let default_tenant = "default"
 
 type counts = {
   submitted : int;
@@ -37,6 +43,32 @@ type job = {
   enqueued_ns : int64;
   mutable attempts : int;
       (* crash-restarts so far; bumped by the watchdog on requeue *)
+  tn : tenant;  (* the tenant the job is queued and accounted under *)
+}
+
+(* Per-tenant scheduling state.  Every tenant owns its own FIFO; the
+   workers drain the set of FIFOs with deficit round-robin, so one
+   tenant's backlog can never starve another's.  Tenants with a
+   configured quota are additionally token-bucket admitted (jobs/s)
+   and seat-capped (concurrent jobs in flight). *)
+and tenant = {
+  tn_name : string;
+  tn_quota : quota option;  (* [None]: no rate limit, no seat cap *)
+  tn_jobs : job Queue.t;
+  mutable tn_tokens : float;  (* token bucket, refilled lazily *)
+  mutable tn_refill_ns : int64;
+  mutable tn_deficit : float;  (* DRR deficit counter, cost 1 per job *)
+  tn_quantum : float;
+  mutable tn_inflight : int;  (* jobs currently on a worker *)
+  mutable tn_submitted : int;
+  mutable tn_completed : int;  (* settled with a terminal reply *)
+  mutable tn_rejected : int;
+  tn_g_queued : Telemetry.Metric.gauge;
+  tn_g_inflight : Telemetry.Metric.gauge;
+  tn_m_submitted : Telemetry.Metric.counter;
+  tn_m_completed : Telemetry.Metric.counter;
+  tn_m_rejected : Telemetry.Metric.counter;
+  tn_h_latency : Telemetry.Metric.histogram;  (* queue + run, ms *)
 }
 
 (* One worker seat.  The domain occupying it changes over time: when a
@@ -72,7 +104,10 @@ type t = {
   exec : job:int -> Protocol.submit -> Protocol.response;
   lock : Mutex.t;
   nonempty : Condition.t;
-  pending : job Queue.t;
+  tenants : (string, tenant) Hashtbl.t;
+  mutable ring : tenant array;  (* DRR visit order; grows, never shrinks *)
+  mutable rr : int;  (* ring cursor *)
+  mutable pending_total : int;  (* jobs across every tenant queue *)
   mutable stopping : bool;
   mutable joined : bool;
   mutable next_id : int;
@@ -109,83 +144,229 @@ let jobs_counter verdict =
 
 let ms_of_ns ns = Int64.to_float ns /. 1e6
 
-(* One worker: block on the condition variable, run jobs until the
-   scheduler stops AND the queue is drained (queued jobs are honored
-   across shutdown — their clients are still waiting). *)
+(* ---- tenants ----------------------------------------------------- *)
+
+let tenant_counter ~event name =
+  Telemetry.Registry.counter
+    ~help:"Per-tenant job events"
+    ~labels:[ ("tenant", name); ("event", event) ]
+    Telemetry.Registry.default "barracuda_service_tenant_jobs_total"
+
+let make_tenant ~quota name =
+  let labels = [ ("tenant", name) ] in
+  let reg = Telemetry.Registry.default in
+  {
+    tn_name = name;
+    tn_quota = quota;
+    tn_jobs = Queue.create ();
+    tn_tokens =
+      (match quota with
+      | Some q when q.rate > 0.0 -> float_of_int (max 1 q.burst)
+      | _ -> 0.0);
+    tn_refill_ns = Telemetry.Clock.now_ns ();
+    tn_deficit = 0.0;
+    tn_quantum = 1.0;
+    tn_inflight = 0;
+    tn_submitted = 0;
+    tn_completed = 0;
+    tn_rejected = 0;
+    tn_g_queued =
+      Telemetry.Registry.gauge ~help:"Jobs waiting per tenant" ~labels reg
+        "barracuda_service_tenant_queued";
+    tn_g_inflight =
+      Telemetry.Registry.gauge ~help:"Jobs executing per tenant" ~labels reg
+        "barracuda_service_tenant_inflight";
+    tn_m_submitted = tenant_counter ~event:"submitted" name;
+    tn_m_completed = tenant_counter ~event:"completed" name;
+    tn_m_rejected = tenant_counter ~event:"rejected" name;
+    tn_h_latency =
+      Telemetry.Registry.histogram
+        ~help:"End-to-end job latency per tenant (queue + run, ms)"
+        ~bounds:latency_bounds ~labels reg
+        "barracuda_service_tenant_latency_ms";
+  }
+
+(* Must be called under [t.lock]. *)
+let tenant_of t name =
+  match Hashtbl.find_opt t.tenants name with
+  | Some tn -> tn
+  | None ->
+      let quota = List.assoc_opt name t.config.tenant_quotas in
+      let tn = make_tenant ~quota name in
+      Hashtbl.replace t.tenants name tn;
+      t.ring <- Array.append t.ring [| tn |];
+      tn
+
+let tenant_name sub =
+  match sub.Protocol.tenant with Some n -> n | None -> default_tenant
+
+(* Token-bucket admission, under [t.lock].  [None] admits the job;
+   [Some ms] is the time until a token accrues, for the retry hint. *)
+let quota_admit tn =
+  match tn.tn_quota with
+  | Some q when q.rate > 0.0 ->
+      let now = Telemetry.Clock.now_ns () in
+      let dt = Int64.to_float (Int64.sub now tn.tn_refill_ns) /. 1e9 in
+      tn.tn_refill_ns <- now;
+      let cap = float_of_int (max 1 q.burst) in
+      tn.tn_tokens <- Float.min cap (tn.tn_tokens +. (dt *. q.rate));
+      if tn.tn_tokens >= 1.0 then begin
+        tn.tn_tokens <- tn.tn_tokens -. 1.0;
+        None
+      end
+      else
+        let wait_s = (1.0 -. tn.tn_tokens) /. q.rate in
+        Some (max 1 (int_of_float (Float.ceil (wait_s *. 1000.0))))
+  | _ -> None
+
+let seats_free tn =
+  match tn.tn_quota with
+  | Some q when q.seats > 0 -> tn.tn_inflight < q.seats
+  | _ -> true
+
+(* A tenant a worker may serve right now: backlogged and not
+   seat-capped.  Seat-capped backlogs wait for a completion (which
+   broadcasts [nonempty]) rather than occupying a worker. *)
+let eligible tn = (not (Queue.is_empty tn.tn_jobs)) && seats_free tn
+
+let exists_eligible t = Array.exists eligible t.ring
+
+(* Deficit round-robin: visit tenants from the cursor; an eligible
+   tenant whose deficit covers the unit job cost is served and pays.
+   A full lap without service tops up every eligible tenant's deficit
+   by its quantum and rescans — with unit cost and quantum 1 at least
+   one can then pay, so this terminates whenever the caller has
+   checked [exists_eligible].  Equal quanta make the steady state a
+   fair round-robin over backlogged tenants; the deficit machinery
+   keeps the share exact across seat-cap stalls.  Call under
+   [t.lock]. *)
+let drr_pop t =
+  let n = Array.length t.ring in
+  let rec scan tried =
+    if tried >= n then begin
+      Array.iter
+        (fun tn ->
+          if eligible tn then tn.tn_deficit <- tn.tn_deficit +. tn.tn_quantum)
+        t.ring;
+      scan 0
+    end
+    else begin
+      let tn = t.ring.(t.rr) in
+      t.rr <- (t.rr + 1) mod n;
+      if eligible tn && tn.tn_deficit >= 1.0 then begin
+        tn.tn_deficit <- tn.tn_deficit -. 1.0;
+        let job = Queue.pop tn.tn_jobs in
+        t.pending_total <- t.pending_total - 1;
+        (* An emptied queue forfeits its saved deficit (classic DRR):
+           credit must not accumulate while a tenant is idle. *)
+        if Queue.is_empty tn.tn_jobs then tn.tn_deficit <- 0.0;
+        Telemetry.Metric.gauge_set tn.tn_g_queued (Queue.length tn.tn_jobs);
+        job
+      end
+      else scan (tried + 1)
+    end
+  in
+  scan 0
+
+(* ---- workers ----------------------------------------------------- *)
+
+(* Next job for a worker, under [t.lock]: DRR across the tenant queues
+   whenever some tenant is eligible; park otherwise.  Queued jobs are
+   honored across shutdown — their clients are still waiting — so a
+   stopping scheduler only releases the worker once every queue is
+   empty.  Completions broadcast [nonempty] because they can unblock a
+   seat-capped tenant, not just refill an empty queue. *)
+let rec take_job t =
+  if exists_eligible t then Some (drr_pop t)
+  else if t.stopping && t.pending_total = 0 then None
+  else begin
+    Condition.wait t.nonempty t.lock;
+    take_job t
+  end
+
 let worker_body t slot =
   let running = ref true in
   while !running do
     Mutex.lock t.lock;
-    while Queue.is_empty t.pending && not t.stopping do
-      Condition.wait t.nonempty t.lock
-    done;
-    if Queue.is_empty t.pending then begin
-      Mutex.unlock t.lock;
-      running := false
-    end
-    else begin
-      let job = Queue.pop t.pending in
-      t.busy <- t.busy + 1;
-      slot.current <- Some job;
-      slot.beat_ns <- Telemetry.Clock.now_ns ();
-      Telemetry.Metric.gauge_set t.g_depth (Queue.length t.pending);
-      Telemetry.Metric.gauge_set t.g_busy t.busy;
-      Mutex.unlock t.lock;
-      (* Fault injection: a planned crash fires here, after the job is
-         claimed but before any work — the worst spot for the
-         supervisor, since without requeue the job would be lost and
-         its client left hanging. *)
-      (match t.config.fault with
-      | Some p
-        when Fault.Plan.crash_at_pickup p ~job:job.id ~attempt:job.attempts ->
-          raise Fault.Plan.Injected_worker_crash
-      | _ -> ());
-      let queue_ms =
-        ms_of_ns (Telemetry.Clock.elapsed_ns ~since:job.enqueued_ns)
-      in
-      Telemetry.Metric.histogram_observe t.h_queue_wait queue_ms;
-      let t0 = Telemetry.Clock.now_ns () in
-      let response =
-        try t.exec ~job:job.id job.submit
-        with exn ->
-          (* {!Exec.run} already catches everything; this guards a
-             future exec that does not. *)
-          Protocol.Failed
-            { job = job.id; code = "exec_error";
-              message = Printexc.to_string exn }
-      in
-      let run_ms = ms_of_ns (Telemetry.Clock.elapsed_ns ~since:t0) in
-      Telemetry.Metric.histogram_observe t.h_run run_ms;
-      let response =
-        match response with
-        | Protocol.Result r -> Protocol.Result { r with queue_ms; run_ms }
-        | other -> other
-      in
-      (* Account the job before replying: a client that has received its
-         result must observe it in a subsequent status query. *)
-      Mutex.lock t.lock;
-      t.busy <- t.busy - 1;
-      slot.current <- None;
-      slot.beat_ns <- Telemetry.Clock.now_ns ();
-      Telemetry.Metric.gauge_set t.g_busy t.busy;
-      (match response with
-      | Protocol.Result { outcome; _ } ->
-          let c = t.c in
-          t.c <-
-            (match outcome.Protocol.verdict with
-            | Protocol.Racy -> { c with completed = c.completed + 1; racy = c.racy + 1 }
-            | Protocol.Race_free ->
-                { c with completed = c.completed + 1; race_free = c.race_free + 1 });
-          Telemetry.Metric.counter_incr
-            (match outcome.Protocol.verdict with
-            | Protocol.Racy -> t.m_jobs_racy
-            | Protocol.Race_free -> t.m_jobs_race_free)
-      | _ ->
-          t.c <- { t.c with failed = t.c.failed + 1 };
-          Telemetry.Metric.counter_incr t.m_jobs_failed);
-      Mutex.unlock t.lock;
-      (try job.reply response with _ -> ())
-    end
+    match take_job t with
+    | None ->
+        Mutex.unlock t.lock;
+        running := false
+    | Some job ->
+        let tn = job.tn in
+        t.busy <- t.busy + 1;
+        tn.tn_inflight <- tn.tn_inflight + 1;
+        slot.current <- Some job;
+        slot.beat_ns <- Telemetry.Clock.now_ns ();
+        Telemetry.Metric.gauge_set t.g_depth t.pending_total;
+        Telemetry.Metric.gauge_set t.g_busy t.busy;
+        Telemetry.Metric.gauge_set tn.tn_g_inflight tn.tn_inflight;
+        Mutex.unlock t.lock;
+        (* Fault injection: a planned crash fires here, after the job is
+           claimed but before any work — the worst spot for the
+           supervisor, since without requeue the job would be lost and
+           its client left hanging. *)
+        (match t.config.fault with
+        | Some p
+          when Fault.Plan.crash_at_pickup p ~job:job.id ~attempt:job.attempts
+          ->
+            raise Fault.Plan.Injected_worker_crash
+        | _ -> ());
+        let queue_ms =
+          ms_of_ns (Telemetry.Clock.elapsed_ns ~since:job.enqueued_ns)
+        in
+        Telemetry.Metric.histogram_observe t.h_queue_wait queue_ms;
+        let t0 = Telemetry.Clock.now_ns () in
+        let response =
+          try t.exec ~job:job.id job.submit
+          with exn ->
+            (* {!Exec.run} already catches everything; this guards a
+               future exec that does not. *)
+            Protocol.Failed
+              { job = job.id; code = "exec_error";
+                message = Printexc.to_string exn }
+        in
+        let run_ms = ms_of_ns (Telemetry.Clock.elapsed_ns ~since:t0) in
+        Telemetry.Metric.histogram_observe t.h_run run_ms;
+        Telemetry.Metric.histogram_observe tn.tn_h_latency (queue_ms +. run_ms);
+        let response =
+          match response with
+          | Protocol.Result r -> Protocol.Result { r with queue_ms; run_ms }
+          | other -> other
+        in
+        (* Account the job before replying: a client that has received
+           its result must observe it in a subsequent status query. *)
+        Mutex.lock t.lock;
+        t.busy <- t.busy - 1;
+        tn.tn_inflight <- tn.tn_inflight - 1;
+        tn.tn_completed <- tn.tn_completed + 1;
+        slot.current <- None;
+        slot.beat_ns <- Telemetry.Clock.now_ns ();
+        Telemetry.Metric.gauge_set t.g_busy t.busy;
+        Telemetry.Metric.gauge_set tn.tn_g_inflight tn.tn_inflight;
+        (match response with
+        | Protocol.Result { outcome; _ } ->
+            let c = t.c in
+            t.c <-
+              (match outcome.Protocol.verdict with
+              | Protocol.Racy ->
+                  { c with completed = c.completed + 1; racy = c.racy + 1 }
+              | Protocol.Race_free ->
+                  { c with completed = c.completed + 1;
+                    race_free = c.race_free + 1 });
+            Telemetry.Metric.counter_incr
+              (match outcome.Protocol.verdict with
+              | Protocol.Racy -> t.m_jobs_racy
+              | Protocol.Race_free -> t.m_jobs_race_free)
+        | _ ->
+            t.c <- { t.c with failed = t.c.failed + 1 };
+            Telemetry.Metric.counter_incr t.m_jobs_failed);
+        Telemetry.Metric.counter_incr tn.tn_m_completed;
+        (* The freed worker — and the freed tenant seat — may unblock a
+           parked peer. *)
+        Condition.broadcast t.nonempty;
+        Mutex.unlock t.lock;
+        (try job.reply response with _ -> ())
   done
 
 (* The supervised entry point: any exception that escapes the worker
@@ -224,8 +405,11 @@ let watchdog_loop t =
             match slot.current with
             | None -> None
             | Some job ->
+                let tn = job.tn in
                 t.busy <- t.busy - 1;
+                tn.tn_inflight <- tn.tn_inflight - 1;
                 Telemetry.Metric.gauge_set t.g_busy t.busy;
+                Telemetry.Metric.gauge_set tn.tn_g_inflight tn.tn_inflight;
                 slot.current <- None;
                 job.attempts <- job.attempts + 1;
                 if job.attempts > t.config.max_job_restarts then begin
@@ -235,26 +419,32 @@ let watchdog_loop t =
                       failed = t.c.failed + 1;
                       quarantined = t.c.quarantined + 1;
                     };
+                  tn.tn_completed <- tn.tn_completed + 1;
                   Telemetry.Metric.counter_incr t.m_jobs_failed;
                   Telemetry.Metric.counter_incr t.m_jobs_quarantined;
+                  Telemetry.Metric.counter_incr tn.tn_m_completed;
                   Some job
                 end
                 else begin
-                  (* Back to the tail with enqueued_ns intact, so
-                     queue-wait telemetry reflects the true end-to-end
-                     wait including the crash. *)
-                  Queue.push job t.pending;
-                  Telemetry.Metric.gauge_set t.g_depth
-                    (Queue.length t.pending);
-                  Condition.signal t.nonempty;
+                  (* Back to its tenant's tail with enqueued_ns intact,
+                     so queue-wait telemetry reflects the true
+                     end-to-end wait including the crash. *)
+                  Queue.push job tn.tn_jobs;
+                  t.pending_total <- t.pending_total + 1;
+                  Telemetry.Metric.gauge_set t.g_depth t.pending_total;
+                  Telemetry.Metric.gauge_set tn.tn_g_queued
+                    (Queue.length tn.tn_jobs);
                   None
                 end
           in
+          (* The reap freed a worker seat and possibly a tenant seat;
+             wake every parked worker either way. *)
+          Condition.broadcast t.nonempty;
           reaped := (slot, dead, quarantined) :: !reaped
         end)
       t.slots;
     let exit_now =
-      t.stopping && Queue.is_empty t.pending && t.busy = 0 && !reaped = []
+      t.stopping && t.pending_total = 0 && t.busy = 0 && !reaped = []
       && Array.for_all (fun s -> not s.crashed) t.slots
     in
     Mutex.unlock t.lock;
@@ -322,6 +512,15 @@ let create ?(config = default_config) ~exec () =
     invalid_arg "Scheduler.create: max_job_restarts must be non-negative";
   if config.session_seats < 0 then
     invalid_arg "Scheduler.create: session_seats must be non-negative";
+  List.iter
+    (fun (name, q) ->
+      if name = "" then
+        invalid_arg "Scheduler.create: tenant names must be non-empty";
+      if q.rate < 0.0 || q.burst < 0 || q.seats < 0 then
+        invalid_arg
+          "Scheduler.create: tenant quota rate/burst/seats must be \
+           non-negative")
+    config.tenant_quotas;
   let reg = Telemetry.Registry.default in
   let t =
     {
@@ -329,7 +528,10 @@ let create ?(config = default_config) ~exec () =
       exec;
       lock = Mutex.create ();
       nonempty = Condition.create ();
-      pending = Queue.create ();
+      tenants = Hashtbl.create 8;
+      ring = [||];
+      rr = 0;
+      pending_total = 0;
       stopping = false;
       joined = false;
       next_id = 0;
@@ -399,6 +601,13 @@ let create ?(config = default_config) ~exec () =
           ~bounds:latency_bounds reg "barracuda_service_job_run_ms";
     }
   in
+  (* Seat the default tenant and every configured one up front, in a
+     stable order (default first, then configuration order), so the
+     DRR ring and the per-tenant gauges exist before the first job. *)
+  Mutex.lock t.lock;
+  ignore (tenant_of t default_tenant);
+  List.iter (fun (name, _) -> ignore (tenant_of t name)) config.tenant_quotas;
+  Mutex.unlock t.lock;
   Array.iter
     (fun slot -> slot.dom <- Some (Domain.spawn (fun () -> worker_loop t slot)))
     t.slots;
@@ -475,48 +684,54 @@ let sessions_opened t =
   Mutex.unlock t.lock;
   n
 
+let reject t tn ~reason ~retry_after_ms ~reply =
+  t.c <- { t.c with rejected = t.c.rejected + 1 };
+  tn.tn_rejected <- tn.tn_rejected + 1;
+  Mutex.unlock t.lock;
+  Telemetry.Metric.counter_incr t.m_jobs_rejected;
+  Telemetry.Metric.counter_incr tn.tn_m_rejected;
+  try reply (Protocol.Rejected { reason; retry_after_ms }) with _ -> ()
+
 let submit t sub ~reply =
   Mutex.lock t.lock;
-  if t.stopping then begin
-    t.c <- { t.c with rejected = t.c.rejected + 1 };
-    Mutex.unlock t.lock;
-    Telemetry.Metric.counter_incr t.m_jobs_rejected;
-    (try
-       reply
-         (Protocol.Rejected
-            { reason = "shutting_down";
-              retry_after_ms = t.config.retry_after_ms })
-     with _ -> ())
-  end
-  else if Queue.length t.pending >= t.config.queue_capacity then begin
-    t.c <- { t.c with rejected = t.c.rejected + 1 };
-    Mutex.unlock t.lock;
-    Telemetry.Metric.counter_incr t.m_jobs_rejected;
-    (try
-       reply
-         (Protocol.Rejected
-            { reason = "queue_full"; retry_after_ms = t.config.retry_after_ms })
-     with _ -> ())
-  end
-  else begin
-    t.next_id <- t.next_id + 1;
-    t.c <- { t.c with submitted = t.c.submitted + 1 };
-    Queue.push
-      {
-        id = t.next_id;
-        submit = sub;
-        reply;
-        enqueued_ns = Telemetry.Clock.now_ns ();
-        attempts = 0;
-      }
-      t.pending;
-    Telemetry.Metric.gauge_set t.g_depth (Queue.length t.pending);
-    Condition.signal t.nonempty;
-    Mutex.unlock t.lock
-  end
+  let tn = tenant_of t (tenant_name sub) in
+  if t.stopping then
+    reject t tn ~reason:"shutting_down"
+      ~retry_after_ms:t.config.retry_after_ms ~reply
+  else if t.pending_total >= t.config.queue_capacity then
+    reject t tn ~reason:"queue_full" ~retry_after_ms:t.config.retry_after_ms
+      ~reply
+  else
+    match quota_admit tn with
+    | Some retry_after_ms ->
+        (* The tenant's own token bucket is dry: per-tenant
+           backpressure with an exact refill hint, while other
+           tenants' admission is untouched. *)
+        reject t tn ~reason:"tenant_quota" ~retry_after_ms ~reply
+    | None ->
+        t.next_id <- t.next_id + 1;
+        t.c <- { t.c with submitted = t.c.submitted + 1 };
+        tn.tn_submitted <- tn.tn_submitted + 1;
+        Queue.push
+          {
+            id = t.next_id;
+            submit = sub;
+            reply;
+            enqueued_ns = Telemetry.Clock.now_ns ();
+            attempts = 0;
+            tn;
+          }
+          tn.tn_jobs;
+        t.pending_total <- t.pending_total + 1;
+        Telemetry.Metric.gauge_set t.g_depth t.pending_total;
+        Telemetry.Metric.gauge_set tn.tn_g_queued (Queue.length tn.tn_jobs);
+        Telemetry.Metric.counter_incr tn.tn_m_submitted;
+        Condition.signal t.nonempty;
+        Mutex.unlock t.lock
 
-let note_static t ~racy =
+let note_static ?tenant t ~racy =
   Mutex.lock t.lock;
+  let tn = tenant_of t (Option.value ~default:default_tenant tenant) in
   t.next_id <- t.next_id + 1;
   let id = t.next_id in
   let c = t.c in
@@ -527,14 +742,18 @@ let note_static t ~racy =
      else
        { c with submitted = c.submitted + 1; completed = c.completed + 1;
          race_free = c.race_free + 1 });
+  tn.tn_submitted <- tn.tn_submitted + 1;
+  tn.tn_completed <- tn.tn_completed + 1;
   Mutex.unlock t.lock;
+  Telemetry.Metric.counter_incr tn.tn_m_submitted;
+  Telemetry.Metric.counter_incr tn.tn_m_completed;
   Telemetry.Metric.counter_incr
     (if racy then t.m_jobs_racy else t.m_jobs_race_free);
   id
 
 let depth t =
   Mutex.lock t.lock;
-  let d = Queue.length t.pending in
+  let d = t.pending_total in
   Mutex.unlock t.lock;
   d
 
@@ -549,6 +768,51 @@ let counts t =
   let c = t.c in
   Mutex.unlock t.lock;
   c
+
+(* Upper-bound percentile estimate from a histogram's buckets: the
+   bound of the first bucket whose cumulative count reaches the target
+   rank.  Observations in the overflow bucket report the last bound. *)
+let histogram_percentile h p =
+  let counts = Telemetry.Metric.histogram_counts h in
+  let bounds = Telemetry.Metric.histogram_bounds h in
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then 0.0
+  else begin
+    let target = float_of_int total *. p in
+    let last = bounds.(Array.length bounds - 1) in
+    let rec go i acc =
+      if i >= Array.length counts then last
+      else
+        let acc = acc + counts.(i) in
+        if float_of_int acc >= target then
+          if i < Array.length bounds then bounds.(i) else last
+        else go (i + 1) acc
+    in
+    go 0 0
+  end
+
+let tenant_status t =
+  Mutex.lock t.lock;
+  let tenants =
+    Hashtbl.fold
+      (fun _ tn acc ->
+        {
+          Protocol.t_name = tn.tn_name;
+          t_queued = Queue.length tn.tn_jobs;
+          t_inflight = tn.tn_inflight;
+          t_submitted = tn.tn_submitted;
+          t_completed = tn.tn_completed;
+          t_rejected = tn.tn_rejected;
+          t_p50_ms = histogram_percentile tn.tn_h_latency 0.50;
+          t_p99_ms = histogram_percentile tn.tn_h_latency 0.99;
+        }
+        :: acc)
+      t.tenants []
+  in
+  Mutex.unlock t.lock;
+  List.sort
+    (fun a b -> String.compare a.Protocol.t_name b.Protocol.t_name)
+    tenants
 
 let heartbeats t =
   Mutex.lock t.lock;
@@ -599,10 +863,18 @@ let stop t =
             seat.s_dom <- None
         | None -> ())
       t.seats;
-    (* The queue is drained, no job can arrive and every seat is down;
-       zero ALL scheduler-owned gauges so a scrape after shutdown does
-       not report ghost depth, busyness or open sessions. *)
+    (* The queues are drained, no job can arrive and every seat is
+       down; zero ALL scheduler-owned gauges — global and per-tenant —
+       so a scrape after shutdown does not report ghost depth,
+       busyness, sessions or tenant activity. *)
     Telemetry.Metric.gauge_set t.g_depth 0;
     Telemetry.Metric.gauge_set t.g_busy 0;
-    Telemetry.Metric.gauge_set t.g_sessions 0
+    Telemetry.Metric.gauge_set t.g_sessions 0;
+    Mutex.lock t.lock;
+    Array.iter
+      (fun tn ->
+        Telemetry.Metric.gauge_set tn.tn_g_queued 0;
+        Telemetry.Metric.gauge_set tn.tn_g_inflight 0)
+      t.ring;
+    Mutex.unlock t.lock
   end

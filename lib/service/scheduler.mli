@@ -1,11 +1,26 @@
 (** Bounded job queue and self-healing worker pool.
 
-    Submissions enter a FIFO of fixed capacity; a pool of OCaml 5
-    domains drains it, each job running the full checking machinery on
-    its worker.  When the queue is at capacity a submission is turned
-    away immediately with a [Rejected] response carrying a retry hint
-    — explicit backpressure instead of unbounded buffering, matching
-    the GPU→host queues' discipline one layer up.
+    Submissions enter per-tenant FIFOs behind a shared capacity bound;
+    a pool of OCaml 5 domains drains them with deficit round-robin,
+    each job running the full checking machinery on its worker.  When
+    the shared queue is at capacity a submission is turned away
+    immediately with a [Rejected] response carrying a retry hint —
+    explicit backpressure instead of unbounded buffering, matching the
+    GPU→host queues' discipline one layer up.
+
+    {2 Multi-tenancy}
+
+    Every job belongs to a tenant ([Protocol.submit.tenant], defaulting
+    to ["default"]).  Each tenant owns a private FIFO; workers visit
+    the tenant ring with deficit round-robin (equal quanta, unit job
+    cost), so a tenant with a deep backlog cannot starve one with a
+    shallow one.  Tenants named in [config.tenant_quotas] are
+    additionally admission-controlled by a token bucket ([rate] jobs/s
+    refill, [burst] capacity) — a dry bucket rejects with reason
+    ["tenant_quota"] and an exact refill hint — and capped to [seats]
+    concurrent jobs in flight, a seat-capped backlog simply waiting its
+    turn without occupying a worker.  Unknown tenants are admitted
+    without limits (they still get fair-share scheduling).
 
     The [exec] callback is expected not to raise ({!Exec.run}); as a
     second line of defense any exception it does raise is converted to
@@ -39,13 +54,33 @@
     [barracuda_service_jobs_quarantined_total] counters, the
     [barracuda_service_queue_depth], [barracuda_service_busy_workers]
     and [barracuda_service_open_sessions] gauges (all pinned to 0 by
-    {!stop}), and the [barracuda_service_queue_wait_ms] /
-    [barracuda_service_job_run_ms] latency histograms. *)
+    {!stop}), the [barracuda_service_queue_wait_ms] /
+    [barracuda_service_job_run_ms] latency histograms, and — labeled
+    by tenant — the [barracuda_service_tenant_queued] /
+    [barracuda_service_tenant_inflight] gauges (also zeroed by
+    {!stop}), the [barracuda_service_tenant_jobs_total{event=...}]
+    counters (submitted / completed / rejected) and the
+    [barracuda_service_tenant_latency_ms] end-to-end histogram. *)
+
+type quota = {
+  rate : float;
+      (** sustained admission rate, jobs/second ([<= 0.] = unlimited;
+          the bucket refills continuously, so fractional rates work) *)
+  burst : int;
+      (** token-bucket capacity: jobs admitted back-to-back after an
+          idle spell (clamped to at least 1 when rate-limited) *)
+  seats : int;
+      (** concurrent jobs in flight on workers ([<= 0] = unlimited);
+          excess backlog waits in the tenant's queue without occupying
+          a worker *)
+}
 
 type config = {
   workers : int;
-  queue_capacity : int;
-  retry_after_ms : int;  (** hint carried by reject responses *)
+  queue_capacity : int;  (** shared bound across all tenant queues *)
+  retry_after_ms : int;
+      (** hint carried by queue-full / shutdown rejects (quota rejects
+          compute their own exact refill hint) *)
   max_job_restarts : int;
       (** crash-restarts granted to a job before it is quarantined as
           poison (0 = quarantine on first crash) *)
@@ -56,17 +91,23 @@ type config = {
   fault : Fault.Plan.t option;
       (** seeded fault injection: planned worker crashes fire at job
           pickup.  [None] (the default) is the production path. *)
+  tenant_quotas : (string * quota) list;
+      (** per-tenant admission control; tenants not listed are
+          unlimited but still scheduled fairly *)
 }
 
 val default_config : config
 (** 2 workers, capacity 64, retry after 50 ms, 2 crash-restarts,
-    20 ms watchdog poll, 2 session seats, no faults. *)
+    20 ms watchdog poll, 2 session seats, no faults, no quotas. *)
+
+val default_tenant : string
+(** The tenant jobs without an explicit tenant id join: ["default"]. *)
 
 type counts = {
   submitted : int;
   completed : int;
   failed : int;  (** includes quarantined jobs *)
-  rejected : int;
+  rejected : int;  (** queue-full, shutdown and quota rejects alike *)
   racy : int;
   race_free : int;
   quarantined : int;  (** jobs failed after exhausting crash-restarts *)
@@ -81,31 +122,47 @@ val create :
   unit ->
   t
 (** Spawns the worker domains, the session-seat domains and the
-    watchdog thread immediately.
+    watchdog thread immediately.  The default tenant and every quota'd
+    tenant are seated up front (stable ring order); others join lazily
+    on first submission.
     @raise Invalid_argument on a non-positive worker count or
-    capacity, or a negative [max_job_restarts] or [session_seats]. *)
+    capacity, a negative [max_job_restarts] or [session_seats], or a
+    quota with a negative rate, burst or seat count (or an empty
+    tenant name). *)
 
 val submit :
   t -> Protocol.submit -> reply:(Protocol.response -> unit) -> unit
-(** Enqueue a job.  [reply] is invoked exactly once — with [Rejected]
-    synchronously when the queue is full (or the scheduler is
-    stopping), otherwise from a worker domain with the job's [Result]
-    or [Failed] (timings filled in), or from the watchdog with
+(** Enqueue a job under its tenant.  [reply] is invoked exactly once —
+    with [Rejected] synchronously when the shared queue is full, the
+    scheduler is stopping, or the tenant's token bucket is dry (reason
+    ["tenant_quota"], retry hint = time until a token accrues);
+    otherwise from a worker domain with the job's [Result] or [Failed]
+    (timings filled in), or from the watchdog with
     [Failed {code = "quarantined"}] if the job kept crashing its
     workers.  Exceptions from [reply] are swallowed: a client that
     hung up cannot hurt the worker. *)
 
-val note_static : t -> racy:bool -> int
+val note_static : ?tenant:string -> t -> racy:bool -> int
 (** Account a job answered outside the worker pool (the daemon's
     static-verdict fast path): allocates a fresh job id from the same
     sequence worker jobs use and counts the job as submitted, completed
-    and racy/race-free, so [counts] and the
+    and racy/race-free — under [tenant] (default {!default_tenant}) —
+    so [counts], {!tenant_status} and the
     [barracuda_service_jobs_total] telemetry cover statically-answered
-    submissions and clients see a real, unique job id. *)
+    submissions and clients see a real, unique job id.  Static answers
+    bypass quota admission: they cost no worker time. *)
 
 val depth : t -> int
+(** Jobs waiting across every tenant queue. *)
+
 val busy : t -> int
 val counts : t -> counts
+
+val tenant_status : t -> Protocol.tenant_status list
+(** Per-tenant snapshot, sorted by tenant name: queue depth, inflight,
+    lifetime submit/complete/reject counters and p50/p99 end-to-end
+    latency estimated from the tenant's latency histogram buckets
+    (upper-bound estimate; 0 before the first completion). *)
 
 (** {1 Streaming-session seats} *)
 
@@ -143,6 +200,7 @@ val stop : t -> unit
     queued (crashed workers are still respawned while queued jobs
     remain), join the watchdog, the workers and the session seats (an
     in-flight {!session_call} completes first), and zero {e every}
-    scheduler-owned gauge — queue depth, busy workers and open
-    sessions — so a post-shutdown scrape reports no ghost activity.
-    Idempotent; safe to call from any domain or thread. *)
+    scheduler-owned gauge — queue depth, busy workers, open sessions
+    and the per-tenant queued/inflight gauges — so a post-shutdown
+    scrape reports no ghost activity.  Idempotent; safe to call from
+    any domain or thread. *)

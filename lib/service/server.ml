@@ -9,6 +9,7 @@ type config = {
   read_timeout_s : float;
   job_shards : int;
   session_seats : int;
+  tenant_quotas : (string * Scheduler.quota) list;
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     read_timeout_s = 30.0;
     job_shards = 1;
     session_seats = Scheduler.default_config.Scheduler.session_seats;
+    tenant_quotas = [];
   }
 
 (* [workers] is the total domain budget.  With intra-job sharding each
@@ -43,11 +45,17 @@ type t = {
   started_ns : int64;
   next_sid : int Atomic.t;
   mutable accept_domain : unit Domain.t option;
+  mutable campaign_hook : unit -> Protocol.campaign_status option;
+      (* composed in by the CLI when a background campaign daemon runs
+         inside this process; the server itself never depends on the
+         campaign layer (which depends on this one) *)
   m_connections : Telemetry.Metric.counter;
   m_protocol_errors : Telemetry.Metric.counter;
 }
 
 let socket_path t = t.config.socket_path
+let set_campaign_hook t hook = t.campaign_hook <- hook
+let load t = Scheduler.depth t.sched + Scheduler.busy t.sched
 
 let status t =
   let c = Scheduler.counts t.sched in
@@ -89,6 +97,8 @@ let status t =
     integrity_desync =
       Telemetry.Registry.find_counter Telemetry.Registry.default
         "barracuda_transport_integrity_desync_total";
+    tenants = Scheduler.tenant_status t.sched;
+    campaign = t.campaign_hook ();
   }
 
 let request_stop t =
@@ -322,7 +332,12 @@ let handle_connection t fd =
                         outcome.Protocol.verdict = Protocol.Racy
                       in
                       Protocol.Result
-                        { r with job = Scheduler.note_static t.sched ~racy }
+                        {
+                          r with
+                          job =
+                            Scheduler.note_static ?tenant:sub.Protocol.tenant
+                              t.sched ~racy;
+                        }
                   | other -> other
                 in
                 send resp;
@@ -385,6 +400,7 @@ let start ?(config = default_config) () =
           queue_capacity = config.queue_capacity;
           retry_after_ms = config.retry_after_ms;
           session_seats = config.session_seats;
+          tenant_quotas = config.tenant_quotas;
         }
       ~exec:(fun ~job sub -> Exec.run ~config:exec_config ~cache ~job sub)
       ()
@@ -425,6 +441,7 @@ let start ?(config = default_config) () =
       started_ns = Telemetry.Clock.now_ns ();
       next_sid = Atomic.make 1;
       accept_domain = None;
+      campaign_hook = (fun () -> None);
       m_connections =
         Telemetry.Registry.counter ~help:"Client connections accepted"
           Telemetry.Registry.default "barracuda_service_connections_total";

@@ -46,13 +46,16 @@ type config = {
   session_seats : int;
       (** long-lived streaming-session seats
           ({!Scheduler.config.session_seats}); [0] disables streaming *)
+  tenant_quotas : (string * Scheduler.quota) list;
+      (** per-tenant admission quotas ({!Scheduler.config.tenant_quotas});
+          tenants not listed are unlimited but still scheduled fairly *)
 }
 
 val default_config : config
 (** Socket [barracuda.sock] in the system temp directory, 2 workers,
     queue 64, 2M-step budget, 30 s job deadline, cache 128, 30 s read
-    timeout, 1 job shard (serial per-job detection), 2 session
-    seats. *)
+    timeout, 1 job shard (serial per-job detection), 2 session seats,
+    no tenant quotas. *)
 
 type t
 
@@ -76,3 +79,16 @@ val stop : t -> unit
 (** [request_stop] + [wait]. *)
 
 val status : t -> Protocol.status
+
+val set_campaign_hook :
+  t -> (unit -> Protocol.campaign_status option) -> unit
+(** Install the provider of the [campaign] field in status replies.
+    The server cannot depend on the campaign layer (which depends on
+    this one), so when a background campaign daemon runs inside the
+    daemon process, the composition root wires its status in here.
+    Defaults to [fun () -> None]. *)
+
+val load : t -> int
+(** Paying work the daemon is carrying right now: queued + executing
+    jobs.  The background campaign daemon polls this to yield whenever
+    real traffic arrives. *)

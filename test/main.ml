@@ -25,4 +25,5 @@ let () =
       ("shard", Test_shard.suite);
       ("static", Test_static.suite);
       ("repair", Test_repair.suite);
+      ("fleet", Test_fleet.suite);
     ]

@@ -1,0 +1,225 @@
+(* Fleet mode: the resumable campaign journal (schema versioning,
+   atomic checkpoints, kill-and-resume determinism) and the background
+   campaign daemon (duty cycle, yielding to paying work, resume across
+   restarts). *)
+
+module Journal = Campaign.Journal
+module Daemon = Campaign.Daemon
+
+let tmp_dir name =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "barracuda-fleet-%d-%s" (Unix.getpid ()) name)
+  in
+  let file = Journal.path ~dir in
+  (try Sys.remove file with Sys_error _ -> ());
+  (try Sys.remove (file ^ ".tmp") with Sys_error _ -> ());
+  dir
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+(* ---- journal format ---------------------------------------------- *)
+
+let test_journal_roundtrip () =
+  let dir = tmp_dir "roundtrip" in
+  let j = Journal.create ~seed:7 ~cases:3 ~trials:2 in
+  Alcotest.(check int) "total trials" (3 * 4 * 2) (Journal.total j);
+  ignore (Daemon.step j ~n:5);
+  Journal.save ~dir j;
+  match Journal.load ~dir with
+  | Error e -> Alcotest.failf "load: %s" e
+  | Ok j' ->
+      Alcotest.(check int) "cursor survives" 5 j'.Journal.j_cursor;
+      Alcotest.(check int) "batches survive" 1 j'.Journal.j_batches;
+      Alcotest.(check string) "report identical"
+        (Journal.report_json j) (Journal.report_json j')
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_journal_version_rejected () =
+  let dir = tmp_dir "version" in
+  let j = Journal.create ~seed:1 ~cases:1 ~trials:1 in
+  Journal.save ~dir j;
+  let path = Journal.path ~dir in
+  (* A future format: only the version stamp is understood. *)
+  write_file path
+    (Printf.sprintf "{\"schema_version\":%d}\n" (Journal.schema_version + 1));
+  match Journal.load ~dir with
+  | Ok _ -> Alcotest.fail "mismatched schema version must be rejected"
+  | Error e ->
+      (* Loud and versioned: the message names both versions. *)
+      Alcotest.(check bool) ("names the file version: " ^ e) true
+        (contains
+           ~needle:
+             (Printf.sprintf "version %d" (Journal.schema_version + 1))
+           e);
+      Alcotest.(check bool) ("names the expected version: " ^ e) true
+        (contains
+           ~needle:(Printf.sprintf "expected %d" Journal.schema_version)
+           e)
+
+let test_campaign_report_carries_version () =
+  let report =
+    Campaign.run ~config:{ Campaign.seed = 3; quick = true; trials = 1 } ()
+  in
+  let line = Campaign.to_json report in
+  let prefix =
+    Printf.sprintf "{\"schema_version\":%d," Journal.schema_version
+  in
+  Alcotest.(check bool) "faults --json report starts with the version" true
+    (String.length line >= String.length prefix
+    && String.sub line 0 (String.length prefix) = prefix)
+
+(* ---- kill-and-resume determinism --------------------------------- *)
+
+(* A campaign interrupted at ANY trial boundary and resumed from its
+   journal must produce bitwise the same merged report as an
+   uninterrupted run: trials are pure functions of the seed tuple and
+   the journal is just a cursor, so no trial can be lost or
+   double-counted.  Kill points are randomized (seeded) and the resume
+   goes through an actual save/load cycle — the same path a crashed
+   process takes. *)
+let test_kill_and_resume_determinism () =
+  let seed = 7 and cases = 3 and trials = 2 in
+  let reference =
+    let j = Journal.create ~seed ~cases ~trials in
+    let n = Journal.total j in
+    ignore (Daemon.step j ~n);
+    Journal.report_json j
+  in
+  let total = cases * 4 * trials in
+  let rng = Random.State.make [| 0xF1EE7 |] in
+  for _ = 1 to 3 do
+    let kill_at = 1 + Random.State.int rng (total - 1) in
+    let dir = tmp_dir (Printf.sprintf "kill%d" kill_at) in
+    (* run to the kill point in small batches, checkpointing like the
+       daemon does *)
+    let j = Journal.create ~seed ~cases ~trials in
+    Journal.save ~dir j;
+    let rec drive () =
+      if j.Journal.j_cursor < kill_at then begin
+        ignore (Daemon.step j ~n:(min 3 (kill_at - j.Journal.j_cursor)));
+        Journal.save ~dir j;
+        drive ()
+      end
+    in
+    drive ();
+    (* "crash": drop the in-memory state, resume from disk *)
+    match Journal.load ~dir with
+    | Error e -> Alcotest.failf "resume load: %s" e
+    | Ok resumed ->
+        Alcotest.(check int)
+          (Printf.sprintf "cursor at kill point %d" kill_at)
+          kill_at resumed.Journal.j_cursor;
+        ignore (Daemon.step resumed ~n:(Journal.total resumed));
+        Alcotest.(check string)
+          (Printf.sprintf "killed at %d/%d, resumed report is bitwise \
+                           identical" kill_at total)
+          reference
+          (Journal.report_json resumed)
+  done
+
+(* ---- background daemon ------------------------------------------- *)
+
+let rec wait_until ?(timeout_s = 20.0) f =
+  if f () then true
+  else if timeout_s <= 0.0 then false
+  else begin
+    Thread.delay 0.02;
+    wait_until ~timeout_s:(timeout_s -. 0.02) f
+  end
+
+let daemon_config ~load =
+  {
+    Daemon.seed = 11;
+    cases = 2;
+    trials = 1;
+    batch = 3;
+    duty = 1.0;  (* tests want speed, not politeness *)
+    load;
+  }
+
+let test_daemon_yields_to_paying_work () =
+  let dir = tmp_dir "yield" in
+  match Daemon.start ~config:(daemon_config ~load:(fun () -> 1)) ~dir () with
+  | Error e -> Alcotest.failf "start: %s" e
+  | Ok d ->
+      (* With paying work permanently present the sweep must not move. *)
+      let paused =
+        wait_until (fun () -> (Daemon.status d).Service.Protocol.ca_paused)
+      in
+      Thread.delay 0.1;
+      let s = Daemon.status d in
+      Daemon.stop d;
+      Alcotest.(check bool) "reports paused" true paused;
+      Alcotest.(check int) "no trials while loaded" 0
+        s.Service.Protocol.ca_trials
+
+let test_daemon_completes_and_resumes () =
+  let dir = tmp_dir "complete" in
+  (* Phase 1: run a few batches, then stop mid-campaign. *)
+  (match Daemon.start ~config:(daemon_config ~load:(fun () -> 0)) ~dir () with
+  | Error e -> Alcotest.failf "start: %s" e
+  | Ok d ->
+      let progressed =
+        wait_until (fun () -> (Daemon.status d).Service.Protocol.ca_trials > 0)
+      in
+      Daemon.stop d;
+      Alcotest.(check bool) "made progress" true progressed);
+  let mid =
+    match Journal.load ~dir with
+    | Ok j -> j.Journal.j_cursor
+    | Error e -> Alcotest.failf "mid load: %s" e
+  in
+  (* Phase 2: a fresh daemon resumes the same journal and finishes. *)
+  match Daemon.start ~config:(daemon_config ~load:(fun () -> 0)) ~dir () with
+  | Error e -> Alcotest.failf "restart: %s" e
+  | Ok d ->
+      let finished =
+        wait_until (fun () ->
+            let s = Daemon.status d in
+            s.Service.Protocol.ca_trials = s.Service.Protocol.ca_total)
+      in
+      let s = Daemon.status d in
+      Daemon.stop d;
+      Alcotest.(check bool) "completed after resume" true finished;
+      Alcotest.(check bool) "resumed, not restarted" true
+        (s.Service.Protocol.ca_trials >= mid);
+      Alcotest.(check int) "zero silent-wrong" 0
+        s.Service.Protocol.ca_silent_wrong;
+      (* The resumed-through-restart report matches an uninterrupted
+         in-memory run of the same campaign. *)
+      let reference =
+        let j = Journal.create ~seed:11 ~cases:2 ~trials:1 in
+        ignore (Daemon.step j ~n:(Journal.total j));
+        Journal.report_json j
+      in
+      (match Journal.load ~dir with
+      | Ok j ->
+          Alcotest.(check string) "report matches uninterrupted run"
+            reference (Journal.report_json j);
+          Alcotest.(check bool) "journal verdict ok" true (Journal.ok j)
+      | Error e -> Alcotest.failf "final load: %s" e)
+
+let suite =
+  [
+    Alcotest.test_case "journal save/load roundtrip" `Quick
+      test_journal_roundtrip;
+    Alcotest.test_case "journal schema version rejected" `Quick
+      test_journal_version_rejected;
+    Alcotest.test_case "faults report carries schema version" `Quick
+      test_campaign_report_carries_version;
+    Alcotest.test_case "kill-and-resume determinism" `Quick
+      test_kill_and_resume_determinism;
+    Alcotest.test_case "daemon yields to paying work" `Quick
+      test_daemon_yields_to_paying_work;
+    Alcotest.test_case "daemon completes and resumes" `Quick
+      test_daemon_completes_and_resumes;
+  ]

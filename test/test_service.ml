@@ -80,6 +80,7 @@ let test_protocol_roundtrip () =
           args = [ "alloc:256"; "int:7"; "42" ];
           prune = false;
           static = false;
+          tenant = Some "acme";
         };
       P.Stream_open
         (P.submit_defaults ~kind:P.Check ".visible .entry k () { ret; }");
@@ -141,6 +142,28 @@ let test_protocol_roundtrip () =
           integrity_gaps = 2;
           integrity_stale = 1;
           integrity_desync = 4;
+          tenants =
+            [
+              {
+                P.t_name = "acme";
+                t_queued = 1;
+                t_inflight = 2;
+                t_submitted = 9;
+                t_completed = 6;
+                t_rejected = 1;
+                t_p50_ms = 2.5;
+                t_p99_ms = 50.0;
+              };
+            ];
+          campaign =
+            Some
+              {
+                P.ca_trials = 12;
+                ca_total = 800;
+                ca_batches = 2;
+                ca_silent_wrong = 0;
+                ca_paused = true;
+              };
         };
       P.Stream_opened { sid = 7 };
       P.Stream_ack { sid = 7; records = 1234 };
@@ -766,6 +789,280 @@ let test_streaming_integrity_in_status () =
                 (st.P.integrity_corrupt >= 1)
           | Result.Error e -> Alcotest.failf "status: %s" e))
 
+(* ---- multi-tenant scheduling ------------------------------------- *)
+
+(* A gated exec over a bare scheduler: jobs block while [hold] is set,
+   so tests control exactly which jobs are in flight. *)
+let gated_scheduler ?(workers = 1) ?(queue_capacity = 64) ?(tenant_quotas = [])
+    () =
+  let m = Mutex.create () in
+  let cv = Condition.create () in
+  let running = ref 0 in
+  let hold = ref true in
+  let order = ref [] in
+  let exec ~job (sub : P.submit) =
+    Mutex.lock m;
+    incr running;
+    order := sub.P.payload :: !order;
+    Condition.broadcast cv;
+    while !hold do
+      Condition.wait cv m
+    done;
+    Mutex.unlock m;
+    P.Result { job; outcome = ok_outcome; queue_ms = 0.0; run_ms = 0.0 }
+  in
+  let sched =
+    Service.Scheduler.create
+      ~config:
+        {
+          Service.Scheduler.default_config with
+          Service.Scheduler.workers;
+          queue_capacity;
+          tenant_quotas;
+        }
+      ~exec ()
+  in
+  let wait_running n =
+    Mutex.lock m;
+    while !running < n do
+      Condition.wait cv m
+    done;
+    Mutex.unlock m
+  in
+  let release () =
+    Mutex.lock m;
+    hold := false;
+    Condition.broadcast cv;
+    Mutex.unlock m
+  in
+  (sched, wait_running, release, order, m)
+
+let tenant_submit sched ~tenant ~payload ~reply =
+  Service.Scheduler.submit sched
+    {
+      (P.submit_defaults ~kind:P.Check payload) with
+      P.tenant = Some tenant;
+    }
+    ~reply
+
+let find_tenant name (tenants : P.tenant_status list) =
+  match List.find_opt (fun t -> t.P.t_name = name) tenants with
+  | Some t -> t
+  | None -> Alcotest.failf "tenant %s missing from status" name
+
+(* Fairness under load: one worker, two tenants with deep backlogs —
+   DRR must interleave them ~1:1 regardless of enqueue order, so
+   neither tenant's throughput falls below its fair share while the
+   other has work queued. *)
+let test_tenant_fairness () =
+  let sched, wait_running, release, order, m = gated_scheduler () in
+  let done_count = ref 0 in
+  let reply _ =
+    Mutex.lock m;
+    incr done_count;
+    Mutex.unlock m
+  in
+  (* Park the worker on a warm-up job so both backlogs queue up
+     behind it before any dequeue decision is made. *)
+  tenant_submit sched ~tenant:"warm" ~payload:"warm" ~reply;
+  wait_running 1;
+  for i = 1 to 6 do
+    tenant_submit sched ~tenant:"alpha"
+      ~payload:(Printf.sprintf "alpha%d" i) ~reply
+  done;
+  for i = 1 to 6 do
+    tenant_submit sched ~tenant:"beta"
+      ~payload:(Printf.sprintf "beta%d" i) ~reply
+  done;
+  release ();
+  Service.Scheduler.stop sched;
+  (* [order] records pickup order, most recent first. *)
+  let pickups = List.rev !order in
+  (match pickups with
+  | "warm" :: rest ->
+      (* In every prefix of the drain, neither tenant may lag the
+         other by more than one job: that is exact round-robin, the
+         fair share for equal quanta. *)
+      let rec scan a b = function
+        | [] -> ()
+        | p :: rest ->
+            let a, b =
+              if String.length p >= 5 && String.sub p 0 5 = "alpha" then
+                (a + 1, b)
+              else (a, b + 1)
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "fair prefix (%d alpha vs %d beta)" a b)
+              true
+              (abs (a - b) <= 1);
+            scan a b rest
+      in
+      scan 0 0 rest
+  | _ -> Alcotest.fail "warm-up job must run first");
+  Alcotest.(check int) "everything completed" 13 !done_count;
+  let tenants = Service.Scheduler.tenant_status sched in
+  let a = find_tenant "alpha" tenants and b = find_tenant "beta" tenants in
+  Alcotest.(check int) "alpha all done" 6 a.P.t_completed;
+  Alcotest.(check int) "beta all done" 6 b.P.t_completed
+
+(* Token-bucket admission: burst 2 with a near-zero refill rate admits
+   exactly two jobs and rejects the third with reason "tenant_quota"
+   and a positive retry hint — while an unquota'd tenant sails
+   through. *)
+let test_tenant_quota_reject () =
+  let quotas =
+    [ ("metered", { Service.Scheduler.rate = 0.0001; burst = 2; seats = 0 }) ]
+  in
+  let sched, wait_running, release, _order, _m =
+    gated_scheduler ~workers:1 ~tenant_quotas:quotas ()
+  in
+  let replies = ref [] in
+  let reply r = replies := r :: !replies in
+  tenant_submit sched ~tenant:"metered" ~payload:"m1" ~reply;
+  wait_running 1;
+  tenant_submit sched ~tenant:"metered" ~payload:"m2" ~reply;
+  let rejected = ref None in
+  tenant_submit sched ~tenant:"metered" ~payload:"m3"
+    ~reply:(fun r -> rejected := Some r);
+  (match !rejected with
+  | Some (P.Rejected { reason; retry_after_ms }) ->
+      Alcotest.(check string) "quota reject reason" "tenant_quota" reason;
+      Alcotest.(check bool) "positive retry hint" true (retry_after_ms > 0)
+  | _ -> Alcotest.fail "third metered job must be rejected synchronously");
+  (* Another tenant is untouched by the dry bucket. *)
+  let other_rejected = ref false in
+  tenant_submit sched ~tenant:"free" ~payload:"f1"
+    ~reply:(fun r ->
+      match r with P.Rejected _ -> other_rejected := true | _ -> ());
+  release ();
+  Service.Scheduler.stop sched;
+  Alcotest.(check bool) "unquota'd tenant admitted" false !other_rejected;
+  let tenants = Service.Scheduler.tenant_status sched in
+  let metered = find_tenant "metered" tenants in
+  Alcotest.(check int) "metered submitted" 2 metered.P.t_submitted;
+  Alcotest.(check int) "metered completed" 2 metered.P.t_completed;
+  Alcotest.(check int) "metered rejected" 1 metered.P.t_rejected;
+  Alcotest.(check int) "global rejected count" 1
+    (Service.Scheduler.counts sched).Service.Scheduler.rejected
+
+(* Seat caps: a tenant capped to 1 concurrent job leaves the second
+   worker free for other tenants instead of occupying it. *)
+let test_tenant_seat_cap () =
+  let quotas =
+    [ ("capped", { Service.Scheduler.rate = 0.0; burst = 0; seats = 1 }) ]
+  in
+  let sched, wait_running, release, _order, _m =
+    gated_scheduler ~workers:2 ~tenant_quotas:quotas ()
+  in
+  let done_all = ref 0 in
+  let m2 = Mutex.create () in
+  let reply _ =
+    Mutex.lock m2;
+    incr done_all;
+    Mutex.unlock m2
+  in
+  tenant_submit sched ~tenant:"capped" ~payload:"c1" ~reply;
+  tenant_submit sched ~tenant:"capped" ~payload:"c2" ~reply;
+  wait_running 1;
+  (* Give the second worker every chance to (wrongly) take c2. *)
+  Thread.delay 0.1;
+  Alcotest.(check int) "only one capped job in flight" 1
+    (Service.Scheduler.busy sched);
+  let tenants = Service.Scheduler.tenant_status sched in
+  let capped = find_tenant "capped" tenants in
+  Alcotest.(check int) "capped inflight" 1 capped.P.t_inflight;
+  Alcotest.(check int) "capped queued" 1 capped.P.t_queued;
+  (* The idle worker still serves other tenants. *)
+  tenant_submit sched ~tenant:"free" ~payload:"f1" ~reply;
+  wait_running 2;
+  Alcotest.(check int) "free tenant runs alongside" 2
+    (Service.Scheduler.busy sched);
+  release ();
+  Service.Scheduler.stop sched;
+  Alcotest.(check int) "all three completed" 3 !done_all
+
+(* Gauge hygiene under admission control: queue-depth, busy-worker and
+   the per-tenant gauges never go negative and are all zeroed by
+   [stop], across quota rejects and completed work alike. *)
+let test_tenant_gauge_hygiene () =
+  let was_enabled = Telemetry.Registry.enabled () in
+  Telemetry.Registry.set_enabled true;
+  Fun.protect ~finally:(fun () -> Telemetry.Registry.set_enabled was_enabled)
+  @@ fun () ->
+  let quotas =
+    [ ("metered", { Service.Scheduler.rate = 0.0001; burst = 1; seats = 1 }) ]
+  in
+  let sched, wait_running, release, _order, _m =
+    gated_scheduler ~workers:2 ~tenant_quotas:quotas ()
+  in
+  let reply _ = () in
+  tenant_submit sched ~tenant:"metered" ~payload:"m1" ~reply;
+  tenant_submit sched ~tenant:"metered" ~payload:"m2" ~reply;
+  (* rejected: bucket dry *)
+  tenant_submit sched ~tenant:"free" ~payload:"f1" ~reply;
+  tenant_submit sched ~tenant:"free" ~payload:"f2" ~reply;
+  wait_running 2;
+  let reg = Telemetry.Registry.default in
+  let g name tenant =
+    Telemetry.Registry.find_gauge ~labels:[ ("tenant", tenant) ] reg name
+  in
+  Alcotest.(check bool) "queued gauges non-negative mid-flight" true
+    (g "barracuda_service_tenant_queued" "metered" >= 0
+    && g "barracuda_service_tenant_queued" "free" >= 0);
+  Alcotest.(check bool) "inflight gauges non-negative mid-flight" true
+    (g "barracuda_service_tenant_inflight" "metered" >= 0
+    && g "barracuda_service_tenant_inflight" "free" >= 0);
+  release ();
+  Service.Scheduler.stop sched;
+  List.iter
+    (fun tenant ->
+      Alcotest.(check int)
+        (tenant ^ " queued gauge zero after stop")
+        0
+        (g "barracuda_service_tenant_queued" tenant);
+      Alcotest.(check int)
+        (tenant ^ " inflight gauge zero after stop")
+        0
+        (g "barracuda_service_tenant_inflight" tenant))
+    [ "metered"; "free"; Service.Scheduler.default_tenant ];
+  Alcotest.(check int) "queue depth zero after stop" 0
+    (Telemetry.Registry.find_gauge reg "barracuda_service_queue_depth");
+  Alcotest.(check int) "busy workers zero after stop" 0
+    (Telemetry.Registry.find_gauge reg "barracuda_service_busy_workers");
+  (* Counters (not gauges) carry the history: the reject is visible. *)
+  Alcotest.(check int) "reject counter survives stop" 1
+    (Telemetry.Registry.find_counter
+       ~labels:[ ("tenant", "metered"); ("event", "rejected") ]
+       reg "barracuda_service_tenant_jobs_total")
+
+(* End-to-end: a tenant id on the wire shows up in the daemon's status
+   reply with per-tenant accounting and latency percentiles. *)
+let test_status_tenants_end_to_end () =
+  with_server "tenants" (fun socket _t ->
+      let sub =
+        {
+          (P.submit_defaults ~kind:P.Check trivial_ptx) with
+          P.tenant = Some "acme";
+        }
+      in
+      (match Service.Client.submit ~socket sub with
+      | Ok (P.Result _) -> ()
+      | Ok r -> Alcotest.failf "unexpected reply: %s" (P.encode_response r)
+      | Result.Error e -> Alcotest.failf "submit: %s" e);
+      match Service.Client.status ~socket with
+      | Result.Error e -> Alcotest.failf "status: %s" e
+      | Ok s ->
+          let acme = find_tenant "acme" s.P.tenants in
+          Alcotest.(check int) "acme submitted" 1 acme.P.t_submitted;
+          Alcotest.(check int) "acme completed" 1 acme.P.t_completed;
+          Alcotest.(check int) "acme rejected" 0 acme.P.t_rejected;
+          Alcotest.(check bool) "acme p99 sane" true
+            (acme.P.t_p99_ms >= acme.P.t_p50_ms && acme.P.t_p50_ms >= 0.0);
+          (* The default tenant is pre-seated; no campaign runs here. *)
+          ignore (find_tenant Service.Scheduler.default_tenant s.P.tenants);
+          Alcotest.(check bool) "no campaign in a bare daemon" true
+            (s.P.campaign = None))
+
 let suite =
   [
     Alcotest.test_case "protocol roundtrip" `Quick test_protocol_roundtrip;
@@ -786,4 +1083,11 @@ let suite =
       test_streaming_seat_exhaustion;
     Alcotest.test_case "streaming integrity in status" `Quick
       test_streaming_integrity_in_status;
+    Alcotest.test_case "tenant fairness (DRR)" `Quick test_tenant_fairness;
+    Alcotest.test_case "tenant quota rejects" `Quick test_tenant_quota_reject;
+    Alcotest.test_case "tenant seat cap" `Quick test_tenant_seat_cap;
+    Alcotest.test_case "tenant gauge hygiene" `Quick
+      test_tenant_gauge_hygiene;
+    Alcotest.test_case "status tenants end-to-end" `Quick
+      test_status_tenants_end_to_end;
   ]
